@@ -1,0 +1,101 @@
+// Command sodbench regenerates the paper's evaluation tables and figures
+// on demand:
+//
+//	sodbench -table all          # everything (several minutes)
+//	sodbench -table 2            # Table II (+ derived III & IV)
+//	sodbench -table 5            # the object-faulting microbenchmark
+//	sodbench -table roam         # the §IV.C roaming experiment
+//	sodbench -table fig5         # the code-size comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,7,roam,fig5,all")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "sodbench: table %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("1", func() error {
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable1(rows))
+		return nil
+	})
+
+	// Tables II, III and IV share the same measured runs.
+	wantT2 := *table == "all" || *table == "2" || *table == "3" || *table == "4"
+	if wantT2 {
+		t2, err := experiments.Table2()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sodbench: table 2: %v\n", err)
+			os.Exit(1)
+		}
+		if *table == "all" || *table == "2" {
+			fmt.Print(experiments.RenderTable2(t2))
+		}
+		if *table == "all" || *table == "3" {
+			fmt.Print(experiments.RenderTable3(experiments.Table3(t2)))
+		}
+		if *table == "all" || *table == "4" {
+			fmt.Print(experiments.RenderTable4(experiments.Table4(t2)))
+		}
+	}
+
+	run("5", func() error {
+		rows, err := experiments.Table5(3_000_000)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable5(rows))
+		return nil
+	})
+	run("6", func() error {
+		rows, err := experiments.Table6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable6(rows))
+		return nil
+	})
+	run("roam", func() error {
+		r, err := experiments.Roaming()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderRoaming(r))
+		return nil
+	})
+	run("7", func() error {
+		rows, err := experiments.Table7All()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable7(rows))
+		return nil
+	})
+	run("fig5", func() error {
+		f, err := experiments.Fig5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig5(f))
+		return nil
+	})
+}

@@ -1,0 +1,95 @@
+// Command soddisasm shows what the class preprocessor does to a program:
+// it disassembles a built-in workload before and after preprocessing, so
+// the injected migration-safe points, fault handlers and restoration
+// handlers (Fig 4 and Fig 5 of the paper) can be inspected.
+//
+//	soddisasm -workload fib
+//	soddisasm -workload tsp -mode check
+//	soddisasm -workload fft -mode fault -method FFT.finish
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bytecode"
+	"repro/internal/preprocess"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "fib", "workload: fib, nq, fft, tsp, search, photo, bench")
+	mode := flag.String("mode", "fault", "instrumentation: none, fault, check")
+	method := flag.String("method", "", "disassemble only this qualified method")
+	orig := flag.Bool("orig", false, "show the original (untransformed) program too")
+	flag.Parse()
+
+	var w *workloads.Workload
+	switch strings.ToLower(*name) {
+	case "fib":
+		w = workloads.Fib()
+	case "nq":
+		w = workloads.NQueens()
+	case "fft":
+		w = workloads.FFT()
+	case "tsp":
+		w = workloads.TSP()
+	case "search":
+		w = workloads.TextSearch()
+	case "photo":
+		w = workloads.PhotoShare()
+	case "bench":
+		w = workloads.FieldBench()
+	default:
+		fmt.Fprintf(os.Stderr, "soddisasm: unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+
+	var m preprocess.Mode
+	switch strings.ToLower(*mode) {
+	case "none":
+		m = preprocess.ModeNone
+	case "fault":
+		m = preprocess.ModeFaulting
+	case "check":
+		m = preprocess.ModeStatusCheck
+	default:
+		fmt.Fprintf(os.Stderr, "soddisasm: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	show := func(title string, p *bytecode.Program) {
+		fmt.Printf("=== %s ===\n", title)
+		if *method != "" {
+			mid := p.MethodByName(*method)
+			if mid < 0 {
+				fmt.Fprintf(os.Stderr, "soddisasm: no method %q\n", *method)
+				os.Exit(1)
+			}
+			fmt.Print(bytecode.Disassemble(p, p.Methods[mid]))
+			return
+		}
+		fmt.Print(bytecode.DisassembleProgram(p))
+	}
+
+	if *orig {
+		show("original", w.Prog)
+	}
+	pp, rep, err := preprocess.Preprocess(w.Prog, preprocess.Options{Mode: m, Restore: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soddisasm: %v\n", err)
+		os.Exit(1)
+	}
+	show(fmt.Sprintf("preprocessed (%v, restore handlers)", m), pp)
+	fmt.Println("=== transformation report ===")
+	for _, mr := range rep.Methods {
+		status := "lifted"
+		if !mr.Lifted {
+			status = "as-is: " + mr.Reason
+		}
+		fmt.Printf("%-30s %-10s stmts=%-4d handlers=%-3d size %dB -> %dB\n",
+			mr.Name, status, mr.Stmts, mr.FaultHandlers, mr.OrigSize, mr.NewSize)
+	}
+}

@@ -1,0 +1,103 @@
+// Offload: the §II.B exception-driven offload scenario. A memory-hungry
+// computation runs on a resource-poor "device" node with a tight heap
+// limit. When allocation fails, the program's catch block for
+// OutOfMemoryError calls an offload native that re-executes the
+// computation on the cloud node with plenty of memory — "the exception
+// handler will capture the execution state and rocket it into the Cloud
+// that has wider library base and memory capacity for retrying the
+// execution".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/sod"
+	"repro/sodasm"
+)
+
+func buildProgram() *sod.Program {
+	pb := sodasm.NewProgram()
+	pb.Native("offload_retry", 1, true)
+
+	// buildTable(n): allocates an n×n int table and folds it — needs
+	// n*n*8 bytes of heap.
+	bt := pb.Func("buildTable", true, "n")
+	bt.Line().Load("n").Load("n").Mul().NewArr(sodasm.ArrInt).Store("t")
+	bt.Line().Int(0).Store("i")
+	bt.Label("fill")
+	bt.Line().Load("i").Load("n").Load("n").Mul().Ge().Jnz("sum")
+	bt.Line().Load("t").Load("i").Load("i").Load("i").Mul().AStore()
+	bt.Line().Load("i").Int(1).Add().Store("i")
+	bt.Line().Jmp("fill")
+	bt.Label("sum")
+	bt.Line().Int(0).Store("acc")
+	bt.Line().Int(0).Store("i")
+	bt.Label("fold")
+	bt.Line().Load("i").Load("n").Load("n").Mul().Ge().Jnz("done")
+	bt.Line().Load("acc").Load("t").Load("i").ALoad().Add().Store("acc")
+	bt.Line().Load("i").Int(1).Add().Store("i")
+	bt.Line().Jmp("fold")
+	bt.Label("done")
+	bt.Line().Load("acc").RetV()
+
+	// main(n): try locally; on OutOfMemoryError, retry in the cloud.
+	mn := pb.Func("main", true, "n")
+	mn.Label("try")
+	mn.Line().Load("n").Call("buildTable", 1).Store("r")
+	mn.Line().Load("r").RetV()
+	mn.Label("endtry")
+	mn.Label("catch")
+	mn.Store("e") // the OutOfMemoryError object
+	mn.Line().Load("n").CallNat("offload_retry", 1).Store("r")
+	mn.Line().Load("r").Int(1).Add().RetV() // +1 marks the offloaded path
+	mn.Try("try", "endtry", "catch", sodasm.OutOfMemoryError)
+
+	return pb.MustBuild()
+}
+
+func main() {
+	app := sod.Compile(buildProgram())
+	cluster, err := sod.NewCluster(app, sod.Gigabit,
+		sod.Node{ID: 1, HeapLimit: 64 << 10}, // the "device": 64 KiB heap
+		sod.Node{ID: 2},                      // the cloud
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	device, cloud := cluster.On(1), cluster.On(2)
+
+	offloads := 0
+	for _, h := range []*sod.NodeHandle{device, cloud} {
+		h.BindNative("offload_retry", func(args []sod.Value) (sod.Value, error) {
+			offloads++
+			job, err := cloud.Start("buildTable", args[0])
+			if err != nil {
+				return sod.Value{}, err
+			}
+			res, err := job.Wait()
+			return res, err
+		})
+	}
+
+	// Small n fits the device heap; big n trips OOM and offloads.
+	for _, n := range []int64{20, 400} {
+		job, err := device.Start("main", sod.Int(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := job.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		where := "on the device"
+		if res.I%10 == 1 && n == 400 {
+			where = "offloaded to the cloud (OutOfMemoryError caught)"
+		}
+		fmt.Printf("buildTable(%d) = %d — %s\n", n, res.I, where)
+	}
+	if offloads != 1 {
+		log.Fatalf("expected exactly one offload, got %d", offloads)
+	}
+	fmt.Println("exception-driven offload demonstrated.")
+}

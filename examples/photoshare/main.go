@@ -1,0 +1,87 @@
+// Photoshare: the §IV.D iPhone scenario. A web server (SODEE node) holds
+// the client connection in a pinned frame and pushes its photo-search
+// frame to a handset (Device node, no tool interface, Java-serialization
+// restore, slow CPU) over a bandwidth-capped link. The photos never need
+// a web server installed on the phone — the computation visits the data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/nfs"
+	"repro/internal/workloads"
+	"repro/sod"
+)
+
+func main() {
+	w := workloads.PhotoShare()
+	app := sod.Compile(w.Prog)
+
+	for _, kbps := range []int64{128, 764} {
+		cluster, err := sod.NewCluster(app, sod.Kbps(kbps),
+			sod.Node{ID: 1},                           // the web server
+			sod.Node{ID: 2, System: sod.Device, Cold: true}, // the handset
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs := nfs.NewServer(cluster.Network())
+		for i := 0; i < 9; i++ {
+			name := fmt.Sprintf("User/Media/DCIM/100APPLE/IMG_%04d.jpg", i)
+			if i%3 == 0 {
+				name = fmt.Sprintf("User/Media/DCIM/100APPLE/beach_%04d.jpg", i)
+			}
+			fs.Host(nfs.File{Name: name, Host: 2, Size: 16 << 10, Seed: uint64(i)})
+		}
+
+		var once sync.Once
+		paused := make(chan struct{})
+		resume := make(chan struct{})
+		for _, id := range []int{1, 2} {
+			h := cluster.On(id)
+			nd := h.Inner()
+			env := &workloads.PhotoEnv{FS: fs, Location: func() int { return nd.Location() }}
+			env.Bind(h.VM())
+			h.BindNative(workloads.CheckpointNative, func(args []sod.Value) (sod.Value, error) {
+				once.Do(func() {
+					close(paused)
+					<-resume
+				})
+				return sod.Value{}, nil
+			})
+		}
+
+		server := cluster.On(1)
+		job, err := server.Start("PhotoApp.serveRequest",
+			server.Intern("User/Media/DCIM/100APPLE"), server.Intern("beach"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		<-paused
+		done := make(chan *sod.Metrics, 1)
+		go func() {
+			m, merr := server.Migrate(job, sod.Migration{Frames: 1, Dest: 2, Flow: sod.ReturnHome})
+			if merr != nil {
+				log.Fatal(merr)
+			}
+			done <- m
+		}()
+		time.Sleep(time.Millisecond)
+		close(resume)
+		m := <-done
+
+		res, err := job.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%4d kbps] found %d beach photos on the phone; migration latency %v "+
+			"(capture %v, transfer %v, restore %v)\n",
+			kbps, res.I, m.Latency.Round(time.Millisecond),
+			m.Capture.Round(time.Microsecond), m.Transfer.Round(time.Millisecond),
+			m.Restore.Round(time.Microsecond))
+	}
+	fmt.Println("note: the serveRequest frame is pinned (it holds the socket) and never migrates.")
+}

@@ -1,0 +1,98 @@
+// Quickstart: assemble a recursive Fibonacci program, run it on a
+// two-node SOD cluster, and migrate the hot frame to the second node
+// mid-computation (the paper's Fig 1a flow). The result is identical to a
+// local run; the migration metrics show the stack-on-demand cost
+// breakdown (capture / transfer / restore).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/sod"
+	"repro/sodasm"
+)
+
+func buildProgram() *sod.Program {
+	pb := sodasm.NewProgram()
+	pb.Native("pause", 0, false) // lets the driver align the migration
+
+	fib := pb.Func("fib", true, "n")
+	fib.Line().Load("n").Int(2).Lt().Jnz("base")
+	fib.Line().Load("n").Int(25).Eq().Jz("go") // pause once, deep in the recursion
+	fib.Line().CallNat("pause", 0)
+	fib.Label("go")
+	fib.Line().Load("n").Int(1).Sub().Call("fib", 1).Store("a")
+	fib.Line().Load("n").Int(2).Sub().Call("fib", 1).Store("b")
+	fib.Line().Load("a").Load("b").Add().RetV()
+	fib.Label("base")
+	fib.Line().Load("n").RetV()
+
+	return pb.MustBuild()
+}
+
+func main() {
+	// Compile injects migration-safe points, object fault handlers and
+	// restoration handlers (the paper's class preprocessor).
+	app := sod.Compile(buildProgram())
+
+	cluster, err := sod.NewCluster(app, sod.Gigabit,
+		sod.Node{ID: 1},             // home
+		sod.Node{ID: 2, Cold: true}, // worker: classes ship on demand (see below)
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The pause native blocks once, when fib(25) is first entered, so the
+	// migration happens at a known point of the recursion.
+	var once sync.Once
+	paused := make(chan struct{})
+	resume := make(chan struct{})
+	for _, id := range []int{1, 2} {
+		cluster.On(id).BindNative("pause", func(args []sod.Value) (sod.Value, error) {
+			once.Do(func() {
+				close(paused)
+				<-resume
+			})
+			return sod.Value{}, nil
+		})
+	}
+
+	home := cluster.On(1)
+	job, err := home.Start("fib", sod.Int(30))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	<-paused
+	type out struct {
+		m   *sod.Metrics
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		m, merr := home.Migrate(job, sod.Migration{Frames: 1, Dest: 2, Flow: sod.ReturnHome})
+		done <- out{m, merr}
+	}()
+	time.Sleep(time.Millisecond) // let the suspend request land
+	close(resume)
+	o := <-done
+	if o.err != nil {
+		log.Fatal(o.err)
+	}
+
+	result, err := job.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fib(30) = %d (computed across two nodes)\n", result.I)
+	fmt.Printf("SOD migration: capture %v + transfer %v + restore %v = %v, %d state bytes\n",
+		o.m.Capture.Round(time.Microsecond), o.m.Transfer.Round(time.Microsecond),
+		o.m.Restore.Round(time.Microsecond), o.m.Latency.Round(time.Microsecond), o.m.StateBytes)
+	if result.I != 832040 {
+		log.Fatal("wrong result!")
+	}
+}

@@ -1,0 +1,758 @@
+// Package asm is the programmatic assembler for SVM bytecode. Workloads,
+// tests and the class preprocessor build programs through it. The builder
+// resolves names (classes, fields, methods, virtual names, natives, labels,
+// locals) at Build time, so declarations may appear in any order, and runs
+// the verifier so that every built program is well-formed by construction.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bytecode"
+	"repro/internal/value"
+)
+
+// ProgramBuilder accumulates classes, methods and natives for one program.
+type ProgramBuilder struct {
+	classes []*ClassBuilder
+	methods []*MethodBuilder
+	natives []bytecode.NativeSig
+	vnames  []string
+	vindex  map[string]int32
+	errs    []error
+}
+
+// NewProgram returns an empty ProgramBuilder with the builtin classes
+// (Object, String, CapturedState and the exception hierarchy) pre-declared.
+func NewProgram() *ProgramBuilder {
+	pb := &ProgramBuilder{vindex: make(map[string]int32)}
+	for _, name := range bytecode.BuiltinClassNames {
+		super := ""
+		if name != bytecode.ClassObject {
+			super = bytecode.ClassObject
+		}
+		cb := pb.Class(name, super)
+		switch name {
+		case bytecode.ClassObject, bytecode.ClassString, bytecode.ClassCapturedState:
+		default:
+			// Exception classes: message string + auxiliary payload.
+			cb.Field("message", value.KindRef)
+			cb.Field("extra", value.KindInt)
+		}
+	}
+	return pb
+}
+
+func (pb *ProgramBuilder) errf(format string, args ...any) {
+	pb.errs = append(pb.errs, fmt.Errorf(format, args...))
+}
+
+// Class declares a class. superName may be empty (implicitly Object, except
+// for Object itself).
+func (pb *ProgramBuilder) Class(name, superName string) *ClassBuilder {
+	cb := &ClassBuilder{
+		pb:        pb,
+		id:        int32(len(pb.classes)),
+		name:      name,
+		superName: superName,
+		fieldIdx:  make(map[string]int32),
+		staticIdx: make(map[string]int32),
+	}
+	if superName == "" && name != bytecode.ClassObject {
+		cb.superName = bytecode.ClassObject
+	}
+	pb.classes = append(pb.classes, cb)
+	return cb
+}
+
+// Native declares a native function callable via CallNat.
+func (pb *ProgramBuilder) Native(name string, nargs int, returns bool) *ProgramBuilder {
+	pb.natives = append(pb.natives, bytecode.NativeSig{Name: name, NArgs: nargs, ReturnsValue: returns})
+	return pb
+}
+
+// Func declares a free function (no receiver). args names the argument
+// locals in order.
+func (pb *ProgramBuilder) Func(name string, returns bool, args ...string) *MethodBuilder {
+	return pb.newMethod(nil, name, false, returns, args)
+}
+
+func (pb *ProgramBuilder) vnameID(name string) int32 {
+	if id, ok := pb.vindex[name]; ok {
+		return id
+	}
+	id := int32(len(pb.vnames))
+	pb.vnames = append(pb.vnames, name)
+	pb.vindex[name] = id
+	return id
+}
+
+func (pb *ProgramBuilder) newMethod(cb *ClassBuilder, name string, virtual, returns bool, args []string) *MethodBuilder {
+	mb := &MethodBuilder{
+		pb:       pb,
+		cb:       cb,
+		id:       int32(len(pb.methods)),
+		name:     name,
+		virtual:  virtual,
+		returns:  returns,
+		localIdx: make(map[string]int32),
+		labels:   make(map[string]int32),
+	}
+	if virtual {
+		mb.Local("this")
+	}
+	for _, a := range args {
+		mb.Local(a)
+	}
+	mb.nargs = len(args)
+	if virtual {
+		mb.nargs++
+	}
+	pb.methods = append(pb.methods, mb)
+	if cb != nil {
+		cb.methods = append(cb.methods, mb)
+		if virtual {
+			// Instance methods are virtual-dispatch candidates; register
+			// the name so CallV sites resolve.
+			pb.vnameID(name)
+		}
+	}
+	return mb
+}
+
+// ClassBuilder declares fields, statics and methods of one class.
+type ClassBuilder struct {
+	pb        *ProgramBuilder
+	id        int32
+	name      string
+	superName string
+	fields    []bytecode.Field
+	statics   []bytecode.Field
+	fieldIdx  map[string]int32
+	staticIdx map[string]int32
+	methods   []*MethodBuilder
+}
+
+// Name returns the class name.
+func (cb *ClassBuilder) Name() string { return cb.name }
+
+// Field declares an instance field and returns its slot index.
+func (cb *ClassBuilder) Field(name string, kind value.Kind) int32 {
+	if _, dup := cb.fieldIdx[name]; dup {
+		cb.pb.errf("asm: class %s: duplicate field %s", cb.name, name)
+	}
+	idx := int32(len(cb.fields))
+	cb.fields = append(cb.fields, bytecode.Field{Name: name, Kind: kind})
+	cb.fieldIdx[name] = idx
+	return idx
+}
+
+// Static declares a static field and returns its index.
+func (cb *ClassBuilder) Static(name string, kind value.Kind) int32 {
+	if _, dup := cb.staticIdx[name]; dup {
+		cb.pb.errf("asm: class %s: duplicate static %s", cb.name, name)
+	}
+	idx := int32(len(cb.statics))
+	cb.statics = append(cb.statics, bytecode.Field{Name: name, Kind: kind})
+	cb.staticIdx[name] = idx
+	return idx
+}
+
+// Method declares an instance method ("this" is local 0).
+func (cb *ClassBuilder) Method(name string, returns bool, args ...string) *MethodBuilder {
+	return cb.pb.newMethod(cb, name, true, returns, args)
+}
+
+// StaticMethod declares a class-scoped method without a receiver.
+func (cb *ClassBuilder) StaticMethod(name string, returns bool, args ...string) *MethodBuilder {
+	return cb.pb.newMethod(cb, name, false, returns, args)
+}
+
+// fixup records a name reference to patch at Build time.
+type fixup struct {
+	pc   int32
+	kind fixupKind
+	name string // target name (label, method, class, native, vname)
+	cls  string // class name for field/static fixups
+	slot int    // which operand: 0 = A, 1 = B
+}
+
+type fixupKind uint8
+
+const (
+	fixLabel fixupKind = iota
+	fixMethod
+	fixClass
+	fixField  // instance field: name within cls
+	fixStatic // static field: patches A=class, B=field
+	fixNative
+	fixVName
+)
+
+// tryRegion is a pending exception-table entry with label endpoints.
+type tryRegion struct {
+	fromLbl, toLbl, handlerLbl string
+	exClass                    string // empty = catch-all
+}
+
+// switchFix is a pending TSwitch table with label targets.
+type switchFix struct {
+	index      int32
+	keys       []int32
+	targetLbls []string
+	defaultLbl string
+}
+
+// MethodBuilder emits instructions for one method.
+type MethodBuilder struct {
+	pb       *ProgramBuilder
+	cb       *ClassBuilder
+	id       int32
+	name     string
+	virtual  bool
+	returns  bool
+	nargs    int
+	code     []bytecode.Instr
+	consts   []value.Value
+	strings  []string
+	localIdx map[string]int32
+	nlocals  int
+	labels   map[string]int32
+	fixups   []fixup
+	tries    []tryRegion
+	switches []switchFix
+	lines    []bytecode.LineEntry
+	curLine  int32
+	msps     []int32
+	pragma   map[string]bool
+}
+
+// ID returns the method id the builder was assigned.
+func (mb *MethodBuilder) ID() int32 { return mb.id }
+
+// Name returns the method name.
+func (mb *MethodBuilder) Name() string { return mb.name }
+
+// Pragma attaches a named marker to the method (consumed by the
+// preprocessor, e.g. "nopreprocess" or "pin").
+func (mb *MethodBuilder) Pragma(name string) *MethodBuilder {
+	if mb.pragma == nil {
+		mb.pragma = make(map[string]bool)
+	}
+	mb.pragma[name] = true
+	return mb
+}
+
+// Local allocates (or looks up) a named local slot.
+func (mb *MethodBuilder) Local(name string) int32 {
+	if idx, ok := mb.localIdx[name]; ok {
+		return idx
+	}
+	idx := int32(mb.nlocals)
+	mb.localIdx[name] = idx
+	mb.nlocals++
+	return idx
+}
+
+// PC returns the pc the next emitted instruction will have.
+func (mb *MethodBuilder) PC() int32 { return int32(len(mb.code)) }
+
+func (mb *MethodBuilder) emit(op bytecode.Op, a, b int32) *MethodBuilder {
+	mb.code = append(mb.code, bytecode.Instr{Op: op, A: a, B: b})
+	return mb
+}
+
+// Line starts a new source line at the current pc. Statement boundaries
+// drive the preprocessor's MSP placement and fault-handler scoping.
+func (mb *MethodBuilder) Line() *MethodBuilder {
+	mb.curLine++
+	mb.lines = append(mb.lines, bytecode.LineEntry{PC: mb.PC(), Line: mb.curLine})
+	return mb
+}
+
+// MSP marks the current pc as a migration-safe point. The verifier will
+// reject the program if the operand stack can be non-empty here.
+func (mb *MethodBuilder) MSP() *MethodBuilder {
+	mb.msps = append(mb.msps, mb.PC())
+	return mb
+}
+
+// Label binds a name to the current pc.
+func (mb *MethodBuilder) Label(name string) *MethodBuilder {
+	if _, dup := mb.labels[name]; dup {
+		mb.pb.errf("asm: method %s: duplicate label %s", mb.name, name)
+	}
+	mb.labels[name] = mb.PC()
+	return mb
+}
+
+// --- constants and locals ---
+
+// Const pushes an arbitrary constant value.
+func (mb *MethodBuilder) Const(v value.Value) *MethodBuilder {
+	idx := int32(len(mb.consts))
+	mb.consts = append(mb.consts, v)
+	return mb.emit(bytecode.OpConst, idx, 0)
+}
+
+// Int pushes an integer constant (using the compact iconst form when it
+// fits in an int32 operand).
+func (mb *MethodBuilder) Int(i int64) *MethodBuilder {
+	if i == int64(int32(i)) {
+		return mb.emit(bytecode.OpIConst, int32(i), 0)
+	}
+	return mb.Const(value.Int(i))
+}
+
+// Float pushes a float constant.
+func (mb *MethodBuilder) Float(f float64) *MethodBuilder { return mb.Const(value.Float(f)) }
+
+// Str pushes an interned string object.
+func (mb *MethodBuilder) Str(s string) *MethodBuilder {
+	idx := int32(len(mb.strings))
+	mb.strings = append(mb.strings, s)
+	return mb.emit(bytecode.OpSConst, idx, 0)
+}
+
+// Null pushes the null reference.
+func (mb *MethodBuilder) Null() *MethodBuilder { return mb.emit(bytecode.OpNull, 0, 0) }
+
+// Load pushes the named local.
+func (mb *MethodBuilder) Load(name string) *MethodBuilder {
+	return mb.emit(bytecode.OpLoad, mb.Local(name), 0)
+}
+
+// Store pops into the named local.
+func (mb *MethodBuilder) Store(name string) *MethodBuilder {
+	return mb.emit(bytecode.OpStore, mb.Local(name), 0)
+}
+
+// LoadSlot / StoreSlot address locals by raw slot number.
+func (mb *MethodBuilder) LoadSlot(slot int32) *MethodBuilder {
+	for int(slot) >= mb.nlocals {
+		mb.Local(fmt.Sprintf("$slot%d", mb.nlocals))
+	}
+	return mb.emit(bytecode.OpLoad, slot, 0)
+}
+
+// StoreSlot pops into a raw slot number.
+func (mb *MethodBuilder) StoreSlot(slot int32) *MethodBuilder {
+	for int(slot) >= mb.nlocals {
+		mb.Local(fmt.Sprintf("$slot%d", mb.nlocals))
+	}
+	return mb.emit(bytecode.OpStore, slot, 0)
+}
+
+// --- stack / arithmetic / comparison ---
+
+// Pop discards the top of the operand stack.
+func (mb *MethodBuilder) Pop() *MethodBuilder  { return mb.emit(bytecode.OpPop, 0, 0) }
+func (mb *MethodBuilder) Dup() *MethodBuilder  { return mb.emit(bytecode.OpDup, 0, 0) }
+func (mb *MethodBuilder) Swap() *MethodBuilder { return mb.emit(bytecode.OpSwap, 0, 0) }
+func (mb *MethodBuilder) Add() *MethodBuilder  { return mb.emit(bytecode.OpAdd, 0, 0) }
+func (mb *MethodBuilder) Sub() *MethodBuilder  { return mb.emit(bytecode.OpSub, 0, 0) }
+func (mb *MethodBuilder) Mul() *MethodBuilder  { return mb.emit(bytecode.OpMul, 0, 0) }
+func (mb *MethodBuilder) Div() *MethodBuilder  { return mb.emit(bytecode.OpDiv, 0, 0) }
+func (mb *MethodBuilder) Mod() *MethodBuilder  { return mb.emit(bytecode.OpMod, 0, 0) }
+func (mb *MethodBuilder) Neg() *MethodBuilder  { return mb.emit(bytecode.OpNeg, 0, 0) }
+func (mb *MethodBuilder) And() *MethodBuilder  { return mb.emit(bytecode.OpAnd, 0, 0) }
+func (mb *MethodBuilder) Or() *MethodBuilder   { return mb.emit(bytecode.OpOr, 0, 0) }
+func (mb *MethodBuilder) Xor() *MethodBuilder  { return mb.emit(bytecode.OpXor, 0, 0) }
+func (mb *MethodBuilder) Shl() *MethodBuilder  { return mb.emit(bytecode.OpShl, 0, 0) }
+func (mb *MethodBuilder) Shr() *MethodBuilder  { return mb.emit(bytecode.OpShr, 0, 0) }
+func (mb *MethodBuilder) Not() *MethodBuilder  { return mb.emit(bytecode.OpNot, 0, 0) }
+func (mb *MethodBuilder) I2F() *MethodBuilder  { return mb.emit(bytecode.OpI2F, 0, 0) }
+func (mb *MethodBuilder) F2I() *MethodBuilder  { return mb.emit(bytecode.OpF2I, 0, 0) }
+func (mb *MethodBuilder) Eq() *MethodBuilder   { return mb.emit(bytecode.OpEq, 0, 0) }
+func (mb *MethodBuilder) Ne() *MethodBuilder   { return mb.emit(bytecode.OpNe, 0, 0) }
+func (mb *MethodBuilder) Lt() *MethodBuilder   { return mb.emit(bytecode.OpLt, 0, 0) }
+func (mb *MethodBuilder) Le() *MethodBuilder   { return mb.emit(bytecode.OpLe, 0, 0) }
+func (mb *MethodBuilder) Gt() *MethodBuilder   { return mb.emit(bytecode.OpGt, 0, 0) }
+func (mb *MethodBuilder) Ge() *MethodBuilder   { return mb.emit(bytecode.OpGe, 0, 0) }
+
+// --- control flow ---
+
+// Jmp emits an unconditional jump to a label.
+func (mb *MethodBuilder) Jmp(label string) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixLabel, name: label})
+	return mb.emit(bytecode.OpJmp, -1, 0)
+}
+
+// Jz jumps to label when the popped value is falsy.
+func (mb *MethodBuilder) Jz(label string) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixLabel, name: label})
+	return mb.emit(bytecode.OpJz, -1, 0)
+}
+
+// Jnz jumps to label when the popped value is truthy.
+func (mb *MethodBuilder) Jnz(label string) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixLabel, name: label})
+	return mb.emit(bytecode.OpJnz, -1, 0)
+}
+
+// TSwitch emits a table switch: keys[i] jumps to targetLabels[i], anything
+// else to defaultLabel. Keys need not be pre-sorted.
+func (mb *MethodBuilder) TSwitch(keys []int32, targetLabels []string, defaultLabel string) *MethodBuilder {
+	if len(keys) != len(targetLabels) {
+		mb.pb.errf("asm: method %s: tswitch keys/targets mismatch", mb.name)
+		return mb
+	}
+	idx := int32(len(mb.switches))
+	ks := append([]int32(nil), keys...)
+	ls := append([]string(nil), targetLabels...)
+	sort.Sort(&keyLabelSort{ks, ls})
+	mb.switches = append(mb.switches, switchFix{index: idx, keys: ks, targetLbls: ls, defaultLbl: defaultLabel})
+	return mb.emit(bytecode.OpTSwitch, idx, 0)
+}
+
+type keyLabelSort struct {
+	keys []int32
+	lbls []string
+}
+
+func (s *keyLabelSort) Len() int           { return len(s.keys) }
+func (s *keyLabelSort) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *keyLabelSort) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.lbls[i], s.lbls[j] = s.lbls[j], s.lbls[i]
+}
+
+// --- objects ---
+
+// New allocates an instance of the named class.
+func (mb *MethodBuilder) New(className string) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixClass, name: className})
+	return mb.emit(bytecode.OpNew, -1, 0)
+}
+
+// GetF reads field fieldName declared on className (obj on stack).
+func (mb *MethodBuilder) GetF(className, fieldName string) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixField, name: fieldName, cls: className})
+	return mb.emit(bytecode.OpGetF, -1, 0)
+}
+
+// PutF writes field fieldName (obj, value on stack).
+func (mb *MethodBuilder) PutF(className, fieldName string) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixField, name: fieldName, cls: className})
+	return mb.emit(bytecode.OpPutF, -1, 0)
+}
+
+// GetS reads a static field.
+func (mb *MethodBuilder) GetS(className, fieldName string) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixStatic, name: fieldName, cls: className})
+	return mb.emit(bytecode.OpGetS, -1, -1)
+}
+
+// PutS writes a static field.
+func (mb *MethodBuilder) PutS(className, fieldName string) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixStatic, name: fieldName, cls: className})
+	return mb.emit(bytecode.OpPutS, -1, -1)
+}
+
+// GetStatus pushes the status word of the object on the stack (used only
+// by the status-check DSM baseline).
+func (mb *MethodBuilder) GetStatus() *MethodBuilder { return mb.emit(bytecode.OpGetStatus, 0, 0) }
+
+// InstOf tests instance-of the named class.
+func (mb *MethodBuilder) InstOf(className string) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixClass, name: className})
+	return mb.emit(bytecode.OpInstOf, -1, 0)
+}
+
+// CheckCast asserts the top of stack is an instance of the named class.
+func (mb *MethodBuilder) CheckCast(className string) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixClass, name: className})
+	return mb.emit(bytecode.OpCheckCast, -1, 0)
+}
+
+// --- arrays ---
+
+// NewArr allocates an array; length on stack, element kind fixed.
+func (mb *MethodBuilder) NewArr(kind int32) *MethodBuilder {
+	return mb.emit(bytecode.OpNewArr, kind, 0)
+}
+
+// ALoad pops arr, idx and pushes arr[idx].
+func (mb *MethodBuilder) ALoad() *MethodBuilder { return mb.emit(bytecode.OpALoad, 0, 0) }
+
+// AStore pops arr, idx, val and stores arr[idx] = val.
+func (mb *MethodBuilder) AStore() *MethodBuilder { return mb.emit(bytecode.OpAStore, 0, 0) }
+
+// ArrLen pops arr and pushes its length.
+func (mb *MethodBuilder) ArrLen() *MethodBuilder { return mb.emit(bytecode.OpArrLen, 0, 0) }
+
+// --- calls / returns / exceptions ---
+
+// Call emits a static call to the qualified method name ("Class.method" or
+// bare free-function name) with nargs arguments on the stack.
+func (mb *MethodBuilder) Call(qualified string, nargs int) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixMethod, name: qualified})
+	return mb.emit(bytecode.OpCall, -1, int32(nargs))
+}
+
+// CallV emits a virtual call; nargs includes the receiver.
+func (mb *MethodBuilder) CallV(vname string, nargs int) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixVName, name: vname})
+	return mb.emit(bytecode.OpCallV, -1, int32(nargs))
+}
+
+// CallNat emits a native call.
+func (mb *MethodBuilder) CallNat(name string, nargs int) *MethodBuilder {
+	mb.fixups = append(mb.fixups, fixup{pc: mb.PC(), kind: fixNative, name: name})
+	return mb.emit(bytecode.OpCallNat, -1, int32(nargs))
+}
+
+// Ret returns void.
+func (mb *MethodBuilder) Ret() *MethodBuilder { return mb.emit(bytecode.OpRet, 0, 0) }
+
+// RetV returns the top of the stack.
+func (mb *MethodBuilder) RetV() *MethodBuilder { return mb.emit(bytecode.OpRetV, 0, 0) }
+
+// Throw raises the exception object on the stack.
+func (mb *MethodBuilder) Throw() *MethodBuilder { return mb.emit(bytecode.OpThrow, 0, 0) }
+
+// ThrowNew allocates an exception of the named class with a message and
+// throws it. It spills through a scratch local rather than using Dup so
+// the emitted code stays liftable by the class preprocessor.
+func (mb *MethodBuilder) ThrowNew(exClass, message string) *MethodBuilder {
+	tmp := "$exc"
+	mb.New(exClass).Store(tmp)
+	mb.Load(tmp).Str(message).PutF(exClass, "message")
+	return mb.Load(tmp).Throw()
+}
+
+// Try registers an exception-table entry over [fromLabel, toLabel) jumping
+// to handlerLabel for exceptions of exClass (empty = catch all). Entries
+// are matched in registration order.
+func (mb *MethodBuilder) Try(fromLabel, toLabel, handlerLabel, exClass string) *MethodBuilder {
+	mb.tries = append(mb.tries, tryRegion{fromLabel, toLabel, handlerLabel, exClass})
+	return mb
+}
+
+// Build resolves all references, verifies and returns the program.
+func (pb *ProgramBuilder) Build() (*bytecode.Program, error) {
+	if len(pb.errs) > 0 {
+		return nil, pb.errs[0]
+	}
+	p := &bytecode.Program{
+		Natives: append([]bytecode.NativeSig(nil), pb.natives...),
+		VNames:  append([]string(nil), pb.vnames...),
+	}
+
+	classID := make(map[string]int32, len(pb.classes))
+	for _, cb := range pb.classes {
+		classID[cb.name] = cb.id
+	}
+	// Classes (supers resolved by name). Instance-field layouts are
+	// flattened: a subclass's Fields are its superclass's flattened fields
+	// followed by its own, so field slot indices are stable across the
+	// hierarchy. This requires supers to be declared before subclasses,
+	// which holds because builtins are declared first and user classes in
+	// source order.
+	for _, cb := range pb.classes {
+		super := int32(-1)
+		if cb.superName != "" {
+			sid, ok := classID[cb.superName]
+			if !ok {
+				return nil, fmt.Errorf("asm: class %s: unknown super %s", cb.name, cb.superName)
+			}
+			if sid >= cb.id {
+				return nil, fmt.Errorf("asm: class %s: super %s must be declared first", cb.name, cb.superName)
+			}
+			super = sid
+		}
+		var flat []bytecode.Field
+		if super >= 0 {
+			flat = append(flat, p.Classes[super].Fields...)
+		}
+		flat = append(flat, cb.fields...)
+		c := &bytecode.Class{
+			ID:      cb.id,
+			Name:    cb.name,
+			Super:   super,
+			Fields:  flat,
+			Statics: append([]bytecode.Field(nil), cb.statics...),
+			Methods: make(map[string]int32, len(cb.methods)),
+		}
+		for _, mb := range cb.methods {
+			if _, dup := c.Methods[mb.name]; dup {
+				return nil, fmt.Errorf("asm: class %s: duplicate method %s", cb.name, mb.name)
+			}
+			c.Methods[mb.name] = mb.id
+		}
+		p.Classes = append(p.Classes, c)
+	}
+
+	methodID := make(map[string]int32, len(pb.methods))
+	for _, mb := range pb.methods {
+		qn := mb.name
+		if mb.cb != nil {
+			qn = mb.cb.name + "." + mb.name
+		}
+		if _, dup := methodID[qn]; dup {
+			return nil, fmt.Errorf("asm: duplicate method %s", qn)
+		}
+		methodID[qn] = mb.id
+	}
+	nativeID := make(map[string]int32, len(pb.natives))
+	for i, n := range pb.natives {
+		nativeID[n.Name] = int32(i)
+	}
+	vnameID := pb.vindex
+
+	// Methods: apply fixups, build side tables.
+	for _, mb := range pb.methods {
+		m := &bytecode.Method{
+			ID:           mb.id,
+			ClassID:      -1,
+			Name:         mb.name,
+			NArgs:        mb.nargs,
+			NLocals:      mb.nlocals,
+			ReturnsValue: mb.returns,
+			Virtual:      mb.virtual,
+			Code:         append([]bytecode.Instr(nil), mb.code...),
+			Consts:       append([]value.Value(nil), mb.consts...),
+			Strings:      append([]string(nil), mb.strings...),
+			Lines:        append([]bytecode.LineEntry(nil), mb.lines...),
+			MSPs:         append([]int32(nil), mb.msps...),
+			Pragmas:      mb.pragma,
+		}
+		if mb.cb != nil {
+			m.ClassID = mb.cb.id
+		}
+		for _, fx := range mb.fixups {
+			ins := &m.Code[fx.pc]
+			switch fx.kind {
+			case fixLabel:
+				pc, ok := mb.labels[fx.name]
+				if !ok {
+					return nil, fmt.Errorf("asm: method %s: undefined label %s", mb.name, fx.name)
+				}
+				ins.A = pc
+			case fixMethod:
+				id, ok := methodID[fx.name]
+				if !ok {
+					return nil, fmt.Errorf("asm: method %s: unknown method %s", mb.name, fx.name)
+				}
+				ins.A = id
+			case fixClass:
+				id, ok := classID[fx.name]
+				if !ok {
+					return nil, fmt.Errorf("asm: method %s: unknown class %s", mb.name, fx.name)
+				}
+				ins.A = id
+			case fixField:
+				cid, ok := classID[fx.cls]
+				if !ok {
+					return nil, fmt.Errorf("asm: method %s: unknown class %s", mb.name, fx.cls)
+				}
+				fidx, err := findField(pb, p, cid, fx.name)
+				if err != nil {
+					return nil, fmt.Errorf("asm: method %s: %w", mb.name, err)
+				}
+				ins.A = fidx
+			case fixStatic:
+				cid, ok := classID[fx.cls]
+				if !ok {
+					return nil, fmt.Errorf("asm: method %s: unknown class %s", mb.name, fx.cls)
+				}
+				sidx, err := findStatic(p, cid, fx.name)
+				if err != nil {
+					return nil, fmt.Errorf("asm: method %s: %w", mb.name, err)
+				}
+				ins.A = cid
+				ins.B = sidx
+			case fixNative:
+				id, ok := nativeID[fx.name]
+				if !ok {
+					return nil, fmt.Errorf("asm: method %s: unknown native %s", mb.name, fx.name)
+				}
+				ins.A = id
+			case fixVName:
+				id, ok := vnameID[fx.name]
+				if !ok {
+					return nil, fmt.Errorf("asm: method %s: unknown virtual name %s", mb.name, fx.name)
+				}
+				ins.A = id
+			}
+		}
+		for _, tr := range mb.tries {
+			from, ok := mb.labels[tr.fromLbl]
+			if !ok {
+				return nil, fmt.Errorf("asm: method %s: undefined try label %s", mb.name, tr.fromLbl)
+			}
+			to, ok := mb.labels[tr.toLbl]
+			if !ok {
+				return nil, fmt.Errorf("asm: method %s: undefined try label %s", mb.name, tr.toLbl)
+			}
+			handler, ok := mb.labels[tr.handlerLbl]
+			if !ok {
+				return nil, fmt.Errorf("asm: method %s: undefined handler label %s", mb.name, tr.handlerLbl)
+			}
+			exID := int32(-1)
+			if tr.exClass != "" {
+				id, ok := classID[tr.exClass]
+				if !ok {
+					return nil, fmt.Errorf("asm: method %s: unknown exception class %s", mb.name, tr.exClass)
+				}
+				exID = id
+			}
+			m.Except = append(m.Except, bytecode.ExRange{From: from, To: to, Handler: handler, ClassID: exID})
+		}
+		for _, sw := range mb.switches {
+			tbl := bytecode.SwitchTable{Keys: sw.keys}
+			for _, lbl := range sw.targetLbls {
+				pc, ok := mb.labels[lbl]
+				if !ok {
+					return nil, fmt.Errorf("asm: method %s: undefined switch label %s", mb.name, lbl)
+				}
+				tbl.Targets = append(tbl.Targets, pc)
+			}
+			def, ok := mb.labels[sw.defaultLbl]
+			if !ok {
+				return nil, fmt.Errorf("asm: method %s: undefined switch default %s", mb.name, sw.defaultLbl)
+			}
+			tbl.Default = def
+			m.Switches = append(m.Switches, tbl)
+		}
+		p.Methods = append(p.Methods, m)
+	}
+
+	p.BuildIndexes()
+	if err := bytecode.Verify(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; for tests and fixed workloads.
+func (pb *ProgramBuilder) MustBuild() *bytecode.Program {
+	p, err := pb.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// findField resolves an instance field by name within cid's flattened
+// layout. The scan runs back-to-front so a subclass field shadows an
+// inherited one of the same name.
+func findField(pb *ProgramBuilder, p *bytecode.Program, cid int32, name string) (int32, error) {
+	fields := p.Classes[cid].Fields
+	for i := len(fields) - 1; i >= 0; i-- {
+		if fields[i].Name == name {
+			return int32(i), nil
+		}
+	}
+	return -1, fmt.Errorf("unknown field %s.%s", p.Classes[cid].Name, name)
+}
+
+func findStatic(p *bytecode.Program, cid int32, name string) (int32, error) {
+	for i, f := range p.Classes[cid].Statics {
+		if f.Name == name {
+			return int32(i), nil
+		}
+	}
+	return -1, fmt.Errorf("unknown static %s.%s", p.Classes[cid].Name, name)
+}

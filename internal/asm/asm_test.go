@@ -1,0 +1,194 @@
+package asm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+	"repro/internal/value"
+)
+
+func TestBuiltinsPredeclared(t *testing.T) {
+	p := asm.NewProgram().MustBuild()
+	for _, name := range bytecode.BuiltinClassNames {
+		if p.ClassByName(name) < 0 {
+			t.Errorf("builtin %q missing", name)
+		}
+	}
+	// Exceptions extend Object.
+	npe := p.ClassByName(bytecode.ExNullPointer)
+	obj := p.ClassByName(bytecode.ClassObject)
+	if !p.InstanceOf(npe, obj) {
+		t.Error("NPE should extend Object")
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	pb := asm.NewProgram()
+	// main calls helper declared later; references class declared later.
+	mb := pb.Func("main", true)
+	mb.New("Late").Pop()
+	mb.Call("helper", 0).RetV()
+	pb.Func("helper", true).Int(5).RetV()
+	pb.Class("Late", "")
+	if _, err := pb.Build(); err != nil {
+		t.Fatalf("forward refs should resolve: %v", err)
+	}
+}
+
+func TestUndefinedReferencesFail(t *testing.T) {
+	cases := []func(pb *asm.ProgramBuilder){
+		func(pb *asm.ProgramBuilder) { pb.Func("m", false).Jmp("nowhere").Ret() },
+		func(pb *asm.ProgramBuilder) { pb.Func("m", true).Call("ghost", 0).RetV() },
+		func(pb *asm.ProgramBuilder) { pb.Func("m", false).New("Ghost").Pop().Ret() },
+		func(pb *asm.ProgramBuilder) { pb.Func("m", false).CallNat("ghost", 0).Ret() },
+		func(pb *asm.ProgramBuilder) {
+			pb.Func("m", false).Null().GetF("Object", "ghost").Pop().Ret()
+		},
+	}
+	for i, build := range cases {
+		pb := asm.NewProgram()
+		build(pb)
+		if _, err := pb.Build(); err == nil {
+			t.Errorf("case %d: undefined reference should fail", i)
+		}
+	}
+}
+
+func TestDuplicateDetection(t *testing.T) {
+	pb := asm.NewProgram()
+	c := pb.Class("C", "")
+	c.Field("f", value.KindInt)
+	c.Field("f", value.KindInt)
+	if _, err := pb.Build(); err == nil {
+		t.Error("duplicate field should fail")
+	}
+
+	pb2 := asm.NewProgram()
+	pb2.Func("m", true).Int(1).RetV()
+	pb2.Func("m", true).Int(2).RetV()
+	if _, err := pb2.Build(); err == nil {
+		t.Error("duplicate method should fail")
+	}
+
+	pb3 := asm.NewProgram()
+	m := pb3.Func("m", false)
+	m.Label("l").Label("l").Ret()
+	if _, err := pb3.Build(); err == nil {
+		t.Error("duplicate label should fail")
+	}
+}
+
+func TestFieldInheritanceLayout(t *testing.T) {
+	pb := asm.NewProgram()
+	a := pb.Class("A", "")
+	a.Field("x", value.KindInt)
+	b := pb.Class("B", "A")
+	b.Field("y", value.KindInt)
+	mb := pb.Func("main", true)
+	mb.New("B").Store("o")
+	mb.Load("o").Int(1).PutF("B", "x") // inherited
+	mb.Load("o").Int(2).PutF("B", "y")
+	mb.Load("o").GetF("B", "x").Load("o").GetF("B", "y").Add().RetV()
+	p := pb.MustBuild()
+	bID := p.ClassByName("B")
+	if len(p.Classes[bID].Fields) != 2 {
+		t.Fatalf("B should have 2 flattened fields, got %d", len(p.Classes[bID].Fields))
+	}
+	// Field x must be slot 0, y slot 1.
+	if p.Classes[bID].Fields[0].Name != "x" || p.Classes[bID].Fields[1].Name != "y" {
+		t.Errorf("layout: %+v", p.Classes[bID].Fields)
+	}
+}
+
+func TestSubclassMustFollowSuper(t *testing.T) {
+	pb := asm.NewProgram()
+	pb.Class("B", "A") // A not yet declared
+	pb.Class("A", "")
+	if _, err := pb.Build(); err == nil {
+		t.Error("super declared after subclass should fail")
+	}
+}
+
+func TestTSwitchSortsKeys(t *testing.T) {
+	pb := asm.NewProgram()
+	mb := pb.Func("main", true, "x")
+	mb.Load("x")
+	mb.TSwitch([]int32{9, 2, 5}, []string{"nine", "two", "five"}, "other")
+	mb.Label("nine").Int(9).RetV()
+	mb.Label("two").Int(2).RetV()
+	mb.Label("five").Int(5).RetV()
+	mb.Label("other").Int(0).RetV()
+	p := pb.MustBuild()
+	m := p.Methods[p.MethodByName("main")]
+	keys := m.Switches[0].Keys
+	if keys[0] != 2 || keys[1] != 5 || keys[2] != 9 {
+		t.Errorf("keys not sorted: %v", keys)
+	}
+}
+
+func TestLocalAllocationByName(t *testing.T) {
+	pb := asm.NewProgram()
+	mb := pb.Func("main", true, "a", "b")
+	if mb.Local("a") != 0 || mb.Local("b") != 1 {
+		t.Error("args should occupy the first slots")
+	}
+	s1 := mb.Local("x")
+	s2 := mb.Local("x")
+	if s1 != s2 {
+		t.Error("repeated Local lookups should return the same slot")
+	}
+	mb.Int(0).RetV()
+	p := pb.MustBuild()
+	if p.Methods[p.MethodByName("main")].NLocals != 3 {
+		t.Errorf("NLocals = %d", p.Methods[p.MethodByName("main")].NLocals)
+	}
+}
+
+func TestPragmaSurvivesBuild(t *testing.T) {
+	pb := asm.NewProgram()
+	mb := pb.Func("main", true)
+	mb.Pragma("pin")
+	mb.Int(1).RetV()
+	p := pb.MustBuild()
+	m := p.Methods[p.MethodByName("main")]
+	if m.Pragmas == nil || !m.Pragmas["pin"] {
+		t.Error("pragma lost")
+	}
+}
+
+func TestLineAndMSPTables(t *testing.T) {
+	pb := asm.NewProgram()
+	mb := pb.Func("main", true)
+	mb.Line().MSP().Int(1).Store("a")
+	mb.Line().MSP().Load("a").RetV()
+	p := pb.MustBuild()
+	m := p.Methods[p.MethodByName("main")]
+	if len(m.Lines) != 2 || len(m.MSPs) != 2 {
+		t.Errorf("lines=%d msps=%d", len(m.Lines), len(m.MSPs))
+	}
+	if !m.IsMSP(0) {
+		t.Error("pc 0 should be an MSP")
+	}
+}
+
+func TestDisassemblyMentionsStructure(t *testing.T) {
+	pb := asm.NewProgram()
+	c := pb.Class("K", "")
+	c.Static("s", value.KindInt)
+	mb := pb.Func("main", true)
+	mb.Label("try")
+	mb.Line().GetS("K", "s").Store("v")
+	mb.Line().Load("v").RetV()
+	mb.Label("end")
+	mb.Label("h").Pop().Int(0).RetV()
+	mb.Try("try", "end", "h", bytecode.ExArithmetic)
+	p := pb.MustBuild()
+	out := bytecode.Disassemble(p, p.Methods[p.MethodByName("main")])
+	for _, want := range []string{"gets K.s", "exception table", "ArithmeticException"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

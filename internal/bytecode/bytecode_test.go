@@ -1,0 +1,163 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestOpStringsAndEffects(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		pops, pushes, variable := op.Effect()
+		if !variable && (pops < 0 || pushes < 0 || pops > 3 || pushes > 2) {
+			t.Errorf("%s: suspicious effect %d/%d", op, pops, pushes)
+		}
+	}
+}
+
+func TestTerminalAndBranchClassification(t *testing.T) {
+	for _, op := range []Op{OpJmp, OpTSwitch, OpRet, OpRetV, OpThrow} {
+		if !op.IsTerminal() {
+			t.Errorf("%s should be terminal", op)
+		}
+	}
+	for _, op := range []Op{OpJz, OpJnz, OpAdd, OpCall} {
+		if op.IsTerminal() {
+			t.Errorf("%s should not be terminal", op)
+		}
+	}
+	for _, op := range []Op{OpJmp, OpJz, OpJnz} {
+		if !op.IsBranch() {
+			t.Errorf("%s should be a branch", op)
+		}
+	}
+}
+
+func TestSwitchTableLookup(t *testing.T) {
+	tbl := SwitchTable{Keys: []int32{2, 5, 9}, Targets: []int32{20, 50, 90}, Default: 1}
+	cases := map[int32]int32{2: 20, 5: 50, 9: 90, 0: 1, 3: 1, 100: 1}
+	for k, want := range cases {
+		if got := tbl.Lookup(k); got != want {
+			t.Errorf("Lookup(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestQuickSwitchLookupMatchesLinearScan(t *testing.T) {
+	f := func(keys []int32, probe int32) bool {
+		seen := map[int32]bool{}
+		var uniq []int32
+		for _, k := range keys {
+			if !seen[k] {
+				seen[k] = true
+				uniq = append(uniq, k)
+			}
+		}
+		for i := 0; i < len(uniq); i++ {
+			for j := i + 1; j < len(uniq); j++ {
+				if uniq[j] < uniq[i] {
+					uniq[i], uniq[j] = uniq[j], uniq[i]
+				}
+			}
+		}
+		tbl := SwitchTable{Keys: uniq, Default: -1}
+		for _, k := range uniq {
+			tbl.Targets = append(tbl.Targets, k*10)
+		}
+		want := int32(-1)
+		for _, k := range uniq {
+			if k == probe {
+				want = k * 10
+			}
+		}
+		return tbl.Lookup(probe) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSPBitmap(t *testing.T) {
+	m := &Method{Code: make([]Instr, 130)}
+	m.MSPs = []int32{0, 64, 65, 129}
+	m.BuildMSPSet()
+	for pc := int32(0); pc < 130; pc++ {
+		want := pc == 0 || pc == 64 || pc == 65 || pc == 129
+		if m.IsMSP(pc) != want {
+			t.Errorf("IsMSP(%d) = %v", pc, m.IsMSP(pc))
+		}
+	}
+	if m.IsMSP(-1) || m.IsMSP(1000) {
+		t.Error("out-of-range pcs are not MSPs")
+	}
+}
+
+func TestLineTables(t *testing.T) {
+	m := &Method{
+		Code:  make([]Instr, 20),
+		Lines: []LineEntry{{PC: 0, Line: 1}, {PC: 5, Line: 2}, {PC: 12, Line: 3}},
+	}
+	cases := []struct{ pc, line, start int32 }{
+		{0, 1, 0}, {4, 1, 0}, {5, 2, 5}, {11, 2, 5}, {12, 3, 12}, {19, 3, 12},
+	}
+	for _, c := range cases {
+		if got := m.LineAt(c.pc); got != c.line {
+			t.Errorf("LineAt(%d) = %d, want %d", c.pc, got, c.line)
+		}
+		if got := m.LineStart(c.pc); got != c.start {
+			t.Errorf("LineStart(%d) = %d, want %d", c.pc, got, c.start)
+		}
+	}
+}
+
+func TestInstanceOfChain(t *testing.T) {
+	p := &Program{Classes: []*Class{
+		{ID: 0, Name: "A", Super: -1},
+		{ID: 1, Name: "B", Super: 0},
+		{ID: 2, Name: "C", Super: 1},
+		{ID: 3, Name: "D", Super: 0},
+	}}
+	if !p.InstanceOf(2, 0) || !p.InstanceOf(2, 1) || !p.InstanceOf(2, 2) {
+		t.Error("C should be instance of A, B, C")
+	}
+	if p.InstanceOf(3, 1) || p.InstanceOf(0, 2) {
+		t.Error("false positives in instanceOf")
+	}
+}
+
+func TestResolveVirtualWalksSupers(t *testing.T) {
+	p := &Program{
+		Classes: []*Class{
+			{ID: 0, Name: "A", Super: -1, Methods: map[string]int32{"m": 0}},
+			{ID: 1, Name: "B", Super: 0, Methods: map[string]int32{}},
+			{ID: 2, Name: "C", Super: 1, Methods: map[string]int32{"m": 1}},
+		},
+		Methods: []*Method{{ID: 0, Name: "m"}, {ID: 1, Name: "m"}},
+		VNames:  []string{"m"},
+	}
+	if got := p.ResolveVirtual(1, 0); got != 0 {
+		t.Errorf("B.m should resolve to A's (id 0), got %d", got)
+	}
+	if got := p.ResolveVirtual(2, 0); got != 1 {
+		t.Errorf("C.m should resolve to the override (id 1), got %d", got)
+	}
+}
+
+func TestCodeSizeCountsEverything(t *testing.T) {
+	m := &Method{
+		Code:     make([]Instr, 10),
+		Consts:   []value.Value{value.Int(1)},
+		Strings:  []string{"abc"},
+		Except:   []ExRange{{}},
+		Switches: []SwitchTable{{Keys: []int32{1, 2}, Targets: []int32{0, 0}}},
+	}
+	base := (&Method{Code: make([]Instr, 10)}).CodeSize()
+	if m.CodeSize() <= base {
+		t.Error("side tables should add to code size")
+	}
+}

@@ -1,0 +1,116 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a method body as human-readable assembly, one
+// instruction per line, annotated with line numbers, migration-safe points,
+// resolved names and the exception table. The output format is stable and
+// used by cmd/soddisasm and by golden tests that compare preprocessed code.
+func Disassemble(p *Program, m *Method) string {
+	var b strings.Builder
+	kind := "func"
+	if m.Virtual {
+		kind = "method"
+	}
+	fmt.Fprintf(&b, "%s %s (args=%d locals=%d maxstack=%d", kind, p.QualifiedName(m), m.NArgs, m.NLocals, m.MaxStack)
+	if m.ReturnsValue {
+		b.WriteString(" returns")
+	}
+	fmt.Fprintf(&b, " codesize=%dB)\n", m.CodeSize())
+
+	lastLine := int32(-1)
+	for pc, ins := range m.Code {
+		line := m.LineAt(int32(pc))
+		marker := "   "
+		if line != lastLine {
+			marker = fmt.Sprintf("L%-2d", line)
+			lastLine = line
+		}
+		msp := " "
+		if m.IsMSP(int32(pc)) {
+			msp = "*" // migration-safe point
+		}
+		fmt.Fprintf(&b, "  %s %s%4d: %s\n", marker, msp, pc, formatInstr(p, m, ins))
+	}
+	if len(m.Except) > 0 {
+		b.WriteString("  exception table:\n")
+		for _, ex := range m.Except {
+			cls := "any"
+			if ex.ClassID >= 0 {
+				cls = p.Classes[ex.ClassID].Name
+			}
+			fmt.Fprintf(&b, "    [%d,%d) -> %d  %s\n", ex.From, ex.To, ex.Handler, cls)
+		}
+	}
+	for i, tbl := range m.Switches {
+		fmt.Fprintf(&b, "  switch table %d: default=%d", i, tbl.Default)
+		for j, k := range tbl.Keys {
+			fmt.Fprintf(&b, " %d->%d", k, tbl.Targets[j])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func formatInstr(p *Program, m *Method, ins Instr) string {
+	switch ins.Op {
+	case OpConst:
+		return fmt.Sprintf("const %s", m.Consts[ins.A])
+	case OpIConst:
+		return fmt.Sprintf("iconst %d", ins.A)
+	case OpSConst:
+		return fmt.Sprintf("sconst %q", m.Strings[ins.A])
+	case OpLoad, OpStore:
+		return fmt.Sprintf("%s %d", ins.Op, ins.A)
+	case OpJmp, OpJz, OpJnz:
+		return fmt.Sprintf("%s -> %d", ins.Op, ins.A)
+	case OpTSwitch:
+		return fmt.Sprintf("tswitch #%d", ins.A)
+	case OpNew, OpInstOf, OpCheckCast:
+		return fmt.Sprintf("%s %s", ins.Op, p.Classes[ins.A].Name)
+	case OpGetF, OpPutF:
+		return fmt.Sprintf("%s .%d", ins.Op, ins.A)
+	case OpGetS, OpPutS:
+		return fmt.Sprintf("%s %s.%s", ins.Op, p.Classes[ins.A].Name, p.Classes[ins.A].Statics[ins.B].Name)
+	case OpNewArr:
+		kinds := [...]string{"int", "float", "byte", "ref"}
+		return fmt.Sprintf("newarr %s", kinds[ins.A])
+	case OpCall:
+		return fmt.Sprintf("call %s/%d", p.QualifiedName(p.Methods[ins.A]), ins.B)
+	case OpCallV:
+		return fmt.Sprintf("callv %s/%d", p.VNames[ins.A], ins.B)
+	case OpCallNat:
+		return fmt.Sprintf("callnat %s/%d", p.Natives[ins.A].Name, ins.B)
+	default:
+		if ins.A == 0 && ins.B == 0 {
+			return ins.Op.String()
+		}
+		return fmt.Sprintf("%s %d %d", ins.Op, ins.A, ins.B)
+	}
+}
+
+// DisassembleProgram renders every method of the program.
+func DisassembleProgram(p *Program) string {
+	var b strings.Builder
+	for _, c := range p.Classes {
+		fmt.Fprintf(&b, "class %s", c.Name)
+		if c.Super >= 0 {
+			fmt.Fprintf(&b, " extends %s", p.Classes[c.Super].Name)
+		}
+		b.WriteString(" {")
+		for _, f := range c.Fields {
+			fmt.Fprintf(&b, " %s:%s", f.Name, f.Kind)
+		}
+		for _, f := range c.Statics {
+			fmt.Fprintf(&b, " static %s:%s", f.Name, f.Kind)
+		}
+		b.WriteString(" }\n")
+	}
+	for _, m := range p.Methods {
+		b.WriteString(Disassemble(p, m))
+	}
+	return b.String()
+}

@@ -1,0 +1,315 @@
+package bytecode
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VerifyError describes a verification failure at a specific pc.
+type VerifyError struct {
+	Method string
+	PC     int32
+	Msg    string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("bytecode: verify %s@%d: %s", e.Method, e.PC, e.Msg)
+}
+
+// Verify checks every method of p for structural soundness and computes
+// MaxStack for each via abstract interpretation of stack depths. It
+// enforces the invariants the rest of the system relies on:
+//
+//   - all jump targets, local slots, constant/string/class/field/method/
+//     native indexes are in range;
+//   - operand stack depth is consistent at every join point and never
+//     negative nor above 2^15;
+//   - control never falls off the end of the code;
+//   - value-returning methods use retv exclusively, void methods ret,
+//     and both require an empty stack after popping the result;
+//   - exception handler entry depth is exactly 1 (the thrown object);
+//   - every declared migration-safe point is at operand depth 0 — the
+//     property SOD capture depends on (§III.B.1 of the paper).
+func Verify(p *Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, m := range p.Methods {
+		if err := verifyMethod(p, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyMethod verifies a single method and sets its MaxStack.
+func VerifyMethod(p *Program, m *Method) error { return verifyMethod(p, m) }
+
+type workItem struct {
+	pc    int32
+	depth int
+}
+
+func verifyMethod(p *Program, m *Method) error {
+	name := p.QualifiedName(m)
+	fail := func(pc int32, format string, args ...any) error {
+		return &VerifyError{Method: name, PC: pc, Msg: fmt.Sprintf(format, args...)}
+	}
+	n := int32(len(m.Code))
+	if n == 0 {
+		return fail(0, "empty code")
+	}
+
+	// depth[pc] is the operand stack depth on entry to pc; -1 = unvisited.
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+
+	work := make([]workItem, 0, 16)
+	enqueue := func(pc int32, d int) error {
+		if pc < 0 || pc >= n {
+			return fail(pc, "jump target out of range")
+		}
+		switch depth[pc] {
+		case -1:
+			depth[pc] = d
+			work = append(work, workItem{pc, d})
+		case d:
+			// already scheduled/processed with the same depth
+		default:
+			return fail(pc, "inconsistent stack depth at join: %d vs %d", depth[pc], d)
+		}
+		return nil
+	}
+
+	if err := enqueue(0, 0); err != nil {
+		return err
+	}
+	for _, ex := range m.Except {
+		if ex.From < 0 || ex.To > n || ex.From >= ex.To {
+			return fail(ex.From, "bad exception range [%d,%d)", ex.From, ex.To)
+		}
+		if ex.ClassID >= int32(len(p.Classes)) {
+			return fail(ex.Handler, "bad exception class %d", ex.ClassID)
+		}
+		if err := enqueue(ex.Handler, 1); err != nil {
+			return err
+		}
+	}
+
+	maxDepth := 1 // handlers start at depth 1 even if never verified deeper
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, d := it.pc, it.depth
+
+		ins := m.Code[pc]
+		pops, pushes, variable := ins.Op.Effect()
+		if variable {
+			var err error
+			pops, pushes, err = callArity(p, m, ins, fail, pc)
+			if err != nil {
+				return err
+			}
+		}
+		if err := checkOperands(p, m, ins, fail, pc); err != nil {
+			return err
+		}
+		if d < pops {
+			return fail(pc, "%s pops %d with stack depth %d", ins.Op, pops, d)
+		}
+		d = d - pops + pushes
+		if d > maxDepth {
+			maxDepth = d
+		}
+		if d > 1<<15 {
+			return fail(pc, "stack depth exceeds limit")
+		}
+
+		switch ins.Op {
+		case OpJmp:
+			if err := enqueue(ins.A, d); err != nil {
+				return err
+			}
+		case OpJz, OpJnz:
+			if err := enqueue(ins.A, d); err != nil {
+				return err
+			}
+			if pc+1 >= n {
+				return fail(pc, "conditional branch falls off end of code")
+			}
+			if err := enqueue(pc+1, d); err != nil {
+				return err
+			}
+		case OpTSwitch:
+			tbl := &m.Switches[ins.A]
+			if err := enqueue(tbl.Default, d); err != nil {
+				return err
+			}
+			for _, t := range tbl.Targets {
+				if err := enqueue(t, d); err != nil {
+					return err
+				}
+			}
+		case OpRet:
+			if m.ReturnsValue {
+				return fail(pc, "ret in value-returning method")
+			}
+			if d != 0 {
+				return fail(pc, "ret with non-empty stack (depth %d)", d)
+			}
+		case OpRetV:
+			if !m.ReturnsValue {
+				return fail(pc, "retv in void method")
+			}
+			if d != 0 {
+				return fail(pc, "retv leaves %d extra operands", d)
+			}
+		case OpThrow:
+			// Stack is discarded by unwinding; any depth is fine.
+		default:
+			if pc+1 >= n {
+				return fail(pc, "control falls off end of code")
+			}
+			if err := enqueue(pc+1, d); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Check MSPs: declared safe points must have empty operand stacks.
+	if !sort.SliceIsSorted(m.MSPs, func(i, j int) bool { return m.MSPs[i] < m.MSPs[j] }) {
+		return fail(0, "MSP table not sorted")
+	}
+	for _, pc := range m.MSPs {
+		if pc < 0 || pc >= n {
+			return fail(pc, "MSP out of range")
+		}
+		if depth[pc] > 0 {
+			return fail(pc, "MSP with non-empty operand stack (depth %d)", depth[pc])
+		}
+	}
+
+	m.MaxStack = maxDepth
+	m.BuildMSPSet()
+	return nil
+}
+
+// callArity resolves the pop/push counts of call-like instructions.
+func callArity(p *Program, m *Method, ins Instr, fail func(int32, string, ...any) error, pc int32) (pops, pushes int, err error) {
+	switch ins.Op {
+	case OpCall:
+		if ins.A < 0 || int(ins.A) >= len(p.Methods) {
+			return 0, 0, fail(pc, "call target %d out of range", ins.A)
+		}
+		callee := p.Methods[ins.A]
+		if int(ins.B) != callee.NArgs {
+			return 0, 0, fail(pc, "call %s with %d args, want %d", callee.Name, ins.B, callee.NArgs)
+		}
+		pushes = 0
+		if callee.ReturnsValue {
+			pushes = 1
+		}
+		return callee.NArgs, pushes, nil
+	case OpCallV:
+		if ins.A < 0 || int(ins.A) >= len(p.VNames) {
+			return 0, 0, fail(pc, "callv name %d out of range", ins.A)
+		}
+		if ins.B < 1 {
+			return 0, 0, fail(pc, "callv needs at least the receiver")
+		}
+		// All methods bound to a virtual name must agree on arity and
+		// return-ness; check every binding.
+		pushes = -1
+		for _, c := range p.Classes {
+			mid, ok := c.Methods[p.VNames[ins.A]]
+			if !ok {
+				continue
+			}
+			callee := p.Methods[mid]
+			if callee.NArgs != int(ins.B) {
+				return 0, 0, fail(pc, "callv %s: class %s binds arity %d, site passes %d",
+					p.VNames[ins.A], c.Name, callee.NArgs, ins.B)
+			}
+			r := 0
+			if callee.ReturnsValue {
+				r = 1
+			}
+			if pushes == -1 {
+				pushes = r
+			} else if pushes != r {
+				return 0, 0, fail(pc, "callv %s: inconsistent return-ness across bindings", p.VNames[ins.A])
+			}
+		}
+		if pushes == -1 {
+			return 0, 0, fail(pc, "callv %s: no class binds this name", p.VNames[ins.A])
+		}
+		return int(ins.B), pushes, nil
+	case OpCallNat:
+		if ins.A < 0 || int(ins.A) >= len(p.Natives) {
+			return 0, 0, fail(pc, "native %d out of range", ins.A)
+		}
+		sig := p.Natives[ins.A]
+		if int(ins.B) != sig.NArgs {
+			return 0, 0, fail(pc, "callnat %s with %d args, want %d", sig.Name, ins.B, sig.NArgs)
+		}
+		pushes = 0
+		if sig.ReturnsValue {
+			pushes = 1
+		}
+		return sig.NArgs, pushes, nil
+	}
+	return 0, 0, fail(pc, "not a call op")
+}
+
+// checkOperands validates the non-jump operands of ins.
+func checkOperands(p *Program, m *Method, ins Instr, fail func(int32, string, ...any) error, pc int32) error {
+	switch ins.Op {
+	case OpConst:
+		if ins.A < 0 || int(ins.A) >= len(m.Consts) {
+			return fail(pc, "const index %d out of range", ins.A)
+		}
+	case OpSConst:
+		if ins.A < 0 || int(ins.A) >= len(m.Strings) {
+			return fail(pc, "string index %d out of range", ins.A)
+		}
+	case OpLoad, OpStore:
+		if ins.A < 0 || int(ins.A) >= m.NLocals {
+			return fail(pc, "local slot %d out of range (NLocals=%d)", ins.A, m.NLocals)
+		}
+	case OpNew, OpInstOf, OpCheckCast:
+		if ins.A < 0 || int(ins.A) >= len(p.Classes) {
+			return fail(pc, "class %d out of range", ins.A)
+		}
+	case OpGetF, OpPutF:
+		if ins.A < 0 {
+			return fail(pc, "negative field index")
+		}
+	case OpGetS, OpPutS:
+		if ins.A < 0 || int(ins.A) >= len(p.Classes) {
+			return fail(pc, "static class %d out of range", ins.A)
+		}
+		if ins.B < 0 || int(ins.B) >= len(p.Classes[ins.A].Statics) {
+			return fail(pc, "static field %d out of range for class %s", ins.B, p.Classes[ins.A].Name)
+		}
+	case OpNewArr:
+		switch ins.A {
+		case ArrKindInt, ArrKindFloat, ArrKindByte, ArrKindRef:
+		default:
+			return fail(pc, "bad array kind %d", ins.A)
+		}
+	case OpTSwitch:
+		if ins.A < 0 || int(ins.A) >= len(m.Switches) {
+			return fail(pc, "switch table %d out of range", ins.A)
+		}
+		tbl := &m.Switches[ins.A]
+		if len(tbl.Keys) != len(tbl.Targets) {
+			return fail(pc, "switch table keys/targets length mismatch")
+		}
+		if !sort.SliceIsSorted(tbl.Keys, func(i, j int) bool { return tbl.Keys[i] < tbl.Keys[j] }) {
+			return fail(pc, "switch table keys not sorted")
+		}
+	}
+	return nil
+}

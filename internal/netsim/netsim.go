@@ -1,0 +1,282 @@
+// Package netsim provides the cluster interconnect: message endpoints with
+// request/response (RPC) semantics, per-link bandwidth shaping and latency.
+//
+// Shaping is real-time: a transfer of b bytes over a link with bandwidth B
+// occupies the link for b/B seconds (enforced with a serializing
+// reservation per link, so concurrent transfers queue exactly as they
+// would on a wire) and delivery is delayed by the link latency. The
+// evaluation uses a 1 Gbps/0.1 ms profile for the cluster (the paper's
+// Gigabit Ethernet) and kbps-range profiles for the §IV.D device
+// experiments; byte counts come from the real encoded payloads, so
+// migration-latency breakdowns are reproducible and workload-dependent
+// exactly as in the paper.
+//
+// A second implementation of the same Transport interface runs over real
+// TCP loopback sockets (tcp.go) and is exercised by integration tests and
+// the photoshare example.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MsgKind identifies the protocol family of a message; handlers register
+// per kind.
+type MsgKind uint8
+
+// Message kinds used by the runtime layers. Centralized here to keep the
+// wire protocol auditable in one place.
+const (
+	KindObjectRequest MsgKind = 1 + iota // objman: fetch object by ref
+	KindObjectData                       // objman: reply
+	KindMigrate                          // migration manager: captured state
+	KindFlush                            // segment results home
+	KindClassRequest                     // code shipping: fetch class
+	KindClassData                        // code shipping: reply
+	KindNFSRead                          // simulated NFS chunk read
+	KindStaticRequest                    // objman: fetch static field
+	KindControl                          // runtime control (spawn worker, roam, ...)
+	KindPage                             // vmmig: memory page batch
+	KindHTTP                             // photoshare example traffic
+	KindProcMigrate                      // G-JavaMPI eager process migration
+	KindThreadMigrate                    // JESSICA2 thread migration
+)
+
+// Handler serves a request and returns the reply payload. Handlers run on
+// their own goroutine per request and may issue nested calls.
+type Handler func(from int, payload []byte) ([]byte, error)
+
+// LinkSpec describes one direction of a link.
+type LinkSpec struct {
+	BandwidthBps int64         // bytes are shaped at this many *bits* per second
+	Latency      time.Duration // one-way propagation delay
+}
+
+// Gigabit is the cluster-interconnect profile used by the evaluation.
+var Gigabit = LinkSpec{BandwidthBps: 1_000_000_000, Latency: 100 * time.Microsecond}
+
+// Unlimited disables shaping (in-memory reference runs).
+var Unlimited = LinkSpec{}
+
+// Kbps builds a bandwidth-limited profile (the §IV.D device links).
+func Kbps(k int64) LinkSpec {
+	return LinkSpec{BandwidthBps: k * 1000, Latency: 2 * time.Millisecond}
+}
+
+// TransferTime returns how long size bytes occupy the link.
+func (l LinkSpec) TransferTime(size int) time.Duration {
+	if l.BandwidthBps <= 0 {
+		return 0
+	}
+	bits := float64(size) * 8
+	return time.Duration(bits / float64(l.BandwidthBps) * float64(time.Second))
+}
+
+// link carries the shaping state of one directed pair.
+type link struct {
+	spec     LinkSpec
+	mu       sync.Mutex
+	nextFree time.Time
+}
+
+// reserve blocks until the link can carry size bytes, enforcing FIFO
+// serialization, and returns when the last byte has been "sent".
+func (l *link) reserve(size int) {
+	if l.spec.BandwidthBps <= 0 && l.spec.Latency <= 0 {
+		return
+	}
+	l.mu.Lock()
+	now := time.Now()
+	start := l.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(l.spec.TransferTime(size))
+	l.nextFree = end
+	l.mu.Unlock()
+	time.Sleep(time.Until(end.Add(l.spec.Latency)))
+}
+
+// Stats aggregates network counters.
+type Stats struct {
+	Messages  atomic.Uint64
+	Bytes     atomic.Uint64
+	RPCRounds atomic.Uint64
+}
+
+// Transport is the node-facing interface; both the in-process simulated
+// network and the TCP transport implement it.
+type Transport interface {
+	// NodeID returns the local node id.
+	NodeID() int
+	// Handle registers the handler for a message kind.
+	Handle(kind MsgKind, h Handler)
+	// Call sends a request and blocks for the reply.
+	Call(to int, kind MsgKind, payload []byte) ([]byte, error)
+	// Send delivers a one-way message (blocking for the transfer time).
+	Send(to int, kind MsgKind, payload []byte) error
+}
+
+// Network is the in-process simulated cluster fabric.
+type Network struct {
+	mu          sync.Mutex
+	endpoints   map[int]*Endpoint
+	links       map[[2]int]*link
+	defaultSpec LinkSpec
+	Stats       Stats
+}
+
+// NewNetwork builds a fabric whose unspecified links use def.
+func NewNetwork(def LinkSpec) *Network {
+	return &Network{
+		endpoints:   make(map[int]*Endpoint),
+		links:       make(map[[2]int]*link),
+		defaultSpec: def,
+	}
+}
+
+// SetLink configures both directions between a and b.
+func (n *Network) SetLink(a, b int, spec LinkSpec) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]int{a, b}] = &link{spec: spec}
+	n.links[[2]int{b, a}] = &link{spec: spec}
+}
+
+// SetDirectedLink configures one direction only.
+func (n *Network) SetDirectedLink(from, to int, spec LinkSpec) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]int{from, to}] = &link{spec: spec}
+}
+
+// LinkSpecBetween returns the effective spec from a to b.
+func (n *Network) LinkSpecBetween(a, b int) LinkSpec {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.links[[2]int{a, b}]; ok {
+		return l.spec
+	}
+	return n.defaultSpec
+}
+
+func (n *Network) linkFor(from, to int) *link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := [2]int{from, to}
+	l, ok := n.links[key]
+	if !ok {
+		l = &link{spec: n.defaultSpec}
+		n.links[key] = l
+	}
+	return l
+}
+
+// Node registers (or returns) the endpoint for id.
+func (n *Network) Node(id int) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[id]; ok {
+		return ep
+	}
+	ep := &Endpoint{
+		net:      n,
+		id:       id,
+		handlers: make(map[MsgKind]Handler),
+		waiting:  make(map[uint64]chan rpcReply),
+	}
+	n.endpoints[id] = ep
+	return ep
+}
+
+type rpcReply struct {
+	payload []byte
+	err     string
+}
+
+// Endpoint is one node's attachment to the fabric.
+type Endpoint struct {
+	net *Network
+	id  int
+
+	mu       sync.Mutex
+	handlers map[MsgKind]Handler
+	waiting  map[uint64]chan rpcReply
+	corr     atomic.Uint64
+}
+
+// NodeID returns the endpoint's node id.
+func (e *Endpoint) NodeID() int { return e.id }
+
+// Handle registers h for kind, replacing any previous handler.
+func (e *Endpoint) Handle(kind MsgKind, h Handler) {
+	e.mu.Lock()
+	e.handlers[kind] = h
+	e.mu.Unlock()
+}
+
+func (e *Endpoint) peer(to int) (*Endpoint, error) {
+	e.net.mu.Lock()
+	peer, ok := e.net.endpoints[to]
+	e.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: node %d unreachable from %d", to, e.id)
+	}
+	return peer, nil
+}
+
+// transfer pays for the wire and accounts stats.
+func (e *Endpoint) transfer(to int, size int) {
+	const frameOverhead = 64 // per-message header/framing cost
+	l := e.net.linkFor(e.id, to)
+	l.reserve(size + frameOverhead)
+	e.net.Stats.Messages.Add(1)
+	e.net.Stats.Bytes.Add(uint64(size + frameOverhead))
+}
+
+// Call performs a blocking RPC to the handler of kind on node to. The
+// reply pays for the return path as well.
+func (e *Endpoint) Call(to int, kind MsgKind, payload []byte) ([]byte, error) {
+	peer, err := e.peer(to)
+	if err != nil {
+		return nil, err
+	}
+	peer.mu.Lock()
+	h := peer.handlers[kind]
+	peer.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("netsim: node %d has no handler for kind %d", to, kind)
+	}
+	e.net.Stats.RPCRounds.Add(1)
+	e.transfer(to, len(payload))
+	reply, herr := h(e.id, payload)
+	peer.transfer(e.id, len(reply))
+	if herr != nil {
+		return nil, fmt.Errorf("netsim: remote %d: %w", to, herr)
+	}
+	return reply, nil
+}
+
+// Send delivers a one-way message, blocking until the bytes are on the
+// wire. The remote handler runs asynchronously; its return payload is
+// discarded.
+func (e *Endpoint) Send(to int, kind MsgKind, payload []byte) error {
+	peer, err := e.peer(to)
+	if err != nil {
+		return err
+	}
+	peer.mu.Lock()
+	h := peer.handlers[kind]
+	peer.mu.Unlock()
+	if h == nil {
+		return fmt.Errorf("netsim: node %d has no handler for kind %d", to, kind)
+	}
+	e.transfer(to, len(payload))
+	go h(e.id, payload) //nolint:errcheck // one-way: delivery errors are the handler's problem
+	return nil
+}
+
+var _ Transport = (*Endpoint)(nil)

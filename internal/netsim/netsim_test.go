@@ -1,0 +1,278 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRPCRoundTrip(t *testing.T) {
+	net := NewNetwork(Unlimited)
+	a := net.Node(1)
+	b := net.Node(2)
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		if from != 1 {
+			t.Errorf("from = %d, want 1", from)
+		}
+		return append([]byte("echo:"), payload...), nil
+	})
+	reply, err := a.Call(2, KindControl, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:hi" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+func TestRPCHandlerError(t *testing.T) {
+	net := NewNetwork(Unlimited)
+	a := net.Node(1)
+	b := net.Node(2)
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		return nil, fmt.Errorf("nope")
+	})
+	if _, err := a.Call(2, KindControl, nil); err == nil {
+		t.Fatal("expected remote error")
+	}
+}
+
+func TestCallUnknownNodeOrHandler(t *testing.T) {
+	net := NewNetwork(Unlimited)
+	a := net.Node(1)
+	if _, err := a.Call(9, KindControl, nil); err == nil {
+		t.Fatal("expected unreachable-node error")
+	}
+	net.Node(2)
+	if _, err := a.Call(2, KindControl, nil); err == nil {
+		t.Fatal("expected no-handler error")
+	}
+}
+
+func TestBandwidthShaping(t *testing.T) {
+	// 8 Mbps link: 100 KB should take ~100ms.
+	net := NewNetwork(LinkSpec{BandwidthBps: 8_000_000, Latency: 0})
+	a := net.Node(1)
+	b := net.Node(2)
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) { return nil, nil })
+	payload := make([]byte, 100_000)
+	start := time.Now()
+	if _, err := a.Call(2, KindControl, payload); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 80*time.Millisecond || elapsed > 300*time.Millisecond {
+		t.Errorf("100KB over 8Mbps took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	// Two concurrent transfers on the same link must queue.
+	net := NewNetwork(LinkSpec{BandwidthBps: 16_000_000, Latency: 0})
+	a := net.Node(1)
+	b := net.Node(2)
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) { return nil, nil })
+	payload := make([]byte, 100_000) // 50ms each at 16 Mbps
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := a.Call(2, KindControl, payload); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("two queued 50ms transfers finished in %v; link not serializing", elapsed)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	net := NewNetwork(LinkSpec{BandwidthBps: 0, Latency: 30 * time.Millisecond})
+	a := net.Node(1)
+	b := net.Node(2)
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) { return nil, nil })
+	start := time.Now()
+	if _, err := a.Call(2, KindControl, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 55*time.Millisecond {
+		t.Errorf("round trip %v should include 2×30ms latency", elapsed)
+	}
+}
+
+func TestPerLinkOverride(t *testing.T) {
+	net := NewNetwork(Unlimited)
+	net.SetLink(1, 2, Kbps(100))
+	spec := net.LinkSpecBetween(1, 2)
+	if spec.BandwidthBps != 100_000 {
+		t.Errorf("override not applied: %+v", spec)
+	}
+	if net.LinkSpecBetween(1, 3).BandwidthBps != 0 {
+		t.Error("default link should be unlimited")
+	}
+}
+
+func TestTransferTimeMath(t *testing.T) {
+	spec := LinkSpec{BandwidthBps: 1_000_000} // 1 Mbps
+	if got := spec.TransferTime(125_000); got < 990*time.Millisecond || got > 1010*time.Millisecond {
+		t.Errorf("125KB at 1Mbps = %v, want ~1s", got)
+	}
+	if Unlimited.TransferTime(1<<30) != 0 {
+		t.Error("unlimited link should transfer instantly")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	net := NewNetwork(Unlimited)
+	a := net.Node(1)
+	b := net.Node(2)
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) { return []byte("ok"), nil })
+	if _, err := a.Call(2, KindControl, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats.Messages.Load() != 2 { // request + reply
+		t.Errorf("messages = %d, want 2", net.Stats.Messages.Load())
+	}
+	if net.Stats.RPCRounds.Load() != 1 {
+		t.Errorf("rpc rounds = %d, want 1", net.Stats.RPCRounds.Load())
+	}
+}
+
+func TestSendOneWay(t *testing.T) {
+	net := NewNetwork(Unlimited)
+	a := net.Node(1)
+	b := net.Node(2)
+	got := make(chan []byte, 1)
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		got <- append([]byte(nil), payload...)
+		return nil, nil
+	})
+	if err := a.Send(2, KindControl, []byte("fire")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if !bytes.Equal(p, []byte("fire")) {
+			t.Errorf("payload = %q", p)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("one-way message never delivered")
+	}
+}
+
+// --- TCP transport ---
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := NewTCPTransport(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close() //nolint:errcheck
+	b, err := NewTCPTransport(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close() //nolint:errcheck
+
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		return append([]byte("tcp:"), payload...), nil
+	})
+	if err := a.Connect(2, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := a.Call(2, KindControl, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "tcp:ping" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+func TestTCPBidirectionalAfterSingleConnect(t *testing.T) {
+	a, _ := NewTCPTransport(1, "127.0.0.1:0")
+	defer a.Close() //nolint:errcheck
+	b, _ := NewTCPTransport(2, "127.0.0.1:0")
+	defer b.Close() //nolint:errcheck
+	a.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		return []byte("from-a"), nil
+	})
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		return []byte("from-b"), nil
+	})
+	if err := a.Connect(2, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := a.Call(2, KindControl, nil); err != nil || string(r) != "from-b" {
+		t.Fatalf("a→b: %q %v", r, err)
+	}
+	// The hello frame registered node 1 at b; b can call back on the same
+	// connection.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if r, err := b.Call(1, KindControl, nil); err == nil {
+			if string(r) != "from-a" {
+				t.Fatalf("b→a reply %q", r)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("b never learned a's identity")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	a, _ := NewTCPTransport(1, "127.0.0.1:0")
+	defer a.Close() //nolint:errcheck
+	b, _ := NewTCPTransport(2, "127.0.0.1:0")
+	defer b.Close() //nolint:errcheck
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		return nil, fmt.Errorf("remote boom")
+	})
+	if err := a.Connect(2, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call(2, KindControl, nil); err == nil {
+		t.Fatal("expected remote error to propagate")
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	a, _ := NewTCPTransport(1, "127.0.0.1:0")
+	defer a.Close() //nolint:errcheck
+	b, _ := NewTCPTransport(2, "127.0.0.1:0")
+	defer b.Close() //nolint:errcheck
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		sum := byte(0)
+		for _, x := range payload {
+			sum ^= x
+		}
+		return []byte{sum}, nil
+	})
+	if err := a.Connect(2, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	want := byte(0)
+	for _, x := range big {
+		want ^= x
+	}
+	reply, err := a.Call(2, KindControl, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply) != 1 || reply[0] != want {
+		t.Errorf("checksum mismatch: got %v want %d", reply, want)
+	}
+}

@@ -1,0 +1,264 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCPTransport implements Transport over real TCP sockets (loopback in
+// tests, any network in principle). It exists to demonstrate that the
+// runtime layers are genuinely message-oriented: the same migration
+// protocol that runs over the simulated fabric runs unchanged over
+// sockets. Bandwidth is whatever the kernel gives; experiments that need
+// controlled bandwidth use the simulated Network.
+//
+// Framing: every message is
+//
+//	[1B kind][1B flags][8B correlation id][4B length][payload]
+//
+// flags bit0 = reply, bit1 = error-reply (payload is the error string).
+type TCPTransport struct {
+	id int
+
+	mu       sync.Mutex
+	handlers map[MsgKind]Handler
+	peers    map[int]*tcpPeer
+	listener net.Listener
+	waiting  map[uint64]chan tcpReply
+	corr     atomic.Uint64
+	closed   atomic.Bool
+}
+
+type tcpPeer struct {
+	mu   sync.Mutex // serializes writes
+	conn net.Conn
+}
+
+type tcpReply struct {
+	payload []byte
+	err     string
+}
+
+// NewTCPTransport starts a transport listening on addr ("127.0.0.1:0"
+// for an ephemeral port). Peers are added explicitly with Connect.
+func NewTCPTransport(id int, addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPTransport{
+		id:       id,
+		handlers: make(map[MsgKind]Handler),
+		peers:    make(map[int]*tcpPeer),
+		waiting:  make(map[uint64]chan tcpReply),
+		listener: ln,
+	}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listen address.
+func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+// NodeID returns the transport's node id.
+func (t *TCPTransport) NodeID() int { return t.id }
+
+// Handle registers a handler.
+func (t *TCPTransport) Handle(kind MsgKind, h Handler) {
+	t.mu.Lock()
+	t.handlers[kind] = h
+	t.mu.Unlock()
+}
+
+// Connect dials a peer and registers it under peerID. The first message
+// on a fresh connection is a hello frame carrying our node id, so the
+// peer can route replies and requests back.
+func (t *TCPTransport) Connect(peerID int, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hello := make([]byte, 8)
+	binary.LittleEndian.PutUint64(hello, uint64(t.id))
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close() //nolint:errcheck
+		return err
+	}
+	p := &tcpPeer{conn: conn}
+	t.mu.Lock()
+	t.peers[peerID] = p
+	t.mu.Unlock()
+	go t.readLoop(conn)
+	return nil
+}
+
+// Close shuts the transport down.
+func (t *TCPTransport) Close() error {
+	t.closed.Store(true)
+	err := t.listener.Close()
+	t.mu.Lock()
+	for _, p := range t.peers {
+		p.conn.Close() //nolint:errcheck
+	}
+	t.mu.Unlock()
+	return err
+}
+
+func (t *TCPTransport) acceptLoop() {
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			hello := make([]byte, 8)
+			if _, err := io.ReadFull(c, hello); err != nil {
+				c.Close() //nolint:errcheck
+				return
+			}
+			peerID := int(binary.LittleEndian.Uint64(hello))
+			t.mu.Lock()
+			t.peers[peerID] = &tcpPeer{conn: c}
+			t.mu.Unlock()
+			t.readLoop(c)
+		}(conn)
+	}
+}
+
+const (
+	flagReply = 1 << 0
+	flagErr   = 1 << 1
+)
+
+func writeFrame(p *tcpPeer, kind MsgKind, flags byte, corr uint64, payload []byte) error {
+	hdr := make([]byte, 14)
+	hdr[0] = byte(kind)
+	hdr[1] = flags
+	binary.LittleEndian.PutUint64(hdr[2:], corr)
+	binary.LittleEndian.PutUint32(hdr[10:], uint32(len(payload)))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err := p.conn.Write(payload)
+	return err
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	for {
+		hdr := make([]byte, 14)
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		kind := MsgKind(hdr[0])
+		flags := hdr[1]
+		corr := binary.LittleEndian.Uint64(hdr[2:])
+		n := binary.LittleEndian.Uint32(hdr[10:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+
+		if flags&flagReply != 0 {
+			t.mu.Lock()
+			ch := t.waiting[corr]
+			delete(t.waiting, corr)
+			t.mu.Unlock()
+			if ch != nil {
+				rep := tcpReply{payload: payload}
+				if flags&flagErr != 0 {
+					rep.err = string(payload)
+					rep.payload = nil
+				}
+				ch <- rep
+			}
+			continue
+		}
+
+		t.mu.Lock()
+		h := t.handlers[kind]
+		t.mu.Unlock()
+		go func(kind MsgKind, corr uint64, payload []byte) {
+			var reply []byte
+			var herr error
+			if h == nil {
+				herr = fmt.Errorf("tcp: node %d has no handler for kind %d", t.id, kind)
+			} else {
+				reply, herr = h(-1, payload)
+			}
+			if corr == 0 {
+				return // one-way message
+			}
+			p := t.peerByConn(conn)
+			if p == nil {
+				return
+			}
+			if herr != nil {
+				writeFrame(p, kind, flagReply|flagErr, corr, []byte(herr.Error())) //nolint:errcheck
+				return
+			}
+			writeFrame(p, kind, flagReply, corr, reply) //nolint:errcheck
+		}(kind, corr, payload)
+	}
+}
+
+func (t *TCPTransport) peerByConn(conn net.Conn) *tcpPeer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.peers {
+		if p.conn == conn {
+			return p
+		}
+	}
+	return nil
+}
+
+func (t *TCPTransport) peer(to int) (*tcpPeer, error) {
+	t.mu.Lock()
+	p := t.peers[to]
+	t.mu.Unlock()
+	if p == nil {
+		return nil, fmt.Errorf("tcp: node %d not connected to %d", t.id, to)
+	}
+	return p, nil
+}
+
+// Call performs a blocking request/response round trip.
+func (t *TCPTransport) Call(to int, kind MsgKind, payload []byte) ([]byte, error) {
+	p, err := t.peer(to)
+	if err != nil {
+		return nil, err
+	}
+	corr := t.corr.Add(1)
+	ch := make(chan tcpReply, 1)
+	t.mu.Lock()
+	t.waiting[corr] = ch
+	t.mu.Unlock()
+	if err := writeFrame(p, kind, 0, corr, payload); err != nil {
+		t.mu.Lock()
+		delete(t.waiting, corr)
+		t.mu.Unlock()
+		return nil, err
+	}
+	rep := <-ch
+	if rep.err != "" {
+		return nil, fmt.Errorf("tcp: remote %d: %s", to, rep.err)
+	}
+	return rep.payload, nil
+}
+
+// Send delivers a one-way message.
+func (t *TCPTransport) Send(to int, kind MsgKind, payload []byte) error {
+	p, err := t.peer(to)
+	if err != nil {
+		return err
+	}
+	return writeFrame(p, kind, 0, 0, payload)
+}
+
+var _ Transport = (*TCPTransport)(nil)

@@ -1,0 +1,15 @@
+package nfs
+
+import "time"
+
+// diskTime returns the local-disk read time of n bytes.
+func diskTime(n int) time.Duration {
+	return time.Duration(float64(n) / localDiskBps * float64(time.Second))
+}
+
+// sleepFor is a seam for tests to intercept simulated I/O waits.
+var sleepFor = func(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,261 @@
+// Package nfs simulates the network file system of the paper's locality
+// experiments (§IV.C, Table VI): files are hosted by specific nodes; a
+// read from the hosting node goes at local-disk speed, a read from any
+// other node pays shaped network transfer (the NFS mount). Each node has
+// an OS buffer cache that the experiment harness clears between runs,
+// matching the paper's methodology ("the OS buffer cache was cleared
+// prior to each run to isolate the locality effect").
+//
+// File contents are deterministic pseudo-random bytes generated from the
+// file's seed, so multi-hundred-megabyte corpora cost no memory: a chunk
+// is synthesized on first (cold) read and the search workloads still see
+// stable, seekable content with plantable needles.
+package nfs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// ChunkSize is the read granularity (bytes) — one NFS rsize block.
+const ChunkSize = 64 << 10
+
+// localDiskBps models the host's local read bandwidth (SAS RAID-1 in the
+// paper's testbed): 300 MB/s.
+const localDiskBps = 300 << 20
+
+// File describes one hosted file.
+type File struct {
+	Name string
+	Host int
+	Size int64
+	Seed uint64
+	// Needle, when non-empty, is planted at NeedleOff — the search target
+	// of the text-search workloads.
+	Needle    string
+	NeedleOff int64
+}
+
+// Server is the cluster-wide file registry plus per-node buffer caches.
+// One Server instance backs all nodes (it plays the role of the shared
+// NFS namespace); per-node state is keyed by node id.
+type Server struct {
+	mu     sync.Mutex
+	files  map[string]*File
+	caches map[int]map[cacheKey]bool
+	net    *netsim.Network
+	// debt accumulates per-reader I/O wait so sleeps happen in multi-
+	// millisecond quanta; per-chunk sub-millisecond sleeps would otherwise
+	// be quantized up by the OS timer, flattening the local/remote cost
+	// difference the locality experiments measure.
+	debt map[int]time.Duration
+
+	// Stats
+	LocalReads  int
+	RemoteReads int
+	CacheHits   int
+}
+
+// sleepQuantum is the minimum accumulated wait that triggers a real sleep.
+const sleepQuantum = 2 * time.Millisecond
+
+// addDelay charges a reader for I/O time, sleeping once enough debt has
+// accumulated.
+func (s *Server) addDelay(reader int, d time.Duration) {
+	s.mu.Lock()
+	s.debt[reader] += d
+	due := s.debt[reader]
+	if due < sleepQuantum {
+		s.mu.Unlock()
+		return
+	}
+	s.debt[reader] = 0
+	s.mu.Unlock()
+	sleepFor(due)
+}
+
+type cacheKey struct {
+	name  string
+	chunk int64
+}
+
+// NewServer creates an empty registry over the given fabric.
+func NewServer(net *netsim.Network) *Server {
+	s := &Server{
+		files:  make(map[string]*File),
+		caches: make(map[int]map[cacheKey]bool),
+		net:    net,
+		debt:   make(map[int]time.Duration),
+	}
+	return s
+}
+
+// Host registers a file.
+func (s *Server) Host(f File) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := f
+	s.files[f.Name] = &cp
+}
+
+// Lookup returns a file's metadata.
+func (s *Server) Lookup(name string) (File, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	if !ok {
+		return File{}, false
+	}
+	return *f, true
+}
+
+// Files returns the names of all hosted files (sorted order not
+// guaranteed).
+func (s *Server) Files() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.files))
+	for n := range s.files {
+		names = append(names, n)
+	}
+	return names
+}
+
+// ClearCaches drops every node's buffer cache (the paper's pre-run step).
+func (s *Server) ClearCaches() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.caches = make(map[int]map[cacheKey]bool)
+}
+
+// cacheLookup checks & populates the node's buffer cache for a chunk.
+func (s *Server) cacheLookup(node int, key cacheKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.caches[node]
+	if c == nil {
+		c = make(map[cacheKey]bool)
+		s.caches[node] = c
+	}
+	if c[key] {
+		s.CacheHits++
+		return true
+	}
+	c[key] = true
+	return false
+}
+
+// Read reads up to len(buf) bytes of file name at off, as observed by
+// reader — the node where the computation currently executes. The cost
+// model: buffer-cache hit is free; a cold local read pays disk time; a
+// cold remote read pays the shaped link between reader and host (the NFS
+// transfer). Returns bytes read (0 at EOF).
+func (s *Server) Read(reader int, name string, off int64, buf []byte) (int, error) {
+	s.mu.Lock()
+	f, ok := s.files[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("nfs: no such file %q", name)
+	}
+	if off >= f.Size {
+		return 0, nil
+	}
+	n := int64(len(buf))
+	if off+n > f.Size {
+		n = f.Size - off
+	}
+
+	// Pay transfer per chunk touched.
+	first := off / ChunkSize
+	last := (off + n - 1) / ChunkSize
+	for c := first; c <= last; c++ {
+		key := cacheKey{f.Name, c}
+		if s.cacheLookup(reader, key) {
+			continue
+		}
+		clen := chunkLen(f.Size, c)
+		if reader == f.Host {
+			s.mu.Lock()
+			s.LocalReads++
+			s.mu.Unlock()
+			s.addDelay(reader, diskTime(clen))
+		} else {
+			s.mu.Lock()
+			s.RemoteReads++
+			s.mu.Unlock()
+			// The NFS transfer: shaped time to pull the chunk from the host.
+			spec := s.net.LinkSpecBetween(f.Host, reader)
+			s.addDelay(reader, spec.TransferTime(clen)+spec.Latency)
+		}
+	}
+
+	fillContent(f, off, buf[:n])
+	return int(n), nil
+}
+
+func chunkLen(size, chunk int64) int {
+	start := chunk * ChunkSize
+	end := start + ChunkSize
+	if end > size {
+		end = size
+	}
+	return int(end - start)
+}
+
+// fillContent synthesizes deterministic content: xorshift bytes restricted
+// to lowercase letters/spaces, with the needle substring planted at
+// NeedleOff.
+func fillContent(f *File, off int64, buf []byte) {
+	for i := range buf {
+		pos := off + int64(i)
+		x := f.Seed ^ uint64(pos)*0x9E3779B97F4A7C15
+		x ^= x >> 33
+		x *= 0xFF51AFD7ED558CCD
+		x ^= x >> 33
+		b := byte(x % 27)
+		if b == 26 {
+			buf[i] = ' '
+		} else {
+			buf[i] = 'a' + b
+		}
+	}
+	if f.Needle != "" {
+		for i := range buf {
+			pos := off + int64(i)
+			rel := pos - f.NeedleOff
+			if rel >= 0 && rel < int64(len(f.Needle)) {
+				buf[i] = f.Needle[rel]
+			}
+		}
+	}
+}
+
+// EncodeMeta serializes a file's metadata (for control messages).
+func EncodeMeta(f File) []byte {
+	w := wire.NewWriter(64)
+	w.String(f.Name)
+	w.Varint(int64(f.Host))
+	w.Varint(f.Size)
+	w.Uvarint(f.Seed)
+	w.String(f.Needle)
+	w.Varint(f.NeedleOff)
+	return w.Bytes()
+}
+
+// DecodeMeta parses EncodeMeta output.
+func DecodeMeta(b []byte) (File, error) {
+	r := wire.NewReader(b)
+	f := File{
+		Name:      r.String(),
+		Host:      int(r.Varint()),
+		Size:      r.Varint(),
+		Seed:      r.Uvarint(),
+		Needle:    r.String(),
+		NeedleOff: r.Varint(),
+	}
+	return f, r.Err()
+}

@@ -1,0 +1,367 @@
+// Package objman implements the object manager of §III: the component that
+// brings remote objects to the local heap on demand ("heap-on-demand"),
+// serves object requests on the home side, tracks dirty cached copies, and
+// flushes execution results home when a migrated segment completes.
+//
+// The destination side is driven entirely by the preprocessor-injected
+// code: a dereference of a remote reference raises RemoteAccessFault, the
+// injected fault handler (or failed status check) calls the sod_bringObj
+// native, and BringObj either hits the local cache or performs one RPC to
+// the owner node. Fetched objects are shallow: their reference fields
+// still carry home references, so nested structures fault in lazily, level
+// by level — transferring exactly what the computation touches.
+package objman
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bytecode"
+	"repro/internal/netsim"
+	"repro/internal/serial"
+	"repro/internal/value"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// Stats counts object-manager activity.
+type Stats struct {
+	Fetches      int   // remote fetch RPCs issued
+	CacheHits    int   // faults satisfied from the local cache
+	LocalHits    int   // bringObj on already-local refs (no-ops)
+	BytesFetched int64 // payload bytes brought in
+	Flushes      int
+	BytesFlushed int64
+	ObjectsServed int  // home-side requests answered
+}
+
+// Manager is one node's object manager. A node uses the same manager for
+// both roles: server of its own heap, cache for remote objects.
+type Manager struct {
+	VM    *vm.VM
+	Prog  *bytecode.Program
+	EP    netsim.Transport
+	Codec serial.Codec
+
+	mu    sync.Mutex
+	cache map[value.Ref]value.Ref // home ref -> local cached ref
+	Stats Stats
+}
+
+// New creates a manager and registers the home-side request handler on ep.
+func New(v *vm.VM, prog *bytecode.Program, ep netsim.Transport, codec serial.Codec) *Manager {
+	m := &Manager{VM: v, Prog: prog, EP: ep, Codec: codec, cache: make(map[value.Ref]value.Ref)}
+	ep.Handle(netsim.KindObjectRequest, m.serveObject)
+	return m
+}
+
+// BindNatives wires the preprocessor's helper natives into v. (The restore
+// natives live in the sodee runtime; this binds only bringObj.)
+func (m *Manager) BindNatives(v *vm.VM) {
+	v.BindNativeIfDeclared("sod_bringObj", m.BringObj)
+}
+
+// ResetCache drops all cached copies (worker reuse between jobs).
+func (m *Manager) ResetCache() {
+	m.mu.Lock()
+	m.cache = make(map[value.Ref]value.Ref)
+	m.mu.Unlock()
+}
+
+// BringObj is the sod_bringObj native: resolve a reference to a local,
+// usable reference, fetching from the owner node when needed. A true null
+// re-raises as an application NullPointerException (§III.C's
+// disambiguation rule).
+func (m *Manager) BringObj(t *vm.Thread, args []value.Value) (value.Value, *vm.Raised) {
+	r := args[0]
+	if r.Kind != value.KindRef {
+		return r, nil // primitive: nothing to bring
+	}
+	if r.R == value.NullRef {
+		return value.Value{}, &vm.Raised{ExClass: bytecode.ExNullPointer, Message: "null object at home"}
+	}
+	if m.VM.Heap.IsLocal(r.R) {
+		m.mu.Lock()
+		m.Stats.LocalHits++
+		m.mu.Unlock()
+		return r, nil
+	}
+	local, raised := m.Fetch(r.R)
+	if raised != nil {
+		return value.Value{}, raised
+	}
+	return value.RefVal(local), nil
+}
+
+// Fetch returns a local cached copy of the remote object ref, fetching it
+// from its owner node on a cache miss.
+func (m *Manager) Fetch(ref value.Ref) (value.Ref, *vm.Raised) {
+	m.mu.Lock()
+	if local, ok := m.cache[ref.Unstub()]; ok {
+		m.Stats.CacheHits++
+		m.mu.Unlock()
+		return local, nil
+	}
+	m.mu.Unlock()
+
+	req := wire.NewWriter(16)
+	req.Byte(byte(m.Codec)) // reply must come back in our codec
+	req.Uvarint(uint64(ref.Unstub()))
+	reply, err := m.EP.Call(ref.Node(), netsim.KindObjectRequest, req.Bytes())
+	if err != nil {
+		return value.NullRef, &vm.Raised{ExClass: bytecode.ExIllegalState, Message: "object fetch: " + err.Error()}
+	}
+	wo, derr := serial.DecodeObject(reply, m.Prog, m.Codec)
+	if derr != nil {
+		return value.NullRef, &vm.Raised{ExClass: bytecode.ExIllegalState, Message: "object decode: " + derr.Error()}
+	}
+	// Deserializing an instance loads its class (fetching the class file
+	// from the home node when this VM is cold) — as in Java.
+	if lerr := m.VM.EnsureLoaded(wo.Class); lerr != nil {
+		return value.NullRef, &vm.Raised{ExClass: bytecode.ExClassNotFound, Message: lerr.Error()}
+	}
+	obj := wo.Materialize()
+	local, aerr := m.VM.Heap.Adopt(obj)
+	if aerr != nil {
+		return value.NullRef, &vm.Raised{ExClass: bytecode.ExOutOfMemory, Message: "adopting fetched object"}
+	}
+	m.mu.Lock()
+	m.cache[ref.Unstub()] = local
+	m.Stats.Fetches++
+	m.Stats.BytesFetched += int64(len(reply))
+	m.mu.Unlock()
+	return local, nil
+}
+
+// serveObject is the home-side handler: snapshot the requested local
+// object shallowly and ship it.
+func (m *Manager) serveObject(from int, payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	codec := serial.Codec(r.Byte()) // requester's codec
+	ref := value.Ref(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	o := m.VM.Heap.Get(ref)
+	if o == nil {
+		return nil, fmt.Errorf("objman: node %d has no object %v", m.EP.NodeID(), ref)
+	}
+	wo := serial.SnapshotObject(ref, o)
+	m.mu.Lock()
+	m.Stats.ObjectsServed++
+	m.mu.Unlock()
+	return serial.EncodeObject(&wo, m.Prog, codec), nil
+}
+
+// --- flush: shipping results and updates home ---
+
+// flusher owns one flush collection pass; translate/snapshot share state.
+type flusher struct {
+	m       *Manager
+	visited map[value.Ref]bool
+	queue   []value.Ref
+}
+
+func (m *Manager) newFlusher() *flusher {
+	return &flusher{m: m, visited: make(map[value.Ref]bool)}
+}
+
+// enqueue schedules a locally allocated (fresh) object for shipping.
+func (f *flusher) enqueue(rv value.Ref) {
+	if rv == value.NullRef || rv.Node() != f.m.VM.Heap.Node() || f.visited[rv] {
+		return
+	}
+	f.visited[rv] = true
+	f.queue = append(f.queue, rv)
+}
+
+// translate rewrites a reference for a remote consumer: cached copies
+// become their home refs; fresh local objects keep their local refs (the
+// consumer re-homes them via the Fresh table); remote refs pass through.
+func (f *flusher) translate(v value.Value) value.Value {
+	if v.Kind != value.KindRef || v.R == value.NullRef {
+		return v
+	}
+	if o := f.m.VM.Heap.Get(v.R); o != nil {
+		if o.Home != value.NullRef {
+			return value.RefVal(o.Home)
+		}
+		f.enqueue(v.R)
+	}
+	return v
+}
+
+func (f *flusher) snapshot(ref value.Ref, o *vm.Object, asHome bool) serial.WireObject {
+	wo := serial.SnapshotObject(ref, o)
+	if asHome {
+		wo.Ref = o.Home
+	}
+	for i := range wo.Fields {
+		wo.Fields[i] = f.translate(wo.Fields[i])
+	}
+	for i := range wo.AR {
+		wo.AR[i] = f.translate(value.RefVal(wo.AR[i])).R
+	}
+	return wo
+}
+
+// drainFresh appends the transitive closure of enqueued fresh objects.
+func (f *flusher) drainFresh(fm *serial.FlushMessage) {
+	for len(f.queue) > 0 {
+		ref := f.queue[0]
+		f.queue = f.queue[1:]
+		o := f.m.VM.Heap.MustGet(ref)
+		fm.Fresh = append(fm.Fresh, f.snapshot(ref, o, false))
+	}
+}
+
+// CollectUpdates gathers dirty cached copies grouped by the node that
+// masters them ("updated data will be sent back to the home node,
+// reflected in its heap" — §II.A), plus modified statics destined for
+// staticsHome (< 0 skips statics). Fresh objects referenced from updates
+// ride along in the same message and are re-homed by the receiver.
+func (m *Manager) CollectUpdates(staticsHome int) map[int]*serial.FlushMessage {
+	out := make(map[int]*serial.FlushMessage)
+	get := func(node int) *serial.FlushMessage {
+		fm := out[node]
+		if fm == nil {
+			fm = &serial.FlushMessage{}
+			out[node] = fm
+		}
+		return fm
+	}
+	flushers := make(map[int]*flusher)
+	fl := func(node int) *flusher {
+		f := flushers[node]
+		if f == nil {
+			f = m.newFlusher()
+			flushers[node] = f
+		}
+		return f
+	}
+
+	m.VM.Heap.ForEach(func(ref value.Ref, o *vm.Object) bool {
+		if o.Home != value.NullRef && o.Dirty {
+			home := o.Home.Node()
+			fm := get(home)
+			fm.Updated = append(fm.Updated, fl(home).snapshot(ref, o, true))
+			o.Dirty = false
+		}
+		return true
+	})
+	if staticsHome >= 0 {
+		for cid, dirty := range m.VM.StaticsDirty {
+			if !dirty {
+				continue
+			}
+			f := fl(staticsHome)
+			vals := make([]value.Value, len(m.VM.Statics[cid]))
+			for i, sv := range m.VM.Statics[cid] {
+				vals[i] = f.translate(sv)
+			}
+			fm := get(staticsHome)
+			fm.Statics = append(fm.Statics, serial.ClassStatics{ClassID: int32(cid), Values: vals})
+			m.VM.StaticsDirty[cid] = false
+		}
+	}
+	for node, f := range flushers {
+		f.drainFresh(out[node])
+	}
+	m.mu.Lock()
+	m.Stats.Flushes += len(out)
+	m.mu.Unlock()
+	return out
+}
+
+// CollectResult builds the flush carrying a completed segment's return
+// value (plus any fresh objects it references) to its consumer.
+func (m *Manager) CollectResult(result value.Value, hasResult bool, uncaught string) *serial.FlushMessage {
+	fm := &serial.FlushMessage{HasResult: hasResult, Result: result, Err: uncaught}
+	f := m.newFlusher()
+	if hasResult {
+		fm.Result = f.translate(result)
+	}
+	f.drainFresh(fm)
+	return fm
+}
+
+// ApplyFlush integrates a flush on the home side: re-homes fresh objects,
+// applies updates to masters, applies statics, and returns the translated
+// result value.
+func (m *Manager) ApplyFlush(fm *serial.FlushMessage) (value.Value, error) {
+	h := m.VM.Heap
+
+	// Pass 1: allocate a local master for every fresh object.
+	remap := make(map[value.Ref]value.Ref, len(fm.Fresh))
+	for i := range fm.Fresh {
+		wo := &fm.Fresh[i]
+		o := wo.Materialize()
+		o.Home = value.NullRef // it lives here now
+		local, err := h.Adopt(o)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("objman: re-homing fresh object: %w", err)
+		}
+		remap[wo.Ref] = local
+	}
+
+	translate := func(v value.Value) value.Value {
+		if v.Kind != value.KindRef || v.R == value.NullRef {
+			return v
+		}
+		if nr, ok := remap[v.R]; ok {
+			return value.RefVal(nr)
+		}
+		return v
+	}
+
+	// Pass 2: rewrite references inside the fresh objects.
+	for i := range fm.Fresh {
+		o := h.MustGet(remap[fm.Fresh[i].Ref])
+		for j := range o.Fields {
+			o.Fields[j] = translate(o.Fields[j])
+		}
+		for j := range o.AR {
+			o.AR[j] = translate(value.RefVal(o.AR[j])).R
+		}
+	}
+
+	// Apply updates to masters.
+	for i := range fm.Updated {
+		wo := &fm.Updated[i]
+		master := h.Get(wo.Ref)
+		if master == nil {
+			return value.Value{}, fmt.Errorf("objman: update for unknown master %v", wo.Ref)
+		}
+		if wo.IsArray {
+			master.AI = append(master.AI[:0], wo.AI...)
+			master.AF = append(master.AF[:0], wo.AF...)
+			master.AB = append(master.AB[:0], wo.AB...)
+			master.AR = master.AR[:0]
+			for _, rr := range wo.AR {
+				master.AR = append(master.AR, translate(value.RefVal(rr)).R)
+			}
+		} else {
+			master.Fields = master.Fields[:0]
+			for _, fv := range wo.Fields {
+				master.Fields = append(master.Fields, translate(fv))
+			}
+		}
+	}
+
+	// Apply statics.
+	for _, cs := range fm.Statics {
+		m.VM.MarkLoaded(cs.ClassID)
+		dst := m.VM.Statics[cs.ClassID]
+		for i, sv := range cs.Values {
+			if i < len(dst) {
+				dst[i] = translate(sv)
+			}
+		}
+	}
+
+	res := fm.Result
+	if fm.HasResult {
+		res = translate(fm.Result)
+	}
+	return res, nil
+}

@@ -1,0 +1,105 @@
+// Package osimage models the guest-OS memory image that Xen-style live
+// migration transfers (§IV.A): a page array with dirty tracking and an
+// iterative pre-copy engine. The workload's heap writes drive the dirty
+// set through a write hook, so dirty rates are workload-dependent exactly
+// as they are for a real guest.
+//
+// The paper configures 2 GB guests; we scale the image (default 64 MiB)
+// and record the scaling in EXPERIMENTS.md — migration latency scales
+// linearly with image size, so shapes are preserved.
+package osimage
+
+import (
+	"sync"
+
+	"repro/internal/value"
+)
+
+// PageSize is the guest page size in bytes.
+const PageSize = 4096
+
+// Image is a guest memory image.
+type Image struct {
+	mu       sync.Mutex
+	numPages int
+	dirty    map[int]struct{}
+	// baseDirtyRate injects a steady background dirtying (guest OS daemons,
+	// page-cache churn) per Touch call, so even read-mostly workloads keep
+	// some pages warm — as with a real guest.
+	touchCounter uint64
+}
+
+// New builds an image of the given size (rounded up to whole pages). All
+// pages start dirty: the first pre-copy round transfers the full image.
+func New(sizeBytes int64) *Image {
+	n := int((sizeBytes + PageSize - 1) / PageSize)
+	img := &Image{numPages: n, dirty: make(map[int]struct{}, n)}
+	for i := 0; i < n; i++ {
+		img.dirty[i] = struct{}{}
+	}
+	return img
+}
+
+// NumPages returns the page count.
+func (im *Image) NumPages() int { return im.numPages }
+
+// SizeBytes returns the image size in bytes.
+func (im *Image) SizeBytes() int64 { return int64(im.numPages) * PageSize }
+
+// Touch marks the page backing a heap object dirty. The mapping from
+// object references to pages is a stable hash — a fixed object always
+// lands on the same page, so repeated writes to a small working set dirty
+// few pages (good for pre-copy) while scattered writes dirty many (bad),
+// reproducing the dirty-rate dynamics live migration depends on.
+func (im *Image) Touch(ref value.Ref, approxSize int64) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	pages := int(approxSize/PageSize) + 1
+	base := int(uint64(ref)*2654435761) % im.numPages
+	if base < 0 {
+		base = -base
+	}
+	for i := 0; i < pages && i < 32; i++ { // cap: one write dirties ≤32 pages
+		im.dirty[(base+i)%im.numPages] = struct{}{}
+	}
+	im.touchCounter++
+	if im.touchCounter%64 == 0 {
+		// Background guest activity.
+		im.dirty[int(im.touchCounter/64)%im.numPages] = struct{}{}
+	}
+}
+
+// DirtyCount returns the current dirty-set size.
+func (im *Image) DirtyCount() int {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return len(im.dirty)
+}
+
+// DrainDirty atomically snapshots and clears the dirty set, returning the
+// number of pages to transfer this round.
+func (im *Image) DrainDirty() int {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	n := len(im.dirty)
+	im.dirty = make(map[int]struct{}, n/2+1)
+	return n
+}
+
+// PrecopyPlan summarizes one pre-copy execution for reporting.
+type PrecopyPlan struct {
+	Rounds      []int // pages per round (round 0 = full image)
+	StopAndCopy int   // pages in the final freeze round
+}
+
+// TotalPages returns all pages transferred, pre-copy plus freeze.
+func (p *PrecopyPlan) TotalPages() int {
+	t := p.StopAndCopy
+	for _, r := range p.Rounds {
+		t += r
+	}
+	return t
+}
+
+// TotalBytes returns all bytes transferred.
+func (p *PrecopyPlan) TotalBytes() int64 { return int64(p.TotalPages()) * PageSize }

@@ -1,0 +1,80 @@
+package osimage
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestNewImageAllDirty(t *testing.T) {
+	im := New(1 << 20)
+	if im.NumPages() != 256 {
+		t.Errorf("pages = %d, want 256", im.NumPages())
+	}
+	if im.DirtyCount() != im.NumPages() {
+		t.Error("fresh image should be fully dirty (first pre-copy round sends everything)")
+	}
+}
+
+func TestDrainClearsDirtySet(t *testing.T) {
+	im := New(1 << 20)
+	n := im.DrainDirty()
+	if n != 256 {
+		t.Errorf("drained %d, want 256", n)
+	}
+	if im.DirtyCount() != 0 {
+		t.Error("drain should clear the set")
+	}
+}
+
+func TestTouchDirtiesStablePages(t *testing.T) {
+	im := New(1 << 20)
+	im.DrainDirty()
+	ref := value.MakeRef(1, 42)
+	im.Touch(ref, 100)
+	first := im.DirtyCount()
+	if first == 0 {
+		t.Fatal("touch should dirty at least one page")
+	}
+	// Repeated writes to the same object hit the same pages.
+	for i := 0; i < 100; i++ {
+		im.Touch(ref, 100)
+	}
+	if im.DirtyCount() > first+3 { // small allowance for background churn
+		t.Errorf("hot-object writes dirtied %d pages (was %d); mapping not stable", im.DirtyCount(), first)
+	}
+}
+
+func TestBigObjectDirtiesMorePagesButCapped(t *testing.T) {
+	im := New(16 << 20)
+	im.DrainDirty()
+	im.Touch(value.MakeRef(1, 7), 1<<20) // 1 MiB object
+	n := im.DirtyCount()
+	if n < 16 {
+		t.Errorf("1MiB write dirtied only %d pages", n)
+	}
+	if n > 40 {
+		t.Errorf("per-write dirtying should be capped, got %d", n)
+	}
+}
+
+func TestScatteredWritesDirtyManyPages(t *testing.T) {
+	im := New(16 << 20)
+	im.DrainDirty()
+	for i := uint64(1); i <= 1000; i++ {
+		im.Touch(value.MakeRef(1, i), 64)
+	}
+	if im.DirtyCount() < 500 {
+		t.Errorf("1000 distinct objects dirtied only %d pages", im.DirtyCount())
+	}
+}
+
+func TestPrecopyPlanArithmetic(t *testing.T) {
+	p := PrecopyPlan{Rounds: []int{256, 40, 8}, StopAndCopy: 3}
+	if p.TotalPages() != 307 {
+		t.Errorf("TotalPages = %d", p.TotalPages())
+	}
+	if p.TotalBytes() != 307*PageSize {
+		t.Errorf("TotalBytes = %d", p.TotalBytes())
+	}
+}

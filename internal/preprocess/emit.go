@@ -1,0 +1,499 @@
+package preprocess
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bytecode"
+)
+
+// Names of the helper natives the preprocessor wires calls to. The SOD
+// runtime binds them: bringObj is the ObjMan.bringObj of §III.C; the rst_*
+// pair implements the CapturedState.read<Type> unwrapping of Fig 4.
+const (
+	NatBringObj = "sod_bringObj"  // (ref) -> local ref; raises app NPE on true null
+	NatRstLocal = "sod_rst_local" // (slot) -> captured local value
+	NatRstPC    = "sod_rst_pc"    // () -> captured pc
+)
+
+// emitter builds the transformed method body.
+type emitter struct {
+	p    *bytecode.Program // output program (extended native table)
+	m    *bytecode.Method  // original method being transformed
+	opts Options
+	// callRetProg resolves call return-ness: method/vname/native tables of
+	// the *input* program (method ids are stable across the transform).
+	callRetProg *bytecode.Program
+	// bodyEnd is the emitted pc one past the flattened body (set before
+	// handler emission); the restoration range covers [0, bodyEnd).
+	bodyEnd int32
+
+	natBring int32
+	natRstL  int32
+	natRstPC int32
+
+	code     []bytecode.Instr
+	lines    []bytecode.LineEntry
+	msps     []int32
+	faultEx  []bytecode.ExRange
+	userEx   []bytecode.ExRange
+	switches []bytecode.SwitchTable
+	nextLine int32
+
+	nlocals  int // grows as temps are allocated
+	tmpFloor int // first temp slot (original NLocals)
+
+	// jump fixups: code[atPC].A (or switch entries) refer to ORIGINAL pcs
+	// until remap runs.
+	jumpFixes   []int32 // pcs of branch instructions to remap
+	switchFixes []int32 // indexes into switches to remap
+
+	// pcMap maps original statement-start pcs to emitted pcs.
+	pcMap map[int32]int32
+
+	// pending fault handlers: one per statement with deref sites.
+	pending []pendingHandler
+}
+
+type pendingHandler struct {
+	from, to int32 // emitted body range of the statement
+	retry    int32 // emitted statement start
+	sites    []site
+}
+
+func newEmitter(p *bytecode.Program, m *bytecode.Method, opts Options) *emitter {
+	return &emitter{
+		p: p, m: m, opts: opts,
+		natBring: p.NativeByName(NatBringObj),
+		natRstL:  p.NativeByName(NatRstLocal),
+		natRstPC: p.NativeByName(NatRstPC),
+		nlocals:  m.NLocals,
+		tmpFloor: m.NLocals,
+		pcMap:    make(map[int32]int32),
+	}
+}
+
+func (em *emitter) pc() int32 { return int32(len(em.code)) }
+
+func (em *emitter) raw(op bytecode.Op, a, b int32) {
+	em.code = append(em.code, bytecode.Instr{Op: op, A: a, B: b})
+}
+
+// rawJump emits a branch whose A operand is an ORIGINAL pc, recorded for
+// remapping once the whole body is emitted.
+func (em *emitter) rawJump(op bytecode.Op, origTarget int32) {
+	em.jumpFixes = append(em.jumpFixes, em.pc())
+	em.raw(op, origTarget, 0)
+}
+
+func (em *emitter) newTemp() int32 {
+	s := em.nlocals
+	em.nlocals++
+	return int32(s)
+}
+
+// beginStmt opens a statement at the emitted pc: line entry, MSP (when the
+// operand stack is empty on entry) and the orig→new pc mapping.
+func (em *emitter) beginStmt(origPC int32, depth int) int32 {
+	start := em.pc()
+	em.nextLine++
+	em.lines = append(em.lines, bytecode.LineEntry{PC: start, Line: em.nextLine})
+	if depth == 0 {
+		em.msps = append(em.msps, start)
+	}
+	if _, dup := em.pcMap[origPC]; !dup {
+		em.pcMap[origPC] = start
+	}
+	return start
+}
+
+// emitStmt generates one lifted statement: spills nested calls, optionally
+// hoists status checks, emits the body, and registers the fault-handler
+// range for faulting mode.
+func (em *emitter) emitStmt(s *stmt) error {
+	root := s.root
+	// Handler-entry statements (pop/store of the exception already on the
+	// runtime stack) are emitted verbatim: they start at depth 1, are not
+	// MSPs and cannot fault.
+	if s.entryDepth == 1 {
+		em.beginStmt(s.origPC, 1)
+		switch root.op {
+		case bytecode.OpStore, bytecode.OpPop:
+			em.raw(root.op, root.a, 0)
+			return nil
+		default:
+			return fmt.Errorf("handler entry must be store/pop, got %s", root.op)
+		}
+	}
+
+	// Spill nested calls into temps, each its own statement. The root's
+	// own call (if it is one, or feeds a deref-free consumer) stays inline.
+	tmpMark := em.nlocals
+	if err := em.spillCalls(root, s.origPC, true); err != nil {
+		return err
+	}
+	em.nlocals = max(em.nlocals, tmpMark) // temps persist; counter monotonic
+
+	sites := scanSites(root)
+	start := em.beginStmt(s.origPC, 0)
+
+	if err := em.emitRoot(root); err != nil {
+		return err
+	}
+
+	if em.opts.Mode == ModeFaulting && len(sites) > 0 {
+		em.pending = append(em.pending, pendingHandler{
+			from: start, to: em.pc(), retry: start, sites: sites,
+		})
+	}
+	return nil
+}
+
+// spillCalls walks the tree and replaces every non-inlineable call node
+// with a temp-load leaf, emitting "tmp = call(...)" sub-statements first.
+// isRoot marks the statement root, whose own call kid may stay inline when
+// no dereference follows the call (Store/Pop/RetV/PutS/Jz/Jnz roots and
+// call-statement roots).
+func (em *emitter) spillCalls(e *expr, origPC int32, isRoot bool) error {
+	// Which kid may keep its call inline: single-operand roots whose
+	// consuming op performs no dereference after the call returns. PutF and
+	// AStore roots dereference their base *after* the value is computed, so
+	// a call there must be spilled or a fault would re-run it.
+	inlineKid := -1
+	if isRoot {
+		switch e.op {
+		case bytecode.OpStore, bytecode.OpPop, bytecode.OpRetV, bytecode.OpPutS,
+			bytecode.OpJz, bytecode.OpJnz, bytecode.OpTSwitch:
+			inlineKid = 0
+		}
+	}
+	for i, k := range e.kids {
+		if err := em.spillCalls(k, origPC, false); err != nil {
+			return err
+		}
+		if isCall(k) && i != inlineKid {
+			// Spill: tmp = <call>
+			tmp := em.newTemp()
+			em.beginStmt(origPC, 0)
+			kSites := scanSites(k)
+			from := em.pc()
+			em.emitExpr(k)
+			em.raw(bytecode.OpStore, tmp, 0)
+			if em.opts.Mode == ModeFaulting && len(kSites) > 0 {
+				em.pending = append(em.pending, pendingHandler{from: from, to: em.pc(), retry: from, sites: kSites})
+			}
+			e.kids[i] = &expr{op: bytecode.OpLoad, a: tmp}
+		}
+	}
+	return nil
+}
+
+func isCall(e *expr) bool {
+	switch e.op {
+	case bytecode.OpCall, bytecode.OpCallV, bytecode.OpCallNat:
+		return true
+	}
+	return false
+}
+
+// Wait-free helper: emit a conditional jump with unknown target; returns
+// the pc to patch.
+func (em *emitter) emitJumpPlaceholder(op bytecode.Op) int32 {
+	pc := em.pc()
+	em.raw(op, -1, 0)
+	return pc
+}
+
+func (em *emitter) patchJump(atPC, target int32) { em.code[atPC].A = target }
+
+// check injects the Fig 5 B1 status test on the reference currently on
+// top of the operand stack (status-check mode only): dup it, read the
+// status word, branch over a bringObj call when valid — the four extra
+// instructions per access the paper measures. On the invalid path bringObj
+// replaces the stack top with the fetched local reference.
+func (em *emitter) check() {
+	if em.opts.Mode != ModeStatusCheck {
+		return
+	}
+	em.raw(bytecode.OpDup, 0, 0)
+	em.raw(bytecode.OpGetStatus, 0, 0)
+	skip := em.emitJumpPlaceholder(bytecode.OpJnz)
+	em.raw(bytecode.OpCallNat, em.natBring, 1)
+	em.patchJump(skip, em.pc())
+}
+
+// staticCheck injects the class-status test before a static access in
+// status-check mode: read the static, test its status word, bring the
+// object in and write it back when invalid. For primitive statics the
+// status test always passes, but the extra load + test + branch cost is
+// paid — the source of Table V's large static-write slowdown.
+func (em *emitter) staticCheck(cls, idx int32) {
+	if em.opts.Mode != ModeStatusCheck {
+		return
+	}
+	em.raw(bytecode.OpGetS, cls, idx)
+	em.raw(bytecode.OpGetStatus, 0, 0)
+	skip := em.emitJumpPlaceholder(bytecode.OpJnz)
+	em.raw(bytecode.OpGetS, cls, idx)
+	em.raw(bytecode.OpCallNat, em.natBring, 1)
+	em.raw(bytecode.OpPutS, cls, idx)
+	em.patchJump(skip, em.pc())
+}
+
+// emitRoot generates a statement root.
+func (em *emitter) emitRoot(e *expr) error {
+	switch e.op {
+	case bytecode.OpStore, bytecode.OpPop, bytecode.OpRetV:
+		em.emitExpr(e.kids[0])
+		em.raw(e.op, e.a, e.b)
+	case bytecode.OpPutS:
+		em.staticCheck(e.a, e.b)
+		em.emitExpr(e.kids[0])
+		em.raw(e.op, e.a, e.b)
+	case bytecode.OpThrow:
+		em.emitExpr(e.kids[0])
+		em.check()
+		em.raw(e.op, e.a, e.b)
+	case bytecode.OpPutF:
+		em.emitExpr(e.kids[0])
+		em.check()
+		em.emitExpr(e.kids[1])
+		em.raw(e.op, e.a, 0)
+	case bytecode.OpAStore:
+		em.emitExpr(e.kids[0])
+		em.check()
+		em.emitExpr(e.kids[1])
+		em.emitExpr(e.kids[2])
+		em.raw(e.op, 0, 0)
+	case bytecode.OpJz, bytecode.OpJnz:
+		em.emitExpr(e.kids[0])
+		em.rawJump(e.op, e.a)
+	case bytecode.OpJmp:
+		em.rawJump(e.op, e.a)
+	case bytecode.OpTSwitch:
+		em.emitExpr(e.kids[0])
+		// Copy the original table; targets remapped later.
+		orig := em.m.Switches[e.a]
+		idx := int32(len(em.switches))
+		em.switches = append(em.switches, bytecode.SwitchTable{
+			Keys:    append([]int32(nil), orig.Keys...),
+			Targets: append([]int32(nil), orig.Targets...),
+			Default: orig.Default,
+		})
+		em.switchFixes = append(em.switchFixes, idx)
+		em.raw(bytecode.OpTSwitch, idx, 0)
+	case bytecode.OpRet:
+		em.raw(bytecode.OpRet, 0, 0)
+	case bytecode.OpCall, bytecode.OpCallNat:
+		for _, k := range e.kids {
+			em.emitExpr(k)
+			if e.op == bytecode.OpCallNat {
+				em.check()
+			}
+		}
+		em.raw(e.op, e.a, e.b)
+		if callReturns(em.callRetProg, bytecode.Instr{Op: e.op, A: e.a, B: e.b}) {
+			// Shouldn't happen (value-returning call as root), but drop the
+			// value rather than corrupt the stack.
+			em.raw(bytecode.OpPop, 0, 0)
+		}
+	case bytecode.OpCallV:
+		em.emitExpr(e.kids[0]) // receiver
+		em.check()
+		for _, k := range e.kids[1:] {
+			em.emitExpr(k)
+		}
+		em.raw(e.op, e.a, e.b)
+		if callReturns(em.callRetProg, bytecode.Instr{Op: e.op, A: e.a, B: e.b}) {
+			em.raw(bytecode.OpPop, 0, 0)
+		}
+	default:
+		return fmt.Errorf("unexpected statement root %s", e.op)
+	}
+	return nil
+}
+
+// emitExpr generates a value-producing expression, inserting inline
+// status checks before each dereference in status-check mode.
+func (em *emitter) emitExpr(e *expr) {
+	if e.synthetic {
+		return // value already on the runtime stack
+	}
+	switch e.op {
+	case bytecode.OpGetS:
+		em.staticCheck(e.a, e.b)
+		em.raw(e.op, e.a, e.b)
+	case bytecode.OpGetF, bytecode.OpArrLen, bytecode.OpInstOf, bytecode.OpCheckCast:
+		em.emitExpr(e.kids[0])
+		em.check()
+		em.raw(e.op, e.a, e.b)
+	case bytecode.OpALoad:
+		em.emitExpr(e.kids[0])
+		em.check()
+		em.emitExpr(e.kids[1])
+		em.raw(e.op, e.a, e.b)
+	case bytecode.OpCallV:
+		em.emitExpr(e.kids[0]) // receiver
+		em.check()
+		for _, k := range e.kids[1:] {
+			em.emitExpr(k)
+		}
+		em.raw(e.op, e.a, e.b)
+	case bytecode.OpCallNat:
+		// Natives dereference their ref arguments internally; under the
+		// status-check protocol each argument is checked as it is pushed.
+		for _, k := range e.kids {
+			em.emitExpr(k)
+			em.check()
+		}
+		em.raw(e.op, e.a, e.b)
+	default:
+		for _, k := range e.kids {
+			em.emitExpr(k)
+		}
+		em.raw(e.op, e.a, e.b)
+	}
+}
+
+// emitPatch brings the object at a site into the local heap and writes the
+// local reference back into the site — the hardcoded-slot handler bodies
+// of §III.C ("r = (Random) ObjMan.bringObj(this, \"r\")").
+func (em *emitter) emitPatch(st site) {
+	switch st.kind {
+	case siteLocal:
+		em.raw(bytecode.OpLoad, st.slot, 0)
+		em.raw(bytecode.OpCallNat, em.natBring, 1)
+		em.raw(bytecode.OpStore, st.slot, 0)
+	case siteField:
+		em.emitExpr(st.base) // base is local: earlier patches ran first
+		em.raw(bytecode.OpDup, 0, 0)
+		em.raw(bytecode.OpGetF, st.fieldIdx, 0)
+		em.raw(bytecode.OpCallNat, em.natBring, 1)
+		em.raw(bytecode.OpPutF, st.fieldIdx, 0)
+	case siteStatic:
+		em.raw(bytecode.OpGetS, st.clsID, st.statIdx)
+		em.raw(bytecode.OpCallNat, em.natBring, 1)
+		em.raw(bytecode.OpPutS, st.clsID, st.statIdx)
+	case siteElem:
+		em.emitExpr(st.base)
+		em.emitExpr(st.idx)
+		em.emitExpr(st.base)
+		em.emitExpr(st.idx)
+		em.raw(bytecode.OpALoad, 0, 0)
+		em.raw(bytecode.OpCallNat, em.natBring, 1)
+		em.raw(bytecode.OpAStore, 0, 0)
+	}
+}
+
+// emitFaultHandlers appends one handler block per pending statement:
+//
+//	H: pop                      // the RemoteAccessFault object
+//	   <patch each site>        // ObjMan.bringObj + write-back
+//	   jmp <statement start>    // "goto label1" — retry
+func (em *emitter) emitFaultHandlers(remoteFaultClass int32) {
+	for _, ph := range em.pending {
+		h := em.pc()
+		em.raw(bytecode.OpPop, 0, 0)
+		for _, st := range ph.sites {
+			em.emitPatch(st)
+		}
+		em.raw(bytecode.OpJmp, ph.retry, 0) // retry pc is already an emitted pc
+		em.faultEx = append(em.faultEx, bytecode.ExRange{
+			From: ph.from, To: ph.to, Handler: h, ClassID: remoteFaultClass,
+		})
+	}
+}
+
+// emitRestoreHandler appends the Fig 4 restoration handler: reload every
+// local slot from the CapturedState carried in the thread's restore
+// context, then switch-jump to the saved pc. Returns the handler pc.
+func (em *emitter) emitRestoreHandler(illegalStateClass int32) int32 {
+	h := em.pc()
+	em.raw(bytecode.OpPop, 0, 0) // the InvalidStateException
+	for slot := 0; slot < em.nlocals; slot++ {
+		em.raw(bytecode.OpIConst, int32(slot), 0)
+		em.raw(bytecode.OpCallNat, em.natRstL, 1)
+		em.raw(bytecode.OpStore, int32(slot), 0)
+	}
+	em.raw(bytecode.OpCallNat, em.natRstPC, 0)
+
+	// lookupswitch over the migration-safe points (Fig 4a bci 43).
+	keys := append([]int32(nil), em.msps...)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	idx := int32(len(em.switches))
+	bad := em.pc() + 1 // pc of the bad-pc block, right after the switch
+	em.switches = append(em.switches, bytecode.SwitchTable{
+		Keys: keys, Targets: append([]int32(nil), keys...), Default: bad,
+	})
+	em.raw(bytecode.OpTSwitch, idx, 0)
+
+	// Default: the captured pc is not a known MSP — corrupt state.
+	scratch := em.newTemp()
+	em.raw(bytecode.OpNew, illegalStateClass, 0)
+	em.raw(bytecode.OpStore, scratch, 0)
+	em.raw(bytecode.OpLoad, scratch, 0)
+	em.raw(bytecode.OpThrow, 0, 0)
+	return h
+}
+
+// remapJumps rewrites branch/switch targets from original to emitted pcs.
+func (em *emitter) remapJumps() error {
+	remap := func(orig int32) (int32, error) {
+		if npc, ok := em.pcMap[orig]; ok {
+			return npc, nil
+		}
+		return 0, fmt.Errorf("jump target %d is not a statement start", orig)
+	}
+	for _, pc := range em.jumpFixes {
+		npc, err := remap(em.code[pc].A)
+		if err != nil {
+			return err
+		}
+		em.code[pc].A = npc
+	}
+	for _, si := range em.switchFixes {
+		tbl := &em.switches[si]
+		for i, t := range tbl.Targets {
+			npc, err := remap(t)
+			if err != nil {
+				return err
+			}
+			tbl.Targets[i] = npc
+		}
+		npc, err := remap(tbl.Default)
+		if err != nil {
+			return err
+		}
+		tbl.Default = npc
+	}
+	// User exception table entries are remapped the same way.
+	for _, ex := range em.m.Except {
+		from, err := remap(ex.From)
+		if err != nil {
+			return err
+		}
+		handler, err := remap(ex.Handler)
+		if err != nil {
+			return err
+		}
+		to, ok := em.pcMap[ex.To]
+		if !ok {
+			if int(ex.To) == len(em.m.Code) {
+				to = em.bodyEnd
+			} else {
+				return fmt.Errorf("exception range end %d is not a statement start", ex.To)
+			}
+		}
+		em.userEx = append(em.userEx, bytecode.ExRange{
+			From: from, To: to, Handler: handler, ClassID: ex.ClassID,
+		})
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

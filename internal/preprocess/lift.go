@@ -1,0 +1,338 @@
+// Package preprocess implements the class preprocessor of §III: the
+// offline, automatic bytecode transformation pass that makes a program
+// migratable and distribution-aware. For each method it
+//
+//  1. *lifts* the bytecode into per-statement expression trees,
+//  2. *flattens* nested calls into temporaries so that every statement
+//     boundary has an empty operand stack and at most one call whose
+//     result is immediately stored — producing the migration-safe points
+//     (MSPs) of §III.B.1 and making statements safely re-executable,
+//  3. injects *object fault handlers* (Fig 5 B2) or *status checks*
+//     (Fig 5 B1) for remote-object detection, and
+//  4. injects the *restoration handler* (Fig 4) that reloads locals from a
+//     CapturedState and jumps to the saved pc via a table switch.
+//
+// Methods the lifter cannot analyze (irregular stack discipline) are
+// copied unchanged and simply carry no MSPs — they never migrate, the same
+// graceful degradation a production system would need.
+package preprocess
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+)
+
+// expr is a node of a lifted statement tree. op/a/b mirror the original
+// instruction; kids are operands in evaluation order.
+type expr struct {
+	op        bytecode.Op
+	a, b      int32
+	kids      []*expr
+	synthetic bool // value is already on the runtime stack (handler entry)
+}
+
+// stmt is one maximal instruction run between empty-operand-stack points.
+type stmt struct {
+	origPC     int32 // pc of the statement's first instruction in the input
+	root       *expr
+	entryDepth int // 1 for the pop/store consuming a handler's exception
+}
+
+// liftError explains why a method cannot be lifted.
+type liftError struct {
+	pc  int32
+	msg string
+}
+
+func (e *liftError) Error() string { return fmt.Sprintf("pc %d: %s", e.pc, e.msg) }
+
+// lift decodes m's body into statements. It fails (method stays as-is)
+// when the code uses stack idioms outside the statement discipline —
+// Dup/Swap, non-empty stacks at branch targets, multi-value carries.
+func lift(p *bytecode.Program, m *bytecode.Method) ([]*stmt, error) {
+	code := m.Code
+	n := int32(len(code))
+
+	// Branch targets and handler entries must be statement starts.
+	targets := make(map[int32]bool)
+	handlers := make(map[int32]bool)
+	for _, ins := range code {
+		if ins.Op.IsBranch() {
+			targets[ins.A] = true
+		}
+	}
+	for _, ins := range code {
+		if ins.Op == bytecode.OpTSwitch {
+			tbl := &m.Switches[ins.A]
+			targets[tbl.Default] = true
+			for _, t := range tbl.Targets {
+				targets[t] = true
+			}
+		}
+	}
+	for _, ex := range m.Except {
+		handlers[ex.Handler] = true
+	}
+
+	var stmts []*stmt
+	var stack []*expr
+	stmtStart := int32(0)
+	entryDepth := 0
+
+	pop := func(pc int32, k int) ([]*expr, error) {
+		if len(stack) < k {
+			return nil, &liftError{pc, fmt.Sprintf("%s needs %d operands, stack has %d", code[pc].Op, k, len(stack))}
+		}
+		kids := make([]*expr, k)
+		copy(kids, stack[len(stack)-k:])
+		stack = stack[:len(stack)-k]
+		return kids, nil
+	}
+	closeStmt := func(pc int32, root *expr) {
+		stmts = append(stmts, &stmt{origPC: stmtStart, root: root, entryDepth: entryDepth})
+		stmtStart = pc + 1
+		entryDepth = 0
+	}
+
+	for pc := int32(0); pc < n; pc++ {
+		if pc == stmtStart {
+			if handlers[pc] {
+				if len(stack) != 0 {
+					return nil, &liftError{pc, "handler entry with pending statement"}
+				}
+				stack = append(stack, &expr{synthetic: true})
+				entryDepth = 1
+			}
+		} else if targets[pc] || handlers[pc] {
+			return nil, &liftError{pc, "branch target inside a statement"}
+		}
+
+		ins := code[pc]
+		switch ins.Op {
+		// Leaves.
+		case bytecode.OpConst, bytecode.OpIConst, bytecode.OpNull, bytecode.OpSConst,
+			bytecode.OpLoad, bytecode.OpGetS, bytecode.OpNew:
+			stack = append(stack, &expr{op: ins.Op, a: ins.A, b: ins.B})
+
+		// Unary.
+		case bytecode.OpNeg, bytecode.OpNot, bytecode.OpI2F, bytecode.OpF2I,
+			bytecode.OpArrLen, bytecode.OpInstOf, bytecode.OpCheckCast, bytecode.OpGetF:
+			kids, err := pop(pc, 1)
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, &expr{op: ins.Op, a: ins.A, b: ins.B, kids: kids})
+
+		// Binary.
+		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod,
+			bytecode.OpAnd, bytecode.OpOr, bytecode.OpXor, bytecode.OpShl, bytecode.OpShr,
+			bytecode.OpEq, bytecode.OpNe, bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe,
+			bytecode.OpALoad:
+			kids, err := pop(pc, 2)
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, &expr{op: ins.Op, a: ins.A, b: ins.B, kids: kids})
+
+		// Array allocation (length operand).
+		case bytecode.OpNewArr:
+			kids, err := pop(pc, 1)
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, &expr{op: ins.Op, a: ins.A, kids: kids})
+
+		// Calls.
+		case bytecode.OpCall, bytecode.OpCallV, bytecode.OpCallNat:
+			nargs := int(ins.B)
+			kids, err := pop(pc, nargs)
+			if err != nil {
+				return nil, err
+			}
+			node := &expr{op: ins.Op, a: ins.A, b: ins.B, kids: kids}
+			if callReturns(p, ins) {
+				stack = append(stack, node)
+			} else {
+				if len(stack) != 0 {
+					return nil, &liftError{pc, "void call with residual operands"}
+				}
+				closeStmt(pc, node)
+			}
+
+		// Statement roots.
+		case bytecode.OpStore, bytecode.OpPop, bytecode.OpRetV, bytecode.OpThrow,
+			bytecode.OpPutS, bytecode.OpJz, bytecode.OpJnz:
+			kids, err := pop(pc, 1)
+			if err != nil {
+				return nil, err
+			}
+			if len(stack) != 0 {
+				return nil, &liftError{pc, fmt.Sprintf("%s leaves %d residual operands", ins.Op, len(stack))}
+			}
+			closeStmt(pc, &expr{op: ins.Op, a: ins.A, b: ins.B, kids: kids})
+		case bytecode.OpPutF:
+			kids, err := pop(pc, 2)
+			if err != nil {
+				return nil, err
+			}
+			if len(stack) != 0 {
+				return nil, &liftError{pc, "putf leaves residual operands"}
+			}
+			closeStmt(pc, &expr{op: ins.Op, a: ins.A, kids: kids})
+		case bytecode.OpAStore:
+			kids, err := pop(pc, 3)
+			if err != nil {
+				return nil, err
+			}
+			if len(stack) != 0 {
+				return nil, &liftError{pc, "astore leaves residual operands"}
+			}
+			closeStmt(pc, &expr{op: ins.Op, kids: kids})
+		case bytecode.OpTSwitch:
+			kids, err := pop(pc, 1)
+			if err != nil {
+				return nil, err
+			}
+			if len(stack) != 0 {
+				return nil, &liftError{pc, "tswitch leaves residual operands"}
+			}
+			closeStmt(pc, &expr{op: ins.Op, a: ins.A, kids: kids})
+		case bytecode.OpJmp, bytecode.OpRet, bytecode.OpNop:
+			if len(stack) != 0 {
+				return nil, &liftError{pc, fmt.Sprintf("%s with residual operands", ins.Op)}
+			}
+			if ins.Op == bytecode.OpNop {
+				// Fold nops into the following statement.
+				continue
+			}
+			closeStmt(pc, &expr{op: ins.Op, a: ins.A})
+
+		// Idioms outside the statement discipline.
+		case bytecode.OpDup, bytecode.OpSwap, bytecode.OpGetStatus:
+			return nil, &liftError{pc, fmt.Sprintf("%s is not liftable", ins.Op)}
+		default:
+			return nil, &liftError{pc, fmt.Sprintf("unsupported opcode %s", ins.Op)}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, &liftError{n, "operand stack not empty at end of code"}
+	}
+	return stmts, nil
+}
+
+func callReturns(p *bytecode.Program, ins bytecode.Instr) bool {
+	switch ins.Op {
+	case bytecode.OpCall:
+		return p.Methods[ins.A].ReturnsValue
+	case bytecode.OpCallV:
+		for _, c := range p.Classes {
+			if mid, ok := c.Methods[p.VNames[ins.A]]; ok {
+				return p.Methods[mid].ReturnsValue
+			}
+		}
+		return false
+	case bytecode.OpCallNat:
+		return p.Natives[ins.A].ReturnsValue
+	}
+	return false
+}
+
+// --- deref-site analysis ---
+
+// siteKind discriminates the patchable location classes of §III.C.
+type siteKind int
+
+const (
+	siteLocal siteKind = iota
+	siteField
+	siteStatic
+	siteElem
+)
+
+// site is one dereferenced location within a statement: what the injected
+// fault handler (or hoisted status check) must bring in and patch.
+type site struct {
+	kind     siteKind
+	slot     int32 // siteLocal
+	fieldIdx int32 // siteField
+	clsID    int32 // siteStatic
+	statIdx  int32 // siteStatic
+	base     *expr // siteField: object expr; siteElem: array expr
+	idx      *expr // siteElem
+}
+
+// locate maps a ref-producing expression to its patchable location.
+// CheckCast wrappers are transparent. Expressions with no stable location
+// (freshly allocated objects, call results before spilling) return !ok —
+// they are local by construction and never need patching.
+func locate(e *expr) (site, bool) {
+	for e.op == bytecode.OpCheckCast {
+		e = e.kids[0]
+	}
+	switch e.op {
+	case bytecode.OpLoad:
+		return site{kind: siteLocal, slot: e.a}, true
+	case bytecode.OpGetF:
+		return site{kind: siteField, fieldIdx: e.a, base: e.kids[0]}, true
+	case bytecode.OpGetS:
+		return site{kind: siteStatic, clsID: e.a, statIdx: e.b}, true
+	case bytecode.OpALoad:
+		return site{kind: siteElem, base: e.kids[0], idx: e.kids[1]}, true
+	}
+	return site{}, false
+}
+
+// scanSites collects the deref sites of a statement tree in evaluation
+// (post-) order: a dereference happens after its operands are evaluated,
+// so patching in this order guarantees each patch's own base is already
+// local when it runs.
+func scanSites(root *expr) []site {
+	var sites []site
+	seen := func(k *expr) {
+		if s, ok := locate(k); ok {
+			sites = append(sites, s)
+		}
+	}
+	var walk func(e *expr)
+	walk = func(e *expr) {
+		for _, k := range e.kids {
+			walk(k)
+		}
+		switch e.op {
+		case bytecode.OpGetF, bytecode.OpArrLen, bytecode.OpInstOf,
+			bytecode.OpCheckCast, bytecode.OpThrow,
+			bytecode.OpALoad, bytecode.OpPutF, bytecode.OpAStore:
+			seen(e.kids[0]) // the object/array being dereferenced
+		case bytecode.OpCallV:
+			seen(e.kids[0]) // receiver
+		case bytecode.OpCallNat:
+			// Natives dereference their ref arguments internally (JNI-style),
+			// so every locatable argument is a patchable site. Non-ref
+			// arguments patch through bringObj as identity no-ops.
+			for _, k := range e.kids {
+				seen(k)
+			}
+		}
+	}
+	walk(root)
+	return sites
+}
+
+// pure reports whether re-evaluating e is side-effect free (loads, consts,
+// field/array/static reads, arithmetic). Calls and allocations are impure.
+func pure(e *expr) bool {
+	switch e.op {
+	case bytecode.OpCall, bytecode.OpCallV, bytecode.OpCallNat, bytecode.OpNew, bytecode.OpNewArr:
+		return false
+	}
+	if e.synthetic {
+		return false
+	}
+	for _, k := range e.kids {
+		if !pure(k) {
+			return false
+		}
+	}
+	return true
+}

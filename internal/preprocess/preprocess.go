@@ -1,0 +1,208 @@
+package preprocess
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+)
+
+// Mode selects the remote-object detection scheme injected into the code.
+type Mode int
+
+const (
+	// ModeNone injects no DSM instrumentation (used by the plain-JDK
+	// reference, the eager-copy process-migration baseline and the Xen
+	// baseline, none of which fault objects in).
+	ModeNone Mode = iota
+	// ModeFaulting injects object fault handlers (Fig 5 B2) — the paper's
+	// contribution: zero cost on the normal path, exception-driven fetch.
+	ModeFaulting
+	// ModeStatusCheck injects hoisted status checks before every access
+	// (Fig 5 B1) — the classical object-DSM baseline (JavaSplit-style,
+	// also how the JESSICA2 comparison system detects remote objects).
+	ModeStatusCheck
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFaulting:
+		return "faulting"
+	case ModeStatusCheck:
+		return "statuscheck"
+	default:
+		return "none"
+	}
+}
+
+// Options configures a preprocessing pass.
+type Options struct {
+	Mode Mode
+	// Restore injects the Fig 4 restoration handlers needed by JVMTI-style
+	// frame reconstruction (SODEE and the G-JavaMPI baseline). Systems that
+	// rebuild frames inside the VM (JESSICA2) or migrate whole VM images
+	// (Xen) do not need them.
+	Restore bool
+}
+
+// MethodReport records what happened to one method.
+type MethodReport struct {
+	Name          string
+	Lifted        bool
+	Reason        string // why lifting was skipped/failed
+	Stmts         int
+	FaultHandlers int
+	OrigSize      int // serialized body size in bytes (Fig 5 comparison)
+	NewSize       int
+}
+
+// Report summarizes a preprocessing pass.
+type Report struct {
+	Mode    Mode
+	Methods []MethodReport
+}
+
+// SizeOf returns the post-transform code size of a method by name, or -1.
+func (r *Report) SizeOf(name string) int {
+	for _, mr := range r.Methods {
+		if mr.Name == name {
+			return mr.NewSize
+		}
+	}
+	return -1
+}
+
+// Preprocess transforms every method of p per opts and returns a new,
+// verified program. The input program is not modified; classes and the
+// virtual-name table are shared (they are immutable).
+func Preprocess(p *bytecode.Program, opts Options) (*bytecode.Program, *Report, error) {
+	natives := append([]bytecode.NativeSig(nil), p.Natives...)
+	have := make(map[string]bool, len(natives))
+	for _, n := range natives {
+		have[n.Name] = true
+	}
+	for _, sig := range []bytecode.NativeSig{
+		{Name: NatBringObj, NArgs: 1, ReturnsValue: true},
+		{Name: NatRstLocal, NArgs: 1, ReturnsValue: true},
+		{Name: NatRstPC, NArgs: 0, ReturnsValue: true},
+	} {
+		if !have[sig.Name] {
+			natives = append(natives, sig)
+		}
+	}
+
+	out := &bytecode.Program{
+		Classes: p.Classes,
+		Natives: natives,
+		VNames:  p.VNames,
+	}
+	out.BuildIndexes() // for NativeByName during emission
+
+	remoteFault := p.ClassByName(bytecode.ExRemoteFault)
+	invalidState := p.ClassByName(bytecode.ExInvalidState)
+	illegalState := p.ClassByName(bytecode.ExIllegalState)
+	if remoteFault < 0 || invalidState < 0 || illegalState < 0 {
+		return nil, nil, fmt.Errorf("preprocess: program lacks builtin exception classes")
+	}
+
+	rep := &Report{Mode: opts.Mode}
+	for _, m := range p.Methods {
+		nm, mr, err := transformMethod(p, out, m, opts, remoteFault, invalidState, illegalState)
+		if err != nil {
+			return nil, nil, fmt.Errorf("preprocess %s: %w", p.QualifiedName(m), err)
+		}
+		mr.Name = p.QualifiedName(m)
+		mr.OrigSize = m.CodeSize()
+		mr.NewSize = nm.CodeSize()
+		rep.Methods = append(rep.Methods, mr)
+		out.Methods = append(out.Methods, nm)
+	}
+	out.BuildIndexes()
+	if err := bytecode.Verify(out); err != nil {
+		return nil, nil, fmt.Errorf("preprocess: output fails verification: %w", err)
+	}
+	return out, rep, nil
+}
+
+// MustPreprocess is Preprocess that panics on error (fixed workloads).
+func MustPreprocess(p *bytecode.Program, opts Options) *bytecode.Program {
+	out, _, err := Preprocess(p, opts)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// copyMethod clones m unchanged except for stripping MSPs (an untransformed
+// method never migrates).
+func copyMethod(m *bytecode.Method) *bytecode.Method {
+	nm := *m
+	nm.Code = append([]bytecode.Instr(nil), m.Code...)
+	nm.Except = append([]bytecode.ExRange(nil), m.Except...)
+	nm.MSPs = nil
+	nm.BuildMSPSet()
+	return &nm
+}
+
+func transformMethod(p, out *bytecode.Program, m *bytecode.Method, opts Options,
+	remoteFault, invalidState, illegalState int32) (*bytecode.Method, MethodReport, error) {
+
+	var mr MethodReport
+	if m.Pragmas != nil && m.Pragmas["nopreprocess"] {
+		mr.Reason = "pragma nopreprocess"
+		return copyMethod(m), mr, nil
+	}
+	stmts, err := lift(p, m)
+	if err != nil {
+		mr.Reason = err.Error()
+		return copyMethod(m), mr, nil
+	}
+	mr.Lifted = true
+	mr.Stmts = len(stmts)
+
+	em := newEmitter(out, m, opts)
+	em.callRetProg = p
+	for _, s := range stmts {
+		if err := em.emitStmt(s); err != nil {
+			return nil, mr, err
+		}
+	}
+	em.bodyEnd = em.pc()
+	if err := em.remapJumps(); err != nil {
+		return nil, mr, err
+	}
+
+	if opts.Mode == ModeFaulting {
+		em.emitFaultHandlers(remoteFault)
+		mr.FaultHandlers = len(em.pending)
+	}
+	var restoreEx []bytecode.ExRange
+	if opts.Restore {
+		h := em.emitRestoreHandler(illegalState)
+		restoreEx = []bytecode.ExRange{{From: 0, To: em.bodyEnd, Handler: h, ClassID: invalidState}}
+	}
+
+	nm := &bytecode.Method{
+		ID:           m.ID,
+		ClassID:      m.ClassID,
+		Name:         m.Name,
+		NArgs:        m.NArgs,
+		NLocals:      em.nlocals,
+		ReturnsValue: m.ReturnsValue,
+		Virtual:      m.Virtual,
+		Code:         em.code,
+		Consts:       m.Consts,
+		Strings:      m.Strings,
+		Lines:        em.lines,
+		Switches:     em.switches,
+		MSPs:         em.msps,
+		Pragmas:      m.Pragmas,
+	}
+	// Handler-match order: per-statement fault handlers (innermost), then
+	// the user's own try/catch entries, then the whole-body restoration
+	// range (outermost).
+	nm.Except = append(nm.Except, em.faultEx...)
+	nm.Except = append(nm.Except, em.userEx...)
+	nm.Except = append(nm.Except, restoreEx...)
+	nm.BuildMSPSet()
+	return nm, mr, nil
+}

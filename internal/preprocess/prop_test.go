@@ -1,0 +1,179 @@
+package preprocess_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+	"repro/internal/preprocess"
+	"repro/internal/value"
+	"repro/internal/vm"
+)
+
+// genExpr emits a random integer expression of the given depth onto mb's
+// stack, drawing leaves from the two argument locals and small constants,
+// and internal nodes from arithmetic ops, field reads of a Box object in
+// local "box", and calls to a pure helper function. It returns nothing;
+// the expression value is left on the operand stack.
+func genExpr(rng *rand.Rand, mb *asm.MethodBuilder, depth int) {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			mb.Load("a")
+		case 1:
+			mb.Load("b")
+		case 2:
+			mb.Int(int64(rng.Intn(21) - 10))
+		default:
+			mb.Load("box").GetF("Box", "v")
+		}
+		return
+	}
+	switch rng.Intn(6) {
+	case 0:
+		genExpr(rng, mb, depth-1)
+		genExpr(rng, mb, depth-1)
+		mb.Add()
+	case 1:
+		genExpr(rng, mb, depth-1)
+		genExpr(rng, mb, depth-1)
+		mb.Sub()
+	case 2:
+		genExpr(rng, mb, depth-1)
+		genExpr(rng, mb, depth-1)
+		mb.Mul()
+	case 3:
+		// helper(x) = 2x+1 — a nested call the flattener must spill.
+		genExpr(rng, mb, depth-1)
+		mb.Call("helper", 1)
+	case 4:
+		genExpr(rng, mb, depth-1)
+		mb.Neg()
+	default:
+		genExpr(rng, mb, depth-1)
+		genExpr(rng, mb, depth-1)
+		mb.Xor()
+	}
+}
+
+// genProgram builds a random program: a chain of statements assigning
+// random expressions to locals, a conditional branch, and a loop summing
+// into an accumulator.
+func genProgram(seed int64) *bytecode.Program {
+	rng := rand.New(rand.NewSource(seed))
+	pb := asm.NewProgram()
+	box := pb.Class("Box", "")
+	box.Field("v", value.KindInt)
+
+	h := pb.Func("helper", true, "x")
+	h.Line().Load("x").Int(2).Mul().Int(1).Add().RetV()
+
+	mb := pb.Func("main", true, "a", "b")
+	mb.Line().New("Box").Store("box")
+	mb.Line().Load("box").Int(int64(rng.Intn(50))).PutF("Box", "v")
+
+	nStmts := 2 + rng.Intn(4)
+	for i := 0; i < nStmts; i++ {
+		mb.Line()
+		genExpr(rng, mb, 1+rng.Intn(3))
+		mb.Store("t")
+		// Fold into the accumulator so nothing is dead.
+		mb.Line().Load("acc").Load("t").Xor().Store("acc")
+	}
+	// A branch whose condition is itself a random expression.
+	mb.Line()
+	genExpr(rng, mb, 2)
+	mb.Jz("skip")
+	mb.Line().Load("acc").Int(7).Mul().Store("acc")
+	mb.Label("skip")
+	// A short loop with a field write.
+	mb.Line().Int(0).Store("i")
+	mb.Label("loop")
+	mb.Line().Load("i").Int(5).Ge().Jnz("done")
+	mb.Line().Load("box").Load("box").GetF("Box", "v").Load("i").Add().PutF("Box", "v")
+	mb.Line().Load("i").Int(1).Add().Store("i")
+	mb.Line().Jmp("loop")
+	mb.Label("done")
+	mb.Line().Load("acc").Load("box").GetF("Box", "v").Add().RetV()
+
+	return pb.MustBuild()
+}
+
+func runOn(t *testing.T, p *bytecode.Program, a, b int64) (value.Value, error) {
+	t.Helper()
+	v := vm.New(p, 1, true)
+	v.BindNativeIfDeclared(preprocess.NatBringObj, func(th *vm.Thread, args []value.Value) (value.Value, *vm.Raised) {
+		return args[0], nil
+	})
+	v.BindNativeIfDeclared(preprocess.NatRstLocal, func(th *vm.Thread, args []value.Value) (value.Value, *vm.Raised) {
+		return value.Value{}, &vm.Raised{ExClass: bytecode.ExIllegalState}
+	})
+	v.BindNativeIfDeclared(preprocess.NatRstPC, func(th *vm.Thread, args []value.Value) (value.Value, *vm.Raised) {
+		return value.Value{}, &vm.Raised{ExClass: bytecode.ExIllegalState}
+	})
+	return v.RunMain(p.MethodByName("main"), value.Int(a), value.Int(b))
+}
+
+// TestPropertyPreprocessPreservesRandomPrograms is the core preprocessor
+// property: for randomly generated programs and inputs, every
+// instrumentation mode computes exactly what the original computes.
+func TestPropertyPreprocessPreservesRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		orig := genProgram(seed)
+		variants := map[string]*bytecode.Program{
+			"none":  preprocess.MustPreprocess(orig, preprocess.Options{Mode: preprocess.ModeNone, Restore: true}),
+			"fault": preprocess.MustPreprocess(orig, preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true}),
+			"check": preprocess.MustPreprocess(orig, preprocess.Options{Mode: preprocess.ModeStatusCheck, Restore: false}),
+		}
+		for _, in := range [][2]int64{{0, 0}, {1, 2}, {-5, 13}, {100, -100}} {
+			want, werr := runOn(t, orig, in[0], in[1])
+			for name, pp := range variants {
+				got, gerr := runOn(t, pp, in[0], in[1])
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("seed %d %s in=%v: err %v vs %v", seed, name, in, werr, gerr)
+				}
+				if werr == nil && !got.Equal(want) {
+					t.Fatalf("seed %d %s in=%v: got %v want %v", seed, name, in, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyMSPDensity: after flattening, every statement boundary in a
+// lifted method is an MSP, and MSP count is at least the statement count
+// of the original (flattening only adds boundaries).
+func TestPropertyMSPDensity(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		orig := genProgram(seed)
+		pp, rep, err := preprocess.Preprocess(orig, preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mr := range rep.Methods {
+			if !mr.Lifted {
+				t.Fatalf("seed %d: %s not lifted: %s", seed, mr.Name, mr.Reason)
+			}
+			m := pp.Methods[pp.MethodByName(mr.Name)]
+			if mr.Name == "main" && len(m.MSPs) < mr.Stmts {
+				t.Errorf("seed %d: %d MSPs for %d statements", seed, len(m.MSPs), mr.Stmts)
+			}
+		}
+	}
+}
+
+// TestPropertyVerifierAcceptsAllTransforms: the output of every transform
+// passes the bytecode verifier (Preprocess runs it internally; this test
+// asserts it again explicitly on a fresh pass for belt and braces).
+func TestPropertyVerifierAcceptsAllTransforms(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		orig := genProgram(seed)
+		for _, mode := range []preprocess.Mode{preprocess.ModeNone, preprocess.ModeFaulting, preprocess.ModeStatusCheck} {
+			pp := preprocess.MustPreprocess(orig, preprocess.Options{Mode: mode, Restore: true})
+			if err := bytecode.Verify(pp); err != nil {
+				t.Fatalf("seed %d mode %v: %v", seed, mode, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package serial
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// ClassBundle is the unit of on-demand code shipping: one class with the
+// full bodies of its methods. The destination decodes it, verifies it
+// matches the program it already indexes (ids are deterministic across
+// nodes because every node preprocesses the same program), and marks the
+// class loaded. The bytes genuinely cross the network, so code-transfer
+// time is accounted exactly like the paper's class shipping.
+type ClassBundle struct {
+	Class   *bytecode.Class
+	Methods []*bytecode.Method
+}
+
+// EncodeClass serializes class cid of prog with all its method bodies.
+func EncodeClass(prog *bytecode.Program, cid int32) []byte {
+	c := prog.Classes[cid]
+	w := wire.NewWriter(512)
+	w.Byte(tagClass)
+	w.String(c.Name)
+	w.Varint(int64(c.ID))
+	w.Varint(int64(c.Super))
+	encFields(w, c.Fields)
+	encFields(w, c.Statics)
+	w.Uvarint(uint64(len(c.Methods)))
+	for name, mid := range c.Methods {
+		w.String(name)
+		w.Varint(int64(mid))
+	}
+	// Method bodies.
+	var mids []int32
+	for _, mid := range c.Methods {
+		mids = append(mids, mid)
+	}
+	w.Uvarint(uint64(len(mids)))
+	for _, mid := range mids {
+		encMethod(w, prog.Methods[mid])
+	}
+	return w.Bytes()
+}
+
+// DecodeClass parses a class bundle.
+func DecodeClass(buf []byte) (*ClassBundle, error) {
+	r := wire.NewReader(buf)
+	r.Expect(tagClass)
+	c := &bytecode.Class{Methods: make(map[string]int32)}
+	c.Name = r.String()
+	c.ID = int32(r.Varint())
+	c.Super = int32(r.Varint())
+	c.Fields = decFields(r)
+	c.Statics = decFields(r)
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err() == nil; i++ {
+		name := r.String()
+		c.Methods[name] = int32(r.Varint())
+	}
+	b := &ClassBundle{Class: c}
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err() == nil; i++ {
+		m, err := decMethod(r)
+		if err != nil {
+			return nil, err
+		}
+		b.Methods = append(b.Methods, m)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// VerifyAgainst checks the decoded bundle matches the local program's
+// class (the destination's "class loading" consistency check).
+func (b *ClassBundle) VerifyAgainst(prog *bytecode.Program) error {
+	if b.Class.ID < 0 || int(b.Class.ID) >= len(prog.Classes) {
+		return fmt.Errorf("serial: class id %d out of range", b.Class.ID)
+	}
+	local := prog.Classes[b.Class.ID]
+	if local.Name != b.Class.Name || local.Super != b.Class.Super ||
+		len(local.Fields) != len(b.Class.Fields) || len(local.Statics) != len(b.Class.Statics) {
+		return fmt.Errorf("serial: class %q does not match local definition", b.Class.Name)
+	}
+	for _, m := range b.Methods {
+		if m.ID < 0 || int(m.ID) >= len(prog.Methods) {
+			return fmt.Errorf("serial: method id %d out of range", m.ID)
+		}
+		lm := prog.Methods[m.ID]
+		if lm.Name != m.Name || len(lm.Code) != len(m.Code) {
+			return fmt.Errorf("serial: method %q does not match local definition", m.Name)
+		}
+		for i := range m.Code {
+			if m.Code[i] != lm.Code[i] {
+				return fmt.Errorf("serial: method %q code diverges at pc %d", m.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+func encFields(w *wire.Writer, fs []bytecode.Field) {
+	w.Uvarint(uint64(len(fs)))
+	for _, f := range fs {
+		w.String(f.Name)
+		w.Byte(byte(f.Kind))
+	}
+}
+
+func decFields(r *wire.Reader) []bytecode.Field {
+	n := r.Uvarint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil
+	}
+	fs := make([]bytecode.Field, n)
+	for i := range fs {
+		fs[i].Name = r.String()
+		fs[i].Kind = value.Kind(r.Byte())
+	}
+	return fs
+}
+
+func encMethod(w *wire.Writer, m *bytecode.Method) {
+	w.String(m.Name)
+	w.Varint(int64(m.ID))
+	w.Varint(int64(m.ClassID))
+	w.Varint(int64(m.NArgs))
+	w.Varint(int64(m.NLocals))
+	w.Varint(int64(m.MaxStack))
+	w.Bool(m.ReturnsValue)
+	w.Bool(m.Virtual)
+	w.Uvarint(uint64(len(m.Code)))
+	for _, ins := range m.Code {
+		w.Byte(byte(ins.Op))
+		w.Varint(int64(ins.A))
+		w.Varint(int64(ins.B))
+	}
+	w.Uvarint(uint64(len(m.Consts)))
+	for _, cv := range m.Consts {
+		encValue(w, cv, Fast)
+	}
+	w.Uvarint(uint64(len(m.Strings)))
+	for _, s := range m.Strings {
+		w.String(s)
+	}
+	w.Uvarint(uint64(len(m.Except)))
+	for _, ex := range m.Except {
+		w.Varint(int64(ex.From))
+		w.Varint(int64(ex.To))
+		w.Varint(int64(ex.Handler))
+		w.Varint(int64(ex.ClassID))
+	}
+	w.Uvarint(uint64(len(m.Lines)))
+	for _, le := range m.Lines {
+		w.Varint(int64(le.PC))
+		w.Varint(int64(le.Line))
+	}
+	w.Uvarint(uint64(len(m.Switches)))
+	for _, sw := range m.Switches {
+		enc32s(w, sw.Keys)
+		enc32s(w, sw.Targets)
+		w.Varint(int64(sw.Default))
+	}
+	enc32s(w, m.MSPs)
+}
+
+func decMethod(r *wire.Reader) (*bytecode.Method, error) {
+	m := &bytecode.Method{}
+	m.Name = r.String()
+	m.ID = int32(r.Varint())
+	m.ClassID = int32(r.Varint())
+	m.NArgs = int(r.Varint())
+	m.NLocals = int(r.Varint())
+	m.MaxStack = int(r.Varint())
+	m.ReturnsValue = r.Bool()
+	m.Virtual = r.Bool()
+	nc := r.Uvarint()
+	if r.Err() != nil || nc > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("serial: corrupt code length")
+	}
+	m.Code = make([]bytecode.Instr, nc)
+	for i := range m.Code {
+		m.Code[i].Op = bytecode.Op(r.Byte())
+		m.Code[i].A = int32(r.Varint())
+		m.Code[i].B = int32(r.Varint())
+	}
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err() == nil; i++ {
+		m.Consts = append(m.Consts, decValue(r, Fast))
+	}
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err() == nil; i++ {
+		m.Strings = append(m.Strings, r.String())
+	}
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err() == nil; i++ {
+		m.Except = append(m.Except, bytecode.ExRange{
+			From: int32(r.Varint()), To: int32(r.Varint()),
+			Handler: int32(r.Varint()), ClassID: int32(r.Varint()),
+		})
+	}
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err() == nil; i++ {
+		m.Lines = append(m.Lines, bytecode.LineEntry{PC: int32(r.Varint()), Line: int32(r.Varint())})
+	}
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err() == nil; i++ {
+		m.Switches = append(m.Switches, bytecode.SwitchTable{
+			Keys: dec32s(r), Targets: dec32s(r), Default: int32(r.Varint()),
+		})
+	}
+	m.MSPs = dec32s(r)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	m.BuildMSPSet()
+	return m, nil
+}
+
+func enc32s(w *wire.Writer, vs []int32) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.Varint(int64(v))
+	}
+}
+
+func dec32s(r *wire.Reader) []int32 {
+	n := r.Uvarint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil
+	}
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(r.Varint())
+	}
+	return vs
+}

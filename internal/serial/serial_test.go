@@ -1,0 +1,243 @@
+package serial_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+	"repro/internal/preprocess"
+	"repro/internal/serial"
+	"repro/internal/value"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func testProgram() *bytecode.Program {
+	pb := asm.NewProgram()
+	c := pb.Class("Box", "")
+	c.Field("v", value.KindInt)
+	c.Field("next", value.KindRef)
+	c.Static("count", value.KindInt)
+	m := c.Method("get", true)
+	m.Line().Load("this").GetF("Box", "v").RetV()
+	mb := pb.Func("main", true)
+	mb.Line().New("Box").CallV("get", 1).RetV()
+	return pb.MustBuild()
+}
+
+func TestJavaSerIsLargerAndSelfDescribing(t *testing.T) {
+	prog := testProgram()
+	cs := &serial.CapturedState{
+		HomeNode: 1, ThreadID: 5,
+		Frames: []serial.CapturedFrame{{
+			MethodID: prog.MethodByName("main"), PC: 0, ResumePC: 0,
+			Locals: []value.Value{value.Int(1), value.Float(2), value.Null()},
+		}},
+		Statics: []serial.ClassStatics{{ClassID: prog.ClassByName("Box"), Values: []value.Value{value.Int(3)}}},
+	}
+	fast := serial.EncodeCapturedState(cs, prog, serial.Fast)
+	java := serial.EncodeCapturedState(cs, prog, serial.JavaSer)
+	if len(java) <= len(fast)*2 {
+		t.Errorf("javaser (%dB) should be much larger than fast (%dB)", len(java), len(fast))
+	}
+	for _, c := range []serial.Codec{serial.Fast, serial.JavaSer} {
+		buf := serial.EncodeCapturedState(cs, prog, c)
+		got, err := serial.DecodeCapturedState(buf, prog, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if len(got.Frames) != 1 || len(got.Frames[0].Locals) != 3 {
+			t.Fatalf("%v: bad decode %+v", c, got)
+		}
+		if !got.Frames[0].Locals[1].Equal(value.Float(2)) {
+			t.Errorf("%v: locals mismatch", c)
+		}
+		if got.Statics[0].Values[0].I != 3 {
+			t.Errorf("%v: statics mismatch", c)
+		}
+	}
+}
+
+func TestObjectRoundTripBothCodecs(t *testing.T) {
+	prog := testProgram()
+	h := vm.NewHeap(3)
+	cid := prog.ClassByName("Box")
+	ref, _ := h.Alloc(cid, 2)
+	o := h.MustGet(ref)
+	o.Fields[0] = value.Int(42)
+	o.Fields[1] = value.RefVal(value.MakeRef(3, 99))
+
+	for _, c := range []serial.Codec{serial.Fast, serial.JavaSer} {
+		wo := serial.SnapshotObject(ref, o)
+		buf := serial.EncodeObject(&wo, prog, c)
+		got, err := serial.DecodeObject(buf, prog, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if got.Ref != ref || got.Class != cid {
+			t.Errorf("%v: identity lost", c)
+		}
+		if got.Fields[0].I != 42 || got.Fields[1].R != value.MakeRef(3, 99) {
+			t.Errorf("%v: fields lost: %+v", c, got.Fields)
+		}
+		m := got.Materialize()
+		if m.Home != ref || m.Status != 1 {
+			t.Errorf("%v: materialized copy should be a valid cached copy", c)
+		}
+	}
+}
+
+func TestArrayObjectsAllKinds(t *testing.T) {
+	prog := testProgram()
+	h := vm.NewHeap(2)
+	objCls := prog.ClassByName(bytecode.ClassObject)
+	mk := func(kind int32, n int) value.Ref {
+		r, err := h.AllocArray(objCls, kind, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ri := mk(bytecode.ArrKindInt, 3)
+	h.MustGet(ri).AI[1] = -7
+	rf := mk(bytecode.ArrKindFloat, 2)
+	h.MustGet(rf).AF[0] = 1.5
+	rb := mk(bytecode.ArrKindByte, 4)
+	h.MustGet(rb).AB[3] = 0xEE
+	rr := mk(bytecode.ArrKindRef, 2)
+	h.MustGet(rr).AR[1] = value.MakeRef(2, 1)
+
+	for _, ref := range []value.Ref{ri, rf, rb, rr} {
+		for _, c := range []serial.Codec{serial.Fast, serial.JavaSer} {
+			wo := serial.SnapshotObject(ref, h.MustGet(ref))
+			got, err := serial.DecodeObject(serial.EncodeObject(&wo, prog, c), prog, c)
+			if err != nil {
+				t.Fatalf("%v %v: %v", ref, c, err)
+			}
+			if got.IsArray != true || got.AKind != h.MustGet(ref).AKind {
+				t.Errorf("array metadata lost")
+			}
+		}
+	}
+}
+
+func TestFlushRoundTrip(t *testing.T) {
+	prog := testProgram()
+	fm := &serial.FlushMessage{
+		ThreadID: 9, HasResult: true, Result: value.Int(1234), Err: "",
+		Updated: []serial.WireObject{{Ref: value.MakeRef(1, 1), Class: prog.ClassByName("Box"),
+			Fields: []value.Value{value.Int(5), value.Null()}}},
+		Fresh: []serial.WireObject{{Ref: value.MakeRef(2, 7), Class: prog.ClassByName("Box"),
+			Fields: []value.Value{value.Int(6), value.Null()}}},
+		Statics: []serial.ClassStatics{{ClassID: prog.ClassByName("Box"), Values: []value.Value{value.Int(1)}}},
+	}
+	for _, c := range []serial.Codec{serial.Fast, serial.JavaSer} {
+		got, err := serial.DecodeFlush(serial.EncodeFlush(fm, prog, c), prog, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if got.Result.I != 1234 || len(got.Updated) != 1 || len(got.Fresh) != 1 || len(got.Statics) != 1 {
+			t.Errorf("%v: %+v", c, got)
+		}
+	}
+}
+
+func TestFlushCarriesError(t *testing.T) {
+	prog := testProgram()
+	fm := &serial.FlushMessage{Err: "uncaught ArithmeticException"}
+	got, err := serial.DecodeFlush(serial.EncodeFlush(fm, prog, serial.Fast), prog, serial.Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Err != fm.Err {
+		t.Errorf("error string lost: %q", got.Err)
+	}
+}
+
+func TestQuickCapturedStateRoundTrip(t *testing.T) {
+	prog := testProgram()
+	mid := prog.MethodByName("main")
+	f := func(ints []int64, floats []float64, pc uint16, pinned bool) bool {
+		var locals []value.Value
+		for _, i := range ints {
+			locals = append(locals, value.Int(i))
+		}
+		for _, fl := range floats {
+			locals = append(locals, value.Float(fl))
+		}
+		cs := &serial.CapturedState{
+			HomeNode: 4, ThreadID: 2,
+			Frames: []serial.CapturedFrame{{MethodID: mid, PC: int32(pc), ResumePC: int32(pc), Locals: locals, Pinned: pinned}},
+		}
+		for _, c := range []serial.Codec{serial.Fast, serial.JavaSer} {
+			got, err := serial.DecodeCapturedState(serial.EncodeCapturedState(cs, prog, c), prog, c)
+			if err != nil {
+				return false
+			}
+			g := got.Frames[0]
+			if g.PC != int32(pc) || g.Pinned != pinned || len(g.Locals) != len(locals) {
+				return false
+			}
+			for i := range locals {
+				if !g.Locals[i].Equal(locals[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCorruptData(t *testing.T) {
+	prog := testProgram()
+	if _, err := serial.DecodeCapturedState([]byte{0x00}, prog, serial.Fast); err == nil {
+		t.Error("bad tag should fail")
+	}
+	if _, err := serial.DecodeObject([]byte{0xC2, 0xFF}, prog, serial.Fast); err == nil {
+		t.Error("truncated object should fail")
+	}
+	if _, err := serial.DecodeFlush(nil, prog, serial.Fast); err == nil {
+		t.Error("empty flush should fail")
+	}
+}
+
+// --- class bundles ---
+
+func TestClassBundleRoundTripAndVerify(t *testing.T) {
+	w := workloads.TSP()
+	prog := preprocess.MustPreprocess(w.Prog, preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+	for cid := range prog.Classes {
+		buf := serial.EncodeClass(prog, int32(cid))
+		bundle, err := serial.DecodeClass(buf)
+		if err != nil {
+			t.Fatalf("class %d: %v", cid, err)
+		}
+		if bundle.Class.Name != prog.Classes[cid].Name {
+			t.Errorf("class %d name mismatch", cid)
+		}
+		if err := bundle.VerifyAgainst(prog); err != nil {
+			t.Errorf("class %d: verify: %v", cid, err)
+		}
+	}
+}
+
+func TestClassBundleDetectsTamperedCode(t *testing.T) {
+	prog := testProgram()
+	cid := prog.ClassByName("Box")
+	buf := serial.EncodeClass(prog, cid)
+	bundle, err := serial.DecodeClass(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.Methods) == 0 {
+		t.Skip("no methods on class")
+	}
+	bundle.Methods[0].Code[0].Op = bytecode.OpNop
+	if err := bundle.VerifyAgainst(prog); err == nil {
+		t.Error("tampered code should fail verification")
+	}
+}

@@ -1,0 +1,175 @@
+package sodee_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+	"repro/internal/netsim"
+	"repro/internal/preprocess"
+	"repro/internal/sodee"
+	"repro/internal/value"
+)
+
+// Failure-injection tests: the runtime must degrade cleanly when
+// migrations are requested at the wrong time, toward the wrong node, or
+// when the migrated code itself crashes.
+
+func TestMigrateAfterJobFinished(t *testing.T) {
+	c, g := sodCluster(t, []int{1, 2}, true)
+	close(g.release)
+	home := c.Nodes[1]
+	d := makeData(t, home)
+	job, err := home.Mgr.StartJob("main", value.RefVal(d), value.Int(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, merr := home.Mgr.MigrateSOD(job, sodee.SODOptions{NFrames: 1, Dest: 2, Flow: sodee.FlowReturnHome}); merr == nil {
+		t.Fatal("migrating a finished job should fail")
+	}
+}
+
+func TestMigrateToUnknownNode(t *testing.T) {
+	c, g := sodCluster(t, []int{1, 2}, true)
+	home := c.Nodes[1]
+	d := makeData(t, home)
+	job, err := home.Mgr.StartJob("main", value.RefVal(d), value.Int(testIters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.reached
+	errCh := make(chan error, 1)
+	go func() {
+		_, merr := home.Mgr.MigrateSOD(job, sodee.SODOptions{NFrames: 1, Dest: 99, Flow: sodee.FlowReturnHome})
+		errCh <- merr
+	}()
+	time.Sleep(2 * time.Millisecond)
+	close(g.release)
+	if merr := <-errCh; merr == nil || !strings.Contains(merr.Error(), "unreachable") {
+		t.Fatalf("expected unreachable-node error, got %v", merr)
+	}
+	// The thread is stranded parked (its segment was captured and
+	// truncated before the send failed); this is a detectable, reported
+	// condition rather than silent corruption.
+}
+
+func TestSegmentSizeOutOfRange(t *testing.T) {
+	c, g := sodCluster(t, []int{1, 2}, true)
+	home := c.Nodes[1]
+	d := makeData(t, home)
+	job, err := home.Mgr.StartJob("main", value.RefVal(d), value.Int(testIters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.reached
+	errCh := make(chan error, 1)
+	go func() {
+		_, merr := home.Mgr.MigrateSOD(job, sodee.SODOptions{NFrames: 99, Dest: 2, Flow: sodee.FlowReturnHome})
+		errCh <- merr
+	}()
+	time.Sleep(2 * time.Millisecond)
+	close(g.release)
+	if merr := <-errCh; merr == nil || !strings.Contains(merr.Error(), "out of range") {
+		t.Fatalf("expected segment-size error, got %v", merr)
+	}
+	// The thread must have been resumed and the job completes normally.
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != expectedResult(testIters) {
+		t.Errorf("result = %d after refused migration", res.I)
+	}
+}
+
+// buildCrasher assembles a workload whose migrated frame divides by zero
+// remotely; the error must propagate back to the job at home.
+func TestRemoteCrashPropagatesHome(t *testing.T) {
+	prog := preprocess.MustPreprocess(buildCrasherProgram(),
+		preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+	c, err := sodee.NewCluster(prog, netsim.Gigabit,
+		sodee.NodeConfig{ID: 1, System: sodee.SysSODEE, Preloaded: true},
+		sodee.NodeConfig{ID: 2, System: sodee.SysSODEE, Preloaded: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGate()
+	for _, n := range c.Nodes {
+		n.VM.BindNative("test_gate", g.native)
+	}
+	home := c.Nodes[1]
+	job, err := home.Mgr.StartJob("main", value.Int(0)) // divisor 0 → crash
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.reached
+	done := make(chan error, 1)
+	go func() {
+		_, merr := home.Mgr.MigrateSOD(job, sodee.SODOptions{NFrames: 1, Dest: 2, Flow: sodee.FlowReturnHome})
+		done <- merr
+	}()
+	time.Sleep(2 * time.Millisecond)
+	close(g.release)
+	if merr := <-done; merr != nil {
+		t.Fatal(merr)
+	}
+	_, jerr := job.Wait()
+	if jerr == nil || !strings.Contains(jerr.Error(), "Arithmetic") {
+		t.Fatalf("remote crash should surface at home, got %v", jerr)
+	}
+}
+
+func TestDoubleMigrationSequential(t *testing.T) {
+	// Migrate, let the segment come home, migrate again: SOD supports
+	// repeated hops of the same job (the roaming pattern).
+	c, g := sodCluster(t, []int{1, 2, 3}, true)
+	home := c.Nodes[1]
+	d := makeData(t, home)
+	job, err := home.Mgr.StartJob("main", value.RefVal(d), value.Int(testIters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.reached
+	done := make(chan error, 1)
+	go func() {
+		_, e1 := home.Mgr.MigrateSOD(job, sodee.SODOptions{NFrames: 1, Dest: 2, Flow: sodee.FlowReturnHome})
+		done <- e1
+	}()
+	time.Sleep(2 * time.Millisecond)
+	close(g.release)
+	if e := <-done; e != nil {
+		t.Fatal(e)
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != expectedResult(testIters) {
+		t.Errorf("result = %d", res.I)
+	}
+}
+
+// buildCrasherProgram assembles main(d) → work(d) where work divides by
+// its argument after the gate — zero crashes remotely.
+func buildCrasherProgram() *bytecode.Program {
+	pb := asm.NewProgram()
+	pb.Native("test_gate", 0, false)
+	wk := pb.Func("work", true, "d")
+	wk.Line().CallNat("test_gate", 0)
+	wk.Line().Int(0).Store("i")
+	wk.Label("loop")
+	wk.Line().Load("i").Int(200000).Ge().Jnz("done")
+	wk.Line().Load("i").Int(1).Add().Store("i")
+	wk.Line().Jmp("loop")
+	wk.Label("done")
+	wk.Line().Int(100).Load("d").Div().RetV()
+	mn := pb.Func("main", true, "d")
+	mn.Line().Load("d").Call("work", 1).RetV()
+	return pb.MustBuild()
+}

@@ -1,0 +1,270 @@
+// Package sodee is the SOD Execution Engine: the distributed runtime of
+// §III that ties the SVM, the tool interface, the class preprocessor, the
+// object manager and the network into migration-capable nodes. It
+// implements the paper's SOD migration manager plus the three comparison
+// systems — G-JavaMPI-style eager process migration, JESSICA2-style in-VM
+// thread migration, and Xen-style pre-copy live migration — behind one
+// Node abstraction so the evaluation harness can swap systems per run.
+package sodee
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bytecode"
+	"repro/internal/netsim"
+	"repro/internal/objman"
+	"repro/internal/osimage"
+	"repro/internal/serial"
+	"repro/internal/toolif"
+	"repro/internal/value"
+	"repro/internal/vm"
+)
+
+// System identifies which runtime substrate a node models.
+type System int
+
+const (
+	// SysSODEE: the paper's system — JVMTI agent, object faulting,
+	// breakpoint-driven restoration, fast codec. The zero value, so node
+	// configurations default to it.
+	SysSODEE System = iota
+	// SysJDK: plain reference JVM; no agent, no migration support.
+	SysJDK
+	// SysGJavaMPI: eager-copy process migration over the debugger
+	// interface with Java serialization.
+	SysGJavaMPI
+	// SysJessica2: in-VM thread migration; direct capture/restore, slower
+	// engine (old Kaffe JIT), status-check DSM, eager static allocation.
+	SysJessica2
+	// SysXen: OS live migration with iterative pre-copy; virtualization
+	// overhead on execution.
+	SysXen
+	// SysDevice: SODEE on a JamVM-class handset (§IV.D) — no tool
+	// interface (direct restore at "Java level"), Java serialization,
+	// slow CPU.
+	SysDevice
+)
+
+func (s System) String() string {
+	switch s {
+	case SysJDK:
+		return "JDK"
+	case SysSODEE:
+		return "SODEE"
+	case SysGJavaMPI:
+		return "G-JavaMPI"
+	case SysJessica2:
+		return "JESSICA2"
+	case SysXen:
+		return "Xen"
+	case SysDevice:
+		return "Device"
+	}
+	return "unknown"
+}
+
+// Tunables for the execution-profile hooks. Values are chosen so the
+// relative slowdowns land in the paper's observed ranges (JESSICA2 ~4-20×
+// JDK depending on workload; Xen ~1.5-2×; the iPhone's 412 MHz ARM ~15×).
+const (
+	jessicaSpinPerInstr = 14
+	xenSpinPerExit      = 12000
+	xenInstrPerExit     = 4096
+	deviceSpinPerInstr  = 40
+)
+
+var hookSink uint64
+
+func hookSpin(n int) {
+	s := hookSink
+	for i := 0; i < n; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+	}
+	hookSink = s
+}
+
+func profileFor(sys System) vm.Profile {
+	switch sys {
+	case SysSODEE, SysGJavaMPI:
+		return vm.Profile{Name: sys.String(), AgentLoaded: true}
+	case SysJessica2:
+		return vm.Profile{
+			Name:        "jessica2",
+			AgentLoaded: true, // in-VM support; suspension uses the same safepoints
+			InstrHook: func(t *vm.Thread, f *vm.Frame, ins bytecode.Instr) *vm.Raised {
+				hookSpin(jessicaSpinPerInstr)
+				return nil
+			},
+		}
+	case SysXen:
+		var ctr int
+		return vm.Profile{
+			Name:        "xen",
+			AgentLoaded: true, // the hypervisor can always pause the guest
+			InstrHook: func(t *vm.Thread, f *vm.Frame, ins bytecode.Instr) *vm.Raised {
+				ctr++
+				if ctr >= xenInstrPerExit {
+					ctr = 0
+					hookSpin(xenSpinPerExit)
+				}
+				return nil
+			},
+		}
+	case SysDevice:
+		return vm.Profile{
+			Name:        "device",
+			AgentLoaded: true,
+			InstrHook: func(t *vm.Thread, f *vm.Frame, ins bytecode.Instr) *vm.Raised {
+				hookSpin(deviceSpinPerInstr)
+				return nil
+			},
+		}
+	default:
+		return vm.Profile{Name: "jdk"}
+	}
+}
+
+// NodeConfig configures one node of a cluster.
+type NodeConfig struct {
+	ID     int
+	System System
+	// HeapLimit bounds the node's heap (0 = unlimited) — resource-poor
+	// devices and the exception-driven offload scenario use it.
+	HeapLimit int64
+	// Preloaded controls whether all classes are resident at startup.
+	// Destination workers start cold and fetch classes on demand.
+	Preloaded bool
+	// ImageBytes sizes the guest OS image (Xen nodes only).
+	ImageBytes int64
+}
+
+// Node is one machine of the simulated cluster.
+type Node struct {
+	ID     int
+	System System
+	Prog   *bytecode.Program
+	VM     *vm.VM
+	Agent  *toolif.Agent
+	EP     *netsim.Endpoint
+	ObjMan *objman.Manager
+	Codec  serial.Codec
+	Image  *osimage.Image
+
+	// location is the node this node's execution "is at" — it differs from
+	// ID only after a whole-VM (Xen) migration relocates the guest. NFS
+	// locality decisions consult it.
+	mu       sync.Mutex
+	location int
+
+	// Cluster back-pointer (set by AddNode) for peer metadata lookups.
+	Cluster *Cluster
+
+	Mgr *Manager
+}
+
+// Location returns where this node's execution currently runs (== ID
+// except after a live VM migration).
+func (n *Node) Location() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.location
+}
+
+// SetLocation relocates the node's execution (Xen handover).
+func (n *Node) SetLocation(loc int) {
+	n.mu.Lock()
+	n.location = loc
+	n.mu.Unlock()
+}
+
+// Cluster is a set of nodes sharing one program and one fabric.
+type Cluster struct {
+	Net   *netsim.Network
+	Prog  *bytecode.Program
+	Nodes map[int]*Node
+}
+
+// NewCluster builds a cluster of nodes running prog (already preprocessed
+// as appropriate for the systems under test).
+func NewCluster(prog *bytecode.Program, link netsim.LinkSpec, configs ...NodeConfig) (*Cluster, error) {
+	c := &Cluster{
+		Net:   netsim.NewNetwork(link),
+		Prog:  prog,
+		Nodes: make(map[int]*Node, len(configs)),
+	}
+	for _, cfg := range configs {
+		n, err := c.AddNode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.Nodes[cfg.ID] = n
+	}
+	return c, nil
+}
+
+// AddNode creates and wires one node.
+func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
+	if _, dup := c.Nodes[cfg.ID]; dup {
+		return nil, fmt.Errorf("sodee: duplicate node id %d", cfg.ID)
+	}
+	v := vm.New(c.Prog, cfg.ID, cfg.Preloaded)
+	v.Profile = profileFor(cfg.System)
+	if cfg.HeapLimit > 0 {
+		v.Heap.SetLimit(cfg.HeapLimit)
+	}
+	ep := c.Net.Node(cfg.ID)
+	codec := serial.Fast
+	switch cfg.System {
+	case SysGJavaMPI, SysDevice:
+		codec = serial.JavaSer
+	}
+	n := &Node{
+		ID:       cfg.ID,
+		System:   cfg.System,
+		Prog:     c.Prog,
+		VM:       v,
+		EP:       ep,
+		Codec:    codec,
+		location: cfg.ID,
+		Cluster:  c,
+	}
+	if cfg.System != SysJDK && cfg.System != SysDevice {
+		n.Agent = toolif.Attach(v)
+	}
+	if cfg.System == SysDevice {
+		// JamVM has no JVMTI; suspension still works (the retrofitted pure-
+		// Java migration manager of §IV.D), but capture/restore bypass the
+		// tool interface.
+		v.Profile.AgentLoaded = true
+	}
+	if cfg.System == SysXen {
+		size := cfg.ImageBytes
+		if size == 0 {
+			size = 64 << 20
+		}
+		n.Image = osimage.New(size)
+		img := n.Image
+		v.Heap.WriteHook = func(ref value.Ref, o *vm.Object) {
+			img.Touch(ref, o.ByteSize())
+		}
+	}
+	n.ObjMan = objman.New(v, c.Prog, ep, codec)
+	n.ObjMan.BindNatives(v)
+	bindRestoreNatives(v)
+	n.Mgr = newManager(n)
+
+	// Class-shipping hook: cold classes are fetched from the job's home
+	// node (recorded per-node when a migration arrives).
+	v.LoadHook = n.Mgr.classLoadHook
+
+	c.Nodes[cfg.ID] = n
+	return n, nil
+}
+
+// Reset clears per-job node state (caches, heap) so a cluster can be
+// reused across benchmark iterations.
+func (n *Node) Reset() {
+	n.ObjMan.ResetCache()
+	n.Mgr.reset()
+}

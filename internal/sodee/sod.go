@@ -1,0 +1,840 @@
+package sodee
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/netsim"
+	"repro/internal/serial"
+	"repro/internal/value"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// Flow selects the post-completion control path of a SOD migration —
+// Fig 1's three scenarios.
+type Flow int
+
+const (
+	// FlowReturnHome (Fig 1a): the home node keeps the residual stack; the
+	// segment's return value flows back and execution resumes at home.
+	FlowReturnHome Flow = iota
+	// FlowTotal (Fig 1b): the residual frames are pushed to the
+	// destination as well; after the segment pops, execution continues
+	// locally there — a total migration.
+	FlowTotal
+	// FlowForward (Fig 1c): the residual is planted on a third node; the
+	// segment's return value is forwarded there — multi-domain workflow.
+	FlowForward
+)
+
+// MigrationMetrics records one migration event's cost breakdown — the
+// quantities of Tables III, IV and VII.
+type MigrationMetrics struct {
+	System     System
+	Capture    time.Duration // request received → state ready to transfer
+	Transfer   time.Duration // state ready → arrived at destination
+	Restore    time.Duration // arrival → execution resumed
+	Latency    time.Duration // capture + transfer + restore
+	StateBytes int64
+	HeapBytes  int64 // eager-copy systems only
+	ClassBytes int64
+	Rounds     int // pre-copy rounds (Xen)
+	Freeze     time.Duration
+}
+
+// Job is one top-level computation started on a node. Its result arrives
+// locally or via flush messages from wherever the computation ended up.
+type Job struct {
+	ID     uint64
+	mgr    *Manager
+	mu     sync.Mutex
+	th     *vm.Thread
+	done   chan struct{}
+	result value.Value
+	err    error
+	// detached: the thread was migrated away in full; local thread death
+	// must not complete the job.
+	detached bool
+}
+
+// Thread returns the job's current local thread (nil once fully migrated).
+func (j *Job) Thread() *vm.Thread {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.th
+}
+
+// Wait blocks for the final result.
+func (j *Job) Wait() (value.Value, error) {
+	<-j.done
+	return j.result, j.err
+}
+
+// Done reports whether the job has completed.
+func (j *Job) Done() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (j *Job) complete(res value.Value, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	select {
+	case <-j.done:
+		return
+	default:
+	}
+	j.result = res
+	j.err = err
+	close(j.done)
+}
+
+// routeKind discriminates what a flush token resolves to.
+type routeKind int
+
+const (
+	routeJob     routeKind = iota // complete a job
+	routeResume                   // resume a parked residual thread
+	routePlanted                  // start a pre-restored continuation
+)
+
+type route struct {
+	kind        routeKind
+	job         *Job
+	th          *vm.Thread
+	expectValue bool
+	// next is where the routed thread's own completion goes afterwards.
+	next completion
+}
+
+// completion addresses the consumer of a thread's final result.
+type completion struct {
+	node  int
+	token uint64
+}
+
+// Manager is a node's migration manager (the paper's "migration manager"
+// module, one per node, talking to its peers).
+type Manager struct {
+	node *Node
+
+	mu          sync.Mutex
+	routes      map[uint64]*route
+	jobs        map[uint64]*Job
+	nextToken   uint64
+	classSource int // node to fetch cold classes from
+	classBytes  int64
+
+	// Metrics of migrations this node initiated.
+	Migrations []MigrationMetrics
+}
+
+func newManager(n *Node) *Manager {
+	m := &Manager{
+		node:        n,
+		routes:      make(map[uint64]*route),
+		jobs:        make(map[uint64]*Job),
+		classSource: -1,
+	}
+	n.EP.Handle(netsim.KindMigrate, m.handleMigrate)
+	n.EP.Handle(netsim.KindFlush, m.handleFlush)
+	n.EP.Handle(netsim.KindClassRequest, m.handleClassRequest)
+	n.EP.Handle(netsim.KindProcMigrate, m.handleProcMigrate)
+	n.EP.Handle(netsim.KindThreadMigrate, m.handleThreadMigrate)
+	n.EP.Handle(netsim.KindPage, m.handlePage)
+	return m
+}
+
+func (m *Manager) reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routes = make(map[uint64]*route)
+	m.jobs = make(map[uint64]*Job)
+	m.Migrations = nil
+	m.classSource = -1
+	m.classBytes = 0
+}
+
+// LastMigration returns the most recent migration metrics.
+func (m *Manager) LastMigration() MigrationMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.Migrations) == 0 {
+		return MigrationMetrics{}
+	}
+	return m.Migrations[len(m.Migrations)-1]
+}
+
+func (m *Manager) record(mm MigrationMetrics) {
+	m.mu.Lock()
+	m.Migrations = append(m.Migrations, mm)
+	m.mu.Unlock()
+}
+
+// codecFor picks the wire codec for talking to a destination: device
+// nodes have no tool interface and fall back to Java serialization
+// (§IV.D), so any sender must encode accordingly.
+func (m *Manager) codecFor(dest int) serial.Codec {
+	if m.node.Cluster != nil {
+		if dn, ok := m.node.Cluster.Nodes[dest]; ok && dn.System == SysDevice {
+			return serial.JavaSer
+		}
+	}
+	return m.node.Codec
+}
+
+func (m *Manager) newToken() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextToken++
+	return m.nextToken
+}
+
+// --- jobs ---
+
+// StartJob launches a thread on the node's VM running the named method
+// and returns a handle whose result survives any number of migrations.
+func (m *Manager) StartJob(qualifiedMethod string, args ...value.Value) (*Job, error) {
+	mid := m.node.Prog.MethodByName(qualifiedMethod)
+	if mid < 0 {
+		return nil, fmt.Errorf("sodee: unknown method %q", qualifiedMethod)
+	}
+	th, err := m.node.VM.NewThread(mid, args...)
+	if err != nil {
+		return nil, err
+	}
+	th.UserData = &threadCtx{homeNode: -1}
+	job := &Job{ID: m.newToken(), mgr: m, th: th, done: make(chan struct{})}
+	m.mu.Lock()
+	m.jobs[job.ID] = job
+	m.routes[job.ID] = &route{kind: routeJob, job: job}
+	m.mu.Unlock()
+	go m.runAndWatch(th, job)
+	return job, nil
+}
+
+// runAndWatch executes a job's local thread and completes the job unless
+// it has been detached by a total migration.
+func (m *Manager) runAndWatch(th *vm.Thread, job *Job) {
+	th.Run()
+	job.mu.Lock()
+	detached := job.detached
+	job.mu.Unlock()
+	if detached {
+		return
+	}
+	job.complete(th.Result, th.Err)
+}
+
+// runWorker runs a restored thread to completion and routes its results.
+func (m *Manager) runWorker(th *vm.Thread, expectValue bool, dst completion) {
+	th.Run()
+	m.routeResult(th, expectValue, dst)
+}
+
+func (m *Manager) routeResult(th *vm.Thread, expectValue bool, dst completion) {
+	if dst.node == m.node.ID {
+		// Same-node delivery: the consumer shares this heap, so no flush
+		// serialization happens and dirty state stays pending until a
+		// result eventually leaves the node.
+		m.deliverLocal(dst.token, th.Result, th.Err)
+		return
+	}
+	// Updated data goes back to the nodes mastering it (§II.A); modified
+	// statics go to the job's home node.
+	staticsHome := m.node.ID
+	if ctx, ok := th.UserData.(*threadCtx); ok && ctx.homeNode >= 0 {
+		staticsHome = ctx.homeNode
+	}
+	for node, fm := range m.node.ObjMan.CollectUpdates(staticsHome) {
+		if node == m.node.ID {
+			if _, err := m.node.ObjMan.ApplyFlush(fm); err != nil {
+				_ = err
+			}
+			continue
+		}
+		payload := encodeFlushMsg(0, fm, m.node.Prog, m.node.Codec)
+		// Synchronous: updates must be applied at their home before the
+		// result releases any continuation that might read them.
+		if _, err := m.node.EP.Call(node, netsim.KindFlush, payload); err != nil {
+			_ = err
+		}
+	}
+	// The return value (with any fresh objects it drags along) goes to the
+	// continuation.
+	var errStr string
+	if th.Err != nil {
+		errStr = th.Err.Error()
+	}
+	fm := m.node.ObjMan.CollectResult(th.Result, expectValue, errStr)
+	payload := encodeFlushMsg(dst.token, fm, m.node.Prog, m.node.Codec)
+	if err := m.node.EP.Send(dst.node, netsim.KindFlush, payload); err != nil {
+		// Unreachable consumer: nothing else to do but log via job if local.
+		_ = err
+	}
+}
+
+// deliverLocal hands a same-node result to the route its token names.
+func (m *Manager) deliverLocal(token uint64, res value.Value, err error) {
+	m.mu.Lock()
+	rt := m.routes[token]
+	delete(m.routes, token)
+	m.mu.Unlock()
+	if rt == nil {
+		return
+	}
+	switch rt.kind {
+	case routeJob:
+		rt.job.complete(res, err)
+	case routeResume:
+		if err != nil {
+			rt.job.complete(value.Value{}, err)
+			_ = rt.th.Kill()
+			return
+		}
+		if rt.expectValue {
+			rt.th.Top().Push(res)
+		}
+		_ = rt.th.Resume()
+	case routePlanted:
+		if err != nil {
+			m.forwardError(rt.next, err)
+			return
+		}
+		if rt.expectValue {
+			rt.th.Top().Push(res)
+		}
+		bottomReturns := rt.th.Frames[0].Method.ReturnsValue
+		go m.runWorker(rt.th, bottomReturns, rt.next)
+	}
+}
+
+// forwardError propagates a failure along a completion chain.
+func (m *Manager) forwardError(next completion, err error) {
+	if next.node == m.node.ID {
+		m.deliverLocal(next.token, value.Value{}, err)
+		return
+	}
+	efm := &serial.FlushMessage{Err: err.Error()}
+	m.node.EP.Send(next.node, netsim.KindFlush,
+		encodeFlushMsg(next.token, efm, m.node.Prog, m.node.Codec))
+}
+
+// --- SOD migration (the contribution) ---
+
+// SODOptions tunes one SOD migration.
+type SODOptions struct {
+	// NFrames is the segment size (top frames to export).
+	NFrames int
+	// Dest executes the segment.
+	Dest int
+	// Flow selects Fig 1a/b/c.
+	Flow Flow
+	// ForwardTo hosts the residual under FlowForward.
+	ForwardTo int
+}
+
+// MigrateSOD exports the top segment of the job's thread per opts. The
+// thread may be running (it is suspended at its next MSP) or parked.
+func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, error) {
+	th := job.Thread()
+	if th == nil {
+		return nil, fmt.Errorf("sodee: job has no local thread")
+	}
+	n := m.node
+	if n.Agent == nil {
+		return nil, fmt.Errorf("sodee: node %d (%v) cannot capture state", n.ID, n.System)
+	}
+	t0 := time.Now()
+	parked, err := n.Agent.SuspendAtSafePoint(th)
+	if err != nil {
+		return nil, err
+	}
+	if !parked {
+		return nil, fmt.Errorf("sodee: thread finished before reaching a safe point")
+	}
+	depth := th.Depth()
+	k := opts.NFrames
+	if k <= 0 || k > depth {
+		_ = th.Resume()
+		return nil, fmt.Errorf("sodee: segment size %d out of range (depth %d)", k, depth)
+	}
+
+	// Pinned frames must stay home (§IV.D: frames holding sockets).
+	for d := 0; d < k; d++ {
+		if n.Agent.IsFramePinned(th, d) {
+			_ = th.Resume()
+			return nil, fmt.Errorf("sodee: frame %d is pinned; cannot migrate", d)
+		}
+	}
+
+	seg, err := CaptureSegment(n.Agent, th, 0, k, n.ID)
+	if err != nil {
+		_ = th.Resume()
+		return nil, err
+	}
+	var residual *serial.CapturedState
+	if opts.Flow != FlowReturnHome && depth > k {
+		residual, err = CaptureSegment(n.Agent, th, k, depth-k, n.ID)
+		if err != nil {
+			_ = th.Resume()
+			return nil, err
+		}
+	}
+	captureDone := time.Now()
+
+	segBottom := n.Prog.Methods[seg.Frames[0].MethodID]
+
+	// Decide where the segment's return value goes and arrange the stack.
+	var resultTo completion
+	switch {
+	case opts.Flow == FlowReturnHome && depth > k:
+		// Keep the residual parked here; register a resume route.
+		token := m.newToken()
+		if err := n.Agent.TruncateTo(th, depth-k); err != nil {
+			_ = th.Resume()
+			return nil, err
+		}
+		m.mu.Lock()
+		m.routes[token] = &route{kind: routeResume, job: job, th: th, expectValue: segBottom.ReturnsValue}
+		m.mu.Unlock()
+		resultTo = completion{node: n.ID, token: token}
+
+	case opts.Flow == FlowReturnHome: // whole stack exported, result = job result
+		job.mu.Lock()
+		job.detached = true
+		job.th = nil
+		job.mu.Unlock()
+		if err := th.Kill(); err != nil {
+			return nil, err
+		}
+		resultTo = completion{node: n.ID, token: job.ID}
+
+	case opts.Flow == FlowTotal:
+		// Residual rides along to the destination; final result flows to
+		// the job here.
+		job.mu.Lock()
+		job.detached = true
+		job.th = nil
+		job.mu.Unlock()
+		if err := th.Kill(); err != nil {
+			return nil, err
+		}
+		resultTo = completion{node: n.ID, token: job.ID} // final consumer; residual runs at dest
+
+	case opts.Flow == FlowForward:
+		if residual == nil {
+			_ = th.Resume()
+			return nil, fmt.Errorf("sodee: forward flow needs a residual (depth %d, segment %d)", depth, k)
+		}
+		// Plant the residual on the forward node first.
+		plantTok, err := m.plantContinuation(opts.ForwardTo, residual, segBottom.ReturnsValue,
+			completion{node: n.ID, token: job.ID})
+		if err != nil {
+			_ = th.Resume()
+			return nil, err
+		}
+		job.mu.Lock()
+		job.detached = true
+		job.th = nil
+		job.mu.Unlock()
+		if err := th.Kill(); err != nil {
+			return nil, err
+		}
+		resultTo = completion{node: opts.ForwardTo, token: plantTok}
+		residual = nil // consumed by the plant
+	}
+
+	// Ship the segment (classes of its methods ride along, rest on demand).
+	msg := migrateMsg{
+		resultTo:    resultTo,
+		homeNode:    n.ID,
+		direct:      n.System == SysJessica2 || n.System == SysDevice,
+		seg:         seg,
+		residual:    residual, // non-nil only for FlowTotal
+		expectValue: segBottom.ReturnsValue,
+		classes:     m.bundleClasses(seg, residual),
+	}
+	payload := msg.encode(n.Prog, m.codecFor(opts.Dest))
+	sendStart := time.Now()
+	reply, err := n.EP.Call(opts.Dest, netsim.KindMigrate, payload)
+	if err != nil {
+		return nil, fmt.Errorf("sodee: migrate to %d: %w", opts.Dest, err)
+	}
+	arrival, restoreDur, rerr := decodeMigrateReply(reply)
+	if rerr != nil {
+		return nil, rerr
+	}
+
+	var classBytes int64
+	for _, cb := range msg.classes {
+		classBytes += int64(len(cb))
+	}
+	mm := MigrationMetrics{
+		System:     n.System,
+		Capture:    captureDone.Sub(t0),
+		Transfer:   arrival.Sub(sendStart),
+		Restore:    restoreDur,
+		StateBytes: int64(len(payload)) - classBytes,
+		ClassBytes: classBytes,
+	}
+	mm.Latency = mm.Capture + mm.Transfer + mm.Restore
+	mm.Freeze = mm.Latency
+	m.record(mm)
+	return &mm, nil
+}
+
+// bundleClasses encodes the declaring classes of all captured methods —
+// the "current class" shipped with the migration message; everything else
+// is fetched through the class-load hook on demand.
+func (m *Manager) bundleClasses(states ...*serial.CapturedState) [][]byte {
+	seen := map[int32]bool{}
+	var bundles [][]byte
+	for _, cs := range states {
+		if cs == nil {
+			continue
+		}
+		for _, f := range cs.Frames {
+			cid := m.node.Prog.Methods[f.MethodID].ClassID
+			if cid < 0 || seen[cid] {
+				continue
+			}
+			seen[cid] = true
+			bundles = append(bundles, serial.EncodeClass(m.node.Prog, cid))
+		}
+	}
+	return bundles
+}
+
+// plantContinuation installs a captured residual as a parked continuation
+// on a remote node; returns the token the segment's result must target.
+func (m *Manager) plantContinuation(node int, residual *serial.CapturedState,
+	expectValue bool, next completion) (uint64, error) {
+
+	msg := migrateMsg{
+		plant:       true,
+		resultTo:    next,
+		homeNode:    m.node.ID,
+		seg:         residual,
+		expectValue: expectValue,
+		classes:     m.bundleClasses(residual),
+	}
+	reply, err := m.node.EP.Call(node, netsim.KindMigrate, msg.encode(m.node.Prog, m.codecFor(node)))
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(reply)
+	tok := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return tok, nil
+}
+
+// --- destination side ---
+
+func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
+	arrival := time.Now()
+	n := m.node
+	msg, err := decodeMigrateMsg(payload, n.Prog, n.Codec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Load the classes that rode along, and point the class-load hook at
+	// the home node for the rest.
+	m.mu.Lock()
+	m.classSource = msg.homeNode
+	m.mu.Unlock()
+	for _, cb := range msg.classes {
+		bundle, err := serial.DecodeClass(cb)
+		if err != nil {
+			return nil, err
+		}
+		if err := bundle.VerifyAgainst(n.Prog); err != nil {
+			return nil, err
+		}
+		n.VM.MarkLoaded(bundle.Class.ID)
+	}
+
+	if msg.plant {
+		// Pre-restore the continuation, parked until its value arrives —
+		// "having state restored ahead of the passing of control" (§II.B).
+		th, err := RestoreDirect(n, msg.seg)
+		if err != nil {
+			return nil, err
+		}
+		token := m.newToken()
+		m.mu.Lock()
+		m.routes[token] = &route{
+			kind: routePlanted, th: th,
+			expectValue: msg.expectValue,
+			next:        msg.resultTo,
+		}
+		m.mu.Unlock()
+		w := wire.NewWriter(16)
+		w.Uvarint(token)
+		return w.Bytes(), nil
+	}
+
+	// For FlowTotal: pre-restore the residual first and register it as the
+	// local consumer of the segment's return value, so the subsequent
+	// execution after the segment pops is purely local (Fig 1b).
+	dst := msg.resultTo
+	if msg.residual != nil {
+		resTh, rerr := RestoreDirect(n, msg.residual)
+		if rerr != nil {
+			return nil, rerr
+		}
+		token := m.newToken()
+		m.mu.Lock()
+		m.routes[token] = &route{
+			kind: routePlanted, th: resTh,
+			expectValue: msg.expectValue,
+			next:        msg.resultTo,
+		}
+		m.mu.Unlock()
+		dst = completion{node: n.ID, token: token}
+	}
+
+	// Restore and run the segment.
+	restoreStart := time.Now()
+	var restoreDur time.Duration
+	if msg.direct || n.Agent == nil {
+		th, rerr := RestoreDirect(n, msg.seg)
+		if rerr != nil {
+			return nil, rerr
+		}
+		restoreDur = time.Since(restoreStart)
+		go m.runWorker(th, msg.expectValue, dst)
+	} else {
+		th, rc, berr := RestoreByBreakpoints(n, msg.seg)
+		if berr != nil {
+			return nil, berr
+		}
+		go func() {
+			th.Run()
+			m.routeResult(th, msg.expectValue, dst)
+		}()
+		select {
+		case <-rc.done:
+			// Use the stamp taken when execution actually resumed: this
+			// waiter may be scheduled long after if the restored thread
+			// saturates the CPU.
+			restoreDur = rc.restoredAt.Sub(restoreStart)
+		case <-time.After(10 * time.Second):
+			return nil, fmt.Errorf("sodee: restoration timed out")
+		}
+	}
+
+	w := wire.NewWriter(24)
+	w.Fixed64(uint64(arrival.UnixNano()))
+	w.Uvarint(uint64(restoreDur))
+	return w.Bytes(), nil
+}
+
+func (m *Manager) handleFlush(from int, payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	codec := serial.Codec(r.Byte())
+	token := r.Uvarint()
+	body := r.BlobView()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	fm, err := serial.DecodeFlush(body, m.node.Prog, codec)
+	if err != nil {
+		return nil, err
+	}
+	fm.ThreadID = int32(token)
+	m.deliverFlush(fm)
+	return nil, nil
+}
+
+// deliverFlush applies a flush message to the route its token names.
+// Token 0 is an apply-only update flush (dirty data coming home) with no
+// control transfer attached.
+func (m *Manager) deliverFlush(fm *serial.FlushMessage) {
+	token := uint64(fm.ThreadID)
+	if token == 0 {
+		if _, err := m.node.ObjMan.ApplyFlush(fm); err != nil {
+			_ = err
+		}
+		return
+	}
+	m.mu.Lock()
+	rt := m.routes[token]
+	delete(m.routes, token)
+	m.mu.Unlock()
+	if rt == nil {
+		return
+	}
+	res, err := m.node.ObjMan.ApplyFlush(fm)
+	if fm.Err != "" {
+		err = fmt.Errorf("sodee: remote segment failed: %s", fm.Err)
+	}
+
+	switch rt.kind {
+	case routeJob:
+		rt.job.complete(res, err)
+	case routeResume:
+		if err != nil {
+			rt.job.complete(value.Value{}, err)
+			_ = rt.th.Kill()
+			return
+		}
+		if rt.expectValue {
+			rt.th.Top().Push(res)
+		}
+		_ = rt.th.Resume()
+		// The job's original runAndWatch goroutine still owns completion.
+	case routePlanted:
+		if err != nil {
+			m.forwardError(rt.next, err)
+			return
+		}
+		if rt.expectValue {
+			rt.th.Top().Push(res)
+		}
+		bottomReturns := rt.th.Frames[0].Method.ReturnsValue
+		go m.runWorker(rt.th, bottomReturns, rt.next)
+	}
+}
+
+// --- class shipping ---
+
+func (m *Manager) classLoadHook(v *vm.VM, classID int32) error {
+	m.mu.Lock()
+	src := m.classSource
+	m.mu.Unlock()
+	if src < 0 || src == m.node.ID {
+		return nil // nothing to fetch from; treat as locally available
+	}
+	w := wire.NewWriter(8)
+	w.Varint(int64(classID))
+	reply, err := m.node.EP.Call(src, netsim.KindClassRequest, w.Bytes())
+	if err != nil {
+		return err
+	}
+	bundle, err := serial.DecodeClass(reply)
+	if err != nil {
+		return err
+	}
+	if err := bundle.VerifyAgainst(m.node.Prog); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.classBytes += int64(len(reply))
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Manager) handleClassRequest(from int, payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	cid := int32(r.Varint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if cid < 0 || int(cid) >= len(m.node.Prog.Classes) {
+		return nil, fmt.Errorf("sodee: bad class id %d", cid)
+	}
+	return serial.EncodeClass(m.node.Prog, cid), nil
+}
+
+// --- wire helpers ---
+
+type migrateMsg struct {
+	plant       bool
+	direct      bool
+	codec       serial.Codec
+	resultTo    completion
+	homeNode    int
+	seg         *serial.CapturedState
+	residual    *serial.CapturedState
+	expectValue bool
+	classes     [][]byte
+}
+
+func (mm *migrateMsg) encode(prog *bytecode.Program, codec serial.Codec) []byte {
+	mm.codec = codec
+	w := wire.NewWriter(512)
+	w.Byte(byte(codec))
+	w.Bool(mm.plant)
+	w.Bool(mm.direct)
+	w.Varint(int64(mm.resultTo.node))
+	w.Uvarint(mm.resultTo.token)
+	w.Varint(int64(mm.homeNode))
+	w.Bool(mm.expectValue)
+	w.Blob(serial.EncodeCapturedState(mm.seg, prog, codec))
+	if mm.residual != nil {
+		w.Bool(true)
+		w.Blob(serial.EncodeCapturedState(mm.residual, prog, codec))
+	} else {
+		w.Bool(false)
+	}
+	w.Uvarint(uint64(len(mm.classes)))
+	for _, cb := range mm.classes {
+		w.Blob(cb)
+	}
+	return w.Bytes()
+}
+
+func decodeMigrateMsg(payload []byte, prog *bytecode.Program, _ serial.Codec) (*migrateMsg, error) {
+	r := wire.NewReader(payload)
+	mm := &migrateMsg{}
+	mm.codec = serial.Codec(r.Byte())
+	codec := mm.codec
+	mm.plant = r.Bool()
+	mm.direct = r.Bool()
+	mm.resultTo.node = int(r.Varint())
+	mm.resultTo.token = r.Uvarint()
+	mm.homeNode = int(r.Varint())
+	mm.expectValue = r.Bool()
+	segBuf := r.BlobView()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	seg, err := serial.DecodeCapturedState(segBuf, prog, codec)
+	if err != nil {
+		return nil, err
+	}
+	mm.seg = seg
+	if r.Bool() {
+		resBuf := r.BlobView()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		mm.residual, err = serial.DecodeCapturedState(resBuf, prog, codec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, nc := 0, int(r.Uvarint()); i < nc && r.Err() == nil; i++ {
+		mm.classes = append(mm.classes, r.Blob())
+	}
+	return mm, r.Err()
+}
+
+func decodeMigrateReply(reply []byte) (arrival time.Time, restore time.Duration, err error) {
+	r := wire.NewReader(reply)
+	at := int64(r.Fixed64())
+	rd := time.Duration(r.Uvarint())
+	if e := r.Err(); e != nil {
+		return time.Time{}, 0, e
+	}
+	return time.Unix(0, at), rd, nil
+}
+
+func encodeFlushMsg(token uint64, fm *serial.FlushMessage, prog *bytecode.Program, codec serial.Codec) []byte {
+	w := wire.NewWriter(256)
+	w.Byte(byte(codec)) // sender's codec; the receiver decodes accordingly
+	w.Uvarint(token)
+	w.Blob(serial.EncodeFlush(fm, prog, codec))
+	return w.Bytes()
+}

@@ -1,0 +1,239 @@
+package toolif_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+	"repro/internal/toolif"
+	"repro/internal/value"
+	"repro/internal/vm"
+)
+
+// buildLooper returns a program whose main loops at MSPs calling inner()
+// so an agent can suspend and inspect a two-frame stack.
+func buildLooper() *bytecode.Program {
+	pb := asm.NewProgram()
+	inner := pb.Func("inner", true, "x")
+	inner.Line().MSP().Load("x").Int(3).Mul().Store("y")
+	inner.Line().MSP().Load("y").RetV()
+
+	mb := pb.Func("main", true, "n")
+	mb.Line().Int(0).Store("i")
+	mb.Label("loop")
+	mb.Line().MSP().Load("i").Load("n").Ge().Jnz("done")
+	mb.Line().MSP().Load("i").Call("inner", 1).Store("v")
+	mb.Line().MSP().Load("i").Int(1).Add().Store("i")
+	mb.Line().Jmp("loop")
+	mb.Label("done")
+	mb.Line().Load("v").RetV()
+	return pb.MustBuild()
+}
+
+func suspend(t *testing.T, a *toolif.Agent, th *vm.Thread) {
+	t.Helper()
+	ok, err := a.SuspendAtSafePoint(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("thread finished before suspension")
+	}
+}
+
+func TestFrameInspection(t *testing.T) {
+	prog := buildLooper()
+	v := vm.New(prog, 1, true)
+	a := toolif.Attach(v)
+	th, err := v.NewThread(prog.MethodByName("main"), value.Int(50_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go th.Run()
+	suspend(t, a, th)
+	defer func() {
+		_ = a.Kill(th)
+	}()
+
+	n := a.GetFrameCount(th)
+	if n < 1 {
+		t.Fatalf("frame count %d", n)
+	}
+	mid, pc, err := a.GetFrameLocation(th, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Methods[mid].IsMSP(pc) {
+		t.Errorf("suspended at non-MSP pc %d of %s", pc, prog.Methods[mid].Name)
+	}
+	nl, err := a.NumLocals(th, 0)
+	if err != nil || nl == 0 {
+		t.Fatalf("NumLocals = %d, %v", nl, err)
+	}
+	if _, err := a.GetLocal(th, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.GetLocal(th, 0, 99); err == nil {
+		t.Error("out-of-range slot should error")
+	}
+	if _, _, err := a.GetFrameLocation(th, 99); err == nil {
+		t.Error("out-of-range depth should error")
+	}
+}
+
+func TestSetLocalVisibleToProgram(t *testing.T) {
+	prog := buildLooper()
+	v := vm.New(prog, 1, true)
+	a := toolif.Attach(v)
+	th, _ := v.NewThread(prog.MethodByName("main"), value.Int(30_000_000))
+	done := make(chan struct{})
+	go func() { th.Run(); close(done) }()
+	suspend(t, a, th)
+	// Force the loop counter near its bound so the program ends quickly.
+	if err := a.SetLocal(th, th.Depth()-1, 1, value.Int(29_999_999)); err != nil {
+		// depth-th frame may be inner; find main instead
+		t.Fatal(err)
+	}
+	// main's i is slot 1 only if main is the frame we patched; to be
+	// robust, patch every frame's slot 1 when present.
+	for d := 0; d < a.GetFrameCount(th); d++ {
+		_ = a.SetLocal(th, d, 1, value.Int(29_999_999))
+	}
+	if err := a.Resume(th); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("program did not finish after counter patch")
+	}
+}
+
+func TestBreakpointFires(t *testing.T) {
+	prog := buildLooper()
+	v := vm.New(prog, 1, true)
+	a := toolif.Attach(v)
+	innerID := prog.MethodByName("inner")
+
+	th, _ := v.NewThread(prog.MethodByName("main"), value.Int(100))
+	hit := make(chan int32, 1)
+	a.SetCallback(func(tt *vm.Thread, f *vm.Frame) *vm.Raised {
+		select {
+		case hit <- f.PC:
+		default:
+		}
+		return nil
+	})
+	a.SetBreakpoint(th, innerID, 0)
+	done := make(chan struct{})
+	go func() { th.Run(); close(done) }()
+	select {
+	case pc := <-hit:
+		if pc != 0 {
+			t.Errorf("breakpoint hit at pc %d, want 0", pc)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("breakpoint never fired")
+	}
+	<-done
+	if th.Err != nil {
+		t.Fatal(th.Err)
+	}
+}
+
+func TestBreakpointIsOneShot(t *testing.T) {
+	prog := buildLooper()
+	v := vm.New(prog, 1, true)
+	a := toolif.Attach(v)
+	innerID := prog.MethodByName("inner")
+	th, _ := v.NewThread(prog.MethodByName("main"), value.Int(50))
+	hits := 0
+	a.SetCallback(func(tt *vm.Thread, f *vm.Frame) *vm.Raised {
+		hits++
+		return nil
+	})
+	a.SetBreakpoint(th, innerID, 0)
+	th.Run()
+	if hits != 1 {
+		t.Errorf("breakpoint fired %d times; armed breakpoints are one-shot", hits)
+	}
+}
+
+func TestBreakpointCallbackCanThrow(t *testing.T) {
+	prog := buildLooper()
+	v := vm.New(prog, 1, true)
+	a := toolif.Attach(v)
+	th, _ := v.NewThread(prog.MethodByName("main"), value.Int(50))
+	a.SetCallback(func(tt *vm.Thread, f *vm.Frame) *vm.Raised {
+		return &vm.Raised{ExClass: bytecode.ExIllegalState, Message: "from breakpoint"}
+	})
+	a.SetBreakpoint(th, prog.MethodByName("inner"), 0)
+	th.Run()
+	if th.Err == nil {
+		t.Fatal("thrown exception from callback should surface")
+	}
+}
+
+func TestForceEarlyReturn(t *testing.T) {
+	prog := buildLooper()
+	v := vm.New(prog, 1, true)
+	a := toolif.Attach(v)
+	th, _ := v.NewThread(prog.MethodByName("main"), value.Int(40_000_000))
+	done := make(chan struct{})
+	go func() { th.Run(); close(done) }()
+	suspend(t, a, th)
+	// Pop everything but the bottom frame, then let main see v and finish
+	// by patching i to the bound.
+	depth := th.Depth()
+	if depth > 1 {
+		if err := a.ForceEarlyReturn(th, depth-1, value.Int(777), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for d := 0; d < a.GetFrameCount(th); d++ {
+		_ = a.SetLocal(th, d, 1, value.Int(39_999_999))
+	}
+	if err := a.Resume(th); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hung after forced return")
+	}
+}
+
+func TestTruncateAndPin(t *testing.T) {
+	prog := buildLooper()
+	v := vm.New(prog, 1, true)
+	a := toolif.Attach(v)
+	th, _ := v.NewThread(prog.MethodByName("main"), value.Int(40_000_000))
+	go th.Run()
+	suspend(t, a, th)
+	if err := a.PinFrame(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsFramePinned(th, 0) {
+		t.Error("pin not visible")
+	}
+	if err := a.TruncateTo(th, th.Depth()); err != nil {
+		t.Fatal(err) // no-op truncate is legal
+	}
+	if err := a.TruncateTo(th, th.Depth()+1); err == nil {
+		t.Error("over-truncate should error")
+	}
+	_ = a.Kill(th)
+}
+
+func TestForceEarlyReturnRequiresPark(t *testing.T) {
+	prog := buildLooper()
+	v := vm.New(prog, 1, true)
+	a := toolif.Attach(v)
+	th, _ := v.NewThread(prog.MethodByName("main"), value.Int(10))
+	// Not running, not parked.
+	if err := a.ForceEarlyReturn(th, 1, value.Int(0), false); err == nil {
+		t.Error("ForceEarlyReturn on non-parked thread should error")
+	}
+	th.Run()
+}

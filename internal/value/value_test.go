@@ -1,0 +1,143 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRefEncoding(t *testing.T) {
+	r := MakeRef(3, 42)
+	if r.Node() != 3 {
+		t.Errorf("Node = %d, want 3", r.Node())
+	}
+	if r.Seq() != 42 {
+		t.Errorf("Seq = %d, want 42", r.Seq())
+	}
+	if r.IsNull() || r.IsStub() {
+		t.Error("fresh ref should be non-null, non-stub")
+	}
+	if !r.Usable() {
+		t.Error("fresh ref should be usable")
+	}
+}
+
+func TestNullRef(t *testing.T) {
+	if !NullRef.IsNull() {
+		t.Error("NullRef should be null")
+	}
+	if NullRef.Usable() {
+		t.Error("NullRef should not be usable")
+	}
+	if NullRef.Stub() != NullRef {
+		t.Error("stub of null should stay null")
+	}
+}
+
+func TestStubRoundTrip(t *testing.T) {
+	r := MakeRef(7, 99)
+	s := r.Stub()
+	if !s.IsStub() || s.Usable() {
+		t.Error("stub should be flagged and unusable")
+	}
+	if s.Node() != 7 || s.Seq() != 99 {
+		t.Error("stub should preserve node/seq")
+	}
+	if s.Unstub() != r {
+		t.Error("unstub should recover original ref")
+	}
+}
+
+func TestMakeRefPanics(t *testing.T) {
+	for _, tc := range []struct {
+		node int
+		seq  uint64
+	}{{-1, 1}, {MaxNodeID + 1, 1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeRef(%d,%d) should panic", tc.node, tc.seq)
+				}
+			}()
+			MakeRef(tc.node, tc.seq)
+		}()
+	}
+}
+
+func TestQuickRefInvariants(t *testing.T) {
+	f := func(node uint16, seq uint32) bool {
+		n := int(node) % (MaxNodeID + 1)
+		s := uint64(seq) + 1
+		r := MakeRef(n, s)
+		return r.Node() == n && r.Seq() == s && !r.IsNull() &&
+			r.Stub().Unstub() == r && r.Stub().Node() == n && r.Stub().Seq() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueConstructorsAndTruthiness(t *testing.T) {
+	cases := []struct {
+		v      Value
+		truthy bool
+	}{
+		{Int(0), false},
+		{Int(5), true},
+		{Int(-1), true},
+		{Float(0), false},
+		{Float(0.1), true},
+		{Null(), false},
+		{RefVal(MakeRef(1, 1)), true},
+		{Bool(true), true},
+		{Bool(false), false},
+		{Value{}, false},
+	}
+	for i, c := range cases {
+		if c.v.IsTruthy() != c.truthy {
+			t.Errorf("case %d (%v): IsTruthy = %v, want %v", i, c.v, c.v.IsTruthy(), c.truthy)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if Int(7).AsFloat() != 7.0 {
+		t.Error("Int→Float")
+	}
+	if Float(7.9).AsInt() != 7 {
+		t.Error("Float→Int should truncate")
+	}
+	if Float(-7.9).AsInt() != -7 {
+		t.Error("negative Float→Int should truncate toward zero")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Int(3).Equal(Int(3)) || Int(3).Equal(Int(4)) {
+		t.Error("int equality")
+	}
+	if Int(3).Equal(Float(3)) {
+		t.Error("cross-kind values should not be Equal")
+	}
+	r := MakeRef(1, 2)
+	if !RefVal(r).Equal(RefVal(r)) || RefVal(r).Equal(Null()) {
+		t.Error("ref equality")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := Int(42).String(); got != "42" {
+		t.Errorf("Int.String = %q", got)
+	}
+	if got := Null().String(); got != "null" {
+		t.Errorf("Null.String = %q", got)
+	}
+	if got := MakeRef(2, 9).String(); got != "n2#9" {
+		t.Errorf("Ref.String = %q", got)
+	}
+	if got := MakeRef(2, 9).Stub().String(); got != "stub:n2#9" {
+		t.Errorf("Stub.String = %q", got)
+	}
+	if got := KindFloat.String(); got != "float" {
+		t.Errorf("Kind.String = %q", got)
+	}
+}

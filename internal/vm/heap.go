@@ -1,0 +1,233 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/value"
+)
+
+// Object is a heap cell: either a class instance (Fields populated) or an
+// array (one of AI/AF/AB/AR populated according to AKind). Strings are byte
+// arrays whose Class is the String class.
+//
+// Distribution metadata: Home is non-null when this object is a locally
+// cached copy of an object whose master lives on another node; it holds the
+// master's reference. Dirty marks cached copies (and, on the home side,
+// master objects) that have been written since the last flush. Status is
+// the word read by OpGetStatus — it exists solely for the paper's baseline
+// DSM scheme that checks a status field before every access (Fig 5, B1).
+type Object struct {
+	Class int32
+	Home  value.Ref
+	Dirty bool
+	// Status is 1 when the object is valid/local under the status-check
+	// protocol. The object-faulting protocol never reads it.
+	Status int32
+
+	Fields []value.Value
+
+	IsArray bool
+	AKind   int32
+	AI      []int64
+	AF      []float64
+	AB      []byte
+	AR      []value.Ref
+}
+
+// Len returns the element count of an array object.
+func (o *Object) Len() int {
+	switch o.AKind {
+	case bytecode.ArrKindInt:
+		return len(o.AI)
+	case bytecode.ArrKindFloat:
+		return len(o.AF)
+	case bytecode.ArrKindByte:
+		return len(o.AB)
+	case bytecode.ArrKindRef:
+		return len(o.AR)
+	}
+	return 0
+}
+
+// ByteSize returns the approximate memory footprint of the object payload,
+// used for heap accounting, OOM simulation and transfer-size computation.
+func (o *Object) ByteSize() int64 {
+	if o.IsArray {
+		switch o.AKind {
+		case bytecode.ArrKindInt:
+			return int64(8 * len(o.AI))
+		case bytecode.ArrKindFloat:
+			return int64(8 * len(o.AF))
+		case bytecode.ArrKindByte:
+			return int64(len(o.AB))
+		case bytecode.ArrKindRef:
+			return int64(8 * len(o.AR))
+		}
+	}
+	return int64(16 * len(o.Fields))
+}
+
+// Heap is a per-node object store. References allocated by this heap carry
+// the heap's node id; the sequence number indexes the object table
+// directly, so local dereference is a bounds check plus a slice load — the
+// cheap "null check" the object-faulting scheme rides on.
+//
+// A reference whose node id differs from the heap's is *remote*: it names
+// an object mastered elsewhere. Dereferencing it raises
+// NullPointerException exactly as the paper's nulled references do; the
+// injected object-fault handlers catch it and call the object manager.
+type Heap struct {
+	node  int
+	objs  []*Object // objs[seq-1]
+	bytes int64
+	limit int64 // OOM threshold in bytes; 0 = unlimited
+
+	// WriteHook, when set, observes every object write (used by the Xen
+	// baseline's dirty-page tracking). The hook must be cheap.
+	WriteHook func(ref value.Ref, o *Object)
+}
+
+// NewHeap returns an empty heap for the given node id.
+func NewHeap(node int) *Heap {
+	if node < 0 || node > value.MaxNodeID {
+		panic(fmt.Sprintf("vm: node id %d out of range", node))
+	}
+	return &Heap{node: node}
+}
+
+// Node returns the heap's node id.
+func (h *Heap) Node() int { return h.node }
+
+// SetLimit sets the OOM threshold in bytes (0 disables).
+func (h *Heap) SetLimit(limit int64) { h.limit = limit }
+
+// Bytes returns the live payload byte count.
+func (h *Heap) Bytes() int64 { return h.bytes }
+
+// NumObjects returns the number of allocated objects.
+func (h *Heap) NumObjects() int { return len(h.objs) }
+
+// ErrOOM is the sentinel the allocator reports when the heap limit is hit;
+// the interpreter converts it to an OutOfMemoryError exception.
+var ErrOOM = fmt.Errorf("vm: heap limit exceeded")
+
+func (h *Heap) track(o *Object) (value.Ref, error) {
+	sz := o.ByteSize()
+	if h.limit > 0 && h.bytes+sz > h.limit {
+		return value.NullRef, ErrOOM
+	}
+	return h.trackExempt(o, sz), nil
+}
+
+// trackExempt inserts without consulting the limit (exception objects must
+// be allocatable even at the OOM boundary, like the JVM's reserved
+// OutOfMemoryError).
+func (h *Heap) trackExempt(o *Object, sz int64) value.Ref {
+	h.bytes += sz
+	h.objs = append(h.objs, o)
+	return value.MakeRef(h.node, uint64(len(h.objs)))
+}
+
+// AllocExempt allocates a class instance ignoring the heap limit. The
+// runtime uses it for exception objects and their message strings.
+func (h *Heap) AllocExempt(class int32, nfields int) value.Ref {
+	o := &Object{Class: class, Status: 1, Fields: make([]value.Value, nfields)}
+	for i := range o.Fields {
+		o.Fields[i] = value.Null()
+	}
+	return h.trackExempt(o, o.ByteSize())
+}
+
+// AllocBytesExempt allocates a byte-array object ignoring the heap limit.
+func (h *Heap) AllocBytesExempt(class int32, b []byte) value.Ref {
+	o := &Object{Class: class, Status: 1, IsArray: true, AKind: bytecode.ArrKindByte, AB: b}
+	return h.trackExempt(o, o.ByteSize())
+}
+
+// Alloc allocates a class instance with nfields zeroed fields. Fields of
+// ref kind start null; int/float fields start 0. Status starts 1 (valid):
+// locally created objects are always valid under both DSM protocols.
+func (h *Heap) Alloc(class int32, nfields int) (value.Ref, error) {
+	o := &Object{Class: class, Status: 1, Fields: make([]value.Value, nfields)}
+	for i := range o.Fields {
+		o.Fields[i] = value.Null() // a uniform zero; kind refined on store
+	}
+	return h.track(o)
+}
+
+// AllocArray allocates an array object of the given element kind.
+func (h *Heap) AllocArray(class int32, kind int32, length int) (value.Ref, error) {
+	if length < 0 {
+		return value.NullRef, fmt.Errorf("vm: negative array length %d", length)
+	}
+	o := &Object{Class: class, Status: 1, IsArray: true, AKind: kind}
+	switch kind {
+	case bytecode.ArrKindInt:
+		o.AI = make([]int64, length)
+	case bytecode.ArrKindFloat:
+		o.AF = make([]float64, length)
+	case bytecode.ArrKindByte:
+		o.AB = make([]byte, length)
+	case bytecode.ArrKindRef:
+		o.AR = make([]value.Ref, length)
+	default:
+		return value.NullRef, fmt.Errorf("vm: bad array kind %d", kind)
+	}
+	return h.track(o)
+}
+
+// AllocBytes allocates a byte-array object adopting b (no copy).
+func (h *Heap) AllocBytes(class int32, b []byte) (value.Ref, error) {
+	o := &Object{Class: class, Status: 1, IsArray: true, AKind: bytecode.ArrKindByte, AB: b}
+	return h.track(o)
+}
+
+// Adopt inserts a fully-formed object (used by codecs restoring migrated
+// state) and returns its new local reference.
+func (h *Heap) Adopt(o *Object) (value.Ref, error) { return h.track(o) }
+
+// Get dereferences a local reference. It returns nil when ref is null,
+// remote (different node id), or out of range — all the cases that must
+// raise NullPointerException at use sites.
+func (h *Heap) Get(ref value.Ref) *Object {
+	if !ref.Usable() || ref.Node() != h.node {
+		return nil
+	}
+	seq := ref.Seq()
+	if seq == 0 || seq > uint64(len(h.objs)) {
+		return nil
+	}
+	return h.objs[seq-1]
+}
+
+// MustGet is Get that panics on failure; for runtime-internal references
+// that are known-local by construction.
+func (h *Heap) MustGet(ref value.Ref) *Object {
+	o := h.Get(ref)
+	if o == nil {
+		panic(fmt.Sprintf("vm: dangling local ref %v", ref))
+	}
+	return o
+}
+
+// IsLocal reports whether ref dereferences on this heap.
+func (h *Heap) IsLocal(ref value.Ref) bool { return h.Get(ref) != nil }
+
+// ForEach visits every live object with its reference.
+func (h *Heap) ForEach(fn func(ref value.Ref, o *Object) bool) {
+	for i, o := range h.objs {
+		if o == nil {
+			continue
+		}
+		if !fn(value.MakeRef(h.node, uint64(i+1)), o) {
+			return
+		}
+	}
+}
+
+// Reset drops all objects (worker VM reuse between jobs).
+func (h *Heap) Reset() {
+	h.objs = h.objs[:0]
+	h.bytes = 0
+}

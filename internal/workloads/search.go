@@ -1,0 +1,340 @@
+package workloads
+
+import (
+	"bytes"
+	"strings"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+	"repro/internal/nfs"
+	"repro/internal/value"
+	"repro/internal/vm"
+)
+
+// TextSearch builds the full-text document search application of §IV.C:
+// read a file in chunks (local or over NFS depending on where the
+// execution currently runs), scan each chunk for a needle string, return
+// the absolute offset of the first hit or -1.
+//
+//	searchFile(name, needle) — one file;
+//	searchMain(names, needle) — a corpus (ref array of file-name strings),
+//	  returns the count of files containing the needle.
+//
+// The §IV.C roaming experiment migrates the searchFile frame to each
+// file's hosting node in turn.
+func TextSearch() *Workload {
+	pb := asm.NewProgram()
+	declareCommon(pb)
+	pb.Native("nfs_size", 1, true)
+	pb.Native("nfs_read", 3, true)  // (name, off, buf) -> bytes read
+	pb.Native("str_find", 3, true)  // (buf, len, needle) -> idx | -1
+
+	sf := pb.Func("searchFile", true, "name", "needle")
+	sf.Line().CallNat(CheckpointNative, 0)
+	sf.Line().Int(nfs.ChunkSize).NewArr(bytecode.ArrKindByte).Store("buf")
+	sf.Line().Int(0).Store("off")
+	sf.Label("loop")
+	sf.Line().Load("name").Load("off").Load("buf").CallNat("nfs_read", 3).Store("n")
+	sf.Line().Load("n").Int(0).Le().Jnz("notfound")
+	sf.Line().Load("buf").Load("n").Load("needle").CallNat("str_find", 3).Store("idx")
+	sf.Line().Load("idx").Int(0).Ge().Jnz("found")
+	sf.Line().Load("off").Load("n").Add().Store("off")
+	sf.Line().Jmp("loop")
+	sf.Label("found")
+	sf.Line().Load("off").Load("idx").Add().RetV()
+	sf.Label("notfound")
+	sf.Line().Int(-1).RetV()
+
+	mn := pb.Func("searchMain", true, "names", "needle")
+	mn.Line().Int(0).Store("hits")
+	mn.Line().Int(0).Store("i")
+	mn.Label("loop")
+	mn.Line().Load("i").Load("names").ArrLen().Ge().Jnz("done")
+	mn.Line().Load("names").Load("i").ALoad().Load("needle").Call("searchFile", 2).Store("r")
+	mn.Line().Load("r").Int(0).Lt().Jnz("miss")
+	mn.Line().Load("hits").Int(1).Add().Store("hits")
+	mn.Label("miss")
+	mn.Line().Load("i").Int(1).Add().Store("i")
+	mn.Line().Jmp("loop")
+	mn.Label("done")
+	mn.Line().Load("hits").RetV()
+
+	return &Workload{
+		Name:          "TextSearch",
+		Descr:         "Full-text document search over NFS-hosted files",
+		Prog:          pb.MustBuild(),
+		Entry:         "searchMain",
+		MigrateFrames: 1,
+	}
+}
+
+// SearchEnv binds the search natives against an NFS server, resolving the
+// reader's position through location() so live VM migration relocates I/O
+// (the Xen row of Table VI).
+type SearchEnv struct {
+	FS       *nfs.Server
+	Location func() int
+	// ChunkPenalty adds a fixed per-chunk CPU cost to every read —
+	// modelling the I/O-library bottleneck the paper suspects in JESSICA2
+	// ("even if the file data are available locally, it does not help
+	// speed up the file reading", §IV.C).
+	ChunkPenalty time.Duration
+}
+
+// Bind installs the search natives on v.
+func (e *SearchEnv) Bind(v *vm.VM) {
+	v.BindNativeIfDeclared("nfs_size", func(t *vm.Thread, a []value.Value) (value.Value, *vm.Raised) {
+		name, ok := v.GoString(a[0].R)
+		if !ok {
+			return value.Value{}, v.FaultOrNPE(a[0])
+		}
+		f, ok := e.FS.Lookup(name)
+		if !ok {
+			return value.Value{}, &vm.Raised{ExClass: bytecode.ExIllegalState, Message: "no such file " + name}
+		}
+		return value.Int(f.Size), nil
+	})
+	v.BindNativeIfDeclared("nfs_read", func(t *vm.Thread, a []value.Value) (value.Value, *vm.Raised) {
+		name, ok := v.GoString(a[0].R)
+		if !ok {
+			return value.Value{}, v.FaultOrNPE(a[0])
+		}
+		buf := v.Heap.Get(a[2].R)
+		if buf == nil || buf.AKind != bytecode.ArrKindByte {
+			return value.Value{}, v.FaultOrNPE(a[2])
+		}
+		n, err := e.FS.Read(e.Location(), name, a[1].AsInt(), buf.AB)
+		if err != nil {
+			return value.Value{}, &vm.Raised{ExClass: bytecode.ExIllegalState, Message: err.Error()}
+		}
+		if e.ChunkPenalty > 0 && n > 0 {
+			time.Sleep(e.ChunkPenalty)
+		}
+		return value.Int(int64(n)), nil
+	})
+	v.BindNativeIfDeclared("str_find", func(t *vm.Thread, a []value.Value) (value.Value, *vm.Raised) {
+		buf := v.Heap.Get(a[0].R)
+		if buf == nil || buf.AKind != bytecode.ArrKindByte {
+			return value.Value{}, v.FaultOrNPE(a[0])
+		}
+		needle, ok := v.GoString(a[2].R)
+		if !ok {
+			return value.Value{}, v.FaultOrNPE(a[2])
+		}
+		n := int(a[1].AsInt())
+		if n > len(buf.AB) {
+			n = len(buf.AB)
+		}
+		return value.Int(int64(bytes.Index(buf.AB[:n], []byte(needle)))), nil
+	})
+}
+
+// MakeNameArray allocates a ref array of interned file-name strings.
+func MakeNameArray(v *vm.VM, names []string) (value.Ref, error) {
+	arr, err := v.Heap.AllocArray(v.BuiltinClass(bytecode.ClassObject), bytecode.ArrKindRef, len(names))
+	if err != nil {
+		return value.NullRef, err
+	}
+	o := v.Heap.MustGet(arr)
+	for i, n := range names {
+		o.AR[i] = v.Intern(n)
+	}
+	return arr, nil
+}
+
+// --- photo share (§IV.D) ---
+
+// PhotoShare builds the photo-sharing web-server workload: the server
+// searches a device-hosted directory for photos matching a keyword and
+// fetches one photo's bytes. The listPhotos and fetchPhoto frames are the
+// ones SOD pushes to the handset; serveRequest stays pinned at the server
+// (it "holds the socket").
+func PhotoShare() *Workload {
+	pb := asm.NewProgram()
+	declareCommon(pb)
+	pb.Native("fs_count", 1, true)   // (dir) -> number of photos in dir
+	pb.Native("fs_name", 2, true)    // (dir, i) -> photo name string
+	pb.Native("nfs_size", 1, true)
+	pb.Native("nfs_read", 3, true)
+	pb.Native("str_has", 2, true)    // (s, keyword) -> 0/1
+	pb.Native("http_reply", 1, false)
+
+	app := pb.Class("PhotoApp", "")
+
+	// listPhotos(dir, keyword) -> count of matches (migrated to device;
+	// being a class method, its class file ships with the migration — the
+	// t3 component of Table VII).
+	lp := app.StaticMethod("listPhotos", true, "dir", "kw")
+	lp.Line().CallNat(CheckpointNative, 0)
+	lp.Line().Int(0).Store("hits")
+	lp.Line().Int(0).Store("i")
+	lp.Line().Load("dir").CallNat("fs_count", 1).Store("n")
+	lp.Label("loop")
+	lp.Line().Load("i").Load("n").Ge().Jnz("done")
+	lp.Line().Load("dir").Load("i").CallNat("fs_name", 2).Store("name")
+	lp.Line().Load("name").Load("kw").CallNat("str_has", 2).Jz("next")
+	lp.Line().Load("hits").Int(1).Add().Store("hits")
+	lp.Label("next")
+	lp.Line().Load("i").Int(1).Add().Store("i")
+	lp.Line().Jmp("loop")
+	lp.Label("done")
+	lp.Line().Load("hits").RetV()
+
+	// fetchPhoto(name) -> total bytes read (migrated to device; the photo
+	// data returns with the frame).
+	fp := app.StaticMethod("fetchPhoto", true, "name")
+	fp.Line().CallNat(CheckpointNative, 0)
+	fp.Line().Load("name").CallNat("nfs_size", 1).Store("size")
+	fp.Line().Int(nfs.ChunkSize).NewArr(bytecode.ArrKindByte).Store("buf")
+	fp.Line().Int(0).Store("off")
+	fp.Label("loop")
+	fp.Line().Load("name").Load("off").Load("buf").CallNat("nfs_read", 3).Store("n")
+	fp.Line().Load("n").Int(0).Le().Jnz("done")
+	fp.Line().Load("off").Load("n").Add().Store("off")
+	fp.Line().Jmp("loop")
+	fp.Label("done")
+	fp.Line().Load("off").RetV()
+
+	// serveRequest(dir, keyword): the server loop body — pinned.
+	sr := app.StaticMethod("serveRequest", true, "dir", "kw")
+	sr.Pragma("pin")
+	sr.Line().Load("dir").Load("kw").Call("PhotoApp.listPhotos", 2).Store("found")
+	sr.Line().Load("found").CallNat("http_reply", 1)
+	sr.Line().Load("found").RetV()
+
+	return &Workload{
+		Name:          "PhotoShare",
+		Descr:         "Photo-sharing web server with device-hosted photos",
+		Prog:          pb.MustBuild(),
+		Entry:         "PhotoApp.serveRequest",
+		MigrateFrames: 1,
+	}
+}
+
+// PhotoEnv binds the photo natives: the photo "directory" is the set of
+// NFS files whose names start with dir + "/".
+type PhotoEnv struct {
+	FS       *nfs.Server
+	Location func() int
+	Replies  []int64 // http_reply log
+}
+
+// Bind installs the photo natives on v.
+func (e *PhotoEnv) Bind(v *vm.VM) {
+	se := &SearchEnv{FS: e.FS, Location: e.Location}
+	se.Bind(v)
+	list := func(dir string) []string {
+		var out []string
+		for _, n := range e.FS.Files() {
+			if strings.HasPrefix(n, dir+"/") {
+				out = append(out, n)
+			}
+		}
+		// Deterministic order.
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if out[j] < out[i] {
+					out[i], out[j] = out[j], out[i]
+				}
+			}
+		}
+		return out
+	}
+	v.BindNativeIfDeclared("fs_count", func(t *vm.Thread, a []value.Value) (value.Value, *vm.Raised) {
+		dir, ok := v.GoString(a[0].R)
+		if !ok {
+			return value.Value{}, v.FaultOrNPE(a[0])
+		}
+		return value.Int(int64(len(list(dir)))), nil
+	})
+	v.BindNativeIfDeclared("fs_name", func(t *vm.Thread, a []value.Value) (value.Value, *vm.Raised) {
+		dir, ok := v.GoString(a[0].R)
+		if !ok {
+			return value.Value{}, v.FaultOrNPE(a[0])
+		}
+		names := list(dir)
+		i := int(a[1].AsInt())
+		if i < 0 || i >= len(names) {
+			return value.Value{}, &vm.Raised{ExClass: bytecode.ExIndexOutOfBounds}
+		}
+		return value.RefVal(v.Intern(names[i])), nil
+	})
+	v.BindNativeIfDeclared("str_has", func(t *vm.Thread, a []value.Value) (value.Value, *vm.Raised) {
+		s, ok1 := v.GoString(a[0].R)
+		if !ok1 {
+			return value.Value{}, v.FaultOrNPE(a[0])
+		}
+		kw, ok2 := v.GoString(a[1].R)
+		if !ok2 {
+			return value.Value{}, v.FaultOrNPE(a[1])
+		}
+		return value.Bool(strings.Contains(s, kw)), nil
+	})
+	v.BindNativeIfDeclared("http_reply", func(t *vm.Thread, a []value.Value) (value.Value, *vm.Raised) {
+		e.Replies = append(e.Replies, a[0].AsInt())
+		return value.Value{}, nil
+	})
+}
+
+// --- Table V microbenchmark ---
+
+// FieldBench builds the field-access microbenchmark: four loops measuring
+// instance-field read/write and static-field read/write, each returning a
+// checksum so the work cannot be elided.
+func FieldBench() *Workload {
+	pb := asm.NewProgram()
+	declareCommon(pb)
+	c := pb.Class("Bench", "")
+	c.Field("f", value.KindInt)
+	c.Static("s", value.KindInt)
+
+	fr := pb.Func("fieldRead", true, "obj", "iters")
+	fr.Line().Int(0).Store("acc")
+	fr.Line().Int(0).Store("i")
+	fr.Label("loop")
+	fr.Line().Load("i").Load("iters").Ge().Jnz("done")
+	fr.Line().Load("acc").Load("obj").GetF("Bench", "f").Add().Store("acc")
+	fr.Line().Load("i").Int(1).Add().Store("i")
+	fr.Line().Jmp("loop")
+	fr.Label("done")
+	fr.Line().Load("acc").RetV()
+
+	fw := pb.Func("fieldWrite", true, "obj", "iters")
+	fw.Line().Int(0).Store("i")
+	fw.Label("loop")
+	fw.Line().Load("i").Load("iters").Ge().Jnz("done")
+	fw.Line().Load("obj").Load("i").PutF("Bench", "f")
+	fw.Line().Load("i").Int(1).Add().Store("i")
+	fw.Line().Jmp("loop")
+	fw.Label("done")
+	fw.Line().Load("obj").GetF("Bench", "f").RetV()
+
+	sr := pb.Func("staticRead", true, "iters")
+	sr.Line().Int(0).Store("acc")
+	sr.Line().Int(0).Store("i")
+	sr.Label("loop")
+	sr.Line().Load("i").Load("iters").Ge().Jnz("done")
+	sr.Line().Load("acc").GetS("Bench", "s").Add().Store("acc")
+	sr.Line().Load("i").Int(1).Add().Store("i")
+	sr.Line().Jmp("loop")
+	sr.Label("done")
+	sr.Line().Load("acc").RetV()
+
+	sw := pb.Func("staticWrite", true, "iters")
+	sw.Line().Int(0).Store("i")
+	sw.Label("loop")
+	sw.Line().Load("i").Load("iters").Ge().Jnz("done")
+	sw.Line().Load("i").PutS("Bench", "s")
+	sw.Line().Load("i").Int(1).Add().Store("i")
+	sw.Line().Jmp("loop")
+	sw.Label("done")
+	sw.Line().GetS("Bench", "s").RetV()
+
+	return &Workload{
+		Name:  "FieldBench",
+		Descr: "Field/static access microbenchmark (Table V)",
+		Prog:  pb.MustBuild(),
+		Entry: "fieldRead",
+	}
+}

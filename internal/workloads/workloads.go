@@ -1,0 +1,410 @@
+// Package workloads implements the paper's benchmark programs in SVM
+// bytecode: the four compute kernels of Table I (Fib, NQueens, FFT, TSP),
+// the NFS text-search application of §IV.C/Table VI, the photo-sharing
+// web workload of §IV.D and the field-access microbenchmark of Table V.
+//
+// Problem sizes are scaled relative to the paper (our engine is an
+// interpreter, the paper's a JIT); each Workload records both the paper's
+// parameters and the scaled defaults, and EXPERIMENTS.md documents the
+// mapping. The structural characteristics that drive migration costs —
+// stack heights, static footprints, which methods touch the big data —
+// follow the paper.
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+	"repro/internal/value"
+	"repro/internal/vm"
+)
+
+// Workload bundles a program with its entry point and metadata.
+type Workload struct {
+	Name  string
+	Descr string
+	// Prog is the raw (unpreprocessed) program.
+	Prog *bytecode.Program
+	// Entry is the qualified main method; it takes the workload's scaled
+	// parameter(s).
+	Entry string
+	// Args produces entry arguments for a given problem size.
+	Args func(n int64) []value.Value
+	// DefaultN is the scaled default size; PaperN the paper's.
+	DefaultN int64
+	PaperN   int64
+	// MigrateFrames is the SOD segment size the evaluation uses.
+	MigrateFrames int
+}
+
+// CheckpointNative is the native each workload calls once when it enters
+// its compute phase; the evaluation harness binds it to synchronize
+// migration triggers. The default binding is a no-op.
+const CheckpointNative = "wl_checkpoint"
+
+// declareCommon adds the natives every kernel may use.
+func declareCommon(pb *asm.ProgramBuilder) {
+	pb.Native(CheckpointNative, 0, false)
+	pb.Native("math_sin", 1, true)
+	pb.Native("math_cos", 1, true)
+	pb.Native("math_sqrt", 1, true)
+}
+
+// BindCommon installs default implementations of the common natives.
+func BindCommon(v *vm.VM) {
+	v.BindNativeIfDeclared(CheckpointNative, func(t *vm.Thread, a []value.Value) (value.Value, *vm.Raised) {
+		return value.Value{}, nil
+	})
+	v.BindNativeIfDeclared("math_sin", func(t *vm.Thread, a []value.Value) (value.Value, *vm.Raised) {
+		return value.Float(math.Sin(a[0].AsFloat())), nil
+	})
+	v.BindNativeIfDeclared("math_cos", func(t *vm.Thread, a []value.Value) (value.Value, *vm.Raised) {
+		return value.Float(math.Cos(a[0].AsFloat())), nil
+	})
+	v.BindNativeIfDeclared("math_sqrt", func(t *vm.Thread, a []value.Value) (value.Value, *vm.Raised) {
+		return value.Float(math.Sqrt(a[0].AsFloat())), nil
+	})
+}
+
+// intArgs is the common one-int-arg adapter.
+func intArgs(n int64) []value.Value { return []value.Value{value.Int(n)} }
+
+// --- Fib: the n-th Fibonacci number, naive recursion (Table I row 1) ---
+
+// Fib builds the Fib workload. The checkpoint fires on the first descent
+// to the recursion floor, so migration happens mid-recursion with a deep
+// stack — the G-JavaMPI worst case ("around 46 stack frames").
+func Fib() *Workload {
+	pb := asm.NewProgram()
+	declareCommon(pb)
+	c := pb.Class("Fib", "")
+	c.Static("signalled", value.KindInt)
+
+	fib := c.StaticMethod("fib", true, "n")
+	fib.Line().Load("n").Int(2).Lt().Jnz("base")
+	fib.Line().Load("n").Int(1).Sub().Call("Fib.fib", 1).Store("a")
+	fib.Line().Load("n").Int(2).Sub().Call("Fib.fib", 1).Store("b")
+	fib.Line().Load("a").Load("b").Add().RetV()
+	fib.Label("base")
+	fib.Line().GetS("Fib", "signalled").Jnz("skip")
+	fib.Line().Int(1).PutS("Fib", "signalled")
+	fib.Line().CallNat(CheckpointNative, 0)
+	fib.Label("skip")
+	fib.Line().Load("n").RetV()
+
+	mn := pb.Func("fibMain", true, "n")
+	mn.Line().Load("n").Call("Fib.fib", 1).RetV()
+
+	return &Workload{
+		Name:          "Fib",
+		Descr:         "Calculate the n-th Fibonacci number recursively",
+		Prog:          pb.MustBuild(),
+		Entry:         "fibMain",
+		Args:          intArgs,
+		DefaultN:      27,
+		PaperN:        46,
+		MigrateFrames: 1,
+	}
+}
+
+// --- NQ: n-queens, recursive backtracking (Table I row 2) ---
+
+// NQueens builds the NQ workload: count solutions with column/diagonal
+// occupancy arrays.
+func NQueens() *Workload {
+	pb := asm.NewProgram()
+	declareCommon(pb)
+	c := pb.Class("NQ", "")
+	c.Static("signalled", value.KindInt)
+	c.Static("cols", value.KindRef)  // int[n]
+	c.Static("d1", value.KindRef)    // int[2n]
+	c.Static("d2", value.KindRef)    // int[2n]
+
+	solve := c.StaticMethod("solve", true, "row", "n")
+	solve.Line().Load("row").Load("n").Ge().Jnz("leaf")
+	solve.Line().Int(0).Store("count")
+	solve.Line().Int(0).Store("col")
+	solve.Label("loop")
+	solve.Line().Load("col").Load("n").Ge().Jnz("done")
+	// occupied = cols[col] | d1[row+col] | d2[row-col+n]
+	solve.Line().GetS("NQ", "cols").Load("col").ALoad().Store("occ")
+	solve.Line().Load("occ").GetS("NQ", "d1").Load("row").Load("col").Add().ALoad().Or().Store("occ")
+	solve.Line().Load("occ").GetS("NQ", "d2").Load("row").Load("col").Sub().Load("n").Add().ALoad().Or().Store("occ")
+	solve.Line().Load("occ").Jnz("next")
+	// place
+	solve.Line().GetS("NQ", "cols").Load("col").Int(1).AStore()
+	solve.Line().GetS("NQ", "d1").Load("row").Load("col").Add().Int(1).AStore()
+	solve.Line().GetS("NQ", "d2").Load("row").Load("col").Sub().Load("n").Add().Int(1).AStore()
+	solve.Line().Load("count").Load("row").Int(1).Add().Load("n").Call("NQ.solve", 2).Add().Store("count")
+	// unplace
+	solve.Line().GetS("NQ", "cols").Load("col").Int(0).AStore()
+	solve.Line().GetS("NQ", "d1").Load("row").Load("col").Add().Int(0).AStore()
+	solve.Line().GetS("NQ", "d2").Load("row").Load("col").Sub().Load("n").Add().Int(0).AStore()
+	solve.Label("next")
+	solve.Line().Load("col").Int(1).Add().Store("col")
+	solve.Line().Jmp("loop")
+	solve.Label("done")
+	solve.Line().Load("count").RetV()
+	solve.Label("leaf")
+	solve.Line().GetS("NQ", "signalled").Jnz("skipcp")
+	solve.Line().Int(1).PutS("NQ", "signalled")
+	solve.Line().CallNat(CheckpointNative, 0)
+	solve.Label("skipcp")
+	solve.Line().Int(1).RetV()
+
+	mn := pb.Func("nqMain", true, "n")
+	mn.Line().Load("n").NewArr(bytecode.ArrKindInt).PutS("NQ", "cols")
+	mn.Line().Load("n").Int(2).Mul().NewArr(bytecode.ArrKindInt).PutS("NQ", "d1")
+	mn.Line().Load("n").Int(2).Mul().NewArr(bytecode.ArrKindInt).PutS("NQ", "d2")
+	mn.Line().Int(0).Load("n").Call("NQ.solve", 2).RetV()
+
+	return &Workload{
+		Name:          "NQ",
+		Descr:         "Solve the n-queens problem recursively",
+		Prog:          pb.MustBuild(),
+		Entry:         "nqMain",
+		Args:          intArgs,
+		DefaultN:      9,
+		PaperN:        14,
+		MigrateFrames: 1,
+	}
+}
+
+// --- FFT: n-point 2-D Fourier transform over big static arrays ---
+
+// FFTExtraStaticFloats sizes the extra static workspace array: the paper's
+// FFT carries a >64 MB static footprint which dominates eager-copy and
+// eager-allocation systems; we scale it to 4M floats (32 MB).
+const FFTExtraStaticFloats = 4 << 20
+
+// FFT builds the FFT workload: a 2-D transform computed row-by-row then
+// column-by-column over static re/im arrays, plus a large static
+// workspace. The transform kernel is a direct DFT (the O(n²) summation) —
+// the workload's role in the evaluation is its memory shape, which is
+// preserved. The SOD migration point is the finish() method, which does
+// NOT touch the arrays — the placement §IV.A highlights.
+func FFT() *Workload {
+	pb := asm.NewProgram()
+	declareCommon(pb)
+	c := pb.Class("FFT", "")
+	c.Static("re", value.KindRef)
+	c.Static("im", value.KindRef)
+	c.Static("work", value.KindRef) // the big array
+	c.Static("n", value.KindInt)
+
+	// dft1d(off, stride, n): in-place direct DFT of one row/column.
+	dft := c.StaticMethod("dft1d", false, "off", "stride", "n")
+	dft.Line().Load("n").NewArr(bytecode.ArrKindFloat).Store("tr")
+	dft.Line().Load("n").NewArr(bytecode.ArrKindFloat).Store("ti")
+	dft.Line().Int(0).Store("k")
+	dft.Label("kloop")
+	dft.Line().Load("k").Load("n").Ge().Jnz("kdone")
+	dft.Line().Float(0).Store("sr")
+	dft.Line().Float(0).Store("si")
+	dft.Line().Int(0).Store("t")
+	dft.Label("tloop")
+	dft.Line().Load("t").Load("n").Ge().Jnz("tdone")
+	// ang = -2*pi*k*t/n
+	dft.Line().Float(-2 * math.Pi).Load("k").I2F().Mul().Load("t").I2F().Mul().Load("n").I2F().Div().Store("ang")
+	dft.Line().Load("ang").CallNat("math_cos", 1).Store("cw")
+	dft.Line().Load("ang").CallNat("math_sin", 1).Store("sw")
+	// idx = off + t*stride
+	dft.Line().Load("off").Load("t").Load("stride").Mul().Add().Store("idx")
+	dft.Line().GetS("FFT", "re").Load("idx").ALoad().Store("xr")
+	dft.Line().GetS("FFT", "im").Load("idx").ALoad().Store("xi")
+	// sr += xr*cw - xi*sw ; si += xr*sw + xi*cw
+	dft.Line().Load("sr").Load("xr").Load("cw").Mul().Load("xi").Load("sw").Mul().Sub().Add().Store("sr")
+	dft.Line().Load("si").Load("xr").Load("sw").Mul().Load("xi").Load("cw").Mul().Add().Add().Store("si")
+	dft.Line().Load("t").Int(1).Add().Store("t")
+	dft.Line().Jmp("tloop")
+	dft.Label("tdone")
+	dft.Line().Load("tr").Load("k").Load("sr").AStore()
+	dft.Line().Load("ti").Load("k").Load("si").AStore()
+	dft.Line().Load("k").Int(1).Add().Store("k")
+	dft.Line().Jmp("kloop")
+	dft.Label("kdone")
+	// write back
+	dft.Line().Int(0).Store("k")
+	dft.Label("wb")
+	dft.Line().Load("k").Load("n").Ge().Jnz("wbdone")
+	dft.Line().Load("off").Load("k").Load("stride").Mul().Add().Store("idx")
+	dft.Line().GetS("FFT", "re").Load("idx").Load("tr").Load("k").ALoad().AStore()
+	dft.Line().GetS("FFT", "im").Load("idx").Load("ti").Load("k").ALoad().AStore()
+	dft.Line().Load("k").Int(1).Add().Store("k")
+	dft.Line().Jmp("wb")
+	dft.Label("wbdone")
+	dft.Line().Ret()
+
+	// transform(n): rows then columns.
+	tr := c.StaticMethod("transform", false, "n")
+	tr.Line().Int(0).Store("i")
+	tr.Label("rows")
+	tr.Line().Load("i").Load("n").Ge().Jnz("rowsdone")
+	tr.Line().Load("i").Load("n").Mul().Int(1).Load("n").Call("FFT.dft1d", 3)
+	tr.Line().Load("i").Int(1).Add().Store("i")
+	tr.Line().Jmp("rows")
+	tr.Label("rowsdone")
+	tr.Line().Int(0).Store("i")
+	tr.Label("cols")
+	tr.Line().Load("i").Load("n").Ge().Jnz("colsdone")
+	tr.Line().Load("i").Load("n").Load("n").Call("FFT.dft1d", 3)
+	tr.Line().Load("i").Int(1).Add().Store("i")
+	tr.Line().Jmp("cols")
+	tr.Label("colsdone")
+	tr.Line().Ret()
+
+	// finish(n): scalar post-processing that does not touch the arrays —
+	// the method SODEE migrates.
+	fin := c.StaticMethod("finish", true, "acc")
+	fin.Line().CallNat(CheckpointNative, 0)
+	fin.Line().Int(0).Store("i")
+	fin.Label("floop")
+	fin.Line().Load("i").Int(400000).Ge().Jnz("fdone")
+	fin.Line().Load("acc").Load("i").Load("i").Mul().Int(2654435761).Xor().Add().Store("acc")
+	fin.Line().Load("i").Int(1).Add().Store("i")
+	fin.Line().Jmp("floop")
+	fin.Label("fdone")
+	fin.Line().Load("acc").RetV()
+
+	// checksum(n): reads back a few array cells (touches the arrays).
+	ck := c.StaticMethod("checksum", true, "n")
+	ck.Line().Float(0).Store("s")
+	ck.Line().Int(0).Store("i")
+	ck.Label("cloop")
+	ck.Line().Load("i").Load("n").Ge().Jnz("cdone")
+	ck.Line().Load("s").GetS("FFT", "re").Load("i").Load("n").Mul().Load("i").Add().ALoad().Add().Store("s")
+	ck.Line().Load("i").Int(1).Add().Store("i")
+	ck.Line().Jmp("cloop")
+	ck.Label("cdone")
+	ck.Line().Load("s").F2I().RetV()
+
+	mn := pb.Func("fftMain", true, "n")
+	mn.Line().Load("n").PutS("FFT", "n")
+	mn.Line().Load("n").Load("n").Mul().NewArr(bytecode.ArrKindFloat).PutS("FFT", "re")
+	mn.Line().Load("n").Load("n").Mul().NewArr(bytecode.ArrKindFloat).PutS("FFT", "im")
+	mn.Line().Int(FFTExtraStaticFloats).NewArr(bytecode.ArrKindFloat).PutS("FFT", "work")
+	// Seed re with a deterministic pattern; touch the workspace lightly.
+	mn.Line().Int(0).Store("i")
+	mn.Label("seed")
+	mn.Line().Load("i").Load("n").Load("n").Mul().Ge().Jnz("seeded")
+	mn.Line().GetS("FFT", "re").Load("i").Load("i").Int(7).Mod().I2F().AStore()
+	mn.Line().Load("i").Int(1).Add().Store("i")
+	mn.Line().Jmp("seed")
+	mn.Label("seeded")
+	mn.Line().GetS("FFT", "work").Int(0).Float(1).AStore()
+	mn.Line().Load("n").Call("FFT.transform", 1)
+	mn.Line().Load("n").Call("FFT.checksum", 1).Store("acc")
+	mn.Line().Load("acc").Call("FFT.finish", 1).RetV()
+
+	return &Workload{
+		Name:          "FFT",
+		Descr:         "Compute an n-point 2D Fourier transform",
+		Prog:          pb.MustBuild(),
+		Entry:         "fftMain",
+		Args:          intArgs,
+		DefaultN:      48,
+		PaperN:        256,
+		MigrateFrames: 1,
+	}
+}
+
+// --- TSP: traveling salesman, branch-and-bound DFS (Table I row 4) ---
+
+// TSP builds the TSP workload: n cities with deterministic coordinates as
+// heap objects, DFS with partial-cost pruning. Distances are computed on
+// the fly from the City objects, so every city and the bookkeeping arrays
+// are touched frequently — the case where SOD's deferred heap transfer
+// has nothing to win over eager copy (§IV.A: "almost all object fields
+// need be used frequently. There is no benefit for SODEE to reap").
+func TSP() *Workload {
+	pb := asm.NewProgram()
+	declareCommon(pb)
+	c := pb.Class("TSP", "")
+	c.Static("signalled", value.KindInt)
+	c.Static("cities", value.KindRef)  // City[n]
+	c.Static("visited", value.KindRef) // int[n]
+	c.Static("best", value.KindRef)    // float[1]
+	c.Static("n", value.KindInt)
+
+	city := pb.Class("City", "")
+	city.Field("x", value.KindFloat)
+	city.Field("y", value.KindFloat)
+
+	// dist(a, b): euclidean distance between cities a and b, from the
+	// City objects themselves.
+	d := c.StaticMethod("dist", true, "a", "b")
+	d.Line().GetS("TSP", "cities").Load("a").ALoad().Store("ca")
+	d.Line().GetS("TSP", "cities").Load("b").ALoad().Store("cb")
+	d.Line().Load("ca").GetF("City", "x").Load("cb").GetF("City", "x").Sub().Store("dx")
+	d.Line().Load("ca").GetF("City", "y").Load("cb").GetF("City", "y").Sub().Store("dy")
+	d.Line().Load("dx").Load("dx").Mul().Load("dy").Load("dy").Mul().Add().CallNat("math_sqrt", 1).RetV()
+
+	// search(at, count, cost): DFS over remaining cities.
+	s := c.StaticMethod("search", false, "at", "count", "cost")
+	s.Line().Load("cost").GetS("TSP", "best").Int(0).ALoad().Ge().Jnz("prune")
+	s.Line().Load("count").GetS("TSP", "n").Ge().Jnz("complete")
+	s.Line().Int(0).Store("next")
+	s.Label("loop")
+	s.Line().Load("next").GetS("TSP", "n").Ge().Jnz("done")
+	s.Line().GetS("TSP", "visited").Load("next").ALoad().Jnz("skip")
+	s.Line().GetS("TSP", "visited").Load("next").Int(1).AStore()
+	s.Line().Load("at").Load("next").Call("TSP.dist", 2).Store("leg")
+	s.Line().Load("next").Load("count").Int(1).Add().Load("cost").Load("leg").Add().Call("TSP.search", 3)
+	s.Line().GetS("TSP", "visited").Load("next").Int(0).AStore()
+	s.Label("skip")
+	s.Line().Load("next").Int(1).Add().Store("next")
+	s.Line().Jmp("loop")
+	s.Label("done")
+	s.Line().Ret()
+	s.Label("complete")
+	// close the tour: cost += dist(at, 0)
+	s.Line().Load("at").Int(0).Call("TSP.dist", 2).Store("leg")
+	s.Line().Load("cost").Load("leg").Add().Store("total")
+	s.Line().GetS("TSP", "signalled").Jnz("nosig")
+	s.Line().Int(1).PutS("TSP", "signalled")
+	s.Line().CallNat(CheckpointNative, 0)
+	s.Label("nosig")
+	s.Line().Load("total").GetS("TSP", "best").Int(0).ALoad().Ge().Jnz("prune")
+	s.Line().GetS("TSP", "best").Int(0).Load("total").AStore()
+	s.Line().Ret()
+	s.Label("prune")
+	s.Line().Ret()
+
+	mn := pb.Func("tspMain", true, "n")
+	mn.Line().Load("n").PutS("TSP", "n")
+	mn.Line().Load("n").NewArr(bytecode.ArrKindRef).PutS("TSP", "cities")
+	mn.Line().Load("n").NewArr(bytecode.ArrKindInt).PutS("TSP", "visited")
+	mn.Line().Int(1).NewArr(bytecode.ArrKindFloat).PutS("TSP", "best")
+	mn.Line().GetS("TSP", "best").Int(0).Float(1e18).AStore()
+	// cities[i] at deterministic pseudo-random coordinates
+	mn.Line().Int(0).Store("i")
+	mn.Label("mkcities")
+	mn.Line().Load("i").Load("n").Ge().Jnz("mkdone")
+	mn.Line().New("City").Store("ct")
+	mn.Line().Load("ct").Load("i").Int(37).Mul().Int(101).Add().Int(97).Mod().I2F().PutF("City", "x")
+	mn.Line().Load("ct").Load("i").Int(73).Mul().Int(59).Add().Int(89).Mod().I2F().PutF("City", "y")
+	mn.Line().GetS("TSP", "cities").Load("i").Load("ct").AStore()
+	mn.Line().Load("i").Int(1).Add().Store("i")
+	mn.Line().Jmp("mkcities")
+	mn.Label("mkdone")
+	mn.Line().GetS("TSP", "visited").Int(0).Int(1).AStore()
+	mn.Line().Int(0).Int(1).Float(0).Call("TSP.search", 3)
+	mn.Line().GetS("TSP", "best").Int(0).ALoad().Float(1000).Mul().F2I().RetV()
+
+	return &Workload{
+		Name:          "TSP",
+		Descr:         "Solve the traveling salesman problem of n cities",
+		Prog:          pb.MustBuild(),
+		Entry:         "tspMain",
+		Args:          intArgs,
+		DefaultN:      10,
+		PaperN:        12,
+		MigrateFrames: 1,
+	}
+}
+
+// All returns the four Table I kernels.
+func All() []*Workload {
+	return []*Workload{Fib(), NQueens(), FFT(), TSP()}
+}

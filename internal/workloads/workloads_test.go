@@ -1,0 +1,201 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/nfs"
+	"repro/internal/preprocess"
+	"repro/internal/value"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// run executes a workload locally (no migration) under a given preprocess
+// mode and returns the result.
+func run(t *testing.T, w *workloads.Workload, mode preprocess.Mode, args ...value.Value) value.Value {
+	t.Helper()
+	prog := w.Prog
+	if mode != preprocess.Mode(-1) {
+		prog = preprocess.MustPreprocess(prog, preprocess.Options{Mode: mode, Restore: true})
+	}
+	v := vm.New(prog, 1, true)
+	workloads.BindCommon(v)
+	res, err := v.RunMain(prog.MethodByName(w.Entry), args...)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return res
+}
+
+func TestFibCorrect(t *testing.T) {
+	w := workloads.Fib()
+	res := run(t, w, preprocess.Mode(-1), value.Int(20))
+	if res.I != 6765 {
+		t.Errorf("fib(20) = %d, want 6765", res.I)
+	}
+}
+
+func TestNQueensCorrect(t *testing.T) {
+	w := workloads.NQueens()
+	for _, tc := range []struct{ n, want int64 }{{4, 2}, {5, 10}, {6, 4}, {8, 92}} {
+		res := run(t, w, preprocess.Mode(-1), value.Int(tc.n))
+		if res.I != tc.want {
+			t.Errorf("nqueens(%d) = %d, want %d", tc.n, res.I, tc.want)
+		}
+	}
+}
+
+func TestTSPFindsOptimalTour(t *testing.T) {
+	w := workloads.TSP()
+	// Brute-force check for n=6 using the same deterministic city layout.
+	res := run(t, w, preprocess.Mode(-1), value.Int(6))
+	if res.I <= 0 {
+		t.Errorf("tsp(6) = %d, want positive tour length", res.I)
+	}
+	// Determinism across runs and modes.
+	res2 := run(t, w, preprocess.ModeFaulting, value.Int(6))
+	if res.I != res2.I {
+		t.Errorf("tsp result differs across modes: %d vs %d", res.I, res2.I)
+	}
+}
+
+func TestFFTChecksumStableAcrossModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("FFT is slow in -short mode")
+	}
+	w := workloads.FFT()
+	a := run(t, w, preprocess.Mode(-1), value.Int(16))
+	b := run(t, w, preprocess.ModeFaulting, value.Int(16))
+	c := run(t, w, preprocess.ModeStatusCheck, value.Int(16))
+	if !a.Equal(b) || !a.Equal(c) {
+		t.Errorf("FFT results differ across modes: %v %v %v", a, b, c)
+	}
+}
+
+func TestAllKernelsSurvivePreprocessing(t *testing.T) {
+	for _, w := range workloads.All() {
+		for _, mode := range []preprocess.Mode{preprocess.ModeNone, preprocess.ModeFaulting, preprocess.ModeStatusCheck} {
+			if _, rep, err := preprocess.Preprocess(w.Prog, preprocess.Options{Mode: mode, Restore: true}); err != nil {
+				t.Errorf("%s mode %v: %v", w.Name, mode, err)
+			} else {
+				for _, mr := range rep.Methods {
+					if !mr.Lifted && mr.Reason != "pragma nopreprocess" {
+						t.Errorf("%s mode %v: method %s not lifted: %s", w.Name, mode, mr.Name, mr.Reason)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelResultsInvariantUnderPreprocessing(t *testing.T) {
+	sizes := map[string]int64{"Fib": 18, "NQ": 6, "FFT": 12, "TSP": 7}
+	for _, w := range workloads.All() {
+		n := sizes[w.Name]
+		want := run(t, w, preprocess.Mode(-1), value.Int(n))
+		for _, mode := range []preprocess.Mode{preprocess.ModeNone, preprocess.ModeFaulting, preprocess.ModeStatusCheck} {
+			got := run(t, w, mode, value.Int(n))
+			if !got.Equal(want) {
+				t.Errorf("%s(%d) under mode %v = %v, want %v", w.Name, n, mode, got, want)
+			}
+		}
+	}
+}
+
+func TestTextSearchFindsPlantedNeedle(t *testing.T) {
+	net := netsim.NewNetwork(netsim.Unlimited)
+	fs := nfs.NewServer(net)
+	fs.Host(nfs.File{Name: "docs/a.txt", Host: 1, Size: 300_000, Seed: 7,
+		Needle: "thequickbrownfox", NeedleOff: 250_000})
+	fs.Host(nfs.File{Name: "docs/b.txt", Host: 1, Size: 100_000, Seed: 9})
+
+	w := workloads.TextSearch()
+	prog := preprocess.MustPreprocess(w.Prog, preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+	v := vm.New(prog, 1, true)
+	workloads.BindCommon(v)
+	env := &workloads.SearchEnv{FS: fs, Location: func() int { return 1 }}
+	env.Bind(v)
+
+	names, err := workloads.MakeNameArray(v, []string{"docs/a.txt", "docs/b.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rerr := v.RunMain(prog.MethodByName("searchMain"),
+		value.RefVal(names), value.RefVal(v.Intern("thequickbrownfox")))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if res.I != 1 {
+		t.Errorf("hits = %d, want 1 (needle planted in one file)", res.I)
+	}
+}
+
+func TestTextSearchRemoteReadsPayBandwidth(t *testing.T) {
+	net := netsim.NewNetwork(netsim.LinkSpec{BandwidthBps: 200_000_000, Latency: 0})
+	fs := nfs.NewServer(net)
+	fs.Host(nfs.File{Name: "f", Host: 2, Size: 1 << 20, Seed: 3})
+
+	w := workloads.TextSearch()
+	v := vm.New(w.Prog, 1, true)
+	workloads.BindCommon(v)
+	env := &workloads.SearchEnv{FS: fs, Location: func() int { return 1 }}
+	env.Bind(v)
+	names, _ := workloads.MakeNameArray(v, []string{"f"})
+	if _, err := v.RunMain(w.Prog.MethodByName("searchMain"),
+		value.RefVal(names), value.RefVal(v.Intern("zzzzneverthere"))); err != nil {
+		t.Fatal(err)
+	}
+	if fs.RemoteReads == 0 {
+		t.Error("reading a remote file should count remote chunk reads")
+	}
+	if fs.LocalReads != 0 {
+		t.Error("no local reads expected")
+	}
+}
+
+func TestPhotoShareLocalRun(t *testing.T) {
+	net := netsim.NewNetwork(netsim.Unlimited)
+	fs := nfs.NewServer(net)
+	for _, n := range []string{"dcim/beach1.jpg", "dcim/city.jpg", "dcim/beach2.jpg"} {
+		fs.Host(nfs.File{Name: n, Host: 1, Size: 4096, Seed: 11})
+	}
+	w := workloads.PhotoShare()
+	v := vm.New(w.Prog, 1, true)
+	workloads.BindCommon(v)
+	env := &workloads.PhotoEnv{FS: fs, Location: func() int { return 1 }}
+	env.Bind(v)
+	res, err := v.RunMain(w.Prog.MethodByName("PhotoApp.serveRequest"),
+		value.RefVal(v.Intern("dcim")), value.RefVal(v.Intern("beach")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 2 {
+		t.Errorf("found %d beach photos, want 2", res.I)
+	}
+	if len(env.Replies) != 1 || env.Replies[0] != 2 {
+		t.Errorf("http_reply log = %v", env.Replies)
+	}
+}
+
+func TestFieldBenchAllLoops(t *testing.T) {
+	w := workloads.FieldBench()
+	v := vm.New(w.Prog, 1, true)
+	workloads.BindCommon(v)
+	cid := w.Prog.ClassByName("Bench")
+	obj, _ := v.Heap.Alloc(cid, w.Prog.NumInstanceFields(cid))
+	v.Heap.MustGet(obj).Fields[0] = value.Int(3)
+
+	if res, err := v.RunMain(w.Prog.MethodByName("fieldRead"), value.RefVal(obj), value.Int(100)); err != nil || res.I != 300 {
+		t.Errorf("fieldRead: %v %v", res, err)
+	}
+	if res, err := v.RunMain(w.Prog.MethodByName("fieldWrite"), value.RefVal(obj), value.Int(100)); err != nil || res.I != 99 {
+		t.Errorf("fieldWrite: %v %v", res, err)
+	}
+	if res, err := v.RunMain(w.Prog.MethodByName("staticRead"), value.Int(100)); err != nil || res.I != 0 {
+		t.Errorf("staticRead: %v %v", res, err)
+	}
+	if res, err := v.RunMain(w.Prog.MethodByName("staticWrite"), value.Int(100)); err != nil || res.I != 99 {
+		t.Errorf("staticWrite: %v %v", res, err)
+	}
+}

@@ -1,0 +1,312 @@
+// Package sod is the public API of the stack-on-demand (SOD) execution
+// engine: a Go reproduction of "A Stack-on-Demand Execution Model for
+// Elastic Computing" (Ma, Lam, Wang, Zhang — ICPP 2010).
+//
+// The engine runs programs written for a stack-based virtual machine (the
+// SVM; author them with package sodasm) on a cluster of nodes and lets a
+// running thread's *top stack frames* migrate between nodes: the paper's
+// lightweight alternative to process, thread, or whole-VM migration.
+// Objects remain at their home node and fault in on demand through
+// exception-driven object faulting; results and updated data flow back
+// when a migrated segment completes.
+//
+// Quick start:
+//
+//	prog := sodasm.NewProgram()
+//	... assemble ...
+//	app := sod.Compile(prog.MustBuild())              // preprocess for SOD
+//	cluster, _ := sod.NewCluster(app, sod.Gigabit,
+//	    sod.Node{ID: 1}, sod.Node{ID: 2})
+//	job, _ := cluster.On(1).Start("main", sod.Int(40))
+//	cluster.On(1).Migrate(job, sod.Migration{Frames: 1, Dest: 2})
+//	result, err := job.Wait()
+//
+// See examples/ for runnable scenarios (quickstart, multi-domain
+// workflow, task roaming, device offload, photo sharing).
+package sod
+
+import (
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/netsim"
+	"repro/internal/preprocess"
+	"repro/internal/sodee"
+	"repro/internal/value"
+	"repro/internal/vm"
+)
+
+// Program is a compiled SVM program.
+type Program = bytecode.Program
+
+// Value is an SVM runtime value.
+type Value = value.Value
+
+// Ref is an object reference.
+type Ref = value.Ref
+
+// Int builds an integer value.
+func Int(i int64) Value { return value.Int(i) }
+
+// Float builds a float value.
+func Float(f float64) Value { return value.Float(f) }
+
+// RefVal builds a reference value.
+func RefVal(r Ref) Value { return value.RefVal(r) }
+
+// Null is the null reference value.
+func Null() Value { return value.Null() }
+
+// System selects the runtime substrate a node models. The zero value is
+// SODEE, the paper's system; the others exist for comparison experiments.
+type System = sodee.System
+
+// Node system kinds.
+const (
+	SODEE    = sodee.SysSODEE
+	JDK      = sodee.SysJDK
+	GJavaMPI = sodee.SysGJavaMPI
+	Jessica2 = sodee.SysJessica2
+	Xen      = sodee.SysXen
+	Device   = sodee.SysDevice
+)
+
+// Link profiles.
+var (
+	// Gigabit models the paper's cluster interconnect.
+	Gigabit = netsim.Gigabit
+	// Unlimited disables bandwidth shaping.
+	Unlimited = netsim.Unlimited
+)
+
+// Kbps builds a bandwidth-limited link profile (device experiments).
+func Kbps(k int64) netsim.LinkSpec { return netsim.Kbps(k) }
+
+// DetectionScheme selects how remote objects are detected after migration.
+type DetectionScheme int
+
+const (
+	// ObjectFaulting is the paper's contribution: zero-cost on the normal
+	// path, exception-driven fetch on first access (Fig 5 B2).
+	ObjectFaulting DetectionScheme = iota
+	// StatusChecks injects a test before every access (Fig 5 B1) — the
+	// classical object-DSM baseline, provided for comparison.
+	StatusChecks
+)
+
+// CompileOptions tunes Compile.
+type CompileOptions struct {
+	Detection DetectionScheme
+	// NoRestoreHandlers skips the Fig 4 restoration handlers (only useful
+	// for systems that rebuild frames inside the VM).
+	NoRestoreHandlers bool
+}
+
+// Compile preprocesses a raw program for SOD execution: statement
+// flattening (migration-safe points), object fault handlers, restoration
+// handlers. The input is not modified.
+func Compile(p *Program) *Program {
+	return CompileWith(p, CompileOptions{})
+}
+
+// CompileWith is Compile with options.
+func CompileWith(p *Program, opts CompileOptions) *Program {
+	mode := preprocess.ModeFaulting
+	if opts.Detection == StatusChecks {
+		mode = preprocess.ModeStatusCheck
+	}
+	return preprocess.MustPreprocess(p, preprocess.Options{Mode: mode, Restore: !opts.NoRestoreHandlers})
+}
+
+// CompileReport returns the per-method transformation report alongside the
+// compiled program.
+func CompileReport(p *Program, opts CompileOptions) (*Program, *preprocess.Report, error) {
+	mode := preprocess.ModeFaulting
+	if opts.Detection == StatusChecks {
+		mode = preprocess.ModeStatusCheck
+	}
+	return preprocess.Preprocess(p, preprocess.Options{Mode: mode, Restore: !opts.NoRestoreHandlers})
+}
+
+// Node configures one cluster node.
+type Node struct {
+	ID int
+	// System defaults to SODEE.
+	System System
+	// HeapLimit bounds the node's heap in bytes (0 = unlimited).
+	HeapLimit int64
+	// Cold starts the node without application classes; they ship on
+	// demand when work arrives (the default for worker nodes is warm).
+	Cold bool
+}
+
+// Cluster is a set of SOD nodes over a shared fabric.
+type Cluster struct {
+	inner *sodee.Cluster
+}
+
+// NewCluster builds a cluster running prog (compile it first) with the
+// given link profile between all nodes.
+func NewCluster(prog *Program, link netsim.LinkSpec, nodes ...Node) (*Cluster, error) {
+	cfgs := make([]sodee.NodeConfig, 0, len(nodes))
+	for _, n := range nodes {
+		cfgs = append(cfgs, sodee.NodeConfig{
+			ID:        n.ID,
+			System:    n.System,
+			HeapLimit: n.HeapLimit,
+			Preloaded: !n.Cold,
+		})
+	}
+	inner, err := sodee.NewCluster(prog, link, cfgs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// SetLink overrides the link profile between two nodes.
+func (c *Cluster) SetLink(a, b int, link netsim.LinkSpec) { c.inner.Net.SetLink(a, b, link) }
+
+// Network exposes the underlying fabric (for NFS setup and stats).
+func (c *Cluster) Network() *netsim.Network { return c.inner.Net }
+
+// On returns the handle for node id.
+func (c *Cluster) On(id int) *NodeHandle {
+	n, ok := c.inner.Nodes[id]
+	if !ok {
+		return nil
+	}
+	return &NodeHandle{n: n}
+}
+
+// Internal returns the underlying runtime cluster for advanced use (the
+// experiment harness).
+func (c *Cluster) Internal() *sodee.Cluster { return c.inner }
+
+// NodeHandle operates one node.
+type NodeHandle struct {
+	n *sodee.Node
+}
+
+// ID returns the node id.
+func (h *NodeHandle) ID() int { return h.n.ID }
+
+// VM exposes the node's virtual machine (to bind natives, allocate
+// arguments, inspect the heap).
+func (h *NodeHandle) VM() *vm.VM { return h.n.VM }
+
+// Intern returns an interned string object on this node.
+func (h *NodeHandle) Intern(s string) Value { return value.RefVal(h.n.VM.Intern(s)) }
+
+// Runtime exposes the node's migration manager for advanced scenarios.
+func (h *NodeHandle) Runtime() *sodee.Manager { return h.n.Mgr }
+
+// Inner exposes the underlying node.
+func (h *NodeHandle) Inner() *sodee.Node { return h.n }
+
+// NativeFunc is a simplified native-method implementation for
+// applications built on the public API. Errors surface as
+// IllegalStateException in the running program.
+type NativeFunc func(args []Value) (Value, error)
+
+// BindNative installs fn as the implementation of a declared native on
+// this node.
+func (h *NodeHandle) BindNative(name string, fn NativeFunc) {
+	h.n.VM.BindNativeIfDeclared(name, func(t *vm.Thread, args []Value) (Value, *vm.Raised) {
+		res, err := fn(args)
+		if err != nil {
+			return Value{}, &vm.Raised{ExClass: bytecode.ExIllegalState, Message: err.Error()}
+		}
+		return res, nil
+	})
+}
+
+// Start launches a job executing the named method with args.
+func (h *NodeHandle) Start(method string, args ...Value) (*Job, error) {
+	j, err := h.n.Mgr.StartJob(method, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &Job{inner: j}, nil
+}
+
+// Flow selects what happens after a migrated segment completes.
+type Flow = sodee.Flow
+
+// Migration flows (Fig 1 of the paper).
+const (
+	// ReturnHome: the segment's return value comes back; execution resumes
+	// on the residual stack at the home node (Fig 1a).
+	ReturnHome = sodee.FlowReturnHome
+	// Total: the residual stack follows; execution continues at the
+	// destination (Fig 1b).
+	Total = sodee.FlowTotal
+	// Forward: the residual is planted on a third node and control flows
+	// there after the segment pops (Fig 1c).
+	Forward = sodee.FlowForward
+)
+
+// Migration describes one stack-on-demand migration.
+type Migration struct {
+	// Frames is the segment size: how many top frames to export.
+	Frames int
+	// Dest runs the segment.
+	Dest int
+	// Flow defaults to ReturnHome.
+	Flow Flow
+	// ForwardTo hosts the residual when Flow == Forward.
+	ForwardTo int
+}
+
+// Metrics is the cost breakdown of one migration.
+type Metrics = sodee.MigrationMetrics
+
+// Migrate performs a SOD migration of the job's running thread: the
+// thread is suspended at its next migration-safe point, the top Frames
+// frames are captured and shipped, and execution resumes at Dest.
+func (h *NodeHandle) Migrate(job *Job, m Migration) (*Metrics, error) {
+	return h.n.Mgr.MigrateSOD(job.inner, sodee.SODOptions{
+		NFrames: m.Frames, Dest: m.Dest, Flow: m.Flow, ForwardTo: m.ForwardTo,
+	})
+}
+
+// MigrateProcess performs G-JavaMPI-style eager process migration
+// (comparison baseline).
+func (h *NodeHandle) MigrateProcess(job *Job, dest int) (*Metrics, error) {
+	return h.n.Mgr.MigrateProcess(job.inner, dest)
+}
+
+// MigrateThread performs JESSICA2-style thread migration (baseline).
+func (h *NodeHandle) MigrateThread(job *Job, dest int) (*Metrics, error) {
+	return h.n.Mgr.MigrateThread(job.inner, dest)
+}
+
+// Job is a running (possibly migrating) computation.
+type Job struct {
+	inner *sodee.Job
+}
+
+// Wait blocks for the job's final result, wherever it completes.
+func (j *Job) Wait() (Value, error) { return j.inner.Wait() }
+
+// Done reports completion without blocking.
+func (j *Job) Done() bool { return j.inner.Done() }
+
+// Inner exposes the runtime job.
+func (j *Job) Inner() *sodee.Job { return j.inner }
+
+// WaitTimeout waits up to d for the result.
+func (j *Job) WaitTimeout(d time.Duration) (Value, bool, error) {
+	ch := make(chan struct{})
+	go func() {
+		j.inner.Wait() //nolint:errcheck // result re-read below
+		close(ch)
+	}()
+	select {
+	case <-ch:
+		v, err := j.inner.Wait()
+		return v, true, err
+	case <-time.After(d):
+		return Value{}, false, nil
+	}
+}

@@ -1,0 +1,71 @@
+// Package sodasm is the public assembler for SVM programs: a fluent
+// builder over the instruction set described in internal/bytecode. Write
+// application code with it, then hand the built program to sod.Compile.
+//
+//	pb := sodasm.NewProgram()
+//	fib := pb.Func("fib", true, "n")
+//	fib.Line().Load("n").Int(2).Lt().Jnz("base")
+//	fib.Line().Load("n").Int(1).Sub().Call("fib", 1).Store("a")
+//	fib.Line().Load("n").Int(2).Sub().Call("fib", 1).Store("b")
+//	fib.Line().Load("a").Load("b").Add().RetV()
+//	fib.Label("base")
+//	fib.Line().Load("n").RetV()
+//	prog := pb.MustBuild()
+//
+// Conventions that keep code migratable (the class preprocessor enforces
+// them and falls back to non-migratable code otherwise):
+//
+//   - mark statement boundaries with Line(); the operand stack must be
+//     empty there (it is, if each Line() chain ends in a store, a branch,
+//     a return or a void call);
+//   - jump targets must be statement starts;
+//   - avoid Dup/Swap (use named locals instead).
+package sodasm
+
+import (
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+	"repro/internal/value"
+)
+
+// ProgramBuilder accumulates classes, methods and natives.
+type ProgramBuilder = asm.ProgramBuilder
+
+// ClassBuilder declares one class.
+type ClassBuilder = asm.ClassBuilder
+
+// MethodBuilder emits one method body.
+type MethodBuilder = asm.MethodBuilder
+
+// NewProgram returns an empty builder with the builtin classes declared.
+func NewProgram() *ProgramBuilder { return asm.NewProgram() }
+
+// Field kinds for Class.Field / Class.Static declarations.
+const (
+	KindInt   = value.KindInt
+	KindFloat = value.KindFloat
+	KindRef   = value.KindRef
+)
+
+// Array element kinds for NewArr.
+const (
+	ArrInt   = bytecode.ArrKindInt
+	ArrFloat = bytecode.ArrKindFloat
+	ArrByte  = bytecode.ArrKindByte
+	ArrRef   = bytecode.ArrKindRef
+)
+
+// Builtin class names usable in Try / ThrowNew.
+const (
+	NullPointerException      = bytecode.ExNullPointer
+	ArithmeticException       = bytecode.ExArithmetic
+	IndexOutOfBoundsException = bytecode.ExIndexOutOfBounds
+	ClassCastException        = bytecode.ExClassCast
+	OutOfMemoryError          = bytecode.ExOutOfMemory
+	IllegalStateException     = bytecode.ExIllegalState
+	ObjectClass               = bytecode.ClassObject
+	StringClass               = bytecode.ClassString
+)
+
+// Disassemble renders a compiled program as readable assembly.
+func Disassemble(p *bytecode.Program) string { return bytecode.DisassembleProgram(p) }

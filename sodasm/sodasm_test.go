@@ -1,0 +1,62 @@
+package sodasm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/sod"
+	"repro/sodasm"
+)
+
+func TestDocExampleBuildsAndRuns(t *testing.T) {
+	pb := sodasm.NewProgram()
+	fib := pb.Func("fib", true, "n")
+	fib.Line().Load("n").Int(2).Lt().Jnz("base")
+	fib.Line().Load("n").Int(1).Sub().Call("fib", 1).Store("a")
+	fib.Line().Load("n").Int(2).Sub().Call("fib", 1).Store("b")
+	fib.Line().Load("a").Load("b").Add().RetV()
+	fib.Label("base")
+	fib.Line().Load("n").RetV()
+	prog := pb.MustBuild()
+
+	app := sod.Compile(prog)
+	cluster, err := sod.NewCluster(app, sod.Unlimited, sod.Node{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := cluster.On(1).Start("fib", sod.Int(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 144 {
+		t.Errorf("fib(12) = %d, want 144", res.I)
+	}
+}
+
+func TestExportedKindsAndClasses(t *testing.T) {
+	pb := sodasm.NewProgram()
+	c := pb.Class("T", "")
+	c.Field("i", sodasm.KindInt)
+	c.Field("f", sodasm.KindFloat)
+	c.Field("r", sodasm.KindRef)
+	m := pb.Func("main", true)
+	m.Line().Int(8).NewArr(sodasm.ArrByte).ArrLen().RetV()
+	prog := pb.MustBuild()
+	if prog.ClassByName(sodasm.ObjectClass) < 0 || prog.ClassByName(sodasm.OutOfMemoryError) < 0 {
+		t.Error("builtin class constants should resolve")
+	}
+}
+
+func TestDisassembleExport(t *testing.T) {
+	pb := sodasm.NewProgram()
+	m := pb.Func("main", true)
+	m.Line().Int(1).RetV()
+	out := sodasm.Disassemble(pb.MustBuild())
+	if !strings.Contains(out, "func main") {
+		t.Errorf("disassembly: %s", out)
+	}
+}
