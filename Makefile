@@ -1,0 +1,32 @@
+# Development entry points. `make check` is the full gate: static vetting,
+# a clean build, the race-enabled test suite (the policy engine reads load
+# signals across goroutines, so -race is part of the contract, not an
+# extra), and a smoke run of the elastic benchmark comparing the adaptive
+# offload policy against the no-migration baseline.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke elastic
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A fast end-to-end pass over the adaptive-offload benchmark: small burst,
+# short jobs — seconds, not minutes.
+bench-smoke:
+	$(GO) run ./cmd/sodbench -table elastic -elastic-jobs 4 -elastic-iters 40000
+
+# The full elastic comparison at default size.
+elastic:
+	$(GO) run ./cmd/sodbench -table elastic

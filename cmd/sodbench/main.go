@@ -6,6 +6,7 @@
 //	sodbench -table 5            # the object-faulting microbenchmark
 //	sodbench -table roam         # the §IV.C roaming experiment
 //	sodbench -table fig5         # the code-size comparison
+//	sodbench -table elastic      # adaptive offload vs no-migration vs hand placement
 package main
 
 import (
@@ -17,7 +18,9 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,7,roam,fig5,all")
+	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,7,roam,fig5,elastic,all")
+	elasticJobs := flag.Int("elastic-jobs", 0, "elastic: burst size (0 = default 8)")
+	elasticIters := flag.Int64("elastic-iters", 0, "elastic: iterations per job (0 = default)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -96,6 +99,16 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderFig5(f))
+		return nil
+	})
+	run("elastic", func() error {
+		rows, err := experiments.Elastic(experiments.ElasticConfig{
+			Jobs: *elasticJobs, Iters: *elasticIters,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderElastic(rows))
 		return nil
 	})
 }

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/preprocess"
+	"repro/internal/sodee"
+	"repro/internal/value"
+	"repro/internal/workloads"
+)
+
+// The elastic experiment measures the adaptive half of Stack-on-Demand:
+// a burst of CPU-bound jobs lands on a weak one-core node while three
+// strong nodes sit idle, and we compare the batch makespan under (a) no
+// migration, (b) the threshold auto-offload policy, (c) the round-robin
+// auto-offload baseline, and (d) ideal hand placement. The paper's §II.B
+// pitch is exactly (b) beating (a): load spilling from a weak device
+// into the cloud without the application lifting a finger.
+
+// ElasticRow is one scheme's outcome on the burst workload.
+type ElasticRow struct {
+	Scheme     string
+	Makespan   time.Duration
+	Migrations int
+	Correct    bool
+}
+
+// ElasticConfig sizes the experiment.
+type ElasticConfig struct {
+	Jobs  int   // burst size (default 8)
+	Iters int64 // crunch iterations per job (default 120k)
+	Slow  int   // weak-node spin throttle (default 24)
+}
+
+func (c *ElasticConfig) defaults() {
+	if c.Jobs <= 0 {
+		c.Jobs = 8
+	}
+	if c.Iters <= 0 {
+		c.Iters = 120_000
+	}
+	if c.Slow <= 0 {
+		c.Slow = 24
+	}
+}
+
+// elasticExpected mirrors the crunch program in Go.
+func elasticExpected(seed, iters int64) int64 {
+	return workloads.CruncherExpected(seed, iters)
+}
+
+// Elastic runs the burst under all four schemes and returns one row per
+// scheme, no-migration first.
+func Elastic(cfg ElasticConfig) ([]ElasticRow, error) {
+	cfg.defaults()
+	var rows []ElasticRow
+
+	run := func(scheme string, bal func(c *sodee.Cluster) *sodee.Balancer, placed bool) error {
+		c, err := elasticCluster(cfg)
+		if err != nil {
+			return err
+		}
+		var b *sodee.Balancer
+		if bal != nil {
+			b = bal(c)
+		}
+		makespan, correct, err := elasticBurst(c, cfg, placed)
+		migrations := 0
+		if b != nil {
+			b.Stop()
+			migrations = b.Stats().Migrations
+		}
+		if err != nil {
+			return err
+		}
+		rows = append(rows, ElasticRow{Scheme: scheme, Makespan: makespan, Migrations: migrations, Correct: correct})
+		return nil
+	}
+
+	if err := run("no migration", nil, false); err != nil {
+		return nil, err
+	}
+	if err := run("auto threshold", func(c *sodee.Cluster) *sodee.Balancer {
+		return c.AutoBalance(policy.Threshold{}, sodee.BalanceOptions{Interval: 300 * time.Microsecond})
+	}, false); err != nil {
+		return nil, err
+	}
+	if err := run("auto round-robin", func(c *sodee.Cluster) *sodee.Balancer {
+		return c.AutoBalance(&policy.RoundRobin{}, sodee.BalanceOptions{Interval: 300 * time.Microsecond})
+	}, false); err != nil {
+		return nil, err
+	}
+	if err := run("hand-placed", nil, true); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// elasticCluster builds the 1-weak + 3-strong cluster running the shared
+// cruncher workload (workloads.Cruncher): a CPU-bound masked linear
+// recurrence two frames deep.
+func elasticCluster(cfg ElasticConfig) (*sodee.Cluster, error) {
+	prog := preprocess.MustPreprocess(workloads.Cruncher(),
+		preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+
+	return sodee.NewCluster(prog, netsim.Gigabit,
+		sodee.NodeConfig{ID: 1, Preloaded: true, Cores: 1, Slow: cfg.Slow},
+		sodee.NodeConfig{ID: 2, Preloaded: true, Cores: 2},
+		sodee.NodeConfig{ID: 3, Preloaded: true, Cores: 2},
+		sodee.NodeConfig{ID: 4, Preloaded: true, Cores: 2},
+	)
+}
+
+// elasticBurst fires the job burst (all on node 1, or spread across the
+// cluster when placed) and waits for every result.
+func elasticBurst(c *sodee.Cluster, cfg ElasticConfig, placed bool) (time.Duration, bool, error) {
+	nodeIDs := []int{1, 2, 3, 4}
+	start := time.Now()
+	jobs := make([]*sodee.Job, cfg.Jobs)
+	seeds := make([]int64, cfg.Jobs)
+	for i := range jobs {
+		seeds[i] = int64(1000 + i)
+		home := c.Nodes[1]
+		if placed && i > 0 {
+			// Ideal placement: the weak node keeps one job, the rest
+			// spread over the strong nodes.
+			home = c.Nodes[nodeIDs[1+(i-1)%(len(nodeIDs)-1)]]
+		}
+		j, err := home.Mgr.StartJob("main", value.Int(seeds[i]), value.Int(cfg.Iters))
+		if err != nil {
+			return 0, false, err
+		}
+		jobs[i] = j
+	}
+	correct := true
+	for i, j := range jobs {
+		res, err := j.Wait()
+		if err != nil {
+			return 0, false, fmt.Errorf("elastic job %d: %w", i, err)
+		}
+		if res.I != elasticExpected(seeds[i], cfg.Iters) {
+			correct = false
+		}
+	}
+	return time.Since(start), correct, nil
+}
+
+// RenderElastic formats the elastic rows with speedups over the
+// no-migration baseline.
+func RenderElastic(rows []ElasticRow) string {
+	var b strings.Builder
+	b.WriteString("\nElastic offload — burst makespan by scheme\n")
+	b.WriteString("(weak 1-core node vs 3 idle strong nodes)\n\n")
+	var base time.Duration
+	if len(rows) > 0 {
+		base = rows[0].Makespan
+	}
+	fmt.Fprintf(&b, "%-18s %12s %10s %8s %8s\n", "scheme", "makespan", "speedup", "migr", "correct")
+	for _, r := range rows {
+		speedup := "—"
+		if base > 0 && r.Makespan > 0 && r.Scheme != rows[0].Scheme {
+			speedup = fmt.Sprintf("%.2fx", float64(base)/float64(r.Makespan))
+		}
+		fmt.Fprintf(&b, "%-18s %12s %10s %8d %8v\n",
+			r.Scheme, r.Makespan.Round(time.Millisecond), speedup, r.Migrations, r.Correct)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

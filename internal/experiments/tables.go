@@ -15,14 +15,14 @@ import (
 
 // Table1Row mirrors the paper's Table I.
 type Table1Row struct {
-	App        string
-	Descr      string
-	N          int64 // scaled problem size
-	PaperN     int64
-	H          int   // maximum stack height observed
-	F          int64 // accumulated local+static field footprint (bytes)
-	Result     value.Value
-	Elapsed    time.Duration
+	App     string
+	Descr   string
+	N       int64 // scaled problem size
+	PaperN  int64
+	H       int   // maximum stack height observed
+	F       int64 // accumulated local+static field footprint (bytes)
+	Result  value.Value
+	Elapsed time.Duration
 }
 
 // Table1 measures the characteristics of the four kernels by running them

@@ -43,11 +43,21 @@ const (
 	KindHTTP                             // photoshare example traffic
 	KindProcMigrate                      // G-JavaMPI eager process migration
 	KindThreadMigrate                    // JESSICA2 thread migration
+	KindLoadReport                       // policy engine: gossiped load signals
 )
 
 // Handler serves a request and returns the reply payload. Handlers run on
 // their own goroutine per request and may issue nested calls.
 type Handler func(from int, payload []byte) ([]byte, error)
+
+// Sentinel errors for delivery failures; match with errors.Is. The crash
+// classifiers in the runtime layers depend on these, not on message text.
+var (
+	// ErrUnreachable: the destination does not exist or is down.
+	ErrUnreachable = fmt.Errorf("netsim: node unreachable")
+	// ErrSelfDown: the sending node is itself marked down.
+	ErrSelfDown = fmt.Errorf("netsim: sending node is down")
+)
 
 // LinkSpec describes one direction of a link.
 type LinkSpec struct {
@@ -125,6 +135,7 @@ type Network struct {
 	mu          sync.Mutex
 	endpoints   map[int]*Endpoint
 	links       map[[2]int]*link
+	down        map[int]bool
 	defaultSpec LinkSpec
 	Stats       Stats
 }
@@ -134,8 +145,30 @@ func NewNetwork(def LinkSpec) *Network {
 	return &Network{
 		endpoints:   make(map[int]*Endpoint),
 		links:       make(map[[2]int]*link),
+		down:        make(map[int]bool),
 		defaultSpec: def,
 	}
+}
+
+// SetNodeDown simulates a node crash (or recovery): while down, every Call
+// or Send to or from the node fails with an unreachable error. Messages
+// already in flight are not interrupted — as on a real network, a crash
+// surfaces at the next send attempt.
+func (n *Network) SetNodeDown(id int, isDown bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if isDown {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+}
+
+// NodeDown reports whether id is currently marked crashed.
+func (n *Network) NodeDown(id int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[id]
 }
 
 // SetLink configures both directions between a and b.
@@ -221,9 +254,13 @@ func (e *Endpoint) Handle(kind MsgKind, h Handler) {
 func (e *Endpoint) peer(to int) (*Endpoint, error) {
 	e.net.mu.Lock()
 	peer, ok := e.net.endpoints[to]
+	srcDown, dstDown := e.net.down[e.id], e.net.down[to]
 	e.net.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("netsim: node %d unreachable from %d", to, e.id)
+	if !ok || dstDown {
+		return nil, fmt.Errorf("netsim: node %d from %d: %w", to, e.id, ErrUnreachable)
+	}
+	if srcDown {
+		return nil, fmt.Errorf("netsim: node %d cannot reach %d: %w", e.id, to, ErrSelfDown)
 	}
 	return peer, nil
 }

@@ -3,6 +3,7 @@ package netsim
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -274,5 +275,35 @@ func TestTCPLargePayload(t *testing.T) {
 	}
 	if len(reply) != 1 || reply[0] != want {
 		t.Errorf("checksum mismatch: got %v want %d", reply, want)
+	}
+}
+
+func TestSetNodeDown(t *testing.T) {
+	net := NewNetwork(Unlimited)
+	a := net.Node(1)
+	b := net.Node(2)
+	echo := func(from int, payload []byte) ([]byte, error) { return payload, nil }
+	a.Handle(KindControl, echo)
+	b.Handle(KindControl, echo)
+
+	net.SetNodeDown(2, true)
+	if !net.NodeDown(2) {
+		t.Fatal("node 2 should report down")
+	}
+	if _, err := a.Call(2, KindControl, []byte("x")); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("call to a down node should be unreachable, got %v", err)
+	}
+	if err := a.Send(2, KindControl, []byte("x")); err == nil {
+		t.Fatal("send to a down node should fail")
+	}
+	// A down node cannot originate traffic either.
+	if _, err := b.Call(1, KindControl, []byte("x")); err == nil {
+		t.Fatal("call from a down node should fail")
+	}
+
+	// Recovery: traffic flows again.
+	net.SetNodeDown(2, false)
+	if reply, err := a.Call(2, KindControl, []byte("y")); err != nil || string(reply) != "y" {
+		t.Fatalf("after recovery: reply=%q err=%v", reply, err)
 	}
 }

@@ -26,13 +26,13 @@ import (
 
 // Stats counts object-manager activity.
 type Stats struct {
-	Fetches      int   // remote fetch RPCs issued
-	CacheHits    int   // faults satisfied from the local cache
-	LocalHits    int   // bringObj on already-local refs (no-ops)
-	BytesFetched int64 // payload bytes brought in
-	Flushes      int
-	BytesFlushed int64
-	ObjectsServed int  // home-side requests answered
+	Fetches       int   // remote fetch RPCs issued
+	CacheHits     int   // faults satisfied from the local cache
+	LocalHits     int   // bringObj on already-local refs (no-ops)
+	BytesFetched  int64 // payload bytes brought in
+	Flushes       int
+	BytesFlushed  int64
+	ObjectsServed int // home-side requests answered
 }
 
 // Manager is one node's object manager. A node uses the same manager for
@@ -46,11 +46,16 @@ type Manager struct {
 	mu    sync.Mutex
 	cache map[value.Ref]value.Ref // home ref -> local cached ref
 	Stats Stats
+	// fetchesBy counts remote fetches by owner node — the fault-locality
+	// signal the offload policies read: a job whose faults concentrate on
+	// one peer is touching data mastered there.
+	fetchesBy map[int]int64
 }
 
 // New creates a manager and registers the home-side request handler on ep.
 func New(v *vm.VM, prog *bytecode.Program, ep netsim.Transport, codec serial.Codec) *Manager {
-	m := &Manager{VM: v, Prog: prog, EP: ep, Codec: codec, cache: make(map[value.Ref]value.Ref)}
+	m := &Manager{VM: v, Prog: prog, EP: ep, Codec: codec,
+		cache: make(map[value.Ref]value.Ref), fetchesBy: make(map[int]int64)}
 	ep.Handle(netsim.KindObjectRequest, m.serveObject)
 	return m
 }
@@ -129,8 +134,28 @@ func (m *Manager) Fetch(ref value.Ref) (value.Ref, *vm.Raised) {
 	m.cache[ref.Unstub()] = local
 	m.Stats.Fetches++
 	m.Stats.BytesFetched += int64(len(reply))
+	m.fetchesBy[ref.Node()]++
 	m.mu.Unlock()
 	return local, nil
+}
+
+// StatsSnapshot returns a consistent copy of the counters, safe to read
+// while threads are faulting.
+func (m *Manager) StatsSnapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Stats
+}
+
+// FetchesByOwner returns a copy of the per-owner fetch counts.
+func (m *Manager) FetchesByOwner() map[int]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]int64, len(m.fetchesBy))
+	for n, c := range m.fetchesBy {
+		out[n] = c
+	}
+	return out
 }
 
 // serveObject is the home-side handler: snapshot the requested local

@@ -1,0 +1,273 @@
+// Package policy decides *when* and *where* a running job should migrate
+// — the adaptive half of Stack-on-Demand. The paper (§II.B) pitches
+// elastic computing: "execution stacks migrate on demand so load can
+// spill from weak devices to strong nodes"; the seed runtime only offered
+// hand-triggered migrations. This package supplies the decision layer:
+// nodes publish cheap load Signals (runnable threads, interpreter step
+// rate, object-fault locality), a Policy turns one node's View of the
+// cluster into migrate/stay verdicts, and a Scheduler wraps any policy
+// with failure awareness so no job is ever routed to a node the engine
+// has marked crashed.
+//
+// The package is deliberately free of runtime dependencies: the SOD
+// execution engine (internal/sodee) feeds it signals and executes its
+// decisions, and tests drive it with synthetic views.
+package policy
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Signals is one node's published load report — the quantities a node can
+// sample in O(1) without stopping its threads.
+type Signals struct {
+	// Node is the reporting node's id.
+	Node int
+	// Runnable is the node's registered thread count: running, queued for
+	// a modeled core, or parked. It is the node's demand.
+	Runnable int
+	// Cores is the node's modeled core count (0 = unlimited).
+	Cores int
+	// Speed is the node's relative per-core execution speed (1.0 = the
+	// cluster's reference node; a throttled device reports < 1).
+	Speed float64
+	// StepRate is the node's recent interpreter throughput in
+	// instructions per second, summed over its threads.
+	StepRate float64
+	// Faults counts the node's remote object fetches by owner node since
+	// startup — the fault-locality signal: a node whose faults concentrate
+	// on one peer is computing over data mastered there.
+	Faults map[int]int64
+}
+
+// coreCount normalizes Cores for throughput math (0 = unlimited models a
+// machine wide enough that threads never queue).
+func (s Signals) coreCount(forThreads int) float64 {
+	if s.Cores <= 0 {
+		return float64(forThreads)
+	}
+	return float64(s.Cores)
+}
+
+// speed normalizes Speed so an unset hint means the reference speed.
+func (s Signals) speed() float64 {
+	if s.Speed <= 0 {
+		return 1
+	}
+	return s.Speed
+}
+
+// PerJobThroughput estimates the execution speed one more-or-less average
+// job enjoys on this node with extra additional threads present: cores
+// are shared evenly among runnable threads.
+func (s Signals) PerJobThroughput(extra int) float64 {
+	threads := s.Runnable + extra
+	if threads <= 0 {
+		threads = 1
+	}
+	cores := s.coreCount(threads)
+	if cores > float64(threads) {
+		cores = float64(threads)
+	}
+	return s.speed() * cores / float64(threads)
+}
+
+// View is what a policy sees when deciding the fate of one job: the
+// signals of the node the job currently runs on, the latest gossiped
+// reports from candidate destinations, and the measured round-trip time
+// to each. The Scheduler removes failed nodes before the policy looks.
+type View struct {
+	Local Signals
+	Peers []Signals
+	RTT   map[int]time.Duration
+}
+
+// Decision is a policy verdict for one job.
+type Decision struct {
+	// Migrate is false for "stay": Dest is then meaningless.
+	Migrate bool
+	// Dest is the chosen destination node.
+	Dest int
+	// Reason is a short diagnostic ("overloaded", "locality", ...).
+	Reason string
+}
+
+// Stay is the null decision.
+var Stay = Decision{}
+
+// Policy turns a cluster view into a migrate/stay verdict for one job.
+// Implementations must be deterministic in the view (RoundRobin is
+// deterministic in view sequence) so decisions are testable.
+type Policy interface {
+	Name() string
+	Decide(v View) Decision
+}
+
+// --- threshold policy ---
+
+// Threshold migrates when the local node is oversubscribed and some peer
+// is enough less loaded: the classic watermark load balancer. Zero values
+// select defaults tuned for "weak node with a burst, idle strong peers".
+type Threshold struct {
+	// HighWater: stay while Runnable <= HighWater (default 1 — a node
+	// running a single job is never "overloaded").
+	HighWater int
+	// Margin: the destination must have at least this many fewer runnable
+	// threads than here (default 2, so two nodes never ping-pong a job
+	// whose move would merely swap their loads).
+	Margin int
+}
+
+func (p Threshold) Name() string { return "threshold" }
+
+func (p Threshold) highWater() int {
+	if p.HighWater <= 0 {
+		return 1
+	}
+	return p.HighWater
+}
+
+func (p Threshold) margin() int {
+	if p.Margin <= 0 {
+		return 2
+	}
+	return p.Margin
+}
+
+// Decide picks the least-loaded peer (ties broken toward the lowest node
+// id, so verdicts are deterministic) when the local node is over its
+// high-water mark by at least the margin.
+func (p Threshold) Decide(v View) Decision {
+	if v.Local.Runnable <= p.highWater() {
+		return Stay
+	}
+	best, ok := leastLoaded(v.Peers)
+	if !ok {
+		return Stay
+	}
+	if v.Local.Runnable-best.Runnable < p.margin() {
+		return Stay
+	}
+	return Decision{Migrate: true, Dest: best.Node, Reason: "overloaded"}
+}
+
+// leastLoaded returns the peer with the fewest runnable threads, lowest
+// node id winning ties.
+func leastLoaded(peers []Signals) (Signals, bool) {
+	var best Signals
+	found := false
+	for _, p := range peers {
+		if !found || p.Runnable < best.Runnable ||
+			(p.Runnable == best.Runnable && p.Node < best.Node) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// --- cost-model policy ---
+
+// CostModel scores every peer by the throughput a job would gain moving
+// there, plus a bonus when the job's object faults say its data is
+// mastered at that peer, minus a wire penalty proportional to the link
+// RTT; it migrates to the best peer when the net score clears MinGain.
+type CostModel struct {
+	// MinGain is the minimum net score worth a migration (default 0.25:
+	// a move must promise at least a quarter of a reference core).
+	MinGain float64
+	// LocalityWeight scales the fault-locality bonus (default 0.5). The
+	// bonus is the fraction of all local faults owed to the candidate.
+	LocalityWeight float64
+	// RTTPenalty is score subtracted per millisecond of round-trip time
+	// (default 0.05): distant nodes must promise more.
+	RTTPenalty float64
+}
+
+func (p CostModel) Name() string { return "cost-model" }
+
+func (p CostModel) minGain() float64 {
+	if p.MinGain == 0 {
+		return 0.25
+	}
+	return p.MinGain
+}
+
+func (p CostModel) localityWeight() float64 {
+	if p.LocalityWeight == 0 {
+		return 0.5
+	}
+	return p.LocalityWeight
+}
+
+func (p CostModel) rttPenalty() float64 {
+	if p.RTTPenalty == 0 {
+		return 0.05
+	}
+	return p.RTTPenalty
+}
+
+// Decide scores peers deterministically (ties toward the lowest node id).
+func (p CostModel) Decide(v View) Decision {
+	localShare := v.Local.PerJobThroughput(0)
+
+	var totalFaults int64
+	for _, c := range v.Local.Faults {
+		totalFaults += c
+	}
+
+	best := Stay
+	bestScore := 0.0
+	for _, peer := range v.Peers {
+		// Throughput gain: what the job gets there (as the +1th thread)
+		// versus what it gets here.
+		score := peer.PerJobThroughput(1) - localShare
+		// Locality: faults already flowing to this peer mean the data
+		// lives there and would stop crossing the wire.
+		if totalFaults > 0 {
+			score += p.localityWeight() * float64(v.Local.Faults[peer.Node]) / float64(totalFaults)
+		}
+		// Wire cost: per-millisecond penalty on the measured RTT.
+		score -= p.rttPenalty() * float64(v.RTT[peer.Node]) / float64(time.Millisecond)
+
+		if score > bestScore || (score == bestScore && best.Migrate && peer.Node < best.Dest) {
+			best = Decision{Migrate: true, Dest: peer.Node, Reason: "cost-model"}
+			bestScore = score
+		}
+	}
+	if !best.Migrate || bestScore < p.minGain() {
+		return Stay
+	}
+	return best
+}
+
+// --- round-robin baseline ---
+
+// RoundRobin always migrates, rotating through peers in node-id order —
+// the locality- and load-blind baseline the adaptive policies are
+// measured against.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Decide returns the next peer in rotation (peers sorted by node id).
+func (p *RoundRobin) Decide(v View) Decision {
+	if len(v.Peers) == 0 {
+		return Stay
+	}
+	ids := make([]int, 0, len(v.Peers))
+	for _, s := range v.Peers {
+		ids = append(ids, s.Node)
+	}
+	sort.Ints(ids)
+	p.mu.Lock()
+	dest := ids[p.next%len(ids)]
+	p.next++
+	p.mu.Unlock()
+	return Decision{Migrate: true, Dest: dest, Reason: "round-robin"}
+}

@@ -1,0 +1,253 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func sig(node, runnable, cores int) Signals {
+	return Signals{Node: node, Runnable: runnable, Cores: cores, Speed: 1}
+}
+
+func TestThresholdDecisions(t *testing.T) {
+	cases := []struct {
+		name     string
+		policy   Threshold
+		view     View
+		wantMove bool
+		wantDest int
+	}{
+		{
+			name:   "idle node stays",
+			policy: Threshold{},
+			view: View{Local: sig(1, 1, 1),
+				Peers: []Signals{sig(2, 0, 1)}},
+		},
+		{
+			name:   "overloaded spills to idle peer",
+			policy: Threshold{},
+			view: View{Local: sig(1, 4, 1),
+				Peers: []Signals{sig(2, 0, 1), sig(3, 2, 1)}},
+			wantMove: true, wantDest: 2,
+		},
+		{
+			name:   "least-loaded peer wins",
+			policy: Threshold{},
+			view: View{Local: sig(1, 5, 1),
+				Peers: []Signals{sig(2, 3, 1), sig(3, 1, 1)}},
+			wantMove: true, wantDest: 3,
+		},
+		{
+			name:   "tie broken to lowest node id",
+			policy: Threshold{},
+			view: View{Local: sig(1, 5, 1),
+				Peers: []Signals{sig(4, 0, 1), sig(2, 0, 1), sig(3, 0, 1)}},
+			wantMove: true, wantDest: 2,
+		},
+		{
+			name:   "margin prevents ping-pong",
+			policy: Threshold{HighWater: 1, Margin: 2},
+			view: View{Local: sig(1, 2, 1),
+				Peers: []Signals{sig(2, 1, 1)}},
+		},
+		{
+			name:   "custom high water holds a bigger burst",
+			policy: Threshold{HighWater: 4, Margin: 2},
+			view: View{Local: sig(1, 4, 1),
+				Peers: []Signals{sig(2, 0, 1)}},
+		},
+		{
+			name:   "no peers means stay",
+			policy: Threshold{},
+			view:   View{Local: sig(1, 9, 1)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.policy.Decide(tc.view)
+			if d.Migrate != tc.wantMove {
+				t.Fatalf("Migrate = %v, want %v (%+v)", d.Migrate, tc.wantMove, d)
+			}
+			if d.Migrate && d.Dest != tc.wantDest {
+				t.Fatalf("Dest = %d, want %d", d.Dest, tc.wantDest)
+			}
+		})
+	}
+}
+
+func TestCostModelDecisions(t *testing.T) {
+	ms := func(d time.Duration) map[int]time.Duration { return map[int]time.Duration{2: d} }
+	cases := []struct {
+		name     string
+		policy   CostModel
+		view     View
+		wantMove bool
+		wantDest int
+	}{
+		{
+			name:   "idle peer with big throughput gain attracts",
+			policy: CostModel{},
+			view: View{
+				// 4 jobs share 1 core here (share 0.25); peer would give
+				// this job a whole core as its only thread.
+				Local: sig(1, 4, 1),
+				Peers: []Signals{sig(2, 0, 1)},
+				RTT:   ms(0),
+			},
+			wantMove: true, wantDest: 2,
+		},
+		{
+			name:   "gain below MinGain stays",
+			policy: CostModel{MinGain: 0.9},
+			view: View{
+				Local: sig(1, 2, 1), // share 0.5; peer offers 1.0 → gain 0.5 < 0.9
+				Peers: []Signals{sig(2, 0, 1)},
+				RTT:   ms(0),
+			},
+		},
+		{
+			name:   "slow peer loses to fast peer",
+			policy: CostModel{},
+			view: View{
+				Local: sig(1, 4, 1),
+				Peers: []Signals{
+					{Node: 2, Runnable: 0, Cores: 1, Speed: 0.1},
+					{Node: 3, Runnable: 0, Cores: 1, Speed: 1.0},
+				},
+			},
+			wantMove: true, wantDest: 3,
+		},
+		{
+			name:   "fault locality picks the data's home among equals",
+			policy: CostModel{LocalityWeight: 1},
+			view: View{
+				Local: Signals{Node: 1, Runnable: 4, Cores: 1, Speed: 1,
+					Faults: map[int]int64{3: 90, 2: 10}},
+				Peers: []Signals{sig(2, 0, 1), sig(3, 0, 1)},
+			},
+			wantMove: true, wantDest: 3,
+		},
+		{
+			name: "heavy RTT penalty keeps the job home",
+			// 100 ms RTT at 0.05/ms = 5.0 penalty; max gain is < 1.
+			policy: CostModel{},
+			view: View{
+				Local: sig(1, 4, 1),
+				Peers: []Signals{sig(2, 0, 1)},
+				RTT:   ms(100 * time.Millisecond),
+			},
+		},
+		{
+			name:   "single busy cluster stays put",
+			policy: CostModel{},
+			view: View{
+				Local: sig(1, 2, 2), // share 1.0 already
+				Peers: []Signals{sig(2, 2, 2)},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.policy.Decide(tc.view)
+			if d.Migrate != tc.wantMove {
+				t.Fatalf("Migrate = %v, want %v (%+v)", d.Migrate, tc.wantMove, d)
+			}
+			if d.Migrate && d.Dest != tc.wantDest {
+				t.Fatalf("Dest = %d, want %d", d.Dest, tc.wantDest)
+			}
+		})
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	p := &RoundRobin{}
+	v := View{Local: sig(1, 1, 1), Peers: []Signals{sig(3, 0, 1), sig(2, 5, 1)}}
+	var got []int
+	for i := 0; i < 5; i++ {
+		d := p.Decide(v)
+		if !d.Migrate {
+			t.Fatal("round-robin always migrates when peers exist")
+		}
+		got = append(got, d.Dest)
+	}
+	want := []int{2, 3, 2, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation = %v, want %v", got, want)
+		}
+	}
+	if d := p.Decide(View{Local: sig(1, 1, 1)}); d.Migrate {
+		t.Fatal("no peers must mean stay")
+	}
+}
+
+// alwaysDest is a deliberately misbehaving policy that ignores the view
+// and names a fixed destination — the scheduler must still veto it when
+// that node is failed.
+type alwaysDest struct{ dest int }
+
+func (p alwaysDest) Name() string         { return "always" }
+func (p alwaysDest) Decide(View) Decision { return Decision{Migrate: true, Dest: p.dest} }
+
+func TestSchedulerVetoesFailedDest(t *testing.T) {
+	s := NewScheduler(alwaysDest{dest: 7})
+	v := View{Local: sig(1, 5, 1), Peers: []Signals{sig(7, 0, 1)}}
+	if d := s.Decide(v); !d.Migrate || d.Dest != 7 {
+		t.Fatalf("before failure: %+v", d)
+	}
+	s.MarkFailed(7)
+	if d := s.Decide(v); d.Migrate {
+		t.Fatalf("scheduler let a job through to a failed node: %+v", d)
+	}
+	s.MarkAlive(7)
+	if d := s.Decide(v); !d.Migrate || d.Dest != 7 {
+		t.Fatalf("after recovery: %+v", d)
+	}
+}
+
+// TestSchedulerNeverPicksFailedNode is the property test: across random
+// cluster shapes, load vectors and failure sets, no policy behind the
+// scheduler ever produces a migration onto a failed node.
+func TestSchedulerNeverPicksFailedNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(20100713)) // the paper's conference year/date
+	policies := func() []Policy {
+		return []Policy{
+			Threshold{},
+			Threshold{HighWater: 3, Margin: 1},
+			CostModel{},
+			CostModel{MinGain: 0.01, LocalityWeight: 2},
+			&RoundRobin{},
+			alwaysDest{dest: 2},
+		}
+	}
+	for iter := 0; iter < 2000; iter++ {
+		for _, p := range policies() {
+			s := NewScheduler(p)
+			nPeers := 1 + rng.Intn(5)
+			v := View{
+				Local: Signals{Node: 1, Runnable: rng.Intn(10), Cores: 1 + rng.Intn(4), Speed: 0.1 + rng.Float64()},
+				RTT:   map[int]time.Duration{},
+			}
+			failed := map[int]bool{}
+			for i := 0; i < nPeers; i++ {
+				id := 2 + i
+				v.Peers = append(v.Peers, Signals{
+					Node: id, Runnable: rng.Intn(10), Cores: 1 + rng.Intn(4), Speed: 0.1 + rng.Float64(),
+					Faults: map[int]int64{id: rng.Int63n(100)},
+				})
+				v.RTT[id] = time.Duration(rng.Intn(3)) * time.Millisecond
+				if rng.Intn(2) == 0 {
+					failed[id] = true
+					s.MarkFailed(id)
+				}
+			}
+			for round := 0; round < 4; round++ {
+				d := s.Decide(v)
+				if d.Migrate && failed[d.Dest] {
+					t.Fatalf("iter %d policy %s: migrated to failed node %d", iter, p.Name(), d.Dest)
+				}
+			}
+		}
+	}
+}

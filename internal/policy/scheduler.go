@@ -1,0 +1,100 @@
+package policy
+
+import (
+	"sort"
+	"sync"
+)
+
+// Scheduler is the cluster-level decision gate: it wraps a Policy with
+// failure awareness. Nodes observed crashing (a gossip send or a
+// migration RPC failing) are marked failed; the scheduler then (a) hides
+// them from the policy's view and (b) vetoes any decision that still
+// names one — so even a buggy or stale policy can never route a job onto
+// a node the engine knows is gone. MarkAlive reverses a mark when a node
+// recovers.
+type Scheduler struct {
+	policy Policy
+
+	mu     sync.Mutex
+	failed map[int]bool
+
+	// Decisions/Vetoes count verdicts for diagnostics.
+	decisions int
+	vetoes    int
+}
+
+// NewScheduler wraps p.
+func NewScheduler(p Policy) *Scheduler {
+	return &Scheduler{policy: p, failed: make(map[int]bool)}
+}
+
+// Policy returns the wrapped policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// MarkFailed records that node is unusable as a migration destination.
+func (s *Scheduler) MarkFailed(node int) {
+	s.mu.Lock()
+	s.failed[node] = true
+	s.mu.Unlock()
+}
+
+// MarkAlive clears a failure mark (node recovered).
+func (s *Scheduler) MarkAlive(node int) {
+	s.mu.Lock()
+	delete(s.failed, node)
+	s.mu.Unlock()
+}
+
+// Failed reports whether node is currently marked failed.
+func (s *Scheduler) Failed(node int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed[node]
+}
+
+// FailedNodes returns the currently marked nodes.
+func (s *Scheduler) FailedNodes() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.failed))
+	for n := range s.failed {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Decisions returns how many Decide calls ran and how many verdicts were
+// vetoed for naming a failed destination.
+func (s *Scheduler) Decisions() (total, vetoed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decisions, s.vetoes
+}
+
+// Decide filters failed nodes out of the view, consults the policy, and
+// vetoes any verdict that targets a failed node anyway.
+func (s *Scheduler) Decide(v View) Decision {
+	s.mu.Lock()
+	s.decisions++
+	if len(s.failed) > 0 && len(v.Peers) > 0 {
+		alive := make([]Signals, 0, len(v.Peers))
+		for _, p := range v.Peers {
+			if !s.failed[p.Node] {
+				alive = append(alive, p)
+			}
+		}
+		v.Peers = alive
+	}
+	s.mu.Unlock()
+
+	d := s.policy.Decide(v)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d.Migrate && s.failed[d.Dest] {
+		s.vetoes++
+		return Stay
+	}
+	return d
+}

@@ -1,0 +1,365 @@
+package sodee
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/wire"
+)
+
+// This file is the adaptive half of Stack-on-Demand: the engine that
+// turns the paper's hand-triggered MigrateSOD into on-demand elasticity.
+// Nodes gossip cheap load signals over the fabric (KindLoadReport); a
+// Balancer watches every node's running jobs, asks a policy.Scheduler
+// when and where each should go, and executes the verdicts as whole-stack
+// SOD migrations. Nodes that stop answering are marked failed and never
+// chosen again (until recovery).
+
+// --- load signals: sampling and gossip ---
+
+// LocalSignals samples this node's load: registered thread count, the
+// interpreter step rate since the previous sample, the fault-locality
+// counters, and the node's static capacity hints.
+func (m *Manager) LocalSignals() policy.Signals {
+	m.mu.Lock()
+	// Read the counter under the lock: the sampling cursor and the read
+	// must be serialized or a concurrent sampler could compute a negative
+	// (wrapped) delta.
+	instr := m.node.VM.LiveInstructions()
+	now := time.Now()
+	var rate float64
+	if !m.lastSample.IsZero() {
+		if dt := now.Sub(m.lastSample).Seconds(); dt > 0 && instr >= m.lastInstr {
+			rate = float64(instr-m.lastInstr) / dt
+		}
+	}
+	m.lastInstr, m.lastSample = instr, now
+	m.mu.Unlock()
+	return policy.Signals{
+		Node:     m.node.ID,
+		Runnable: m.node.VM.NumThreads(),
+		Cores:    m.node.Cores,
+		Speed:    m.node.Speed,
+		StepRate: rate,
+		Faults:   m.node.ObjMan.FetchesByOwner(),
+	}
+}
+
+// PublishLoad gossips this node's signals to every peer. It returns the
+// sampled signals and the per-peer send errors (an unreachable peer is a
+// crash signal for the balancer).
+func (m *Manager) PublishLoad() (policy.Signals, map[int]error) {
+	s := m.LocalSignals()
+	payload := encodeSignals(s)
+	errs := make(map[int]error)
+	for id := range m.node.Cluster.Nodes {
+		if id == m.node.ID {
+			continue
+		}
+		if err := m.node.EP.Send(id, netsim.KindLoadReport, payload); err != nil {
+			errs[id] = err
+		}
+	}
+	return s, errs
+}
+
+// PeerSignals returns the last gossiped report from each peer, sorted by
+// node id for deterministic iteration.
+func (m *Manager) PeerSignals() []policy.Signals {
+	m.mu.Lock()
+	out := make([]policy.Signals, 0, len(m.peerLoads))
+	for _, s := range m.peerLoads {
+		out = append(out, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// RunningJobs snapshots the jobs whose thread is currently local and
+// unfinished — the migratable population, in start order.
+func (m *Manager) RunningJobs() []*Job {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+	out := jobs[:0]
+	for _, j := range jobs {
+		if !j.Done() && j.Thread() != nil {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (m *Manager) handleLoadReport(from int, payload []byte) ([]byte, error) {
+	s, err := decodeSignals(payload)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.peerLoads[s.Node] = s
+	m.mu.Unlock()
+	return nil, nil
+}
+
+func encodeSignals(s policy.Signals) []byte {
+	w := wire.NewWriter(64)
+	w.Varint(int64(s.Node))
+	w.Varint(int64(s.Runnable))
+	w.Varint(int64(s.Cores))
+	w.Fixed64(math.Float64bits(s.Speed))
+	w.Fixed64(math.Float64bits(s.StepRate))
+	w.Uvarint(uint64(len(s.Faults)))
+	for node, c := range s.Faults {
+		w.Varint(int64(node))
+		w.Varint(c)
+	}
+	return w.Bytes()
+}
+
+func decodeSignals(payload []byte) (policy.Signals, error) {
+	r := wire.NewReader(payload)
+	s := policy.Signals{
+		Node:     int(r.Varint()),
+		Runnable: int(r.Varint()),
+		Cores:    int(r.Varint()),
+		Speed:    math.Float64frombits(r.Fixed64()),
+		StepRate: math.Float64frombits(r.Fixed64()),
+	}
+	if n := int(r.Uvarint()); n > 0 {
+		s.Faults = make(map[int]int64, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			node := int(r.Varint())
+			s.Faults[node] = r.Varint()
+		}
+	}
+	return s, r.Err()
+}
+
+// --- the balancer ---
+
+// BalanceOptions tunes AutoBalance.
+type BalanceOptions struct {
+	// Interval between gossip-and-decide ticks (default 1ms — a few
+	// hundred decision rounds per second, far above the migration rate).
+	Interval time.Duration
+	// Frames per migration; 0 means WholeStack (offload the entire job).
+	Frames int
+	// Flow of the issued migrations (default FlowReturnHome: results
+	// flow back to the job at its home node).
+	Flow Flow
+}
+
+// BalanceStats aggregates one balancer's activity.
+type BalanceStats struct {
+	Ticks            int
+	Decisions        int
+	Migrations       int
+	FailedMigrations int
+	// MigrationsTo counts successful migrations by destination.
+	MigrationsTo map[int]int
+}
+
+// Balancer runs the cluster's adaptive offload loop until stopped.
+type Balancer struct {
+	c     *Cluster
+	sched *policy.Scheduler
+	opts  BalanceOptions
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu    sync.Mutex
+	stats BalanceStats
+}
+
+// AutoBalance starts the adaptive offload engine over this cluster: every
+// Interval, nodes gossip their load signals and the given policy decides,
+// per running job, whether to stay or migrate and where. Decisions are
+// executed as SOD migrations; destinations that turn out unreachable are
+// marked failed and excluded from every later verdict, and a migration
+// that fails in flight falls back to local execution (the job is never
+// wedged). Call Stop to halt the loop; the cluster keeps working.
+func (c *Cluster) AutoBalance(p policy.Policy, opts BalanceOptions) *Balancer {
+	if opts.Interval <= 0 {
+		opts.Interval = time.Millisecond
+	}
+	if opts.Frames == 0 {
+		opts.Frames = WholeStack
+	}
+	b := &Balancer{
+		c:     c,
+		sched: policy.NewScheduler(p),
+		opts:  opts,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	b.mu.Lock()
+	b.stats.MigrationsTo = make(map[int]int)
+	b.mu.Unlock()
+	go b.loop()
+	return b
+}
+
+// Scheduler exposes the failure-aware decision gate (tests and operators
+// mark nodes failed/alive through it).
+func (b *Balancer) Scheduler() *policy.Scheduler { return b.sched }
+
+// Stats returns a copy of the balancer's counters.
+func (b *Balancer) Stats() BalanceStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.stats
+	s.MigrationsTo = make(map[int]int, len(b.stats.MigrationsTo))
+	for k, v := range b.stats.MigrationsTo {
+		s.MigrationsTo[k] = v
+	}
+	return s
+}
+
+// Stop halts the loop and waits for the in-flight tick to finish. Safe to
+// call more than once.
+func (b *Balancer) Stop() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	<-b.done
+}
+
+func (b *Balancer) loop() {
+	defer close(b.done)
+	ticker := time.NewTicker(b.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-ticker.C:
+			b.tick()
+		}
+	}
+}
+
+// nodeIDs returns the cluster's node ids in ascending order.
+func (b *Balancer) nodeIDs() []int {
+	ids := make([]int, 0, len(b.c.Nodes))
+	for id := range b.c.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// tick runs one gossip round followed by one decision round.
+func (b *Balancer) tick() {
+	b.mu.Lock()
+	b.stats.Ticks++
+	b.mu.Unlock()
+
+	ids := b.nodeIDs()
+
+	// Gossip: every live node publishes its signals. A peer that cannot
+	// be reached is marked failed; a node that cannot send is itself down
+	// and is marked failed instead (its stale reports must not attract
+	// jobs — and its healthy peers must not be blamed for its silence).
+	// A peer that answers gossip again is marked alive: recovery heals.
+	localSig := make(map[int]policy.Signals, len(ids))
+	for _, id := range ids {
+		n := b.c.Nodes[id]
+		if b.c.Net.NodeDown(id) {
+			b.sched.MarkFailed(id)
+			continue
+		}
+		sig, errs := n.Mgr.PublishLoad()
+		localSig[id] = sig
+		for _, peer := range ids {
+			if peer == id {
+				continue
+			}
+			err, failed := errs[peer]
+			switch {
+			case !failed:
+				b.sched.MarkAlive(peer)
+			case errors.Is(err, netsim.ErrSelfDown):
+				// The sender itself went down mid-tick.
+				b.sched.MarkFailed(id)
+			default:
+				b.sched.MarkFailed(peer)
+			}
+		}
+	}
+
+	// Decide: per node, per running job. The working copies of the local
+	// and peer signals are adjusted after every issued migration so one
+	// tick does not dump an entire burst onto the same idle destination.
+	for _, id := range ids {
+		n := b.c.Nodes[id]
+		if b.c.Net.NodeDown(id) {
+			continue
+		}
+		jobs := n.Mgr.RunningJobs()
+		if len(jobs) == 0 {
+			continue
+		}
+		// Reuse the signals sampled during this tick's gossip: sampling
+		// again microseconds later would compute a degenerate step rate
+		// over a near-zero window.
+		local, ok := localSig[id]
+		if !ok {
+			local = n.Mgr.LocalSignals()
+		}
+		// Runnable may have moved since the gossip sample; refresh it.
+		local.Runnable = n.VM.NumThreads()
+		peers := n.Mgr.PeerSignals()
+		rtt := make(map[int]time.Duration, len(peers))
+		for _, p := range peers {
+			rtt[p.Node] = 2 * b.c.Net.LinkSpecBetween(id, p.Node).Latency
+		}
+		for _, job := range jobs {
+			view := policy.View{Local: local, Peers: peers, RTT: rtt}
+			d := b.sched.Decide(view)
+			b.mu.Lock()
+			b.stats.Decisions++
+			b.mu.Unlock()
+			if !d.Migrate {
+				continue
+			}
+			_, err := n.Mgr.MigrateSOD(job, SODOptions{
+				NFrames: b.opts.Frames, Dest: d.Dest, Flow: b.opts.Flow,
+			})
+			if err != nil {
+				b.mu.Lock()
+				b.stats.FailedMigrations++
+				b.mu.Unlock()
+				if isUnreachable(err) {
+					b.sched.MarkFailed(d.Dest)
+				}
+				continue
+			}
+			b.mu.Lock()
+			b.stats.Migrations++
+			b.stats.MigrationsTo[d.Dest]++
+			b.mu.Unlock()
+			local.Runnable--
+			for i := range peers {
+				if peers[i].Node == d.Dest {
+					peers[i].Runnable++
+				}
+			}
+		}
+	}
+}
+
+// isUnreachable classifies a migration error as a destination crash (as
+// opposed to a benign race like the job finishing first).
+func isUnreachable(err error) bool {
+	return errors.Is(err, netsim.ErrUnreachable) || errors.Is(err, netsim.ErrSelfDown)
+}

@@ -1,0 +1,203 @@
+package sodee_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/preprocess"
+	"repro/internal/sodee"
+	"repro/internal/value"
+	"repro/internal/workloads"
+)
+
+// crunchExpected mirrors the shared cruncher workload in Go.
+func crunchExpected(seed, iters int64) int64 {
+	return workloads.CruncherExpected(seed, iters)
+}
+
+// cruncherCluster builds a preprocessed cruncher cluster from configs.
+func cruncherCluster(t *testing.T, cfgs ...sodee.NodeConfig) *sodee.Cluster {
+	t.Helper()
+	prog := preprocess.MustPreprocess(workloads.Cruncher(),
+		preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+	c, err := sodee.NewCluster(prog, netsim.Gigabit, cfgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+const crunchIters = 150_000
+
+// waitAll waits for every job with a deadline, checking results.
+func waitAll(t *testing.T, jobs []*sodee.Job, seeds []int64) {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for i, j := range jobs {
+		ch := make(chan struct{})
+		go func() { j.Wait(); close(ch) }() //nolint:errcheck // re-read below
+		select {
+		case <-ch:
+		case <-deadline:
+			t.Fatalf("job %d wedged", i)
+		}
+		res, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if want := crunchExpected(seeds[i], crunchIters); res.I != want {
+			t.Errorf("job %d: result %d, want %d", i, res.I, want)
+		}
+	}
+}
+
+// TestAutoBalanceSpillsBurst is the core elastic scenario: a burst of
+// jobs on a one-core node spills onto idle peers under the threshold
+// policy, and every job still computes the right answer.
+func TestAutoBalanceSpillsBurst(t *testing.T) {
+	// The home node is weak — one core, throttled CPU — so the burst
+	// stacks up long enough for the balancer to observe and spill it.
+	c := cruncherCluster(t,
+		sodee.NodeConfig{ID: 1, Preloaded: true, Cores: 1, Slow: 16},
+		sodee.NodeConfig{ID: 2, Preloaded: true, Cores: 1},
+		sodee.NodeConfig{ID: 3, Preloaded: true, Cores: 1},
+	)
+	home := c.Nodes[1]
+
+	b := c.AutoBalance(policy.Threshold{}, sodee.BalanceOptions{Interval: 500 * time.Microsecond})
+	defer b.Stop()
+
+	const njobs = 6
+	jobs := make([]*sodee.Job, njobs)
+	seeds := make([]int64, njobs)
+	for i := range jobs {
+		seeds[i] = int64(100 + i)
+		j, err := home.Mgr.StartJob("main", value.Int(seeds[i]), value.Int(crunchIters))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	waitAll(t, jobs, seeds)
+	b.Stop()
+
+	st := b.Stats()
+	if st.Migrations == 0 {
+		t.Fatalf("burst never spilled: %+v", st)
+	}
+	if st.MigrationsTo[1] != 0 {
+		t.Errorf("balancer migrated jobs to the overloaded home node: %+v", st.MigrationsTo)
+	}
+	// Spilled segments must actually have executed remotely.
+	remoteInstr := c.Nodes[2].VM.LiveInstructions() + c.Nodes[3].VM.LiveInstructions()
+	if remoteInstr == 0 {
+		t.Error("peers executed nothing despite migrations")
+	}
+}
+
+// TestAutoBalanceLeavesLightLoadAlone: a single job on an idle cluster
+// must never migrate under the threshold policy.
+func TestAutoBalanceLeavesLightLoadAlone(t *testing.T) {
+	c := cruncherCluster(t,
+		sodee.NodeConfig{ID: 1, Preloaded: true, Cores: 1},
+		sodee.NodeConfig{ID: 2, Preloaded: true, Cores: 1},
+	)
+	b := c.AutoBalance(policy.Threshold{}, sodee.BalanceOptions{Interval: 500 * time.Microsecond})
+	defer b.Stop()
+
+	j, err := c.Nodes[1].Mgr.StartJob("main", value.Int(5), value.Int(crunchIters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAll(t, []*sodee.Job{j}, []int64{5})
+	b.Stop()
+	if st := b.Stats(); st.Migrations != 0 {
+		t.Errorf("a lone job migrated: %+v", st)
+	}
+}
+
+// TestGossipUpdatesPeerView: a publish round lands this node's signals in
+// every peer's view, with the signal fields intact.
+func TestGossipUpdatesPeerView(t *testing.T) {
+	c := cruncherCluster(t,
+		sodee.NodeConfig{ID: 1, Preloaded: true, Cores: 2},
+		sodee.NodeConfig{ID: 2, Preloaded: true},
+	)
+	sig, errs := c.Nodes[1].Mgr.PublishLoad()
+	if len(errs) != 0 {
+		t.Fatalf("publish errors: %v", errs)
+	}
+	if sig.Node != 1 || sig.Cores != 2 || sig.Speed != 1.0 {
+		t.Fatalf("local signals malformed: %+v", sig)
+	}
+	// Gossip sends are asynchronous one-ways; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		peers := c.Nodes[2].Mgr.PeerSignals()
+		if len(peers) == 1 && peers[0].Node == 1 && peers[0].Cores == 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer view never updated: %+v", peers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWholeStackMigration: NFrames == WholeStack exports the full stack
+// whatever its depth when the thread parks.
+func TestWholeStackMigration(t *testing.T) {
+	c, g := sodCluster(t, []int{1, 2}, true)
+	home := c.Nodes[1]
+	d := makeData(t, home)
+	job, err := home.Mgr.StartJob("main", value.RefVal(d), value.Int(testIters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrateWhileRunning(t, g, func() (*sodee.MigrationMetrics, error) {
+		return home.Mgr.MigrateSOD(job, sodee.SODOptions{
+			NFrames: sodee.WholeStack, Dest: 2, Flow: sodee.FlowReturnHome,
+		})
+	})
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != expectedResult(testIters) {
+		t.Errorf("result = %d, want %d", res.I, expectedResult(testIters))
+	}
+	if th := job.Thread(); th != nil {
+		t.Error("whole-stack export should leave no home thread")
+	}
+}
+
+// TestRoundRobinBalancerSpreads: the baseline policy scatters a burst
+// over all peers without consulting load.
+func TestRoundRobinBalancerSpreads(t *testing.T) {
+	c := cruncherCluster(t,
+		sodee.NodeConfig{ID: 1, Preloaded: true, Cores: 1, Slow: 16},
+		sodee.NodeConfig{ID: 2, Preloaded: true},
+		sodee.NodeConfig{ID: 3, Preloaded: true},
+	)
+	b := c.AutoBalance(&policy.RoundRobin{}, sodee.BalanceOptions{Interval: 200 * time.Microsecond})
+	defer b.Stop()
+
+	const njobs = 4
+	jobs := make([]*sodee.Job, njobs)
+	seeds := make([]int64, njobs)
+	for i := range jobs {
+		seeds[i] = int64(i + 1)
+		j, err := c.Nodes[1].Mgr.StartJob("main", value.Int(seeds[i]), value.Int(crunchIters))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	waitAll(t, jobs, seeds)
+	b.Stop()
+	if st := b.Stats(); st.Migrations == 0 {
+		t.Errorf("round-robin never migrated: %+v", st)
+	}
+}

@@ -69,7 +69,6 @@ func (m *Manager) MigrateProcess(job *Job, dest int) (*MigrationMetrics, error) 
 	captureDone := time.Now()
 
 	job.mu.Lock()
-	job.detached = true
 	job.th = nil
 	job.mu.Unlock()
 	if err := th.Kill(); err != nil {
@@ -253,7 +252,6 @@ func (m *Manager) MigrateThread(job *Job, dest int) (*MigrationMetrics, error) {
 	captureDone := time.Now()
 
 	job.mu.Lock()
-	job.detached = true
 	job.th = nil
 	job.mu.Unlock()
 	if err := th.Kill(); err != nil {

@@ -10,6 +10,7 @@ package sodee
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bytecode"
 	"repro/internal/netsim"
@@ -74,14 +75,16 @@ const (
 	deviceSpinPerInstr  = 40
 )
 
-var hookSink uint64
+// hookSink defeats dead-code elimination; atomic because execution-profile
+// hooks run on every interpreter thread concurrently.
+var hookSink atomic.Uint64
 
 func hookSpin(n int) {
-	s := hookSink
+	s := hookSink.Load()
 	for i := 0; i < n; i++ {
 		s = s*6364136223846793005 + 1442695040888963407
 	}
-	hookSink = s
+	hookSink.Store(s)
 }
 
 func profileFor(sys System) vm.Profile {
@@ -137,6 +140,17 @@ type NodeConfig struct {
 	Preloaded bool
 	// ImageBytes sizes the guest OS image (Xen nodes only).
 	ImageBytes int64
+	// Cores models the node's CPU width: at most Cores threads execute
+	// bytecode at once, the rest queue (0 = unlimited). The elastic
+	// experiments give the weak node one core so a job burst visibly
+	// stacks up.
+	Cores int
+	// Slow throttles the node's per-instruction speed with a busy-wait of
+	// this many spin iterations (0 = full speed) — a weak-device CPU knob
+	// orthogonal to System, so a slow node can still run the full SODEE
+	// migration stack (unlike SysDevice, which models a JVMTI-less
+	// handset).
+	Slow int
 }
 
 // Node is one machine of the simulated cluster.
@@ -150,6 +164,12 @@ type Node struct {
 	ObjMan *objman.Manager
 	Codec  serial.Codec
 	Image  *osimage.Image
+
+	// Cores and Speed echo the capacity configuration for load signals:
+	// Cores is the modeled CPU width (0 = unlimited), Speed the relative
+	// per-core execution speed (1.0 = full speed; throttled nodes less).
+	Cores int
+	Speed float64
 
 	// location is the node this node's execution "is at" — it differs from
 	// ID only after a whole-VM (Xen) migration relocates the guest. NFS
@@ -213,6 +233,25 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 	if cfg.HeapLimit > 0 {
 		v.Heap.SetLimit(cfg.HeapLimit)
 	}
+	if cfg.Cores > 0 {
+		v.CPU = vm.NewCPUGate(cfg.Cores)
+	}
+	speed := 1.0
+	if cfg.Slow > 0 {
+		// Chain the throttle under any profile hook. The speed hint is a
+		// rough conversion of spin iterations to instruction-cost
+		// multiples; policies use it ordinally, not quantitatively.
+		base := v.Profile.InstrHook
+		slow := cfg.Slow
+		v.Profile.InstrHook = func(t *vm.Thread, f *vm.Frame, ins bytecode.Instr) *vm.Raised {
+			hookSpin(slow)
+			if base != nil {
+				return base(t, f, ins)
+			}
+			return nil
+		}
+		speed = 1 / (1 + float64(slow)/6)
+	}
 	ep := c.Net.Node(cfg.ID)
 	codec := serial.Fast
 	switch cfg.System {
@@ -226,6 +265,8 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 		VM:       v,
 		EP:       ep,
 		Codec:    codec,
+		Cores:    cfg.Cores,
+		Speed:    speed,
 		location: cfg.ID,
 		Cluster:  c,
 	}

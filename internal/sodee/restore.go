@@ -179,20 +179,25 @@ func RestoreDirect(n *Node, cs *serial.CapturedState) (*vm.Thread, error) {
 		return nil, err
 	}
 	th.UserData = &threadCtx{homeNode: int(cs.HomeNode)}
-	// Replace the dummy initial frame with the full restored stack. Every
-	// frame resumes at its exact continuation pc: for frames beneath a
-	// callee that is also being restored, that is one past the pending
-	// invoke; for a frame whose callee's *result* will be pushed before the
-	// thread runs (a planted residual), likewise; for a top frame captured
-	// at an MSP, ResumePC equals the MSP pc.
+	// Replace the dummy initial frame with the full restored stack.
 	th.Frames = th.Frames[:0]
-	for _, cf := range cs.Frames {
-		m := n.Prog.Methods[cf.MethodID]
+	appendCapturedFrames(th, n.Prog, cs.Frames)
+	return th, nil
+}
+
+// appendCapturedFrames rebuilds captured frames onto th, bottom-first.
+// Every frame resumes at its exact continuation pc: for frames beneath a
+// callee that is also being restored, that is one past the pending
+// invoke; for a frame whose callee's *result* will be pushed before the
+// thread runs (a planted residual), likewise; for a top frame captured
+// at an MSP, ResumePC equals the MSP pc.
+func appendCapturedFrames(th *vm.Thread, prog *bytecode.Program, frames []serial.CapturedFrame) {
+	for _, cf := range frames {
+		m := prog.Methods[cf.MethodID]
 		callPC := cf.ResumePC - 1
 		if callPC < 0 {
 			callPC = 0
 		}
 		th.AppendRestoredFrame(m, cf.Locals, cf.ResumePC, callPC, cf.Pinned)
 	}
-	return th, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bytecode"
 	"repro/internal/netsim"
+	"repro/internal/policy"
 	"repro/internal/serial"
 	"repro/internal/value"
 	"repro/internal/vm"
@@ -51,13 +52,10 @@ type Job struct {
 	ID     uint64
 	mgr    *Manager
 	mu     sync.Mutex
-	th     *vm.Thread
+	th     *vm.Thread // current local thread; nil once fully migrated away
 	done   chan struct{}
 	result value.Value
 	err    error
-	// detached: the thread was migrated away in full; local thread death
-	// must not complete the job.
-	detached bool
 }
 
 // Thread returns the job's current local thread (nil once fully migrated).
@@ -132,6 +130,12 @@ type Manager struct {
 	classSource int // node to fetch cold classes from
 	classBytes  int64
 
+	// Gossiped load state: the last report received from each peer, and
+	// the sampling cursor for this node's own step rate.
+	peerLoads  map[int]policy.Signals
+	lastInstr  uint64
+	lastSample time.Time
+
 	// Metrics of migrations this node initiated.
 	Migrations []MigrationMetrics
 }
@@ -141,6 +145,7 @@ func newManager(n *Node) *Manager {
 		node:        n,
 		routes:      make(map[uint64]*route),
 		jobs:        make(map[uint64]*Job),
+		peerLoads:   make(map[int]policy.Signals),
 		classSource: -1,
 	}
 	n.EP.Handle(netsim.KindMigrate, m.handleMigrate)
@@ -149,6 +154,7 @@ func newManager(n *Node) *Manager {
 	n.EP.Handle(netsim.KindProcMigrate, m.handleProcMigrate)
 	n.EP.Handle(netsim.KindThreadMigrate, m.handleThreadMigrate)
 	n.EP.Handle(netsim.KindPage, m.handlePage)
+	n.EP.Handle(netsim.KindLoadReport, m.handleLoadReport)
 	return m
 }
 
@@ -157,6 +163,7 @@ func (m *Manager) reset() {
 	defer m.mu.Unlock()
 	m.routes = make(map[uint64]*route)
 	m.jobs = make(map[uint64]*Job)
+	m.peerLoads = make(map[int]policy.Signals)
 	m.Migrations = nil
 	m.classSource = -1
 	m.classBytes = 0
@@ -220,14 +227,17 @@ func (m *Manager) StartJob(qualifiedMethod string, args ...value.Value) (*Job, e
 	return job, nil
 }
 
-// runAndWatch executes a job's local thread and completes the job unless
-// it has been detached by a total migration.
+// runAndWatch executes a job's local thread and completes the job — but
+// only while the job still considers this thread its own. A full
+// migration detaches the thread (job.th = nil) before killing it, and a
+// failed migration's local recovery attaches a replacement; either way
+// the dying original must not write the job's result.
 func (m *Manager) runAndWatch(th *vm.Thread, job *Job) {
 	th.Run()
 	job.mu.Lock()
-	detached := job.detached
+	owner := job.th == th
 	job.mu.Unlock()
-	if detached {
+	if !owner {
 		return
 	}
 	job.complete(th.Result, th.Err)
@@ -329,9 +339,15 @@ func (m *Manager) forwardError(next completion, err error) {
 
 // --- SOD migration (the contribution) ---
 
+// WholeStack, as SODOptions.NFrames, exports every frame the thread has
+// when it parks. The policy engine uses it: an auto-offloaded job moves in
+// full, whatever its depth at the decision instant.
+const WholeStack = -1
+
 // SODOptions tunes one SOD migration.
 type SODOptions struct {
-	// NFrames is the segment size (top frames to export).
+	// NFrames is the segment size (top frames to export); WholeStack
+	// exports the entire stack as measured at suspension time.
 	NFrames int
 	// Dest executes the segment.
 	Dest int
@@ -362,6 +378,9 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	}
 	depth := th.Depth()
 	k := opts.NFrames
+	if k == WholeStack {
+		k = depth
+	}
 	if k <= 0 || k > depth {
 		_ = th.Resume()
 		return nil, fmt.Errorf("sodee: segment size %d out of range (depth %d)", k, depth)
@@ -409,7 +428,6 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 
 	case opts.Flow == FlowReturnHome: // whole stack exported, result = job result
 		job.mu.Lock()
-		job.detached = true
 		job.th = nil
 		job.mu.Unlock()
 		if err := th.Kill(); err != nil {
@@ -421,7 +439,6 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		// Residual rides along to the destination; final result flows to
 		// the job here.
 		job.mu.Lock()
-		job.detached = true
 		job.th = nil
 		job.mu.Unlock()
 		if err := th.Kill(); err != nil {
@@ -442,7 +459,6 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 			return nil, err
 		}
 		job.mu.Lock()
-		job.detached = true
 		job.th = nil
 		job.mu.Unlock()
 		if err := th.Kill(); err != nil {
@@ -466,7 +482,14 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	sendStart := time.Now()
 	reply, err := n.EP.Call(opts.Dest, netsim.KindMigrate, payload)
 	if err != nil {
-		return nil, fmt.Errorf("sodee: migrate to %d: %w", opts.Dest, err)
+		// The destination is unreachable (crashed mid-migration, or never
+		// existed). The captured state is still in hand, so fall back to
+		// local execution rather than stranding the job: the migration
+		// fails, the job does not.
+		if rerr := m.recoverLocal(job, th, opts.Flow, seg, msg.residual, resultTo, segBottom.ReturnsValue); rerr != nil {
+			return nil, fmt.Errorf("sodee: migrate to %d: %w; local recovery also failed: %w", opts.Dest, err, rerr)
+		}
+		return nil, fmt.Errorf("sodee: migrate to %d (job recovered locally): %w", opts.Dest, err)
 	}
 	arrival, restoreDur, rerr := decodeMigrateReply(reply)
 	if rerr != nil {
@@ -489,6 +512,58 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	mm.Freeze = mm.Latency
 	m.record(mm)
 	return &mm, nil
+}
+
+// recoverLocal undoes a migration whose transfer failed, resuming the
+// job on this node from the already-captured state. The shape of the undo
+// depends on how far the flow got before the send:
+//
+//   - ReturnHome with a residual: the thread is still parked here with
+//     its top segment truncated away — drop the pending resume route,
+//     rebuild the captured frames in place and resume. The job's original
+//     watcher goroutine still owns completion.
+//   - ReturnHome of the whole stack, and Total: the local thread was
+//     killed and the job detached — rebuild the full stack (residual
+//     beneath segment for Total) as a fresh thread and re-attach it.
+//   - Forward: the residual is already planted on the forward node (which
+//     is reachable — the plant RPC succeeded); run the segment locally
+//     and let its result flow to the planted continuation as planned.
+func (m *Manager) recoverLocal(job *Job, th *vm.Thread, flow Flow,
+	seg, residual *serial.CapturedState, resultTo completion, expectValue bool) error {
+
+	n := m.node
+	switch {
+	case flow == FlowReturnHome && resultTo.token != job.ID:
+		// Partial export: th is parked on the residual frames.
+		m.mu.Lock()
+		delete(m.routes, resultTo.token)
+		m.mu.Unlock()
+		appendCapturedFrames(th, n.Prog, seg.Frames)
+		return th.Resume()
+
+	case flow == FlowForward:
+		worker, err := RestoreDirect(n, &serial.CapturedState{Frames: seg.Frames, HomeNode: int32(n.ID)})
+		if err != nil {
+			return err
+		}
+		go m.runWorker(worker, expectValue, resultTo)
+		return nil
+
+	default: // ReturnHome whole-stack, Total
+		frames := seg.Frames
+		if residual != nil {
+			frames = append(append([]serial.CapturedFrame(nil), residual.Frames...), seg.Frames...)
+		}
+		worker, err := RestoreDirect(n, &serial.CapturedState{Frames: frames, HomeNode: int32(n.ID)})
+		if err != nil {
+			return err
+		}
+		job.mu.Lock()
+		job.th = worker
+		job.mu.Unlock()
+		go m.runAndWatch(worker, job)
+		return nil
+	}
 }
 
 // bundleClasses encodes the declaring classes of all captured methods —

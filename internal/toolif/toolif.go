@@ -17,6 +17,7 @@ package toolif
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bytecode"
 	"repro/internal/value"
@@ -30,14 +31,16 @@ const (
 	spinAccessor = 1800 // GetLocal*/SetLocal* per slot
 )
 
-var spinSink uint64 // defeats dead-code elimination of the spin loops
+// spinSink defeats dead-code elimination of the spin loops; atomic
+// because agents on concurrent threads spin simultaneously.
+var spinSink atomic.Uint64
 
 func spin(n int) {
-	s := spinSink
+	s := spinSink.Load()
 	for i := 0; i < n; i++ {
 		s = s*1664525 + 1013904223
 	}
-	spinSink = s
+	spinSink.Store(s)
 }
 
 // BreakpointCallback runs in the interpreter goroutine when a breakpoint

@@ -1,0 +1,46 @@
+package vm
+
+// CPUGate models a node's execution capacity: a semaphore of core slots
+// that interpreter threads hold while executing bytecode. With Cores == 1
+// a burst of jobs on one node serializes exactly as it would on a
+// single-core machine, which is what makes offloading to an idle node a
+// measurable win in the elastic experiments.
+//
+// Threads acquire a slot when they start running, briefly yield it at
+// every safepoint-poll boundary (channel FIFO gives round-robin fairness
+// between runnable threads), and release it while parked at a migration
+// safe point — a suspended thread consumes no modeled CPU. A thread
+// blocked inside a native (an object-fault RPC, a gate) keeps its slot:
+// synchronous stalls occupy the core, as they do on real hardware with
+// one kernel thread per VM thread.
+type CPUGate struct {
+	slots chan struct{}
+}
+
+// NewCPUGate builds a gate with the given number of cores (minimum 1).
+func NewCPUGate(cores int) *CPUGate {
+	if cores < 1 {
+		cores = 1
+	}
+	g := &CPUGate{slots: make(chan struct{}, cores)}
+	for i := 0; i < cores; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// Cores returns the gate's capacity.
+func (g *CPUGate) Cores() int { return cap(g.slots) }
+
+// Acquire blocks until a core is free and claims it.
+func (g *CPUGate) Acquire() { <-g.slots }
+
+// Release returns a claimed core.
+func (g *CPUGate) Release() { g.slots <- struct{}{} }
+
+// Yield hands the core to a waiting thread, if any, and reclaims one.
+// With no waiters it is two uncontended channel operations.
+func (g *CPUGate) Yield() {
+	g.slots <- struct{}{}
+	<-g.slots
+}

@@ -2,6 +2,8 @@ package vm
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bytecode"
 	"repro/internal/value"
@@ -77,9 +79,18 @@ func (o *Object) ByteSize() int64 {
 // an object mastered elsewhere. Dereferencing it raises
 // NullPointerException exactly as the paper's nulled references do; the
 // injected object-fault handlers catch it and call the object manager.
+//
+// A node may run many threads at once (concurrent jobs, migrated-in
+// workers), so the heap must tolerate concurrent allocation and
+// dereference. The object table is append-only between Resets: writers
+// serialize on mu and publish the grown slice through an atomic pointer;
+// readers load the snapshot without locking, keeping Get — the
+// interpreter's hottest path — free of contention.
 type Heap struct {
 	node  int
-	objs  []*Object // objs[seq-1]
+	mu    sync.Mutex                // guards appends to objs, bytes, limit
+	objs  []*Object                 // objs[seq-1]; authoritative copy, guarded by mu
+	view  atomic.Pointer[[]*Object] // snapshot readers index without locking
 	bytes int64
 	limit int64 // OOM threshold in bytes; 0 = unlimited
 
@@ -93,20 +104,35 @@ func NewHeap(node int) *Heap {
 	if node < 0 || node > value.MaxNodeID {
 		panic(fmt.Sprintf("vm: node id %d out of range", node))
 	}
-	return &Heap{node: node}
+	h := &Heap{node: node}
+	h.view.Store(new([]*Object))
+	return h
+}
+
+// snapshot returns the current reader view of the object table.
+func (h *Heap) snapshot() []*Object {
+	return *h.view.Load()
 }
 
 // Node returns the heap's node id.
 func (h *Heap) Node() int { return h.node }
 
 // SetLimit sets the OOM threshold in bytes (0 disables).
-func (h *Heap) SetLimit(limit int64) { h.limit = limit }
+func (h *Heap) SetLimit(limit int64) {
+	h.mu.Lock()
+	h.limit = limit
+	h.mu.Unlock()
+}
 
 // Bytes returns the live payload byte count.
-func (h *Heap) Bytes() int64 { return h.bytes }
+func (h *Heap) Bytes() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bytes
+}
 
 // NumObjects returns the number of allocated objects.
-func (h *Heap) NumObjects() int { return len(h.objs) }
+func (h *Heap) NumObjects() int { return len(h.snapshot()) }
 
 // ErrOOM is the sentinel the allocator reports when the heap limit is hit;
 // the interpreter converts it to an OutOfMemoryError exception.
@@ -114,19 +140,33 @@ var ErrOOM = fmt.Errorf("vm: heap limit exceeded")
 
 func (h *Heap) track(o *Object) (value.Ref, error) {
 	sz := o.ByteSize()
+	h.mu.Lock()
 	if h.limit > 0 && h.bytes+sz > h.limit {
+		h.mu.Unlock()
 		return value.NullRef, ErrOOM
 	}
-	return h.trackExempt(o, sz), nil
+	ref := h.trackLocked(o, sz)
+	h.mu.Unlock()
+	return ref, nil
+}
+
+// trackLocked inserts o and republishes the reader snapshot. Callers hold mu.
+func (h *Heap) trackLocked(o *Object, sz int64) value.Ref {
+	h.bytes += sz
+	h.objs = append(h.objs, o)
+	view := h.objs
+	h.view.Store(&view)
+	return value.MakeRef(h.node, uint64(len(h.objs)))
 }
 
 // trackExempt inserts without consulting the limit (exception objects must
 // be allocatable even at the OOM boundary, like the JVM's reserved
 // OutOfMemoryError).
 func (h *Heap) trackExempt(o *Object, sz int64) value.Ref {
-	h.bytes += sz
-	h.objs = append(h.objs, o)
-	return value.MakeRef(h.node, uint64(len(h.objs)))
+	h.mu.Lock()
+	ref := h.trackLocked(o, sz)
+	h.mu.Unlock()
+	return ref
 }
 
 // AllocExempt allocates a class instance ignoring the heap limit. The
@@ -194,11 +234,12 @@ func (h *Heap) Get(ref value.Ref) *Object {
 	if !ref.Usable() || ref.Node() != h.node {
 		return nil
 	}
+	objs := h.snapshot()
 	seq := ref.Seq()
-	if seq == 0 || seq > uint64(len(h.objs)) {
+	if seq == 0 || seq > uint64(len(objs)) {
 		return nil
 	}
-	return h.objs[seq-1]
+	return objs[seq-1]
 }
 
 // MustGet is Get that panics on failure; for runtime-internal references
@@ -216,7 +257,7 @@ func (h *Heap) IsLocal(ref value.Ref) bool { return h.Get(ref) != nil }
 
 // ForEach visits every live object with its reference.
 func (h *Heap) ForEach(fn func(ref value.Ref, o *Object) bool) {
-	for i, o := range h.objs {
+	for i, o := range h.snapshot() {
 		if o == nil {
 			continue
 		}
@@ -226,8 +267,12 @@ func (h *Heap) ForEach(fn func(ref value.Ref, o *Object) bool) {
 	}
 }
 
-// Reset drops all objects (worker VM reuse between jobs).
+// Reset drops all objects (worker VM reuse between jobs). Callers must
+// ensure no thread is executing on this heap.
 func (h *Heap) Reset() {
-	h.objs = h.objs[:0]
+	h.mu.Lock()
+	h.objs = nil
+	h.view.Store(new([]*Object))
 	h.bytes = 0
+	h.mu.Unlock()
 }

@@ -11,6 +11,10 @@ import (
 // exactly one goroutine. On return, Result/Err are populated and the
 // thread is unregistered from the VM.
 func (t *Thread) Run() {
+	if cpu := t.VM.CPU; cpu != nil {
+		cpu.Acquire()
+		defer cpu.Release()
+	}
 	t.state.Store(int32(ThreadRunning))
 	t.exec()
 	t.state.Store(int32(ThreadDone))
@@ -35,8 +39,10 @@ func (t *Thread) exec() {
 	v := t.VM
 	h := v.Heap
 	var localInstr, localCalls, localAllocs uint64
+	var flushedInstr uint64 // portion of localInstr already in v.liveInstr
 	maxDepth := len(t.Frames)
 	defer func() {
+		v.liveInstr.Add(localInstr - flushedInstr)
 		v.mu.Lock()
 		v.Counters.Instructions += localInstr
 		v.Counters.Calls += localCalls
@@ -72,6 +78,13 @@ func (t *Thread) exec() {
 		// counter stays at 1 so the MSP check below runs every instruction.
 		t.pollCtr--
 		if t.pollCtr <= 0 {
+			// Publish retired instructions for load monitors and yield the
+			// modeled core so queued sibling threads make progress.
+			v.liveInstr.Add(localInstr - flushedInstr)
+			flushedInstr = localInstr
+			if v.CPU != nil {
+				v.CPU.Yield()
+			}
 			t.safepointPoll()
 			if t.parking && f.Method.IsMSP(f.PC) && len(f.Stack) == 0 {
 				if !t.park() {
@@ -229,7 +242,7 @@ func (t *Thread) exec() {
 			f.PC = f.Method.Switches[ins.A].Lookup(int32(key))
 
 		case bytecode.OpNew:
-			if !v.loaded[ins.A] {
+			if !v.loaded[ins.A].Load() {
 				if r := v.ensureLoaded(ins.A); r != nil {
 					if !raiseAndContinue(r) {
 						return
@@ -279,7 +292,7 @@ func (t *Thread) exec() {
 			f.PC++
 
 		case bytecode.OpGetS:
-			if !v.loaded[ins.A] {
+			if !v.loaded[ins.A].Load() {
 				if r := v.ensureLoaded(ins.A); r != nil {
 					if !raiseAndContinue(r) {
 						return
@@ -290,7 +303,7 @@ func (t *Thread) exec() {
 			f.push(v.Statics[ins.A][ins.B])
 			f.PC++
 		case bytecode.OpPutS:
-			if !v.loaded[ins.A] {
+			if !v.loaded[ins.A].Load() {
 				if r := v.ensureLoaded(ins.A); r != nil {
 					if !raiseAndContinue(r) {
 						return
@@ -451,7 +464,7 @@ func (t *Thread) exec() {
 				}
 				m = v.Prog.Methods[mid]
 			}
-			if m.ClassID >= 0 && !v.loaded[m.ClassID] {
+			if m.ClassID >= 0 && !v.loaded[m.ClassID].Load() {
 				if r := v.ensureLoaded(m.ClassID); r != nil {
 					if !raiseAndContinue(r) {
 						return

@@ -1,0 +1,93 @@
+package vm_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/value"
+	"repro/internal/vm"
+)
+
+// loopProgram builds main(iters): a counting loop of ~4 instructions per
+// iteration.
+func loopProgram(t *testing.T) (*vm.VM, int32) {
+	t.Helper()
+	pb := asm.NewProgram()
+	mb := pb.Func("main", true, "iters")
+	mb.Line().Int(0).Store("i")
+	mb.Label("loop")
+	mb.Line().Load("i").Load("iters").Ge().Jnz("done")
+	mb.Line().Load("i").Int(1).Add().Store("i")
+	mb.Line().Jmp("loop")
+	mb.Label("done")
+	mb.Line().Load("i").RetV()
+	prog, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm.New(prog, 1, true), prog.MethodByName("main")
+}
+
+// TestLiveInstructionsAdvance: the live counter moves while threads run
+// and settles at the retired total when they finish.
+func TestLiveInstructionsAdvance(t *testing.T) {
+	v, mid := loopProgram(t)
+	if v.LiveInstructions() != 0 {
+		t.Fatal("fresh VM should report zero instructions")
+	}
+	if _, err := v.RunMain(mid, value.Int(10_000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.LiveInstructions(); got < 10_000 {
+		t.Errorf("LiveInstructions = %d, want >= 10000", got)
+	}
+}
+
+// TestNumThreadsTracksLifecycle: registered threads count as load until
+// they finish.
+func TestNumThreadsTracksLifecycle(t *testing.T) {
+	v, mid := loopProgram(t)
+	th, err := v.NewThread(mid, value.Int(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumThreads() != 1 {
+		t.Fatalf("NumThreads = %d before run", v.NumThreads())
+	}
+	th.Run()
+	if v.NumThreads() != 0 {
+		t.Fatalf("NumThreads = %d after completion", v.NumThreads())
+	}
+}
+
+// TestCPUGateConcurrentThreads: many threads on a one-core VM all finish
+// with correct results (the gate serializes, never deadlocks).
+func TestCPUGateConcurrentThreads(t *testing.T) {
+	v, mid := loopProgram(t)
+	v.CPU = vm.NewCPUGate(1)
+	if v.CPU.Cores() != 1 {
+		t.Fatal("gate width")
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]int64, n)
+	for i := 0; i < n; i++ {
+		th, err := v.NewThread(mid, value.Int(int64(5_000+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, th *vm.Thread) {
+			defer wg.Done()
+			th.Run()
+			results[i] = th.Result.I
+		}(i, th)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r != int64(5_000+i) {
+			t.Errorf("thread %d: result %d, want %d", i, r, 5_000+i)
+		}
+	}
+}

@@ -248,7 +248,8 @@ func (t *Thread) Kill() error {
 }
 
 // park blocks the interpreter at a safepoint until resumed or killed.
-// Returns false when the thread must terminate.
+// Returns false when the thread must terminate. The modeled core is
+// released for the duration: a suspended thread consumes no CPU.
 func (t *Thread) park() bool {
 	t.mu.Lock()
 	req := t.pending
@@ -258,6 +259,10 @@ func (t *Thread) park() bool {
 	t.state.Store(int32(ThreadParked))
 	if req != nil {
 		close(req.ack)
+	}
+	if cpu := t.VM.CPU; cpu != nil {
+		cpu.Release()
+		defer cpu.Acquire()
 	}
 	act := <-t.resume
 	t.state.Store(int32(ThreadRunning))

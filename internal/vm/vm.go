@@ -13,6 +13,7 @@ package vm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bytecode"
 	"repro/internal/value"
@@ -73,7 +74,13 @@ type VM struct {
 	NodeID  int
 	Profile Profile
 
-	// Statics[classID][fieldIdx]. Allocated lazily per class at load time.
+	// Statics[classID][fieldIdx]. Allocated lazily per class at load time
+	// (initialization is ordered before the class's loaded bit, so
+	// concurrent threads never see a nil slice). Element reads and writes
+	// are NOT synchronized, mirroring the JVM: a program whose threads
+	// share mutable statics has an application-level data race there,
+	// exactly as the equivalent Java would. Concurrent jobs on one node
+	// must not share mutable statics.
 	Statics [][]value.Value
 
 	// StaticsDirty[classID] is set on every static write; the object
@@ -88,7 +95,13 @@ type VM struct {
 	// class (the JVMTI class-file-load-hook analog used for on-demand code
 	// shipping); it must arrange for the class to become available and
 	// account the transfer. A nil LoadHook means all classes are pre-loaded.
-	loaded   []bool
+	//
+	// The bits are atomic because classes load from network-handler
+	// goroutines (migrated-in state, flushes) while resident threads read
+	// them on every New/GetS/Call; loadMu serializes the load path itself
+	// so statics are initialized exactly once, before the bit flips.
+	loaded   []atomic.Bool
+	loadMu   sync.Mutex
 	LoadHook func(vm *VM, classID int32) error
 
 	// StaticsHook is invoked after a class is loaded, letting runtime
@@ -98,8 +111,19 @@ type VM struct {
 
 	builtins map[string]int32 // builtin class name -> id
 
+	internMu sync.Mutex
 	interned map[string]value.Ref
 	strClass int32
+
+	// CPU models the node's execution capacity: when non-nil, at most
+	// Cores threads execute bytecode at once; the rest queue. Set it
+	// before starting threads.
+	CPU *CPUGate
+
+	// liveInstr counts instructions retired across all threads, flushed
+	// from the interpreter at safepoint-poll boundaries so load monitors
+	// can read an up-to-date step rate without stopping the world.
+	liveInstr atomic.Uint64
 
 	mu       sync.Mutex
 	threads  map[int]*Thread
@@ -107,20 +131,34 @@ type VM struct {
 	Counters Counters
 }
 
+// LiveInstructions returns the instructions retired so far, accurate to
+// one safepoint-poll interval per running thread. Load monitors diff
+// successive readings for a step rate.
+func (v *VM) LiveInstructions() uint64 { return v.liveInstr.Load() }
+
+// NumThreads returns the number of registered (created, not yet finished)
+// threads — the node's runnable count for load signals. Parked and
+// queued-for-CPU threads count: they are demand on this node.
+func (v *VM) NumThreads() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.threads)
+}
+
 // New creates a VM for prog on the given node. All classes start loaded
 // unless preloaded is false.
 func New(prog *bytecode.Program, nodeID int, preloaded bool) *VM {
 	v := &VM{
-		Prog:     prog,
-		Heap:     NewHeap(nodeID),
-		NodeID:   nodeID,
+		Prog:         prog,
+		Heap:         NewHeap(nodeID),
+		NodeID:       nodeID,
 		Statics:      make([][]value.Value, len(prog.Classes)),
 		StaticsDirty: make([]bool, len(prog.Classes)),
-		natives:  make([]NativeImpl, len(prog.Natives)),
-		loaded:   make([]bool, len(prog.Classes)),
-		interned: make(map[string]value.Ref),
-		threads:  make(map[int]*Thread),
-		builtins: make(map[string]int32),
+		natives:      make([]NativeImpl, len(prog.Natives)),
+		loaded:       make([]atomic.Bool, len(prog.Classes)),
+		interned:     make(map[string]value.Ref),
+		threads:      make(map[int]*Thread),
+		builtins:     make(map[string]int32),
 	}
 	for _, name := range bytecode.BuiltinClassNames {
 		v.builtins[name] = prog.ClassByName(name)
@@ -128,16 +166,16 @@ func New(prog *bytecode.Program, nodeID int, preloaded bool) *VM {
 	v.strClass = v.builtins[bytecode.ClassString]
 	if preloaded {
 		for i := range v.loaded {
-			v.loaded[i] = true
 			v.initStatics(int32(i))
+			v.loaded[i].Store(true)
 		}
 	} else {
 		// Builtins are always resident (they ship with the runtime).
 		for _, name := range bytecode.BuiltinClassNames {
 			id := prog.ClassByName(name)
 			if id >= 0 {
-				v.loaded[id] = true
 				v.initStatics(id)
+				v.loaded[id].Store(true)
 			}
 		}
 	}
@@ -181,18 +219,23 @@ func (v *VM) BindNativeIfDeclared(name string, impl NativeImpl) {
 }
 
 // ClassLoaded reports whether classID is loaded in this VM.
-func (v *VM) ClassLoaded(classID int32) bool { return v.loaded[classID] }
+func (v *VM) ClassLoaded(classID int32) bool { return v.loaded[classID].Load() }
 
 // MarkLoaded marks a class available (called by the code-shipping layer
-// after the class "bytes" arrive).
+// after the class "bytes" arrive). Statics are initialized before the
+// loaded bit is published, so a concurrent thread that observes the bit
+// always finds them allocated.
 func (v *VM) MarkLoaded(classID int32) {
-	if !v.loaded[classID] {
-		v.loaded[classID] = true
-		v.initStatics(classID)
-		if v.StaticsHook != nil {
-			v.StaticsHook(v, classID)
-		}
+	v.loadMu.Lock()
+	defer v.loadMu.Unlock()
+	if v.loaded[classID].Load() {
+		return
 	}
+	v.initStatics(classID)
+	if v.StaticsHook != nil {
+		v.StaticsHook(v, classID)
+	}
+	v.loaded[classID].Store(true)
 }
 
 // EnsureLoaded forces classID to be loaded, invoking the load hook when
@@ -206,7 +249,7 @@ func (v *VM) EnsureLoaded(classID int32) error {
 
 // ensureLoaded triggers the load hook on first use of a class.
 func (v *VM) ensureLoaded(classID int32) *Raised {
-	if v.loaded[classID] {
+	if v.loaded[classID].Load() {
 		return nil
 	}
 	if v.LoadHook == nil {
@@ -225,6 +268,8 @@ func (v *VM) BuiltinClass(name string) int32 { return v.builtins[name] }
 
 // Intern returns the interned string object for s.
 func (v *VM) Intern(s string) value.Ref {
+	v.internMu.Lock()
+	defer v.internMu.Unlock()
 	if ref, ok := v.interned[s]; ok {
 		return ref
 	}

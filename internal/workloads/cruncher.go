@@ -1,0 +1,38 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+)
+
+// Cruncher is the elastic-offload workload: main(seed, iters) →
+// crunch(seed, iters) folding a masked linear recurrence. Pure CPU, no
+// shared objects, two frames deep — jobs can run concurrently on one
+// node and migrate whole at any safe point. The balancer tests and the
+// elastic experiment share this single definition so the program and its
+// Go mirror cannot drift apart.
+func Cruncher() *bytecode.Program {
+	pb := asm.NewProgram()
+	cr := pb.Func("crunch", true, "seed", "iters")
+	cr.Line().Load("seed").Store("acc")
+	cr.Line().Int(0).Store("i")
+	cr.Label("loop")
+	cr.Line().Load("i").Load("iters").Ge().Jnz("done")
+	cr.Line().Load("acc").Int(31).Mul().Load("i").Add().Int(0xFFFF).And().Store("acc")
+	cr.Line().Load("i").Int(1).Add().Store("i")
+	cr.Line().Jmp("loop")
+	cr.Label("done")
+	cr.Line().Load("acc").RetV()
+	mn := pb.Func("main", true, "seed", "iters")
+	mn.Line().Load("seed").Load("iters").Call("crunch", 2).Int(7).Add().RetV()
+	return pb.MustBuild()
+}
+
+// CruncherExpected mirrors Cruncher's main in Go.
+func CruncherExpected(seed, iters int64) int64 {
+	acc := seed
+	for i := int64(0); i < iters; i++ {
+		acc = (acc*31 + i) & 0xFFFF
+	}
+	return acc + 7
+}

@@ -27,8 +27,8 @@ func TextSearch() *Workload {
 	pb := asm.NewProgram()
 	declareCommon(pb)
 	pb.Native("nfs_size", 1, true)
-	pb.Native("nfs_read", 3, true)  // (name, off, buf) -> bytes read
-	pb.Native("str_find", 3, true)  // (buf, len, needle) -> idx | -1
+	pb.Native("nfs_read", 3, true) // (name, off, buf) -> bytes read
+	pb.Native("str_find", 3, true) // (buf, len, needle) -> idx | -1
 
 	sf := pb.Func("searchFile", true, "name", "needle")
 	sf.Line().CallNat(CheckpointNative, 0)
@@ -153,11 +153,11 @@ func MakeNameArray(v *vm.VM, names []string) (value.Ref, error) {
 func PhotoShare() *Workload {
 	pb := asm.NewProgram()
 	declareCommon(pb)
-	pb.Native("fs_count", 1, true)   // (dir) -> number of photos in dir
-	pb.Native("fs_name", 2, true)    // (dir, i) -> photo name string
+	pb.Native("fs_count", 1, true) // (dir) -> number of photos in dir
+	pb.Native("fs_name", 2, true)  // (dir, i) -> photo name string
 	pb.Native("nfs_size", 1, true)
 	pb.Native("nfs_read", 3, true)
-	pb.Native("str_has", 2, true)    // (s, keyword) -> 0/1
+	pb.Native("str_has", 2, true) // (s, keyword) -> 0/1
 	pb.Native("http_reply", 1, false)
 
 	app := pb.Class("PhotoApp", "")

@@ -117,9 +117,9 @@ func NQueens() *Workload {
 	declareCommon(pb)
 	c := pb.Class("NQ", "")
 	c.Static("signalled", value.KindInt)
-	c.Static("cols", value.KindRef)  // int[n]
-	c.Static("d1", value.KindRef)    // int[2n]
-	c.Static("d2", value.KindRef)    // int[2n]
+	c.Static("cols", value.KindRef) // int[n]
+	c.Static("d1", value.KindRef)   // int[2n]
+	c.Static("d2", value.KindRef)   // int[2n]
 
 	solve := c.StaticMethod("solve", true, "row", "n")
 	solve.Line().Load("row").Load("n").Ge().Jnz("leaf")

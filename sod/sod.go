@@ -21,8 +21,16 @@
 //	cluster.On(1).Migrate(job, sod.Migration{Frames: 1, Dest: 2})
 //	result, err := job.Wait()
 //
+// Migrations can also be automatic: AutoBalance runs an adaptive offload
+// engine that watches every node's load signals and spills jobs from
+// overloaded nodes onto idle ones:
+//
+//	b := cluster.AutoBalance(sod.ThresholdPolicy(0, 0), sod.BalanceOptions{})
+//	defer b.Stop()
+//
 // See examples/ for runnable scenarios (quickstart, multi-domain
-// workflow, task roaming, device offload, photo sharing).
+// workflow, task roaming, device offload, photo sharing, elastic
+// auto-offload).
 package sod
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"repro/internal/bytecode"
 	"repro/internal/netsim"
+	"repro/internal/policy"
 	"repro/internal/preprocess"
 	"repro/internal/sodee"
 	"repro/internal/value"
@@ -138,6 +147,13 @@ type Node struct {
 	// Cold starts the node without application classes; they ship on
 	// demand when work arrives (the default for worker nodes is warm).
 	Cold bool
+	// Cores models the node's CPU width: at most Cores threads execute at
+	// once, the rest queue (0 = unlimited). Give a weak node one core and
+	// a burst of jobs visibly stacks up — the elastic scenario.
+	Cores int
+	// Slow throttles the node's per-instruction speed (busy-wait spin
+	// iterations; 0 = full speed) — the weak-device CPU knob.
+	Slow int
 }
 
 // Cluster is a set of SOD nodes over a shared fabric.
@@ -155,6 +171,8 @@ func NewCluster(prog *Program, link netsim.LinkSpec, nodes ...Node) (*Cluster, e
 			System:    n.System,
 			HeapLimit: n.HeapLimit,
 			Preloaded: !n.Cold,
+			Cores:     n.Cores,
+			Slow:      n.Slow,
 		})
 	}
 	inner, err := sodee.NewCluster(prog, link, cfgs...)
@@ -294,6 +312,53 @@ func (j *Job) Done() bool { return j.inner.Done() }
 
 // Inner exposes the runtime job.
 func (j *Job) Inner() *sodee.Job { return j.inner }
+
+// --- adaptive offload (the policy engine) ---
+
+// Policy decides when and where running jobs migrate; see package
+// internal/policy for the contract. Built-in policies: ThresholdPolicy,
+// CostModelPolicy, RoundRobinPolicy.
+type Policy = policy.Policy
+
+// Signals is one node's published load report.
+type Signals = policy.Signals
+
+// Balancer is a running adaptive-offload engine; Stop halts it.
+type Balancer = sodee.Balancer
+
+// BalanceOptions tunes AutoBalance; the zero value gives a 1ms decision
+// interval and whole-stack return-home migrations.
+type BalanceOptions = sodee.BalanceOptions
+
+// BalanceStats aggregates a balancer's activity.
+type BalanceStats = sodee.BalanceStats
+
+// ThresholdPolicy migrates when the local node has more than highWater
+// runnable threads and some peer has at least margin fewer (0s =
+// defaults: 1 and 2). The watermark baseline.
+func ThresholdPolicy(highWater, margin int) Policy {
+	return policy.Threshold{HighWater: highWater, Margin: margin}
+}
+
+// CostModelPolicy weighs throughput gain, object-fault locality and link
+// RTT and migrates when the net score clears minGain (0 = default 0.25).
+func CostModelPolicy(minGain float64) Policy {
+	return policy.CostModel{MinGain: minGain}
+}
+
+// RoundRobinPolicy scatters jobs over peers blindly — the baseline the
+// adaptive policies are measured against.
+func RoundRobinPolicy() Policy { return &policy.RoundRobin{} }
+
+// AutoBalance starts the adaptive offload engine: nodes gossip load
+// signals every interval, and p decides per running job whether to stay
+// or migrate and where. Verdicts execute as whole-stack SOD migrations;
+// unreachable destinations are marked failed and never chosen again, and
+// a migration that fails in flight falls back to local execution. Stop
+// the returned Balancer when done.
+func (c *Cluster) AutoBalance(p Policy, opts BalanceOptions) *Balancer {
+	return c.inner.AutoBalance(p, opts)
+}
 
 // WaitTimeout waits up to d for the result.
 func (j *Job) WaitTimeout(d time.Duration) (Value, bool, error) {
