@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke elastic
+.PHONY: check vet build test race bench-smoke elastic cluster-smoke
 
 check: vet build race bench-smoke
 
@@ -30,3 +30,8 @@ bench-smoke:
 # The full elastic comparison at default size.
 elastic:
 	$(GO) run ./cmd/sodbench -table elastic
+
+# Boot the 3-node TCP cluster integration tests standalone: membership
+# discovery, AutoBalance over real sockets, heartbeat crash detection.
+cluster-smoke:
+	$(GO) test -race -count=1 -v ./internal/daemon

@@ -7,6 +7,7 @@
 //	sodbench -table roam         # the §IV.C roaming experiment
 //	sodbench -table fig5         # the code-size comparison
 //	sodbench -table elastic      # adaptive offload vs no-migration vs hand placement
+//	sodbench -table transport    # migration cost: simulated fabric vs TCP loopback
 package main
 
 import (
@@ -18,9 +19,10 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,7,roam,fig5,elastic,all")
+	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,7,roam,fig5,elastic,transport,all")
 	elasticJobs := flag.Int("elastic-jobs", 0, "elastic: burst size (0 = default 8)")
 	elasticIters := flag.Int64("elastic-iters", 0, "elastic: iterations per job (0 = default)")
+	transportTrips := flag.Int("transport-trips", 0, "transport: migrations per fabric (0 = default 12)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -99,6 +101,16 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderFig5(f))
+		return nil
+	})
+	run("transport", func() error {
+		rows, err := experiments.Transport(experiments.TransportConfig{
+			Trips: *transportTrips,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTransport(rows))
 		return nil
 	})
 	run("elastic", func() error {

@@ -1,0 +1,181 @@
+// Command sodctl drives a running sodd cluster: submit workload jobs,
+// query membership and load, and watch migrations happen.
+//
+//	sodctl -addr 127.0.0.1:7101 members
+//	sodctl -addr 127.0.0.1:7101 submit -method main -args 42,200000
+//	sodctl -addr 127.0.0.1:7101 run -method main -args 42,200000
+//	sodctl -addr 127.0.0.1:7101 stats
+//	sodctl -addr 127.0.0.1:7101 load
+//	sodctl -addr 127.0.0.1:7101 watch -every 1s -for 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/daemon"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sodctl -addr HOST:PORT <members|submit|run|wait|stats|load|watch> [options]")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func parseArgs(s string) []int64 {
+	if s == "" {
+		return nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			log.Fatalf("bad -args value %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func printMembers(c *daemon.Client) {
+	self, members, err := c.Members()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node %d members (%d):\n", self, len(members))
+	for _, m := range members {
+		fmt.Printf("  %3d  %-7s  heard %6s ago  %s\n",
+			m.Node, m.State, m.SinceHeard.Round(time.Millisecond), m.Addr)
+	}
+}
+
+func printStats(c *daemon.Client) {
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ticks %d  decisions %d  migrations %d  failed %d\n",
+		st.Ticks, st.Decisions, st.Migrations, st.FailedMigrations)
+	dests := make([]int, 0, len(st.MigrationsTo))
+	for d := range st.MigrationsTo {
+		dests = append(dests, d)
+	}
+	sort.Ints(dests)
+	for _, d := range dests {
+		fmt.Printf("  → node %d: %d\n", d, st.MigrationsTo[d])
+	}
+}
+
+func printLoad(c *daemon.Client) {
+	info, err := c.Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local : node %d  runnable %d  cores %d  speed %.2f  rate %.0f/s\n",
+		info.Local.Node, info.Local.Runnable, info.Local.Cores, info.Local.Speed, info.Local.StepRate)
+	for _, p := range info.Peers {
+		fmt.Printf("peer  : node %d  runnable %d  cores %d  speed %.2f  rate %.0f/s\n",
+			p.Node, p.Runnable, p.Cores, p.Speed, p.StepRate)
+	}
+	dests := make([]int, 0, len(info.WireLatency))
+	for d := range info.WireLatency {
+		dests = append(dests, d)
+	}
+	sort.Ints(dests)
+	for _, d := range dests {
+		fmt.Printf("link  : → node %d  measured %s (EWMA)\n", d, info.WireLatency[d].Round(time.Microsecond))
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "", "daemon control address")
+	flag.Usage = usage
+	flag.Parse()
+	if *addr == "" || flag.NArg() == 0 {
+		usage()
+	}
+	cmd, rest := flag.Arg(0), flag.Args()[1:]
+
+	c, err := daemon.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	switch cmd {
+	case "members":
+		printMembers(c)
+
+	case "stats":
+		printStats(c)
+
+	case "load":
+		printLoad(c)
+
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		method := fs.String("method", "main", "entry method")
+		args := fs.String("args", "", "comma-separated integer arguments")
+		fs.Parse(rest) //nolint:errcheck
+		id, err := c.Submit(*method, parseArgs(*args)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job %d submitted\n", id)
+
+	case "wait":
+		fs := flag.NewFlagSet("wait", flag.ExitOnError)
+		job := fs.Uint64("job", 0, "job id")
+		timeout := fs.Duration("timeout", time.Minute, "wait deadline")
+		fs.Parse(rest) //nolint:errcheck
+		res, done, errMsg, err := c.Wait(*job, *timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case !done:
+			fmt.Printf("job %d still running\n", *job)
+		case errMsg != "":
+			fmt.Printf("job %d failed: %s\n", *job, errMsg)
+		default:
+			fmt.Printf("job %d = %d\n", *job, res)
+		}
+
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		method := fs.String("method", "main", "entry method")
+		args := fs.String("args", "", "comma-separated integer arguments")
+		timeout := fs.Duration("timeout", time.Minute, "wait deadline")
+		fs.Parse(rest) //nolint:errcheck
+		res, err := c.Run(*method, *timeout, parseArgs(*args)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("result: %d\n", res)
+
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		every := fs.Duration("every", time.Second, "poll interval")
+		dur := fs.Duration("for", 10*time.Second, "total watch duration")
+		fs.Parse(rest) //nolint:errcheck
+		end := time.Now().Add(*dur)
+		for {
+			printMembers(c)
+			printStats(c)
+			fmt.Println()
+			if time.Now().After(end) {
+				return
+			}
+			time.Sleep(*every)
+		}
+
+	default:
+		usage()
+	}
+}

@@ -1,0 +1,72 @@
+// Command sodd is the SOD node daemon: one cluster node listening on
+// TCP, running workloads, gossiping load, detecting peer failures by
+// heartbeat, and participating in AutoBalance. Start a seed node, then
+// point further nodes at it:
+//
+//	sodd -id 1 -listen 127.0.0.1:7101 -cores 1 -slow 16 &
+//	sodd -id 2 -listen 127.0.0.1:7102 -join 127.0.0.1:7101 &
+//	sodd -id 3 -listen 127.0.0.1:7103 -join 127.0.0.1:7101 &
+//
+// then drive it with sodctl (submit jobs, watch membership and
+// migrations). Every daemon in a cluster must run the same -workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/daemon"
+)
+
+func main() {
+	id := flag.Int("id", 0, "cluster-unique node id (positive)")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	join := flag.String("join", "", "comma-separated seed addresses to join")
+	workload := flag.String("workload", "cruncher", "workload program: cruncher, fib, nq, tsp")
+	cores := flag.Int("cores", 0, "modeled CPU width (0 = unlimited)")
+	slow := flag.Int("slow", 0, "per-instruction throttle (0 = full speed)")
+	pol := flag.String("policy", "threshold", "offload policy: threshold, cost, rr, none")
+	interval := flag.Duration("interval", 10*time.Millisecond, "balance/heartbeat interval")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	d, err := daemon.New(daemon.Config{
+		ID: *id, Listen: *listen, Workload: *workload,
+		Cores: *cores, Slow: *slow,
+		Policy: *pol, Interval: *interval,
+		Logf: logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sodd: node %d listening on %s (workload %s, policy %s)\n",
+		d.ID(), d.Addr(), *workload, *pol)
+
+	for _, seed := range strings.Split(*join, ",") {
+		seed = strings.TrimSpace(seed)
+		if seed == "" {
+			continue
+		}
+		if err := d.Join(seed); err != nil {
+			d.Stop()
+			log.Fatalf("join %s: %v", seed, err)
+		}
+		fmt.Printf("sodd: joined cluster via %s\n", seed)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sodd: shutting down")
+	d.Stop()
+}

@@ -1,0 +1,128 @@
+// Distributed: the cluster runtime over real TCP sockets. Three sodd
+// node daemons boot in-process on loopback ports — exactly what the
+// sodd binary runs, minus the process boundary — and join into one
+// cluster: a weak one-core node and two strong peers. A burst of jobs
+// lands on the weak node; AutoBalance watches the heartbeat-borne load
+// gossip and spills the burst outward as whole-stack SOD migrations over
+// the sockets. Then one strong node is killed mid-run with no goodbye:
+// the survivors' failure detectors notice on their own (there is no
+// SetNodeDown here — this is not the simulated fabric), a migration
+// aimed at the corpse falls back to local execution, and every job still
+// returns the right answer.
+//
+// The same scenario runs as separate OS processes with cmd/sodd and
+// cmd/sodctl; see README "Running a real cluster".
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/membership"
+	"repro/internal/workloads"
+)
+
+const (
+	jobs  = 6
+	iters = 200_000
+)
+
+func boot(id, cores, slow int) *daemon.Daemon {
+	d, err := daemon.New(daemon.Config{
+		ID: id, Cores: cores, Slow: slow,
+		Policy: "threshold", Interval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}
+
+func main() {
+	// Boot a seed and two joiners; the join protocol spreads the roster
+	// so nodes 2 and 3 find each other through node 1.
+	d1 := boot(1, 1, 16) // the weak device
+	d2 := boot(2, 0, 0)
+	d3 := boot(3, 0, 0)
+	defer d1.Stop()
+	defer d2.Stop()
+	for _, d := range []*daemon.Daemon{d2, d3} {
+		if err := d.Join(d1.Addr()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("cluster up: node 1 @ %s, node 2 @ %s, node 3 @ %s\n",
+		d1.Addr(), d2.Addr(), d3.Addr())
+
+	// Wait for full mutual discovery.
+	deadline := time.Now().Add(10 * time.Second)
+	for d1.Node().Members.State(2) != membership.Alive ||
+		d1.Node().Members.State(3) != membership.Alive ||
+		d2.Node().Members.State(3) != membership.Alive {
+		if time.Now().After(deadline) {
+			log.Fatal("membership never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Println("membership converged: every node sees every peer alive")
+
+	// Drive the burst through the control plane, like sodctl would.
+	ctl, err := daemon.Dial(d1.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Close()
+
+	start := time.Now()
+	ids := make([]uint64, jobs)
+	for i := range ids {
+		id, err := ctl.Submit("main", int64(1000+i), iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	// Kill node 3 mid-run: from the survivors' point of view it simply
+	// stops answering.
+	time.Sleep(50 * time.Millisecond)
+	d3.Stop()
+	fmt.Println("node 3 killed mid-run (no goodbye sent)")
+
+	for i, id := range ids {
+		res, done, errMsg, err := ctl.Wait(id, time.Minute)
+		if err != nil || !done || errMsg != "" {
+			log.Fatalf("job %d: done=%v errMsg=%q err=%v", i, done, errMsg, err)
+		}
+		if want := workloads.CruncherExpected(int64(1000+i), iters); res != want {
+			log.Fatalf("job %d: result %d, want %d", i, res, want)
+		}
+	}
+	makespan := time.Since(start)
+
+	// The survivors must have declared node 3 dead purely by heartbeat.
+	deadline = time.Now().Add(20 * time.Second)
+	for d1.Node().Members.State(3) != membership.Dead {
+		if time.Now().After(deadline) {
+			log.Fatal("node 1 never detected the crash")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	st, err := ctl.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("burst of %d jobs done in %s: %d migrations over TCP",
+		jobs, makespan.Round(time.Millisecond), st.Migrations)
+	for dest, n := range st.MigrationsTo {
+		fmt.Printf(", %d→node %d", n, dest)
+	}
+	fmt.Printf(" (%d failed in flight, recovered locally)\n", st.FailedMigrations)
+	fmt.Println("node 3 detected dead by heartbeats; all results correct")
+	if st.Migrations == 0 {
+		log.Fatal("the balancer never spilled the burst over TCP")
+	}
+}

@@ -1,0 +1,200 @@
+package daemon
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/sodee"
+	"repro/internal/wire"
+)
+
+// Client is a control-plane connection to one daemon — what sodctl and
+// the integration tests use to drive a cluster from outside. Clients use
+// negative node ids so they can never collide with (or be mistaken for)
+// cluster members; a daemon answers their RPCs but never gossips to
+// them.
+type Client struct {
+	tr   *netsim.TCPTransport
+	peer int
+}
+
+// ctlSeq disambiguates several clients inside one process.
+var ctlSeq atomic.Int64
+
+// Dial connects a control client to the daemon at addr.
+func Dial(addr string) (*Client, error) {
+	id := -(int(ctlSeq.Add(1))*1_000_000 + os.Getpid()%1_000_000 + 1)
+	tr, err := netsim.NewTCPTransport(id, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	peer, err := tr.Connect(addr)
+	if err != nil {
+		tr.Close() //nolint:errcheck
+		return nil, err
+	}
+	return &Client{tr: tr, peer: peer}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() { c.tr.Close() } //nolint:errcheck
+
+// Peer returns the daemon's node id.
+func (c *Client) Peer() int { return c.peer }
+
+func (c *Client) call(payload []byte) ([]byte, error) {
+	return c.tr.Call(c.peer, netsim.KindControl, payload)
+}
+
+// MemberInfo is one row of a daemon's membership view.
+type MemberInfo struct {
+	Node       int
+	State      membership.State
+	SinceHeard time.Duration
+	Addr       string
+}
+
+// Members queries the daemon's membership view; self is the daemon's
+// own id.
+func (c *Client) Members() (self int, members []MemberInfo, err error) {
+	w := wire.NewWriter(1)
+	w.Byte(opMembers)
+	reply, err := c.call(w.Bytes())
+	if err != nil {
+		return 0, nil, err
+	}
+	r := wire.NewReader(reply)
+	self = int(r.Varint())
+	n := int(r.Uvarint())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		members = append(members, MemberInfo{
+			Node:       int(r.Varint()),
+			State:      membership.State(r.Byte()),
+			SinceHeard: time.Duration(r.Uvarint()) * time.Millisecond,
+			Addr:       string(r.Blob()),
+		})
+	}
+	return self, members, r.Err()
+}
+
+// Submit starts a job on the daemon and returns its id.
+func (c *Client) Submit(method string, args ...int64) (uint64, error) {
+	w := wire.NewWriter(64)
+	w.Byte(opSubmit)
+	w.Blob([]byte(method))
+	w.Uvarint(uint64(len(args)))
+	for _, a := range args {
+		w.Varint(a)
+	}
+	reply, err := c.call(w.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(reply)
+	id := r.Uvarint()
+	return id, r.Err()
+}
+
+// Wait blocks (up to timeout) for a submitted job's result. done is
+// false on timeout; a non-empty errMsg is the job's failure.
+func (c *Client) Wait(job uint64, timeout time.Duration) (result int64, done bool, errMsg string, err error) {
+	w := wire.NewWriter(24)
+	w.Byte(opWait)
+	w.Uvarint(job)
+	w.Uvarint(uint64(timeout / time.Millisecond))
+	reply, err := c.call(w.Bytes())
+	if err != nil {
+		return 0, false, "", err
+	}
+	r := wire.NewReader(reply)
+	done = r.Byte() != 0
+	result = r.Varint()
+	errMsg = string(r.Blob())
+	return result, done, errMsg, r.Err()
+}
+
+// Run submits a job and waits for its result.
+func (c *Client) Run(method string, timeout time.Duration, args ...int64) (int64, error) {
+	id, err := c.Submit(method, args...)
+	if err != nil {
+		return 0, err
+	}
+	res, done, errMsg, err := c.Wait(id, timeout)
+	if err != nil {
+		return 0, err
+	}
+	if !done {
+		return 0, fmt.Errorf("job %d still running after %v", id, timeout)
+	}
+	if errMsg != "" {
+		return 0, fmt.Errorf("job %d failed: %s", id, errMsg)
+	}
+	return res, nil
+}
+
+// Stats queries the daemon's balancer counters.
+func (c *Client) Stats() (sodee.BalanceStats, error) {
+	w := wire.NewWriter(1)
+	w.Byte(opStats)
+	reply, err := c.call(w.Bytes())
+	if err != nil {
+		return sodee.BalanceStats{}, err
+	}
+	r := wire.NewReader(reply)
+	st := sodee.BalanceStats{
+		Ticks:            int(r.Uvarint()),
+		Decisions:        int(r.Uvarint()),
+		Migrations:       int(r.Uvarint()),
+		FailedMigrations: int(r.Uvarint()),
+		MigrationsTo:     make(map[int]int),
+	}
+	n := int(r.Uvarint())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		dest := int(r.Varint())
+		st.MigrationsTo[dest] = int(r.Uvarint())
+	}
+	return st, r.Err()
+}
+
+// LoadInfo is a daemon's view of cluster load.
+type LoadInfo struct {
+	Local       policy.Signals
+	Peers       []policy.Signals
+	WireLatency map[int]time.Duration // calibrated per-destination EWMA
+}
+
+// Load queries the daemon's local and gossiped load signals.
+func (c *Client) Load() (LoadInfo, error) {
+	w := wire.NewWriter(1)
+	w.Byte(opLoad)
+	reply, err := c.call(w.Bytes())
+	if err != nil {
+		return LoadInfo{}, err
+	}
+	r := wire.NewReader(reply)
+	var info LoadInfo
+	local, err := sodee.DecodeSignals(r.Blob())
+	if err != nil {
+		return LoadInfo{}, err
+	}
+	info.Local = local
+	n := int(r.Uvarint())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		p, perr := sodee.DecodeSignals(r.Blob())
+		if perr != nil {
+			return LoadInfo{}, perr
+		}
+		info.Peers = append(info.Peers, p)
+	}
+	info.WireLatency = make(map[int]time.Duration)
+	for i, nl := 0, int(r.Uvarint()); i < nl && r.Err() == nil; i++ {
+		dest := int(r.Varint())
+		info.WireLatency[dest] = time.Duration(r.Uvarint())
+	}
+	return info, r.Err()
+}

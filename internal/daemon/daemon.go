@@ -1,0 +1,604 @@
+// Package daemon is the deployable node runtime behind cmd/sodd and
+// cmd/sodctl: one SOD node riding a real TCP transport, plus the small
+// control plane a distributed deployment needs — a join protocol that
+// spreads the member roster, heartbeat-driven membership, remote job
+// submission and status queries. The same Daemon type powers the sodd
+// binary, the examples/distributed walkthrough and the in-process
+// integration tests, so the code path that ships is the code path that
+// is tested.
+//
+// Wire protocol: everything rides netsim.KindControl frames whose first
+// byte selects the operation (join, member gossip, submit, wait, stats,
+// load, members). Data-plane traffic — migrations, flushes, class
+// shipping, load gossip — is the ordinary sodee protocol, unchanged from
+// the simulated fabric.
+package daemon
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/preprocess"
+	"repro/internal/sodee"
+	"repro/internal/value"
+	"repro/internal/wire"
+	"repro/internal/workloads"
+)
+
+// Control operations (first byte of a KindControl payload).
+const (
+	opJoin      byte = 1 // {id, addr} → full roster; broadcast if new
+	opNewMember byte = 2 // one-way roster gossip {id, addr}
+	opMembers   byte = 3 // → membership snapshot
+	opSubmit    byte = 4 // {method, args...} → job id
+	opWait      byte = 5 // {job, timeout} → result
+	opStats     byte = 6 // → balancer stats
+	opLoad      byte = 7 // → local+peer signals, wire latencies
+)
+
+// Config configures one daemon.
+type Config struct {
+	// ID is the node's cluster-unique id (must be positive; control
+	// clients use negative ids).
+	ID int
+	// Listen is the TCP listen address (default "127.0.0.1:0").
+	Listen string
+	// Workload names the program this node runs (default "cruncher");
+	// every daemon in a cluster must run the same one. Prog overrides it
+	// with a pre-compiled program.
+	Workload string
+	Prog     *bytecode.Program
+	// Cores / Slow model the node's capacity (see sodee.NodeConfig).
+	Cores int
+	Slow  int
+	// Policy selects the offload policy: "threshold" (default), "cost",
+	// "rr", or "none" (heartbeats only, no automatic migration).
+	Policy string
+	// Interval paces the balance/heartbeat loop (default 10ms).
+	Interval time.Duration
+	// Membership tunes the failure detector (zero = defaults).
+	Membership membership.Options
+	// Logf, when set, receives progress lines (membership changes,
+	// submissions).
+	Logf func(format string, args ...any)
+}
+
+// BuildWorkload compiles a named workload for SOD execution. The
+// registry covers the programs whose natives need no per-host setup.
+func BuildWorkload(name string) (*bytecode.Program, error) {
+	var raw *bytecode.Program
+	switch name {
+	case "", "cruncher":
+		raw = workloads.Cruncher()
+	case "fib":
+		raw = workloads.Fib().Prog
+	case "nq":
+		raw = workloads.NQueens().Prog
+	case "tsp":
+		raw = workloads.TSP().Prog
+	default:
+		return nil, fmt.Errorf("daemon: unknown workload %q (have cruncher, fib, nq, tsp)", name)
+	}
+	return preprocess.MustPreprocess(raw,
+		preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true}), nil
+}
+
+func policyByName(name string) (policy.Policy, error) {
+	switch name {
+	case "", "threshold":
+		return policy.Threshold{}, nil
+	case "cost":
+		return policy.CostModel{}, nil
+	case "rr":
+		return &policy.RoundRobin{}, nil
+	case "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("daemon: unknown policy %q (have threshold, cost, rr, none)", name)
+	}
+}
+
+// Daemon is one running node.
+type Daemon struct {
+	cfg     Config
+	tr      *netsim.TCPTransport
+	cluster *sodee.Cluster
+	node    *sodee.Node
+	bal     *sodee.Balancer
+
+	mu    sync.Mutex
+	addrs map[int]string // member id → listen address
+	// jobs holds running jobs plus the last maxRetainedJobs completed
+	// ones (doneJobs is their completion order), so results stay
+	// queryable without the map growing forever on a long-lived daemon.
+	jobs     map[uint64]*sodee.Job
+	doneJobs []uint64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New boots a daemon: listen, build the node, start the heartbeat (and,
+// unless Policy is "none", the AutoBalance engine). Join connects it to
+// an existing cluster afterwards.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.ID <= 0 {
+		return nil, fmt.Errorf("daemon: node id must be positive, got %d", cfg.ID)
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Millisecond
+	}
+	// The detector's timeouts must comfortably exceed the heartbeat
+	// period, or its stalled-sweeper forgiveness fires every round and
+	// timeout-based detection never triggers. Scale unset options with
+	// the interval so a slow -interval cannot silently disable detection.
+	if cfg.Membership.SuspectAfter <= 0 {
+		if sa := 6 * cfg.Interval; sa > 150*time.Millisecond {
+			cfg.Membership.SuspectAfter = sa
+		}
+	}
+	if cfg.Membership.DeadAfter <= 0 {
+		if da := 20 * cfg.Interval; da > 500*time.Millisecond {
+			cfg.Membership.DeadAfter = da
+		}
+	}
+	pol, err := policyByName(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	prog := cfg.Prog
+	if prog == nil {
+		prog, err = BuildWorkload(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tr, err := netsim.NewTCPTransport(cfg.ID, cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	// A zombie peer (socket open, process stopped) must not wedge the
+	// balance loop on an unanswered RPC: bound every daemon-originated
+	// Call. Control clients set their own bounds; 30s is far above any
+	// healthy migration round trip.
+	tr.CallTimeout = 30 * time.Second
+	c := sodee.NewTransportCluster(prog)
+	n, err := c.AddNodeOn(sodee.NodeConfig{
+		ID: cfg.ID, Preloaded: true, Cores: cfg.Cores, Slow: cfg.Slow,
+		Membership: cfg.Membership,
+	}, tr)
+	if err != nil {
+		tr.Close() //nolint:errcheck
+		return nil, err
+	}
+	workloads.BindCommon(n.VM)
+
+	d := &Daemon{
+		cfg:     cfg,
+		tr:      tr,
+		cluster: c,
+		node:    n,
+		addrs:   make(map[int]string),
+		jobs:    make(map[uint64]*sodee.Job),
+		stopCh:  make(chan struct{}),
+	}
+	tr.Handle(netsim.KindControl, d.handleControl)
+	if cfg.Logf != nil {
+		n.Members.OnChange(func(ev membership.Event) {
+			cfg.Logf("sodd[%d]: member %d is %v", cfg.ID, ev.Node, ev.State)
+		})
+	}
+	if pol != nil {
+		d.bal = c.AutoBalance(pol, sodee.BalanceOptions{Interval: cfg.Interval})
+	} else {
+		// No balancer: run the heartbeat loop alone so membership still
+		// detects crashes and rejoins.
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			ticker := time.NewTicker(cfg.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-d.stopCh:
+					return
+				case <-ticker.C:
+					d.node.Mgr.GossipTick()
+				}
+			}
+		}()
+	}
+	return d, nil
+}
+
+// Addr returns the daemon's listen address.
+func (d *Daemon) Addr() string { return d.tr.Addr() }
+
+// ID returns the daemon's node id.
+func (d *Daemon) ID() int { return d.cfg.ID }
+
+// Node exposes the underlying runtime node (tests, examples).
+func (d *Daemon) Node() *sodee.Node { return d.node }
+
+// Stats returns the balancer's counters (zero if Policy was "none").
+func (d *Daemon) Stats() sodee.BalanceStats {
+	if d.bal == nil {
+		return sodee.BalanceStats{}
+	}
+	return d.bal.Stats()
+}
+
+// Stop halts balancing and heartbeats and tears the transport down —
+// from the peers' point of view this is a crash: no goodbye is sent,
+// and their failure detectors must notice on their own.
+func (d *Daemon) Stop() {
+	d.stopOnce.Do(func() {
+		close(d.stopCh)
+		if d.bal != nil {
+			d.bal.Stop()
+		}
+		d.wg.Wait()
+		d.tr.Close() //nolint:errcheck
+	})
+}
+
+// logf emits a progress line when configured.
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// addMember records a member's address and marks it alive.
+func (d *Daemon) addMember(id int, addr string) (isNew bool) {
+	if id == d.cfg.ID {
+		return false
+	}
+	d.mu.Lock()
+	_, known := d.addrs[id]
+	d.addrs[id] = addr
+	d.mu.Unlock()
+	d.node.Members.Join(id, time.Now())
+	if !known {
+		d.logf("sodd[%d]: member %d joined at %s", d.cfg.ID, id, addr)
+	}
+	return !known
+}
+
+// roster snapshots the member table including this daemon itself. With
+// includeDead false, members the failure detector has declared dead are
+// left out — a joiner should not burn its dial budget on corpses (if one
+// rejoins, it announces itself anyway).
+func (d *Daemon) roster(includeDead bool) map[int]string {
+	d.mu.Lock()
+	addrs := make(map[int]string, len(d.addrs))
+	for id, addr := range d.addrs {
+		addrs[id] = addr
+	}
+	d.mu.Unlock()
+	out := make(map[int]string, len(addrs)+1)
+	for id, addr := range addrs {
+		if !includeDead && d.node.Members.State(id) == membership.Dead {
+			continue
+		}
+		out[id] = addr
+	}
+	out[d.cfg.ID] = d.tr.Addr()
+	return out
+}
+
+// MemberAddr returns the recorded address of a member.
+func (d *Daemon) MemberAddr(id int) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	addr, ok := d.addrs[id]
+	return addr, ok
+}
+
+// Join connects this daemon into the cluster reachable at seedAddr: it
+// dials the seed, announces itself, and walks the returned roster until
+// it is connected to every member. An unreachable seed is an error; an
+// unreachable *roster* member is not — it may have died since the seed
+// last heard from it, and the failure detectors own that question. Safe
+// to call with several seeds.
+func (d *Daemon) Join(seedAddr string) error {
+	type target struct {
+		addr string
+		seed bool
+	}
+	pending := []target{{addr: seedAddr, seed: true}}
+	seen := map[string]bool{d.tr.Addr(): true}
+	for len(pending) > 0 {
+		tg := pending[0]
+		pending = pending[1:]
+		if seen[tg.addr] {
+			continue
+		}
+		seen[tg.addr] = true
+		peerID, err := d.tr.Connect(tg.addr)
+		if err != nil {
+			if tg.seed {
+				return fmt.Errorf("daemon %d join %s: %w", d.cfg.ID, tg.addr, err)
+			}
+			d.logf("sodd[%d]: roster member at %s unreachable (%v); skipping", d.cfg.ID, tg.addr, err)
+			continue
+		}
+		d.addMember(peerID, tg.addr)
+		w := wire.NewWriter(64)
+		w.Byte(opJoin)
+		w.Varint(int64(d.cfg.ID))
+		w.Blob([]byte(d.tr.Addr()))
+		reply, err := d.tr.Call(peerID, netsim.KindControl, w.Bytes())
+		if err != nil {
+			if tg.seed {
+				return fmt.Errorf("daemon %d announce to %d: %w", d.cfg.ID, peerID, err)
+			}
+			d.logf("sodd[%d]: announce to member %d failed (%v); skipping", d.cfg.ID, peerID, err)
+			continue
+		}
+		roster, err := decodeRoster(reply)
+		if err != nil {
+			return err
+		}
+		for id, maddr := range roster {
+			if id == d.cfg.ID {
+				continue
+			}
+			d.mu.Lock()
+			_, known := d.addrs[id]
+			d.mu.Unlock()
+			if !known && !seen[maddr] {
+				pending = append(pending, target{addr: maddr})
+			}
+		}
+	}
+	return nil
+}
+
+// maxRetainedJobs bounds how many *completed* jobs stay queryable; the
+// oldest results are evicted first. Running jobs are never evicted.
+const maxRetainedJobs = 256
+
+// Submit starts a job on this node (local API; the remote path is
+// opSubmit). The job participates in AutoBalance like any other.
+func (d *Daemon) Submit(method string, args ...int64) (*sodee.Job, error) {
+	vals := make([]value.Value, len(args))
+	for i, a := range args {
+		vals[i] = value.Int(a)
+	}
+	job, err := d.node.Mgr.StartJob(method, vals...)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.jobs[job.ID] = job
+	d.mu.Unlock()
+	go func() {
+		job.Wait() //nolint:errcheck // retention bookkeeping only
+		d.mu.Lock()
+		d.doneJobs = append(d.doneJobs, job.ID)
+		for len(d.doneJobs) > maxRetainedJobs {
+			delete(d.jobs, d.doneJobs[0])
+			d.doneJobs = d.doneJobs[1:]
+		}
+		d.mu.Unlock()
+	}()
+	d.logf("sodd[%d]: job %d started (%s)", d.cfg.ID, job.ID, method)
+	return job, nil
+}
+
+// --- control-plane handler ---
+
+func (d *Daemon) handleControl(from int, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("daemon: empty control frame")
+	}
+	r := wire.NewReader(payload[1:])
+	switch payload[0] {
+	case opJoin:
+		return d.handleJoin(r)
+	case opNewMember:
+		return nil, d.handleNewMember(r)
+	case opMembers:
+		return d.handleMembers()
+	case opSubmit:
+		return d.handleSubmit(r)
+	case opWait:
+		return d.handleWait(r)
+	case opStats:
+		return d.handleStats()
+	case opLoad:
+		return d.handleLoad()
+	default:
+		return nil, fmt.Errorf("daemon: unknown control op %d", payload[0])
+	}
+}
+
+func encodeRoster(roster map[int]string) []byte {
+	w := wire.NewWriter(64)
+	w.Uvarint(uint64(len(roster)))
+	for id, addr := range roster {
+		w.Varint(int64(id))
+		w.Blob([]byte(addr))
+	}
+	return w.Bytes()
+}
+
+func decodeRoster(payload []byte) (map[int]string, error) {
+	r := wire.NewReader(payload)
+	n := int(r.Uvarint())
+	out := make(map[int]string, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		id := int(r.Varint())
+		out[id] = string(r.Blob())
+	}
+	return out, r.Err()
+}
+
+func (d *Daemon) handleJoin(r *wire.Reader) ([]byte, error) {
+	id := int(r.Varint())
+	addr := string(r.Blob())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	isNew := d.addMember(id, addr)
+	if isNew {
+		// Spread the news so every member dials the newcomer.
+		w := wire.NewWriter(64)
+		w.Byte(opNewMember)
+		w.Varint(int64(id))
+		w.Blob([]byte(addr))
+		gossip := w.Bytes()
+		d.mu.Lock()
+		others := make([]int, 0, len(d.addrs))
+		for mid := range d.addrs {
+			if mid != id {
+				others = append(others, mid)
+			}
+		}
+		d.mu.Unlock()
+		for _, mid := range others {
+			d.tr.Send(mid, netsim.KindControl, gossip) //nolint:errcheck // best effort; detector handles the dead
+		}
+	}
+	return encodeRoster(d.roster(false)), nil
+}
+
+func (d *Daemon) handleNewMember(r *wire.Reader) error {
+	id := int(r.Varint())
+	addr := string(r.Blob())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if id == d.cfg.ID {
+		return nil
+	}
+	d.mu.Lock()
+	_, known := d.addrs[id]
+	d.mu.Unlock()
+	if known {
+		return nil
+	}
+	got, err := d.tr.Connect(addr)
+	if err != nil {
+		return err
+	}
+	if got != id {
+		return fmt.Errorf("daemon: member %d gossiped at %s but %d answered", id, addr, got)
+	}
+	d.addMember(id, addr)
+	return nil
+}
+
+func (d *Daemon) handleMembers() ([]byte, error) {
+	snap := d.node.Members.Snapshot()
+	roster := d.roster(true)
+	now := time.Now()
+	w := wire.NewWriter(128)
+	w.Varint(int64(d.cfg.ID))
+	w.Uvarint(uint64(len(snap)))
+	for _, m := range snap {
+		w.Varint(int64(m.Node))
+		w.Byte(byte(m.State))
+		w.Uvarint(uint64(now.Sub(m.LastHeard) / time.Millisecond))
+		w.Blob([]byte(roster[m.Node]))
+	}
+	return w.Bytes(), nil
+}
+
+func (d *Daemon) handleSubmit(r *wire.Reader) ([]byte, error) {
+	method := string(r.Blob())
+	n := int(r.Uvarint())
+	args := make([]int64, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		args[i] = r.Varint()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	job, err := d.Submit(method, args...)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(16)
+	w.Uvarint(job.ID)
+	return w.Bytes(), nil
+}
+
+func (d *Daemon) handleWait(r *wire.Reader) ([]byte, error) {
+	jobID := r.Uvarint()
+	timeoutMs := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	job := d.jobs[jobID]
+	d.mu.Unlock()
+	if job == nil {
+		return nil, fmt.Errorf("daemon: no job %d", jobID)
+	}
+	done := make(chan struct{})
+	go func() {
+		job.Wait() //nolint:errcheck // result re-read below
+		close(done)
+	}()
+	w := wire.NewWriter(32)
+	select {
+	case <-done:
+		res, err := job.Wait()
+		w.Byte(1)
+		w.Varint(res.I)
+		if err != nil {
+			w.Blob([]byte(err.Error()))
+		} else {
+			w.Blob(nil)
+		}
+	case <-time.After(time.Duration(timeoutMs) * time.Millisecond):
+		w.Byte(0)
+		w.Varint(0)
+		w.Blob(nil)
+	}
+	return w.Bytes(), nil
+}
+
+func (d *Daemon) handleStats() ([]byte, error) {
+	st := d.Stats()
+	w := wire.NewWriter(64)
+	w.Uvarint(uint64(st.Ticks))
+	w.Uvarint(uint64(st.Decisions))
+	w.Uvarint(uint64(st.Migrations))
+	w.Uvarint(uint64(st.FailedMigrations))
+	w.Uvarint(uint64(len(st.MigrationsTo)))
+	for dest, cnt := range st.MigrationsTo {
+		w.Varint(int64(dest))
+		w.Uvarint(uint64(cnt))
+	}
+	return w.Bytes(), nil
+}
+
+func (d *Daemon) handleLoad() ([]byte, error) {
+	local := d.node.Mgr.LocalSignals()
+	peers := d.node.Mgr.PeerSignals()
+	lats := d.node.Mgr.WireLatencies()
+	w := wire.NewWriter(256)
+	w.Blob(sodee.EncodeSignals(local))
+	w.Uvarint(uint64(len(peers)))
+	for _, p := range peers {
+		w.Blob(sodee.EncodeSignals(p))
+	}
+	w.Uvarint(uint64(len(lats)))
+	for dest, lat := range lats {
+		w.Varint(int64(dest))
+		w.Uvarint(uint64(lat))
+	}
+	return w.Bytes(), nil
+}

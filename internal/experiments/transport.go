@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/preprocess"
+	"repro/internal/sodee"
+	"repro/internal/value"
+	"repro/internal/workloads"
+)
+
+// The transport experiment tracks what the real wire costs: the same
+// whole-stack SOD migration round trip is timed over the simulated
+// Gigabit fabric and over real TCP loopback sockets, so the transport
+// overhead (kernel socket path, framing, goroutine wakeups versus the
+// model's shaped latency) stays visible in the perf trajectory as the
+// runtime grows.
+
+// TransportRow is one fabric's migration cost summary.
+type TransportRow struct {
+	Fabric     string
+	Trips      int
+	Median     time.Duration // median end-to-end migration latency
+	P90        time.Duration
+	Transfer   time.Duration // median wire time (capture/restore excluded)
+	StateBytes int64         // per-migration payload
+	PerSec     float64       // sequential migration round trips per second
+}
+
+// TransportConfig sizes the experiment.
+type TransportConfig struct {
+	Trips int   // migration round trips per fabric (default 12)
+	Iters int64 // cruncher iterations per job — must outlive the migration (default 400k)
+}
+
+func (c *TransportConfig) defaults() {
+	if c.Trips <= 0 {
+		c.Trips = 12
+	}
+	if c.Iters <= 0 {
+		c.Iters = 400_000
+	}
+}
+
+// transportTrips runs cfg.Trips sequential whole-stack migrations on a
+// two-node cluster and summarizes their metrics.
+func transportTrips(c *sodee.Cluster, fabric string, cfg TransportConfig) (TransportRow, error) {
+	home := c.Nodes[1]
+	var latencies, transfers []time.Duration
+	var stateBytes int64
+	start := time.Now()
+	for trip := 0; trip < cfg.Trips; trip++ {
+		job, err := home.Mgr.StartJob("main", value.Int(int64(trip)), value.Int(cfg.Iters))
+		if err != nil {
+			return TransportRow{}, err
+		}
+		mm, err := home.Mgr.MigrateSOD(job, sodee.SODOptions{
+			NFrames: sodee.WholeStack, Dest: 2, Flow: sodee.FlowReturnHome,
+		})
+		if err != nil {
+			return TransportRow{}, fmt.Errorf("%s trip %d: %w", fabric, trip, err)
+		}
+		if _, err := job.Wait(); err != nil {
+			return TransportRow{}, err
+		}
+		latencies = append(latencies, mm.Latency)
+		transfers = append(transfers, mm.Transfer)
+		stateBytes += mm.StateBytes
+	}
+	elapsed := time.Since(start)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sort.Slice(transfers, func(i, j int) bool { return transfers[i] < transfers[j] })
+	row := TransportRow{
+		Fabric:     fabric,
+		Trips:      cfg.Trips,
+		Median:     latencies[len(latencies)/2],
+		P90:        latencies[len(latencies)*9/10],
+		Transfer:   transfers[len(transfers)/2],
+		StateBytes: stateBytes / int64(cfg.Trips),
+	}
+	if elapsed > 0 {
+		row.PerSec = float64(cfg.Trips) / elapsed.Seconds()
+	}
+	return row, nil
+}
+
+// Transport measures migration latency/throughput over the simulated
+// fabric and over TCP loopback.
+func Transport(cfg TransportConfig) ([]TransportRow, error) {
+	cfg.defaults()
+	prog := preprocess.MustPreprocess(workloads.Cruncher(),
+		preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+
+	var rows []TransportRow
+
+	// Simulated Gigabit fabric (the paper's cluster interconnect).
+	sim, err := sodee.NewCluster(prog, netsim.Gigabit,
+		sodee.NodeConfig{ID: 1, Preloaded: true},
+		sodee.NodeConfig{ID: 2, Preloaded: true},
+	)
+	if err != nil {
+		return nil, err
+	}
+	simRow, err := transportTrips(sim, "netsim gigabit", cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, simRow)
+
+	// Real TCP loopback sockets.
+	tcp := sodee.NewTransportCluster(prog)
+	tr1, err := netsim.NewTCPTransport(1, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer tr1.Close() //nolint:errcheck
+	tr2, err := netsim.NewTCPTransport(2, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer tr2.Close() //nolint:errcheck
+	if _, err := tr1.Connect(tr2.Addr()); err != nil {
+		return nil, err
+	}
+	n1, err := tcp.AddNodeOn(sodee.NodeConfig{ID: 1, Preloaded: true}, tr1)
+	if err != nil {
+		return nil, err
+	}
+	n2, err := tcp.AddNodeOn(sodee.NodeConfig{ID: 2, Preloaded: true}, tr2)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	n1.Members.Join(2, now)
+	n2.Members.Join(1, now)
+	tcpRow, err := transportTrips(tcp, "tcp loopback", cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, tcpRow)
+	return rows, nil
+}
+
+// RenderTransport formats the comparison.
+func RenderTransport(rows []TransportRow) string {
+	var b strings.Builder
+	b.WriteString("\nTransport — whole-stack migration cost by fabric\n")
+	b.WriteString("(same protocol, simulated Gigabit vs real TCP loopback)\n\n")
+	fmt.Fprintf(&b, "%-16s %6s %12s %12s %12s %10s %10s\n",
+		"fabric", "trips", "median", "p90", "wire(med)", "state", "migr/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %6d %12s %12s %12s %9dB %10.1f\n",
+			r.Fabric, r.Trips,
+			r.Median.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+			r.Transfer.Round(time.Microsecond), r.StateBytes, r.PerSec)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,325 @@
+// Package membership implements heartbeat-based failure detection for the
+// cluster runtime. Every node runs one Tracker over the peers it knows;
+// liveness evidence is piggybacked on the load gossip the balancer already
+// exchanges (a received KindLoadReport is a heartbeat), supplemented by
+// direct send failures. A peer that stays silent past SuspectAfter becomes
+// Suspect, past DeadAfter becomes Dead; any fresh evidence of life flips
+// it back to Alive — rejoin heals. State transitions are published to
+// subscribers (the balancer feeds them into the failure-aware
+// policy.Scheduler), so liveness flows into scheduling decisions without
+// anyone calling SetNodeDown: the simulated network keeps that switch as a
+// fault-injection hook which this detector must *observe*, never be told
+// about.
+//
+// The tracker is deliberately transport-agnostic and free of goroutines:
+// callers advance it with Sweep from whatever loop already paces their
+// gossip (the balancer tick, a daemon's heartbeat loop), which keeps the
+// detector deterministic under test.
+package membership
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a peer's liveness verdict.
+type State int
+
+const (
+	// Alive: fresh evidence of life.
+	Alive State = iota
+	// Suspect: silent past SuspectAfter, or one send to it failed. Not
+	// routed to, but not yet given up on.
+	Suspect
+	// Dead: silent past DeadAfter, or several consecutive sends failed.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Options tunes the detector. Zero values select defaults sized for a
+// gossip period in the low tens of milliseconds. SuspectAfter must stay
+// well above the sweep/heartbeat period: Sweep treats an inter-sweep gap
+// larger than SuspectAfter as the sweeper's own stall and forgives the
+// silence, so a detector swept less often than that never times anyone
+// out (internal/daemon scales these with its interval automatically).
+type Options struct {
+	// SuspectAfter: no evidence for this long → Suspect (default 150ms).
+	SuspectAfter time.Duration
+	// DeadAfter: no evidence for this long → Dead (default 500ms).
+	DeadAfter time.Duration
+	// FailuresToDead: this many consecutive send failures → Dead without
+	// waiting for the timeout (default 3). The first failure always moves
+	// the peer to Suspect.
+	FailuresToDead int
+}
+
+func (o *Options) defaults() {
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 150 * time.Millisecond
+	}
+	if o.DeadAfter <= o.SuspectAfter {
+		o.DeadAfter = o.SuspectAfter + 350*time.Millisecond
+	}
+	if o.FailuresToDead <= 0 {
+		o.FailuresToDead = 3
+	}
+}
+
+// Event is one peer's state transition.
+type Event struct {
+	Node  int
+	State State
+}
+
+// Member is a snapshot row.
+type Member struct {
+	Node      int
+	State     State
+	LastHeard time.Time
+	Failures  int // consecutive send failures
+}
+
+type peerRec struct {
+	state     State
+	lastHeard time.Time
+	failures  int
+}
+
+// Tracker is one node's view of its peers' liveness.
+type Tracker struct {
+	self int
+	opts Options
+
+	mu        sync.Mutex
+	peers     map[int]*peerRec
+	subs      map[int]func(Event)
+	nextSub   int
+	lastSweep time.Time
+}
+
+// New builds a tracker for node self.
+func New(self int, opts Options) *Tracker {
+	opts.defaults()
+	return &Tracker{
+		self:  self,
+		opts:  opts,
+		peers: make(map[int]*peerRec),
+		subs:  make(map[int]func(Event)),
+	}
+}
+
+// Self returns the owning node's id.
+func (t *Tracker) Self() int { return t.self }
+
+// OnChange subscribes fn to state transitions; the returned cancel
+// removes the subscription. fn runs outside the tracker's lock.
+func (t *Tracker) OnChange(fn func(Event)) (cancel func()) {
+	t.mu.Lock()
+	id := t.nextSub
+	t.nextSub++
+	t.subs[id] = fn
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		delete(t.subs, id)
+		t.mu.Unlock()
+	}
+}
+
+// notify delivers events to subscribers; call with t.mu NOT held.
+func (t *Tracker) notify(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	subs := make([]func(Event), 0, len(t.subs))
+	for _, fn := range t.subs {
+		subs = append(subs, fn)
+	}
+	t.mu.Unlock()
+	for _, ev := range evs {
+		for _, fn := range subs {
+			fn(ev)
+		}
+	}
+}
+
+// Join registers a peer as Alive with a fresh grace period. Joining an
+// already-known peer refreshes its evidence (a rejoin heals).
+func (t *Tracker) Join(node int, now time.Time) {
+	if node == t.self {
+		return
+	}
+	t.mu.Lock()
+	evs := t.observeLocked(node, now)
+	t.mu.Unlock()
+	t.notify(evs)
+}
+
+// Forget drops a peer from the view entirely (it left on purpose).
+func (t *Tracker) Forget(node int) {
+	t.mu.Lock()
+	delete(t.peers, node)
+	t.mu.Unlock()
+}
+
+// Observe records evidence that node is alive (a heartbeat or load report
+// arrived, an RPC answered). Unknown peers are auto-registered: gossip
+// can outrun the join protocol.
+func (t *Tracker) Observe(node int, now time.Time) {
+	if node == t.self {
+		return
+	}
+	t.mu.Lock()
+	evs := t.observeLocked(node, now)
+	t.mu.Unlock()
+	t.notify(evs)
+}
+
+func (t *Tracker) observeLocked(node int, now time.Time) []Event {
+	p, ok := t.peers[node]
+	if !ok {
+		p = &peerRec{state: Alive, lastHeard: now}
+		t.peers[node] = p
+		return nil
+	}
+	p.failures = 0
+	if p.lastHeard.Before(now) {
+		p.lastHeard = now
+	}
+	if p.state != Alive {
+		p.state = Alive
+		return []Event{{Node: node, State: Alive}}
+	}
+	return nil
+}
+
+// ObserveFailure records a failed send to node. The first failure makes
+// the peer Suspect immediately (cheap safety: one bad RPC stops routing
+// until the next heartbeat clears it); FailuresToDead consecutive
+// failures make it Dead without waiting for the silence timeout.
+func (t *Tracker) ObserveFailure(node int, now time.Time) {
+	if node == t.self {
+		return
+	}
+	t.mu.Lock()
+	p, ok := t.peers[node]
+	if !ok {
+		p = &peerRec{state: Alive, lastHeard: now}
+		t.peers[node] = p
+	}
+	p.failures++
+	var evs []Event
+	switch {
+	case p.failures >= t.opts.FailuresToDead && p.state != Dead:
+		p.state = Dead
+		evs = []Event{{Node: node, State: Dead}}
+	case p.failures < t.opts.FailuresToDead && p.state == Alive:
+		p.state = Suspect
+		evs = []Event{{Node: node, State: Suspect}}
+	}
+	t.mu.Unlock()
+	t.notify(evs)
+}
+
+// Sweep advances the suspicion clocks: peers silent past SuspectAfter
+// become Suspect, past DeadAfter become Dead. If the sweeper itself was
+// stalled (the gap since the previous sweep exceeds SuspectAfter — the
+// node was partitioned, suspended, or starved of CPU), the staleness is
+// the sweeper's fault, not the peers': every peer's evidence clock is
+// refreshed instead and no one is accused this round.
+func (t *Tracker) Sweep(now time.Time) {
+	t.mu.Lock()
+	gap := now.Sub(t.lastSweep)
+	stalled := !t.lastSweep.IsZero() && gap > t.opts.SuspectAfter
+	t.lastSweep = now
+	var evs []Event
+	if stalled {
+		for _, p := range t.peers {
+			if p.lastHeard.Before(now) {
+				p.lastHeard = now
+			}
+		}
+		t.mu.Unlock()
+		return
+	}
+	for node, p := range t.peers {
+		silent := now.Sub(p.lastHeard)
+		switch {
+		case silent > t.opts.DeadAfter && p.state != Dead:
+			p.state = Dead
+			evs = append(evs, Event{Node: node, State: Dead})
+		case silent > t.opts.SuspectAfter && p.state == Alive:
+			p.state = Suspect
+			evs = append(evs, Event{Node: node, State: Suspect})
+		}
+	}
+	t.mu.Unlock()
+	t.notify(evs)
+}
+
+// State returns the peer's current verdict (Dead for unknown peers:
+// never route to a node you have no evidence about).
+func (t *Tracker) State(node int) State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.peers[node]; ok {
+		return p.state
+	}
+	return Dead
+}
+
+// Alive reports whether node is currently considered alive.
+func (t *Tracker) Alive(node int) bool { return t.State(node) == Alive }
+
+// Known returns all registered peer ids in ascending order, whatever
+// their state — the gossip fan-out set (dead peers keep receiving
+// heartbeats so a rejoin is noticed).
+func (t *Tracker) Known() []int {
+	t.mu.Lock()
+	out := make([]int, 0, len(t.peers))
+	for id := range t.peers {
+		out = append(out, id)
+	}
+	t.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// AlivePeers returns the ids currently in the Alive state, ascending.
+func (t *Tracker) AlivePeers() []int {
+	t.mu.Lock()
+	out := make([]int, 0, len(t.peers))
+	for id, p := range t.peers {
+		if p.state == Alive {
+			out = append(out, id)
+		}
+	}
+	t.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// Snapshot returns a copy of the full view, sorted by node id.
+func (t *Tracker) Snapshot() []Member {
+	t.mu.Lock()
+	out := make([]Member, 0, len(t.peers))
+	for id, p := range t.peers {
+		out = append(out, Member{Node: id, State: p.state, LastHeard: p.lastHeard, Failures: p.failures})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

@@ -1,0 +1,247 @@
+package membership
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is a synthetic time source so every transition is deterministic.
+type clock struct{ now time.Time }
+
+func newClock() *clock { return &clock{now: time.Unix(1000, 0)} }
+
+func (c *clock) advance(d time.Duration) time.Time {
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+var testOpts = Options{
+	SuspectAfter:   100 * time.Millisecond,
+	DeadAfter:      300 * time.Millisecond,
+	FailuresToDead: 3,
+}
+
+// collectEvents subscribes a recorder to t and returns the accessor.
+func collectEvents(t *Tracker) func() []Event {
+	var mu sync.Mutex
+	var evs []Event
+	t.OnChange(func(e Event) {
+		mu.Lock()
+		evs = append(evs, e)
+		mu.Unlock()
+	})
+	return func() []Event {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Event(nil), evs...)
+	}
+}
+
+func TestSilenceEscalatesSuspectThenDead(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	events := collectEvents(tr)
+	tr.Join(2, ck.now)
+
+	if got := tr.State(2); got != Alive {
+		t.Fatalf("fresh peer state = %v", got)
+	}
+
+	// Sweeps must run often enough that the tracker does not conclude it
+	// was itself stalled.
+	for i := 0; i < 3; i++ {
+		tr.Sweep(ck.advance(50 * time.Millisecond))
+	}
+	if got := tr.State(2); got != Suspect {
+		t.Fatalf("after 150ms of silence state = %v, want suspect", got)
+	}
+	for i := 0; i < 4; i++ {
+		tr.Sweep(ck.advance(50 * time.Millisecond))
+	}
+	if got := tr.State(2); got != Dead {
+		t.Fatalf("after 350ms of silence state = %v, want dead", got)
+	}
+	want := []Event{{Node: 2, State: Suspect}, {Node: 2, State: Dead}}
+	if got := events(); !reflect.DeepEqual(got, want) {
+		t.Errorf("events = %+v, want %+v", got, want)
+	}
+}
+
+func TestHeartbeatKeepsAlive(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	tr.Join(2, ck.now)
+	for i := 0; i < 20; i++ {
+		now := ck.advance(50 * time.Millisecond)
+		tr.Observe(2, now)
+		tr.Sweep(now)
+	}
+	if got := tr.State(2); got != Alive {
+		t.Fatalf("heartbeating peer state = %v", got)
+	}
+}
+
+func TestRejoinHeals(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	events := collectEvents(tr)
+	tr.Join(2, ck.now)
+	for i := 0; i < 8; i++ {
+		tr.Sweep(ck.advance(50 * time.Millisecond))
+	}
+	if got := tr.State(2); got != Dead {
+		t.Fatalf("state = %v, want dead", got)
+	}
+	tr.Observe(2, ck.advance(50*time.Millisecond))
+	if got := tr.State(2); got != Alive {
+		t.Fatalf("state after rejoin = %v, want alive", got)
+	}
+	evs := events()
+	if last := evs[len(evs)-1]; last != (Event{Node: 2, State: Alive}) {
+		t.Errorf("last event = %+v, want alive", last)
+	}
+}
+
+func TestSendFailuresEscalate(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	events := collectEvents(tr)
+	tr.Join(2, ck.now)
+
+	tr.ObserveFailure(2, ck.advance(time.Millisecond))
+	if got := tr.State(2); got != Suspect {
+		t.Fatalf("after one failure state = %v, want suspect", got)
+	}
+	tr.ObserveFailure(2, ck.advance(time.Millisecond))
+	tr.ObserveFailure(2, ck.advance(time.Millisecond))
+	if got := tr.State(2); got != Dead {
+		t.Fatalf("after three failures state = %v, want dead", got)
+	}
+	want := []Event{{Node: 2, State: Suspect}, {Node: 2, State: Dead}}
+	if got := events(); !reflect.DeepEqual(got, want) {
+		t.Errorf("events = %+v, want %+v", got, want)
+	}
+
+	// A successful heartbeat resets the failure count entirely.
+	tr.Observe(2, ck.advance(time.Millisecond))
+	tr.ObserveFailure(2, ck.advance(time.Millisecond))
+	if got := tr.State(2); got != Suspect {
+		t.Fatalf("after heal + one failure state = %v, want suspect", got)
+	}
+}
+
+func TestStalledSweeperAccusesNoOne(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	tr.Join(2, ck.now)
+	tr.Sweep(ck.advance(10 * time.Millisecond))
+
+	// The sweeper goes silent for far longer than DeadAfter (partition,
+	// CPU starvation, suspended process). On resume the stale evidence
+	// must be forgiven, not turned into accusations.
+	tr.Sweep(ck.advance(2 * time.Second))
+	if got := tr.State(2); got != Alive {
+		t.Fatalf("state after sweeper stall = %v, want alive", got)
+	}
+	// Silence from here on still escalates normally.
+	for i := 0; i < 8; i++ {
+		tr.Sweep(ck.advance(50 * time.Millisecond))
+	}
+	if got := tr.State(2); got != Dead {
+		t.Fatalf("state = %v, want dead", got)
+	}
+}
+
+func TestUnknownPeerIsDeadAndAutoRegisters(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	if got := tr.State(9); got != Dead {
+		t.Fatalf("unknown peer state = %v, want dead", got)
+	}
+	tr.Observe(9, ck.now) // gossip outran the join protocol
+	if got := tr.State(9); got != Alive {
+		t.Fatalf("auto-registered peer state = %v, want alive", got)
+	}
+	if got := tr.Known(); !reflect.DeepEqual(got, []int{9}) {
+		t.Fatalf("known = %v", got)
+	}
+}
+
+func TestSelfIsNeverTracked(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	tr.Join(1, ck.now)
+	tr.Observe(1, ck.now)
+	tr.ObserveFailure(1, ck.now)
+	if got := tr.Known(); len(got) != 0 {
+		t.Fatalf("tracker tracks itself: %v", got)
+	}
+}
+
+func TestSnapshotAndAlivePeers(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	tr.Join(3, ck.now)
+	tr.Join(2, ck.now)
+	tr.ObserveFailure(3, ck.now)
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap[0].Node != 2 || snap[1].Node != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[1].State != Suspect || snap[1].Failures != 1 {
+		t.Fatalf("snapshot row = %+v, want suspect with 1 failure", snap[1])
+	}
+	if got := tr.AlivePeers(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("alive peers = %v", got)
+	}
+}
+
+func TestOnChangeCancel(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	var n int
+	cancel := tr.OnChange(func(Event) { n++ })
+	tr.Join(2, ck.now)
+	tr.ObserveFailure(2, ck.now)
+	if n != 1 {
+		t.Fatalf("events before cancel = %d, want 1", n)
+	}
+	cancel()
+	tr.ObserveFailure(2, ck.now)
+	tr.ObserveFailure(2, ck.now)
+	if n != 1 {
+		t.Fatalf("events after cancel = %d, want 1", n)
+	}
+}
+
+// TestConcurrentUse exercises the tracker under -race: evidence,
+// sweeps and snapshots from many goroutines at once.
+func TestConcurrentUse(t *testing.T) {
+	tr := New(1, Options{})
+	tr.OnChange(func(Event) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				now := time.Now()
+				switch i % 4 {
+				case 0:
+					tr.Observe(2+g, now)
+				case 1:
+					tr.ObserveFailure(2+g, now)
+				case 2:
+					tr.Sweep(now)
+				case 3:
+					tr.Snapshot()
+					tr.Known()
+					tr.State(2 + g)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

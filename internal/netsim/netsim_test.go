@@ -2,7 +2,9 @@ package netsim
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -184,8 +186,8 @@ func TestTCPRoundTrip(t *testing.T) {
 	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
 		return append([]byte("tcp:"), payload...), nil
 	})
-	if err := a.Connect(2, b.Addr()); err != nil {
-		t.Fatal(err)
+	if id, err := a.Connect(b.Addr()); err != nil || id != 2 {
+		t.Fatalf("connect: id=%d err=%v", id, err)
 	}
 	reply, err := a.Call(2, KindControl, []byte("ping"))
 	if err != nil {
@@ -207,8 +209,8 @@ func TestTCPBidirectionalAfterSingleConnect(t *testing.T) {
 	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
 		return []byte("from-b"), nil
 	})
-	if err := a.Connect(2, b.Addr()); err != nil {
-		t.Fatal(err)
+	if id, err := a.Connect(b.Addr()); err != nil || id != 2 {
+		t.Fatalf("connect: id=%d err=%v", id, err)
 	}
 	if r, err := a.Call(2, KindControl, nil); err != nil || string(r) != "from-b" {
 		t.Fatalf("a→b: %q %v", r, err)
@@ -238,8 +240,8 @@ func TestTCPRemoteError(t *testing.T) {
 	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("remote boom")
 	})
-	if err := a.Connect(2, b.Addr()); err != nil {
-		t.Fatal(err)
+	if id, err := a.Connect(b.Addr()); err != nil || id != 2 {
+		t.Fatalf("connect: id=%d err=%v", id, err)
 	}
 	if _, err := a.Call(2, KindControl, nil); err == nil {
 		t.Fatal("expected remote error to propagate")
@@ -258,8 +260,8 @@ func TestTCPLargePayload(t *testing.T) {
 		}
 		return []byte{sum}, nil
 	})
-	if err := a.Connect(2, b.Addr()); err != nil {
-		t.Fatal(err)
+	if id, err := a.Connect(b.Addr()); err != nil || id != 2 {
+		t.Fatalf("connect: id=%d err=%v", id, err)
 	}
 	big := make([]byte, 4<<20)
 	for i := range big {
@@ -305,5 +307,172 @@ func TestSetNodeDown(t *testing.T) {
 	net.SetNodeDown(2, false)
 	if reply, err := a.Call(2, KindControl, []byte("y")); err != nil || string(reply) != "y" {
 		t.Fatalf("after recovery: reply=%q err=%v", reply, err)
+	}
+}
+
+// --- TCP transport hardening ---
+
+// TestTCPConnectRetries: daemons race at startup — Connect must keep
+// dialing with backoff until the listener appears.
+func TestTCPConnectRetries(t *testing.T) {
+	// Reserve an address, then free it so the first dials are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() //nolint:errcheck
+
+	a, _ := NewTCPTransport(1, "127.0.0.1:0")
+	defer a.Close() //nolint:errcheck
+
+	var late *TCPTransport
+	var lateMu sync.Mutex
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		b, berr := NewTCPTransport(2, addr)
+		if berr != nil {
+			return // port stolen by another process; Connect will time out
+		}
+		lateMu.Lock()
+		late = b
+		lateMu.Unlock()
+	}()
+	id, err := a.Connect(addr)
+	lateMu.Lock()
+	b := late
+	lateMu.Unlock()
+	if b == nil {
+		t.Skip("reserved port was taken before the late listener started")
+	}
+	defer b.Close() //nolint:errcheck
+	if err != nil || id != 2 {
+		t.Fatalf("connect with retry: id=%d err=%v", id, err)
+	}
+}
+
+// TestTCPConnectGivesUp: a dial that never succeeds must return an
+// ErrUnreachable-wrapped error, not hang.
+func TestTCPConnectGivesUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() //nolint:errcheck
+
+	a, _ := NewTCPTransport(1, "127.0.0.1:0")
+	defer a.Close() //nolint:errcheck
+	a.dialMax = 100 * time.Millisecond
+	if _, err := a.Connect(addr); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("expected unreachable, got %v", err)
+	}
+}
+
+// TestTCPPendingCallFailsWhenPeerDies: a Call in flight when the remote
+// transport closes must fail promptly with an unreachable error instead
+// of blocking forever.
+func TestTCPPendingCallFailsWhenPeerDies(t *testing.T) {
+	a, _ := NewTCPTransport(1, "127.0.0.1:0")
+	defer a.Close() //nolint:errcheck
+	b, _ := NewTCPTransport(2, "127.0.0.1:0")
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		select {} // never answers
+	})
+	if _, err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.Call(2, KindControl, []byte("stuck"))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Close() //nolint:errcheck
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("expected unreachable, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call blocked after peer death")
+	}
+	// Later calls fail fast: the dead peer was dropped.
+	if _, err := a.Call(2, KindControl, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call to dropped peer: %v", err)
+	}
+}
+
+// TestTCPCloseIdempotentUnderConcurrentCalls: Close must be safe to call
+// repeatedly and concurrently with a storm of Calls; every call returns.
+func TestTCPCloseIdempotentUnderConcurrentCalls(t *testing.T) {
+	a, _ := NewTCPTransport(1, "127.0.0.1:0")
+	b, _ := NewTCPTransport(2, "127.0.0.1:0")
+	defer b.Close() //nolint:errcheck
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		time.Sleep(time.Millisecond)
+		return payload, nil
+	})
+	if _, err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a.Call(2, KindControl, []byte("x")) //nolint:errcheck // success and failure both fine mid-close
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(5 * time.Millisecond)
+			a.Close() //nolint:errcheck
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("calls or closes deadlocked")
+	}
+	if err := a.Close(); err != a.Close() { //nolint:staticcheck // idempotency check
+		t.Fatal("repeated Close returned different errors")
+	}
+}
+
+// TestTCPCallTimeout: a peer whose socket stays open but whose handler
+// never answers must not wedge the caller when CallTimeout is set.
+func TestTCPCallTimeout(t *testing.T) {
+	a, _ := NewTCPTransport(1, "127.0.0.1:0")
+	defer a.Close() //nolint:errcheck
+	b, _ := NewTCPTransport(2, "127.0.0.1:0")
+	defer b.Close() //nolint:errcheck
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		select {} // zombie: alive connection, no reply ever
+	})
+	if _, err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	a.CallTimeout = 100 * time.Millisecond
+	start := time.Now()
+	_, err := a.Call(2, KindControl, []byte("x"))
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("expected unreachable on timeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	// The stale correlation was dropped; the transport keeps working.
+	b.Handle(KindControl, func(from int, payload []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if r, err := a.Call(2, KindControl, nil); err != nil || string(r) != "ok" {
+		t.Fatalf("call after timeout: %q %v", r, err)
 	}
 }

@@ -7,55 +7,110 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // TCPTransport implements Transport over real TCP sockets (loopback in
-// tests, any network in principle). It exists to demonstrate that the
-// runtime layers are genuinely message-oriented: the same migration
-// protocol that runs over the simulated fabric runs unchanged over
-// sockets. Bandwidth is whatever the kernel gives; experiments that need
-// controlled bandwidth use the simulated Network.
+// tests, any network in principle). It exists so the runtime layers are
+// genuinely message-oriented: the same migration protocol that runs over
+// the simulated fabric runs unchanged over sockets. Bandwidth is whatever
+// the kernel gives; experiments that need controlled bandwidth use the
+// simulated Network.
 //
 // Framing: every message is
 //
 //	[1B kind][1B flags][8B correlation id][4B length][payload]
 //
 // flags bit0 = reply, bit1 = error-reply (payload is the error string).
+// A fresh connection starts with an 8-byte hello carrying the dialer's
+// node id; the accepter answers with its own 8-byte hello, so Connect
+// discovers the peer's id from the handshake (daemons join by address,
+// not by pre-shared id).
+//
+// Delivery failures wrap ErrUnreachable so the crash classifiers in the
+// runtime layers treat a dead socket exactly like a dead simulated node.
 type TCPTransport struct {
 	id int
 
 	mu       sync.Mutex
 	handlers map[MsgKind]Handler
-	peers    map[int]*tcpPeer
+	peers    map[int]*tcpConn
+	waiting  map[uint64]*tcpPending
 	listener net.Listener
-	waiting  map[uint64]chan tcpReply
-	corr     atomic.Uint64
-	closed   atomic.Bool
+
+	corr      atomic.Uint64
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+
+	// Tunables for Connect's dial retry (fixed; fields so tests can
+	// shorten them).
+	dialBackoff time.Duration
+	dialMax     time.Duration
+
+	// CallTimeout, when non-zero, bounds how long a Call waits for its
+	// reply. A connection that *dies* already fails pending calls via
+	// dropConn; the timeout covers the remaining case — a peer whose
+	// socket stays open but which never answers (stopped process,
+	// packet-dropping partition) — so a caller's loop cannot wedge on a
+	// zombie. Set it before the transport is shared across goroutines.
+	CallTimeout time.Duration
 }
 
-type tcpPeer struct {
-	mu   sync.Mutex // serializes writes
+// tcpConn wraps one established connection; mu serializes frame writes.
+type tcpConn struct {
+	mu   sync.Mutex
 	conn net.Conn
+}
+
+func (c *tcpConn) writeFrame(kind MsgKind, flags byte, corr uint64, payload []byte) error {
+	hdr := make([]byte, 14)
+	hdr[0] = byte(kind)
+	hdr[1] = flags
+	binary.LittleEndian.PutUint64(hdr[2:], corr)
+	binary.LittleEndian.PutUint32(hdr[10:], uint32(len(payload)))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
 }
 
 type tcpReply struct {
 	payload []byte
 	err     string
+	// lost marks a transport-level failure (connection died, transport
+	// closed) rather than a remote handler error; Call wraps these in
+	// ErrUnreachable for the crash classifiers.
+	lost bool
+}
+
+// tcpPending is one in-flight Call: the reply channel and the connection
+// the request went out on, so the call can be failed fast when that
+// connection dies instead of blocking forever.
+type tcpPending struct {
+	ch chan tcpReply
+	c  *tcpConn
 }
 
 // NewTCPTransport starts a transport listening on addr ("127.0.0.1:0"
-// for an ephemeral port). Peers are added explicitly with Connect.
+// for an ephemeral port). Peers are added with Connect, or implicitly
+// when they dial us.
 func NewTCPTransport(id int, addr string) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	t := &TCPTransport{
-		id:       id,
-		handlers: make(map[MsgKind]Handler),
-		peers:    make(map[int]*tcpPeer),
-		waiting:  make(map[uint64]chan tcpReply),
-		listener: ln,
+		id:          id,
+		handlers:    make(map[MsgKind]Handler),
+		peers:       make(map[int]*tcpConn),
+		waiting:     make(map[uint64]*tcpPending),
+		listener:    ln,
+		dialBackoff: 10 * time.Millisecond,
+		dialMax:     5 * time.Second,
 	}
 	go t.acceptLoop()
 	return t, nil
@@ -74,38 +129,113 @@ func (t *TCPTransport) Handle(kind MsgKind, h Handler) {
 	t.mu.Unlock()
 }
 
-// Connect dials a peer and registers it under peerID. The first message
-// on a fresh connection is a hello frame carrying our node id, so the
-// peer can route replies and requests back.
-func (t *TCPTransport) Connect(peerID int, addr string) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
+func putHello(id int) []byte {
 	hello := make([]byte, 8)
-	binary.LittleEndian.PutUint64(hello, uint64(t.id))
-	if _, err := conn.Write(hello); err != nil {
-		conn.Close() //nolint:errcheck
-		return err
-	}
-	p := &tcpPeer{conn: conn}
-	t.mu.Lock()
-	t.peers[peerID] = p
-	t.mu.Unlock()
-	go t.readLoop(conn)
-	return nil
+	binary.LittleEndian.PutUint64(hello, uint64(id))
+	return hello
 }
 
-// Close shuts the transport down.
-func (t *TCPTransport) Close() error {
-	t.closed.Store(true)
-	err := t.listener.Close()
+// Connect dials a peer, performs the id handshake, registers the
+// connection and returns the peer's node id. Daemons race at startup, so
+// a refused dial is retried with doubling backoff until the transport's
+// dial deadline (~5s) expires.
+func (t *TCPTransport) Connect(addr string) (int, error) {
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(t.dialMax)
+	for backoff := t.dialBackoff; ; backoff *= 2 {
+		if t.closed.Load() {
+			return 0, fmt.Errorf("tcp: node %d: transport closed: %w", t.id, ErrSelfDown)
+		}
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("tcp: node %d dial %s: %v: %w", t.id, addr, err, ErrUnreachable)
+		}
+		if remain := time.Until(deadline); backoff > remain {
+			backoff = remain
+		}
+		time.Sleep(backoff)
+	}
+	if _, err := conn.Write(putHello(t.id)); err != nil {
+		conn.Close() //nolint:errcheck
+		return 0, fmt.Errorf("tcp: node %d hello to %s: %v: %w", t.id, addr, err, ErrUnreachable)
+	}
+	hello := make([]byte, 8)
+	if _, err := io.ReadFull(conn, hello); err != nil {
+		conn.Close() //nolint:errcheck
+		return 0, fmt.Errorf("tcp: node %d handshake with %s: %v: %w", t.id, addr, err, ErrUnreachable)
+	}
+	peerID := int(binary.LittleEndian.Uint64(hello))
+	c := &tcpConn{conn: conn}
+	t.addPeer(peerID, c)
+	go t.readLoop(peerID, c)
+	return peerID, nil
+}
+
+// addPeer registers c as the connection for peerID, superseding any
+// previous one (simultaneous dials in both directions leave the newest).
+func (t *TCPTransport) addPeer(peerID int, c *tcpConn) {
 	t.mu.Lock()
-	for _, p := range t.peers {
-		p.conn.Close() //nolint:errcheck
+	t.peers[peerID] = c
+	closed := t.closed.Load()
+	t.mu.Unlock()
+	if closed {
+		c.conn.Close() //nolint:errcheck
+	}
+}
+
+// dropConn forgets a dead connection: the peer entry is removed (if it
+// still points at this connection) and every Call waiting on it fails
+// with an unreachable error instead of blocking forever.
+func (t *TCPTransport) dropConn(peerID int, c *tcpConn) {
+	t.mu.Lock()
+	if t.peers[peerID] == c {
+		delete(t.peers, peerID)
+	}
+	var stranded []*tcpPending
+	for corr, p := range t.waiting {
+		if p.c == c {
+			stranded = append(stranded, p)
+			delete(t.waiting, corr)
+		}
 	}
 	t.mu.Unlock()
-	return err
+	c.conn.Close() //nolint:errcheck
+	for _, p := range stranded {
+		p.ch <- tcpReply{err: fmt.Sprintf("connection to node %d lost", peerID), lost: true}
+	}
+}
+
+// Close shuts the transport down: the listener stops, every connection
+// is closed and every pending Call fails. Safe to call more than once
+// and concurrently with Calls.
+func (t *TCPTransport) Close() error {
+	t.closeOnce.Do(func() {
+		t.closed.Store(true)
+		t.closeErr = t.listener.Close()
+		t.mu.Lock()
+		conns := make([]*tcpConn, 0, len(t.peers))
+		for _, c := range t.peers {
+			conns = append(conns, c)
+		}
+		t.peers = make(map[int]*tcpConn)
+		stranded := make([]*tcpPending, 0, len(t.waiting))
+		for _, p := range t.waiting {
+			stranded = append(stranded, p)
+		}
+		t.waiting = make(map[uint64]*tcpPending)
+		t.mu.Unlock()
+		for _, c := range conns {
+			c.conn.Close() //nolint:errcheck
+		}
+		for _, p := range stranded {
+			p.ch <- tcpReply{err: "transport closed", lost: true}
+		}
+	})
+	return t.closeErr
 }
 
 func (t *TCPTransport) acceptLoop() {
@@ -114,17 +244,20 @@ func (t *TCPTransport) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go func(c net.Conn) {
+		go func(nc net.Conn) {
 			hello := make([]byte, 8)
-			if _, err := io.ReadFull(c, hello); err != nil {
-				c.Close() //nolint:errcheck
+			if _, err := io.ReadFull(nc, hello); err != nil {
+				nc.Close() //nolint:errcheck
+				return
+			}
+			if _, err := nc.Write(putHello(t.id)); err != nil {
+				nc.Close() //nolint:errcheck
 				return
 			}
 			peerID := int(binary.LittleEndian.Uint64(hello))
-			t.mu.Lock()
-			t.peers[peerID] = &tcpPeer{conn: c}
-			t.mu.Unlock()
-			t.readLoop(c)
+			c := &tcpConn{conn: nc}
+			t.addPeer(peerID, c)
+			t.readLoop(peerID, c)
 		}(conn)
 	}
 }
@@ -134,25 +267,11 @@ const (
 	flagErr   = 1 << 1
 )
 
-func writeFrame(p *tcpPeer, kind MsgKind, flags byte, corr uint64, payload []byte) error {
-	hdr := make([]byte, 14)
-	hdr[0] = byte(kind)
-	hdr[1] = flags
-	binary.LittleEndian.PutUint64(hdr[2:], corr)
-	binary.LittleEndian.PutUint32(hdr[10:], uint32(len(payload)))
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, err := p.conn.Write(hdr); err != nil {
-		return err
-	}
-	_, err := p.conn.Write(payload)
-	return err
-}
-
-func (t *TCPTransport) readLoop(conn net.Conn) {
+func (t *TCPTransport) readLoop(peerID int, c *tcpConn) {
+	defer t.dropConn(peerID, c)
 	for {
 		hdr := make([]byte, 14)
-		if _, err := io.ReadFull(conn, hdr); err != nil {
+		if _, err := io.ReadFull(c.conn, hdr); err != nil {
 			return
 		}
 		kind := MsgKind(hdr[0])
@@ -160,22 +279,22 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		corr := binary.LittleEndian.Uint64(hdr[2:])
 		n := binary.LittleEndian.Uint32(hdr[10:])
 		payload := make([]byte, n)
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		if _, err := io.ReadFull(c.conn, payload); err != nil {
 			return
 		}
 
 		if flags&flagReply != 0 {
 			t.mu.Lock()
-			ch := t.waiting[corr]
+			p := t.waiting[corr]
 			delete(t.waiting, corr)
 			t.mu.Unlock()
-			if ch != nil {
+			if p != nil {
 				rep := tcpReply{payload: payload}
 				if flags&flagErr != 0 {
 					rep.err = string(payload)
 					rep.payload = nil
 				}
-				ch <- rep
+				p.ch <- rep
 			}
 			continue
 		}
@@ -189,63 +308,77 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 			if h == nil {
 				herr = fmt.Errorf("tcp: node %d has no handler for kind %d", t.id, kind)
 			} else {
-				reply, herr = h(-1, payload)
+				reply, herr = h(peerID, payload)
 			}
 			if corr == 0 {
 				return // one-way message
 			}
-			p := t.peerByConn(conn)
-			if p == nil {
-				return
-			}
 			if herr != nil {
-				writeFrame(p, kind, flagReply|flagErr, corr, []byte(herr.Error())) //nolint:errcheck
+				c.writeFrame(kind, flagReply|flagErr, corr, []byte(herr.Error())) //nolint:errcheck
 				return
 			}
-			writeFrame(p, kind, flagReply, corr, reply) //nolint:errcheck
+			c.writeFrame(kind, flagReply, corr, reply) //nolint:errcheck
 		}(kind, corr, payload)
 	}
 }
 
-func (t *TCPTransport) peerByConn(conn net.Conn) *tcpPeer {
+func (t *TCPTransport) peer(to int) (*tcpConn, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, p := range t.peers {
-		if p.conn == conn {
-			return p
-		}
-	}
-	return nil
-}
-
-func (t *TCPTransport) peer(to int) (*tcpPeer, error) {
-	t.mu.Lock()
-	p := t.peers[to]
+	c := t.peers[to]
 	t.mu.Unlock()
-	if p == nil {
-		return nil, fmt.Errorf("tcp: node %d not connected to %d", t.id, to)
+	if t.closed.Load() {
+		return nil, fmt.Errorf("tcp: node %d: transport closed: %w", t.id, ErrSelfDown)
 	}
-	return p, nil
+	if c == nil {
+		return nil, fmt.Errorf("tcp: node %d not connected to %d: %w", t.id, to, ErrUnreachable)
+	}
+	return c, nil
 }
 
-// Call performs a blocking request/response round trip.
+// Call performs a blocking request/response round trip. A connection
+// that dies mid-call fails the call, and CallTimeout (when set) bounds
+// the wait on a peer that stays connected but silent.
 func (t *TCPTransport) Call(to int, kind MsgKind, payload []byte) ([]byte, error) {
-	p, err := t.peer(to)
+	c, err := t.peer(to)
 	if err != nil {
 		return nil, err
 	}
 	corr := t.corr.Add(1)
-	ch := make(chan tcpReply, 1)
+	p := &tcpPending{ch: make(chan tcpReply, 1), c: c}
 	t.mu.Lock()
-	t.waiting[corr] = ch
+	if t.closed.Load() {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("tcp: node %d: transport closed: %w", t.id, ErrSelfDown)
+	}
+	t.waiting[corr] = p
 	t.mu.Unlock()
-	if err := writeFrame(p, kind, 0, corr, payload); err != nil {
+	if err := c.writeFrame(kind, 0, corr, payload); err != nil {
 		t.mu.Lock()
 		delete(t.waiting, corr)
 		t.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("tcp: node %d send to %d: %v: %w", t.id, to, err, ErrUnreachable)
 	}
-	rep := <-ch
+	var rep tcpReply
+	if t.CallTimeout > 0 {
+		timer := time.NewTimer(t.CallTimeout)
+		select {
+		case rep = <-p.ch:
+			timer.Stop()
+		case <-timer.C:
+			t.mu.Lock()
+			delete(t.waiting, corr)
+			t.mu.Unlock()
+			// A reply racing the timeout lands in the buffered channel and
+			// is dropped with it.
+			return nil, fmt.Errorf("tcp: node %d call to %d timed out after %v: %w",
+				t.id, to, t.CallTimeout, ErrUnreachable)
+		}
+	} else {
+		rep = <-p.ch
+	}
+	if rep.lost {
+		return nil, fmt.Errorf("tcp: node %d call to %d: %s: %w", t.id, to, rep.err, ErrUnreachable)
+	}
 	if rep.err != "" {
 		return nil, fmt.Errorf("tcp: remote %d: %s", to, rep.err)
 	}
@@ -254,11 +387,14 @@ func (t *TCPTransport) Call(to int, kind MsgKind, payload []byte) ([]byte, error
 
 // Send delivers a one-way message.
 func (t *TCPTransport) Send(to int, kind MsgKind, payload []byte) error {
-	p, err := t.peer(to)
+	c, err := t.peer(to)
 	if err != nil {
 		return err
 	}
-	return writeFrame(p, kind, 0, 0, payload)
+	if err := c.writeFrame(kind, 0, 0, payload); err != nil {
+		return fmt.Errorf("tcp: node %d send to %d: %v: %w", t.id, to, err, ErrUnreachable)
+	}
+	return nil
 }
 
 var _ Transport = (*TCPTransport)(nil)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/membership"
 	"repro/internal/netsim"
 	"repro/internal/policy"
 	"repro/internal/wire"
@@ -17,8 +18,14 @@ import (
 // Nodes gossip cheap load signals over the fabric (KindLoadReport); a
 // Balancer watches every node's running jobs, asks a policy.Scheduler
 // when and where each should go, and executes the verdicts as whole-stack
-// SOD migrations. Nodes that stop answering are marked failed and never
-// chosen again (until recovery).
+// SOD migrations.
+//
+// Liveness is heartbeat-driven: every load report doubles as a heartbeat
+// into the receiver's membership tracker, and send failures feed it too.
+// A node that falls silent is suspected, then declared dead, and the
+// tracker's verdicts flow into the failure-aware scheduler — nothing in
+// this engine is ever *told* a node died (netsim's SetNodeDown is a
+// fault-injection hook the detector observes, not an input).
 
 // --- load signals: sampling and gossip ---
 
@@ -50,22 +57,41 @@ func (m *Manager) LocalSignals() policy.Signals {
 	}
 }
 
-// PublishLoad gossips this node's signals to every peer. It returns the
-// sampled signals and the per-peer send errors (an unreachable peer is a
-// crash signal for the balancer).
+// PublishLoad gossips this node's signals to every peer the membership
+// tracker knows — dead ones included, so a rejoined node is noticed. It
+// returns the sampled signals and the per-peer send errors (an
+// unreachable peer is crash evidence for the failure detector).
 func (m *Manager) PublishLoad() (policy.Signals, map[int]error) {
 	s := m.LocalSignals()
-	payload := encodeSignals(s)
+	payload := EncodeSignals(s)
 	errs := make(map[int]error)
-	for id := range m.node.Cluster.Nodes {
-		if id == m.node.ID {
-			continue
-		}
+	for _, id := range m.node.Members.Known() {
 		if err := m.node.EP.Send(id, netsim.KindLoadReport, payload); err != nil {
 			errs[id] = err
 		}
 	}
 	return s, errs
+}
+
+// GossipTick runs one heartbeat round: publish the local load, feed the
+// outcome into the node's failure detector, and advance its suspicion
+// clocks. It returns the sampled signals and whether the node considers
+// itself connected; a node whose own uplink is gone (netsim marks this
+// with ErrSelfDown) accuses nobody — its silence is for the *peers'*
+// detectors to notice.
+func (m *Manager) GossipTick() (policy.Signals, bool) {
+	sig, errs := m.PublishLoad()
+	for _, err := range errs {
+		if errors.Is(err, netsim.ErrSelfDown) {
+			return sig, false
+		}
+	}
+	now := time.Now()
+	for id := range errs {
+		m.node.Members.ObserveFailure(id, now)
+	}
+	m.node.Members.Sweep(now)
+	return sig, true
 }
 
 // PeerSignals returns the last gossiped report from each peer, sorted by
@@ -101,17 +127,20 @@ func (m *Manager) RunningJobs() []*Job {
 }
 
 func (m *Manager) handleLoadReport(from int, payload []byte) ([]byte, error) {
-	s, err := decodeSignals(payload)
+	s, err := DecodeSignals(payload)
 	if err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
 	m.peerLoads[s.Node] = s
 	m.mu.Unlock()
+	// Every load report doubles as a heartbeat: the sender is alive.
+	m.node.Members.Observe(s.Node, time.Now())
 	return nil, nil
 }
 
-func encodeSignals(s policy.Signals) []byte {
+// EncodeSignals serializes a load report for the wire.
+func EncodeSignals(s policy.Signals) []byte {
 	w := wire.NewWriter(64)
 	w.Varint(int64(s.Node))
 	w.Varint(int64(s.Runnable))
@@ -126,7 +155,8 @@ func encodeSignals(s policy.Signals) []byte {
 	return w.Bytes()
 }
 
-func decodeSignals(payload []byte) (policy.Signals, error) {
+// DecodeSignals parses a wire-format load report.
+func DecodeSignals(payload []byte) (policy.Signals, error) {
 	r := wire.NewReader(payload)
 	s := policy.Signals{
 		Node:     int(r.Varint()),
@@ -179,17 +209,23 @@ type Balancer struct {
 	done     chan struct{}
 	stopOnce sync.Once
 
+	// unsubscribe detaches the membership subscriptions feeding sched.
+	unsubscribe []func()
+
 	mu    sync.Mutex
 	stats BalanceStats
 }
 
 // AutoBalance starts the adaptive offload engine over this cluster: every
-// Interval, nodes gossip their load signals and the given policy decides,
-// per running job, whether to stay or migrate and where. Decisions are
-// executed as SOD migrations; destinations that turn out unreachable are
-// marked failed and excluded from every later verdict, and a migration
-// that fails in flight falls back to local execution (the job is never
-// wedged). Call Stop to halt the loop; the cluster keeps working.
+// Interval, nodes gossip their load signals (each report doubling as a
+// heartbeat) and the given policy decides, per running job, whether to
+// stay or migrate and where. Decisions are executed as SOD migrations.
+// Liveness flows from the nodes' membership trackers into the
+// failure-aware scheduler: a destination that stops heartbeating — or
+// fails a send — is excluded from every later verdict until it is heard
+// from again, and a migration that fails in flight falls back to local
+// execution (the job is never wedged). Call Stop to halt the loop; the
+// cluster keeps working.
 func (c *Cluster) AutoBalance(p policy.Policy, opts BalanceOptions) *Balancer {
 	if opts.Interval <= 0 {
 		opts.Interval = time.Millisecond
@@ -207,6 +243,24 @@ func (c *Cluster) AutoBalance(p policy.Policy, opts BalanceOptions) *Balancer {
 	b.mu.Lock()
 	b.stats.MigrationsTo = make(map[int]int)
 	b.mu.Unlock()
+	// Membership verdicts drive the scheduler's failed set: any node's
+	// tracker declaring a peer suspect/dead bars it as a destination;
+	// hearing from it again readmits it.
+	for _, n := range c.Nodes {
+		cancel := n.Members.OnChange(func(ev membership.Event) {
+			if ev.State == membership.Alive {
+				b.sched.MarkAlive(ev.Node)
+			} else {
+				b.sched.MarkFailed(ev.Node)
+			}
+		})
+		b.unsubscribe = append(b.unsubscribe, cancel)
+		for _, mem := range n.Members.Snapshot() {
+			if mem.State != membership.Alive {
+				b.sched.MarkFailed(mem.Node)
+			}
+		}
+	}
 	go b.loop()
 	return b
 }
@@ -232,6 +286,13 @@ func (b *Balancer) Stats() BalanceStats {
 func (b *Balancer) Stop() {
 	b.stopOnce.Do(func() { close(b.stop) })
 	<-b.done
+	b.mu.Lock()
+	cancels := b.unsubscribe
+	b.unsubscribe = nil
+	b.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
 }
 
 func (b *Balancer) loop() {
@@ -258,6 +319,16 @@ func (b *Balancer) nodeIDs() []int {
 	return ids
 }
 
+// staticRTT is the round-trip hint for a link with no measured latency
+// yet: the simulated fabric knows its configured propagation delay; a
+// real transport starts at zero and relies on measurements.
+func (b *Balancer) staticRTT(a, peer int) time.Duration {
+	if b.c.Net == nil {
+		return 0
+	}
+	return 2 * b.c.Net.LinkSpecBetween(a, peer).Latency
+}
+
 // tick runs one gossip round followed by one decision round.
 func (b *Balancer) tick() {
 	b.mu.Lock()
@@ -266,35 +337,19 @@ func (b *Balancer) tick() {
 
 	ids := b.nodeIDs()
 
-	// Gossip: every live node publishes its signals. A peer that cannot
-	// be reached is marked failed; a node that cannot send is itself down
-	// and is marked failed instead (its stale reports must not attract
-	// jobs — and its healthy peers must not be blamed for its silence).
-	// A peer that answers gossip again is marked alive: recovery heals.
+	// Gossip: every node heartbeats its load signals, and the outcome
+	// feeds its failure detector (see GossipTick). A node whose own
+	// uplink is gone is skipped for the decision round — its stale view
+	// must not issue migrations — and its silence gets it suspected by
+	// the peers' detectors, whose verdicts reach the scheduler through
+	// the membership subscription.
 	localSig := make(map[int]policy.Signals, len(ids))
+	connected := make(map[int]bool, len(ids))
 	for _, id := range ids {
 		n := b.c.Nodes[id]
-		if b.c.Net.NodeDown(id) {
-			b.sched.MarkFailed(id)
-			continue
-		}
-		sig, errs := n.Mgr.PublishLoad()
+		sig, ok := n.Mgr.GossipTick()
 		localSig[id] = sig
-		for _, peer := range ids {
-			if peer == id {
-				continue
-			}
-			err, failed := errs[peer]
-			switch {
-			case !failed:
-				b.sched.MarkAlive(peer)
-			case errors.Is(err, netsim.ErrSelfDown):
-				// The sender itself went down mid-tick.
-				b.sched.MarkFailed(id)
-			default:
-				b.sched.MarkFailed(peer)
-			}
-		}
+		connected[id] = ok
 	}
 
 	// Decide: per node, per running job. The working copies of the local
@@ -302,7 +357,7 @@ func (b *Balancer) tick() {
 	// tick does not dump an entire burst onto the same idle destination.
 	for _, id := range ids {
 		n := b.c.Nodes[id]
-		if b.c.Net.NodeDown(id) {
+		if !connected[id] {
 			continue
 		}
 		jobs := n.Mgr.RunningJobs()
@@ -319,9 +374,15 @@ func (b *Balancer) tick() {
 		// Runnable may have moved since the gossip sample; refresh it.
 		local.Runnable = n.VM.NumThreads()
 		peers := n.Mgr.PeerSignals()
+		// RTT: prefer the EWMA of measured migration wire latencies; fall
+		// back to the static link hint until a migration has been timed.
 		rtt := make(map[int]time.Duration, len(peers))
 		for _, p := range peers {
-			rtt[p.Node] = 2 * b.c.Net.LinkSpecBetween(id, p.Node).Latency
+			if lat, measured := n.Mgr.WireLatency(p.Node); measured {
+				rtt[p.Node] = lat
+			} else {
+				rtt[p.Node] = b.staticRTT(id, p.Node)
+			}
 		}
 		for _, job := range jobs {
 			view := policy.View{Local: local, Peers: peers, RTT: rtt}
@@ -340,6 +401,9 @@ func (b *Balancer) tick() {
 				b.stats.FailedMigrations++
 				b.mu.Unlock()
 				if isUnreachable(err) {
+					// Crash evidence for the detector; the scheduler mark
+					// follows from the membership event.
+					n.Members.ObserveFailure(d.Dest, time.Now())
 					b.sched.MarkFailed(d.Dest)
 				}
 				continue

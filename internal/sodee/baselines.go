@@ -114,6 +114,7 @@ func (m *Manager) MigrateProcess(job *Job, dest int) (*MigrationMetrics, error) 
 	mm.Latency = mm.Capture + mm.Transfer + mm.Restore
 	mm.Freeze = mm.Latency
 	m.record(mm)
+	m.observeWireLatency(dest, mm.Transfer)
 	return &mm, nil
 }
 
@@ -282,6 +283,7 @@ func (m *Manager) MigrateThread(job *Job, dest int) (*MigrationMetrics, error) {
 	mm.Latency = mm.Capture + mm.Transfer + mm.Restore
 	mm.Freeze = mm.Latency
 	m.record(mm)
+	m.observeWireLatency(dest, mm.Transfer)
 	return &mm, nil
 }
 

@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bytecode"
+	"repro/internal/membership"
 	"repro/internal/netsim"
 	"repro/internal/objman"
 	"repro/internal/osimage"
@@ -151,19 +153,29 @@ type NodeConfig struct {
 	// migration stack (unlike SysDevice, which models a JVMTI-less
 	// handset).
 	Slow int
+	// Membership tunes the node's failure detector (zero = defaults).
+	Membership membership.Options
 }
 
-// Node is one machine of the simulated cluster.
+// Node is one machine of the cluster. EP is the node's attachment to
+// whatever fabric the cluster runs over — the simulated network or real
+// TCP sockets; everything above speaks the Transport interface only.
 type Node struct {
 	ID     int
 	System System
 	Prog   *bytecode.Program
 	VM     *vm.VM
 	Agent  *toolif.Agent
-	EP     *netsim.Endpoint
+	EP     netsim.Transport
 	ObjMan *objman.Manager
 	Codec  serial.Codec
 	Image  *osimage.Image
+
+	// Members is the node's liveness view of its peers: heartbeats
+	// piggybacked on load gossip keep peers Alive, silence and send
+	// failures escalate them to Suspect then Dead. The balancer feeds
+	// these verdicts into the failure-aware scheduler.
+	Members *membership.Tracker
 
 	// Cores and Speed echo the capacity configuration for load signals:
 	// Cores is the modeled CPU width (0 = unlimited), Speed the relative
@@ -198,7 +210,11 @@ func (n *Node) SetLocation(loc int) {
 	n.mu.Unlock()
 }
 
-// Cluster is a set of nodes sharing one program and one fabric.
+// Cluster is a set of nodes sharing one program and one fabric. Net is
+// the simulated network when the cluster was built with NewCluster; a
+// transport cluster (real TCP daemons, one local node per process)
+// leaves it nil, and everything in the runtime must go through each
+// node's Transport instead.
 type Cluster struct {
 	Net   *netsim.Network
 	Prog  *bytecode.Program
@@ -206,7 +222,7 @@ type Cluster struct {
 }
 
 // NewCluster builds a cluster of nodes running prog (already preprocessed
-// as appropriate for the systems under test).
+// as appropriate for the systems under test) over a simulated fabric.
 func NewCluster(prog *bytecode.Program, link netsim.LinkSpec, configs ...NodeConfig) (*Cluster, error) {
 	c := &Cluster{
 		Net:   netsim.NewNetwork(link),
@@ -223,10 +239,44 @@ func NewCluster(prog *bytecode.Program, link netsim.LinkSpec, configs ...NodeCon
 	return c, nil
 }
 
-// AddNode creates and wires one node.
+// NewTransportCluster builds a cluster shell with no simulated fabric;
+// nodes are attached to explicit transports with AddNodeOn. This is the
+// construction the TCP daemons use: each process holds one local node,
+// and the peer set lives in the node's membership tracker rather than in
+// Nodes.
+func NewTransportCluster(prog *bytecode.Program) *Cluster {
+	return &Cluster{Prog: prog, Nodes: make(map[int]*Node)}
+}
+
+// AddNode creates one node attached to the cluster's simulated fabric.
 func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
+	if c.Net == nil {
+		return nil, fmt.Errorf("sodee: cluster has no simulated fabric; use AddNodeOn")
+	}
+	n, err := c.AddNodeOn(cfg, c.Net.Node(cfg.ID))
+	if err != nil {
+		return nil, err
+	}
+	// In-process clusters know the full roster up front: register every
+	// pair in each other's membership view.
+	now := time.Now()
+	for id, o := range c.Nodes {
+		if id == n.ID {
+			continue
+		}
+		o.Members.Join(n.ID, now)
+		n.Members.Join(id, now)
+	}
+	return n, nil
+}
+
+// AddNodeOn creates and wires one node speaking tr.
+func (c *Cluster) AddNodeOn(cfg NodeConfig, tr netsim.Transport) (*Node, error) {
 	if _, dup := c.Nodes[cfg.ID]; dup {
 		return nil, fmt.Errorf("sodee: duplicate node id %d", cfg.ID)
+	}
+	if tr.NodeID() != cfg.ID {
+		return nil, fmt.Errorf("sodee: node id %d does not match transport id %d", cfg.ID, tr.NodeID())
 	}
 	v := vm.New(c.Prog, cfg.ID, cfg.Preloaded)
 	v.Profile = profileFor(cfg.System)
@@ -252,7 +302,7 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 		}
 		speed = 1 / (1 + float64(slow)/6)
 	}
-	ep := c.Net.Node(cfg.ID)
+	ep := tr
 	codec := serial.Fast
 	switch cfg.System {
 	case SysGJavaMPI, SysDevice:
@@ -269,6 +319,7 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 		Speed:    speed,
 		location: cfg.ID,
 		Cluster:  c,
+		Members:  membership.New(cfg.ID, cfg.Membership),
 	}
 	if cfg.System != SysJDK && cfg.System != SysDevice {
 		n.Agent = toolif.Attach(v)

@@ -136,6 +136,12 @@ type Manager struct {
 	lastInstr  uint64
 	lastSample time.Time
 
+	// wireLat holds an EWMA of the measured per-migration wire latency to
+	// each destination — the cost-model calibration source: once a real
+	// transfer has been timed, policies score that link by observation
+	// instead of by static hint.
+	wireLat map[int]time.Duration
+
 	// Metrics of migrations this node initiated.
 	Migrations []MigrationMetrics
 }
@@ -146,6 +152,7 @@ func newManager(n *Node) *Manager {
 		routes:      make(map[uint64]*route),
 		jobs:        make(map[uint64]*Job),
 		peerLoads:   make(map[int]policy.Signals),
+		wireLat:     make(map[int]time.Duration),
 		classSource: -1,
 	}
 	n.EP.Handle(netsim.KindMigrate, m.handleMigrate)
@@ -164,6 +171,7 @@ func (m *Manager) reset() {
 	m.routes = make(map[uint64]*route)
 	m.jobs = make(map[uint64]*Job)
 	m.peerLoads = make(map[int]policy.Signals)
+	m.wireLat = make(map[int]time.Duration)
 	m.Migrations = nil
 	m.classSource = -1
 	m.classBytes = 0
@@ -183,6 +191,46 @@ func (m *Manager) record(mm MigrationMetrics) {
 	m.mu.Lock()
 	m.Migrations = append(m.Migrations, mm)
 	m.mu.Unlock()
+}
+
+// ewmaAlpha weights fresh wire-latency samples against history: heavy
+// enough that a link-speed change shows within a few migrations, light
+// enough that one outlier does not repaint the picture.
+const ewmaAlpha = 0.3
+
+// observeWireLatency folds one measured transfer time into the per-
+// destination EWMA the balancer reads as the link's RTT estimate.
+func (m *Manager) observeWireLatency(dest int, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	if prev, ok := m.wireLat[dest]; ok {
+		m.wireLat[dest] = time.Duration(float64(prev)*(1-ewmaAlpha) + float64(d)*ewmaAlpha)
+	} else {
+		m.wireLat[dest] = d
+	}
+	m.mu.Unlock()
+}
+
+// WireLatency returns the calibrated wire latency toward dest, and
+// whether any migration to dest has been measured yet.
+func (m *Manager) WireLatency(dest int) (time.Duration, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.wireLat[dest]
+	return d, ok
+}
+
+// WireLatencies snapshots the calibrated per-destination latencies.
+func (m *Manager) WireLatencies() map[int]time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]time.Duration, len(m.wireLat))
+	for id, d := range m.wireLat {
+		out[id] = d
+	}
+	return out
 }
 
 // codecFor picks the wire codec for talking to a destination: device
@@ -511,6 +559,7 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	mm.Latency = mm.Capture + mm.Transfer + mm.Restore
 	mm.Freeze = mm.Latency
 	m.record(mm)
+	m.observeWireLatency(opts.Dest, mm.Transfer)
 	return &mm, nil
 }
 
