@@ -6,7 +6,11 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke elastic cluster-smoke
+# Seed matrix for the chaos harness (comma-separated; each seed derives a
+# distinct set of job identities for every scenario).
+CHAOS_SEEDS ?= 1,7,42
+
+.PHONY: check vet build test race bench-smoke elastic cluster-smoke chaos
 
 check: vet build race bench-smoke
 
@@ -35,3 +39,9 @@ elastic:
 # discovery, AutoBalance over real sockets, heartbeat crash detection.
 cluster-smoke:
 	$(GO) test -race -count=1 -v ./internal/daemon
+
+# The chaos harness under -race across the fixed seed matrix: scripted
+# crashes, rejoins and slowdowns while the balancer pushes, steals and
+# re-balances — every job must complete exactly once.
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run TestChaosScenarios -v ./internal/sodee

@@ -8,6 +8,7 @@
 //	sodbench -table fig5         # the code-size comparison
 //	sodbench -table elastic      # adaptive offload vs no-migration vs hand placement
 //	sodbench -table transport    # migration cost: simulated fabric vs TCP loopback
+//	sodbench -table steal        # work stealing: push-only vs push+steal makespan
 package main
 
 import (
@@ -19,10 +20,12 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,7,roam,fig5,elastic,transport,all")
+	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,7,roam,fig5,elastic,transport,steal,all")
 	elasticJobs := flag.Int("elastic-jobs", 0, "elastic: burst size (0 = default 8)")
 	elasticIters := flag.Int64("elastic-iters", 0, "elastic: iterations per job (0 = default)")
 	transportTrips := flag.Int("transport-trips", 0, "transport: migrations per fabric (0 = default 12)")
+	stealJobs := flag.Int("steal-jobs", 0, "steal: burst size (0 = default 8)")
+	stealIters := flag.Int64("steal-iters", 0, "steal: iterations per job (0 = default)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -111,6 +114,16 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderTransport(rows))
+		return nil
+	})
+	run("steal", func() error {
+		rows, err := experiments.Steal(experiments.StealConfig{
+			Jobs: *stealJobs, Iters: *stealIters,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSteal(rows))
 		return nil
 	})
 	run("elastic", func() error {

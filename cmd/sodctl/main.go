@@ -56,12 +56,16 @@ func printMembers(c *daemon.Client) {
 }
 
 func printStats(c *daemon.Client) {
-	st, err := c.Stats()
+	st, ss, err := c.Stats()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ticks %d  decisions %d  migrations %d  failed %d\n",
-		st.Ticks, st.Decisions, st.Migrations, st.FailedMigrations)
+	fmt.Printf("ticks %d  decisions %d  migrations %d (pushed %d, stolen %d, rebalanced %d)  failed %d\n",
+		st.Ticks, st.Decisions, st.Migrations, st.Pushed, st.Stolen, st.Rebalanced, st.FailedMigrations)
+	if ss.RequestsSent+ss.RequestsServed > 0 {
+		fmt.Printf("steal: sent %d (won %d)  served %d (granted %d, denied %d, failed transfers %d)\n",
+			ss.RequestsSent, ss.Won, ss.RequestsServed, ss.Granted, ss.Denied, ss.FailedTransfers)
+	}
 	dests := make([]int, 0, len(st.MigrationsTo))
 	for d := range st.MigrationsTo {
 		dests = append(dests, d)

@@ -32,6 +32,9 @@ func main() {
 	cores := flag.Int("cores", 0, "modeled CPU width (0 = unlimited)")
 	slow := flag.Int("slow", 0, "per-instruction throttle (0 = full speed)")
 	pol := flag.String("policy", "threshold", "offload policy: threshold, cost, rr, none")
+	steal := flag.Bool("steal", false, "work stealing: pull jobs from loaded peers while idle, serve steal requests while loaded")
+	hopBudget := flag.Int("hop-budget", 0, "lifetime migration cap per job (0 = default, negative = unlimited)")
+	cooldown := flag.Duration("cooldown", 0, "quarantine before a job may revisit a node it left (0 = default)")
 	interval := flag.Duration("interval", 10*time.Millisecond, "balance/heartbeat interval")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	flag.Parse()
@@ -43,8 +46,10 @@ func main() {
 	d, err := daemon.New(daemon.Config{
 		ID: *id, Listen: *listen, Workload: *workload,
 		Cores: *cores, Slow: *slow,
-		Policy: *pol, Interval: *interval,
-		Logf: logf,
+		Policy: *pol, Steal: *steal,
+		HopBudget: *hopBudget, Cooldown: *cooldown,
+		Interval: *interval,
+		Logf:     logf,
 	})
 	if err != nil {
 		log.Fatal(err)

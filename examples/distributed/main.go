@@ -111,7 +111,7 @@ func main() {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	st, err := ctl.Stats()
+	st, _, err := ctl.Stats()
 	if err != nil {
 		log.Fatal(err)
 	}

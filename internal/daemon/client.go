@@ -137,13 +137,15 @@ func (c *Client) Run(method string, timeout time.Duration, args ...int64) (int64
 	return res, nil
 }
 
-// Stats queries the daemon's balancer counters.
-func (c *Client) Stats() (sodee.BalanceStats, error) {
+// Stats queries the daemon's balancer counters, including the
+// per-direction migration split (pushed / stolen / rebalanced) and the
+// node's steal counters.
+func (c *Client) Stats() (sodee.BalanceStats, sodee.StealStats, error) {
 	w := wire.NewWriter(1)
 	w.Byte(opStats)
 	reply, err := c.call(w.Bytes())
 	if err != nil {
-		return sodee.BalanceStats{}, err
+		return sodee.BalanceStats{}, sodee.StealStats{}, err
 	}
 	r := wire.NewReader(reply)
 	st := sodee.BalanceStats{
@@ -151,14 +153,25 @@ func (c *Client) Stats() (sodee.BalanceStats, error) {
 		Decisions:        int(r.Uvarint()),
 		Migrations:       int(r.Uvarint()),
 		FailedMigrations: int(r.Uvarint()),
+		Pushed:           int(r.Uvarint()),
+		Stolen:           int(r.Uvarint()),
+		Rebalanced:       int(r.Uvarint()),
 		MigrationsTo:     make(map[int]int),
+	}
+	ss := sodee.StealStats{
+		RequestsSent:    int(r.Uvarint()),
+		Won:             int(r.Uvarint()),
+		RequestsServed:  int(r.Uvarint()),
+		Granted:         int(r.Uvarint()),
+		Denied:          int(r.Uvarint()),
+		FailedTransfers: int(r.Uvarint()),
 	}
 	n := int(r.Uvarint())
 	for i := 0; i < n && r.Err() == nil; i++ {
 		dest := int(r.Varint())
 		st.MigrationsTo[dest] = int(r.Uvarint())
 	}
-	return st, r.Err()
+	return st, ss, r.Err()
 }
 
 // LoadInfo is a daemon's view of cluster load.

@@ -57,8 +57,17 @@ type Config struct {
 	Cores int
 	Slow  int
 	// Policy selects the offload policy: "threshold" (default), "cost",
-	// "rr", or "none" (heartbeats only, no automatic migration).
+	// "rr", or "none" (no automatic pushing; with Steal unset that means
+	// heartbeats only, with Steal set the node still pulls and serves
+	// steal requests).
 	Policy string
+	// Steal arms the pull half: this daemon issues steal requests while
+	// idle and answers peers' requests while loaded.
+	Steal bool
+	// HopBudget caps lifetime migrations per job (0 = policy default);
+	// Cooldown quarantines a job from nodes it recently left.
+	HopBudget int
+	Cooldown  time.Duration
 	// Interval paces the balance/heartbeat loop (default 10ms).
 	Interval time.Duration
 	// Membership tunes the failure detector (zero = defaults).
@@ -197,8 +206,16 @@ func New(cfg Config) (*Daemon, error) {
 			cfg.Logf("sodd[%d]: member %d is %v", cfg.ID, ev.Node, ev.State)
 		})
 	}
+	if pol == nil && cfg.Steal {
+		// Steal-only: the balance loop still runs (gossip, steals) but the
+		// push policy never fires.
+		pol = policy.Never{}
+	}
 	if pol != nil {
-		d.bal = c.AutoBalance(pol, sodee.BalanceOptions{Interval: cfg.Interval})
+		d.bal = c.AutoBalance(pol, sodee.BalanceOptions{
+			Interval: cfg.Interval, Steal: cfg.Steal,
+			HopBudget: cfg.HopBudget, Cooldown: cfg.Cooldown,
+		})
 	} else {
 		// No balancer: run the heartbeat loop alone so membership still
 		// detects crashes and rejoins.
@@ -235,6 +252,12 @@ func (d *Daemon) Stats() sodee.BalanceStats {
 		return sodee.BalanceStats{}
 	}
 	return d.bal.Stats()
+}
+
+// StealStats returns the node-level steal counters (requests sent and
+// served, grants, denials, failed transfers).
+func (d *Daemon) StealStats() sodee.StealStats {
+	return d.node.Mgr.StealStats()
 }
 
 // Stop halts balancing and heartbeats and tears the transport down —
@@ -572,11 +595,23 @@ func (d *Daemon) handleWait(r *wire.Reader) ([]byte, error) {
 
 func (d *Daemon) handleStats() ([]byte, error) {
 	st := d.Stats()
-	w := wire.NewWriter(64)
+	ss := d.StealStats()
+	w := wire.NewWriter(96)
 	w.Uvarint(uint64(st.Ticks))
 	w.Uvarint(uint64(st.Decisions))
 	w.Uvarint(uint64(st.Migrations))
 	w.Uvarint(uint64(st.FailedMigrations))
+	// Per-direction split: pushed / stolen / rebalanced.
+	w.Uvarint(uint64(st.Pushed))
+	w.Uvarint(uint64(st.Stolen))
+	w.Uvarint(uint64(st.Rebalanced))
+	// Node-level steal counters.
+	w.Uvarint(uint64(ss.RequestsSent))
+	w.Uvarint(uint64(ss.Won))
+	w.Uvarint(uint64(ss.RequestsServed))
+	w.Uvarint(uint64(ss.Granted))
+	w.Uvarint(uint64(ss.Denied))
+	w.Uvarint(uint64(ss.FailedTransfers))
 	w.Uvarint(uint64(len(st.MigrationsTo)))
 	for dest, cnt := range st.MigrationsTo {
 		w.Varint(int64(dest))

@@ -114,7 +114,7 @@ func TestThreeNodeClusterFormsAndBalances(t *testing.T) {
 		}
 	}
 
-	st, err := ctl.Stats()
+	st, _, err := ctl.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,4 +300,116 @@ func TestJoinSkipsDeadRosterMember(t *testing.T) {
 	waitMembers(t, d4, 1, 2)
 	waitMembers(t, d2, 1, 4)
 	_ = d3
+}
+
+// TestStealOnlyClusterSplitsStatsByDirection boots a steal-only cluster
+// (push policy "none", Steal armed): the idle strong daemons must pull
+// the weak node's burst entirely by stealing, and the control plane must
+// report the migration split per direction — stolen counted, pushed
+// zero — instead of one aggregate.
+func TestStealOnlyClusterSplitsStatsByDirection(t *testing.T) {
+	mk := func(id, cores, slow int) *Daemon {
+		d, err := New(Config{
+			ID: id, Cores: cores, Slow: slow,
+			Policy: "none", Steal: true,
+			// A long cooldown pins the test's direction asserts: once
+			// drained, the victim is idle and could otherwise steal a job
+			// back after the default 250ms quarantine on a slow host.
+			Cooldown: time.Minute,
+			Interval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("boot daemon %d: %v", id, err)
+		}
+		t.Cleanup(d.Stop)
+		return d
+	}
+	d1 := mk(1, 1, 16) // weak victim
+	d2 := mk(2, 0, 0)
+	d3 := mk(3, 0, 0)
+	if err := d2.Join(d1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d3.Join(d1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitMembers(t, d1, 2, 3)
+	waitMembers(t, d2, 1, 3)
+	waitMembers(t, d3, 1, 2)
+
+	ctl, err := Dial(d1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	// Heavier jobs than the push test: on a starved 1-CPU host the
+	// balancer reacts at ~10-20ms granularity, and a steal needs a full
+	// gossip round before the thief even sees a victim — short jobs can
+	// drain serially before the first request lands.
+	const njobs = 6
+	const stealIters = 4 * testIters
+	jobIDs := make([]uint64, njobs)
+	seeds := make([]int64, njobs)
+	for i := range jobIDs {
+		seeds[i] = int64(700 + i)
+		id, err := ctl.Submit("main", seeds[i], stealIters)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobIDs[i] = id
+	}
+	for i, id := range jobIDs {
+		res, done, errMsg, err := ctl.Wait(id, testTimeout)
+		if err != nil || !done || errMsg != "" {
+			t.Fatalf("job %d: done=%v errMsg=%q err=%v", i, done, errMsg, err)
+		}
+		if want := workloads.CruncherExpected(seeds[i], stealIters); res != want {
+			t.Errorf("job %d: result %d, want %d", i, res, want)
+		}
+	}
+
+	// The victim's view: it pushed nothing (policy none) and stole
+	// nothing (it was the loaded one), but it granted steals.
+	vicBal, vicSteal, err := ctl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vicBal.Pushed != 0 || vicBal.Stolen != 0 {
+		t.Errorf("victim should neither push nor steal: %+v", vicBal)
+	}
+	if vicSteal.Granted == 0 {
+		t.Errorf("victim granted no steals: %+v", vicSteal)
+	}
+
+	// The thieves' view: stolen > 0, pushed == 0, and the split sums.
+	totalStolen := 0
+	for _, d := range []*Daemon{d2, d3} {
+		ctl2, err := Dial(d.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bal, steal, err := ctl2.Stats()
+		ctl2.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bal.Pushed != 0 {
+			t.Errorf("daemon %d pushed %d jobs under policy none", d.ID(), bal.Pushed)
+		}
+		if bal.Migrations != bal.Pushed+bal.Stolen+bal.Rebalanced {
+			t.Errorf("daemon %d split %d+%d+%d does not sum to %d",
+				d.ID(), bal.Pushed, bal.Stolen, bal.Rebalanced, bal.Migrations)
+		}
+		if steal.Won != bal.Stolen {
+			t.Errorf("daemon %d wire stats disagree: won %d vs stolen %d", d.ID(), steal.Won, bal.Stolen)
+		}
+		totalStolen += bal.Stolen
+	}
+	if totalStolen == 0 {
+		t.Error("no daemon stole anything; the burst must have run serially")
+	}
+	if d2.Node().VM.LiveInstructions()+d3.Node().VM.LiveInstructions() == 0 {
+		t.Error("thieves executed nothing")
+	}
 }

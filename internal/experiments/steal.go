@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/preprocess"
+	"repro/internal/sodee"
+	"repro/internal/value"
+	"repro/internal/workloads"
+)
+
+// The steal experiment measures what the pull half of elasticity buys on
+// an idle-heavy cluster. Push policies are tuned conservatively in
+// practice (a high watermark avoids migration thrash), which leaves idle
+// capacity unclaimed: the loaded node sheds work only down to its
+// watermark and grinds through the rest alone. Work stealing attacks the
+// same gap from the other side — idle nodes pull — so the combination
+// drains the burst regardless of how cautious the push policy is. The
+// table compares the burst makespan under push-only and push+steal with
+// an identical (conservative) push policy.
+
+// StealRow is one scheme's outcome.
+type StealRow struct {
+	Scheme     string
+	Makespan   time.Duration
+	Pushed     int
+	Stolen     int
+	Rebalanced int
+	Correct    bool
+}
+
+// StealConfig sizes the experiment.
+type StealConfig struct {
+	Jobs  int   // burst size (default 8)
+	Iters int64 // crunch iterations per job (default 120k)
+	Slow  int   // weak-node spin throttle (default 24)
+	// HighWater is the push policy's watermark (default 4 — deliberately
+	// conservative, so push alone leaves the weak node loaded).
+	HighWater int
+}
+
+func (c *StealConfig) defaults() {
+	if c.Jobs <= 0 {
+		c.Jobs = 8
+	}
+	if c.Iters <= 0 {
+		c.Iters = 120_000
+	}
+	if c.Slow <= 0 {
+		c.Slow = 24
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 4
+	}
+}
+
+// stealCluster builds the idle-heavy cluster: one weak loaded node,
+// three idle strong ones.
+func stealCluster(cfg StealConfig) (*sodee.Cluster, error) {
+	prog := preprocess.MustPreprocess(workloads.Cruncher(),
+		preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+	return sodee.NewCluster(prog, netsim.Gigabit,
+		sodee.NodeConfig{ID: 1, Preloaded: true, Cores: 1, Slow: cfg.Slow},
+		sodee.NodeConfig{ID: 2, Preloaded: true, Cores: 2},
+		sodee.NodeConfig{ID: 3, Preloaded: true, Cores: 2},
+		sodee.NodeConfig{ID: 4, Preloaded: true, Cores: 2},
+	)
+}
+
+// stealBurst fires the burst on node 1 and waits for every result.
+func stealBurst(c *sodee.Cluster, cfg StealConfig) (time.Duration, bool, error) {
+	start := time.Now()
+	jobs := make([]*sodee.Job, cfg.Jobs)
+	seeds := make([]int64, cfg.Jobs)
+	for i := range jobs {
+		seeds[i] = int64(2000 + i)
+		j, err := c.Nodes[1].Mgr.StartJob("main", value.Int(seeds[i]), value.Int(cfg.Iters))
+		if err != nil {
+			return 0, false, err
+		}
+		jobs[i] = j
+	}
+	correct := true
+	for i, j := range jobs {
+		res, err := j.Wait()
+		if err != nil {
+			return 0, false, fmt.Errorf("steal job %d: %w", i, err)
+		}
+		if res.I != workloads.CruncherExpected(seeds[i], cfg.Iters) {
+			correct = false
+		}
+	}
+	return time.Since(start), correct, nil
+}
+
+// Steal runs the burst under push-only and push+steal and returns one
+// row per scheme, push-only first.
+func Steal(cfg StealConfig) ([]StealRow, error) {
+	cfg.defaults()
+	var rows []StealRow
+
+	run := func(scheme string, steal bool) error {
+		c, err := stealCluster(cfg)
+		if err != nil {
+			return err
+		}
+		b := c.AutoBalance(policy.Threshold{HighWater: cfg.HighWater}, sodee.BalanceOptions{
+			Interval: 300 * time.Microsecond,
+			Steal:    steal,
+		})
+		makespan, correct, err := stealBurst(c, cfg)
+		b.Stop()
+		if err != nil {
+			return err
+		}
+		st := b.Stats()
+		rows = append(rows, StealRow{
+			Scheme: scheme, Makespan: makespan,
+			Pushed: st.Pushed, Stolen: st.Stolen, Rebalanced: st.Rebalanced,
+			Correct: correct,
+		})
+		return nil
+	}
+
+	if err := run("push-only", false); err != nil {
+		return nil, err
+	}
+	if err := run("push+steal", true); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderSteal formats the comparison with the speedup of push+steal over
+// push-only.
+func RenderSteal(rows []StealRow) string {
+	var b strings.Builder
+	b.WriteString("\nWork stealing — burst makespan, push-only vs push+steal\n")
+	b.WriteString("(idle-heavy cluster: weak loaded node, 3 idle strong nodes,\n")
+	b.WriteString(" conservative push watermark leaves work stranded without steal)\n\n")
+	var base time.Duration
+	if len(rows) > 0 {
+		base = rows[0].Makespan
+	}
+	fmt.Fprintf(&b, "%-12s %12s %10s %8s %8s %12s %8s\n",
+		"scheme", "makespan", "speedup", "pushed", "stolen", "rebalanced", "correct")
+	for i, r := range rows {
+		speedup := "—"
+		if i > 0 && base > 0 && r.Makespan > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(base)/float64(r.Makespan))
+		}
+		fmt.Fprintf(&b, "%-12s %12s %10s %8d %8d %12d %8v\n",
+			r.Scheme, r.Makespan.Round(time.Millisecond), speedup,
+			r.Pushed, r.Stolen, r.Rebalanced, r.Correct)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStealSmall: both schemes compute correct results, push+steal
+// actually steals, and push-only never does.
+func TestStealSmall(t *testing.T) {
+	rows, err := Steal(StealConfig{Jobs: 4, Iters: 40_000, HighWater: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Correct {
+			t.Errorf("%s produced wrong results", r.Scheme)
+		}
+	}
+	if rows[0].Stolen != 0 {
+		t.Errorf("push-only stole %d jobs", rows[0].Stolen)
+	}
+	if rows[1].Stolen == 0 {
+		t.Error("push+steal never stole")
+	}
+	out := RenderSteal(rows)
+	if !strings.Contains(out, "push+steal") || !strings.Contains(out, "stolen") {
+		t.Errorf("render missing fields:\n%s", out)
+	}
+}
+
+// TestStealBeatsPushOnly is the acceptance shape: with a conservative
+// push watermark on an idle-heavy cluster, arming work stealing must
+// measurably shorten the burst makespan. The margin is generous (1.3×
+// where the typical run shows ~2×) to stay robust on loaded CI hardware.
+func TestStealBeatsPushOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steal comparison is seconds-long; skipping in short mode")
+	}
+	rows, err := Steal(StealConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushOnly, pushSteal := rows[0], rows[1]
+	if !pushOnly.Correct || !pushSteal.Correct {
+		t.Fatalf("wrong results: %+v", rows)
+	}
+	if pushOnly.Makespan == 0 || pushSteal.Makespan == 0 {
+		t.Fatalf("missing makespans: %+v", rows)
+	}
+	if float64(pushOnly.Makespan) < 1.3*float64(pushSteal.Makespan) {
+		t.Errorf("push+steal makespan %v not measurably faster than push-only %v",
+			pushSteal.Makespan, pushOnly.Makespan)
+	}
+}

@@ -44,6 +44,8 @@ const (
 	KindProcMigrate                      // G-JavaMPI eager process migration
 	KindThreadMigrate                    // JESSICA2 thread migration
 	KindLoadReport                       // policy engine: gossiped load signals
+	KindStealRequest                     // work stealing: idle thief asks a loaded victim for a job
+	KindStealGrant                       // work stealing: victim announces the job it is shipping
 )
 
 // Handler serves a request and returns the reply payload. Handlers run on

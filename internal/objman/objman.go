@@ -139,6 +139,21 @@ func (m *Manager) Fetch(ref value.Ref) (value.Ref, *vm.Raised) {
 	return local, nil
 }
 
+// HomeRef rewrites a reference to a locally cached copy into the home
+// reference it mirrors; every other value passes through. Migration uses
+// it on captured locals and statics so a stack that hops onward keeps
+// faulting objects from their true masters, never from an intermediate
+// node's cache (which may be gone by the time the next hop runs).
+func (m *Manager) HomeRef(v value.Value) value.Value {
+	if v.Kind != value.KindRef || v.R == value.NullRef {
+		return v
+	}
+	if o := m.VM.Heap.Get(v.R); o != nil && o.Home != value.NullRef {
+		return value.RefVal(o.Home)
+	}
+	return v
+}
+
 // StatsSnapshot returns a consistent copy of the counters, safe to read
 // while threads are faulting.
 func (m *Manager) StatsSnapshot() Stats {

@@ -3,6 +3,7 @@ package policy
 import (
 	"sort"
 	"sync"
+	"time"
 )
 
 // Scheduler is the cluster-level decision gate: it wraps a Policy with
@@ -15,6 +16,11 @@ import (
 type Scheduler struct {
 	policy Policy
 
+	// Gate bounds per-job migration when deciding through DecideJob: the
+	// hop budget and the anti-ping-pong cooldown. The zero value selects
+	// the package defaults. Set it before the scheduler is shared.
+	Gate HopGate
+
 	mu     sync.Mutex
 	failed map[int]bool
 
@@ -23,8 +29,11 @@ type Scheduler struct {
 	vetoes    int
 }
 
-// NewScheduler wraps p.
+// NewScheduler wraps p. A nil policy never migrates (steal-only setups).
 func NewScheduler(p Policy) *Scheduler {
+	if p == nil {
+		p = Never{}
+	}
 	return &Scheduler{policy: p, failed: make(map[int]bool)}
 }
 
@@ -75,14 +84,40 @@ func (s *Scheduler) Decisions() (total, vetoed int) {
 // Decide filters failed nodes out of the view, consults the policy, and
 // vetoes any verdict that targets a failed node anyway.
 func (s *Scheduler) Decide(v View) Decision {
+	return s.decide(v, nil, time.Time{})
+}
+
+// DecideJob is Decide with the per-job migration trace applied: peers the
+// hop gate forbids (the job left them inside the cooldown window) are
+// hidden from the policy, a job at its hop budget never migrates at all,
+// and — like the failure marks — any verdict that slips through to a
+// gated destination is vetoed. This is the entry point the balancer uses
+// per running job; Decide remains for trace-less callers.
+func (s *Scheduler) DecideJob(v View, tr Trace, now time.Time) Decision {
+	return s.decide(v, &tr, now)
+}
+
+func (s *Scheduler) decide(v View, tr *Trace, now time.Time) Decision {
+	if tr != nil && !s.Gate.Allow(Trace{Hops: tr.Hops}, -1, now) {
+		// Hop budget exhausted: no destination can be legal (the probe
+		// uses an empty visit set, so only the budget can refuse).
+		s.mu.Lock()
+		s.decisions++
+		s.mu.Unlock()
+		return Stay
+	}
 	s.mu.Lock()
 	s.decisions++
-	if len(s.failed) > 0 && len(v.Peers) > 0 {
+	if len(v.Peers) > 0 {
 		alive := make([]Signals, 0, len(v.Peers))
 		for _, p := range v.Peers {
-			if !s.failed[p.Node] {
-				alive = append(alive, p)
+			if s.failed[p.Node] {
+				continue
 			}
+			if tr != nil && !s.Gate.Allow(*tr, p.Node, now) {
+				continue
+			}
+			alive = append(alive, p)
 		}
 		v.Peers = alive
 	}
@@ -92,7 +127,7 @@ func (s *Scheduler) Decide(v View) Decision {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if d.Migrate && s.failed[d.Dest] {
+	if d.Migrate && (s.failed[d.Dest] || (tr != nil && !s.Gate.Allow(*tr, d.Dest, now))) {
 		s.vetoes++
 		return Stay
 	}

@@ -1,0 +1,168 @@
+package policy
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is the pull half of the decision layer. The push policies
+// (Threshold, CostModel, ...) let a *loaded* node decide to shed work;
+// work stealing inverts the initiative: an *idle* node picks a loaded
+// victim and asks it for a job. Both halves share the HopGate, which
+// bounds how far any one job can be shuffled — a hop budget so a job
+// cannot drift forever, and a cooldown so two nodes cannot ping-pong it.
+
+// Defaults for the hop gate. The budget counts migrations over a job's
+// lifetime (a first offload is hop 1); the cooldown is how long a job
+// must stay away from a node it just left.
+const (
+	DefaultHopBudget = 4
+	DefaultCooldown  = 250 * time.Millisecond
+)
+
+// Trace is one job's migration history as the decision layer sees it.
+type Trace struct {
+	// Hops already taken (0 for a job still on its origin node).
+	Hops int
+	// Visited maps node id → when the job last *left* that node.
+	Visited map[int]time.Time
+}
+
+// HopGate enforces the multi-hop limits. The zero value selects defaults.
+type HopGate struct {
+	// Budget is the lifetime migration cap per job (0 = DefaultHopBudget;
+	// negative = unlimited).
+	Budget int
+	// Cooldown is the revisit quarantine (0 = DefaultCooldown; negative =
+	// none).
+	Cooldown time.Duration
+}
+
+func (g HopGate) budget() int {
+	if g.Budget == 0 {
+		return DefaultHopBudget
+	}
+	return g.Budget
+}
+
+func (g HopGate) cooldown() time.Duration {
+	if g.Cooldown == 0 {
+		return DefaultCooldown
+	}
+	return g.Cooldown
+}
+
+// Allow reports whether moving a job with trace tr to dest at time now
+// respects both the hop budget and the revisit cooldown.
+func (g HopGate) Allow(tr Trace, dest int, now time.Time) bool {
+	if b := g.budget(); b >= 0 && tr.Hops >= b {
+		return false
+	}
+	if cd := g.cooldown(); cd > 0 {
+		if left, ok := tr.Visited[dest]; ok && now.Sub(left) < cd {
+			return false
+		}
+	}
+	return true
+}
+
+// --- the steal policy ---
+
+// Steal decides both sides of a work-stealing exchange: when an idle node
+// should go hunting (ShouldSteal) and when a loaded node should surrender
+// a job to a requester (Grant). Zero values select defaults matching the
+// Threshold push policy, so the two halves agree on what "loaded" means.
+type Steal struct {
+	// IdleMax: a node steals only while its runnable count is at or below
+	// this (default 0 — only truly idle nodes pull).
+	IdleMax int
+	// VictimWater: a victim must have more than this many runnable threads
+	// to be worth robbing, and to agree to be robbed (default 1, matching
+	// Threshold.HighWater: a node running a single job is never a victim).
+	VictimWater int
+	// Margin: the victim must have at least this many more runnable
+	// threads than the thief (default 2, the anti-swap margin).
+	Margin int
+}
+
+func (p Steal) idleMax() int { return p.IdleMax }
+
+func (p Steal) victimWater() int {
+	if p.VictimWater <= 0 {
+		return 1
+	}
+	return p.VictimWater
+}
+
+func (p Steal) margin() int {
+	if p.Margin <= 0 {
+		return 2
+	}
+	return p.Margin
+}
+
+// ShouldSteal is the thief side: with the local node idle, it picks the
+// most loaded peer worth robbing (ties toward the lowest node id, so
+// verdicts are deterministic). The view's peers must already be filtered
+// for liveness by the caller.
+func (p Steal) ShouldSteal(v View) (victim int, ok bool) {
+	if v.Local.Runnable > p.idleMax() {
+		return 0, false
+	}
+	best := Signals{Node: -1}
+	for _, peer := range v.Peers {
+		if peer.Runnable <= p.victimWater() || peer.Runnable-v.Local.Runnable < p.margin() {
+			continue
+		}
+		if best.Node < 0 || peer.Runnable > best.Runnable ||
+			(peer.Runnable == best.Runnable && peer.Node < best.Node) {
+			best = peer
+		}
+	}
+	if best.Node < 0 {
+		return 0, false
+	}
+	return best.Node, true
+}
+
+// Grant is the victim side: should this node, at the given load, give one
+// job to a thief reporting thiefRunnable? It mirrors ShouldSteal so a
+// stale thief view cannot talk a lightly loaded node out of its last jobs.
+func (p Steal) Grant(local Signals, thiefRunnable int) bool {
+	return local.Runnable > p.victimWater() && local.Runnable-thiefRunnable >= p.margin()
+}
+
+// JobInfo is what victim selection knows about one migratable job.
+type JobInfo struct {
+	ID    uint64
+	Trace Trace
+}
+
+// PickStealCandidate chooses which running job a victim surrenders to the
+// thief: among jobs the gate allows to move there, the one with the
+// fewest hops wins (prefer jobs that have not bounced around), lowest id
+// breaking ties. Returns false when no job is eligible.
+func PickStealCandidate(jobs []JobInfo, thief int, gate HopGate, now time.Time) (uint64, bool) {
+	ranked := append([]JobInfo(nil), jobs...) // rank a copy; the caller's order is not ours to change
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Trace.Hops != ranked[j].Trace.Hops {
+			return ranked[i].Trace.Hops < ranked[j].Trace.Hops
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	for _, j := range ranked {
+		if gate.Allow(j.Trace, thief, now) {
+			return j.ID, true
+		}
+	}
+	return 0, false
+}
+
+// --- the null policy ---
+
+// Never is the policy that never pushes: useful for steal-only balancers
+// (pull is the only migration initiative) and as an explicit off switch.
+type Never struct{}
+
+func (Never) Name() string         { return "never" }
+func (Never) Decide(View) Decision { return Stay }

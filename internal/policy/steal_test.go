@@ -1,0 +1,198 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestStealShouldSteal(t *testing.T) {
+	cases := []struct {
+		name       string
+		pol        Steal
+		view       View
+		wantVictim int
+		wantOK     bool
+	}{
+		{
+			name: "idle node robs the most loaded peer",
+			pol:  Steal{},
+			view: View{Local: sig(1, 0, 1),
+				Peers: []Signals{sig(2, 3, 1), sig(3, 5, 1)}},
+			wantVictim: 3, wantOK: true,
+		},
+		{
+			name: "busy node does not steal",
+			pol:  Steal{},
+			view: View{Local: sig(1, 2, 1),
+				Peers: []Signals{sig(2, 9, 1)}},
+		},
+		{
+			name: "single-job peers are never victims",
+			pol:  Steal{},
+			view: View{Local: sig(1, 0, 1),
+				Peers: []Signals{sig(2, 1, 1), sig(3, 1, 1)}},
+		},
+		{
+			name: "margin refuses a swap-grade steal",
+			pol:  Steal{Margin: 3},
+			view: View{Local: sig(1, 0, 1),
+				Peers: []Signals{sig(2, 2, 1)}},
+		},
+		{
+			name: "load tie breaks to the lowest node id",
+			pol:  Steal{},
+			view: View{Local: sig(1, 0, 1),
+				Peers: []Signals{sig(4, 4, 1), sig(2, 4, 1), sig(3, 4, 1)}},
+			wantVictim: 2, wantOK: true,
+		},
+		{
+			name: "no peers means no steal",
+			pol:  Steal{},
+			view: View{Local: sig(1, 0, 1)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			victim, ok := tc.pol.ShouldSteal(tc.view)
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tc.wantOK)
+			}
+			if ok && victim != tc.wantVictim {
+				t.Fatalf("victim = %d, want %d", victim, tc.wantVictim)
+			}
+		})
+	}
+}
+
+func TestStealGrantMirrorsMargins(t *testing.T) {
+	p := Steal{}
+	if p.Grant(sig(1, 1, 1), 0) {
+		t.Error("a single-job node surrendered its only job")
+	}
+	if p.Grant(sig(1, 3, 1), 2) {
+		t.Error("granted inside the margin")
+	}
+	if !p.Grant(sig(1, 4, 1), 0) {
+		t.Error("a loaded node refused an idle thief")
+	}
+}
+
+func TestHopGateDefaults(t *testing.T) {
+	now := time.Now()
+	g := HopGate{}
+	if !g.Allow(Trace{Hops: DefaultHopBudget - 1}, 2, now) {
+		t.Error("gate refused a job under the default budget")
+	}
+	if g.Allow(Trace{Hops: DefaultHopBudget}, 2, now) {
+		t.Error("gate allowed a job at the default budget")
+	}
+	if g.Allow(Trace{Visited: map[int]time.Time{2: now.Add(-DefaultCooldown / 2)}}, 2, now) {
+		t.Error("gate allowed a revisit inside the default cooldown")
+	}
+	if !g.Allow(Trace{Visited: map[int]time.Time{2: now.Add(-2 * DefaultCooldown)}}, 2, now) {
+		t.Error("gate refused a revisit past the cooldown")
+	}
+	if !(HopGate{Budget: -1}).Allow(Trace{Hops: 1000}, 2, now) {
+		t.Error("negative budget should be unlimited")
+	}
+	if !(HopGate{Cooldown: -1}).Allow(Trace{Visited: map[int]time.Time{2: now}}, 2, now) {
+		t.Error("negative cooldown should disable the quarantine")
+	}
+}
+
+func TestPickStealCandidatePrefersFewestHops(t *testing.T) {
+	now := time.Now()
+	gate := HopGate{Budget: 3, Cooldown: time.Second}
+	jobs := []JobInfo{
+		{ID: 9, Trace: Trace{Hops: 2}},
+		{ID: 4, Trace: Trace{Hops: 0}},
+		{ID: 7, Trace: Trace{Hops: 0}},
+	}
+	if id, ok := PickStealCandidate(jobs, 5, gate, now); !ok || id != 4 {
+		t.Fatalf("candidate = %d/%v, want 4", id, ok)
+	}
+	// The thief is inside job 4's cooldown: job 7 is next in line.
+	jobs[1].Trace.Visited = map[int]time.Time{5: now.Add(-time.Millisecond)}
+	if id, ok := PickStealCandidate(jobs, 5, gate, now); !ok || id != 7 {
+		t.Fatalf("candidate = %d/%v, want 7", id, ok)
+	}
+	// Budget exhausts every job: no candidate.
+	tight := HopGate{Budget: 1, Cooldown: time.Second}
+	over := []JobInfo{{ID: 1, Trace: Trace{Hops: 1}}, {ID: 2, Trace: Trace{Hops: 2}}}
+	if _, ok := PickStealCandidate(over, 5, tight, now); ok {
+		t.Fatal("picked a job past its hop budget")
+	}
+}
+
+// TestHopGatePropertyNeverOverBudgetNorInCooldown is the property test:
+// under any sequence of load views — any policy, any failure marks, any
+// clock advance — a job routed through Scheduler.DecideJob never exceeds
+// its hop budget and never lands on a node it left within the cooldown
+// window. The test replays each verdict into the job's trace exactly as
+// the runtime does (hop++, mark the node it left) and asserts the
+// invariants on every migration the scheduler emits.
+func TestHopGatePropertyNeverOverBudgetNorInCooldown(t *testing.T) {
+	rng := rand.New(rand.NewSource(20100913)) // ICPP 2010, San Diego
+	policies := func() []Policy {
+		return []Policy{
+			Threshold{},
+			Threshold{HighWater: 2, Margin: 1},
+			CostModel{MinGain: 0.01},
+			&RoundRobin{},
+			alwaysDest{dest: 3},
+			Never{},
+		}
+	}
+	for iter := 0; iter < 1500; iter++ {
+		for _, p := range policies() {
+			budget := 1 + rng.Intn(5)
+			cooldown := time.Duration(1+rng.Intn(200)) * time.Millisecond
+			s := NewScheduler(p)
+			s.Gate = HopGate{Budget: budget, Cooldown: cooldown}
+
+			nodes := 2 + rng.Intn(5)
+			cur := 1 // job starts at node 1
+			trace := Trace{Visited: map[int]time.Time{}}
+			now := time.Unix(0, rng.Int63n(1<<40))
+
+			for round := 0; round < 12; round++ {
+				now = now.Add(time.Duration(rng.Intn(60)) * time.Millisecond)
+				v := View{
+					Local: Signals{Node: cur, Runnable: rng.Intn(8), Cores: 1, Speed: 1},
+					RTT:   map[int]time.Duration{},
+				}
+				for id := 1; id <= nodes; id++ {
+					if id == cur {
+						continue
+					}
+					v.Peers = append(v.Peers, Signals{
+						Node: id, Runnable: rng.Intn(8), Cores: 1 + rng.Intn(2), Speed: 0.2 + rng.Float64(),
+					})
+					v.RTT[id] = time.Duration(rng.Intn(3)) * time.Millisecond
+					if rng.Intn(6) == 0 {
+						s.MarkFailed(id)
+					} else if rng.Intn(6) == 0 {
+						s.MarkAlive(id)
+					}
+				}
+				d := s.DecideJob(v, trace, now)
+				if !d.Migrate {
+					continue
+				}
+				if trace.Hops >= budget {
+					t.Fatalf("iter %d policy %s: migrated on hop %d with budget %d",
+						iter, p.Name(), trace.Hops+1, budget)
+				}
+				if left, ok := trace.Visited[d.Dest]; ok && now.Sub(left) < cooldown {
+					t.Fatalf("iter %d policy %s: revisited node %d %v after leaving (cooldown %v)",
+						iter, p.Name(), d.Dest, now.Sub(left), cooldown)
+				}
+				// Replay the move into the trace as the runtime does.
+				trace.Hops++
+				trace.Visited[cur] = now
+				cur = d.Dest
+			}
+		}
+	}
+}

@@ -81,6 +81,17 @@ type ClassStatics struct {
 	Values  []value.Value
 }
 
+// Visit is one entry of a job's migration trace: the node the job left
+// and how long ago it left, measured at capture time. Ages rather than
+// absolute timestamps keep the anti-ping-pong cooldown immune to clock
+// skew between cluster machines — the receiver re-bases each age against
+// its own clock on arrival (the transfer latency slightly extends the
+// reconstructed quarantine, which errs on the safe side).
+type Visit struct {
+	Node     int32
+	AgeNanos int64 // nanoseconds since the job left Node, as of capture
+}
+
 // CapturedState is the migration payload: the exported stack segment plus
 // the statics of the classes it references. Object-typed values are home
 // references — remote at the destination until faulted in.
@@ -93,7 +104,18 @@ type CapturedState struct {
 	Statics []ClassStatics
 	// AllocHints lists static arrays for eager-allocation destinations.
 	AllocHints []AllocHint
+	// Hops counts migrations this state has undergone, this transfer
+	// included — 1 for a first migration away from home. The re-balancing
+	// hop budget is enforced against it.
+	Hops int32
+	// Visited is the recent migration trace (nodes this job left, newest
+	// entries appended), bounded to MaxVisits at capture time.
+	Visited []Visit
 }
+
+// MaxVisits bounds the trace shipped with a migration: old entries are far
+// outside any cooldown window and only cost wire bytes.
+const MaxVisits = 8
 
 // WireObject is a shallowly serialized heap object: reference fields carry
 // the *home* references of their targets (fetched on demand later), never
@@ -284,6 +306,16 @@ func EncodeCapturedState(cs *CapturedState, prog *bytecode.Program, c Codec) []b
 		w.Varint(int64(h.Kind))
 		w.Varint(h.Len)
 	}
+	w.Varint(int64(cs.Hops))
+	visited := cs.Visited
+	if len(visited) > MaxVisits {
+		visited = visited[len(visited)-MaxVisits:]
+	}
+	w.Uvarint(uint64(len(visited)))
+	for _, v := range visited {
+		w.Varint(int64(v.Node))
+		w.Varint(v.AgeNanos)
+	}
 	return w.Bytes()
 }
 
@@ -362,6 +394,10 @@ func DecodeCapturedState(buf []byte, prog *bytecode.Program, c Codec) (*Captured
 	}
 	for i, n := 0, int(r.Uvarint()); i < n && r.Err() == nil; i++ {
 		cs.AllocHints = append(cs.AllocHints, AllocHint{Kind: int32(r.Varint()), Len: r.Varint()})
+	}
+	cs.Hops = int32(r.Varint())
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err() == nil; i++ {
+		cs.Visited = append(cs.Visited, Visit{Node: int32(r.Varint()), AgeNanos: r.Varint()})
 	}
 	if err := r.Err(); err != nil {
 		return nil, err

@@ -192,6 +192,47 @@ func TestQuickCapturedStateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCapturedStateCarriesHopMetadata: the hop count and visit trace
+// added for multi-hop re-balancing survive both codecs, and the wire cap
+// keeps the newest visits when the trace overflows.
+func TestCapturedStateCarriesHopMetadata(t *testing.T) {
+	prog := testProgram()
+	mid := prog.MethodByName("main")
+	cs := &serial.CapturedState{
+		HomeNode: 1, ThreadID: 3, Hops: 2,
+		Frames:  []serial.CapturedFrame{{MethodID: mid, PC: 0, ResumePC: 0}},
+		Visited: []serial.Visit{{Node: 1, AgeNanos: 2000}, {Node: 4, AgeNanos: 1000}},
+	}
+	for _, c := range []serial.Codec{serial.Fast, serial.JavaSer} {
+		got, err := serial.DecodeCapturedState(serial.EncodeCapturedState(cs, prog, c), prog, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if got.Hops != 2 {
+			t.Errorf("%v: hops = %d, want 2", c, got.Hops)
+		}
+		if len(got.Visited) != 2 || got.Visited[0] != cs.Visited[0] || got.Visited[1] != cs.Visited[1] {
+			t.Errorf("%v: visited = %+v, want %+v", c, got.Visited, cs.Visited)
+		}
+	}
+
+	// Overflow: only the MaxVisits newest entries ship (they are appended
+	// oldest-first — descending age — so the tail survives).
+	for i := 0; i < serial.MaxVisits+3; i++ {
+		cs.Visited = append(cs.Visited, serial.Visit{Node: int32(10 + i), AgeNanos: int64(900 - i)})
+	}
+	got, err := serial.DecodeCapturedState(serial.EncodeCapturedState(cs, prog, serial.Fast), prog, serial.Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Visited) != serial.MaxVisits {
+		t.Fatalf("visited after overflow = %d entries, want %d", len(got.Visited), serial.MaxVisits)
+	}
+	if newest := got.Visited[len(got.Visited)-1]; newest != cs.Visited[len(cs.Visited)-1] {
+		t.Errorf("overflow dropped the newest visit: %+v", newest)
+	}
+}
+
 func TestDecodeCorruptData(t *testing.T) {
 	prog := testProgram()
 	if _, err := serial.DecodeCapturedState([]byte{0x00}, prog, serial.Fast); err == nil {

@@ -187,14 +187,33 @@ type BalanceOptions struct {
 	// Flow of the issued migrations (default FlowReturnHome: results
 	// flow back to the job at its home node).
 	Flow Flow
+	// Steal enables the pull half: idle nodes issue steal requests to
+	// loaded peers, and every node answers them, so migration is initiated
+	// from either side of a link. StealPolicy tunes the margins (zero
+	// value = defaults matching the Threshold push policy).
+	Steal       bool
+	StealPolicy policy.Steal
+	// HopBudget caps lifetime migrations per job (0 = the policy package
+	// default, currently 4; negative = unlimited). Migrated-in jobs are
+	// re-balance- and steal-eligible until the budget is spent.
+	HopBudget int
+	// Cooldown quarantines a job from nodes it recently left (0 = the
+	// policy package default; negative = none) — the anti-ping-pong knob.
+	Cooldown time.Duration
 }
 
-// BalanceStats aggregates one balancer's activity.
+// BalanceStats aggregates one balancer's activity. Migrations is the
+// total; Pushed/Stolen/Rebalanced split it by direction: pushes of
+// home-grown jobs, steals won by this balancer's nodes, and onward moves
+// of migrated-in jobs.
 type BalanceStats struct {
 	Ticks            int
 	Decisions        int
 	Migrations       int
 	FailedMigrations int
+	Pushed           int
+	Stolen           int
+	Rebalanced       int
 	// MigrationsTo counts successful migrations by destination.
 	MigrationsTo map[int]int
 }
@@ -214,6 +233,12 @@ type Balancer struct {
 
 	mu    sync.Mutex
 	stats BalanceStats
+	// stealBusy marks nodes with a steal request outstanding. Requests
+	// run off the tick goroutine — the victim answers only after the
+	// transfer, which can wait arbitrarily long for the stolen thread's
+	// next safe point, and the tick also carries every node's heartbeat
+	// gossip: blocking it would get healthy nodes declared dead.
+	stealBusy map[int]bool
 }
 
 // AutoBalance starts the adaptive offload engine over this cluster: every
@@ -234,11 +259,21 @@ func (c *Cluster) AutoBalance(p policy.Policy, opts BalanceOptions) *Balancer {
 		opts.Frames = WholeStack
 	}
 	b := &Balancer{
-		c:     c,
-		sched: policy.NewScheduler(p),
-		opts:  opts,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		c:         c,
+		sched:     policy.NewScheduler(p),
+		opts:      opts,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		stealBusy: make(map[int]bool),
+	}
+	// The hop gate rides inside the scheduler: every per-job verdict is
+	// bounded by the budget and the revisit cooldown, whatever the policy.
+	gate := policy.HopGate{Budget: opts.HopBudget, Cooldown: opts.Cooldown}
+	b.sched.Gate = gate
+	if opts.Steal {
+		for _, n := range c.Nodes {
+			n.Mgr.EnableSteal(opts.StealPolicy, gate)
+		}
 	}
 	b.mu.Lock()
 	b.stats.MigrationsTo = make(map[int]int)
@@ -352,6 +387,68 @@ func (b *Balancer) tick() {
 		connected[id] = ok
 	}
 
+	// Pull: idle nodes go hunting before the push round, so spare
+	// capacity claims work even when every loaded node's policy would
+	// hold. One steal attempt per idle node per tick keeps the request
+	// traffic bounded.
+	if b.opts.Steal {
+		for _, id := range ids {
+			if !connected[id] {
+				continue
+			}
+			n := b.c.Nodes[id]
+			local, ok := localSig[id]
+			if !ok {
+				local = n.Mgr.LocalSignals()
+			}
+			local.Runnable = n.VM.NumThreads()
+			peers := n.Mgr.PeerSignals()
+			alive := peers[:0]
+			for _, p := range peers {
+				if !b.sched.Failed(p.Node) {
+					alive = append(alive, p)
+				}
+			}
+			victim, ok := b.opts.StealPolicy.ShouldSteal(policy.View{Local: local, Peers: alive})
+			if !ok {
+				continue
+			}
+			// At most one outstanding request per node, issued off the
+			// tick goroutine (see stealBusy).
+			b.mu.Lock()
+			busy := b.stealBusy[id]
+			if !busy {
+				b.stealBusy[id] = true
+			}
+			b.mu.Unlock()
+			if busy {
+				continue
+			}
+			go func(n *Node, id, victim, runnable int) {
+				defer func() {
+					b.mu.Lock()
+					delete(b.stealBusy, id)
+					b.mu.Unlock()
+				}()
+				won, err := n.Mgr.RequestSteal(victim, runnable)
+				if err != nil {
+					if isUnreachable(err) {
+						n.Members.ObserveFailure(victim, time.Now())
+						b.sched.MarkFailed(victim)
+					}
+					return
+				}
+				if won {
+					b.mu.Lock()
+					b.stats.Migrations++
+					b.stats.Stolen++
+					b.stats.MigrationsTo[id]++
+					b.mu.Unlock()
+				}
+			}(n, id, victim, local.Runnable)
+		}
+	}
+
 	// Decide: per node, per running job. The working copies of the local
 	// and peer signals are adjusted after every issued migration so one
 	// tick does not dump an entire burst onto the same idle destination.
@@ -386,13 +483,17 @@ func (b *Balancer) tick() {
 		}
 		for _, job := range jobs {
 			view := policy.View{Local: local, Peers: peers, RTT: rtt}
-			d := b.sched.Decide(view)
+			// Per-job verdicts run through the hop gate: a migrated-in
+			// job is eligible for further moves (re-balancing) until its
+			// budget is spent, but never back to a node it just left.
+			d := b.sched.DecideJob(view, job.Trace(), time.Now())
 			b.mu.Lock()
 			b.stats.Decisions++
 			b.mu.Unlock()
 			if !d.Migrate {
 				continue
 			}
+			remote := job.Remote()
 			_, err := n.Mgr.MigrateSOD(job, SODOptions{
 				NFrames: b.opts.Frames, Dest: d.Dest, Flow: b.opts.Flow,
 			})
@@ -410,6 +511,11 @@ func (b *Balancer) tick() {
 			}
 			b.mu.Lock()
 			b.stats.Migrations++
+			if remote {
+				b.stats.Rebalanced++
+			} else {
+				b.stats.Pushed++
+			}
 			b.stats.MigrationsTo[d.Dest]++
 			b.mu.Unlock()
 			local.Runnable--

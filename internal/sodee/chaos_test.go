@@ -1,0 +1,362 @@
+package sodee_test
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/preprocess"
+	"repro/internal/sodee"
+	"repro/internal/value"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// The chaos harness: seeded, scripted scenarios that slow nodes down,
+// crash them and rejoin them mid-run over the simulated fabric, while the
+// balancer pushes, steals and re-balances a burst of jobs across the
+// cluster. The invariant under every scenario is exactly-once execution:
+// every submitted job completes, with the right answer, and its final
+// statement runs exactly one time — a migration that both succeeded and
+// "failed" would run it twice; a lost flush would complete it zero times.
+//
+// The seed matrix comes from CHAOS_SEEDS (comma-separated, default "1");
+// `make chaos` runs the full matrix under -race.
+
+// buildChaosProgram is the shared cruncher kernel with the chaos_done
+// terminal marker — the exactly-once probe. workloads.CruncherExpected
+// remains its Go mirror.
+func buildChaosProgram() *bytecode.Program {
+	return workloads.CruncherWithMarker("chaos_done")
+}
+
+// chaosMarker counts chaos_done firings per job seed, cluster-wide.
+type chaosMarker struct {
+	mu     sync.Mutex
+	counts map[int64]int
+}
+
+func newChaosMarker() *chaosMarker {
+	return &chaosMarker{counts: make(map[int64]int)}
+}
+
+func (m *chaosMarker) native(t *vm.Thread, args []value.Value) (value.Value, *vm.Raised) {
+	m.mu.Lock()
+	m.counts[args[0].AsInt()]++
+	m.mu.Unlock()
+	return value.Value{}, nil
+}
+
+func (m *chaosMarker) count(seed int64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[seed]
+}
+
+// chaosEvent is one scripted fault, fired `after` the burst is submitted.
+type chaosEvent struct {
+	after time.Duration
+	kind  string // "crash" | "rejoin" | "slow" | "fast"
+	node  int
+	spin  int64 // extra per-instruction spin for "slow"
+}
+
+// chaosScenario scripts one run: the cluster shape, the burst, the
+// balancer posture and the fault schedule.
+type chaosScenario struct {
+	name      string
+	nodes     []sodee.NodeConfig
+	submitTo  []int // job i is submitted to submitTo[i%len]
+	jobs      int
+	iters     int64
+	policy    func() policy.Policy
+	steal     bool
+	hopBudget int
+	cooldown  time.Duration
+	events    []chaosEvent
+}
+
+// chaosSpin burns CPU like the runtime's own throttle hook.
+func chaosSpin(n int64) {
+	s := uint64(n)
+	for i := int64(0); i < n; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+	}
+	chaosSink.Store(s)
+}
+
+var chaosSink atomic.Uint64
+
+// runChaosScenario executes one scenario at one seed and enforces the
+// exactly-once invariant.
+func runChaosScenario(t *testing.T, sc chaosScenario, seed int64) {
+	t.Helper()
+	prog := preprocess.MustPreprocess(buildChaosProgram(),
+		preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+	c, err := sodee.NewCluster(prog, netsim.Gigabit, sc.nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := newChaosMarker()
+	slowdown := make(map[int]*atomic.Int64, len(c.Nodes))
+	for id, n := range c.Nodes {
+		n.VM.BindNative("chaos_done", marker.native)
+		// Dynamic slowdown: every thread's instruction hook reads the
+		// node's atomic spin knob, so "slow" events throttle threads that
+		// are already running.
+		sd := &atomic.Int64{}
+		slowdown[id] = sd
+		base := n.VM.Profile.InstrHook
+		n.VM.Profile.InstrHook = func(th *vm.Thread, f *vm.Frame, ins bytecode.Instr) *vm.Raised {
+			if s := sd.Load(); s > 0 {
+				chaosSpin(s)
+			}
+			if base != nil {
+				return base(th, f, ins)
+			}
+			return nil
+		}
+	}
+
+	b := c.AutoBalance(sc.policy(), sodee.BalanceOptions{
+		Interval:  500 * time.Microsecond,
+		Steal:     sc.steal,
+		HopBudget: sc.hopBudget,
+		Cooldown:  sc.cooldown,
+	})
+	defer b.Stop()
+
+	// The burst. Seeds are distinct per job and deterministic per matrix
+	// seed, so the marker can attribute every completion.
+	jobs := make([]*sodee.Job, sc.jobs)
+	seeds := make([]int64, sc.jobs)
+	for i := range jobs {
+		seeds[i] = seed*100_000 + int64(i) + 1
+		home := c.Nodes[sc.submitTo[i%len(sc.submitTo)]]
+		j, jerr := home.Mgr.StartJob("main", value.Int(seeds[i]), value.Int(sc.iters))
+		if jerr != nil {
+			t.Fatal(jerr)
+		}
+		jobs[i] = j
+	}
+
+	// The fault schedule, scripted relative to submission time.
+	stopEvents := make(chan struct{})
+	var eventWG sync.WaitGroup
+	eventWG.Add(1)
+	go func() {
+		defer eventWG.Done()
+		start := time.Now()
+		for _, ev := range sc.events {
+			select {
+			case <-stopEvents:
+				return
+			case <-time.After(time.Until(start.Add(ev.after))):
+			}
+			switch ev.kind {
+			case "crash":
+				c.Net.SetNodeDown(ev.node, true)
+			case "rejoin":
+				c.Net.SetNodeDown(ev.node, false)
+			case "slow":
+				slowdown[ev.node].Store(ev.spin)
+			case "fast":
+				slowdown[ev.node].Store(0)
+			}
+		}
+	}()
+	defer func() {
+		close(stopEvents)
+		eventWG.Wait()
+	}()
+
+	// Every job completes — none lost — with the right answer.
+	deadline := time.After(90 * time.Second)
+	for i, j := range jobs {
+		ch := make(chan struct{})
+		go func() { j.Wait(); close(ch) }() //nolint:errcheck // re-read below
+		select {
+		case <-ch:
+		case <-deadline:
+			t.Fatalf("job %d (seed %d) lost: never completed", i, seeds[i])
+		}
+		res, jerr := j.Wait()
+		if jerr != nil {
+			t.Fatalf("job %d (seed %d): %v", i, seeds[i], jerr)
+		}
+		if want := workloads.CruncherExpected(seeds[i], sc.iters); res.I != want {
+			t.Errorf("job %d (seed %d) = %d, want %d", i, seeds[i], res.I, want)
+		}
+	}
+	b.Stop()
+
+	// ... and exactly once: the terminal marker fired a single time per
+	// job, wherever in the cluster the final frame ended up running.
+	for i, s := range seeds {
+		if n := marker.count(s); n != 1 {
+			t.Errorf("job %d (seed %d) executed its final statement %d times, want exactly 1", i, s, n)
+		}
+	}
+	st := b.Stats()
+	if st.Migrations != st.Pushed+st.Stolen+st.Rebalanced {
+		t.Errorf("direction split %d+%d+%d does not sum to %d migrations",
+			st.Pushed, st.Stolen, st.Rebalanced, st.Migrations)
+	}
+	t.Logf("scenario %s seed %d: migrations=%d (pushed %d, stolen %d, rebalanced %d, failed %d)",
+		sc.name, seed, st.Migrations, st.Pushed, st.Stolen, st.Rebalanced, st.FailedMigrations)
+}
+
+// chaosSeeds reads the seed matrix from CHAOS_SEEDS.
+func chaosSeeds(t *testing.T) []int64 {
+	raw := os.Getenv("CHAOS_SEEDS")
+	if raw == "" {
+		return []int64{1}
+	}
+	var out []int64
+	for _, part := range strings.Split(raw, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEEDS entry %q: %v", part, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// weak / strong node shorthands for scenario tables.
+func weakNode(id int) sodee.NodeConfig {
+	return sodee.NodeConfig{ID: id, Preloaded: true, Cores: 1, Slow: 16}
+}
+
+func strongNode(id int) sodee.NodeConfig {
+	return sodee.NodeConfig{ID: id, Preloaded: true, Cores: 1}
+}
+
+func chaosScenarios() []chaosScenario {
+	threshold := func() policy.Policy { return policy.Threshold{} }
+	stealOnly := func() policy.Policy { return policy.Never{} }
+	return []chaosScenario{
+		{
+			// Idle thieves drain a weak node's burst while one of them
+			// crashes mid-run and rejoins: steals toward the dead node
+			// fail harmlessly, jobs it already stole flush after rejoin.
+			name:     "steal-during-crash",
+			nodes:    []sodee.NodeConfig{weakNode(1), strongNode(2), strongNode(3)},
+			submitTo: []int{1},
+			jobs:     8,
+			iters:    120_000,
+			policy:   stealOnly,
+			steal:    true,
+			events: []chaosEvent{
+				{after: 60 * time.Millisecond, kind: "crash", node: 3},
+				{after: 400 * time.Millisecond, kind: "rejoin", node: 3},
+			},
+		},
+		{
+			// A node that was dead at submission rejoins mid-run; jobs
+			// pushed onto the surviving strong node re-balance onto the
+			// rejoined one once its heartbeats readmit it.
+			name:     "rebalance-during-rejoin",
+			nodes:    []sodee.NodeConfig{weakNode(1), strongNode(2), strongNode(3)},
+			submitTo: []int{1},
+			jobs:     8,
+			iters:    150_000,
+			policy:   threshold,
+			steal:    true,
+			events: []chaosEvent{
+				{after: 0, kind: "crash", node: 3},
+				{after: 50 * time.Millisecond, kind: "slow", node: 2, spin: 24},
+				{after: 150 * time.Millisecond, kind: "rejoin", node: 3},
+			},
+		},
+		{
+			// The primary spill destination crashes with migrations in
+			// flight: failed transfers fall back locally, the detector
+			// reroutes the rest, and the crashed node's hosted jobs
+			// deliver their results after it rejoins.
+			name:     "crash-primary-destination",
+			nodes:    []sodee.NodeConfig{weakNode(1), strongNode(2), strongNode(3)},
+			submitTo: []int{1},
+			jobs:     8,
+			iters:    120_000,
+			policy:   threshold,
+			steal:    false,
+			events: []chaosEvent{
+				{after: 40 * time.Millisecond, kind: "crash", node: 2},
+				{after: 600 * time.Millisecond, kind: "rejoin", node: 2},
+			},
+		},
+		{
+			// Rolling slowdowns shift the fastest node every 100ms; push
+			// and steal chase the capacity, bounded by the hop gate.
+			name:     "rolling-slowdowns",
+			nodes:    []sodee.NodeConfig{weakNode(1), strongNode(2), strongNode(3)},
+			submitTo: []int{1, 2},
+			jobs:     8,
+			iters:    120_000,
+			policy:   threshold,
+			steal:    true,
+			cooldown: 100 * time.Millisecond,
+			events: []chaosEvent{
+				{after: 80 * time.Millisecond, kind: "slow", node: 2, spin: 30},
+				{after: 180 * time.Millisecond, kind: "slow", node: 3, spin: 30},
+				{after: 280 * time.Millisecond, kind: "fast", node: 2},
+				{after: 380 * time.Millisecond, kind: "fast", node: 3},
+			},
+		},
+		{
+			// A node sleeps through the whole submission, rejoins into a
+			// loaded cluster and pulls its share by stealing.
+			name:     "thundering-rejoin",
+			nodes:    []sodee.NodeConfig{weakNode(1), strongNode(2), strongNode(3)},
+			submitTo: []int{1},
+			jobs:     8,
+			iters:    150_000,
+			policy:   stealOnly,
+			steal:    true,
+			events: []chaosEvent{
+				{after: 0, kind: "crash", node: 3},
+				{after: 200 * time.Millisecond, kind: "rejoin", node: 3},
+			},
+		},
+		{
+			// Two-node pressure cooker: a tight hop budget and cooldown
+			// keep jobs from ping-ponging while both push and steal are
+			// armed and the nodes take turns being the slow one.
+			name:      "ping-pong-pressure",
+			nodes:     []sodee.NodeConfig{strongNode(1), strongNode(2)},
+			submitTo:  []int{1, 2},
+			jobs:      6,
+			iters:     120_000,
+			policy:    threshold,
+			steal:     true,
+			hopBudget: 3,
+			cooldown:  150 * time.Millisecond,
+			events: []chaosEvent{
+				{after: 50 * time.Millisecond, kind: "slow", node: 1, spin: 24},
+				{after: 200 * time.Millisecond, kind: "fast", node: 1},
+				{after: 200 * time.Millisecond, kind: "slow", node: 2, spin: 24},
+				{after: 350 * time.Millisecond, kind: "fast", node: 2},
+			},
+		},
+	}
+}
+
+// TestChaosScenarios runs the full scenario table across the seed matrix.
+func TestChaosScenarios(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		for _, sc := range chaosScenarios() {
+			sc, seed := sc, seed
+			t.Run(sc.name+"/seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+				runChaosScenario(t, sc, seed)
+			})
+		}
+	}
+}

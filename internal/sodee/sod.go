@@ -2,6 +2,7 @@ package sodee
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -46,8 +47,11 @@ type MigrationMetrics struct {
 	Freeze     time.Duration
 }
 
-// Job is one top-level computation started on a node. Its result arrives
-// locally or via flush messages from wherever the computation ended up.
+// Job is one top-level computation started on a node — or, when remote is
+// set, a migrated-in computation this node is currently hosting. Its
+// result arrives locally or via flush messages from wherever the
+// computation ended up; a remote job's result is instead routed onward to
+// resultTo (usually the job's origin node) when it completes here.
 type Job struct {
 	ID     uint64
 	mgr    *Manager
@@ -56,6 +60,20 @@ type Job struct {
 	done   chan struct{}
 	result value.Value
 	err    error
+
+	// Migration trace (guarded by mu): hops already taken and when the job
+	// last left each node. The balancer's hop gate reads it; both fields
+	// travel inside the captured state on every further migration.
+	hops    int
+	visited map[int]time.Time
+
+	// remote marks a migrated-in job: the stack arrived from another node,
+	// this Job is the local handle that makes it visible to the balancer
+	// (and so eligible for re-balancing and stealing). Its completion is
+	// routed to resultTo rather than delivered to a local waiter.
+	remote      bool
+	resultTo    completion
+	expectValue bool
 }
 
 // Thread returns the job's current local thread (nil once fully migrated).
@@ -63,6 +81,28 @@ func (j *Job) Thread() *vm.Thread {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.th
+}
+
+// Remote reports whether this is a migrated-in job hosted for another
+// node (its result routes onward rather than completing a local waiter).
+func (j *Job) Remote() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.remote
+}
+
+// Trace snapshots the job's migration history for the policy layer.
+func (j *Job) Trace() policy.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tr := policy.Trace{Hops: j.hops}
+	if len(j.visited) > 0 {
+		tr.Visited = make(map[int]time.Time, len(j.visited))
+		for n, t := range j.visited {
+			tr.Visited[n] = t
+		}
+	}
+	return tr
 }
 
 // Wait blocks for the final result.
@@ -130,6 +170,16 @@ type Manager struct {
 	classSource int // node to fetch cold classes from
 	classBytes  int64
 
+	// migInFlight guards each job against concurrent migrations: the
+	// balancer's push decision and a peer's steal grant can race on the
+	// same job, and only one may capture it.
+	migInFlight map[uint64]bool
+
+	// Steal configuration (nil = this node denies steal requests) and the
+	// node-local steal counters.
+	steal      *stealConfig
+	stealStats StealStats
+
 	// Gossiped load state: the last report received from each peer, and
 	// the sampling cursor for this node's own step rate.
 	peerLoads  map[int]policy.Signals
@@ -151,6 +201,7 @@ func newManager(n *Node) *Manager {
 		node:        n,
 		routes:      make(map[uint64]*route),
 		jobs:        make(map[uint64]*Job),
+		migInFlight: make(map[uint64]bool),
 		peerLoads:   make(map[int]policy.Signals),
 		wireLat:     make(map[int]time.Duration),
 		classSource: -1,
@@ -162,6 +213,8 @@ func newManager(n *Node) *Manager {
 	n.EP.Handle(netsim.KindThreadMigrate, m.handleThreadMigrate)
 	n.EP.Handle(netsim.KindPage, m.handlePage)
 	n.EP.Handle(netsim.KindLoadReport, m.handleLoadReport)
+	n.EP.Handle(netsim.KindStealRequest, m.handleStealRequest)
+	n.EP.Handle(netsim.KindStealGrant, m.handleStealGrant)
 	return m
 }
 
@@ -170,11 +223,13 @@ func (m *Manager) reset() {
 	defer m.mu.Unlock()
 	m.routes = make(map[uint64]*route)
 	m.jobs = make(map[uint64]*Job)
+	m.migInFlight = make(map[uint64]bool)
 	m.peerLoads = make(map[int]policy.Signals)
 	m.wireLat = make(map[int]time.Duration)
 	m.Migrations = nil
 	m.classSource = -1
 	m.classBytes = 0
+	m.stealStats = StealStats{}
 }
 
 // LastMigration returns the most recent migration metrics.
@@ -297,6 +352,129 @@ func (m *Manager) runWorker(th *vm.Thread, expectValue bool, dst completion) {
 	m.routeResult(th, expectValue, dst)
 }
 
+// runRemoteJob executes a migrated-in job's thread and — when this node
+// still owns it at completion — routes the result to the job's consumer
+// and retires the local wrapper. A further migration detaches the thread
+// first (job.th = nil); routing is then the new destination's problem.
+func (m *Manager) runRemoteJob(th *vm.Thread, job *Job) {
+	th.Run()
+	job.mu.Lock()
+	owner := job.th == th
+	job.mu.Unlock()
+	if !owner {
+		return
+	}
+	job.complete(th.Result, th.Err)
+	m.mu.Lock()
+	delete(m.jobs, job.ID)
+	m.mu.Unlock()
+	m.routeResult(th, job.expectValue, job.resultTo)
+}
+
+// adoptRemote wraps a migrated-in thread in a local Job handle carrying
+// its hop metadata — the handle that makes the job visible to this
+// node's balancer, and so eligible for re-balancing and stealing.
+func (m *Manager) adoptRemote(th *vm.Thread, cs *serial.CapturedState, resultTo completion, expectValue bool) *Job {
+	job := &Job{
+		ID: m.newToken(), mgr: m, th: th, done: make(chan struct{}),
+		remote: true, resultTo: resultTo, expectValue: expectValue,
+		hops: int(cs.Hops), visited: make(map[int]time.Time, len(cs.Visited)),
+	}
+	// Visits arrive as ages; re-base them against this node's clock so
+	// the cooldown works across machines with skewed wall clocks.
+	now := time.Now()
+	for _, v := range cs.Visited {
+		job.visited[int(v.Node)] = now.Add(-time.Duration(v.AgeNanos))
+	}
+	return job
+}
+
+// registerRemote publishes an adopted job to the balancer once it is safe
+// to migrate it again (i.e., restoration has finished — suspending a
+// thread mid-restoration would capture a half-built stack). A job that
+// already completed is skipped: its runner may have retired it already.
+func (m *Manager) registerRemote(job *Job) {
+	m.mu.Lock()
+	if !job.Done() {
+		m.jobs[job.ID] = job
+	}
+	m.mu.Unlock()
+}
+
+// Result flushes survive transient partitions: a completed segment whose
+// consumer is briefly unreachable (crashed-and-rejoining, or this node is
+// itself cut off) holds the only copy of the result, so dropping the
+// flush would lose the job. Retry with a fixed delay; the bound keeps a
+// permanently dead consumer from pinning the goroutine forever.
+const (
+	flushRetryDelay    = 10 * time.Millisecond
+	flushRetryAttempts = 300 // × flushRetryDelay ≈ 3 s of patience
+	// preHopFlushAttempts bounds the pre-migration update flush: it runs
+	// inside the balancer's tick, and the same data flushes again (with
+	// full patience) when the segment completes.
+	preHopFlushAttempts = 10
+)
+
+// sendFlushRetrying delivers one flush frame, retrying up to attempts
+// times while either end is unreachable. Non-delivery errors (a handler
+// failure at the receiver) are final: the frame arrived, retrying would
+// double-apply.
+func (m *Manager) sendFlushRetrying(node int, payload []byte, rpc bool, attempts int) error {
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if rpc {
+			_, err = m.node.EP.Call(node, netsim.KindFlush, payload)
+		} else {
+			err = m.node.EP.Send(node, netsim.KindFlush, payload)
+		}
+		if err == nil || !isUnreachable(err) {
+			return err
+		}
+		time.Sleep(flushRetryDelay)
+	}
+	return err
+}
+
+// flushUpdates sends dirty cached data back to the nodes mastering it
+// (self-targeted updates apply locally). It runs at segment completion
+// and before a stack leaves an intermediate hop — the departing thread's
+// writes must be visible wherever it continues, because the next node
+// faults objects from their masters, not from this cache. attempts
+// bounds the per-destination retry window.
+func (m *Manager) flushUpdates(staticsHome, attempts int) {
+	for node, fm := range m.node.ObjMan.CollectUpdates(staticsHome) {
+		if node == m.node.ID {
+			if _, err := m.node.ObjMan.ApplyFlush(fm); err != nil {
+				_ = err
+			}
+			continue
+		}
+		payload := encodeFlushMsg(0, fm, m.node.Prog, m.node.Codec)
+		// Synchronous: updates must be applied at their home before the
+		// result releases any continuation that might read them.
+		if err := m.sendFlushRetrying(node, payload, true, attempts); err != nil {
+			_ = err
+		}
+	}
+}
+
+// homeRefs rewrites every captured local and static value that points at
+// a locally cached copy into its home reference (see objman.HomeRef), so
+// the shipped state is location-independent.
+func (m *Manager) homeRefs(cs *serial.CapturedState) {
+	om := m.node.ObjMan
+	for fi := range cs.Frames {
+		for li, lv := range cs.Frames[fi].Locals {
+			cs.Frames[fi].Locals[li] = om.HomeRef(lv)
+		}
+	}
+	for si := range cs.Statics {
+		for vi, sv := range cs.Statics[si].Values {
+			cs.Statics[si].Values[vi] = om.HomeRef(sv)
+		}
+	}
+}
+
 func (m *Manager) routeResult(th *vm.Thread, expectValue bool, dst completion) {
 	if dst.node == m.node.ID {
 		// Same-node delivery: the consumer shares this heap, so no flush
@@ -311,20 +489,7 @@ func (m *Manager) routeResult(th *vm.Thread, expectValue bool, dst completion) {
 	if ctx, ok := th.UserData.(*threadCtx); ok && ctx.homeNode >= 0 {
 		staticsHome = ctx.homeNode
 	}
-	for node, fm := range m.node.ObjMan.CollectUpdates(staticsHome) {
-		if node == m.node.ID {
-			if _, err := m.node.ObjMan.ApplyFlush(fm); err != nil {
-				_ = err
-			}
-			continue
-		}
-		payload := encodeFlushMsg(0, fm, m.node.Prog, m.node.Codec)
-		// Synchronous: updates must be applied at their home before the
-		// result releases any continuation that might read them.
-		if _, err := m.node.EP.Call(node, netsim.KindFlush, payload); err != nil {
-			_ = err
-		}
-	}
+	m.flushUpdates(staticsHome, flushRetryAttempts)
 	// The return value (with any fresh objects it drags along) goes to the
 	// continuation.
 	var errStr string
@@ -333,8 +498,9 @@ func (m *Manager) routeResult(th *vm.Thread, expectValue bool, dst completion) {
 	}
 	fm := m.node.ObjMan.CollectResult(th.Result, expectValue, errStr)
 	payload := encodeFlushMsg(dst.token, fm, m.node.Prog, m.node.Codec)
-	if err := m.node.EP.Send(dst.node, netsim.KindFlush, payload); err != nil {
-		// Unreachable consumer: nothing else to do but log via job if local.
+	if err := m.sendFlushRetrying(dst.node, payload, false, flushRetryAttempts); err != nil {
+		// Consumer still unreachable after the retry window: the result
+		// has nowhere to go.
 		_ = err
 	}
 }
@@ -381,8 +547,8 @@ func (m *Manager) forwardError(next completion, err error) {
 		return
 	}
 	efm := &serial.FlushMessage{Err: err.Error()}
-	m.node.EP.Send(next.node, netsim.KindFlush,
-		encodeFlushMsg(next.token, efm, m.node.Prog, m.node.Codec))
+	_ = m.sendFlushRetrying(next.node,
+		encodeFlushMsg(next.token, efm, m.node.Prog, m.node.Codec), false, flushRetryAttempts)
 }
 
 // --- SOD migration (the contribution) ---
@@ -405,9 +571,37 @@ type SODOptions struct {
 	ForwardTo int
 }
 
+// migrationInFlight reports whether a capture/transfer is currently
+// running for job id.
+func (m *Manager) migrationInFlight(id uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.migInFlight[id]
+}
+
 // MigrateSOD exports the top segment of the job's thread per opts. The
 // thread may be running (it is suspended at its next MSP) or parked.
+// Remote (migrated-in) jobs are eligible too: their segment ships with
+// the accumulated hop count and the original home node, and their result
+// routes straight to the origin — a further hop never lengthens the
+// return path.
 func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, error) {
+	// One migration per job at a time: a push decision and a steal grant
+	// may race on the same job, and both suspending the thread would wedge
+	// it.
+	m.mu.Lock()
+	if m.migInFlight[job.ID] {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("sodee: job %d already has a migration in flight", job.ID)
+	}
+	m.migInFlight[job.ID] = true
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.migInFlight, job.ID)
+		m.mu.Unlock()
+	}()
+
 	th := job.Thread()
 	if th == nil {
 		return nil, fmt.Errorf("sodee: job has no local thread")
@@ -442,28 +636,76 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		}
 	}
 
-	seg, err := CaptureSegment(n.Agent, th, 0, k, n.ID)
+	// A re-migrated job keeps its original home: modified statics flush
+	// there and cold classes are fetched from there, however many hops the
+	// stack takes.
+	home := n.ID
+	if ctx, ok := th.UserData.(*threadCtx); ok && ctx.homeNode >= 0 {
+		home = ctx.homeNode
+	}
+	seg, err := CaptureSegment(n.Agent, th, 0, k, home)
 	if err != nil {
 		_ = th.Resume()
 		return nil, err
 	}
 	var residual *serial.CapturedState
 	if opts.Flow != FlowReturnHome && depth > k {
-		residual, err = CaptureSegment(n.Agent, th, k, depth-k, n.ID)
+		residual, err = CaptureSegment(n.Agent, th, k, depth-k, home)
 		if err != nil {
 			_ = th.Resume()
 			return nil, err
 		}
 	}
 	captureDone := time.Now()
+	// Hop metadata rides in the captured state: one more hop taken, and
+	// this node joins the trace as "just left" (age 0). Visits ship as
+	// ages so the cooldown survives clock skew between machines, oldest
+	// (largest age) first so the wire-size cap drops the entries farthest
+	// outside any cooldown.
+	job.mu.Lock()
+	seg.Hops = int32(job.hops + 1)
+	for node, left := range job.visited {
+		seg.Visited = append(seg.Visited, serial.Visit{
+			Node: int32(node), AgeNanos: int64(captureDone.Sub(left)),
+		})
+	}
+	job.mu.Unlock()
+	sort.Slice(seg.Visited, func(i, j int) bool { return seg.Visited[i].AgeNanos > seg.Visited[j].AgeNanos })
+	seg.Visited = append(seg.Visited, serial.Visit{Node: int32(n.ID), AgeNanos: 0})
+	// Multi-hop hygiene: captured values must reference masters, not this
+	// node's caches, and this node's dirty cached writes must reach their
+	// masters before the next hop re-faults the data there. The retry
+	// window is short — this runs inside the balancer's tick, and the
+	// data flushes again at completion anyway.
+	m.homeRefs(seg)
+	if residual != nil {
+		m.homeRefs(residual)
+	}
+	if home != n.ID {
+		m.flushUpdates(home, preHopFlushAttempts)
+	}
 
 	segBottom := n.Prog.Methods[seg.Frames[0].MethodID]
 
+	// finalTo is where the job's eventual result belongs: the local job
+	// handle, or — for a migrated-in job — the completion it arrived with
+	// (its origin), so results never chain back through intermediate hops.
+	finalTo := completion{node: n.ID, token: job.ID}
+	job.mu.Lock()
+	if job.remote {
+		finalTo = job.resultTo
+	}
+	job.mu.Unlock()
+
 	// Decide where the segment's return value goes and arrange the stack.
+	// partial marks the one shape whose failure undo differs: the residual
+	// stays parked here with a local resume route.
 	var resultTo completion
+	partial := false
 	switch {
 	case opts.Flow == FlowReturnHome && depth > k:
 		// Keep the residual parked here; register a resume route.
+		partial = true
 		token := m.newToken()
 		if err := n.Agent.TruncateTo(th, depth-k); err != nil {
 			_ = th.Resume()
@@ -481,18 +723,18 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		if err := th.Kill(); err != nil {
 			return nil, err
 		}
-		resultTo = completion{node: n.ID, token: job.ID}
+		resultTo = finalTo
 
 	case opts.Flow == FlowTotal:
 		// Residual rides along to the destination; final result flows to
-		// the job here.
+		// the job's consumer.
 		job.mu.Lock()
 		job.th = nil
 		job.mu.Unlock()
 		if err := th.Kill(); err != nil {
 			return nil, err
 		}
-		resultTo = completion{node: n.ID, token: job.ID} // final consumer; residual runs at dest
+		resultTo = finalTo // final consumer; residual runs at dest
 
 	case opts.Flow == FlowForward:
 		if residual == nil {
@@ -500,8 +742,7 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 			return nil, fmt.Errorf("sodee: forward flow needs a residual (depth %d, segment %d)", depth, k)
 		}
 		// Plant the residual on the forward node first.
-		plantTok, err := m.plantContinuation(opts.ForwardTo, residual, segBottom.ReturnsValue,
-			completion{node: n.ID, token: job.ID})
+		plantTok, err := m.plantContinuation(opts.ForwardTo, residual, segBottom.ReturnsValue, finalTo)
 		if err != nil {
 			_ = th.Resume()
 			return nil, err
@@ -519,7 +760,7 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	// Ship the segment (classes of its methods ride along, rest on demand).
 	msg := migrateMsg{
 		resultTo:    resultTo,
-		homeNode:    n.ID,
+		homeNode:    home,
 		direct:      n.System == SysJessica2 || n.System == SysDevice,
 		seg:         seg,
 		residual:    residual, // non-nil only for FlowTotal
@@ -533,8 +774,8 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		// The destination is unreachable (crashed mid-migration, or never
 		// existed). The captured state is still in hand, so fall back to
 		// local execution rather than stranding the job: the migration
-		// fails, the job does not.
-		if rerr := m.recoverLocal(job, th, opts.Flow, seg, msg.residual, resultTo, segBottom.ReturnsValue); rerr != nil {
+		// fails, the job does not — this node stays its live owner.
+		if rerr := m.recoverLocal(job, th, opts.Flow, partial, seg, msg.residual, resultTo, segBottom.ReturnsValue); rerr != nil {
 			return nil, fmt.Errorf("sodee: migrate to %d: %w; local recovery also failed: %w", opts.Dest, err, rerr)
 		}
 		return nil, fmt.Errorf("sodee: migrate to %d (job recovered locally): %w", opts.Dest, err)
@@ -542,6 +783,17 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	arrival, restoreDur, rerr := decodeMigrateReply(reply)
 	if rerr != nil {
 		return nil, rerr
+	}
+	// A remote wrapper whose whole stack moved on is finished here: the
+	// destination owns the job now and its result flows straight to the
+	// origin, so drop the local handle.
+	job.mu.Lock()
+	dropWrapper := job.remote && job.th == nil
+	job.mu.Unlock()
+	if dropWrapper {
+		m.mu.Lock()
+		delete(m.jobs, job.ID)
+		m.mu.Unlock()
 	}
 
 	var classBytes int64
@@ -567,22 +819,24 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 // job on this node from the already-captured state. The shape of the undo
 // depends on how far the flow got before the send:
 //
-//   - ReturnHome with a residual: the thread is still parked here with
-//     its top segment truncated away — drop the pending resume route,
-//     rebuild the captured frames in place and resume. The job's original
-//     watcher goroutine still owns completion.
+//   - ReturnHome with a residual (partial): the thread is still parked
+//     here with its top segment truncated away — drop the pending resume
+//     route, rebuild the captured frames in place and resume. The job's
+//     original watcher goroutine still owns completion.
 //   - ReturnHome of the whole stack, and Total: the local thread was
 //     killed and the job detached — rebuild the full stack (residual
-//     beneath segment for Total) as a fresh thread and re-attach it.
+//     beneath segment for Total) as a fresh thread and re-attach it. A
+//     remote wrapper re-attaches to its routing runner, so the recovered
+//     result still flows to the job's origin.
 //   - Forward: the residual is already planted on the forward node (which
 //     is reachable — the plant RPC succeeded); run the segment locally
 //     and let its result flow to the planted continuation as planned.
-func (m *Manager) recoverLocal(job *Job, th *vm.Thread, flow Flow,
+func (m *Manager) recoverLocal(job *Job, th *vm.Thread, flow Flow, partial bool,
 	seg, residual *serial.CapturedState, resultTo completion, expectValue bool) error {
 
 	n := m.node
 	switch {
-	case flow == FlowReturnHome && resultTo.token != job.ID:
+	case partial:
 		// Partial export: th is parked on the residual frames.
 		m.mu.Lock()
 		delete(m.routes, resultTo.token)
@@ -591,9 +845,16 @@ func (m *Manager) recoverLocal(job *Job, th *vm.Thread, flow Flow,
 		return th.Resume()
 
 	case flow == FlowForward:
-		worker, err := RestoreDirect(n, &serial.CapturedState{Frames: seg.Frames, HomeNode: int32(n.ID)})
+		worker, err := RestoreDirect(n, &serial.CapturedState{Frames: seg.Frames, HomeNode: seg.HomeNode})
 		if err != nil {
 			return err
+		}
+		if job.Remote() {
+			// The wrapper's thread moved into the planted continuation's
+			// chain; nothing local completes it, so drop the handle.
+			m.mu.Lock()
+			delete(m.jobs, job.ID)
+			m.mu.Unlock()
 		}
 		go m.runWorker(worker, expectValue, resultTo)
 		return nil
@@ -603,14 +864,19 @@ func (m *Manager) recoverLocal(job *Job, th *vm.Thread, flow Flow,
 		if residual != nil {
 			frames = append(append([]serial.CapturedFrame(nil), residual.Frames...), seg.Frames...)
 		}
-		worker, err := RestoreDirect(n, &serial.CapturedState{Frames: frames, HomeNode: int32(n.ID)})
+		worker, err := RestoreDirect(n, &serial.CapturedState{Frames: frames, HomeNode: seg.HomeNode})
 		if err != nil {
 			return err
 		}
 		job.mu.Lock()
 		job.th = worker
+		remote := job.remote
 		job.mu.Unlock()
-		go m.runAndWatch(worker, job)
+		if remote {
+			go m.runRemoteJob(worker, job)
+		} else {
+			go m.runAndWatch(worker, job)
+		}
 		return nil
 	}
 }
@@ -728,7 +994,10 @@ func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 		dst = completion{node: n.ID, token: token}
 	}
 
-	// Restore and run the segment.
+	// Restore and run the segment, adopted as a local (remote-flagged) job
+	// so the balancer sees it: a migrated-in stack is not pinned here — it
+	// can be re-balanced onward or stolen like any local job, within its
+	// hop budget.
 	restoreStart := time.Now()
 	var restoreDur time.Duration
 	if msg.direct || n.Agent == nil {
@@ -737,21 +1006,23 @@ func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 			return nil, rerr
 		}
 		restoreDur = time.Since(restoreStart)
-		go m.runWorker(th, msg.expectValue, dst)
+		job := m.adoptRemote(th, msg.seg, dst, msg.expectValue)
+		m.registerRemote(job)
+		go m.runRemoteJob(th, job)
 	} else {
 		th, rc, berr := RestoreByBreakpoints(n, msg.seg)
 		if berr != nil {
 			return nil, berr
 		}
-		go func() {
-			th.Run()
-			m.routeResult(th, msg.expectValue, dst)
-		}()
+		job := m.adoptRemote(th, msg.seg, dst, msg.expectValue)
+		go m.runRemoteJob(th, job)
 		select {
 		case <-rc.done:
 			// Use the stamp taken when execution actually resumed: this
 			// waiter may be scheduled long after if the restored thread
-			// saturates the CPU.
+			// saturates the CPU. Only now does the job become migratable
+			// again — a capture during restoration would ship half a stack.
+			m.registerRemote(job)
 			restoreDur = rc.restoredAt.Sub(restoreStart)
 		case <-time.After(10 * time.Second):
 			return nil, fmt.Errorf("sodee: restoration timed out")

@@ -1,0 +1,194 @@
+package sodee
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/wire"
+)
+
+// Work stealing: the pull half of elasticity. The push path (balance.go)
+// lets a loaded node decide to shed a job; here an *idle* node takes the
+// initiative, asking a loaded victim for work over a two-message
+// protocol:
+//
+//	thief  → victim  KindStealRequest {thief runnable}   (RPC)
+//	victim → thief   KindStealGrant   {job id}           (RPC, liveness probe)
+//	victim → thief   KindMigrate      {captured stack}   (the ordinary path)
+//
+// The grant round trip proves the thief is still alive before the victim
+// pays for capture; a thief that dies after granting costs only a failed
+// transfer — MigrateSOD's crash fallback rebuilds the job locally, so the
+// job is never at risk. The steal-request reply carries the final verdict
+// (shipped or not), so the thief knows synchronously whether it won work.
+
+// stealConfig is a node's work-stealing posture. A node with no config
+// denies all steal requests.
+type stealConfig struct {
+	pol  policy.Steal
+	gate policy.HopGate
+}
+
+// StealStats counts one node's work-stealing activity, both sides.
+type StealStats struct {
+	// Thief side.
+	RequestsSent int // steal requests this node issued
+	Won          int // requests that ended with a job shipped here
+	// Victim side.
+	RequestsServed  int // steal requests received
+	Granted         int // requests answered with a grant (transfer attempted)
+	Denied          int // requests refused: not loaded enough, or no eligible job
+	FailedTransfers int // grants whose transfer failed (job recovered locally)
+}
+
+// EnableSteal opens this node to the work-stealing protocol: it will
+// answer steal requests under pol, with gate bounding which jobs may
+// move (hop budget, revisit cooldown). AutoBalance calls this for every
+// node when its Steal option is set; tests and embedders may call it
+// directly.
+func (m *Manager) EnableSteal(pol policy.Steal, gate policy.HopGate) {
+	m.mu.Lock()
+	m.steal = &stealConfig{pol: pol, gate: gate}
+	m.mu.Unlock()
+}
+
+// DisableSteal reverts the node to denying steal requests.
+func (m *Manager) DisableSteal() {
+	m.mu.Lock()
+	m.steal = nil
+	m.mu.Unlock()
+}
+
+// StealStats snapshots the node's steal counters.
+func (m *Manager) StealStats() StealStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stealStats
+}
+
+// RequestSteal asks victim to hand over one job; thiefRunnable is this
+// node's current runnable count, which the victim re-checks its margins
+// against (a stale thief view cannot talk a lightly loaded node out of
+// its last jobs). Returns whether a job was actually shipped here: by the
+// time the call returns true, the stolen stack is restored and running on
+// this node.
+func (m *Manager) RequestSteal(victim int, thiefRunnable int) (bool, error) {
+	m.mu.Lock()
+	m.stealStats.RequestsSent++
+	m.mu.Unlock()
+	w := wire.NewWriter(8)
+	w.Varint(int64(thiefRunnable))
+	reply, err := m.node.EP.Call(victim, netsim.KindStealRequest, w.Bytes())
+	if err != nil {
+		return false, err
+	}
+	r := wire.NewReader(reply)
+	won := r.Bool()
+	if err := r.Err(); err != nil {
+		return false, err
+	}
+	if won {
+		m.mu.Lock()
+		m.stealStats.Won++
+		m.mu.Unlock()
+	}
+	return won, nil
+}
+
+// stealDeny encodes a negative steal-request reply.
+func stealDeny() []byte {
+	w := wire.NewWriter(1)
+	w.Bool(false)
+	return w.Bytes()
+}
+
+// handleStealRequest is the victim side: re-check the margins against the
+// live local load, pick the best candidate job the hop gate allows to
+// move to the thief, announce the grant, and ship the job with the
+// ordinary whole-stack migration path.
+func (m *Manager) handleStealRequest(from int, payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	thiefRunnable := int(r.Varint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	cfg := m.steal
+	m.stealStats.RequestsServed++
+	m.mu.Unlock()
+	deny := func() ([]byte, error) {
+		m.mu.Lock()
+		m.stealStats.Denied++
+		m.mu.Unlock()
+		return stealDeny(), nil
+	}
+	if cfg == nil {
+		return deny()
+	}
+	local := policy.Signals{Node: m.node.ID, Runnable: m.node.VM.NumThreads()}
+	if !cfg.pol.Grant(local, thiefRunnable) {
+		return deny()
+	}
+	// Victim selection: fewest hops wins, gated by budget and cooldown
+	// (a job that just left the thief is quarantined from bouncing back).
+	// Jobs already mid-migration are skipped — two thieves ranking the
+	// same candidate would otherwise burn a grant on the in-flight guard
+	// (which stays as the correctness backstop for the remaining race).
+	now := time.Now()
+	jobs := m.RunningJobs()
+	infos := make([]policy.JobInfo, 0, len(jobs))
+	byID := make(map[uint64]*Job, len(jobs))
+	for _, j := range jobs {
+		if m.migrationInFlight(j.ID) {
+			continue
+		}
+		infos = append(infos, policy.JobInfo{ID: j.ID, Trace: j.Trace()})
+		byID[j.ID] = j
+	}
+	id, ok := policy.PickStealCandidate(infos, from, cfg.gate, now)
+	if !ok {
+		return deny()
+	}
+	job := byID[id]
+	m.mu.Lock()
+	m.stealStats.Granted++
+	m.mu.Unlock()
+
+	// Announce the grant: one round trip that both tells the thief a job
+	// is coming and proves the requester is still alive before the
+	// capture cost is paid.
+	gw := wire.NewWriter(16)
+	gw.Uvarint(job.ID)
+	if _, err := m.node.EP.Call(from, netsim.KindStealGrant, gw.Bytes()); err != nil {
+		m.mu.Lock()
+		m.stealStats.FailedTransfers++
+		m.mu.Unlock()
+		return stealDeny(), nil
+	}
+
+	// Ship it. A thief that dies between grant and transfer costs only
+	// the capture: the migration fails and the job falls back to local
+	// execution here, a live owner.
+	if _, err := m.MigrateSOD(job, SODOptions{
+		NFrames: WholeStack, Dest: from, Flow: FlowReturnHome,
+	}); err != nil {
+		m.mu.Lock()
+		m.stealStats.FailedTransfers++
+		m.mu.Unlock()
+		return stealDeny(), nil
+	}
+	w := wire.NewWriter(16)
+	w.Bool(true)
+	w.Uvarint(job.ID)
+	return w.Bytes(), nil
+}
+
+// handleStealGrant acknowledges a victim's announcement that a job is on
+// its way. The reply is the point: a dead thief fails this RPC, aborting
+// the steal before any state is captured.
+func (m *Manager) handleStealGrant(from int, payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	_ = r.Uvarint() // the victim's job id, diagnostic only
+	return nil, r.Err()
+}

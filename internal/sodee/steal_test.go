@@ -1,0 +1,318 @@
+package sodee_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/sodee"
+	"repro/internal/value"
+)
+
+// Work-stealing and multi-hop re-balancing over the simulated fabric.
+
+// TestStealOnlyBalancerDrainsBurst: with the push policy disabled
+// (policy.Never) and Steal enabled, idle nodes pull the burst off the
+// loaded node entirely on their own initiative — and every job still
+// computes the right answer.
+func TestStealOnlyBalancerDrainsBurst(t *testing.T) {
+	c := cruncherCluster(t,
+		sodee.NodeConfig{ID: 1, Preloaded: true, Cores: 1, Slow: 16},
+		sodee.NodeConfig{ID: 2, Preloaded: true, Cores: 1},
+		sodee.NodeConfig{ID: 3, Preloaded: true, Cores: 1},
+	)
+	b := c.AutoBalance(policy.Never{}, sodee.BalanceOptions{
+		Interval: 500 * time.Microsecond, Steal: true,
+	})
+	defer b.Stop()
+
+	const njobs = 6
+	jobs := make([]*sodee.Job, njobs)
+	seeds := make([]int64, njobs)
+	for i := range jobs {
+		seeds[i] = int64(200 + i)
+		j, err := c.Nodes[1].Mgr.StartJob("main", value.Int(seeds[i]), value.Int(crunchIters))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	waitAll(t, jobs, seeds)
+	b.Stop()
+
+	st := b.Stats()
+	if st.Stolen == 0 {
+		t.Fatalf("idle nodes never stole: %+v", st)
+	}
+	if st.Pushed != 0 {
+		t.Errorf("the Never policy pushed %d jobs", st.Pushed)
+	}
+	if st.Migrations != st.Pushed+st.Stolen+st.Rebalanced {
+		t.Errorf("direction split %d+%d+%d does not sum to %d migrations",
+			st.Pushed, st.Stolen, st.Rebalanced, st.Migrations)
+	}
+	if remote := c.Nodes[2].VM.LiveInstructions() + c.Nodes[3].VM.LiveInstructions(); remote == 0 {
+		t.Error("thieves executed nothing despite winning steals")
+	}
+	// Node-level counters agree: the victim granted what the thieves won.
+	victim := c.Nodes[1].Mgr.StealStats()
+	if victim.Granted == 0 || victim.Granted < st.Stolen {
+		t.Errorf("victim counters inconsistent with balancer: %+v vs stolen %d", victim, st.Stolen)
+	}
+}
+
+// TestPushPlusStealSplitsDirections: the default push policy with Steal
+// enabled reports every migration under exactly one direction.
+func TestPushPlusStealSplitsDirections(t *testing.T) {
+	c := cruncherCluster(t,
+		sodee.NodeConfig{ID: 1, Preloaded: true, Cores: 1, Slow: 16},
+		sodee.NodeConfig{ID: 2, Preloaded: true, Cores: 1},
+		sodee.NodeConfig{ID: 3, Preloaded: true, Cores: 1},
+	)
+	b := c.AutoBalance(policy.Threshold{}, sodee.BalanceOptions{
+		Interval: 500 * time.Microsecond, Steal: true,
+	})
+	defer b.Stop()
+
+	const njobs = 6
+	jobs := make([]*sodee.Job, njobs)
+	seeds := make([]int64, njobs)
+	for i := range jobs {
+		seeds[i] = int64(300 + i)
+		j, err := c.Nodes[1].Mgr.StartJob("main", value.Int(seeds[i]), value.Int(crunchIters))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	waitAll(t, jobs, seeds)
+	b.Stop()
+
+	st := b.Stats()
+	if st.Migrations == 0 {
+		t.Fatalf("burst never moved: %+v", st)
+	}
+	if st.Migrations != st.Pushed+st.Stolen+st.Rebalanced {
+		t.Errorf("direction split %d+%d+%d does not sum to %d migrations",
+			st.Pushed, st.Stolen, st.Rebalanced, st.Migrations)
+	}
+}
+
+// migrateRunningJob whole-stack-migrates a running (ungated) job and
+// fails the test on error.
+func migrateRunningJob(t *testing.T, c *sodee.Cluster, from int, job *sodee.Job, dest int) {
+	t.Helper()
+	if _, err := c.Nodes[from].Mgr.MigrateSOD(job, sodee.SODOptions{
+		NFrames: sodee.WholeStack, Dest: dest, Flow: sodee.FlowReturnHome,
+	}); err != nil {
+		t.Fatalf("migrate %d→%d: %v", from, dest, err)
+	}
+}
+
+// waitRemoteJobs polls until node id hosts want migrated-in jobs (their
+// restoration has finished), returning them.
+func waitRemoteJobs(t *testing.T, c *sodee.Cluster, id, want int) []*sodee.Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var remote []*sodee.Job
+		for _, j := range c.Nodes[id].Mgr.RunningJobs() {
+			if j.Remote() {
+				remote = append(remote, j)
+			}
+		}
+		if len(remote) >= want {
+			return remote
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d never hosted %d migrated-in jobs", id, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMultiHopResultReturnsToOrigin: a job hops 1→2 (push) and then 2→3
+// (re-balance of the migrated-in stack); the final result must flush
+// straight back to node 1, with the write-back visible at home and the
+// hop count accumulated.
+func TestMultiHopResultReturnsToOrigin(t *testing.T) {
+	c, g := sodCluster(t, []int{1, 2, 3}, true)
+	home := c.Nodes[1]
+	d := makeData(t, home)
+	job, err := home.Mgr.StartJob("main", value.RefVal(d), value.Int(testIters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrateWhileRunning(t, g, func() (*sodee.MigrationMetrics, error) {
+		return home.Mgr.MigrateSOD(job, sodee.SODOptions{
+			NFrames: sodee.WholeStack, Dest: 2, Flow: sodee.FlowReturnHome,
+		})
+	})
+
+	// The migrated-in stack is a first-class job at node 2, carrying its
+	// trace.
+	remote := waitRemoteJobs(t, c, 2, 1)[0]
+	tr := remote.Trace()
+	if tr.Hops != 1 {
+		t.Errorf("hops after first migration = %d, want 1", tr.Hops)
+	}
+	if _, ok := tr.Visited[1]; !ok {
+		t.Errorf("trace lost the origin node: %+v", tr.Visited)
+	}
+
+	// Second hop: re-balance it onward to node 3.
+	migrateRunningJob(t, c, 2, remote, 3)
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != expectedResult(testIters) {
+		t.Errorf("result = %d, want %d", res.I, expectedResult(testIters))
+	}
+	if c.Nodes[3].VM.LiveInstructions() == 0 {
+		t.Error("final hop executed nothing")
+	}
+	// Write-back: the remote increment must land at the data's home.
+	if got := home.VM.Heap.MustGet(d).Fields[2].I; got != 1 {
+		t.Errorf("Data.hits = %d at home, want 1 (multi-hop write-back)", got)
+	}
+	// Node 2 no longer tracks the job it passed on.
+	if len(c.Nodes[2].Mgr.RunningJobs()) != 0 {
+		t.Error("intermediate hop still holds the job wrapper")
+	}
+}
+
+// TestRebalanceCrashFallbackKeepsLiveOwner: re-balancing a migrated-in
+// job toward a dead node must leave it running where it is — the current
+// host is its live owner — and the result still reaches the origin.
+func TestRebalanceCrashFallbackKeepsLiveOwner(t *testing.T) {
+	c, g := sodCluster(t, []int{1, 2, 3}, true)
+	home := c.Nodes[1]
+	d := makeData(t, home)
+	job, err := home.Mgr.StartJob("main", value.RefVal(d), value.Int(testIters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrateWhileRunning(t, g, func() (*sodee.MigrationMetrics, error) {
+		return home.Mgr.MigrateSOD(job, sodee.SODOptions{
+			NFrames: sodee.WholeStack, Dest: 2, Flow: sodee.FlowReturnHome,
+		})
+	})
+	remote := waitRemoteJobs(t, c, 2, 1)[0]
+
+	c.Net.SetNodeDown(3, true)
+	if _, err := c.Nodes[2].Mgr.MigrateSOD(remote, sodee.SODOptions{
+		NFrames: sodee.WholeStack, Dest: 3, Flow: sodee.FlowReturnHome,
+	}); err == nil {
+		t.Fatal("re-balancing onto a dead node should report failure")
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != expectedResult(testIters) {
+		t.Errorf("result = %d, want %d", res.I, expectedResult(testIters))
+	}
+	if c.Nodes[3].VM.LiveInstructions() != 0 {
+		t.Error("the dead node executed instructions")
+	}
+}
+
+// TestStealHonorsHopBudget: a victim whose only jobs are already at the
+// hop budget denies the steal; raising the budget releases them.
+func TestStealHonorsHopBudget(t *testing.T) {
+	c := cruncherCluster(t,
+		sodee.NodeConfig{ID: 1, Preloaded: true},
+		sodee.NodeConfig{ID: 2, Preloaded: true},
+		sodee.NodeConfig{ID: 3, Preloaded: true},
+	)
+	const iters = 3_000_000
+	j1, err := c.Nodes[1].Mgr.StartJob("main", value.Int(7), value.Int(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c.Nodes[1].Mgr.StartJob("main", value.Int(8), value.Int(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrateRunningJob(t, c, 1, j1, 2)
+	migrateRunningJob(t, c, 1, j2, 2)
+	waitRemoteJobs(t, c, 2, 2)
+
+	// Budget 1: both hosted jobs already took their one hop.
+	c.Nodes[2].Mgr.EnableSteal(policy.Steal{}, policy.HopGate{Budget: 1})
+	won, err := c.Nodes[3].Mgr.RequestSteal(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if won {
+		t.Fatal("steal won a job past its hop budget")
+	}
+	// Budget 2: eligible again.
+	c.Nodes[2].Mgr.EnableSteal(policy.Steal{}, policy.HopGate{Budget: 2})
+	won, err = c.Nodes[3].Mgr.RequestSteal(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !won {
+		t.Fatal("steal within the hop budget was denied")
+	}
+	for i, j := range []*sodee.Job{j1, j2} {
+		res, werr := j.Wait()
+		if werr != nil {
+			t.Fatalf("job %d: %v", i, werr)
+		}
+		if want := crunchExpected(int64(7+i), iters); res.I != want {
+			t.Errorf("job %d = %d, want %d", i, res.I, want)
+		}
+	}
+}
+
+// TestStealCooldownBlocksBounceBack: the node a job just left cannot
+// steal it straight back, but a third node can take it.
+func TestStealCooldownBlocksBounceBack(t *testing.T) {
+	c := cruncherCluster(t,
+		sodee.NodeConfig{ID: 1, Preloaded: true},
+		sodee.NodeConfig{ID: 2, Preloaded: true},
+		sodee.NodeConfig{ID: 3, Preloaded: true},
+	)
+	const iters = 3_000_000
+	j1, err := c.Nodes[1].Mgr.StartJob("main", value.Int(9), value.Int(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c.Nodes[1].Mgr.StartJob("main", value.Int(10), value.Int(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrateRunningJob(t, c, 1, j1, 2)
+	migrateRunningJob(t, c, 1, j2, 2)
+	waitRemoteJobs(t, c, 2, 2)
+
+	c.Nodes[2].Mgr.EnableSteal(policy.Steal{}, policy.HopGate{Budget: 8, Cooldown: time.Hour})
+	// Node 1 is inside both jobs' cooldown window: bounce-back denied.
+	won, err := c.Nodes[1].Mgr.RequestSteal(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if won {
+		t.Fatal("job bounced straight back to the node it just left")
+	}
+	// Node 3 never hosted them: eligible.
+	won, err = c.Nodes[3].Mgr.RequestSteal(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !won {
+		t.Fatal("uninvolved node was denied a legitimate steal")
+	}
+	for i, j := range []*sodee.Job{j1, j2} {
+		res, werr := j.Wait()
+		if werr != nil {
+			t.Fatalf("job %d: %v", i, werr)
+		}
+		if want := crunchExpected(int64(9+i), iters); res.I != want {
+			t.Errorf("job %d = %d, want %d", i, res.I, want)
+		}
+	}
+}

@@ -1,14 +1,18 @@
 package sodee_test
 
 import (
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/bytecode"
 	"repro/internal/membership"
 	"repro/internal/netsim"
+	"repro/internal/policy"
 	"repro/internal/preprocess"
 	"repro/internal/sodee"
 	"repro/internal/value"
+	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
@@ -23,6 +27,12 @@ func tcpPair(t *testing.T, cfg1, cfg2 sodee.NodeConfig) (*sodee.Cluster, func())
 	t.Helper()
 	prog := preprocess.MustPreprocess(workloads.Cruncher(),
 		preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+	return tcpPairProg(t, prog, cfg1, cfg2)
+}
+
+// tcpPairProg is tcpPair over an arbitrary preprocessed program.
+func tcpPairProg(t *testing.T, prog *bytecode.Program, cfg1, cfg2 sodee.NodeConfig) (*sodee.Cluster, func()) {
+	t.Helper()
 	c := sodee.NewTransportCluster(prog)
 
 	tr1, err := netsim.NewTCPTransport(cfg1.ID, "127.0.0.1:0")
@@ -169,4 +179,145 @@ func TestMigrationToDeadTCPNodeRecoversLocally(t *testing.T) {
 	if want := workloads.CruncherExpected(seed, iters); res.I != want {
 		t.Errorf("result after fallback = %d, want %d", res.I, want)
 	}
+}
+
+// TestStealOverTCP: an idle TCP node pulls a job off a loaded peer with
+// the steal protocol — the request, the grant probe and the whole-stack
+// transfer all ride real sockets — and the stolen job's result flushes
+// back to the victim correctly.
+func TestStealOverTCP(t *testing.T) {
+	c, cleanup := tcpPair(t,
+		sodee.NodeConfig{ID: 1, Preloaded: true, Cores: 1, Slow: 8},
+		sodee.NodeConfig{ID: 2, Preloaded: true},
+	)
+	defer cleanup()
+	victim, thief := c.Nodes[1], c.Nodes[2]
+	victim.Mgr.EnableSteal(policy.Steal{}, policy.HopGate{})
+
+	const iters = 1_500_000
+	seeds := []int64{41, 42}
+	jobs := make([]*sodee.Job, len(seeds))
+	for i, seed := range seeds {
+		j, err := victim.Mgr.StartJob("main", value.Int(seed), value.Int(iters))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	won, err := thief.Mgr.RequestSteal(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !won {
+		t.Fatalf("steal over TCP denied: victim stats %+v", victim.Mgr.StealStats())
+	}
+	for i, j := range jobs {
+		res, werr := j.Wait()
+		if werr != nil {
+			t.Fatalf("job %d: %v", i, werr)
+		}
+		if want := workloads.CruncherExpected(seeds[i], iters); res.I != want {
+			t.Errorf("job %d = %d, want %d", i, res.I, want)
+		}
+	}
+	if thief.VM.LiveInstructions() == 0 {
+		t.Error("thief won a steal but executed nothing")
+	}
+	st := thief.Mgr.StealStats()
+	if st.RequestsSent != 1 || st.Won != 1 {
+		t.Errorf("thief counters: %+v", st)
+	}
+}
+
+// blockAllGate parks every thread that calls it until released, and
+// signals when `want` threads have arrived — unlike the single-shot gate,
+// it holds a whole burst at a known execution point.
+type blockAllGate struct {
+	mu      sync.Mutex
+	arrived int
+	want    int
+	ready   chan struct{}
+	release chan struct{}
+}
+
+func newBlockAllGate(want int) *blockAllGate {
+	return &blockAllGate{want: want, ready: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *blockAllGate) native(t *vm.Thread, args []value.Value) (value.Value, *vm.Raised) {
+	g.mu.Lock()
+	g.arrived++
+	if g.arrived == g.want {
+		close(g.ready)
+	}
+	g.mu.Unlock()
+	<-g.release
+	return value.Value{}, nil
+}
+
+// TestStealGrantRequesterDiesMidTransferTCP: the thief dies after the
+// grant round trip but before the transfer. The victim's capture is
+// already committed — the migration RPC fails against the dead socket,
+// and the job must fall back to local execution on the victim.
+func TestStealGrantRequesterDiesMidTransferTCP(t *testing.T) {
+	prog := preprocess.MustPreprocess(buildWorkload(),
+		preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+	c, cleanup := tcpPairProg(t, prog,
+		sodee.NodeConfig{ID: 1, Preloaded: true},
+		sodee.NodeConfig{ID: 2, Preloaded: true},
+	)
+	defer cleanup()
+	victim, thief := c.Nodes[1], c.Nodes[2]
+	g := newBlockAllGate(2)
+	victim.VM.BindNative("test_gate", g.native)
+	thief.VM.BindNative("test_gate", g.native)
+	victim.Mgr.EnableSteal(policy.Steal{}, policy.HopGate{})
+
+	jobs := make([]*sodee.Job, 2)
+	for i := range jobs {
+		d := makeData(t, victim)
+		j, err := victim.Mgr.StartJob("main", value.RefVal(d), value.Int(testIters))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	<-g.ready // both jobs parked in the gate: runnable 2, margin satisfied
+
+	// The steal request: the grant probe succeeds (the thief is alive),
+	// then MigrateSOD blocks waiting for a safe point because both
+	// threads sit in the gate.
+	stealErr := make(chan error, 1)
+	go func() {
+		_, err := thief.Mgr.RequestSteal(1, 0)
+		stealErr <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for victim.Mgr.StealStats().Granted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never granted the steal")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill the requester mid-transfer — after the grant, before the
+	// capture completes — then let the victim's capture proceed.
+	thief.EP.(*netsim.TCPTransport).Close() //nolint:errcheck
+	close(g.release)
+
+	for i, j := range jobs {
+		res, werr := j.Wait()
+		if werr != nil {
+			t.Fatalf("job %d after fallback: %v", i, werr)
+		}
+		if res.I != expectedResult(testIters) {
+			t.Errorf("job %d = %d, want %d", i, res.I, expectedResult(testIters))
+		}
+	}
+	st := victim.Mgr.StealStats()
+	if st.FailedTransfers != 1 {
+		t.Errorf("victim should record the failed transfer: %+v", st)
+	}
+	// The thief's death surfaced to its own pending call too.
+	<-stealErr
 }

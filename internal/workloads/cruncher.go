@@ -12,7 +12,23 @@ import (
 // elastic experiment share this single definition so the program and its
 // Go mirror cannot drift apart.
 func Cruncher() *bytecode.Program {
+	return cruncherProgram("")
+}
+
+// CruncherWithMarker is Cruncher with a terminal probe: crunch's last
+// statement before returning calls the named native (declared with one
+// argument, the seed) exactly once per execution. The chaos harness uses
+// it as an exactly-once marker — a lost flush completes it zero times, a
+// double-executed segment twice. CruncherExpected is still the mirror.
+func CruncherWithMarker(native string) *bytecode.Program {
+	return cruncherProgram(native)
+}
+
+func cruncherProgram(marker string) *bytecode.Program {
 	pb := asm.NewProgram()
+	if marker != "" {
+		pb.Native(marker, 1, false)
+	}
 	cr := pb.Func("crunch", true, "seed", "iters")
 	cr.Line().Load("seed").Store("acc")
 	cr.Line().Int(0).Store("i")
@@ -22,6 +38,9 @@ func Cruncher() *bytecode.Program {
 	cr.Line().Load("i").Int(1).Add().Store("i")
 	cr.Line().Jmp("loop")
 	cr.Label("done")
+	if marker != "" {
+		cr.Line().Load("seed").CallNat(marker, 1)
+	}
 	cr.Line().Load("acc").RetV()
 	mn := pb.Func("main", true, "seed", "iters")
 	mn.Line().Load("seed").Load("iters").Call("crunch", 2).Int(7).Add().RetV()

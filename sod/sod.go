@@ -327,8 +327,19 @@ type Signals = policy.Signals
 type Balancer = sodee.Balancer
 
 // BalanceOptions tunes AutoBalance; the zero value gives a 1ms decision
-// interval and whole-stack return-home migrations.
+// interval and whole-stack return-home migrations. Set Steal to arm the
+// pull half (idle nodes steal from loaded peers); HopBudget and Cooldown
+// bound multi-hop re-balancing (how many times any one job may move, and
+// how soon it may revisit a node it left).
 type BalanceOptions = sodee.BalanceOptions
+
+// StealStats counts one node's work-stealing activity (requests sent and
+// won, served, granted, denied, failed transfers).
+type StealStats = sodee.StealStats
+
+// NeverPolicy never pushes: combine with BalanceOptions.Steal for a
+// steal-only balancer where migration is purely pull-driven.
+func NeverPolicy() Policy { return policy.Never{} }
 
 // BalanceStats aggregates a balancer's activity.
 type BalanceStats = sodee.BalanceStats
@@ -354,8 +365,12 @@ func RoundRobinPolicy() Policy { return &policy.RoundRobin{} }
 // signals every interval, and p decides per running job whether to stay
 // or migrate and where. Verdicts execute as whole-stack SOD migrations;
 // unreachable destinations are marked failed and never chosen again, and
-// a migration that fails in flight falls back to local execution. Stop
-// the returned Balancer when done.
+// a migration that fails in flight falls back to local execution. With
+// opts.Steal set, idle nodes additionally pull jobs from loaded peers
+// (work stealing), and migrated-in jobs remain eligible for further
+// moves within opts.HopBudget and opts.Cooldown — results still flush
+// straight back to each job's origin. Stop the returned Balancer when
+// done.
 func (c *Cluster) AutoBalance(p Policy, opts BalanceOptions) *Balancer {
 	return c.inner.AutoBalance(p, opts)
 }
