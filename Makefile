@@ -10,15 +10,21 @@ GO ?= go
 # distinct set of job identities for every scenario).
 CHAOS_SEEDS ?= 1,7,42
 
-.PHONY: check vet build test race bench-smoke elastic cluster-smoke chaos
+.PHONY: check vet build build-examples test race bench-smoke elastic cluster-smoke chaos
 
-check: vet build race bench-smoke
+check: vet build build-examples race bench-smoke
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Examples are main packages with no tests, so nothing but an explicit
+# build exercises them; naming them keeps a future build-tag or module
+# shuffle from silently dropping them out of the gate.
+build-examples:
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...

@@ -6,7 +6,14 @@
 //	sodctl -addr 127.0.0.1:7101 run -method main -args 42,200000
 //	sodctl -addr 127.0.0.1:7101 stats
 //	sodctl -addr 127.0.0.1:7101 load
+//	sodctl -addr 127.0.0.1:7101 watch -job 3
 //	sodctl -addr 127.0.0.1:7101 watch -every 1s -for 10s
+//
+// "watch -job N" streams job N's lifecycle live — where it started,
+// every migration with its direction and reason (pushed / stolen /
+// rebalanced) and hop count, the result flushing home, completion — and
+// exits when the job does. Without -job, watch falls back to polling the
+// cluster-wide membership and stats tables.
 package main
 
 import (
@@ -97,6 +104,26 @@ func printLoad(c *daemon.Client) {
 	}
 }
 
+// watchJob streams one job's lifecycle events until its stream ends
+// (completion, or losing the daemon).
+func watchJob(c *daemon.Client, job uint64) {
+	ch, cancel, err := c.Watch(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cancel()
+	sawTerminal := false
+	for ev := range ch {
+		fmt.Printf("%s  %s\n", ev.Time.Format("15:04:05.000"), ev)
+		if ev.Terminal() {
+			sawTerminal = true
+		}
+	}
+	if !sawTerminal {
+		log.Fatal("watch stream ended before the job completed (daemon lost?)")
+	}
+}
+
 func main() {
 	addr := flag.String("addr", "", "daemon control address")
 	flag.Usage = usage
@@ -165,9 +192,14 @@ func main() {
 
 	case "watch":
 		fs := flag.NewFlagSet("watch", flag.ExitOnError)
-		every := fs.Duration("every", time.Second, "poll interval")
-		dur := fs.Duration("for", 10*time.Second, "total watch duration")
+		job := fs.Uint64("job", 0, "job id to stream (0 = poll cluster tables instead)")
+		every := fs.Duration("every", time.Second, "poll interval (table mode)")
+		dur := fs.Duration("for", 10*time.Second, "total watch duration (table mode)")
 		fs.Parse(rest) //nolint:errcheck
+		if *job != 0 {
+			watchJob(c, *job)
+			return
+		}
 		end := time.Now().Add(*dur)
 		for {
 			printMembers(c)

@@ -54,8 +54,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("sodd: node %d listening on %s (workload %s, policy %s)\n",
-		d.ID(), d.Addr(), *workload, *pol)
+	fmt.Printf("sodd: node %d listening on %s (workload %s, policy %s, control protocol v%d)\n",
+		d.ID(), d.Addr(), *workload, *pol, daemon.ProtocolVersion)
 
 	for _, seed := range strings.Split(*join, ",") {
 		seed = strings.TrimSpace(seed)

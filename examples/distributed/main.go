@@ -1,27 +1,35 @@
-// Distributed: the cluster runtime over real TCP sockets. Three sodd
-// node daemons boot in-process on loopback ports — exactly what the
-// sodd binary runs, minus the process boundary — and join into one
-// cluster: a weak one-core node and two strong peers. A burst of jobs
-// lands on the weak node; AutoBalance watches the heartbeat-borne load
-// gossip and spills the burst outward as whole-stack SOD migrations over
-// the sockets. Then one strong node is killed mid-run with no goodbye:
-// the survivors' failure detectors notice on their own (there is no
-// SetNodeDown here — this is not the simulated fabric), a migration
-// aimed at the corpse falls back to local execution, and every job still
-// returns the right answer.
+// Distributed: the cluster runtime over real TCP sockets, driven through
+// the unified client API. Three sodd node daemons boot in-process on
+// loopback ports — exactly what the sodd binary runs, minus the process
+// boundary — and join into one cluster: a weak one-core node and two
+// strong peers. The driver then connects a sod.Dial client (the same
+// sod.Client interface an in-process cluster serves), submits a burst of
+// jobs onto the weak node, and *watches* every job live: each migration
+// prints as it happens, with its direction, its reason (pushed / stolen /
+// rebalanced) and its hop count — the stream sodctl surfaces as
+// "sodctl watch -job N".
+//
+// Mid-run one strong node is killed with no goodbye: the survivors'
+// failure detectors notice on their own (there is no SetNodeDown here —
+// this is not the simulated fabric), a migration aimed at the corpse
+// falls back to local execution, and every job still returns the right
+// answer.
 //
 // The same scenario runs as separate OS processes with cmd/sodd and
 // cmd/sodctl; see README "Running a real cluster".
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"repro/internal/daemon"
 	"repro/internal/membership"
 	"repro/internal/workloads"
+	"repro/sod"
 )
 
 const (
@@ -38,6 +46,13 @@ func boot(id, cores, slow int) *daemon.Daemon {
 		log.Fatal(err)
 	}
 	return d
+}
+
+func printEvents(wg *sync.WaitGroup, ch <-chan sod.JobEvent) {
+	defer wg.Done()
+	for ev := range ch {
+		fmt.Printf("  %s\n", ev)
+	}
 }
 
 func main() {
@@ -68,21 +83,33 @@ func main() {
 	}
 	fmt.Println("membership converged: every node sees every peer alive")
 
-	// Drive the burst through the control plane, like sodctl would.
-	ctl, err := daemon.Dial(d1.Addr())
+	// One client API: sod.Dial serves the same sod.Client an in-process
+	// cluster.Client() does — submit, wait, stats, and live job watching.
+	// The deadline is the scenario's failure alarm: a job wedged by the
+	// mid-run crash must abort the example loudly, not hang it.
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancelCtx()
+	cl, err := sod.Dial(d1.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ctl.Close()
+	defer cl.Close() //nolint:errcheck
 
 	start := time.Now()
-	ids := make([]uint64, jobs)
-	for i := range ids {
-		id, err := ctl.Submit("main", int64(1000+i), iters)
+	handles := make([]sod.JobHandle, jobs)
+	var watchers sync.WaitGroup
+	for i := range handles {
+		h, err := cl.Submit(ctx, "main", sod.Int(int64(1000+i)), sod.Int(iters))
 		if err != nil {
 			log.Fatal(err)
 		}
-		ids[i] = id
+		handles[i] = h
+		ch, err := cl.Watch(ctx, h.ID())
+		if err != nil {
+			log.Fatal(err)
+		}
+		watchers.Add(1)
+		go printEvents(&watchers, ch)
 	}
 
 	// Kill node 3 mid-run: from the survivors' point of view it simply
@@ -91,16 +118,17 @@ func main() {
 	d3.Stop()
 	fmt.Println("node 3 killed mid-run (no goodbye sent)")
 
-	for i, id := range ids {
-		res, done, errMsg, err := ctl.Wait(id, time.Minute)
-		if err != nil || !done || errMsg != "" {
-			log.Fatalf("job %d: done=%v errMsg=%q err=%v", i, done, errMsg, err)
+	for i, h := range handles {
+		res, err := h.Wait(ctx)
+		if err != nil {
+			log.Fatalf("job %d: %v", i, err)
 		}
-		if want := workloads.CruncherExpected(int64(1000+i), iters); res != want {
-			log.Fatalf("job %d: result %d, want %d", i, res, want)
+		if want := workloads.CruncherExpected(int64(1000+i), iters); res.I != want {
+			log.Fatalf("job %d: result %d, want %d", i, res.I, want)
 		}
 	}
 	makespan := time.Since(start)
+	watchers.Wait() // every stream ends at its job's completion event
 
 	// The survivors must have declared node 3 dead purely by heartbeat.
 	deadline = time.Now().Add(20 * time.Second)
@@ -111,18 +139,18 @@ func main() {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	st, _, err := ctl.Stats()
+	st, err := cl.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("burst of %d jobs done in %s: %d migrations over TCP",
-		jobs, makespan.Round(time.Millisecond), st.Migrations)
-	for dest, n := range st.MigrationsTo {
+		jobs, makespan.Round(time.Millisecond), st.Balance.Migrations)
+	for dest, n := range st.Balance.MigrationsTo {
 		fmt.Printf(", %d→node %d", n, dest)
 	}
-	fmt.Printf(" (%d failed in flight, recovered locally)\n", st.FailedMigrations)
+	fmt.Printf(" (%d failed in flight, recovered locally)\n", st.Balance.FailedMigrations)
 	fmt.Println("node 3 detected dead by heartbeats; all results correct")
-	if st.Migrations == 0 {
+	if st.Balance.Migrations == 0 {
 		log.Fatal("the balancer never spilled the burst over TCP")
 	}
 }

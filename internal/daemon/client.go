@@ -1,8 +1,10 @@
 package daemon
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,28 +23,69 @@ import (
 type Client struct {
 	tr   *netsim.TCPTransport
 	peer int
+
+	// watches routes streamed opEvent frames to Watch subscribers by
+	// generation — a client-chosen per-stream nonce, so several watches
+	// of one job coexist and frames from a cancelled stream can never be
+	// mistaken for a successor's.
+	mu       sync.Mutex
+	watchGen uint64
+	watches  map[uint64]*clientWatch
+}
+
+type clientWatch struct {
+	gen    uint64
+	ch     chan sodee.JobEvent
+	closed bool
+	// The daemon numbers a stream's frames, but one-way frames are
+	// handled concurrently by the transport; pending holds early arrivals
+	// until their predecessors land so events deliver in stream order.
+	next    uint64
+	pending map[uint64]sodee.JobEvent
 }
 
 // ctlSeq disambiguates several clients inside one process.
 var ctlSeq atomic.Int64
 
-// Dial connects a control client to the daemon at addr.
-func Dial(addr string) (*Client, error) {
+// Dial connects a control client to the daemon at addr and verifies the
+// control-protocol version.
+func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0) }
+
+// DialTimeout is Dial with a bound on how long a dead address is retried
+// (0 keeps the transport's default, ~5s).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	id := -(int(ctlSeq.Add(1))*1_000_000 + os.Getpid()%1_000_000 + 1)
 	tr, err := netsim.NewTCPTransport(id, "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
+	if timeout > 0 {
+		tr.SetDialWindow(0, timeout)
+	}
+	c := &Client{tr: tr, watches: make(map[uint64]*clientWatch)}
+	// Register the stream plumbing before the daemon can possibly send a
+	// frame: events for a watch may start arriving the moment the watch
+	// RPC is acked.
+	tr.Handle(netsim.KindControl, c.handleControl)
+	tr.SetPeerDownHook(func(int) { c.endAllWatches() })
 	peer, err := tr.Connect(addr)
 	if err != nil {
 		tr.Close() //nolint:errcheck
 		return nil, err
 	}
-	return &Client{tr: tr, peer: peer}, nil
+	c.peer = peer
+	if err := helloCheck(tr, peer); err != nil {
+		tr.Close() //nolint:errcheck
+		return nil, err
+	}
+	return c, nil
 }
 
-// Close releases the connection.
-func (c *Client) Close() { c.tr.Close() } //nolint:errcheck
+// Close releases the connection and ends every live watch.
+func (c *Client) Close() {
+	c.tr.Close() //nolint:errcheck
+	c.endAllWatches()
+}
 
 // Peer returns the daemon's node id.
 func (c *Client) Peer() int { return c.peer }
@@ -116,6 +159,172 @@ func (c *Client) Wait(job uint64, timeout time.Duration) (result int64, done boo
 	result = r.Varint()
 	errMsg = string(r.Blob())
 	return result, done, errMsg, r.Err()
+}
+
+// waitChunk bounds one long-poll round trip of WaitContext, so a context
+// canceled mid-wait is noticed within this lag.
+const waitChunk = 500 * time.Millisecond
+
+// WaitContext blocks until the job completes or ctx ends. It long-polls
+// the daemon in bounded chunks; a non-empty errMsg is the job's failure,
+// err covers the transport and the context.
+func (c *Client) WaitContext(ctx context.Context, job uint64) (result int64, errMsg string, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, "", err
+		}
+		chunk := waitChunk
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem < chunk {
+				chunk = rem
+			}
+			if chunk <= 0 {
+				return 0, "", context.DeadlineExceeded
+			}
+		}
+		res, done, errMsg, err := c.Wait(job, chunk)
+		if err != nil {
+			return 0, "", err
+		}
+		if done {
+			return res, errMsg, nil
+		}
+	}
+}
+
+// --- job event streaming ---
+
+// Watch subscribes to a job's lifecycle events. The daemon replays the
+// job's retained history first, then streams live events; the channel is
+// closed after the job's terminal event, when cancel is called, or when
+// the connection to the daemon dies. A job may be watched any number of
+// times concurrently; every subscription gets the full stream.
+func (c *Client) Watch(job uint64) (<-chan sodee.JobEvent, func(), error) {
+	c.mu.Lock()
+	c.watchGen++
+	w := &clientWatch{
+		gen:     c.watchGen,
+		ch:      make(chan sodee.JobEvent, 128),
+		pending: make(map[uint64]sodee.JobEvent),
+	}
+	c.watches[w.gen] = w
+	c.mu.Unlock()
+
+	req := wire.NewWriter(20)
+	req.Byte(opWatch)
+	req.Uvarint(job)
+	req.Uvarint(w.gen)
+	if _, err := c.call(req.Bytes()); err != nil {
+		c.endWatch(w.gen)
+		return nil, nil, err
+	}
+	cancel := func() {
+		if c.endWatch(w.gen) {
+			// Tell the daemon to stop streaming; best effort — it also
+			// notices when its sends start failing.
+			uw := wire.NewWriter(12)
+			uw.Byte(opUnwatch)
+			uw.Uvarint(w.gen)
+			c.call(uw.Bytes()) //nolint:errcheck
+		}
+	}
+	return w.ch, cancel, nil
+}
+
+// endWatch closes and forgets one watch; reports whether it was live.
+func (c *Client) endWatch(gen uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.watches[gen]
+	if w == nil {
+		return false
+	}
+	delete(c.watches, gen)
+	if !w.closed {
+		w.closed = true
+		close(w.ch)
+	}
+	return true
+}
+
+func (c *Client) endAllWatches() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for gen, w := range c.watches {
+		delete(c.watches, gen)
+		if !w.closed {
+			w.closed = true
+			close(w.ch)
+		}
+	}
+}
+
+// handleControl receives the daemon's one-way stream frames.
+func (c *Client) handleControl(from int, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("daemon client: empty control frame")
+	}
+	switch payload[0] {
+	case opEvent:
+		r := wire.NewReader(payload[1:])
+		gen := r.Uvarint()
+		streamSeq := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		ev, err := sodee.DecodeJobEvent(payload[1+r.Pos():])
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		w := c.watches[gen]
+		if w != nil && !w.closed {
+			w.pending[streamSeq] = ev
+			for {
+				nextEv, ok := w.pending[w.next]
+				if !ok {
+					break
+				}
+				delete(w.pending, w.next)
+				w.next++
+				select {
+				case w.ch <- nextEv:
+				default:
+					// Slow consumer: drop — except a terminal event, which
+					// carries the job's outcome; evict the oldest queued
+					// event to make room for it.
+					if nextEv.Terminal() {
+						select {
+						case <-w.ch:
+						default:
+						}
+						select {
+						case w.ch <- nextEv:
+						default:
+						}
+					}
+				}
+				if nextEv.Terminal() {
+					w.closed = true
+					close(w.ch)
+					delete(c.watches, gen)
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+		return nil, nil
+	case opEventEnd:
+		r := wire.NewReader(payload[1:])
+		gen := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		c.endWatch(gen)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("daemon client: unexpected control op %d", payload[0])
+	}
 }
 
 // Run submits a job and waits for its result.

@@ -1,0 +1,253 @@
+package daemon
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sodee"
+	"repro/internal/wire"
+	"repro/internal/workloads"
+)
+
+// Error-path coverage for the control client: dead daemons, daemons
+// dying mid-operation, watch stream termination, and control-protocol
+// version skew.
+
+func bootOne(t *testing.T, id int) *Daemon {
+	t.Helper()
+	d, err := New(Config{ID: id, Policy: "threshold", Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	return d
+}
+
+// TestDialDeadDaemonFailsFast: dialing an address nothing listens on
+// must fail within the configured window, not the default ~5s retry.
+func TestDialDeadDaemonFailsFast(t *testing.T) {
+	start := time.Now()
+	_, err := DialTimeout("127.0.0.1:1", 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to a dead address should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("dead dial took %v; the window was not honored", elapsed)
+	}
+}
+
+// TestDaemonDiesMidWait: a daemon stopping with a client blocked in
+// WaitContext must fail the wait promptly with a transport error — not
+// leave it hanging and not fabricate a result.
+func TestDaemonDiesMidWait(t *testing.T) {
+	d := bootOne(t, 1)
+	ctl, err := Dial(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	job, err := ctl.Submit("main", 5, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		errMsg string
+		err    error
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		_, errMsg, err := ctl.WaitContext(context.Background(), job)
+		got <- outcome{errMsg, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	d.Stop()
+	select {
+	case o := <-got:
+		if o.err == nil {
+			t.Fatalf("wait across a daemon death returned success (errMsg=%q)", o.errMsg)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("wait never returned after the daemon died")
+	}
+}
+
+// TestWatchStreamEndsOnCompletion: a watched job's stream carries
+// started → completed and then closes on its own.
+func TestWatchStreamEndsOnCompletion(t *testing.T) {
+	d := bootOne(t, 1)
+	ctl, err := Dial(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	job, err := ctl.Submit("main", 3, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := ctl.Watch(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	var events []sodee.JobEvent
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				goto closed
+			}
+			events = append(events, ev)
+		case <-deadline:
+			t.Fatalf("stream never closed; got %+v", events)
+		}
+	}
+closed:
+	if len(events) < 2 {
+		t.Fatalf("stream had %d events: %+v", len(events), events)
+	}
+	if events[0].Kind != sodee.EvStarted {
+		t.Errorf("first event %v, want started", events[0].Kind)
+	}
+	last := events[len(events)-1]
+	if last.Kind != sodee.EvCompleted {
+		t.Fatalf("last event %v, want completed", last.Kind)
+	}
+	if want := workloads.CruncherExpected(3, 20_000); last.Result != want {
+		t.Errorf("completion result %d, want %d", last.Result, want)
+	}
+	// Watching an unknown job errors instead of streaming nothing.
+	if _, _, err := ctl.Watch(1 << 40); err == nil {
+		t.Error("watch of an unknown job should fail")
+	}
+}
+
+// TestWatchStreamEndsOnDisconnect: a daemon dying mid-watch must close
+// the stream rather than leave the consumer blocked forever.
+func TestWatchStreamEndsOnDisconnect(t *testing.T) {
+	d := bootOne(t, 1)
+	ctl, err := Dial(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	job, err := ctl.Submit("main", 4, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := ctl.Watch(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	// Drain the replayed start, then kill the daemon.
+	select {
+	case ev := <-ch:
+		if ev.Kind != sodee.EvStarted {
+			t.Fatalf("first event %v, want started", ev.Kind)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("no replayed event")
+	}
+	d.Stop()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // closed: the disconnect ended the stream
+			}
+			if ev.Kind == sodee.EvCompleted {
+				t.Fatalf("stream claimed completion after daemon death: %+v", ev)
+			}
+		case <-deadline:
+			t.Fatal("stream never closed after the daemon died")
+		}
+	}
+}
+
+// TestCancelThenRewatchSameJob: cancelling a watch and immediately
+// re-watching must give the new stream the full story — the old
+// stream's trailing opEventEnd (or stray events) carry its generation
+// and must not close or pollute the successor.
+func TestCancelThenRewatchSameJob(t *testing.T) {
+	d := bootOne(t, 1)
+	ctl, err := Dial(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	job, err := ctl.Submit("main", 6, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1, cancel1, err := ctl.Watch(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch1:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no replayed event on first watch")
+	}
+	cancel1()
+	ch2, cancel2, err := ctl.Watch(job)
+	if err != nil {
+		t.Fatalf("re-watch after cancel: %v", err)
+	}
+	defer cancel2()
+	var events []sodee.JobEvent
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch2:
+			if !ok {
+				if len(events) < 2 || events[0].Kind != sodee.EvStarted ||
+					events[len(events)-1].Kind != sodee.EvCompleted {
+					t.Fatalf("re-watched stream malformed: %+v", events)
+				}
+				return
+			}
+			events = append(events, ev)
+		case <-deadline:
+			t.Fatalf("re-watched stream never terminated; got %+v", events)
+		}
+	}
+}
+
+// TestControlProtocolVersionSkew: both skew shapes fail with an error
+// that names the protocol problem — a wrong version in the hello, and a
+// pre-versioning join with no version at all.
+func TestControlProtocolVersionSkew(t *testing.T) {
+	d := bootOne(t, 1)
+	tr, err := netsim.NewTCPTransport(-999_001, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close() //nolint:errcheck
+	peer, err := tr.Connect(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hello := wire.NewWriter(4)
+	hello.Byte(opHello)
+	hello.Uvarint(ProtocolVersion + 41)
+	if _, err := tr.Call(peer, netsim.KindControl, hello.Bytes()); err == nil ||
+		!strings.Contains(err.Error(), "protocol mismatch") {
+		t.Errorf("future-version hello: err = %v, want protocol mismatch", err)
+	}
+
+	oldJoin := wire.NewWriter(32)
+	oldJoin.Byte(opJoin)
+	oldJoin.Varint(9)
+	oldJoin.Blob([]byte("127.0.0.1:9"))
+	// No trailing version: the shape a pre-versioning daemon sends.
+	if _, err := tr.Call(peer, netsim.KindControl, oldJoin.Bytes()); err == nil ||
+		!strings.Contains(err.Error(), "protocol mismatch") {
+		t.Errorf("versionless join: err = %v, want protocol mismatch", err)
+	}
+}

@@ -8,14 +8,18 @@
 // is tested.
 //
 // Wire protocol: everything rides netsim.KindControl frames whose first
-// byte selects the operation (join, member gossip, submit, wait, stats,
-// load, members). Data-plane traffic — migrations, flushes, class
-// shipping, load gossip — is the ordinary sodee protocol, unchanged from
-// the simulated fabric.
+// byte selects the operation (hello/version, join, member gossip,
+// members, submit, wait, stats, load, watch/unwatch plus the streamed
+// event frames). The hello exchange pins ProtocolVersion so mismatched
+// sodctl/sodd builds fail with a clear error up front. Data-plane
+// traffic — migrations, flushes, class shipping, load gossip, job-event
+// forwarding — is the ordinary sodee protocol, unchanged from the
+// simulated fabric.
 package daemon
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,15 +34,27 @@ import (
 	"repro/internal/workloads"
 )
 
+// ProtocolVersion is the control-protocol generation this build speaks.
+// Dial and Join verify it up front (opHello, and a trailing version on
+// opJoin), so a version skew between sodctl/sodd binaries fails with a
+// clear "protocol mismatch" error instead of a decode failure deep in
+// some later exchange.
+const ProtocolVersion = 1
+
 // Control operations (first byte of a KindControl payload).
 const (
-	opJoin      byte = 1 // {id, addr} → full roster; broadcast if new
+	opJoin      byte = 1 // {id, addr, version} → full roster; broadcast if new
 	opNewMember byte = 2 // one-way roster gossip {id, addr}
 	opMembers   byte = 3 // → membership snapshot
 	opSubmit    byte = 4 // {method, args...} → job id
 	opWait      byte = 5 // {job, timeout} → result
 	opStats     byte = 6 // → balancer stats
 	opLoad      byte = 7 // → local+peer signals, wire latencies
+	opHello     byte = 8 // {version} → {version}: protocol handshake
+	opWatch     byte = 9 // {job, gen} → ack; events stream as opEvent frames
+	opUnwatch   byte = 10 // {gen}: cancel one watch stream (acked)
+	opEvent     byte = 11 // daemon → client, one-way: {gen, seq, JobEvent}
+	opEventEnd  byte = 12 // daemon → client, one-way: {gen} stream over
 )
 
 // Config configures one daemon.
@@ -128,9 +144,26 @@ type Daemon struct {
 	jobs     map[uint64]*sodee.Job
 	doneJobs []uint64
 
+	// watches tracks live event subscriptions so opUnwatch can cancel
+	// them and Stop can end them. Streams are keyed by the client-chosen
+	// generation, so several watches of one job coexist and a stale
+	// stream's frames can never be mistaken for a successor's.
+	watchMu sync.Mutex
+	watches map[watchKey]*watchEntry
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
+}
+
+type watchKey struct {
+	peer int
+	gen  uint64
+}
+
+type watchEntry struct {
+	job    uint64
+	cancel func()
 }
 
 // New boots a daemon: listen, build the node, start the heartbeat (and,
@@ -198,6 +231,7 @@ func New(cfg Config) (*Daemon, error) {
 		node:    n,
 		addrs:   make(map[int]string),
 		jobs:    make(map[uint64]*sodee.Job),
+		watches: make(map[watchKey]*watchEntry),
 		stopCh:  make(chan struct{}),
 	}
 	tr.Handle(netsim.KindControl, d.handleControl)
@@ -270,6 +304,18 @@ func (d *Daemon) Stop() {
 			d.bal.Stop()
 		}
 		d.wg.Wait()
+		// End every live watch stream; the forwarding goroutines see their
+		// channels close and exit.
+		d.watchMu.Lock()
+		entries := make([]*watchEntry, 0, len(d.watches))
+		for _, e := range d.watches {
+			entries = append(entries, e)
+		}
+		d.watches = make(map[watchKey]*watchEntry)
+		d.watchMu.Unlock()
+		for _, e := range entries {
+			e.cancel()
+		}
 		d.tr.Close() //nolint:errcheck
 	})
 }
@@ -355,11 +401,19 @@ func (d *Daemon) Join(seedAddr string) error {
 			d.logf("sodd[%d]: roster member at %s unreachable (%v); skipping", d.cfg.ID, tg.addr, err)
 			continue
 		}
+		if tg.seed {
+			// Version-check the seed before announcing: a protocol skew
+			// must fail loudly here, not as a decode error later.
+			if err := helloCheck(d.tr, peerID); err != nil {
+				return fmt.Errorf("daemon %d join %s: %w", d.cfg.ID, tg.addr, err)
+			}
+		}
 		d.addMember(peerID, tg.addr)
 		w := wire.NewWriter(64)
 		w.Byte(opJoin)
 		w.Varint(int64(d.cfg.ID))
 		w.Blob([]byte(d.tr.Addr()))
+		w.Uvarint(ProtocolVersion)
 		reply, err := d.tr.Call(peerID, netsim.KindControl, w.Bytes())
 		if err != nil {
 			if tg.seed {
@@ -441,9 +495,53 @@ func (d *Daemon) handleControl(from int, payload []byte) ([]byte, error) {
 		return d.handleStats()
 	case opLoad:
 		return d.handleLoad()
+	case opHello:
+		return d.handleHello(r)
+	case opWatch:
+		return d.handleWatch(from, r)
+	case opUnwatch:
+		return d.handleUnwatch(from, r)
 	default:
 		return nil, fmt.Errorf("daemon: unknown control op %d", payload[0])
 	}
+}
+
+// helloCheck runs the opHello version exchange against peer and turns any
+// skew into a descriptive error. A peer that rejects the op outright is a
+// pre-versioning build.
+func helloCheck(tr *netsim.TCPTransport, peer int) error {
+	w := wire.NewWriter(4)
+	w.Byte(opHello)
+	w.Uvarint(ProtocolVersion)
+	reply, err := tr.Call(peer, netsim.KindControl, w.Bytes())
+	if err != nil {
+		if strings.Contains(err.Error(), "unknown control op") {
+			return fmt.Errorf("daemon: peer %d speaks a pre-versioning control protocol; this build needs v%d", peer, ProtocolVersion)
+		}
+		return err
+	}
+	r := wire.NewReader(reply)
+	v := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if v != ProtocolVersion {
+		return fmt.Errorf("daemon: control protocol mismatch: peer %d speaks v%d, this build v%d", peer, v, ProtocolVersion)
+	}
+	return nil
+}
+
+func (d *Daemon) handleHello(r *wire.Reader) ([]byte, error) {
+	peerVersion := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if peerVersion != ProtocolVersion {
+		return nil, fmt.Errorf("daemon: control protocol mismatch: you speak v%d, this daemon v%d", peerVersion, ProtocolVersion)
+	}
+	w := wire.NewWriter(4)
+	w.Uvarint(ProtocolVersion)
+	return w.Bytes(), nil
 }
 
 func encodeRoster(roster map[int]string) []byte {
@@ -472,6 +570,17 @@ func (d *Daemon) handleJoin(r *wire.Reader) ([]byte, error) {
 	addr := string(r.Blob())
 	if err := r.Err(); err != nil {
 		return nil, err
+	}
+	// Pre-versioning daemons sent no trailing version; treat them as v0.
+	var joinerVersion uint64
+	if r.Remaining() > 0 {
+		joinerVersion = r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if joinerVersion != ProtocolVersion {
+		return nil, fmt.Errorf("daemon: control protocol mismatch: joining daemon %d speaks v%d, this daemon v%d", id, joinerVersion, ProtocolVersion)
 	}
 	isNew := d.addMember(id, addr)
 	if isNew {
@@ -569,14 +678,24 @@ func (d *Daemon) handleWait(r *wire.Reader) ([]byte, error) {
 	if job == nil {
 		return nil, fmt.Errorf("daemon: no job %d", jobID)
 	}
-	done := make(chan struct{})
-	go func() {
-		job.Wait() //nolint:errcheck // result re-read below
-		close(done)
-	}()
 	w := wire.NewWriter(32)
-	select {
-	case <-done:
+	finished := job.Done()
+	if !finished && timeoutMs > 0 {
+		done := make(chan struct{})
+		go func() {
+			job.Wait() //nolint:errcheck // result re-read below
+			close(done)
+		}()
+		select {
+		case <-done:
+			finished = true
+		case <-time.After(time.Duration(timeoutMs) * time.Millisecond):
+		}
+	}
+	if finished {
+		// A zero timeout is the "is it done?" probe: it must answer from
+		// the job's state, never lose a race against an already-expired
+		// timer.
 		res, err := job.Wait()
 		w.Byte(1)
 		w.Varint(res.I)
@@ -585,7 +704,7 @@ func (d *Daemon) handleWait(r *wire.Reader) ([]byte, error) {
 		} else {
 			w.Blob(nil)
 		}
-	case <-time.After(time.Duration(timeoutMs) * time.Millisecond):
+	} else {
 		w.Byte(0)
 		w.Varint(0)
 		w.Blob(nil)
@@ -618,6 +737,107 @@ func (d *Daemon) handleStats() ([]byte, error) {
 		w.Uvarint(uint64(cnt))
 	}
 	return w.Bytes(), nil
+}
+
+// handleWatch subscribes the requesting client to a job's event stream.
+// The ack reply is empty; events follow as one-way opEvent frames on the
+// same connection, each tagged with the watch's generation, ending with
+// the job's terminal event or an opEventEnd marker. Generations are
+// chosen by the client, so several watches of one job run side by side
+// and frames from a cancelled stream cannot leak into a successor.
+func (d *Daemon) handleWatch(from int, r *wire.Reader) ([]byte, error) {
+	jobID := r.Uvarint()
+	gen := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	bus := d.node.Mgr.Events()
+	if !bus.Known(jobID) {
+		return nil, fmt.Errorf("daemon: no job %d", jobID)
+	}
+	select {
+	case <-d.stopCh:
+		return nil, fmt.Errorf("daemon: shutting down")
+	default:
+	}
+	ch, cancel := bus.Subscribe(jobID)
+	key := watchKey{peer: from, gen: gen}
+	entry := &watchEntry{job: jobID, cancel: cancel}
+	d.watchMu.Lock()
+	if old := d.watches[key]; old != nil {
+		old.cancel() // client reused a generation; end the orphan
+	}
+	d.watches[key] = entry
+	d.watchMu.Unlock()
+	go d.streamEvents(key, entry, ch)
+	return nil, nil
+}
+
+func (d *Daemon) handleUnwatch(from int, r *wire.Reader) ([]byte, error) {
+	gen := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	key := watchKey{peer: from, gen: gen}
+	d.watchMu.Lock()
+	entry := d.watches[key]
+	delete(d.watches, key)
+	d.watchMu.Unlock()
+	if entry != nil {
+		entry.cancel()
+	}
+	return nil, nil
+}
+
+// streamEvents forwards one subscription's events to its client until the
+// stream ends (terminal event or cancellation), the client stops
+// accepting frames, or the daemon shuts down. If the stream ends without
+// a terminal event having been sent, an opEventEnd marker tells the
+// client to close its channel rather than wait for a completion that will
+// never come.
+func (d *Daemon) streamEvents(key watchKey, entry *watchEntry, ch <-chan sodee.JobEvent) {
+	sentTerminal := false
+	defer func() {
+		entry.cancel()
+		d.watchMu.Lock()
+		if d.watches[key] == entry {
+			delete(d.watches, key)
+		}
+		d.watchMu.Unlock()
+		if !sentTerminal {
+			w := wire.NewWriter(12)
+			w.Byte(opEventEnd)
+			w.Uvarint(key.gen)
+			d.tr.Send(key.peer, netsim.KindControl, w.Bytes()) //nolint:errcheck // stream is over either way
+		}
+	}()
+	// Frames carry a per-stream sequence number: one-way transport frames
+	// are handled concurrently at the receiver, so the client re-imposes
+	// this order before delivering events.
+	var streamSeq uint64
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			w := wire.NewWriter(96)
+			w.Byte(opEvent)
+			w.Uvarint(key.gen)
+			w.Uvarint(streamSeq)
+			streamSeq++
+			w.Raw(sodee.EncodeJobEvent(ev))
+			if err := d.tr.Send(key.peer, netsim.KindControl, w.Bytes()); err != nil {
+				return
+			}
+			if ev.Terminal() {
+				sentTerminal = true
+				return
+			}
+		case <-d.stopCh:
+			return
+		}
+	}
 }
 
 func (d *Daemon) handleLoad() ([]byte, error) {

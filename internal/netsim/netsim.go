@@ -46,6 +46,7 @@ const (
 	KindLoadReport                       // policy engine: gossiped load signals
 	KindStealRequest                     // work stealing: idle thief asks a loaded victim for a job
 	KindStealGrant                       // work stealing: victim announces the job it is shipping
+	KindJobEvent                         // job lifecycle event forwarded to the job's origin node
 )
 
 // Handler serves a request and returns the reply payload. Handlers run on

@@ -55,6 +55,33 @@ type TCPTransport struct {
 	// packet-dropping partition) — so a caller's loop cannot wedge on a
 	// zombie. Set it before the transport is shared across goroutines.
 	CallTimeout time.Duration
+
+	// peerDown, when set, is invoked (on the dying connection's goroutine)
+	// each time an established peer connection is torn down — by the peer
+	// closing, a network error, or this transport's own Close. Streaming
+	// consumers (the control client's watch channels) use it to end
+	// subscriptions that would otherwise wait forever.
+	peerDown func(peer int)
+}
+
+// SetPeerDownHook registers fn to run whenever an established connection
+// dies. Set it before the transport is shared across goroutines.
+func (t *TCPTransport) SetPeerDownHook(fn func(peer int)) {
+	t.mu.Lock()
+	t.peerDown = fn
+	t.mu.Unlock()
+}
+
+// SetDialWindow tunes Connect's retry backoff and give-up deadline
+// (defaults: 10ms doubling, 5s). Control clients probing possibly-dead
+// daemons shorten it so a dead address fails fast.
+func (t *TCPTransport) SetDialWindow(backoff, max time.Duration) {
+	if backoff > 0 {
+		t.dialBackoff = backoff
+	}
+	if max > 0 {
+		t.dialMax = max
+	}
 }
 
 // tcpConn wraps one established connection; mu serializes frame writes.
@@ -202,10 +229,14 @@ func (t *TCPTransport) dropConn(peerID int, c *tcpConn) {
 			delete(t.waiting, corr)
 		}
 	}
+	hook := t.peerDown
 	t.mu.Unlock()
 	c.conn.Close() //nolint:errcheck
 	for _, p := range stranded {
 		p.ch <- tcpReply{err: fmt.Sprintf("connection to node %d lost", peerID), lost: true}
+	}
+	if hook != nil {
+		hook(peerID)
 	}
 }
 

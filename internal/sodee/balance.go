@@ -494,8 +494,13 @@ func (b *Balancer) tick() {
 				continue
 			}
 			remote := job.Remote()
+			reason := ReasonPushed
+			if remote {
+				reason = ReasonRebalanced
+			}
 			_, err := n.Mgr.MigrateSOD(job, SODOptions{
 				NFrames: b.opts.Frames, Dest: d.Dest, Flow: b.opts.Flow,
+				Reason: reason,
 			})
 			if err != nil {
 				b.mu.Lock()

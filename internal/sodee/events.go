@@ -1,0 +1,341 @@
+package sodee
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Job lifecycle events: the client-visible trace of what the runtime does
+// to a job — where it started, every migration it took (and why), its
+// result coming home, and its completion. Events are published into the
+// *origin* node's Bus, keyed by the job id Submit returned there, so one
+// subscription sees the whole life of a job however many hops it takes:
+// a node acting on a migrated-in job forwards the event to the origin
+// over KindJobEvent (one-way, best effort — an event is telemetry, never
+// load-bearing state).
+
+// EventKind discriminates job lifecycle events.
+type EventKind uint8
+
+const (
+	// EvStarted: the job's thread began executing at its origin node.
+	EvStarted EventKind = 1 + iota
+	// EvMigrated: the job's stack moved From → To (Reason says who
+	// initiated it; Hops is the job's lifetime migration count after the
+	// move).
+	EvMigrated
+	// EvResultFlushed: the job's final result arrived at its origin over
+	// the wire from the node that finished executing it.
+	EvResultFlushed
+	// EvCompleted: the job finished; Result/Err carry the outcome. Always
+	// the final event of a stream.
+	EvCompleted
+	// EvMigrationFailed: a migration's transfer failed after EvMigrated
+	// was announced (the destination crashed mid-flight) and the job was
+	// recovered on the source node — the crash-fallback path, visible.
+	EvMigrationFailed
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvStarted:
+		return "started"
+	case EvMigrated:
+		return "migrated"
+	case EvResultFlushed:
+		return "result-flushed"
+	case EvCompleted:
+		return "completed"
+	case EvMigrationFailed:
+		return "migration-failed"
+	}
+	return "unknown"
+}
+
+// MigrateReason says which side of the elasticity engine moved a job.
+type MigrateReason uint8
+
+const (
+	// ReasonManual: an explicit MigrateSOD call (the hand-driven API).
+	ReasonManual MigrateReason = iota
+	// ReasonPushed: the balancer shed a home-grown job.
+	ReasonPushed
+	// ReasonStolen: an idle peer pulled the job via the steal protocol.
+	ReasonStolen
+	// ReasonRebalanced: the balancer moved a migrated-in job onward.
+	ReasonRebalanced
+)
+
+func (r MigrateReason) String() string {
+	switch r {
+	case ReasonPushed:
+		return "pushed"
+	case ReasonStolen:
+		return "stolen"
+	case ReasonRebalanced:
+		return "rebalanced"
+	}
+	return "manual"
+}
+
+// JobEvent is one entry of a job's lifecycle stream.
+type JobEvent struct {
+	// Job is the id Submit returned at the job's origin node.
+	Job uint64
+	// Seq orders events within one bus (assigned at publish).
+	Seq uint64
+	// Time is when the event happened, on the clock of the node where it
+	// happened.
+	Time time.Time
+	// Kind discriminates the event; the remaining fields are per kind.
+	Kind EventKind
+	// From and To are the nodes involved: source → destination for
+	// EvMigrated and EvResultFlushed, the hosting node (From == To) for
+	// EvStarted and EvCompleted.
+	From, To int
+	// Reason and Hops describe an EvMigrated move.
+	Reason MigrateReason
+	Hops   int
+	// Result (integer results only) and Err carry an EvCompleted outcome.
+	Result int64
+	Err    string
+}
+
+// Terminal reports whether the event ends its job's stream.
+func (e JobEvent) Terminal() bool { return e.Kind == EvCompleted }
+
+// String renders the event as the one-line narration sodctl and the
+// examples print — one formatter so every surface tells the same story.
+func (e JobEvent) String() string {
+	switch e.Kind {
+	case EvStarted:
+		return fmt.Sprintf("job %d started on node %d", e.Job, e.From)
+	case EvMigrated:
+		return fmt.Sprintf("job %d migrated node %d → node %d (%s, hop %d)",
+			e.Job, e.From, e.To, e.Reason, e.Hops)
+	case EvResultFlushed:
+		return fmt.Sprintf("job %d result flushed node %d → node %d", e.Job, e.From, e.To)
+	case EvMigrationFailed:
+		return fmt.Sprintf("job %d migration to node %d failed; recovered on node %d",
+			e.Job, e.To, e.From)
+	case EvCompleted:
+		if e.Err != "" {
+			return fmt.Sprintf("job %d failed: %s", e.Job, e.Err)
+		}
+		return fmt.Sprintf("job %d completed: %d", e.Job, e.Result)
+	}
+	return fmt.Sprintf("job %d: %s", e.Job, e.Kind)
+}
+
+// EncodeJobEvent serializes an event for the wire (node-to-origin
+// forwarding and the daemon's control-plane streaming share the format).
+func EncodeJobEvent(e JobEvent) []byte {
+	w := wire.NewWriter(64)
+	w.Uvarint(e.Job)
+	w.Uvarint(e.Seq)
+	w.Fixed64(uint64(e.Time.UnixNano()))
+	w.Byte(byte(e.Kind))
+	w.Varint(int64(e.From))
+	w.Varint(int64(e.To))
+	w.Byte(byte(e.Reason))
+	w.Varint(int64(e.Hops))
+	w.Varint(e.Result)
+	w.Blob([]byte(e.Err))
+	return w.Bytes()
+}
+
+// DecodeJobEvent parses a wire-format event. The Seq survives for
+// display consumers (sodctl); a bus republishing a forwarded event
+// assigns its own publish order regardless.
+func DecodeJobEvent(payload []byte) (JobEvent, error) {
+	r := wire.NewReader(payload)
+	e := JobEvent{
+		Job:    r.Uvarint(),
+		Seq:    r.Uvarint(),
+		Time:   time.Unix(0, int64(r.Fixed64())),
+		Kind:   EventKind(r.Byte()),
+		From:   int(r.Varint()),
+		To:     int(r.Varint()),
+		Reason: MigrateReason(r.Byte()),
+		Hops:   int(r.Varint()),
+		Result: r.Varint(),
+	}
+	e.Err = string(r.Blob())
+	return e, r.Err()
+}
+
+// Bus bounds: how many events one job may accumulate (a job's stream is
+// naturally short — start, a hop-budget's worth of migrations, flush,
+// completion — so the cap only guards against pathological loops), and
+// how many jobs' histories stay replayable before the oldest is evicted
+// (mirrors the daemon's completed-job retention).
+const (
+	maxEventsPerJob  = 64
+	maxTrackedJobs   = 512
+	subChannelBuffer = maxEventsPerJob * 2
+)
+
+// Bus is one node's job-event hub: publish appends to the per-job history
+// and fans out to live subscribers; subscribing replays the history first
+// so a watcher attached after submission still sees the whole stream.
+type Bus struct {
+	mu   sync.Mutex
+	seq  uint64
+	hist map[uint64][]JobEvent
+	// order is the first-seen order of jobs in hist, for eviction.
+	order []uint64
+	subs  map[uint64]map[*busSub]struct{}
+}
+
+type busSub struct {
+	ch     chan JobEvent
+	closed bool
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{
+		hist: make(map[uint64][]JobEvent),
+		subs: make(map[uint64]map[*busSub]struct{}),
+	}
+}
+
+// Publish appends e to its job's history and delivers it to subscribers.
+// A terminal event closes every subscription on the job; events arriving
+// after the terminal one (a late-forwarded migration notice) are dropped.
+func (b *Bus) Publish(e JobEvent) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h, known := b.hist[e.Job]
+	if len(h) > 0 && h[len(h)-1].Terminal() {
+		return
+	}
+	b.seq++
+	e.Seq = b.seq
+	if !known {
+		b.order = append(b.order, e.Job)
+		for len(b.order) > maxTrackedJobs {
+			delete(b.hist, b.order[0])
+			b.order = b.order[1:]
+		}
+	}
+	if len(h) < maxEventsPerJob || e.Terminal() {
+		b.hist[e.Job] = append(h, e)
+	}
+	for s := range b.subs[e.Job] {
+		select {
+		case s.ch <- e:
+		default:
+			// Slow subscriber: drop rather than stall the runtime — except
+			// a terminal event, which carries the job's outcome; evict the
+			// oldest queued event to make room for it.
+			if e.Terminal() {
+				select {
+				case <-s.ch:
+				default:
+				}
+				select {
+				case s.ch <- e:
+				default:
+				}
+			}
+		}
+	}
+	if e.Terminal() {
+		for s := range b.subs[e.Job] {
+			s.closed = true
+			close(s.ch)
+		}
+		delete(b.subs, e.Job)
+	}
+}
+
+// Known reports whether the bus has seen any event for the job (i.e., the
+// job was submitted at this node and its history is still retained).
+func (b *Bus) Known(job uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.hist[job]
+	return ok
+}
+
+// Subscribe returns a channel of the job's events: the retained history
+// replayed first, then live events. The channel is closed after the
+// terminal event, or when cancel is called. cancel is idempotent and safe
+// after close.
+func (b *Bus) Subscribe(job uint64) (<-chan JobEvent, func()) {
+	ch := make(chan JobEvent, subChannelBuffer)
+	b.mu.Lock()
+	h := b.hist[job]
+	for _, e := range h {
+		ch <- e // cannot block: buffer > maxEventsPerJob
+	}
+	if len(h) > 0 && h[len(h)-1].Terminal() {
+		b.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	s := &busSub{ch: ch}
+	set := b.subs[job]
+	if set == nil {
+		set = make(map[*busSub]struct{})
+		b.subs[job] = set
+	}
+	set[s] = struct{}{}
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if s.closed {
+			return
+		}
+		s.closed = true
+		close(s.ch)
+		if set := b.subs[job]; set != nil {
+			delete(set, s)
+			if len(set) == 0 {
+				delete(b.subs, job)
+			}
+		}
+	}
+	return ch, cancel
+}
+
+// --- manager integration ---
+
+// Events returns the node's job-event bus. Subscribe with the job id
+// Submit returned on this node.
+func (m *Manager) Events() *Bus { return m.bus }
+
+// publishEvent routes a lifecycle event to the bus of the job's origin
+// node: locally when this node is the origin, otherwise forwarded over
+// KindJobEvent. Forwarding is best effort — the event stream is
+// telemetry; a dropped notice must never affect the job itself.
+func (m *Manager) publishEvent(origin int, e JobEvent) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if origin == m.node.ID {
+		m.bus.Publish(e)
+		return
+	}
+	m.node.EP.Send(origin, netsim.KindJobEvent, EncodeJobEvent(e)) //nolint:errcheck // best effort
+}
+
+// handleJobEvent receives a forwarded event for a job that originated
+// here and publishes it into the local bus.
+func (m *Manager) handleJobEvent(from int, payload []byte) ([]byte, error) {
+	e, err := DecodeJobEvent(payload)
+	if err != nil {
+		return nil, err
+	}
+	m.bus.Publish(e)
+	return nil, nil
+}

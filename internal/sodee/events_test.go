@@ -1,0 +1,305 @@
+package sodee_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sodee"
+	"repro/internal/value"
+)
+
+func collectUntilClosed(t *testing.T, ch <-chan sodee.JobEvent, within time.Duration) []sodee.JobEvent {
+	t.Helper()
+	var out []sodee.JobEvent
+	deadline := time.After(within)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		case <-deadline:
+			t.Fatalf("stream never closed; got %d events: %+v", len(out), out)
+		}
+	}
+}
+
+func TestBusReplayLiveAndTerminal(t *testing.T) {
+	b := sodee.NewBus()
+	b.Publish(sodee.JobEvent{Job: 7, Kind: sodee.EvStarted, From: 1, To: 1})
+	b.Publish(sodee.JobEvent{Job: 7, Kind: sodee.EvMigrated, From: 1, To: 2, Hops: 1})
+	if !b.Known(7) || b.Known(8) {
+		t.Fatalf("Known: got %v/%v, want true/false", b.Known(7), b.Known(8))
+	}
+
+	ch, cancel := b.Subscribe(7)
+	defer cancel()
+	// Replayed history arrives first, in publish order, with seqs.
+	first, second := <-ch, <-ch
+	if first.Kind != sodee.EvStarted || second.Kind != sodee.EvMigrated {
+		t.Fatalf("replay order wrong: %v then %v", first.Kind, second.Kind)
+	}
+	if first.Seq == 0 || second.Seq <= first.Seq {
+		t.Errorf("seqs not increasing: %d, %d", first.Seq, second.Seq)
+	}
+	// Then live events; the terminal closes the stream.
+	b.Publish(sodee.JobEvent{Job: 7, Kind: sodee.EvCompleted, From: 1, To: 1, Result: 42})
+	got := collectUntilClosed(t, ch, 5*time.Second)
+	if len(got) != 1 || got[0].Kind != sodee.EvCompleted || got[0].Result != 42 {
+		t.Fatalf("live events = %+v, want one completion", got)
+	}
+	// Events after the terminal are dropped.
+	b.Publish(sodee.JobEvent{Job: 7, Kind: sodee.EvMigrated, From: 2, To: 3})
+
+	// A fresh subscription replays the full (terminal-capped) history and
+	// closes immediately.
+	ch2, cancel2 := b.Subscribe(7)
+	defer cancel2()
+	replay := collectUntilClosed(t, ch2, 5*time.Second)
+	if len(replay) != 3 || replay[2].Kind != sodee.EvCompleted {
+		t.Fatalf("post-terminal replay = %+v", replay)
+	}
+}
+
+func TestBusCancelIsIdempotent(t *testing.T) {
+	b := sodee.NewBus()
+	b.Publish(sodee.JobEvent{Job: 1, Kind: sodee.EvStarted})
+	ch, cancel := b.Subscribe(1)
+	<-ch // replayed start
+	cancel()
+	cancel() // second cancel must not panic
+	if _, ok := <-ch; ok {
+		t.Error("canceled subscription should be closed")
+	}
+	// Publishing after cancel must not panic or deliver.
+	b.Publish(sodee.JobEvent{Job: 1, Kind: sodee.EvCompleted})
+}
+
+func TestBusEvictsOldestJobs(t *testing.T) {
+	b := sodee.NewBus()
+	const extra = 10
+	for i := 0; i < 512+extra; i++ {
+		b.Publish(sodee.JobEvent{Job: uint64(i + 1), Kind: sodee.EvStarted})
+	}
+	for i := 0; i < extra; i++ {
+		if b.Known(uint64(i + 1)) {
+			t.Fatalf("job %d should have been evicted", i+1)
+		}
+	}
+	if !b.Known(512 + extra) {
+		t.Error("newest job evicted")
+	}
+}
+
+func TestJobEventCodecRoundTrip(t *testing.T) {
+	in := sodee.JobEvent{
+		Job: 9, Seq: 4, Time: time.Unix(0, 1_234_567_890),
+		Kind: sodee.EvMigrated, From: 3, To: -7,
+		Reason: sodee.ReasonStolen, Hops: 2,
+		Result: -99, Err: "boom",
+	}
+	out, err := sodee.DecodeJobEvent(sodee.EncodeJobEvent(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+	if _, err := sodee.DecodeJobEvent([]byte{1, 2}); err == nil {
+		t.Error("truncated event should fail to decode")
+	}
+}
+
+// TestManualMigrationEventStream checks the origin-side story of one
+// hand-driven whole-stack migration: started → migrated (manual, hop 1)
+// → result-flushed home → completed with the right result.
+func TestManualMigrationEventStream(t *testing.T) {
+	c, g := sodCluster(t, []int{1, 2}, false)
+	home := c.Nodes[1]
+	d := makeData(t, home)
+
+	job, err := home.Mgr.StartJob("main", value.RefVal(d), value.Int(testIters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := home.Mgr.Events().Subscribe(job.ID)
+	defer cancel()
+
+	migrateWhileRunning(t, g, func() (*sodee.MigrationMetrics, error) {
+		return home.Mgr.MigrateSOD(job, sodee.SODOptions{
+			NFrames: sodee.WholeStack, Dest: 2, Flow: sodee.FlowReturnHome,
+		})
+	})
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != expectedResult(testIters) {
+		t.Fatalf("result = %d, want %d", res.I, expectedResult(testIters))
+	}
+
+	events := collectUntilClosed(t, ch, 30*time.Second)
+	kinds := make([]sodee.EventKind, len(events))
+	for i, ev := range events {
+		kinds[i] = ev.Kind
+	}
+	want := []sodee.EventKind{sodee.EvStarted, sodee.EvMigrated, sodee.EvResultFlushed, sodee.EvCompleted}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event kinds = %v, want %v", kinds, want)
+		}
+	}
+	mig := events[1]
+	if mig.From != 1 || mig.To != 2 || mig.Hops != 1 || mig.Reason != sodee.ReasonManual {
+		t.Errorf("migration event wrong: %+v", mig)
+	}
+	fl := events[2]
+	if fl.From != 2 || fl.To != 1 {
+		t.Errorf("flush event wrong: %+v", fl)
+	}
+	done := events[3]
+	if done.Result != expectedResult(testIters) || done.Err != "" {
+		t.Errorf("completion event wrong: %+v", done)
+	}
+}
+
+// TestFailedMigrationEventStream aims a migration at a crashed node and
+// checks the watcher sees the whole truth: the announced hop, the
+// transfer failure with local recovery, and a clean completion on the
+// source node.
+func TestFailedMigrationEventStream(t *testing.T) {
+	c, g := sodCluster(t, []int{1, 2}, false)
+	home := c.Nodes[1]
+	d := makeData(t, home)
+	c.Net.SetNodeDown(2, true)
+
+	job, err := home.Mgr.StartJob("main", value.RefVal(d), value.Int(testIters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := home.Mgr.Events().Subscribe(job.ID)
+	defer cancel()
+
+	<-g.reached
+	mig := make(chan error, 1)
+	go func() {
+		_, merr := home.Mgr.MigrateSOD(job, sodee.SODOptions{
+			NFrames: sodee.WholeStack, Dest: 2, Flow: sodee.FlowReturnHome,
+		})
+		mig <- merr
+	}()
+	time.Sleep(2 * time.Millisecond)
+	close(g.release)
+	if merr := <-mig; merr == nil {
+		t.Fatal("migration to a downed node should fail")
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != expectedResult(testIters) {
+		t.Fatalf("result = %d, want %d", res.I, expectedResult(testIters))
+	}
+
+	events := collectUntilClosed(t, ch, 30*time.Second)
+	kinds := make([]sodee.EventKind, len(events))
+	for i, ev := range events {
+		kinds[i] = ev.Kind
+	}
+	want := []sodee.EventKind{sodee.EvStarted, sodee.EvMigrated, sodee.EvMigrationFailed, sodee.EvCompleted}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event kinds = %v, want %v", kinds, want)
+		}
+	}
+	if fail := events[2]; fail.From != 1 || fail.To != 2 {
+		t.Errorf("failure event wrong: %+v", fail)
+	}
+	if done := events[3]; done.From != 1 || done.Err != "" {
+		t.Errorf("completion event wrong: %+v", done)
+	}
+}
+
+// TestMultiHopEventsForwardedToOrigin drives a job through two manual
+// hops (1 → 2 → 3) and checks that the second hop — initiated by an
+// intermediate node acting on a migrated-in job — still lands in the
+// origin's event stream, forwarded over the wire, with the accumulated
+// hop count.
+func TestMultiHopEventsForwardedToOrigin(t *testing.T) {
+	c, g := sodCluster(t, []int{1, 2, 3}, true)
+	home := c.Nodes[1]
+	d := makeData(t, home)
+
+	const iters = 3_000_000 // long enough to re-migrate mid-flight
+	job, err := home.Mgr.StartJob("main", value.RefVal(d), value.Int(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := home.Mgr.Events().Subscribe(job.ID)
+	defer cancel()
+
+	migrateWhileRunning(t, g, func() (*sodee.MigrationMetrics, error) {
+		return home.Mgr.MigrateSOD(job, sodee.SODOptions{
+			NFrames: sodee.WholeStack, Dest: 2, Flow: sodee.FlowReturnHome,
+		})
+	})
+
+	// The migrated-in job surfaces as a remote wrapper at node 2 once its
+	// restoration finishes; hop it onward to node 3.
+	var hosted *sodee.Job
+	deadline := time.Now().Add(20 * time.Second)
+	for hosted == nil {
+		for _, rj := range c.Nodes[2].Mgr.RunningJobs() {
+			if rj.Remote() {
+				hosted = rj
+			}
+		}
+		if hosted == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("node 2 never exposed the migrated-in job")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if _, err := c.Nodes[2].Mgr.MigrateSOD(hosted, sodee.SODOptions{
+		NFrames: sodee.WholeStack, Dest: 3, Flow: sodee.FlowReturnHome,
+	}); err != nil {
+		t.Fatalf("second hop: %v", err)
+	}
+
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != expectedResult(iters) {
+		t.Fatalf("result = %d, want %d", res.I, expectedResult(iters))
+	}
+
+	events := collectUntilClosed(t, ch, 30*time.Second)
+	var hops []sodee.JobEvent
+	for _, ev := range events {
+		if ev.Kind == sodee.EvMigrated {
+			hops = append(hops, ev)
+		}
+	}
+	if len(hops) != 2 {
+		t.Fatalf("migration events = %+v, want 2 hops", hops)
+	}
+	if hops[0].From != 1 || hops[0].To != 2 || hops[0].Hops != 1 {
+		t.Errorf("first hop wrong: %+v", hops[0])
+	}
+	if hops[1].From != 2 || hops[1].To != 3 || hops[1].Hops != 2 {
+		t.Errorf("forwarded second hop wrong: %+v", hops[1])
+	}
+	last := events[len(events)-1]
+	if last.Kind != sodee.EvCompleted || last.Result != expectedResult(iters) {
+		t.Errorf("terminal event wrong: %+v", last)
+	}
+}

@@ -1,6 +1,7 @@
 package sodee
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -111,6 +112,18 @@ func (j *Job) Wait() (value.Value, error) {
 	return j.result, j.err
 }
 
+// WaitContext blocks for the final result or the context's end, whichever
+// comes first — no goroutine is spawned, so an abandoned wait leaks
+// nothing. A ctx error never means the job failed; it is still running.
+func (j *Job) WaitContext(ctx context.Context) (value.Value, error) {
+	select {
+	case <-j.done:
+		return j.result, j.err
+	case <-ctx.Done():
+		return value.Value{}, ctx.Err()
+	}
+}
+
 // Done reports whether the job has completed.
 func (j *Job) Done() bool {
 	select {
@@ -132,6 +145,20 @@ func (j *Job) complete(res value.Value, err error) {
 	j.result = res
 	j.err = err
 	close(j.done)
+	// A remote wrapper's completion is an implementation detail of the
+	// hosting node; the origin's handle publishes the terminal event when
+	// the flushed result lands there.
+	if !j.remote && j.mgr != nil {
+		ev := JobEvent{
+			Job: j.ID, Kind: EvCompleted,
+			From: j.mgr.node.ID, To: j.mgr.node.ID,
+			Result: res.I,
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		j.mgr.bus.Publish(ev)
+	}
 }
 
 // routeKind discriminates what a flush token resolves to.
@@ -192,6 +219,10 @@ type Manager struct {
 	// instead of by static hint.
 	wireLat map[int]time.Duration
 
+	// bus publishes job lifecycle events for jobs that originated on this
+	// node; peers acting on a migrated-in job forward their events here.
+	bus *Bus
+
 	// Metrics of migrations this node initiated.
 	Migrations []MigrationMetrics
 }
@@ -205,6 +236,7 @@ func newManager(n *Node) *Manager {
 		peerLoads:   make(map[int]policy.Signals),
 		wireLat:     make(map[int]time.Duration),
 		classSource: -1,
+		bus:         NewBus(),
 	}
 	n.EP.Handle(netsim.KindMigrate, m.handleMigrate)
 	n.EP.Handle(netsim.KindFlush, m.handleFlush)
@@ -215,6 +247,7 @@ func newManager(n *Node) *Manager {
 	n.EP.Handle(netsim.KindLoadReport, m.handleLoadReport)
 	n.EP.Handle(netsim.KindStealRequest, m.handleStealRequest)
 	n.EP.Handle(netsim.KindStealGrant, m.handleStealGrant)
+	n.EP.Handle(netsim.KindJobEvent, m.handleJobEvent)
 	return m
 }
 
@@ -230,6 +263,8 @@ func (m *Manager) reset() {
 	m.classSource = -1
 	m.classBytes = 0
 	m.stealStats = StealStats{}
+	// The bus is deliberately not replaced: it caps its own retention,
+	// and swapping it would race with subscribers held across a Reset.
 }
 
 // LastMigration returns the most recent migration metrics.
@@ -326,8 +361,21 @@ func (m *Manager) StartJob(qualifiedMethod string, args ...value.Value) (*Job, e
 	m.jobs[job.ID] = job
 	m.routes[job.ID] = &route{kind: routeJob, job: job}
 	m.mu.Unlock()
+	m.bus.Publish(JobEvent{Job: job.ID, Kind: EvStarted, From: m.node.ID, To: m.node.ID})
 	go m.runAndWatch(th, job)
 	return job, nil
+}
+
+// Job returns the handle of a job started on this node (migrated-in
+// wrappers are excluded: their identity belongs to their origin).
+func (m *Manager) Job(id uint64) (*Job, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok || j.Remote() {
+		return nil, false
+	}
+	return j, true
 }
 
 // runAndWatch executes a job's local thread and completes the job — but
@@ -569,6 +617,9 @@ type SODOptions struct {
 	Flow Flow
 	// ForwardTo hosts the residual under FlowForward.
 	ForwardTo int
+	// Reason labels the migration in the job's event stream (who
+	// initiated it); zero is ReasonManual.
+	Reason MigrateReason
 }
 
 // migrationInFlight reports whether a capture/transfer is currently
@@ -768,6 +819,17 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		classes:     m.bundleClasses(seg, residual),
 	}
 	payload := msg.encode(n.Prog, m.codecFor(opts.Dest))
+	// Announce the hop *before* the transfer: a fast destination can run
+	// the segment to completion (and flush the result to the origin)
+	// before this goroutine is scheduled again, and a migration notice
+	// arriving after the terminal event would be dropped. If the transfer
+	// fails instead, EvMigrationFailed below tells the watcher the job
+	// bounced back.
+	m.publishEvent(finalTo.node, JobEvent{
+		Job: finalTo.token, Kind: EvMigrated,
+		From: n.ID, To: opts.Dest,
+		Reason: opts.Reason, Hops: int(seg.Hops),
+	})
 	sendStart := time.Now()
 	reply, err := n.EP.Call(opts.Dest, netsim.KindMigrate, payload)
 	if err != nil {
@@ -775,6 +837,11 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		// existed). The captured state is still in hand, so fall back to
 		// local execution rather than stranding the job: the migration
 		// fails, the job does not — this node stays its live owner.
+		m.publishEvent(finalTo.node, JobEvent{
+			Job: finalTo.token, Kind: EvMigrationFailed,
+			From: n.ID, To: opts.Dest,
+			Reason: opts.Reason, Hops: int(seg.Hops),
+		})
 		if rerr := m.recoverLocal(job, th, opts.Flow, partial, seg, msg.residual, resultTo, segBottom.ReturnsValue); rerr != nil {
 			return nil, fmt.Errorf("sodee: migrate to %d: %w; local recovery also failed: %w", opts.Dest, err, rerr)
 		}
@@ -784,6 +851,7 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	if rerr != nil {
 		return nil, rerr
 	}
+
 	// A remote wrapper whose whole stack moved on is finished here: the
 	// destination owns the job now and its result flows straight to the
 	// origin, so drop the local handle.
@@ -1048,14 +1116,14 @@ func (m *Manager) handleFlush(from int, payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	fm.ThreadID = int32(token)
-	m.deliverFlush(fm)
+	m.deliverFlush(from, fm)
 	return nil, nil
 }
 
-// deliverFlush applies a flush message to the route its token names.
-// Token 0 is an apply-only update flush (dirty data coming home) with no
-// control transfer attached.
-func (m *Manager) deliverFlush(fm *serial.FlushMessage) {
+// deliverFlush applies a flush message (sent by node from) to the route
+// its token names. Token 0 is an apply-only update flush (dirty data
+// coming home) with no control transfer attached.
+func (m *Manager) deliverFlush(from int, fm *serial.FlushMessage) {
 	token := uint64(fm.ThreadID)
 	if token == 0 {
 		if _, err := m.node.ObjMan.ApplyFlush(fm); err != nil {
@@ -1069,6 +1137,14 @@ func (m *Manager) deliverFlush(fm *serial.FlushMessage) {
 	m.mu.Unlock()
 	if rt == nil {
 		return
+	}
+	if rt.kind == routeJob {
+		// The job's final result just crossed the wire home; record it in
+		// the event stream before the completion event fires.
+		m.bus.Publish(JobEvent{
+			Job: token, Kind: EvResultFlushed,
+			From: from, To: m.node.ID,
+		})
 	}
 	res, err := m.node.ObjMan.ApplyFlush(fm)
 	if fm.Err != "" {

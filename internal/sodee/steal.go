@@ -172,6 +172,7 @@ func (m *Manager) handleStealRequest(from int, payload []byte) ([]byte, error) {
 	// execution here, a live owner.
 	if _, err := m.MigrateSOD(job, SODOptions{
 		NFrames: WholeStack, Dest: from, Flow: FlowReturnHome,
+		Reason: ReasonStolen,
 	}); err != nil {
 		m.mu.Lock()
 		m.stealStats.FailedTransfers++

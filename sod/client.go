@@ -1,0 +1,384 @@
+package sod
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/membership"
+	"repro/internal/sodee"
+	"repro/internal/value"
+)
+
+// One client API for every way a SOD cluster can run. Client is
+// implemented by both the in-process cluster (Cluster.Client) and a
+// control connection to a live sodd daemon (Dial), so an application,
+// example or test written against it runs unchanged over the simulated
+// fabric and over real TCP daemons — the migration transparency the
+// paper promises, extended to the operator surface. The conformance
+// suite in client_conformance_test.go runs the same scenarios against
+// both implementations to keep them from drifting.
+
+// Client drives one SOD cluster through a single node: submit jobs, wait
+// for results, inspect membership and balancer activity, and stream a
+// job's lifecycle events as it migrates around the cluster.
+type Client interface {
+	// Submit starts a job executing the named method and returns its
+	// handle. Daemon-backed clients carry integer arguments only.
+	Submit(ctx context.Context, method string, args ...Value) (JobHandle, error)
+	// Job returns the handle of a previously submitted job (results of
+	// recently completed jobs remain queryable; daemons retain the last
+	// 256).
+	Job(id uint64) (JobHandle, error)
+	// Members returns the connected node's view of the cluster: itself
+	// plus every peer its failure detector tracks.
+	Members(ctx context.Context) ([]Member, error)
+	// Stats returns the connected node's balancer and steal counters.
+	Stats(ctx context.Context) (ClusterStats, error)
+	// Watch streams a job's lifecycle: started, every migration (pushed,
+	// stolen or rebalanced, with source, destination and hop count), the
+	// result flushing home, completed. Retained history replays first, so
+	// watching after submission loses nothing. The channel closes after
+	// the terminal event, when ctx ends, or when the connection to the
+	// cluster is lost.
+	Watch(ctx context.Context, jobID uint64) (<-chan JobEvent, error)
+	// Close releases the client's resources. The cluster keeps running.
+	Close() error
+}
+
+// JobHandle is one submitted job. It replaces the Wait/WaitTimeout pair:
+// cancellation and deadlines come from the context, and an abandoned
+// Wait leaks nothing.
+type JobHandle interface {
+	// ID is the job's identity at its origin node — the id Watch takes.
+	ID() uint64
+	// Wait blocks for the job's final result, wherever in the cluster it
+	// completes. A ctx error means the wait ended, not the job.
+	Wait(ctx context.Context) (Value, error)
+	// Done reports completion without blocking.
+	Done() bool
+}
+
+// JobEvent is one entry of a job's lifecycle stream; see the Kind for
+// which fields apply.
+type JobEvent = sodee.JobEvent
+
+// EventKind discriminates job lifecycle events.
+type EventKind = sodee.EventKind
+
+// Job lifecycle event kinds.
+const (
+	JobStarted         = sodee.EvStarted
+	JobMigrated        = sodee.EvMigrated
+	JobResultFlushed   = sodee.EvResultFlushed
+	JobCompleted       = sodee.EvCompleted
+	JobMigrationFailed = sodee.EvMigrationFailed
+)
+
+// MigrateReason says which side of the elasticity engine moved a job.
+type MigrateReason = sodee.MigrateReason
+
+// Migration reasons carried by JobMigrated events.
+const (
+	MigrateManual     = sodee.ReasonManual
+	MigratePushed     = sodee.ReasonPushed
+	MigrateStolen     = sodee.ReasonStolen
+	MigrateRebalanced = sodee.ReasonRebalanced
+)
+
+// MemberState is a failure detector's verdict on a peer.
+type MemberState = membership.State
+
+// Member is one row of a node's cluster view.
+type Member struct {
+	Node  int
+	State MemberState
+	// SinceHeard is how long ago the node last had evidence the member
+	// was alive (zero for itself).
+	SinceHeard time.Duration
+	// Addr is the member's listen address (daemon clusters only).
+	Addr string
+	// Self marks the node the client is connected to.
+	Self bool
+}
+
+// ClusterStats aggregates the connected node's elasticity counters.
+type ClusterStats struct {
+	Balance BalanceStats
+	Steal   StealStats
+}
+
+// --- in-process implementation ---
+
+// Client returns a Client driving this cluster through its lowest-id
+// node. ClientOn selects a specific node.
+func (c *Cluster) Client() Client {
+	ids := make([]int, 0, len(c.inner.Nodes))
+	for id := range c.inner.Nodes {
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		panic("sod: Client on a cluster with no nodes")
+	}
+	sort.Ints(ids)
+	cl, err := c.ClientOn(ids[0])
+	if err != nil {
+		panic(err) // unreachable: the id came from the node table
+	}
+	return cl
+}
+
+// ClientOn returns a Client submitting through node id.
+func (c *Cluster) ClientOn(id int) (Client, error) {
+	n, ok := c.inner.Nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("sod: cluster has no node %d", id)
+	}
+	return &clusterClient{c: c, n: n}, nil
+}
+
+type clusterClient struct {
+	c *Cluster
+	n *sodee.Node
+}
+
+func (cc *clusterClient) Submit(ctx context.Context, method string, args ...Value) (JobHandle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j, err := cc.n.Mgr.StartJob(method, args...)
+	if err != nil {
+		return nil, err
+	}
+	return localJob{j}, nil
+}
+
+func (cc *clusterClient) Job(id uint64) (JobHandle, error) {
+	j, ok := cc.n.Mgr.Job(id)
+	if !ok {
+		return nil, fmt.Errorf("sod: no job %d", id)
+	}
+	return localJob{j}, nil
+}
+
+func (cc *clusterClient) Members(ctx context.Context) ([]Member, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	out := []Member{{Node: cc.n.ID, State: membership.Alive, Self: true}}
+	for _, m := range cc.n.Members.Snapshot() {
+		out = append(out, Member{
+			Node:       m.Node,
+			State:      m.State,
+			SinceHeard: now.Sub(m.LastHeard),
+		})
+	}
+	sortMembers(out)
+	return out, nil
+}
+
+func (cc *clusterClient) Stats(ctx context.Context) (ClusterStats, error) {
+	if err := ctx.Err(); err != nil {
+		return ClusterStats{}, err
+	}
+	st := ClusterStats{Steal: cc.n.Mgr.StealStats()}
+	cc.c.mu.Lock()
+	bal := cc.c.bal
+	cc.c.mu.Unlock()
+	if bal != nil {
+		st.Balance = bal.Stats()
+	}
+	return st, nil
+}
+
+func (cc *clusterClient) Watch(ctx context.Context, jobID uint64) (<-chan JobEvent, error) {
+	bus := cc.n.Mgr.Events()
+	if !bus.Known(jobID) {
+		return nil, fmt.Errorf("sod: no job %d", jobID)
+	}
+	inner, cancel := bus.Subscribe(jobID)
+	return watchWithContext(ctx, inner, cancel), nil
+}
+
+func (cc *clusterClient) Close() error { return nil }
+
+// localJob adapts a runtime job to JobHandle.
+type localJob struct{ j *sodee.Job }
+
+func (h localJob) ID() uint64 { return h.j.ID }
+func (h localJob) Done() bool { return h.j.Done() }
+func (h localJob) Wait(ctx context.Context) (Value, error) {
+	return h.j.WaitContext(ctx)
+}
+
+// --- daemon-backed implementation ---
+
+// Dial connects a Client to the sodd daemon at addr; the control-protocol
+// versions must match (a skew fails here, with a clear error).
+func Dial(addr string) (Client, error) { return DialTimeout(addr, 0) }
+
+// DialTimeout is Dial with a bound on how long a dead address is retried
+// (0 keeps the default, ~5s).
+func DialTimeout(addr string, timeout time.Duration) (Client, error) {
+	dc, err := daemon.DialTimeout(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &daemonClient{c: dc}, nil
+}
+
+type daemonClient struct {
+	c *daemon.Client
+}
+
+// callCtx runs one blocking control RPC while honoring ctx: the RPC
+// itself is bounded by the transport, and a canceled context abandons
+// the wait (the goroutine drains when the call returns).
+func callCtx[T any](ctx context.Context, f func() (T, error)) (T, error) {
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := f()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+func (dc *daemonClient) Submit(ctx context.Context, method string, args ...Value) (JobHandle, error) {
+	ints := make([]int64, len(args))
+	for i, a := range args {
+		if a.Kind != value.KindInt {
+			return nil, fmt.Errorf("sod: daemon submissions carry integer arguments only (arg %d is %v)", i, a.Kind)
+		}
+		ints[i] = a.I
+	}
+	id, err := callCtx(ctx, func() (uint64, error) { return dc.c.Submit(method, ints...) })
+	if err != nil {
+		return nil, err
+	}
+	return &remoteJob{c: dc.c, id: id}, nil
+}
+
+func (dc *daemonClient) Job(id uint64) (JobHandle, error) {
+	// Probe: a zero-timeout wait answers instantly and errors for an
+	// unknown id.
+	if _, _, _, err := dc.c.Wait(id, 0); err != nil {
+		return nil, err
+	}
+	return &remoteJob{c: dc.c, id: id}, nil
+}
+
+func (dc *daemonClient) Members(ctx context.Context) ([]Member, error) {
+	type reply struct {
+		self    int
+		members []daemon.MemberInfo
+	}
+	rep, err := callCtx(ctx, func() (reply, error) {
+		self, members, err := dc.c.Members()
+		return reply{self, members}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := []Member{{Node: rep.self, State: membership.Alive, Self: true}}
+	for _, m := range rep.members {
+		out = append(out, Member{
+			Node:       m.Node,
+			State:      m.State,
+			SinceHeard: m.SinceHeard,
+			Addr:       m.Addr,
+		})
+	}
+	sortMembers(out)
+	return out, nil
+}
+
+func (dc *daemonClient) Stats(ctx context.Context) (ClusterStats, error) {
+	return callCtx(ctx, func() (ClusterStats, error) {
+		bal, steal, err := dc.c.Stats()
+		return ClusterStats{Balance: bal, Steal: steal}, err
+	})
+}
+
+func (dc *daemonClient) Watch(ctx context.Context, jobID uint64) (<-chan JobEvent, error) {
+	inner, cancel, err := dc.c.Watch(jobID)
+	if err != nil {
+		return nil, err
+	}
+	return watchWithContext(ctx, inner, cancel), nil
+}
+
+func (dc *daemonClient) Close() error {
+	dc.c.Close()
+	return nil
+}
+
+// remoteJob adapts the daemon control protocol to JobHandle.
+type remoteJob struct {
+	c  *daemon.Client
+	id uint64
+}
+
+func (h *remoteJob) ID() uint64 { return h.id }
+
+func (h *remoteJob) Wait(ctx context.Context) (Value, error) {
+	res, errMsg, err := h.c.WaitContext(ctx, h.id)
+	if err != nil {
+		return Value{}, err
+	}
+	if errMsg != "" {
+		return Value{}, fmt.Errorf("sod: job %d failed: %s", h.id, errMsg)
+	}
+	return Int(res), nil
+}
+
+func (h *remoteJob) Done() bool {
+	_, done, _, err := h.c.Wait(h.id, 0)
+	return err == nil && done
+}
+
+// watchWithContext bridges a raw event channel to one whose lifetime is
+// bounded by ctx: events forward until the stream ends or ctx does, and
+// the subscription is released either way.
+func watchWithContext(ctx context.Context, inner <-chan JobEvent, cancel func()) <-chan JobEvent {
+	out := make(chan JobEvent, 32)
+	go func() {
+		defer close(out)
+		defer cancel()
+		for {
+			select {
+			case ev, ok := <-inner:
+				if !ok {
+					return
+				}
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					return
+				}
+				if ev.Terminal() {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+func sortMembers(ms []Member) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Node < ms[j].Node })
+}

@@ -1,0 +1,427 @@
+package sod_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/workloads"
+	"repro/sod"
+)
+
+// The conformance suite: the same scenarios run against both Client
+// implementations — the in-process cluster (Cluster.Client) and a real
+// 3-node TCP daemon cluster (sod.Dial) — so the two surfaces cannot
+// drift. Every fixture is the canonical elastic topology: a weak
+// one-core node 1 taking submissions, two strong peers, the threshold
+// push policy at a 2ms tick.
+
+const (
+	// confIters sizes the watched burst: heavy enough that the balancer
+	// reliably spills it even on a starved single-CPU host (the same
+	// reasoning as the daemon steal tests), light enough to finish in
+	// seconds.
+	confIters   = 600_000
+	confTimeout = 60 * time.Second
+)
+
+type confFixture struct {
+	name   string
+	client sod.Client
+	// submitNode is where jobs land (node 1 in both fixtures).
+	submitNode int
+}
+
+// waitConverged polls through the client until nodes 1..3 are alive in
+// the submit node's view — transport-agnostic, so both fixtures use it.
+func waitConverged(t *testing.T, cl sod.Client) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for {
+		members, err := cl.Members(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alive := 0
+		for _, m := range members {
+			if m.Node >= 1 && m.Node <= 3 && m.State.String() == "alive" {
+				alive++
+			}
+		}
+		if alive == 3 {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("membership never converged: %+v", members)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// withClients runs fn against both implementations.
+func withClients(t *testing.T, fn func(t *testing.T, f confFixture)) {
+	t.Run("inprocess", func(t *testing.T) {
+		prog, err := daemon.BuildWorkload("cruncher")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster, err := sod.NewCluster(prog, sod.Gigabit,
+			sod.Node{ID: 1, Cores: 1, Slow: 16},
+			sod.Node{ID: 2}, sod.Node{ID: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range []int{1, 2, 3} {
+			workloads.BindCommon(cluster.On(id).VM())
+		}
+		bal := cluster.AutoBalance(sod.ThresholdPolicy(0, 0),
+			sod.BalanceOptions{Interval: 2 * time.Millisecond})
+		t.Cleanup(bal.Stop)
+		fn(t, confFixture{name: "inprocess", client: cluster.Client(), submitNode: 1})
+	})
+
+	t.Run("daemon", func(t *testing.T) {
+		mk := func(id, cores, slow int) *daemon.Daemon {
+			d, err := daemon.New(daemon.Config{
+				ID: id, Cores: cores, Slow: slow,
+				Policy: "threshold", Interval: 2 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("boot daemon %d: %v", id, err)
+			}
+			t.Cleanup(d.Stop)
+			return d
+		}
+		d1 := mk(1, 1, 16)
+		d2 := mk(2, 0, 0)
+		d3 := mk(3, 0, 0)
+		if err := d2.Join(d1.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := d3.Join(d1.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		cl, err := sod.Dial(d1.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() }) //nolint:errcheck
+		waitConverged(t, cl)
+		fn(t, confFixture{name: "daemon", client: cl, submitNode: 1})
+	})
+}
+
+func TestConformanceSubmitAndWait(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+		seeds := []int64{11, 12, 13}
+		handles := make([]sod.JobHandle, len(seeds))
+		for i, s := range seeds {
+			h, err := f.client.Submit(ctx, "main", sod.Int(s), sod.Int(20_000))
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			if h.ID() == 0 {
+				t.Fatal("job handle has no id")
+			}
+			handles[i] = h
+		}
+		for i, h := range handles {
+			res, err := h.Wait(ctx)
+			if err != nil {
+				t.Fatalf("wait %d: %v", i, err)
+			}
+			if want := workloads.CruncherExpected(seeds[i], 20_000); res.I != want {
+				t.Errorf("job %d: result %d, want %d", i, res.I, want)
+			}
+			if !h.Done() {
+				t.Errorf("job %d not Done after Wait", i)
+			}
+		}
+	})
+}
+
+func TestConformanceWaitHonorsContext(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		bg, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+		h, err := f.client.Submit(bg, "main", sod.Int(9), sod.Int(2_000_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		short, scancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer scancel()
+		if _, err := h.Wait(short); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("short wait: err = %v, want DeadlineExceeded", err)
+		}
+		// The abandoned wait must not have disturbed the job.
+		res, err := h.Wait(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := workloads.CruncherExpected(9, 2_000_000); res.I != want {
+			t.Errorf("result %d, want %d", res.I, want)
+		}
+	})
+}
+
+func TestConformanceJobLookup(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+		h, err := f.client.Submit(ctx, "main", sod.Int(5), sod.Int(10_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		// A completed job stays queryable.
+		again, err := f.client.Job(h.ID())
+		if err != nil {
+			t.Fatalf("lookup of completed job: %v", err)
+		}
+		res, err := again.Wait(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := workloads.CruncherExpected(5, 10_000); res.I != want {
+			t.Errorf("re-looked-up result %d, want %d", res.I, want)
+		}
+		if _, err := f.client.Job(1 << 40); err == nil {
+			t.Error("lookup of an unknown job should error")
+		}
+	})
+}
+
+func TestConformanceMembers(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+		// Membership converges asynchronously on the daemon fixture.
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			members, err := f.client.Members(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make(map[int]sod.Member, len(members))
+			for _, m := range members {
+				seen[m.Node] = m
+			}
+			ok := len(seen) >= 3
+			for _, id := range []int{1, 2, 3} {
+				m, present := seen[id]
+				if !present || m.State.String() != "alive" {
+					ok = false
+				}
+			}
+			if ok {
+				if !seen[f.submitNode].Self {
+					t.Errorf("node %d not marked Self: %+v", f.submitNode, members)
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("membership never converged: %+v", members)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+func TestConformanceStats(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			st, err := f.client.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Balance.Ticks > 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("balancer never ticked")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+// TestConformanceWatchLifecycle is the headline scenario: a burst lands
+// on the weak node, the balancer spills it, and a watcher of each job
+// sees the whole story — started first, completed last with the right
+// result, migrations in between with direction, reason and hop count.
+func TestConformanceWatchLifecycle(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+
+		const njobs = 5
+		handles := make([]sod.JobHandle, njobs)
+		streams := make([]<-chan sod.JobEvent, njobs)
+		seeds := make([]int64, njobs)
+		for i := range handles {
+			seeds[i] = int64(40 + i)
+			h, err := f.client.Submit(ctx, "main", sod.Int(seeds[i]), sod.Int(confIters))
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			handles[i] = h
+			ch, err := f.client.Watch(ctx, h.ID())
+			if err != nil {
+				t.Fatalf("watch %d: %v", i, err)
+			}
+			streams[i] = ch
+		}
+
+		migrated := 0
+		for i, ch := range streams {
+			var events []sod.JobEvent
+			for ev := range ch {
+				events = append(events, ev)
+			}
+			if len(events) < 2 {
+				t.Fatalf("job %d: stream had %d events, want at least started+completed", i, len(events))
+			}
+			first, last := events[0], events[len(events)-1]
+			if first.Kind != sod.JobStarted || first.From != f.submitNode {
+				t.Errorf("job %d: first event %+v, want started on node %d", i, first, f.submitNode)
+			}
+			if last.Kind != sod.JobCompleted || last.Err != "" {
+				t.Errorf("job %d: last event %+v, want clean completion", i, last)
+			}
+			if want := workloads.CruncherExpected(seeds[i], confIters); last.Result != want {
+				t.Errorf("job %d: completed with %d, want %d", i, last.Result, want)
+			}
+			for _, ev := range events[1 : len(events)-1] {
+				switch ev.Kind {
+				case sod.JobMigrated:
+					migrated++
+					if ev.From == ev.To || ev.Hops < 1 {
+						t.Errorf("job %d: malformed migration event %+v", i, ev)
+					}
+					if ev.Reason == sod.MigrateManual {
+						t.Errorf("job %d: balancer migration labeled manual: %+v", i, ev)
+					}
+				case sod.JobResultFlushed:
+					if ev.To != f.submitNode {
+						t.Errorf("job %d: result flushed to node %d, want origin %d", i, ev.To, f.submitNode)
+					}
+				case sod.JobMigrationFailed: // a crashed-transfer fallback is legal mid-stream
+				default:
+					t.Errorf("job %d: unexpected mid-stream event %+v", i, ev)
+				}
+			}
+		}
+		if migrated == 0 {
+			t.Error("no watched job ever migrated; the burst ran serially")
+		}
+
+		// The results themselves are still intact after watching.
+		for i, h := range handles {
+			res, err := h.Wait(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := workloads.CruncherExpected(seeds[i], confIters); res.I != want {
+				t.Errorf("job %d: result %d, want %d", i, res.I, want)
+			}
+		}
+	})
+}
+
+func TestConformanceWatchReplayAndUnknown(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+		if _, err := f.client.Watch(ctx, 1<<40); err == nil {
+			t.Error("watching an unknown job should error")
+		}
+		h, err := f.client.Submit(ctx, "main", sod.Int(3), sod.Int(10_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		// Watching after completion replays the retained history and
+		// terminates immediately.
+		ch, err := f.client.Watch(ctx, h.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []sod.JobEvent
+		timeout := time.After(10 * time.Second)
+		for {
+			select {
+			case ev, ok := <-ch:
+				if !ok {
+					goto done
+				}
+				events = append(events, ev)
+			case <-timeout:
+				t.Fatal("replayed stream never terminated")
+			}
+		}
+	done:
+		if len(events) < 2 || events[0].Kind != sod.JobStarted ||
+			events[len(events)-1].Kind != sod.JobCompleted {
+			t.Fatalf("replayed stream malformed: %+v", events)
+		}
+	})
+}
+
+// TestConformanceConcurrentWatchesOfOneJob: both implementations must
+// serve any number of simultaneous watchers of the same job the full
+// stream — the drift this suite exists to prevent.
+func TestConformanceConcurrentWatchesOfOneJob(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+		h, err := f.client.Submit(ctx, "main", sod.Int(8), sod.Int(100_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const watchers = 3
+		streams := make([]<-chan sod.JobEvent, watchers)
+		for i := range streams {
+			ch, err := f.client.Watch(ctx, h.ID())
+			if err != nil {
+				t.Fatalf("watcher %d: %v", i, err)
+			}
+			streams[i] = ch
+		}
+		if _, err := h.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for i, ch := range streams {
+			var events []sod.JobEvent
+			deadline := time.After(30 * time.Second)
+		drain:
+			for {
+				select {
+				case ev, ok := <-ch:
+					if !ok {
+						break drain
+					}
+					events = append(events, ev)
+				case <-deadline:
+					t.Fatalf("watcher %d never terminated; got %+v", i, events)
+				}
+			}
+			if len(events) < 2 || events[0].Kind != sod.JobStarted ||
+				events[len(events)-1].Kind != sod.JobCompleted {
+				t.Errorf("watcher %d: malformed stream %+v", i, events)
+			}
+		}
+	})
+}

@@ -28,12 +28,36 @@
 //	b := cluster.AutoBalance(sod.ThresholdPolicy(0, 0), sod.BalanceOptions{})
 //	defer b.Stop()
 //
+// # One client API
+//
+// Client is the context-aware way to drive a cluster, and the same
+// interface works whether the cluster lives in this process or runs as
+// sodd daemons on real sockets — code written against it does not care
+// where the cluster is:
+//
+//	cl := cluster.Client()                  // in-process ...
+//	cl, err := sod.Dial("127.0.0.1:7101")   // ... or a live daemon
+//
+//	h, _ := cl.Submit(ctx, "main", sod.Int(42))
+//	events, _ := cl.Watch(ctx, h.ID())      // started / migrated / completed
+//	result, err := h.Wait(ctx)
+//
+// Watch streams the job's lifecycle as it happens: where it started,
+// every migration with its direction and reason (pushed by the balancer,
+// stolen by an idle peer, rebalanced onward), the result flushing home,
+// and completion. The sodctl binary surfaces the same stream as
+// "sodctl watch -job N".
+//
 // See examples/ for runnable scenarios (quickstart, multi-domain
 // workflow, task roaming, device offload, photo sharing, elastic
-// auto-offload).
+// auto-offload, distributed TCP cluster).
 package sod
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bytecode"
@@ -159,6 +183,11 @@ type Node struct {
 // Cluster is a set of SOD nodes over a shared fabric.
 type Cluster struct {
 	inner *sodee.Cluster
+
+	// bal is the most recently started AutoBalance engine; Client.Stats
+	// reads its counters.
+	mu  sync.Mutex
+	bal *Balancer
 }
 
 // NewCluster builds a cluster running prog (compile it first) with the
@@ -188,13 +217,25 @@ func (c *Cluster) SetLink(a, b int, link netsim.LinkSpec) { c.inner.Net.SetLink(
 // Network exposes the underlying fabric (for NFS setup and stats).
 func (c *Cluster) Network() *netsim.Network { return c.inner.Net }
 
-// On returns the handle for node id.
+// On returns the handle for node id. It panics on an unknown id: every
+// call site chains straight into an operation (cluster.On(1).Start(...)),
+// so returning nil — as this method once did — only deferred the crash to
+// an opaque nil dereference. Use Lookup for the soft-failure form.
 func (c *Cluster) On(id int) *NodeHandle {
+	h, ok := c.Lookup(id)
+	if !ok {
+		panic(fmt.Sprintf("sod: cluster has no node %d", id))
+	}
+	return h
+}
+
+// Lookup returns the handle for node id, reporting whether it exists.
+func (c *Cluster) Lookup(id int) (*NodeHandle, bool) {
 	n, ok := c.inner.Nodes[id]
 	if !ok {
-		return nil
+		return nil, false
 	}
-	return &NodeHandle{n: n}
+	return &NodeHandle{n: n}, true
 }
 
 // Internal returns the underlying runtime cluster for advanced use (the
@@ -304,8 +345,19 @@ type Job struct {
 	inner *sodee.Job
 }
 
+// ID returns the job's identity at its origin node (the id Client.Watch
+// takes).
+func (j *Job) ID() uint64 { return j.inner.ID }
+
 // Wait blocks for the job's final result, wherever it completes.
 func (j *Job) Wait() (Value, error) { return j.inner.Wait() }
+
+// WaitContext blocks for the final result or the context's end, whichever
+// comes first. No goroutine is spawned; an abandoned wait leaks nothing.
+// A ctx error means the wait ended — the job itself is still running.
+func (j *Job) WaitContext(ctx context.Context) (Value, error) {
+	return j.inner.WaitContext(ctx)
+}
 
 // Done reports completion without blocking.
 func (j *Job) Done() bool { return j.inner.Done() }
@@ -372,21 +424,30 @@ func RoundRobinPolicy() Policy { return &policy.RoundRobin{} }
 // straight back to each job's origin. Stop the returned Balancer when
 // done.
 func (c *Cluster) AutoBalance(p Policy, opts BalanceOptions) *Balancer {
-	return c.inner.AutoBalance(p, opts)
+	b := c.inner.AutoBalance(p, opts)
+	c.mu.Lock()
+	c.bal = b
+	c.mu.Unlock()
+	return b
 }
 
-// WaitTimeout waits up to d for the result.
+// WaitTimeout waits up to d for the result; done is false on timeout.
+//
+// Deprecated: use WaitContext (or Client/JobHandle.Wait) with a deadline
+// context. WaitTimeout used to leave a goroutine parked on the job until
+// it eventually finished; it is now a thin shim over WaitContext and will
+// be removed in a future release.
 func (j *Job) WaitTimeout(d time.Duration) (Value, bool, error) {
-	ch := make(chan struct{})
-	go func() {
-		j.inner.Wait() //nolint:errcheck // result re-read below
-		close(ch)
-	}()
-	select {
-	case <-ch:
-		v, err := j.inner.Wait()
-		return v, true, err
-	case <-time.After(d):
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	v, err := j.inner.WaitContext(ctx)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && !j.inner.Done() {
 		return Value{}, false, nil
 	}
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		// The job finished in the instant the deadline fired; report the
+		// real outcome.
+		v, err = j.inner.Wait()
+	}
+	return v, true, err
 }

@@ -155,8 +155,19 @@ func TestWaitTimeout(t *testing.T) {
 func TestUnknownNodeAndMethod(t *testing.T) {
 	app := sod.Compile(buildApp())
 	cluster, _ := sod.NewCluster(app, sod.Unlimited, sod.Node{ID: 1})
-	if cluster.On(42) != nil {
-		t.Error("unknown node should be nil")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("On with an unknown node should panic")
+			}
+		}()
+		cluster.On(42)
+	}()
+	if _, ok := cluster.Lookup(42); ok {
+		t.Error("Lookup of an unknown node should report false")
+	}
+	if h, ok := cluster.Lookup(1); !ok || h == nil {
+		t.Error("Lookup of a known node should succeed")
 	}
 	if _, err := cluster.On(1).Start("nope"); err == nil {
 		t.Error("unknown method should error")
