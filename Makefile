@@ -48,6 +48,10 @@ cluster-smoke:
 
 # The chaos harness under -race across the fixed seed matrix: scripted
 # crashes, rejoins and slowdowns while the balancer pushes, steals and
-# re-balances — every job must complete exactly once.
+# re-balances — every job must complete exactly once — plus the workflow
+# chain scenario, which kills a mid-chain node between plant and forward
+# and requires exactly-once completion with the result flushed at the
+# origin. Output is mirrored to chaos.log (CI uploads it on failure).
 chaos:
-	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run TestChaosScenarios -v ./internal/sodee
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run 'TestChaosScenarios|TestChainChaosMidChainCrash' -v ./internal/sodee > chaos.log 2>&1; \
+	status=$$?; cat chaos.log; exit $$status

@@ -9,6 +9,7 @@
 //	sodbench -table elastic      # adaptive offload vs no-migration vs hand placement
 //	sodbench -table transport    # migration cost: simulated fabric vs TCP loopback
 //	sodbench -table steal        # work stealing: push-only vs push+steal makespan
+//	sodbench -table workflow     # forward chains vs return-home on WAN links
 package main
 
 import (
@@ -20,12 +21,15 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,7,roam,fig5,elastic,transport,steal,all")
+	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,7,roam,fig5,elastic,transport,steal,workflow,all")
 	elasticJobs := flag.Int("elastic-jobs", 0, "elastic: burst size (0 = default 8)")
 	elasticIters := flag.Int64("elastic-iters", 0, "elastic: iterations per job (0 = default)")
 	transportTrips := flag.Int("transport-trips", 0, "transport: migrations per fabric (0 = default 12)")
 	stealJobs := flag.Int("steal-jobs", 0, "steal: burst size (0 = default 8)")
 	stealIters := flag.Int64("steal-iters", 0, "steal: iterations per job (0 = default)")
+	wfJobs := flag.Int("workflow-jobs", 0, "workflow: burst size (0 = default 6)")
+	wfIters := flag.Int64("workflow-iters", 0, "workflow: stage2 iterations per job (0 = default)")
+	wfLatency := flag.Int("workflow-latency", 0, "workflow: one-way WAN latency in ms (0 = default 8)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -124,6 +128,16 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderSteal(rows))
+		return nil
+	})
+	run("workflow", func() error {
+		rows, err := experiments.Workflow(experiments.WorkflowConfig{
+			Jobs: *wfJobs, Iters: *wfIters, LatencyMs: *wfLatency,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderWorkflow(rows))
 		return nil
 	})
 	run("elastic", func() error {

@@ -67,8 +67,11 @@ func printStats(c *daemon.Client) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ticks %d  decisions %d  migrations %d (pushed %d, stolen %d, rebalanced %d)  failed %d\n",
-		st.Ticks, st.Decisions, st.Migrations, st.Pushed, st.Stolen, st.Rebalanced, st.FailedMigrations)
+	fmt.Printf("ticks %d  decisions %d  migrations %d (pushed %d, stolen %d, rebalanced %d, chained %d)  failed %d\n",
+		st.Ticks, st.Decisions, st.Migrations, st.Pushed, st.Stolen, st.Rebalanced, st.Chained, st.FailedMigrations)
+	if st.Chained > 0 {
+		fmt.Printf("chains: %d executed, %d segments placed\n", st.Chained, st.ChainSegments)
+	}
 	if ss.RequestsSent+ss.RequestsServed > 0 {
 		fmt.Printf("steal: sent %d (won %d)  served %d (granted %d, denied %d, failed transfers %d)\n",
 			ss.RequestsSent, ss.Won, ss.RequestsServed, ss.Granted, ss.Denied, ss.FailedTransfers)
@@ -153,8 +156,13 @@ func main() {
 		fs := flag.NewFlagSet("submit", flag.ExitOnError)
 		method := fs.String("method", "main", "entry method")
 		args := fs.String("args", "", "comma-separated integer arguments")
+		chain := fs.Bool("chain", false, "chain-owned: let the planner split the stack into a forward pipeline (daemon must run -chain)")
 		fs.Parse(rest) //nolint:errcheck
-		id, err := c.Submit(*method, parseArgs(*args)...)
+		submit := c.Submit
+		if *chain {
+			submit = c.SubmitChain
+		}
+		id, err := submit(*method, parseArgs(*args)...)
 		if err != nil {
 			log.Fatal(err)
 		}

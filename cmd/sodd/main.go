@@ -33,6 +33,7 @@ func main() {
 	slow := flag.Int("slow", 0, "per-instruction throttle (0 = full speed)")
 	pol := flag.String("policy", "threshold", "offload policy: threshold, cost, rr, none")
 	steal := flag.Bool("steal", false, "work stealing: pull jobs from loaded peers while idle, serve steal requests while loaded")
+	chain := flag.Bool("chain", false, "workflow chains: place chain-submitted jobs as multi-segment forward pipelines")
 	hopBudget := flag.Int("hop-budget", 0, "lifetime migration cap per job (0 = default, negative = unlimited)")
 	cooldown := flag.Duration("cooldown", 0, "quarantine before a job may revisit a node it left (0 = default)")
 	interval := flag.Duration("interval", 10*time.Millisecond, "balance/heartbeat interval")
@@ -46,7 +47,7 @@ func main() {
 	d, err := daemon.New(daemon.Config{
 		ID: *id, Listen: *listen, Workload: *workload,
 		Cores: *cores, Slow: *slow,
-		Policy: *pol, Steal: *steal,
+		Policy: *pol, Steal: *steal, Chain: *chain,
 		HopBudget: *hopBudget, Cooldown: *cooldown,
 		Interval: *interval,
 		Logf:     logf,

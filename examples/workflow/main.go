@@ -1,115 +1,85 @@
-// Workflow: the paper's Fig 1c multi-domain execution path. A three-frame
-// computation starts on node 1; the top frame migrates to node 2 while
-// the residual stack is planted on node 3 in parallel. When the segment
-// pops on node 2, its return value is forwarded straight to node 3 —
-// control never returns to node 1 until the job completes, and the
-// restore of the residual overlaps with the segment's execution ("freeze
-// time between multiple hops is fully or partially hidden", §II.A).
+// Workflow: the paper's Fig 1c multi-domain execution path, driven
+// entirely by policy. A three-stage pipeline (main → stage1 → stage2) is
+// submitted as a *chained* job on node 1; the balancer's chain planner
+// inspects the parked stack — per-frame instruction counts, pinning,
+// live load and RTT — and splits it on its own: the hot stage2 segment
+// ships to one idle peer while the stage1+main residual is planted on
+// another ahead of execution. When stage2 pops, its value is forwarded
+// straight to the planted link — control never returns to node 1 until
+// the final result flushes home ("freeze time between multiple hops is
+// fully or partially hidden", §II.A). Nobody names a destination
+// anywhere in this file.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
+	"repro/internal/workloads"
 	"repro/sod"
-	"repro/sodasm"
 )
 
-func buildProgram() *sod.Program {
-	pb := sodasm.NewProgram()
-	pb.Native("pause", 0, false)
-	pb.Native("whereami", 0, true) // returns the executing node id
-
-	// stage2: the top frame (frame 1 in Fig 1), compute-heavy.
-	s2 := pb.Func("stage2", true, "x")
-	s2.Line().CallNat("pause", 0)
-	s2.Line().Int(0).Store("acc")
-	s2.Line().Int(0).Store("i")
-	s2.Label("loop")
-	s2.Line().Load("i").Int(200000).Ge().Jnz("done")
-	s2.Line().Load("acc").Load("i").Load("x").Mul().Add().Store("acc")
-	s2.Line().Load("i").Int(1).Add().Store("i")
-	s2.Line().Jmp("loop")
-	s2.Label("done")
-	s2.Line().Load("acc").Int(10000).Mod().Store("acc") // keep below the location markers
-	s2.Line().CallNat("whereami", 0).Store("loc")
-	s2.Line().Load("acc").Load("loc").Int(1000000).Mul().Add().RetV()
-
-	// stage1: frame 2 — post-processes stage2's result.
-	s1 := pb.Func("stage1", true, "x")
-	s1.Line().Load("x").Call("stage2", 1).Store("r")
-	s1.Line().CallNat("whereami", 0).Store("loc")
-	s1.Line().Load("r").Load("loc").Int(100000000).Mul().Add().RetV()
-
-	// main: frame 3.
-	mn := pb.Func("main", true, "x")
-	mn.Line().Load("x").Call("stage1", 1).RetV()
-
-	return pb.MustBuild()
-}
-
 func main() {
-	app := sod.Compile(buildProgram())
+	app := sod.Compile(workloads.Workflow())
 	cluster, err := sod.NewCluster(app, sod.Gigabit,
-		sod.Node{ID: 1}, sod.Node{ID: 2}, sod.Node{ID: 3})
+		sod.Node{ID: 1, Cores: 1, Slow: 16}, // weak submit node
+		sod.Node{ID: 2},                     // idle strong peers:
+		sod.Node{ID: 3})                     // the planner picks among them
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var once sync.Once
-	paused := make(chan struct{})
-	resume := make(chan struct{})
-	for id := 1; id <= 3; id++ {
-		h := cluster.On(id)
-		nodeID := int64(id)
-		h.BindNative("whereami", func(args []sod.Value) (sod.Value, error) {
-			return sod.Int(nodeID), nil
-		})
-		h.BindNative("pause", func(args []sod.Value) (sod.Value, error) {
-			once.Do(func() {
-				close(paused)
-				<-resume
-			})
-			return sod.Value{}, nil
-		})
-	}
+	// Chain-only balancer: nothing pushes; the planner owns chained jobs.
+	bal := cluster.AutoBalance(sod.NeverPolicy(), sod.BalanceOptions{
+		Interval: time.Millisecond,
+		Chain:    true,
+	})
+	defer bal.Stop()
 
-	home := cluster.On(1)
-	job, err := home.Start("main", sod.Int(3))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl := cluster.Client()
+
+	const seed, iters = 3, 600_000
+	job, err := cl.SubmitChain(ctx, "main", sod.Int(seed), sod.Int(iters))
 	if err != nil {
 		log.Fatal(err)
 	}
-	<-paused
-	done := make(chan *sod.Metrics, 1)
-	go func() {
-		m, merr := home.Migrate(job, sod.Migration{
-			Frames: 1, Dest: 2, // segment (stage2) to node 2...
-			Flow: sod.Forward, ForwardTo: 3, // ...residual (stage1+main) to node 3
-		})
-		if merr != nil {
-			log.Fatal(merr)
+	events, err := cl.Watch(ctx, job.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Narrate the chain as it happens.
+	var planted, forwarded, chained int
+	for ev := range events {
+		fmt.Println("  " + ev.String())
+		switch ev.Kind {
+		case sod.JobSegmentPlanted:
+			planted++
+		case sod.JobSegmentForwarded:
+			forwarded++
+		case sod.JobMigrated:
+			if ev.Reason == sod.MigrateChained {
+				chained++
+			}
 		}
-		done <- m
-	}()
-	time.Sleep(time.Millisecond)
-	close(resume)
-	m := <-done
+	}
 
-	result, err := job.Wait()
+	result, err := job.Wait(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Decode the location stamps: stage2 ran on node 2, stage1 on node 3.
-	stage1Loc := result.I / 100000000
-	stage2Loc := (result.I % 100000000) / 1000000
-	fmt.Printf("workflow result = %d\n", result.I)
-	fmt.Printf("stage2 (segment) executed on node %d; stage1 (residual) resumed on node %d\n",
-		stage2Loc, stage1Loc)
-	fmt.Printf("migration latency %v (%d state bytes)\n",
-		m.Latency.Round(time.Microsecond), m.StateBytes)
-	if stage2Loc != 2 || stage1Loc != 3 {
-		log.Fatal("unexpected execution placement!")
+	want := workloads.WorkflowExpected(seed, iters)
+	fmt.Printf("workflow result = %d (want %d)\n", result.I, want)
+	fmt.Printf("chain: %d executing segment(s) shipped, %d residual link(s) planted ahead, %d forward(s)\n",
+		chained, planted, forwarded)
+	if result.I != want {
+		log.Fatal("wrong result!")
+	}
+	if chained == 0 || planted == 0 || forwarded == 0 {
+		log.Fatal("the planner never chained the job!")
 	}
 }

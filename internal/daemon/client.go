@@ -127,8 +127,19 @@ func (c *Client) Members() (self int, members []MemberInfo, err error) {
 
 // Submit starts a job on the daemon and returns its id.
 func (c *Client) Submit(method string, args ...int64) (uint64, error) {
+	return c.submit(opSubmit, method, args...)
+}
+
+// SubmitChain starts a chain-owned job: the daemon's chain planner
+// places its stack as a multi-segment forward pipeline (the daemon must
+// run with -chain).
+func (c *Client) SubmitChain(method string, args ...int64) (uint64, error) {
+	return c.submit(opSubmitChain, method, args...)
+}
+
+func (c *Client) submit(op byte, method string, args ...int64) (uint64, error) {
 	w := wire.NewWriter(64)
-	w.Byte(opSubmit)
+	w.Byte(op)
 	w.Blob([]byte(method))
 	w.Uvarint(uint64(len(args)))
 	for _, a := range args {
@@ -347,8 +358,8 @@ func (c *Client) Run(method string, timeout time.Duration, args ...int64) (int64
 }
 
 // Stats queries the daemon's balancer counters, including the
-// per-direction migration split (pushed / stolen / rebalanced) and the
-// node's steal counters.
+// per-direction migration split (pushed / stolen / rebalanced /
+// chained) and the node's steal counters.
 func (c *Client) Stats() (sodee.BalanceStats, sodee.StealStats, error) {
 	w := wire.NewWriter(1)
 	w.Byte(opStats)
@@ -365,6 +376,8 @@ func (c *Client) Stats() (sodee.BalanceStats, sodee.StealStats, error) {
 		Pushed:           int(r.Uvarint()),
 		Stolen:           int(r.Uvarint()),
 		Rebalanced:       int(r.Uvarint()),
+		Chained:          int(r.Uvarint()),
+		ChainSegments:    int(r.Uvarint()),
 		MigrationsTo:     make(map[int]int),
 	}
 	ss := sodee.StealStats{

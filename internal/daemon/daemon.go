@@ -39,22 +39,26 @@ import (
 // opJoin), so a version skew between sodctl/sodd binaries fails with a
 // clear "protocol mismatch" error instead of a decode failure deep in
 // some later exchange.
-const ProtocolVersion = 1
+//
+// v2: chained submission (opSubmitChain) and chain-position fields on
+// streamed job events (segment-planted / segment-forwarded).
+const ProtocolVersion = 2
 
 // Control operations (first byte of a KindControl payload).
 const (
-	opJoin      byte = 1 // {id, addr, version} → full roster; broadcast if new
-	opNewMember byte = 2 // one-way roster gossip {id, addr}
-	opMembers   byte = 3 // → membership snapshot
-	opSubmit    byte = 4 // {method, args...} → job id
-	opWait      byte = 5 // {job, timeout} → result
-	opStats     byte = 6 // → balancer stats
-	opLoad      byte = 7 // → local+peer signals, wire latencies
-	opHello     byte = 8 // {version} → {version}: protocol handshake
-	opWatch     byte = 9 // {job, gen} → ack; events stream as opEvent frames
-	opUnwatch   byte = 10 // {gen}: cancel one watch stream (acked)
-	opEvent     byte = 11 // daemon → client, one-way: {gen, seq, JobEvent}
-	opEventEnd  byte = 12 // daemon → client, one-way: {gen} stream over
+	opJoin        byte = 1  // {id, addr, version} → full roster; broadcast if new
+	opNewMember   byte = 2  // one-way roster gossip {id, addr}
+	opMembers     byte = 3  // → membership snapshot
+	opSubmit      byte = 4  // {method, args...} → job id
+	opWait        byte = 5  // {job, timeout} → result
+	opStats       byte = 6  // → balancer stats
+	opLoad        byte = 7  // → local+peer signals, wire latencies
+	opHello       byte = 8  // {version} → {version}: protocol handshake
+	opWatch       byte = 9  // {job, gen} → ack; events stream as opEvent frames
+	opUnwatch     byte = 10 // {gen}: cancel one watch stream (acked)
+	opEvent       byte = 11 // daemon → client, one-way: {gen, seq, JobEvent}
+	opEventEnd    byte = 12 // daemon → client, one-way: {gen} stream over
+	opSubmitChain byte = 13 // {method, args...} → job id, chain-planned placement
 )
 
 // Config configures one daemon.
@@ -84,6 +88,10 @@ type Config struct {
 	// Cooldown quarantines a job from nodes it recently left.
 	HopBudget int
 	Cooldown  time.Duration
+	// Chain arms the workflow chain planner: jobs submitted chained
+	// (sodctl submit -chain, Client.SubmitChain) have their stacks split
+	// into multi-segment FlowForward pipelines across the cluster.
+	Chain bool
 	// Interval paces the balance/heartbeat loop (default 10ms).
 	Interval time.Duration
 	// Membership tunes the failure detector (zero = defaults).
@@ -106,8 +114,10 @@ func BuildWorkload(name string) (*bytecode.Program, error) {
 		raw = workloads.NQueens().Prog
 	case "tsp":
 		raw = workloads.TSP().Prog
+	case "workflow":
+		raw = workloads.Workflow()
 	default:
-		return nil, fmt.Errorf("daemon: unknown workload %q (have cruncher, fib, nq, tsp)", name)
+		return nil, fmt.Errorf("daemon: unknown workload %q (have cruncher, fib, nq, tsp, workflow)", name)
 	}
 	return preprocess.MustPreprocess(raw,
 		preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true}), nil
@@ -245,10 +255,15 @@ func New(cfg Config) (*Daemon, error) {
 		// push policy never fires.
 		pol = policy.Never{}
 	}
+	if pol == nil && cfg.Chain {
+		// Chain-only: the planner owns chained jobs; nothing pushes.
+		pol = policy.Never{}
+	}
 	if pol != nil {
 		d.bal = c.AutoBalance(pol, sodee.BalanceOptions{
 			Interval: cfg.Interval, Steal: cfg.Steal,
 			HopBudget: cfg.HopBudget, Cooldown: cfg.Cooldown,
+			Chain: cfg.Chain,
 		})
 	} else {
 		// No balancer: run the heartbeat loop alone so membership still
@@ -448,11 +463,27 @@ const maxRetainedJobs = 256
 // Submit starts a job on this node (local API; the remote path is
 // opSubmit). The job participates in AutoBalance like any other.
 func (d *Daemon) Submit(method string, args ...int64) (*sodee.Job, error) {
+	return d.submit(method, false, args...)
+}
+
+// SubmitChain starts a chain-owned job: the balancer's chain planner
+// places its stack as a forward pipeline (the daemon must run with
+// Config.Chain; without it the mark has no effect and the job balances
+// like any ordinary submission).
+func (d *Daemon) SubmitChain(method string, args ...int64) (*sodee.Job, error) {
+	return d.submit(method, true, args...)
+}
+
+func (d *Daemon) submit(method string, chained bool, args ...int64) (*sodee.Job, error) {
 	vals := make([]value.Value, len(args))
 	for i, a := range args {
 		vals[i] = value.Int(a)
 	}
-	job, err := d.node.Mgr.StartJob(method, vals...)
+	start := d.node.Mgr.StartJob
+	if chained {
+		start = d.node.Mgr.StartJobChained
+	}
+	job, err := start(method, vals...)
 	if err != nil {
 		return nil, err
 	}
@@ -488,7 +519,9 @@ func (d *Daemon) handleControl(from int, payload []byte) ([]byte, error) {
 	case opMembers:
 		return d.handleMembers()
 	case opSubmit:
-		return d.handleSubmit(r)
+		return d.handleSubmit(r, false)
+	case opSubmitChain:
+		return d.handleSubmit(r, true)
 	case opWait:
 		return d.handleWait(r)
 	case opStats:
@@ -647,7 +680,7 @@ func (d *Daemon) handleMembers() ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-func (d *Daemon) handleSubmit(r *wire.Reader) ([]byte, error) {
+func (d *Daemon) handleSubmit(r *wire.Reader, chained bool) ([]byte, error) {
 	method := string(r.Blob())
 	n := int(r.Uvarint())
 	args := make([]int64, n)
@@ -657,7 +690,7 @@ func (d *Daemon) handleSubmit(r *wire.Reader) ([]byte, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	job, err := d.Submit(method, args...)
+	job, err := d.submit(method, chained, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -720,10 +753,12 @@ func (d *Daemon) handleStats() ([]byte, error) {
 	w.Uvarint(uint64(st.Decisions))
 	w.Uvarint(uint64(st.Migrations))
 	w.Uvarint(uint64(st.FailedMigrations))
-	// Per-direction split: pushed / stolen / rebalanced.
+	// Per-direction split: pushed / stolen / rebalanced / chained.
 	w.Uvarint(uint64(st.Pushed))
 	w.Uvarint(uint64(st.Stolen))
 	w.Uvarint(uint64(st.Rebalanced))
+	w.Uvarint(uint64(st.Chained))
+	w.Uvarint(uint64(st.ChainSegments))
 	// Node-level steal counters.
 	w.Uvarint(uint64(ss.RequestsSent))
 	w.Uvarint(uint64(ss.Won))

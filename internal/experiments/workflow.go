@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/preprocess"
+	"repro/internal/sodee"
+	"repro/internal/value"
+	"repro/internal/workloads"
+)
+
+// The workflow experiment measures what policy-driven FlowForward chains
+// buy on a WAN-shaped cluster. The workload is the three-stage pipeline
+// (main → stage1 → stage2); the cluster is a weak submit node and two
+// strong peers joined by slow, high-latency links. Under return-home
+// balancing, every stage boundary crosses the slow link twice (segment
+// out, result back) and the residual stages execute on the weak origin.
+// Under forward chains, the planner plants each residual on a strong
+// node ahead of execution, so a stage boundary crosses the wire once,
+// the restore overlaps the stage above (the paper's hidden freeze time,
+// §II.A), and no stage ever runs on the weak node.
+
+// WorkflowRow is one scheme's outcome.
+type WorkflowRow struct {
+	Scheme        string
+	Makespan      time.Duration
+	Pushed        int
+	Chained       int
+	ChainSegments int
+	Correct       bool
+}
+
+// WorkflowConfig sizes the experiment.
+type WorkflowConfig struct {
+	Jobs  int   // burst size (default 6)
+	Iters int64 // stage2 iterations per job (default 300k)
+	// LatencyMs shapes the WAN links (one-way, default 8ms).
+	LatencyMs int
+}
+
+func (c *WorkflowConfig) defaults() {
+	if c.Jobs <= 0 {
+		c.Jobs = 6
+	}
+	if c.Iters <= 0 {
+		c.Iters = 300_000
+	}
+	if c.LatencyMs <= 0 {
+		c.LatencyMs = 8
+	}
+}
+
+// workflowCluster builds the WAN-shaped cluster: a weak submit node and
+// two strong peers behind slow links.
+func workflowCluster(cfg WorkflowConfig) (*sodee.Cluster, error) {
+	prog := preprocess.MustPreprocess(workloads.Workflow(),
+		preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+	wan := netsim.LinkSpec{
+		BandwidthBps: 50_000_000,
+		Latency:      time.Duration(cfg.LatencyMs) * time.Millisecond,
+	}
+	return sodee.NewCluster(prog, wan,
+		sodee.NodeConfig{ID: 1, Preloaded: true, Cores: 1, Slow: 16},
+		sodee.NodeConfig{ID: 2, Preloaded: true},
+		sodee.NodeConfig{ID: 3, Preloaded: true},
+	)
+}
+
+// workflowBurst fires the burst on node 1 and waits for every result.
+func workflowBurst(c *sodee.Cluster, cfg WorkflowConfig) (time.Duration, bool, error) {
+	start := time.Now()
+	jobs := make([]*sodee.Job, cfg.Jobs)
+	seeds := make([]int64, cfg.Jobs)
+	for i := range jobs {
+		seeds[i] = int64(3000 + i)
+		j, err := c.Nodes[1].Mgr.StartJob("main", value.Int(seeds[i]), value.Int(cfg.Iters))
+		if err != nil {
+			return 0, false, err
+		}
+		jobs[i] = j
+	}
+	correct := true
+	for i, j := range jobs {
+		res, err := j.Wait()
+		if err != nil {
+			return 0, false, fmt.Errorf("workflow job %d: %w", i, err)
+		}
+		if res.I != workloads.WorkflowExpected(seeds[i], cfg.Iters) {
+			correct = false
+		}
+	}
+	return time.Since(start), correct, nil
+}
+
+// Workflow runs the burst under three schemes — no migration, per-stage
+// return-home balancing, and planner-driven forward chains — and returns
+// one row per scheme in that order.
+func Workflow(cfg WorkflowConfig) ([]WorkflowRow, error) {
+	cfg.defaults()
+	var rows []WorkflowRow
+
+	run := func(scheme string, balance func(c *sodee.Cluster) *sodee.Balancer) error {
+		c, err := workflowCluster(cfg)
+		if err != nil {
+			return err
+		}
+		var b *sodee.Balancer
+		if balance != nil {
+			b = balance(c)
+		}
+		makespan, correct, err := workflowBurst(c, cfg)
+		var st sodee.BalanceStats
+		if b != nil {
+			b.Stop()
+			st = b.Stats()
+		}
+		if err != nil {
+			return err
+		}
+		rows = append(rows, WorkflowRow{
+			Scheme: scheme, Makespan: makespan,
+			Pushed: st.Pushed, Chained: st.Chained, ChainSegments: st.ChainSegments,
+			Correct: correct,
+		})
+		return nil
+	}
+
+	if err := run("no-migration", nil); err != nil {
+		return nil, err
+	}
+	if err := run("return-home", func(c *sodee.Cluster) *sodee.Balancer {
+		// Per-stage offload, results bouncing through the origin: the top
+		// frame migrates whenever the threshold fires, its value returns
+		// home, and the next stage resumes on the weak node until the
+		// policy pushes it out again.
+		return c.AutoBalance(policy.Threshold{}, sodee.BalanceOptions{
+			Interval: time.Millisecond,
+			Frames:   1,
+			Flow:     sodee.FlowReturnHome,
+		})
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("forward-chain", func(c *sodee.Cluster) *sodee.Balancer {
+		return c.AutoBalance(policy.Never{}, sodee.BalanceOptions{
+			Interval: time.Millisecond,
+			Chain:    true,
+			ChainAll: true,
+		})
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderWorkflow formats the comparison with each scheme's speedup over
+// the no-migration baseline.
+func RenderWorkflow(rows []WorkflowRow) string {
+	var b strings.Builder
+	b.WriteString("\nWorkflow chains — burst makespan on a WAN-shaped cluster\n")
+	b.WriteString("(weak submit node, 2 strong peers, slow high-latency links;\n")
+	b.WriteString(" return-home crosses the WAN twice per stage and resumes residuals\n")
+	b.WriteString(" on the weak node; forward chains plant residuals ahead on strong\n")
+	b.WriteString(" nodes and forward each value exactly once)\n\n")
+	var base time.Duration
+	if len(rows) > 0 {
+		base = rows[0].Makespan
+	}
+	fmt.Fprintf(&b, "%-14s %12s %10s %8s %8s %10s %8s\n",
+		"scheme", "makespan", "speedup", "pushed", "chained", "segments", "correct")
+	for i, r := range rows {
+		speedup := "—"
+		if i > 0 && base > 0 && r.Makespan > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(base)/float64(r.Makespan))
+		}
+		fmt.Fprintf(&b, "%-14s %12s %10s %8d %8d %10d %8v\n",
+			r.Scheme, r.Makespan.Round(time.Millisecond), speedup,
+			r.Pushed, r.Chained, r.ChainSegments, r.Correct)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,332 @@
+package policy
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is the workflow half of the decision layer: the chain
+// planner. The push policies move whole stacks; the planner instead looks
+// *inside* one job's stack and splits it into consecutive segments placed
+// on different nodes — the paper's Fig 1c flow-forwarding path, driven by
+// policy instead of by hand. The top segment executes first; when it
+// pops, its return value is forwarded straight to the node hosting the
+// next segment (planted there ahead of time), and so on until the final
+// value flushes to the job's origin. Control never bounces back through
+// the origin between stages, so per-stage freeze time is hidden and every
+// stage boundary crosses the wire exactly once.
+
+// ChainSegment is one link of a chain plan. Segments are listed top of
+// stack first: segment 0 executes first, its return value flows to
+// segment 1's node, and so on.
+type ChainSegment struct {
+	// Frames is how many stack frames this link carries (>= 1).
+	Frames int
+	// Dest is the node that executes the link. The last link may name the
+	// planning node itself (pinned frames, or nothing to gain by moving
+	// the tail); every other link names a peer.
+	Dest int
+	// ForwardTo is where the link's return value flows: the next link's
+	// Dest, or the job's origin for the last link. Purely descriptive —
+	// the executor derives the real completion chain — but keeping it in
+	// the plan makes plans self-explanatory in logs and tests.
+	ForwardTo int
+}
+
+// ChainPlan is a multi-segment placement plan for one job's stack.
+// Frames across the segments sum to the stack depth at planning time.
+type ChainPlan struct {
+	Segments []ChainSegment
+}
+
+// RemoteSegments counts the links placed away from the planning node.
+func (p ChainPlan) RemoteSegments(local int) int {
+	n := 0
+	for _, s := range p.Segments {
+		if s.Dest != local {
+			n++
+		}
+	}
+	return n
+}
+
+// FrameSignal is the per-frame cost signal the planner sees, sampled
+// from the parked thread: which method the frame runs, how many
+// interpreter instructions it has retired so far (while on top of the
+// stack — the frame's observed weight), and whether it is pinned to its
+// node (frames holding sockets, §IV.D).
+type FrameSignal struct {
+	MethodID int32
+	Instrs   uint64
+	Pinned   bool
+}
+
+// ChainView is what the planner sees when splitting one job: the usual
+// cluster view (local signals, candidate peers, RTT) plus the job's
+// stack shape, top frame first, and its migration trace.
+type ChainView struct {
+	View
+	Frames []FrameSignal
+	Trace  Trace
+}
+
+// ChainPlanner turns a job's stack shape and the cluster view into a
+// multi-segment placement plan. Zero values select defaults. The planner
+// is deterministic in its view, like every policy in this package.
+type ChainPlanner struct {
+	// MaxSegments caps the chain length, local tail included (default 3;
+	// values < 2 are treated as the default — a chain needs two links).
+	MaxSegments int
+	// MinDepth is the minimum stack depth worth chaining (default 2: a
+	// single-frame stack is whole-stack territory). A pinned tail counts
+	// toward the depth — one movable frame above a pinned frame is the
+	// smallest legal chain (ship the top, keep the tail).
+	MinDepth int
+	// MinGain is the minimum per-job throughput advantage (net of the
+	// RTT penalty) the best candidate peer must offer before any chain is
+	// planned (default 0.05 reference cores).
+	MinGain float64
+	// RTTPenalty is score subtracted per millisecond of round-trip time
+	// toward a candidate (default 0.05, matching CostModel).
+	RTTPenalty float64
+	// LocalityWeight scales the fault-locality bonus (default 0.5): a
+	// peer mastering the data this node keeps faulting on is a better
+	// host for the frames doing the faulting.
+	LocalityWeight float64
+}
+
+func (p ChainPlanner) maxSegments() int {
+	if p.MaxSegments < 2 {
+		return 3
+	}
+	return p.MaxSegments
+}
+
+func (p ChainPlanner) minDepth() int {
+	if p.MinDepth < 2 {
+		return 2
+	}
+	return p.MinDepth
+}
+
+func (p ChainPlanner) minGain() float64 {
+	if p.MinGain == 0 {
+		return 0.05
+	}
+	return p.MinGain
+}
+
+func (p ChainPlanner) rttPenalty() float64 {
+	if p.RTTPenalty == 0 {
+		return 0.05
+	}
+	return p.RTTPenalty
+}
+
+func (p ChainPlanner) localityWeight() float64 {
+	if p.LocalityWeight == 0 {
+		return 0.5
+	}
+	return p.LocalityWeight
+}
+
+// score ranks a candidate destination exactly like CostModel does: the
+// throughput a job gains there, plus the fault-locality bonus, minus the
+// wire penalty.
+func (p ChainPlanner) score(v View, peer Signals, totalFaults int64) float64 {
+	s := peer.PerJobThroughput(1)
+	if totalFaults > 0 {
+		s += p.localityWeight() * float64(v.Local.Faults[peer.Node]) / float64(totalFaults)
+	}
+	s -= p.rttPenalty() * float64(v.RTT[peer.Node]) / float64(time.Millisecond)
+	return s
+}
+
+// Plan splits the job's stack across the best candidate peers. The view's
+// peers must already be filtered for liveness and gate legality by the
+// caller (Scheduler.PlanChain does both). Returns false when no chain is
+// worth executing: stack too shallow, every frame pinned, no peer clears
+// the gain bar.
+//
+// The split is deterministic: peers are ranked by score (ties toward the
+// lowest node id), the movable frames are partitioned into as many
+// contiguous segments as there are usable peers (bounded by MaxSegments),
+// each segment weighted to carry a near-equal share of the observed
+// per-frame instruction cost, and segments are assigned top-first to the
+// ranked peers — the first-executing, usually heaviest link lands on the
+// best node. Frames at and below the shallowest pinned frame stay home as
+// a trailing local link.
+func (p ChainPlanner) Plan(v ChainView) (ChainPlan, bool) {
+	depth := len(v.Frames)
+	// Movable prefix: everything above the shallowest pinned frame.
+	movable := depth
+	for i, f := range v.Frames {
+		if f.Pinned {
+			movable = i
+			break
+		}
+	}
+	if depth < p.minDepth() || movable < 1 {
+		return ChainPlan{}, false
+	}
+
+	// Rank candidate peers by score; require a real advantage.
+	var totalFaults int64
+	for _, c := range v.Local.Faults {
+		totalFaults += c
+	}
+	type ranked struct {
+		node  int
+		score float64
+	}
+	cands := make([]ranked, 0, len(v.Peers))
+	for _, peer := range v.Peers {
+		cands = append(cands, ranked{peer.Node, p.score(v.View, peer, totalFaults)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].node < cands[j].node
+	})
+	localShare := v.Local.PerJobThroughput(0)
+	usable := cands[:0]
+	for _, c := range cands {
+		if c.score-localShare >= p.minGain() {
+			usable = append(usable, c)
+		}
+	}
+	if len(usable) == 0 {
+		return ChainPlan{}, false
+	}
+
+	// How many links: one per usable peer, at most one per movable frame,
+	// within the segment cap (reserving one slot for the local tail).
+	maxRemote := p.maxSegments()
+	if movable < depth {
+		maxRemote--
+	}
+	nRemote := len(usable)
+	if nRemote > maxRemote {
+		nRemote = maxRemote
+	}
+	if nRemote > movable {
+		nRemote = movable
+	}
+	// A chain has at least two links: either two remote segments, or one
+	// remote segment forwarding into a pinned local tail. One remote link
+	// with no tail is a whole-stack migration — push-policy territory,
+	// not a chain.
+	tail := 0
+	if movable < depth {
+		tail = 1
+	}
+	if nRemote < 1 || nRemote+tail < 2 {
+		return ChainPlan{}, false
+	}
+
+	// Partition the movable frames into nRemote contiguous cost-balanced
+	// segments, top-first. Every frame weighs its retired instructions
+	// plus one, so frames that have not run yet still count.
+	var totalCost uint64
+	for _, f := range v.Frames[:movable] {
+		totalCost += f.Instrs + 1
+	}
+	plan := ChainPlan{}
+	frame := 0
+	for i := 0; i < nRemote; i++ {
+		left := nRemote - i - 1 // segments still to emit after this one
+		target := totalCost / uint64(nRemote)
+		take, cost := 0, uint64(0)
+		for frame+take < movable-left && (take == 0 || cost < target) {
+			cost += v.Frames[frame+take].Instrs + 1
+			take++
+		}
+		if i == nRemote-1 {
+			take = movable - frame // last remote link absorbs the rest
+		}
+		plan.Segments = append(plan.Segments, ChainSegment{
+			Frames: take, Dest: usable[i].node,
+		})
+		frame += take
+	}
+	if movable < depth {
+		// Pinned tail stays with the planning node.
+		plan.Segments = append(plan.Segments, ChainSegment{
+			Frames: depth - movable, Dest: v.Local.Node,
+		})
+	}
+	for i := range plan.Segments {
+		if i+1 < len(plan.Segments) {
+			plan.Segments[i].ForwardTo = plan.Segments[i+1].Dest
+		} else {
+			plan.Segments[i].ForwardTo = v.Local.Node
+		}
+	}
+	return plan, true
+}
+
+// PlanChain is the scheduler's chain entry point, the chain analog of
+// DecideJob: peers the engine has marked failed — and peers the hop gate
+// forbids for this job (cooldown) — are hidden before the planner looks,
+// the number of remote links is capped by the job's remaining hop budget,
+// and any plan that still names an illegal destination is vetoed outright.
+// However the planner is configured or extended, a plan that leaves this
+// method cannot route a segment onto a dead, suspect or gate-forbidden
+// node, nor spend hops the job does not have.
+func (s *Scheduler) PlanChain(v ChainView, p ChainPlanner, now time.Time) (ChainPlan, bool) {
+	// Remaining hop budget: each remote link of the chain is one
+	// migration of the job's state.
+	gate := s.Gate
+	remaining := -1 // unlimited
+	if b := gate.budget(); b >= 0 {
+		remaining = b - v.Trace.Hops
+		if remaining < 1 {
+			s.mu.Lock()
+			s.decisions++
+			s.mu.Unlock()
+			return ChainPlan{}, false
+		}
+	}
+
+	s.mu.Lock()
+	s.decisions++
+	alive := make([]Signals, 0, len(v.Peers))
+	for _, peer := range v.Peers {
+		if s.failed[peer.Node] {
+			continue
+		}
+		if !gate.Allow(v.Trace, peer.Node, now) {
+			continue
+		}
+		alive = append(alive, peer)
+	}
+	s.mu.Unlock()
+	v.Peers = alive
+
+	plan, ok := p.Plan(v)
+	if !ok {
+		return ChainPlan{}, false
+	}
+
+	// Veto pass: the planner is policy code and may be replaced; nothing
+	// it emits is trusted past this point.
+	local := v.Local.Node
+	remote := plan.RemoteSegments(local)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if remaining >= 0 && remote > remaining {
+		s.vetoes++
+		return ChainPlan{}, false
+	}
+	for _, seg := range plan.Segments {
+		if seg.Dest == local {
+			continue
+		}
+		if s.failed[seg.Dest] || !gate.Allow(v.Trace, seg.Dest, now) {
+			s.vetoes++
+			return ChainPlan{}, false
+		}
+	}
+	return plan, true
+}

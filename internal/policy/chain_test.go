@@ -1,0 +1,231 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func chainView(local Signals, peers []Signals, frames []FrameSignal, tr Trace) ChainView {
+	return ChainView{View: View{Local: local, Peers: peers, RTT: map[int]time.Duration{}}, Frames: frames, Trace: tr}
+}
+
+func flatFrames(n int) []FrameSignal {
+	out := make([]FrameSignal, n)
+	for i := range out {
+		out[i] = FrameSignal{MethodID: int32(i), Instrs: 1000}
+	}
+	return out
+}
+
+func TestChainPlannerSplitsAcrossBestPeers(t *testing.T) {
+	p := ChainPlanner{}
+	v := chainView(sig(1, 3, 1), []Signals{sig(2, 0, 1), sig(3, 0, 1)}, flatFrames(3), Trace{})
+	plan, ok := p.Plan(v)
+	if !ok {
+		t.Fatal("no plan for an overloaded node with two idle peers")
+	}
+	if len(plan.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2 (one per usable peer)", len(plan.Segments))
+	}
+	total := 0
+	for _, s := range plan.Segments {
+		if s.Frames < 1 {
+			t.Fatalf("empty segment in %+v", plan)
+		}
+		total += s.Frames
+	}
+	if total != 3 {
+		t.Fatalf("plan covers %d frames, want 3: %+v", total, plan)
+	}
+	// Idle identical peers tie; the tie breaks toward the lowest id for
+	// the first-executing segment.
+	if plan.Segments[0].Dest != 2 || plan.Segments[1].Dest != 3 {
+		t.Fatalf("destinations = %d,%d, want 2,3", plan.Segments[0].Dest, plan.Segments[1].Dest)
+	}
+	// The forward chain ends back at the origin.
+	if plan.Segments[0].ForwardTo != 3 || plan.Segments[1].ForwardTo != 1 {
+		t.Fatalf("forward chain %+v, want 0→3, 1→origin(1)", plan)
+	}
+}
+
+func TestChainPlannerKeepsPinnedTailHome(t *testing.T) {
+	p := ChainPlanner{}
+	frames := []FrameSignal{
+		{MethodID: 1, Instrs: 5000},             // movable top
+		{MethodID: 2, Instrs: 100},              // movable
+		{MethodID: 3, Instrs: 10, Pinned: true}, // pinned: stays
+		{MethodID: 4, Instrs: 10},               // below pinned: stays too
+	}
+	v := chainView(sig(1, 2, 1), []Signals{sig(2, 0, 1), sig(3, 0, 1)}, frames, Trace{})
+	plan, ok := p.Plan(v)
+	if !ok {
+		t.Fatal("no plan despite two movable frames")
+	}
+	last := plan.Segments[len(plan.Segments)-1]
+	if last.Dest != 1 || last.Frames != 2 {
+		t.Fatalf("pinned tail %+v, want 2 frames staying on node 1", last)
+	}
+	for _, s := range plan.Segments[:len(plan.Segments)-1] {
+		if s.Dest == 1 {
+			t.Fatalf("movable segment placed locally: %+v", plan)
+		}
+	}
+}
+
+func TestChainPlannerRefusals(t *testing.T) {
+	p := ChainPlanner{}
+	// Too shallow.
+	if _, ok := p.Plan(chainView(sig(1, 2, 1), []Signals{sig(2, 0, 1)}, flatFrames(1), Trace{})); ok {
+		t.Error("planned a chain for a single-frame stack")
+	}
+	// Everything pinned.
+	pinned := flatFrames(3)
+	pinned[0].Pinned = true
+	if _, ok := p.Plan(chainView(sig(1, 2, 1), []Signals{sig(2, 0, 1)}, pinned, Trace{})); ok {
+		t.Error("planned a chain with the whole stack pinned")
+	}
+	// No peer clears the gain bar: peers as loaded as the local node.
+	if _, ok := p.Plan(chainView(sig(1, 2, 1), []Signals{sig(2, 2, 1), sig(3, 2, 1)}, flatFrames(3), Trace{})); ok {
+		t.Error("planned a chain with no throughput gain anywhere")
+	}
+	// No peers at all.
+	if _, ok := p.Plan(chainView(sig(1, 2, 1), nil, flatFrames(3), Trace{})); ok {
+		t.Error("planned a chain into an empty cluster")
+	}
+}
+
+func TestChainPlannerBalancesSegmentCost(t *testing.T) {
+	p := ChainPlanner{}
+	// One hot frame on top, cold frames beneath: the hot frame should
+	// travel alone; the cold tail forms the second link.
+	frames := []FrameSignal{
+		{MethodID: 1, Instrs: 1_000_000},
+		{MethodID: 2, Instrs: 10},
+		{MethodID: 3, Instrs: 10},
+		{MethodID: 4, Instrs: 10},
+	}
+	v := chainView(sig(1, 3, 1), []Signals{sig(2, 0, 1), sig(3, 0, 1)}, frames, Trace{})
+	plan, ok := p.Plan(v)
+	if !ok {
+		t.Fatal("no plan")
+	}
+	if plan.Segments[0].Frames != 1 {
+		t.Fatalf("hot top segment carries %d frames, want 1: %+v", plan.Segments[0].Frames, plan)
+	}
+	if plan.Segments[1].Frames != 3 {
+		t.Fatalf("cold tail carries %d frames, want 3: %+v", plan.Segments[1].Frames, plan)
+	}
+}
+
+// TestChainPlannerPropertyGateAndLiveness extends the PR-3 property
+// harness to chain plans: under any sequence of random views — random
+// loads, random failure marks, random traces and frame shapes, any
+// planner tuning — a plan emitted by Scheduler.PlanChain never places a
+// segment on a node currently marked failed, never places one on a node
+// inside the job's revisit cooldown, never spends more remote links than
+// the job's remaining hop budget, never moves a pinned frame, and always
+// partitions the exact stack depth into non-empty contiguous segments.
+func TestChainPlannerPropertyGateAndLiveness(t *testing.T) {
+	rng := rand.New(rand.NewSource(20100913)) // ICPP 2010, San Diego
+	for iter := 0; iter < 4000; iter++ {
+		budget := 1 + rng.Intn(5)
+		cooldown := time.Duration(1+rng.Intn(200)) * time.Millisecond
+		s := NewScheduler(Never{})
+		s.Gate = HopGate{Budget: budget, Cooldown: cooldown}
+		planner := ChainPlanner{
+			MaxSegments: 2 + rng.Intn(4),
+			MinGain:     0.01 + rng.Float64()*0.2,
+		}
+
+		nodes := 2 + rng.Intn(6)
+		now := time.Unix(0, rng.Int63n(1<<40))
+		local := 1 + rng.Intn(nodes)
+
+		// Random trace: some hops spent, some nodes left recently enough
+		// to still be quarantined, others long ago.
+		tr := Trace{Hops: rng.Intn(budget + 2), Visited: map[int]time.Time{}}
+		for id := 1; id <= nodes; id++ {
+			switch rng.Intn(3) {
+			case 0:
+				tr.Visited[id] = now.Add(-time.Duration(rng.Int63n(int64(cooldown)))) // inside cooldown
+			case 1:
+				tr.Visited[id] = now.Add(-cooldown - time.Duration(rng.Intn(1000))*time.Millisecond)
+			}
+		}
+
+		failed := map[int]bool{}
+		v := ChainView{
+			View:  View{Local: Signals{Node: local, Runnable: rng.Intn(6), Cores: 1, Speed: 0.3 + rng.Float64()}, RTT: map[int]time.Duration{}},
+			Trace: tr,
+		}
+		for id := 1; id <= nodes; id++ {
+			if id == local {
+				continue
+			}
+			v.Peers = append(v.Peers, Signals{
+				Node: id, Runnable: rng.Intn(6), Cores: 1 + rng.Intn(2), Speed: 0.2 + rng.Float64()*2,
+			})
+			v.RTT[id] = time.Duration(rng.Intn(20)) * time.Millisecond
+			if rng.Intn(4) == 0 {
+				s.MarkFailed(id)
+				failed[id] = true
+			}
+		}
+		depth := 1 + rng.Intn(7)
+		for d := 0; d < depth; d++ {
+			v.Frames = append(v.Frames, FrameSignal{
+				MethodID: int32(d),
+				Instrs:   uint64(rng.Intn(1_000_000)),
+				Pinned:   rng.Intn(8) == 0,
+			})
+		}
+
+		plan, ok := s.PlanChain(v, planner, now)
+		if !ok {
+			continue
+		}
+		if len(plan.Segments) < 2 {
+			t.Fatalf("iter %d: single-segment plan %+v", iter, plan)
+		}
+		remote := 0
+		total := 0
+		for i, seg := range plan.Segments {
+			if seg.Frames < 1 {
+				t.Fatalf("iter %d: empty segment %d in %+v", iter, i, plan)
+			}
+			total += seg.Frames
+			if seg.Dest == local {
+				if i != len(plan.Segments)-1 {
+					t.Fatalf("iter %d: local segment %d not the tail: %+v", iter, i, plan)
+				}
+				continue
+			}
+			remote++
+			if failed[seg.Dest] {
+				t.Fatalf("iter %d: segment placed on failed node %d: %+v", iter, seg.Dest, plan)
+			}
+			if left, okv := tr.Visited[seg.Dest]; okv && now.Sub(left) < cooldown {
+				t.Fatalf("iter %d: segment revisits node %d %v after leaving (cooldown %v)",
+					iter, seg.Dest, now.Sub(left), cooldown)
+			}
+		}
+		if total != depth {
+			t.Fatalf("iter %d: plan covers %d frames of depth %d: %+v", iter, total, depth, plan)
+		}
+		if remote > budget-tr.Hops {
+			t.Fatalf("iter %d: %d remote links with %d of %d hops already spent",
+				iter, remote, tr.Hops, budget)
+		}
+		// Pinned frames must all land in the local tail.
+		frame := 0
+		for _, seg := range plan.Segments {
+			for k := 0; k < seg.Frames; k++ {
+				if v.Frames[frame].Pinned && seg.Dest != local {
+					t.Fatalf("iter %d: pinned frame %d shipped to node %d: %+v", iter, frame, seg.Dest, plan)
+				}
+				frame++
+			}
+		}
+	}
+}

@@ -119,7 +119,7 @@ func (m *Manager) RunningJobs() []*Job {
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
 	out := jobs[:0]
 	for _, j := range jobs {
-		if !j.Done() && j.Thread() != nil {
+		if !j.Done() && j.migratable() {
 			out = append(out, j)
 		}
 	}
@@ -200,6 +200,18 @@ type BalanceOptions struct {
 	// Cooldown quarantines a job from nodes it recently left (0 = the
 	// policy package default; negative = none) — the anti-ping-pong knob.
 	Cooldown time.Duration
+	// Chain arms the workflow chain planner: jobs submitted chained
+	// (StartJobChained / Client.SubmitChain) are placed as multi-segment
+	// FlowForward pipelines instead of whole-stack pushes — each stack
+	// split across the best nodes, residuals planted ahead of execution,
+	// results forwarded node to node. Chain-owned jobs are skipped by the
+	// push policy; everything else balances as before.
+	Chain bool
+	// ChainAll treats every job as chain-owned (benchmarks and clusters
+	// dedicated to workflow pipelines).
+	ChainAll bool
+	// ChainPlanner tunes the planner (zero value = defaults).
+	ChainPlanner policy.ChainPlanner
 }
 
 // BalanceStats aggregates one balancer's activity. Migrations is the
@@ -214,6 +226,11 @@ type BalanceStats struct {
 	Pushed           int
 	Stolen           int
 	Rebalanced       int
+	// Chained counts chain-plan executions (each moves one job's whole
+	// stack as a multi-segment pipeline); ChainSegments counts the links
+	// those plans placed, local tails included.
+	Chained       int
+	ChainSegments int
 	// MigrationsTo counts successful migrations by destination.
 	MigrationsTo map[int]int
 }
@@ -239,7 +256,33 @@ type Balancer struct {
 	// next safe point, and the tick also carries every node's heartbeat
 	// gossip: blocking it would get healthy nodes declared dead.
 	stealBusy map[int]bool
+	// chainBusy counts chain executions in flight per node (same
+	// off-tick reasoning as steals: planting links is a round of RPCs,
+	// and the suspension waits for the thread's next safe point). Capped
+	// so a burst of chained jobs pipelines its placements instead of
+	// serializing behind one plant round trip per slow link.
+	chainBusy map[int]int
+	// chainActive marks jobs with a chain attempt in flight, so two
+	// ticks cannot double-launch one job.
+	chainActive map[chainKey]bool
+	// chainSnooze backs off chain attempts per job after the planner
+	// declines one, so the tick does not park the same thread every
+	// round just to learn nothing changed.
+	chainSnooze map[chainKey]time.Time
 }
+
+type chainKey struct {
+	node int
+	job  uint64
+}
+
+const (
+	// chainSnoozeTicks is how many balance intervals a declined (or
+	// failed) chain attempt sleeps before the job is considered again.
+	chainSnoozeTicks = 8
+	// maxChainPerNode bounds concurrent chain executions per node.
+	maxChainPerNode = 4
+)
 
 // AutoBalance starts the adaptive offload engine over this cluster: every
 // Interval, nodes gossip their load signals (each report doubling as a
@@ -259,12 +302,15 @@ func (c *Cluster) AutoBalance(p policy.Policy, opts BalanceOptions) *Balancer {
 		opts.Frames = WholeStack
 	}
 	b := &Balancer{
-		c:         c,
-		sched:     policy.NewScheduler(p),
-		opts:      opts,
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-		stealBusy: make(map[int]bool),
+		c:           c,
+		sched:       policy.NewScheduler(p),
+		opts:        opts,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		stealBusy:   make(map[int]bool),
+		chainBusy:   make(map[int]int),
+		chainActive: make(map[chainKey]bool),
+		chainSnooze: make(map[chainKey]time.Time),
 	}
 	// The hop gate rides inside the scheduler: every per-job verdict is
 	// bounded by the budget and the revisit cooldown, whatever the policy.
@@ -481,7 +527,19 @@ func (b *Balancer) tick() {
 				rtt[p.Node] = b.staticRTT(id, p.Node)
 			}
 		}
+		// Chain-owned jobs go to the planner, not the push policy: their
+		// stacks are split into forward pipelines, one execution in
+		// flight per node (see tryChain for the off-tick reasoning).
+		chainOwned := func(job *Job) bool {
+			return b.opts.Chain && (b.opts.ChainAll || job.Chained())
+		}
+		if b.opts.Chain {
+			b.tryChain(n, id, jobs, chainOwned)
+		}
 		for _, job := range jobs {
+			if chainOwned(job) {
+				continue
+			}
 			view := policy.View{Local: local, Peers: peers, RTT: rtt}
 			// Per-job verdicts run through the hop gate: a migrated-in
 			// job is eligible for further moves (re-balancing) until its
@@ -530,6 +588,111 @@ func (b *Balancer) tick() {
 				}
 			}
 		}
+	}
+}
+
+// tryChain starts at most one chain execution on node id: the first
+// chain-owned job not inside its snooze window is suspended, planned
+// through the scheduler's gate-and-liveness filter, and — when a plan
+// comes back — executed as a planted forward pipeline. The work runs off
+// the tick goroutine: planting is a round of RPCs and the suspension
+// waits for the thread's next safe point, while the tick carries every
+// node's heartbeat gossip. A declined or failed attempt snoozes the job
+// for a few intervals so the planner is not parking the same thread
+// every tick just to learn nothing changed.
+func (b *Balancer) tryChain(n *Node, id int, jobs []*Job, owned func(*Job) bool) {
+	now := time.Now()
+	b.mu.Lock()
+	for k, t := range b.chainSnooze {
+		if now.After(t) {
+			delete(b.chainSnooze, k)
+		}
+	}
+	var picks []*Job
+	for _, job := range jobs {
+		if b.chainBusy[id] >= maxChainPerNode {
+			break
+		}
+		if !owned(job) {
+			continue
+		}
+		key := chainKey{id, job.ID}
+		if b.chainActive[key] {
+			continue
+		}
+		if t, ok := b.chainSnooze[key]; ok && now.Before(t) {
+			continue
+		}
+		b.chainActive[key] = true
+		b.chainBusy[id]++
+		picks = append(picks, job)
+	}
+	b.mu.Unlock()
+
+	for _, pick := range picks {
+		pick := pick
+		go func() {
+			defer func() {
+				b.mu.Lock()
+				delete(b.chainActive, chainKey{id, pick.ID})
+				if b.chainBusy[id]--; b.chainBusy[id] <= 0 {
+					delete(b.chainBusy, id)
+				}
+				b.mu.Unlock()
+			}()
+			var plan policy.ChainPlan
+			_, err := n.Mgr.MigrateChain(pick, func(frames []policy.FrameSignal) (policy.ChainPlan, error) {
+				// The view is rebuilt *after* the thread has parked:
+				// suspension can wait through a long native or a queued
+				// core, and planning on the tick-time snapshot would mean
+				// planning on data as stale as that wait. Local signals are
+				// assembled directly (not via LocalSignals, whose step-rate
+				// sampling cursor belongs to the gossip loop); the planner
+				// scores on runnable/cores/speed/faults, all fresh here.
+				view := policy.View{
+					Local: policy.Signals{
+						Node:     id,
+						Runnable: n.VM.NumThreads(),
+						Cores:    n.Cores,
+						Speed:    n.Speed,
+						Faults:   n.ObjMan.FetchesByOwner(),
+					},
+					Peers: n.Mgr.PeerSignals(),
+				}
+				view.RTT = make(map[int]time.Duration, len(view.Peers))
+				for _, p := range view.Peers {
+					if lat, measured := n.Mgr.WireLatency(p.Node); measured {
+						view.RTT[p.Node] = lat
+					} else {
+						view.RTT[p.Node] = b.staticRTT(id, p.Node)
+					}
+				}
+				p, ok := b.sched.PlanChain(policy.ChainView{
+					View: view, Frames: frames, Trace: pick.Trace(),
+				}, b.opts.ChainPlanner, time.Now())
+				if !ok {
+					return policy.ChainPlan{}, ErrChainNotPlanned
+				}
+				plan = p
+				return p, nil
+			}, ReasonChained)
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			switch {
+			case err == nil:
+				b.stats.Migrations++
+				b.stats.Chained++
+				b.stats.ChainSegments += len(plan.Segments)
+				b.stats.MigrationsTo[plan.Segments[0].Dest]++
+			case errors.Is(err, ErrChainNotPlanned):
+				b.chainSnooze[chainKey{id, pick.ID}] = time.Now().Add(chainSnoozeTicks * b.opts.Interval)
+			default:
+				// Includes the ship-failed-recovered-locally case: the chain
+				// still completes, but the execution did not go as planned.
+				b.stats.FailedMigrations++
+				b.chainSnooze[chainKey{id, pick.ID}] = time.Now().Add(chainSnoozeTicks * b.opts.Interval)
+			}
+		}()
 	}
 }
 

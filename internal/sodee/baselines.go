@@ -206,7 +206,7 @@ func (m *Manager) handleProcMigrate(from int, payload []byte) ([]byte, error) {
 	expect := n.Prog.Methods[cs.Frames[0].MethodID].ReturnsValue
 	go func() {
 		th.Run()
-		m.routeResult(th, expect, dst)
+		m.routeResult(th, expect, dst, completion{})
 	}()
 	var restoreDur time.Duration
 	select {
@@ -312,7 +312,7 @@ func (m *Manager) handleThreadMigrate(from int, payload []byte) ([]byte, error) 
 	}
 	restoreDur := time.Since(restoreStart)
 	expect := n.Prog.Methods[cs.Frames[0].MethodID].ReturnsValue
-	go m.runWorker(th, expect, completion{node: homeNode, token: jobToken})
+	go m.runWorker(th, expect, completion{node: homeNode, token: jobToken}, completion{})
 
 	w := wire.NewWriter(24)
 	w.Fixed64(uint64(arrival.UnixNano()))

@@ -205,12 +205,12 @@ func runChaosScenario(t *testing.T, sc chaosScenario, seed int64) {
 		}
 	}
 	st := b.Stats()
-	if st.Migrations != st.Pushed+st.Stolen+st.Rebalanced {
-		t.Errorf("direction split %d+%d+%d does not sum to %d migrations",
-			st.Pushed, st.Stolen, st.Rebalanced, st.Migrations)
+	if st.Migrations != st.Pushed+st.Stolen+st.Rebalanced+st.Chained {
+		t.Errorf("direction split %d+%d+%d+%d does not sum to %d migrations",
+			st.Pushed, st.Stolen, st.Rebalanced, st.Chained, st.Migrations)
 	}
-	t.Logf("scenario %s seed %d: migrations=%d (pushed %d, stolen %d, rebalanced %d, failed %d)",
-		sc.name, seed, st.Migrations, st.Pushed, st.Stolen, st.Rebalanced, st.FailedMigrations)
+	t.Logf("scenario %s seed %d: migrations=%d (pushed %d, stolen %d, rebalanced %d, chained %d, failed %d)",
+		sc.name, seed, st.Migrations, st.Pushed, st.Stolen, st.Rebalanced, st.Chained, st.FailedMigrations)
 }
 
 // chaosSeeds reads the seed matrix from CHAOS_SEEDS.

@@ -38,6 +38,16 @@ const (
 	// was announced (the destination crashed mid-flight) and the job was
 	// recovered on the source node — the crash-fallback path, visible.
 	EvMigrationFailed
+	// EvSegmentPlanted: a chain plan placed one residual segment ahead of
+	// execution — the link's frames are restored and parked on node To,
+	// waiting for the value of the segment above. Seg/SegOf give the
+	// link's position in the plan (0 = the executing top segment).
+	EvSegmentPlanted
+	// EvSegmentForwarded: control reached a planted link — the value of
+	// the segment above arrived from node From and the link's frames
+	// resumed on node To. A link whose planted node died recovers on the
+	// chain's origin; the event's To then names the origin.
+	EvSegmentForwarded
 )
 
 func (k EventKind) String() string {
@@ -52,6 +62,10 @@ func (k EventKind) String() string {
 		return "completed"
 	case EvMigrationFailed:
 		return "migration-failed"
+	case EvSegmentPlanted:
+		return "segment-planted"
+	case EvSegmentForwarded:
+		return "segment-forwarded"
 	}
 	return "unknown"
 }
@@ -68,6 +82,9 @@ const (
 	ReasonStolen
 	// ReasonRebalanced: the balancer moved a migrated-in job onward.
 	ReasonRebalanced
+	// ReasonChained: the chain planner split the job's stack into a
+	// multi-segment FlowForward pipeline.
+	ReasonChained
 )
 
 func (r MigrateReason) String() string {
@@ -78,6 +95,8 @@ func (r MigrateReason) String() string {
 		return "stolen"
 	case ReasonRebalanced:
 		return "rebalanced"
+	case ReasonChained:
+		return "chained"
 	}
 	return "manual"
 }
@@ -100,6 +119,11 @@ type JobEvent struct {
 	// Reason and Hops describe an EvMigrated move.
 	Reason MigrateReason
 	Hops   int
+	// Seg and SegOf locate a chain link within its plan: segment Seg of
+	// SegOf, counted from the top of the stack (0 = the segment that
+	// executes first). SegOf is zero for non-chain events.
+	Seg   int
+	SegOf int
 	// Result (integer results only) and Err carry an EvCompleted outcome.
 	Result int64
 	Err    string
@@ -115,8 +139,18 @@ func (e JobEvent) String() string {
 	case EvStarted:
 		return fmt.Sprintf("job %d started on node %d", e.Job, e.From)
 	case EvMigrated:
+		if e.SegOf > 0 {
+			return fmt.Sprintf("job %d migrated node %d → node %d (%s, hop %d, segment %d/%d)",
+				e.Job, e.From, e.To, e.Reason, e.Hops, e.Seg+1, e.SegOf)
+		}
 		return fmt.Sprintf("job %d migrated node %d → node %d (%s, hop %d)",
 			e.Job, e.From, e.To, e.Reason, e.Hops)
+	case EvSegmentPlanted:
+		return fmt.Sprintf("job %d segment %d/%d planted on node %d (chain from node %d)",
+			e.Job, e.Seg+1, e.SegOf, e.To, e.From)
+	case EvSegmentForwarded:
+		return fmt.Sprintf("job %d segment %d/%d resumed on node %d (value forwarded from node %d)",
+			e.Job, e.Seg+1, e.SegOf, e.To, e.From)
 	case EvResultFlushed:
 		return fmt.Sprintf("job %d result flushed node %d → node %d", e.Job, e.From, e.To)
 	case EvMigrationFailed:
@@ -143,6 +177,8 @@ func EncodeJobEvent(e JobEvent) []byte {
 	w.Varint(int64(e.To))
 	w.Byte(byte(e.Reason))
 	w.Varint(int64(e.Hops))
+	w.Varint(int64(e.Seg))
+	w.Varint(int64(e.SegOf))
 	w.Varint(e.Result)
 	w.Blob([]byte(e.Err))
 	return w.Bytes()
@@ -162,6 +198,8 @@ func DecodeJobEvent(payload []byte) (JobEvent, error) {
 		To:     int(r.Varint()),
 		Reason: MigrateReason(r.Byte()),
 		Hops:   int(r.Varint()),
+		Seg:    int(r.Varint()),
+		SegOf:  int(r.Varint()),
 		Result: r.Varint(),
 	}
 	e.Err = string(r.Blob())
@@ -327,6 +365,26 @@ func (m *Manager) publishEvent(origin int, e JobEvent) {
 		return
 	}
 	m.node.EP.Send(origin, netsim.KindJobEvent, EncodeJobEvent(e)) //nolint:errcheck // best effort
+}
+
+// publishEventSync routes like publishEvent but delivers to a remote
+// origin over a blocking round trip. It exists for the one spot where
+// best-effort ordering is not enough: a chain link about to start
+// running publishes its segment-forwarded notice, and the link can run,
+// complete and flush home so fast that a one-way notice loses the
+// scheduling race and arrives after the terminal event — where the bus
+// rightly drops it. The round trip guarantees the notice is home before
+// the link's consequences are. Delivery failure still only costs the
+// event (telemetry, never load-bearing).
+func (m *Manager) publishEventSync(origin int, e JobEvent) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if origin == m.node.ID {
+		m.bus.Publish(e)
+		return
+	}
+	_, _ = m.node.EP.Call(origin, netsim.KindJobEvent, EncodeJobEvent(e))
 }
 
 // handleJobEvent receives a forwarded event for a job that originated

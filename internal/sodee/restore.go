@@ -122,10 +122,7 @@ func RestoreByBreakpoints(n *Node, cs *serial.CapturedState) (*vm.Thread, *resto
 	rc := &restoreCtx{frames: cs.Frames, node: n, thread: th, done: make(chan struct{})}
 	th.UserData = &threadCtx{restore: rc, homeNode: int(cs.HomeNode)}
 
-	n.Agent.SetCallback(func(t *vm.Thread, f *vm.Frame) *vm.Raised {
-		if t != th {
-			return nil
-		}
+	n.Agent.SetCallback(th, func(t *vm.Thread, f *vm.Frame) *vm.Raised {
 		rc.cur = rc.next
 		rc.next++
 		if rc.next < len(rc.frames) {

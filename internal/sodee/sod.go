@@ -71,10 +71,33 @@ type Job struct {
 	// remote marks a migrated-in job: the stack arrived from another node,
 	// this Job is the local handle that makes it visible to the balancer
 	// (and so eligible for re-balancing and stealing). Its completion is
-	// routed to resultTo rather than delivered to a local waiter.
-	remote      bool
-	resultTo    completion
-	expectValue bool
+	// routed to resultTo rather than delivered to a local waiter;
+	// resultFallback, when set, is where the result goes instead if the
+	// consumer named by resultTo is unreachable (a chain link's recovery
+	// route at the chain's origin).
+	remote         bool
+	resultTo       completion
+	resultFallback completion
+	expectValue    bool
+
+	// chained marks a job submitted for chain-planned execution: the
+	// balancer's chain planner owns its placement (StartJobChained). The
+	// mark travels with the stack, so a chained job stolen or pushed
+	// before its planner fires stays planner-owned at its new host.
+	chained bool
+
+	// evJob/evOrigin, when set, are the job's event identity: lifecycle
+	// events publish to evOrigin's bus under id evJob. They diverge from
+	// resultTo for activated chain links, whose results flow to the NEXT
+	// link's plant token rather than to the origin's job handle.
+	evJob    uint64
+	evOrigin int
+
+	// waiting marks a job whose local thread is a parked residual holding
+	// a resume route — the thread is not executing and must not be
+	// captured for migration until its value arrives (the route holds a
+	// pointer into it).
+	waiting bool
 }
 
 // Thread returns the job's current local thread (nil once fully migrated).
@@ -90,6 +113,23 @@ func (j *Job) Remote() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.remote
+}
+
+// Chained reports whether the job was submitted for chain-planned
+// execution (the balancer's chain planner owns its placement).
+func (j *Job) Chained() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.chained
+}
+
+// migratable reports whether the job's thread may be captured right now:
+// it has one, and it is not a parked residual waiting for a forwarded
+// value (capturing that would orphan its resume route).
+func (j *Job) migratable() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.th != nil && !j.waiting
 }
 
 // Trace snapshots the job's migration history for the policy layer.
@@ -165,18 +205,40 @@ func (j *Job) complete(res value.Value, err error) {
 type routeKind int
 
 const (
-	routeJob     routeKind = iota // complete a job
-	routeResume                   // resume a parked residual thread
-	routePlanted                  // start a pre-restored continuation
+	routeJob          routeKind = iota // complete a job
+	routeResume                        // resume a parked residual thread
+	routePlanted                       // start a pre-restored continuation
+	routeChainRecover                  // rebuild a chain link whose planted node died
 )
+
+// chainLinkMeta identifies a planted chain link for eventing and for the
+// job wrapper it becomes when control reaches it: which job and origin it
+// belongs to, its position in the plan, and the hop metadata its frames
+// arrived with (visits re-based to this node's clock).
+type chainLinkMeta struct {
+	job     uint64
+	origin  int
+	seg     int
+	segOf   int
+	hops    int
+	visited map[int]time.Time
+}
 
 type route struct {
 	kind        routeKind
 	job         *Job
 	th          *vm.Thread
 	expectValue bool
-	// next is where the routed thread's own completion goes afterwards.
-	next completion
+	// next is where the routed thread's own completion goes afterwards;
+	// fallback is where it goes instead when next is unreachable (a chain
+	// recovery route).
+	next     completion
+	fallback completion
+	// chain is set on chain-link routes (planted or recovery): the link
+	// publishes segment events and runs as a re-balance-eligible job.
+	chain *chainLinkMeta
+	// seg holds a recovery route's retained frames (routeChainRecover).
+	seg *serial.CapturedState
 }
 
 // completion addresses the consumer of a thread's final result.
@@ -201,6 +263,11 @@ type Manager struct {
 	// balancer's push decision and a peer's steal grant can race on the
 	// same job, and only one may capture it.
 	migInFlight map[uint64]bool
+
+	// chainRecov tracks the chain recovery routes registered per local
+	// job (job id → route tokens), so they can be purged when the job
+	// completes without needing them.
+	chainRecov map[uint64][]uint64
 
 	// Steal configuration (nil = this node denies steal requests) and the
 	// node-local steal counters.
@@ -233,6 +300,7 @@ func newManager(n *Node) *Manager {
 		routes:      make(map[uint64]*route),
 		jobs:        make(map[uint64]*Job),
 		migInFlight: make(map[uint64]bool),
+		chainRecov:  make(map[uint64][]uint64),
 		peerLoads:   make(map[int]policy.Signals),
 		wireLat:     make(map[int]time.Duration),
 		classSource: -1,
@@ -257,6 +325,7 @@ func (m *Manager) reset() {
 	m.routes = make(map[uint64]*route)
 	m.jobs = make(map[uint64]*Job)
 	m.migInFlight = make(map[uint64]bool)
+	m.chainRecov = make(map[uint64][]uint64)
 	m.peerLoads = make(map[int]policy.Signals)
 	m.wireLat = make(map[int]time.Duration)
 	m.Migrations = nil
@@ -347,6 +416,18 @@ func (m *Manager) newToken() uint64 {
 // StartJob launches a thread on the node's VM running the named method
 // and returns a handle whose result survives any number of migrations.
 func (m *Manager) StartJob(qualifiedMethod string, args ...value.Value) (*Job, error) {
+	return m.startJob(qualifiedMethod, false, args...)
+}
+
+// StartJobChained is StartJob for a job whose placement the balancer's
+// chain planner owns: instead of whole-stack pushes, the job's stack is
+// split into a multi-segment FlowForward pipeline when the planner finds
+// a plan worth executing (the balancer must run with its Chain option).
+func (m *Manager) StartJobChained(qualifiedMethod string, args ...value.Value) (*Job, error) {
+	return m.startJob(qualifiedMethod, true, args...)
+}
+
+func (m *Manager) startJob(qualifiedMethod string, chained bool, args ...value.Value) (*Job, error) {
 	mid := m.node.Prog.MethodByName(qualifiedMethod)
 	if mid < 0 {
 		return nil, fmt.Errorf("sodee: unknown method %q", qualifiedMethod)
@@ -356,7 +437,7 @@ func (m *Manager) StartJob(qualifiedMethod string, args ...value.Value) (*Job, e
 		return nil, err
 	}
 	th.UserData = &threadCtx{homeNode: -1}
-	job := &Job{ID: m.newToken(), mgr: m, th: th, done: make(chan struct{})}
+	job := &Job{ID: m.newToken(), mgr: m, th: th, done: make(chan struct{}), chained: chained}
 	m.mu.Lock()
 	m.jobs[job.ID] = job
 	m.routes[job.ID] = &route{kind: routeJob, job: job}
@@ -392,12 +473,13 @@ func (m *Manager) runAndWatch(th *vm.Thread, job *Job) {
 		return
 	}
 	job.complete(th.Result, th.Err)
+	m.purgeChainRecovery(job.ID)
 }
 
 // runWorker runs a restored thread to completion and routes its results.
-func (m *Manager) runWorker(th *vm.Thread, expectValue bool, dst completion) {
+func (m *Manager) runWorker(th *vm.Thread, expectValue bool, dst, fallback completion) {
 	th.Run()
-	m.routeResult(th, expectValue, dst)
+	m.routeResult(th, expectValue, dst, fallback)
 }
 
 // runRemoteJob executes a migrated-in job's thread and — when this node
@@ -416,25 +498,41 @@ func (m *Manager) runRemoteJob(th *vm.Thread, job *Job) {
 	m.mu.Lock()
 	delete(m.jobs, job.ID)
 	m.mu.Unlock()
-	m.routeResult(th, job.expectValue, job.resultTo)
+	m.routeResult(th, job.expectValue, job.resultTo, job.resultFallback)
+}
+
+// rebaseVisits converts a wire visit trace (ages) into absolute
+// timestamps on this node's clock — the one treatment every migrated-in
+// visit trace gets, so the cooldown works across machines with skewed
+// wall clocks.
+func rebaseVisits(visits []serial.Visit, now time.Time) map[int]time.Time {
+	out := make(map[int]time.Time, len(visits))
+	for _, v := range visits {
+		out[int(v.Node)] = now.Add(-time.Duration(v.AgeNanos))
+	}
+	return out
+}
+
+// newRemoteJob builds the local Job handle for a migrated-in computation
+// — the handle that makes it visible to this node's balancer, and so
+// eligible for re-balancing and stealing.
+func (m *Manager) newRemoteJob(th *vm.Thread, hops int, visited map[int]time.Time,
+	resultTo, fallback completion, expectValue bool) *Job {
+	job := &Job{
+		ID: m.newToken(), mgr: m, th: th, done: make(chan struct{}),
+		remote: true, resultTo: resultTo, resultFallback: fallback, expectValue: expectValue,
+		hops: hops, visited: make(map[int]time.Time, len(visited)),
+	}
+	for n, t := range visited {
+		job.visited[n] = t
+	}
+	return job
 }
 
 // adoptRemote wraps a migrated-in thread in a local Job handle carrying
-// its hop metadata — the handle that makes the job visible to this
-// node's balancer, and so eligible for re-balancing and stealing.
-func (m *Manager) adoptRemote(th *vm.Thread, cs *serial.CapturedState, resultTo completion, expectValue bool) *Job {
-	job := &Job{
-		ID: m.newToken(), mgr: m, th: th, done: make(chan struct{}),
-		remote: true, resultTo: resultTo, expectValue: expectValue,
-		hops: int(cs.Hops), visited: make(map[int]time.Time, len(cs.Visited)),
-	}
-	// Visits arrive as ages; re-base them against this node's clock so
-	// the cooldown works across machines with skewed wall clocks.
-	now := time.Now()
-	for _, v := range cs.Visited {
-		job.visited[int(v.Node)] = now.Add(-time.Duration(v.AgeNanos))
-	}
-	return job
+// its hop metadata.
+func (m *Manager) adoptRemote(th *vm.Thread, cs *serial.CapturedState, resultTo, fallback completion, expectValue bool) *Job {
+	return m.newRemoteJob(th, int(cs.Hops), rebaseVisits(cs.Visited, time.Now()), resultTo, fallback, expectValue)
 }
 
 // registerRemote publishes an adopted job to the balancer once it is safe
@@ -523,7 +621,13 @@ func (m *Manager) homeRefs(cs *serial.CapturedState) {
 	}
 }
 
-func (m *Manager) routeResult(th *vm.Thread, expectValue bool, dst completion) {
+// chainFlushAttempts bounds the retry window toward a chain continuation
+// when a recovery fallback exists: a shorter patience is safe (the value
+// is redirected, never dropped) and gets a crashed mid-chain link rebuilt
+// at the origin in about a second instead of wedging for the full window.
+const chainFlushAttempts = 100 // × flushRetryDelay ≈ 1 s
+
+func (m *Manager) routeResult(th *vm.Thread, expectValue bool, dst, fallback completion) {
 	if dst.node == m.node.ID {
 		// Same-node delivery: the consumer shares this heap, so no flush
 		// serialization happens and dirty state stays pending until a
@@ -545,12 +649,29 @@ func (m *Manager) routeResult(th *vm.Thread, expectValue bool, dst completion) {
 		errStr = th.Err.Error()
 	}
 	fm := m.node.ObjMan.CollectResult(th.Result, expectValue, errStr)
-	payload := encodeFlushMsg(dst.token, fm, m.node.Prog, m.node.Codec)
-	if err := m.sendFlushRetrying(dst.node, payload, false, flushRetryAttempts); err != nil {
-		// Consumer still unreachable after the retry window: the result
-		// has nowhere to go.
-		_ = err
+	hasFallback := fallback != completion{}
+	attempts := flushRetryAttempts
+	if hasFallback {
+		attempts = chainFlushAttempts
 	}
+	payload := encodeFlushMsg(dst.token, fm, m.node.Prog, m.node.Codec)
+	err := m.sendFlushRetrying(dst.node, payload, false, attempts)
+	if err == nil || !isUnreachable(err) {
+		return
+	}
+	if hasFallback {
+		// The planted continuation is unreachable; reroute the value to
+		// the chain's recovery route, which rebuilds the link's frames
+		// there and carries on — the chain degrades, it does not wedge.
+		payload = encodeFlushMsg(fallback.token, fm, m.node.Prog, m.node.Codec)
+		if ferr := m.sendFlushRetrying(fallback.node, payload, false, flushRetryAttempts); ferr != nil {
+			_ = ferr // recovery route unreachable too: nowhere left to go
+		}
+		return
+	}
+	// Consumer still unreachable after the retry window and no fallback:
+	// the result has nowhere to go.
+	_ = err
 }
 
 // deliverLocal hands a same-node result to the route its token names.
@@ -562,10 +683,23 @@ func (m *Manager) deliverLocal(token uint64, res value.Value, err error) {
 	if rt == nil {
 		return
 	}
+	m.dispatchRoute(m.node.ID, rt, res, err)
+}
+
+// dispatchRoute applies a delivered result (or failure) to a consumed
+// route — the one place a value crosses from a finished segment into
+// whatever consumes it, shared by local delivery and wire flushes. from
+// is the node the value came from (event attribution).
+func (m *Manager) dispatchRoute(from int, rt *route, res value.Value, err error) {
 	switch rt.kind {
 	case routeJob:
 		rt.job.complete(res, err)
+		m.purgeChainRecovery(rt.job.ID)
+
 	case routeResume:
+		rt.job.mu.Lock()
+		rt.job.waiting = false
+		rt.job.mu.Unlock()
 		if err != nil {
 			rt.job.complete(value.Value{}, err)
 			_ = rt.th.Kill()
@@ -574,29 +708,110 @@ func (m *Manager) deliverLocal(token uint64, res value.Value, err error) {
 		if rt.expectValue {
 			rt.th.Top().Push(res)
 		}
+		if rt.chain != nil {
+			m.publishEventSync(rt.chain.origin, JobEvent{
+				Job: rt.chain.job, Kind: EvSegmentForwarded,
+				From: from, To: m.node.ID,
+				Seg: rt.chain.seg, SegOf: rt.chain.segOf,
+			})
+		}
 		_ = rt.th.Resume()
+
 	case routePlanted:
 		if err != nil {
-			m.forwardError(rt.next, err)
+			m.forwardError(rt.next, rt.fallback, err)
 			return
 		}
 		if rt.expectValue {
 			rt.th.Top().Push(res)
 		}
 		bottomReturns := rt.th.Frames[0].Method.ReturnsValue
-		go m.runWorker(rt.th, bottomReturns, rt.next)
+		if rt.chain != nil {
+			// A chain link becoming live is a first-class citizen of this
+			// node: visible to the balancer (it can re-balance onward or be
+			// stolen, within its hop budget), its result routed to the next
+			// link with the chain's recovery fallback attached.
+			m.publishEventSync(rt.chain.origin, JobEvent{
+				Job: rt.chain.job, Kind: EvSegmentForwarded,
+				From: from, To: m.node.ID,
+				Seg: rt.chain.seg, SegOf: rt.chain.segOf,
+			})
+			job := m.adoptChainLink(rt.th, rt.chain, rt.next, rt.fallback, bottomReturns)
+			m.registerRemote(job)
+			go m.runRemoteJob(rt.th, job)
+			return
+		}
+		go m.runWorker(rt.th, bottomReturns, rt.next, rt.fallback)
+
+	case routeChainRecover:
+		if err != nil {
+			m.forwardError(rt.next, rt.fallback, err)
+			return
+		}
+		th, rerr := RestoreDirect(m.node, rt.seg)
+		if rerr != nil {
+			m.forwardError(rt.next, rt.fallback, rerr)
+			return
+		}
+		if rt.expectValue {
+			th.Top().Push(res)
+		}
+		m.publishEventSync(rt.chain.origin, JobEvent{
+			Job: rt.chain.job, Kind: EvSegmentForwarded,
+			From: from, To: m.node.ID,
+			Seg: rt.chain.seg, SegOf: rt.chain.segOf,
+		})
+		bottomReturns := th.Frames[0].Method.ReturnsValue
+		job := m.adoptChainLink(th, rt.chain, rt.next, rt.fallback, bottomReturns)
+		m.registerRemote(job)
+		go m.runRemoteJob(th, job)
 	}
 }
 
-// forwardError propagates a failure along a completion chain.
-func (m *Manager) forwardError(next completion, err error) {
+// adoptChainLink wraps an activated chain link in a remote-flagged Job
+// handle carrying the chain's hop metadata, so the link re-balances and
+// gets stolen like any migrated-in job and its result flows to the next
+// link (with the recovery fallback along for the ride). The link keeps
+// the chain's event identity: however far it travels from here, its
+// lifecycle events publish into the origin's stream under the job id —
+// not to the next link's node under a plant token.
+func (m *Manager) adoptChainLink(th *vm.Thread, meta *chainLinkMeta, next, fallback completion, expectValue bool) *Job {
+	job := m.newRemoteJob(th, meta.hops, meta.visited, next, fallback, expectValue)
+	job.evJob, job.evOrigin = meta.job, meta.origin
+	return job
+}
+
+// purgeChainRecovery drops the chain recovery routes registered for a
+// completed local job: the chain delivered, the retained segments are
+// dead weight.
+func (m *Manager) purgeChainRecovery(jobID uint64) {
+	m.mu.Lock()
+	for _, tok := range m.chainRecov[jobID] {
+		delete(m.routes, tok)
+	}
+	delete(m.chainRecov, jobID)
+	m.mu.Unlock()
+}
+
+// forwardError propagates a failure along a completion chain, rerouting
+// to the fallback when the primary consumer is unreachable.
+func (m *Manager) forwardError(next, fallback completion, err error) {
 	if next.node == m.node.ID {
 		m.deliverLocal(next.token, value.Value{}, err)
 		return
 	}
+	hasFallback := fallback != completion{}
+	attempts := flushRetryAttempts
+	if hasFallback {
+		attempts = chainFlushAttempts
+	}
 	efm := &serial.FlushMessage{Err: err.Error()}
-	_ = m.sendFlushRetrying(next.node,
-		encodeFlushMsg(next.token, efm, m.node.Prog, m.node.Codec), false, flushRetryAttempts)
+	serr := m.sendFlushRetrying(next.node,
+		encodeFlushMsg(next.token, efm, m.node.Prog, m.node.Codec), false, attempts)
+	if serr != nil && isUnreachable(serr) && hasFallback {
+		_ = m.sendFlushRetrying(fallback.node,
+			encodeFlushMsg(fallback.token, efm, m.node.Prog, m.node.Codec), false, flushRetryAttempts)
+	}
 }
 
 // --- SOD migration (the contribution) ---
@@ -637,6 +852,29 @@ func (m *Manager) migrationInFlight(id uint64) bool {
 // routes straight to the origin — a further hop never lengthens the
 // return path.
 func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, error) {
+	if opts.Flow == FlowForward {
+		// Manual flow-forwarding is a two-link chain: the segment on Dest,
+		// the whole residual planted on ForwardTo. One executor serves the
+		// hand-driven API and the chain planner — there is no second
+		// migration entry point.
+		return m.MigrateChain(job, func(frames []policy.FrameSignal) (policy.ChainPlan, error) {
+			depth := len(frames)
+			k := opts.NFrames
+			if k == WholeStack {
+				k = depth
+			}
+			if k <= 0 || k > depth {
+				return policy.ChainPlan{}, fmt.Errorf("sodee: segment size %d out of range (depth %d)", opts.NFrames, depth)
+			}
+			if k == depth {
+				return policy.ChainPlan{}, fmt.Errorf("sodee: forward flow needs a residual (depth %d, segment %d)", depth, k)
+			}
+			return policy.ChainPlan{Segments: []policy.ChainSegment{
+				{Frames: k, Dest: opts.Dest, ForwardTo: opts.ForwardTo},
+				{Frames: depth - k, Dest: opts.ForwardTo, ForwardTo: m.node.ID},
+			}}, nil
+		}, opts.Reason)
+	}
 	// One migration per job at a time: a push decision and a steal grant
 	// may race on the same job, and both suspending the thread would wedge
 	// it.
@@ -653,10 +891,13 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		m.mu.Unlock()
 	}()
 
-	th := job.Thread()
-	if th == nil {
-		return nil, fmt.Errorf("sodee: job has no local thread")
+	// migratable, not just th != nil: a parked residual waiting for a
+	// forwarded value is owned by its resume route — capturing it would
+	// ship the frames while the route still points into the old thread.
+	if !job.migratable() {
+		return nil, fmt.Errorf("sodee: job has no migratable thread")
 	}
+	th := job.Thread()
 	n := m.node
 	if n.Agent == nil {
 		return nil, fmt.Errorf("sodee: node %d (%v) cannot capture state", n.ID, n.System)
@@ -700,7 +941,7 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		return nil, err
 	}
 	var residual *serial.CapturedState
-	if opts.Flow != FlowReturnHome && depth > k {
+	if opts.Flow == FlowTotal && depth > k {
 		residual, err = CaptureSegment(n.Agent, th, k, depth-k, home)
 		if err != nil {
 			_ = th.Resume()
@@ -741,10 +982,17 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	// finalTo is where the job's eventual result belongs: the local job
 	// handle, or — for a migrated-in job — the completion it arrived with
 	// (its origin), so results never chain back through intermediate hops.
+	// eventTo is where its lifecycle events publish: usually the same,
+	// but an activated chain link's result goes to the next link's plant
+	// token while its events still belong to the origin's job stream.
 	finalTo := completion{node: n.ID, token: job.ID}
 	job.mu.Lock()
 	if job.remote {
 		finalTo = job.resultTo
+	}
+	eventTo := finalTo
+	if job.evJob != 0 {
+		eventTo = completion{node: job.evOrigin, token: job.evJob}
 	}
 	job.mu.Unlock()
 
@@ -765,6 +1013,9 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		m.mu.Lock()
 		m.routes[token] = &route{kind: routeResume, job: job, th: th, expectValue: segBottom.ReturnsValue}
 		m.mu.Unlock()
+		job.mu.Lock()
+		job.waiting = true // the parked residual is spoken for by its route
+		job.mu.Unlock()
 		resultTo = completion{node: n.ID, token: token}
 
 	case opts.Flow == FlowReturnHome: // whole stack exported, result = job result
@@ -787,36 +1038,35 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		}
 		resultTo = finalTo // final consumer; residual runs at dest
 
-	case opts.Flow == FlowForward:
-		if residual == nil {
-			_ = th.Resume()
-			return nil, fmt.Errorf("sodee: forward flow needs a residual (depth %d, segment %d)", depth, k)
-		}
-		// Plant the residual on the forward node first.
-		plantTok, err := m.plantContinuation(opts.ForwardTo, residual, segBottom.ReturnsValue, finalTo)
-		if err != nil {
-			_ = th.Resume()
-			return nil, err
-		}
-		job.mu.Lock()
-		job.th = nil
-		job.mu.Unlock()
-		if err := th.Kill(); err != nil {
-			return nil, err
-		}
-		resultTo = completion{node: opts.ForwardTo, token: plantTok}
-		residual = nil // consumed by the plant
 	}
 
 	// Ship the segment (classes of its methods ride along, rest on demand).
+	// A re-balanced chain link keeps its recovery fallback: wherever the
+	// link ends up, an unreachable next link still reroutes to the chain's
+	// origin.
+	var fallback completion
+	job.mu.Lock()
+	if resultTo == finalTo && job.remote {
+		fallback = job.resultFallback
+	}
+	jobChained := job.chained
+	job.mu.Unlock()
 	msg := migrateMsg{
 		resultTo:    resultTo,
+		fallback:    fallback,
 		homeNode:    home,
 		direct:      n.System == SysJessica2 || n.System == SysDevice,
 		seg:         seg,
 		residual:    residual, // non-nil only for FlowTotal
 		expectValue: segBottom.ReturnsValue,
 		classes:     m.bundleClasses(seg, residual),
+		// Ownership and identity travel with the stack: a chained job
+		// stays planner-owned at its new host, and wherever the stack
+		// lands, its lifecycle events keep publishing into the origin's
+		// stream under the job's id — never to a resume or plant token.
+		chained:     jobChained,
+		chainJob:    eventTo.token,
+		chainOrigin: eventTo.node,
 	}
 	payload := msg.encode(n.Prog, m.codecFor(opts.Dest))
 	// Announce the hop *before* the transfer: a fast destination can run
@@ -825,8 +1075,8 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	// arriving after the terminal event would be dropped. If the transfer
 	// fails instead, EvMigrationFailed below tells the watcher the job
 	// bounced back.
-	m.publishEvent(finalTo.node, JobEvent{
-		Job: finalTo.token, Kind: EvMigrated,
+	m.publishEvent(eventTo.node, JobEvent{
+		Job: eventTo.token, Kind: EvMigrated,
 		From: n.ID, To: opts.Dest,
 		Reason: opts.Reason, Hops: int(seg.Hops),
 	})
@@ -837,12 +1087,12 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		// existed). The captured state is still in hand, so fall back to
 		// local execution rather than stranding the job: the migration
 		// fails, the job does not — this node stays its live owner.
-		m.publishEvent(finalTo.node, JobEvent{
-			Job: finalTo.token, Kind: EvMigrationFailed,
+		m.publishEvent(eventTo.node, JobEvent{
+			Job: eventTo.token, Kind: EvMigrationFailed,
 			From: n.ID, To: opts.Dest,
 			Reason: opts.Reason, Hops: int(seg.Hops),
 		})
-		if rerr := m.recoverLocal(job, th, opts.Flow, partial, seg, msg.residual, resultTo, segBottom.ReturnsValue); rerr != nil {
+		if rerr := m.recoverLocal(job, th, partial, seg, msg.residual, resultTo); rerr != nil {
 			return nil, fmt.Errorf("sodee: migrate to %d: %w; local recovery also failed: %w", opts.Dest, err, rerr)
 		}
 		return nil, fmt.Errorf("sodee: migrate to %d (job recovered locally): %w", opts.Dest, err)
@@ -896,11 +1146,11 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 //     beneath segment for Total) as a fresh thread and re-attach it. A
 //     remote wrapper re-attaches to its routing runner, so the recovered
 //     result still flows to the job's origin.
-//   - Forward: the residual is already planted on the forward node (which
-//     is reachable — the plant RPC succeeded); run the segment locally
-//     and let its result flow to the planted continuation as planned.
-func (m *Manager) recoverLocal(job *Job, th *vm.Thread, flow Flow, partial bool,
-	seg, residual *serial.CapturedState, resultTo completion, expectValue bool) error {
+//
+// (Forward-flow recovery lives in the chain executor, which owns that
+// path end to end.)
+func (m *Manager) recoverLocal(job *Job, th *vm.Thread, partial bool,
+	seg, residual *serial.CapturedState, resultTo completion) error {
 
 	n := m.node
 	switch {
@@ -909,23 +1159,11 @@ func (m *Manager) recoverLocal(job *Job, th *vm.Thread, flow Flow, partial bool,
 		m.mu.Lock()
 		delete(m.routes, resultTo.token)
 		m.mu.Unlock()
+		job.mu.Lock()
+		job.waiting = false
+		job.mu.Unlock()
 		appendCapturedFrames(th, n.Prog, seg.Frames)
 		return th.Resume()
-
-	case flow == FlowForward:
-		worker, err := RestoreDirect(n, &serial.CapturedState{Frames: seg.Frames, HomeNode: seg.HomeNode})
-		if err != nil {
-			return err
-		}
-		if job.Remote() {
-			// The wrapper's thread moved into the planted continuation's
-			// chain; nothing local completes it, so drop the handle.
-			m.mu.Lock()
-			delete(m.jobs, job.ID)
-			m.mu.Unlock()
-		}
-		go m.runWorker(worker, expectValue, resultTo)
-		return nil
 
 	default: // ReturnHome whole-stack, Total
 		frames := seg.Frames
@@ -971,31 +1209,6 @@ func (m *Manager) bundleClasses(states ...*serial.CapturedState) [][]byte {
 	return bundles
 }
 
-// plantContinuation installs a captured residual as a parked continuation
-// on a remote node; returns the token the segment's result must target.
-func (m *Manager) plantContinuation(node int, residual *serial.CapturedState,
-	expectValue bool, next completion) (uint64, error) {
-
-	msg := migrateMsg{
-		plant:       true,
-		resultTo:    next,
-		homeNode:    m.node.ID,
-		seg:         residual,
-		expectValue: expectValue,
-		classes:     m.bundleClasses(residual),
-	}
-	reply, err := m.node.EP.Call(node, netsim.KindMigrate, msg.encode(m.node.Prog, m.codecFor(node)))
-	if err != nil {
-		return 0, err
-	}
-	r := wire.NewReader(reply)
-	tok := r.Uvarint()
-	if err := r.Err(); err != nil {
-		return 0, err
-	}
-	return tok, nil
-}
-
 // --- destination side ---
 
 func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
@@ -1029,13 +1242,27 @@ func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		token := m.newToken()
-		m.mu.Lock()
-		m.routes[token] = &route{
+		rt := &route{
 			kind: routePlanted, th: th,
 			expectValue: msg.expectValue,
 			next:        msg.resultTo,
+			fallback:    msg.fallback,
 		}
+		if msg.chainOf > 0 {
+			// A chain link: remember who it belongs to and the hop metadata
+			// its frames carried, re-based to this node's clock (the same
+			// treatment adoptRemote gives an executing stack), so the link
+			// runs as a first-class job when control reaches it.
+			rt.chain = &chainLinkMeta{
+				job: msg.chainJob, origin: msg.chainOrigin,
+				seg: msg.chainSeg, segOf: msg.chainOf,
+				hops:    int(msg.seg.Hops),
+				visited: rebaseVisits(msg.seg.Visited, time.Now()),
+			}
+		}
+		token := m.newToken()
+		m.mu.Lock()
+		m.routes[token] = rt
 		m.mu.Unlock()
 		w := wire.NewWriter(16)
 		w.Uvarint(token)
@@ -1046,6 +1273,7 @@ func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 	// local consumer of the segment's return value, so the subsequent
 	// execution after the segment pops is purely local (Fig 1b).
 	dst := msg.resultTo
+	dstFallback := msg.fallback
 	if msg.residual != nil {
 		resTh, rerr := RestoreDirect(n, msg.residual)
 		if rerr != nil {
@@ -1057,9 +1285,13 @@ func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 			kind: routePlanted, th: resTh,
 			expectValue: msg.expectValue,
 			next:        msg.resultTo,
+			fallback:    msg.fallback,
 		}
 		m.mu.Unlock()
+		// The segment's value is consumed locally; the fallback travels
+		// with the planted residual's own onward route instead.
 		dst = completion{node: n.ID, token: token}
+		dstFallback = completion{}
 	}
 
 	// Restore and run the segment, adopted as a local (remote-flagged) job
@@ -1074,7 +1306,8 @@ func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 			return nil, rerr
 		}
 		restoreDur = time.Since(restoreStart)
-		job := m.adoptRemote(th, msg.seg, dst, msg.expectValue)
+		job := m.adoptRemote(th, msg.seg, dst, dstFallback, msg.expectValue)
+		job.chained, job.evJob, job.evOrigin = msg.chained, msg.chainJob, msg.chainOrigin
 		m.registerRemote(job)
 		go m.runRemoteJob(th, job)
 	} else {
@@ -1082,7 +1315,8 @@ func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 		if berr != nil {
 			return nil, berr
 		}
-		job := m.adoptRemote(th, msg.seg, dst, msg.expectValue)
+		job := m.adoptRemote(th, msg.seg, dst, dstFallback, msg.expectValue)
+		job.chained, job.evJob, job.evOrigin = msg.chained, msg.chainJob, msg.chainOrigin
 		go m.runRemoteJob(th, job)
 		select {
 		case <-rc.done:
@@ -1150,32 +1384,7 @@ func (m *Manager) deliverFlush(from int, fm *serial.FlushMessage) {
 	if fm.Err != "" {
 		err = fmt.Errorf("sodee: remote segment failed: %s", fm.Err)
 	}
-
-	switch rt.kind {
-	case routeJob:
-		rt.job.complete(res, err)
-	case routeResume:
-		if err != nil {
-			rt.job.complete(value.Value{}, err)
-			_ = rt.th.Kill()
-			return
-		}
-		if rt.expectValue {
-			rt.th.Top().Push(res)
-		}
-		_ = rt.th.Resume()
-		// The job's original runAndWatch goroutine still owns completion.
-	case routePlanted:
-		if err != nil {
-			m.forwardError(rt.next, err)
-			return
-		}
-		if rt.expectValue {
-			rt.th.Top().Push(res)
-		}
-		bottomReturns := rt.th.Frames[0].Method.ReturnsValue
-		go m.runWorker(rt.th, bottomReturns, rt.next)
-	}
+	m.dispatchRoute(from, rt, res, err)
 }
 
 // --- class shipping ---
@@ -1225,11 +1434,24 @@ type migrateMsg struct {
 	direct      bool
 	codec       serial.Codec
 	resultTo    completion
+	fallback    completion // where the result goes if resultTo is unreachable
 	homeNode    int
 	seg         *serial.CapturedState
 	residual    *serial.CapturedState
 	expectValue bool
 	classes     [][]byte
+	// Chain identity (chainJob == 0 means none): the job the shipped
+	// state belongs to and its origin node — the destination's event
+	// publications need them whenever they differ from resultTo (planted
+	// links, and chain fragments re-balanced onward). For plants,
+	// chainSeg/chainOf add the link's position in its plan.
+	chainJob    uint64
+	chainOrigin int
+	chainSeg    int
+	chainOf     int
+	// chained marks a chain-owned job (Client.SubmitChain) so planner
+	// ownership survives whole-stack migrations to a new host.
+	chained bool
 }
 
 func (mm *migrateMsg) encode(prog *bytecode.Program, codec serial.Codec) []byte {
@@ -1240,8 +1462,15 @@ func (mm *migrateMsg) encode(prog *bytecode.Program, codec serial.Codec) []byte 
 	w.Bool(mm.direct)
 	w.Varint(int64(mm.resultTo.node))
 	w.Uvarint(mm.resultTo.token)
+	w.Varint(int64(mm.fallback.node))
+	w.Uvarint(mm.fallback.token)
 	w.Varint(int64(mm.homeNode))
 	w.Bool(mm.expectValue)
+	w.Uvarint(mm.chainJob)
+	w.Varint(int64(mm.chainOrigin))
+	w.Varint(int64(mm.chainSeg))
+	w.Varint(int64(mm.chainOf))
+	w.Bool(mm.chained)
 	w.Blob(serial.EncodeCapturedState(mm.seg, prog, codec))
 	if mm.residual != nil {
 		w.Bool(true)
@@ -1265,8 +1494,15 @@ func decodeMigrateMsg(payload []byte, prog *bytecode.Program, _ serial.Codec) (*
 	mm.direct = r.Bool()
 	mm.resultTo.node = int(r.Varint())
 	mm.resultTo.token = r.Uvarint()
+	mm.fallback.node = int(r.Varint())
+	mm.fallback.token = r.Uvarint()
 	mm.homeNode = int(r.Varint())
 	mm.expectValue = r.Bool()
+	mm.chainJob = r.Uvarint()
+	mm.chainOrigin = int(r.Varint())
+	mm.chainSeg = int(r.Varint())
+	mm.chainOf = int(r.Varint())
+	mm.chained = r.Bool()
 	segBuf := r.BlobView()
 	if err := r.Err(); err != nil {
 		return nil, err

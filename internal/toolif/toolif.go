@@ -60,9 +60,13 @@ type bpKey struct {
 type Agent struct {
 	VM *vm.VM
 
-	mu  sync.Mutex
-	bps map[bpKey]struct{}
-	cb  BreakpointCallback
+	mu sync.Mutex
+	// Breakpoints and callbacks are per thread: a node can be restoring
+	// several migrated-in stacks at once (concurrent pushes, steals and
+	// chain plants all land here), and two restorations of the same
+	// method must not consume each other's breakpoints or callbacks.
+	bps map[*vm.Thread]map[bpKey]struct{}
+	cbs map[*vm.Thread]BreakpointCallback
 
 	// hooked tracks threads that currently run with the debug hook
 	// installed ("mixed-mode": debugging functions force the slow path;
@@ -76,7 +80,8 @@ type Agent struct {
 func Attach(v *vm.VM) *Agent {
 	a := &Agent{
 		VM:     v,
-		bps:    make(map[bpKey]struct{}),
+		bps:    make(map[*vm.Thread]map[bpKey]struct{}),
+		cbs:    make(map[*vm.Thread]BreakpointCallback),
 		hooked: make(map[*vm.Thread]bool),
 	}
 	v.Profile.AgentLoaded = true
@@ -208,38 +213,46 @@ func (a *Agent) SetStatic(classID int32, idx int, v value.Value) error {
 
 // --- breakpoints ---
 
-// SetCallback installs the agent-wide breakpoint callback.
-func (a *Agent) SetCallback(cb BreakpointCallback) {
+// SetCallback installs t's breakpoint callback: it fires only for
+// breakpoints armed on t, so concurrent restorations on one node cannot
+// steal each other's events.
+func (a *Agent) SetCallback(t *vm.Thread, cb BreakpointCallback) {
 	a.mu.Lock()
-	a.cb = cb
+	a.cbs[t] = cb
 	a.mu.Unlock()
 }
 
-// SetBreakpoint arms a breakpoint at (methodID, pc) and enables the debug
-// hook on t. While any breakpoint is armed the thread runs in the slow
-// "interpreted" path — mirroring mixed-mode JVMs where enabled debugging
-// functions force interpretation (§III.A).
+// SetBreakpoint arms a breakpoint at (methodID, pc) for t and enables the
+// debug hook on it. While any breakpoint is armed the thread runs in the
+// slow "interpreted" path — mirroring mixed-mode JVMs where enabled
+// debugging functions force interpretation (§III.A).
 func (a *Agent) SetBreakpoint(t *vm.Thread, methodID, pc int32) {
 	a.mu.Lock()
-	a.bps[bpKey{methodID, pc}] = struct{}{}
+	set := a.bps[t]
+	if set == nil {
+		set = make(map[bpKey]struct{})
+		a.bps[t] = set
+	}
+	set[bpKey{methodID, pc}] = struct{}{}
 	a.mu.Unlock()
 	a.enableHook(t)
 }
 
-// ClearBreakpoint disarms one breakpoint (the hook stays until
+// ClearBreakpoint disarms one of t's breakpoints (the hook stays until
 // ClearAllBreakpoints so restoration can chain breakpoints cheaply).
-func (a *Agent) ClearBreakpoint(methodID, pc int32) {
+func (a *Agent) ClearBreakpoint(t *vm.Thread, methodID, pc int32) {
 	a.mu.Lock()
-	delete(a.bps, bpKey{methodID, pc})
+	delete(a.bps[t], bpKey{methodID, pc})
 	a.mu.Unlock()
 }
 
-// ClearAllBreakpoints disarms everything and removes the debug hook from
-// t — "disable all debugging functions before and after a migration
+// ClearAllBreakpoints disarms everything armed on t and removes its debug
+// hook — "disable all debugging functions before and after a migration
 // event, so this approach is of reasonably slight overheads".
 func (a *Agent) ClearAllBreakpoints(t *vm.Thread) {
 	a.mu.Lock()
-	a.bps = make(map[bpKey]struct{})
+	delete(a.bps, t)
+	delete(a.cbs, t)
 	a.mu.Unlock()
 	a.disableHook(t)
 }
@@ -253,15 +266,15 @@ func (a *Agent) enableHook(t *vm.Thread) {
 	a.hooked[t] = true
 	t.SetInstrHook(func(th *vm.Thread, f *vm.Frame, ins bytecode.Instr) *vm.Raised {
 		a.mu.Lock()
-		_, hit := a.bps[bpKey{f.Method.ID, f.PC}]
-		cb := a.cb
+		_, hit := a.bps[th][bpKey{f.Method.ID, f.PC}]
+		cb := a.cbs[th]
 		a.mu.Unlock()
 		if !hit || cb == nil {
 			return nil
 		}
 		// One-shot semantics: the breakpoint is consumed so the callback's
 		// thrown exception does not re-trigger on handler re-entry.
-		a.ClearBreakpoint(f.Method.ID, f.PC)
+		a.ClearBreakpoint(th, f.Method.ID, f.PC)
 		return cb(th, f)
 	})
 }

@@ -118,7 +118,7 @@ func TestBreakpointFires(t *testing.T) {
 
 	th, _ := v.NewThread(prog.MethodByName("main"), value.Int(100))
 	hit := make(chan int32, 1)
-	a.SetCallback(func(tt *vm.Thread, f *vm.Frame) *vm.Raised {
+	a.SetCallback(th, func(tt *vm.Thread, f *vm.Frame) *vm.Raised {
 		select {
 		case hit <- f.PC:
 		default:
@@ -149,7 +149,7 @@ func TestBreakpointIsOneShot(t *testing.T) {
 	innerID := prog.MethodByName("inner")
 	th, _ := v.NewThread(prog.MethodByName("main"), value.Int(50))
 	hits := 0
-	a.SetCallback(func(tt *vm.Thread, f *vm.Frame) *vm.Raised {
+	a.SetCallback(th, func(tt *vm.Thread, f *vm.Frame) *vm.Raised {
 		hits++
 		return nil
 	})
@@ -165,7 +165,7 @@ func TestBreakpointCallbackCanThrow(t *testing.T) {
 	v := vm.New(prog, 1, true)
 	a := toolif.Attach(v)
 	th, _ := v.NewThread(prog.MethodByName("main"), value.Int(50))
-	a.SetCallback(func(tt *vm.Thread, f *vm.Frame) *vm.Raised {
+	a.SetCallback(th, func(tt *vm.Thread, f *vm.Frame) *vm.Raised {
 		return &vm.Raised{ExClass: bytecode.ExIllegalState, Message: "from breakpoint"}
 	})
 	a.SetBreakpoint(th, prog.MethodByName("inner"), 0)

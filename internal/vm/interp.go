@@ -127,6 +127,7 @@ func (t *Thread) exec() {
 		}
 
 		localInstr++
+		f.Instrs++
 
 		switch ins.Op {
 		case bytecode.OpNop:

@@ -22,6 +22,11 @@ type Frame struct {
 	// sockets — §IV.D pins the web server's connection-holding frames).
 	Pinned bool
 
+	// Instrs counts instructions retired while this frame was on top of
+	// the stack — the frame's observed weight. The chain planner reads it
+	// (through the parked-thread discipline) as a per-frame cost signal.
+	Instrs uint64
+
 	// callPC is the pc of the invoke instruction this frame is currently
 	// executing a call from. It is valid for every frame except the top
 	// one; exception-range matching and state capture use it, because PC
@@ -127,6 +132,7 @@ func (t *Thread) acquireFrame(m *bytecode.Method) *Frame {
 			f.Method = m
 			f.PC = 0
 			f.callPC = 0
+			f.Instrs = 0
 			f.Pinned = m.Pragmas != nil && m.Pragmas["pin"]
 			f.Locals = f.Locals[:m.NLocals]
 			zero := value.Value{}

@@ -1,0 +1,79 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+)
+
+// Workflow is the multi-domain pipeline workload: main(seed, iters) →
+// stage1 → stage2, three frames of pure CPU with the heavy crunch on
+// top. It is the chain planner's canonical prey — while stage2 grinds,
+// the stack shape (hot top frame, cool residuals beneath) begs to be
+// split into a Fig 1c forward pipeline — and the workflow experiments,
+// the chain chaos scenario and the conformance suite all share this one
+// definition with its Go mirror so program and expectation cannot drift.
+func Workflow() *bytecode.Program {
+	return workflowProgram("")
+}
+
+// WorkflowWithMarker is Workflow with a terminal probe: main's last
+// statement before returning calls the named native (declared with one
+// argument, the seed) exactly once per execution — the chaos harness's
+// exactly-once marker, in whatever domain the final frame ends up.
+func WorkflowWithMarker(native string) *bytecode.Program {
+	return workflowProgram(native)
+}
+
+func workflowProgram(marker string) *bytecode.Program {
+	pb := asm.NewProgram()
+	if marker != "" {
+		pb.Native(marker, 1, false)
+	}
+
+	// stage2: the hot top frame — the full crunch loop.
+	s2 := pb.Func("stage2", true, "seed", "iters")
+	s2.Line().Load("seed").Store("acc")
+	s2.Line().Int(0).Store("i")
+	s2.Label("loop")
+	s2.Line().Load("i").Load("iters").Ge().Jnz("done")
+	s2.Line().Load("acc").Int(31).Mul().Load("i").Add().Int(0xFFFF).And().Store("acc")
+	s2.Line().Load("i").Int(1).Add().Store("i")
+	s2.Line().Jmp("loop")
+	s2.Label("done")
+	s2.Line().Load("acc").RetV()
+
+	// stage1: post-processes stage2's result with half the work.
+	s1 := pb.Func("stage1", true, "seed", "iters")
+	s1.Line().Load("seed").Load("iters").Call("stage2", 2).Store("r")
+	s1.Line().Load("iters").Int(2).Div().Store("half")
+	s1.Line().Int(0).Store("i")
+	s1.Label("loop")
+	s1.Line().Load("i").Load("half").Ge().Jnz("done")
+	s1.Line().Load("r").Int(17).Mul().Load("i").Add().Int(0xFFFF).And().Store("r")
+	s1.Line().Load("i").Int(1).Add().Store("i")
+	s1.Line().Jmp("loop")
+	s1.Label("done")
+	s1.Line().Load("r").RetV()
+
+	// main: the pipeline's bottom frame.
+	mn := pb.Func("main", true, "seed", "iters")
+	mn.Line().Load("seed").Load("iters").Call("stage1", 2).Store("r")
+	if marker != "" {
+		mn.Line().Load("seed").CallNat(marker, 1)
+	}
+	mn.Line().Load("r").Int(7).Add().RetV()
+
+	return pb.MustBuild()
+}
+
+// WorkflowExpected mirrors Workflow's main in Go.
+func WorkflowExpected(seed, iters int64) int64 {
+	acc := seed
+	for i := int64(0); i < iters; i++ {
+		acc = (acc*31 + i) & 0xFFFF
+	}
+	for i := int64(0); i < iters/2; i++ {
+		acc = (acc*17 + i) & 0xFFFF
+	}
+	return acc + 7
+}

@@ -28,6 +28,15 @@ type Client interface {
 	// Submit starts a job executing the named method and returns its
 	// handle. Daemon-backed clients carry integer arguments only.
 	Submit(ctx context.Context, method string, args ...Value) (JobHandle, error)
+	// SubmitChain starts a chain-owned job: when the cluster balances
+	// with the Chain option, the chain planner splits the job's stack
+	// into a multi-segment FlowForward pipeline — each segment on the
+	// best node, residuals planted ahead of execution, the result
+	// forwarded node to node and flushed to this submission point. Watch
+	// shows the chain as segment-planted / segment-forwarded events.
+	// Without a chain-armed balancer the mark has no effect: the job
+	// balances like any ordinary submission.
+	SubmitChain(ctx context.Context, method string, args ...Value) (JobHandle, error)
 	// Job returns the handle of a previously submitted job (results of
 	// recently completed jobs remain queryable; daemons retain the last
 	// 256).
@@ -70,11 +79,13 @@ type EventKind = sodee.EventKind
 
 // Job lifecycle event kinds.
 const (
-	JobStarted         = sodee.EvStarted
-	JobMigrated        = sodee.EvMigrated
-	JobResultFlushed   = sodee.EvResultFlushed
-	JobCompleted       = sodee.EvCompleted
-	JobMigrationFailed = sodee.EvMigrationFailed
+	JobStarted          = sodee.EvStarted
+	JobMigrated         = sodee.EvMigrated
+	JobResultFlushed    = sodee.EvResultFlushed
+	JobCompleted        = sodee.EvCompleted
+	JobMigrationFailed  = sodee.EvMigrationFailed
+	JobSegmentPlanted   = sodee.EvSegmentPlanted
+	JobSegmentForwarded = sodee.EvSegmentForwarded
 )
 
 // MigrateReason says which side of the elasticity engine moved a job.
@@ -86,6 +97,7 @@ const (
 	MigratePushed     = sodee.ReasonPushed
 	MigrateStolen     = sodee.ReasonStolen
 	MigrateRebalanced = sodee.ReasonRebalanced
+	MigrateChained    = sodee.ReasonChained
 )
 
 // MemberState is a failure detector's verdict on a peer.
@@ -149,6 +161,17 @@ func (cc *clusterClient) Submit(ctx context.Context, method string, args ...Valu
 		return nil, err
 	}
 	j, err := cc.n.Mgr.StartJob(method, args...)
+	if err != nil {
+		return nil, err
+	}
+	return localJob{j}, nil
+}
+
+func (cc *clusterClient) SubmitChain(ctx context.Context, method string, args ...Value) (JobHandle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j, err := cc.n.Mgr.StartJobChained(method, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +280,14 @@ func callCtx[T any](ctx context.Context, f func() (T, error)) (T, error) {
 }
 
 func (dc *daemonClient) Submit(ctx context.Context, method string, args ...Value) (JobHandle, error) {
+	return dc.submit(ctx, dc.c.Submit, method, args)
+}
+
+func (dc *daemonClient) SubmitChain(ctx context.Context, method string, args ...Value) (JobHandle, error) {
+	return dc.submit(ctx, dc.c.SubmitChain, method, args)
+}
+
+func (dc *daemonClient) submit(ctx context.Context, op func(string, ...int64) (uint64, error), method string, args []Value) (JobHandle, error) {
 	ints := make([]int64, len(args))
 	for i, a := range args {
 		if a.Kind != value.KindInt {
@@ -264,7 +295,7 @@ func (dc *daemonClient) Submit(ctx context.Context, method string, args ...Value
 		}
 		ints[i] = a.I
 	}
-	id, err := callCtx(ctx, func() (uint64, error) { return dc.c.Submit(method, ints...) })
+	id, err := callCtx(ctx, func() (uint64, error) { return op(method, ints...) })
 	if err != nil {
 		return nil, err
 	}

@@ -115,6 +115,62 @@ func withClients(t *testing.T, fn func(t *testing.T, f confFixture)) {
 	})
 }
 
+// withChainClients runs fn against both implementations with the chain
+// planner armed: a weak submit node, two idle strong peers, and a
+// chain-only balancer (nothing pushes; the planner owns every chained
+// job). The workload is the three-stage workflow pipeline.
+func withChainClients(t *testing.T, fn func(t *testing.T, f confFixture)) {
+	t.Run("inprocess", func(t *testing.T) {
+		prog, err := daemon.BuildWorkload("workflow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster, err := sod.NewCluster(prog, sod.Gigabit,
+			sod.Node{ID: 1, Cores: 1, Slow: 16},
+			sod.Node{ID: 2}, sod.Node{ID: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range []int{1, 2, 3} {
+			workloads.BindCommon(cluster.On(id).VM())
+		}
+		bal := cluster.AutoBalance(sod.NeverPolicy(),
+			sod.BalanceOptions{Interval: 2 * time.Millisecond, Chain: true})
+		t.Cleanup(bal.Stop)
+		fn(t, confFixture{name: "inprocess", client: cluster.Client(), submitNode: 1})
+	})
+
+	t.Run("daemon", func(t *testing.T) {
+		mk := func(id, cores, slow int) *daemon.Daemon {
+			d, err := daemon.New(daemon.Config{
+				ID: id, Cores: cores, Slow: slow, Workload: "workflow",
+				Policy: "none", Chain: true, Interval: 2 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("boot daemon %d: %v", id, err)
+			}
+			t.Cleanup(d.Stop)
+			return d
+		}
+		d1 := mk(1, 1, 16)
+		d2 := mk(2, 0, 0)
+		d3 := mk(3, 0, 0)
+		if err := d2.Join(d1.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := d3.Join(d1.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		cl, err := sod.Dial(d1.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() }) //nolint:errcheck
+		waitConverged(t, cl)
+		fn(t, confFixture{name: "daemon", client: cl, submitNode: 1})
+	})
+}
+
 func TestConformanceSubmitAndWait(t *testing.T) {
 	withClients(t, func(t *testing.T, f confFixture) {
 		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
@@ -376,6 +432,94 @@ func TestConformanceWatchReplayAndUnknown(t *testing.T) {
 		if len(events) < 2 || events[0].Kind != sod.JobStarted ||
 			events[len(events)-1].Kind != sod.JobCompleted {
 			t.Fatalf("replayed stream malformed: %+v", events)
+		}
+	})
+}
+
+// TestConformanceChainedSubmitAndEvents: chain-driven jobs behave
+// identically through both clients — SubmitChain places the stack as a
+// planner-driven forward pipeline, the result comes back right, and the
+// watch stream narrates the chain the same way on both surfaces:
+// started first, completed last, a planted link for every residual
+// segment, a chained-reason migration for the executing one, and a
+// forward for every link control reached.
+func TestConformanceChainedSubmitAndEvents(t *testing.T) {
+	withChainClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+
+		const chainIters = 300_000
+		seeds := []int64{61, 62}
+		handles := make([]sod.JobHandle, len(seeds))
+		streams := make([]<-chan sod.JobEvent, len(seeds))
+		for i, s := range seeds {
+			h, err := f.client.SubmitChain(ctx, "main", sod.Int(s), sod.Int(chainIters))
+			if err != nil {
+				t.Fatalf("submit chained %d: %v", i, err)
+			}
+			handles[i] = h
+			ch, err := f.client.Watch(ctx, h.ID())
+			if err != nil {
+				t.Fatalf("watch %d: %v", i, err)
+			}
+			streams[i] = ch
+		}
+
+		chains := 0
+		for i, ch := range streams {
+			var events []sod.JobEvent
+			for ev := range ch {
+				events = append(events, ev)
+			}
+			if len(events) < 2 {
+				t.Fatalf("job %d: stream had %d events", i, len(events))
+			}
+			first, last := events[0], events[len(events)-1]
+			if first.Kind != sod.JobStarted || first.From != f.submitNode {
+				t.Errorf("job %d: first event %+v, want started on node %d", i, first, f.submitNode)
+			}
+			if last.Kind != sod.JobCompleted || last.Err != "" {
+				t.Errorf("job %d: last event %+v, want clean completion", i, last)
+			}
+			if want := workloads.WorkflowExpected(seeds[i], chainIters); last.Result != want {
+				t.Errorf("job %d: completed with %d, want %d", i, last.Result, want)
+			}
+			planted, forwarded := 0, 0
+			for _, ev := range events {
+				switch ev.Kind {
+				case sod.JobSegmentPlanted:
+					planted++
+					if ev.SegOf < 2 || ev.Seg < 1 || ev.Seg >= ev.SegOf {
+						t.Errorf("job %d: malformed planted event %+v", i, ev)
+					}
+				case sod.JobSegmentForwarded:
+					forwarded++
+				case sod.JobMigrated:
+					if ev.Reason == sod.MigrateChained {
+						chains++
+						if ev.Seg != 0 || ev.SegOf < 2 {
+							t.Errorf("job %d: chained migration without plan position %+v", i, ev)
+						}
+					}
+				}
+			}
+			if planted > 0 && forwarded == 0 {
+				t.Errorf("job %d: links planted but control never forwarded: %+v", i, events)
+			}
+		}
+		if chains == 0 {
+			t.Error("no job was ever chain-placed; the planner never fired")
+		}
+
+		// Results remain intact after watching, as everywhere else.
+		for i, h := range handles {
+			res, err := h.Wait(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := workloads.WorkflowExpected(seeds[i], chainIters); res.I != want {
+				t.Errorf("job %d: result %d, want %d", i, res.I, want)
+			}
 		}
 	})
 }

@@ -390,8 +390,21 @@ type BalanceOptions = sodee.BalanceOptions
 type StealStats = sodee.StealStats
 
 // NeverPolicy never pushes: combine with BalanceOptions.Steal for a
-// steal-only balancer where migration is purely pull-driven.
+// steal-only balancer where migration is purely pull-driven, or with
+// BalanceOptions.Chain for a chain-only balancer where the planner owns
+// every placement.
 func NeverPolicy() Policy { return policy.Never{} }
+
+// ChainPlanner tunes the workflow chain planner armed by
+// BalanceOptions.Chain: how many segments a stack may split into, the
+// minimum depth and throughput gain worth chaining, and the RTT/locality
+// weights used to rank destination nodes. The zero value selects
+// defaults. Jobs opt in per submission via Client.SubmitChain (or every
+// job with BalanceOptions.ChainAll); the planner splits a chained job's
+// parked stack by per-frame cost, plants each residual segment on its
+// node ahead of execution (Fig 1c), and the balancer re-plans or degrades
+// links when nodes fail mid-chain — a crash never wedges the chain.
+type ChainPlanner = policy.ChainPlanner
 
 // BalanceStats aggregates a balancer's activity.
 type BalanceStats = sodee.BalanceStats
