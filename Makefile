@@ -53,5 +53,5 @@ cluster-smoke:
 # and requires exactly-once completion with the result flushed at the
 # origin. Output is mirrored to chaos.log (CI uploads it on failure).
 chaos:
-	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run 'TestChaosScenarios|TestChainChaosMidChainCrash' -v ./internal/sodee > chaos.log 2>&1; \
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run 'TestChaosScenarios|TestChainChaosMidChainCrash|TestSwarmChaosWatchedCrash' -v ./internal/sodee > chaos.log 2>&1; \
 	status=$$?; cat chaos.log; exit $$status

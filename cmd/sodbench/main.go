@@ -10,9 +10,15 @@
 //	sodbench -table transport    # migration cost: simulated fabric vs TCP loopback
 //	sodbench -table steal        # work stealing: push-only vs push+steal makespan
 //	sodbench -table workflow     # forward chains vs return-home on WAN links
+//	sodbench -table swarm        # control-plane load: 1k clients, crash mid-load
+//
+// The swarm table also writes BENCH_swarm.json (see -json/-out) and can
+// gate CI: -baseline FILE exits non-zero when sustained jobs/sec drops
+// more than 30% below the committed baseline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +36,13 @@ func main() {
 	wfJobs := flag.Int("workflow-jobs", 0, "workflow: burst size (0 = default 6)")
 	wfIters := flag.Int64("workflow-iters", 0, "workflow: stage2 iterations per job (0 = default)")
 	wfLatency := flag.Int("workflow-latency", 0, "workflow: one-way WAN latency in ms (0 = default 8)")
+	swarmWorkers := flag.Int("swarm-workers", 0, "swarm: concurrent clients (0 = default 1000, -short 200)")
+	swarmJobs := flag.Int("swarm-jobs", 0, "swarm: jobs per client (0 = default 3)")
+	swarmIters := flag.Int64("swarm-iters", 0, "swarm: iterations per job (0 = default 8000)")
+	short := flag.Bool("short", false, "swarm: CI smoke scale")
+	jsonOut := flag.Bool("json", false, "swarm: write the report to -out and print it as JSON")
+	outPath := flag.String("out", "BENCH_swarm.json", "swarm: report path for -json")
+	baseline := flag.String("baseline", "", "swarm: committed baseline report; exit non-zero when jobs/sec drops >30% below it")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -150,4 +163,35 @@ func main() {
 		fmt.Print(experiments.RenderElastic(rows))
 		return nil
 	})
+	// The swarm benchmark is opt-in ("-table swarm"), not part of "all":
+	// it holds a thousand clients open and is a load test, not a paper
+	// table.
+	if *table == "swarm" {
+		rep, err := experiments.Swarm(experiments.SwarmConfig{
+			Workers:       *swarmWorkers,
+			JobsPerWorker: *swarmJobs,
+			Iters:         *swarmIters,
+			Short:         *short,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sodbench: table swarm: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := experiments.WriteSwarmJSON(rep, *outPath); err != nil {
+				fmt.Fprintf(os.Stderr, "sodbench: write %s: %v\n", *outPath, err)
+				os.Exit(1)
+			}
+			data, _ := json.MarshalIndent(rep, "", "  ")
+			fmt.Println(string(data))
+		} else {
+			fmt.Print(experiments.RenderSwarm(rep))
+		}
+		if *baseline != "" {
+			if err := experiments.CheckSwarmRegression(rep, *baseline, 0.30); err != nil {
+				fmt.Fprintf(os.Stderr, "sodbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 }

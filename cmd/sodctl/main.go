@@ -8,12 +8,20 @@
 //	sodctl -addr 127.0.0.1:7101 load
 //	sodctl -addr 127.0.0.1:7101 watch -job 3
 //	sodctl -addr 127.0.0.1:7101 watch -every 1s -for 10s
+//	sodctl -addr 127.0.0.1:7101 top -every 1s -for 10s
 //
 // "watch -job N" streams job N's lifecycle live — where it started,
 // every migration with its direction and reason (pushed / stolen /
 // rebalanced) and hop count, the result flushing home, completion — and
 // exits when the job does. Without -job, watch falls back to polling the
 // cluster-wide membership and stats tables.
+//
+// "top" is event-driven, not polled: one cluster-wide WatchAll stream
+// (every node's event bus, fanned through the dialed daemon) feeds
+// per-origin counters, redrawn every interval — submissions starting,
+// jobs completing and failing, migrations, and lagged markers when this
+// very stream falls behind and the daemon coalesces on it. -for 0 runs
+// until interrupted.
 package main
 
 import (
@@ -27,10 +35,11 @@ import (
 	"time"
 
 	"repro/internal/daemon"
+	"repro/internal/sodee"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sodctl -addr HOST:PORT <members|submit|run|wait|stats|load|watch> [options]")
+	fmt.Fprintln(os.Stderr, "usage: sodctl -addr HOST:PORT <members|submit|run|wait|stats|load|watch|top> [options]")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -127,6 +136,103 @@ func watchJob(c *daemon.Client, job uint64) {
 	}
 }
 
+// topRow accumulates one origin node's event counts for the current
+// interval.
+type topRow struct {
+	events, started, completed, failed int
+	migrated, lagged                   int
+	dropped                            int64 // events coalesced away under this stream
+}
+
+func (r *topRow) count(ev sodee.JobEvent) {
+	r.events++
+	switch ev.Kind {
+	case sodee.EvStarted:
+		r.started++
+	case sodee.EvCompleted:
+		if ev.Err != "" {
+			r.failed++
+		} else {
+			r.completed++
+		}
+	case sodee.EvMigrated:
+		r.migrated++
+	case sodee.EvLagged:
+		r.lagged++
+		r.dropped += ev.Result
+	}
+}
+
+// topCluster renders cluster-wide activity from a single WatchAll
+// stream: per-origin event rates over each interval, no polling.
+func topCluster(c *daemon.Client, every, dur time.Duration) {
+	ch, cancel, err := c.WatchAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cancel()
+	rows := make(map[int]*topRow)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	var end <-chan time.Time
+	if dur > 0 {
+		end = time.After(dur)
+	}
+	render := func() {
+		origins := make([]int, 0, len(rows))
+		for o := range rows {
+			origins = append(origins, o)
+		}
+		sort.Ints(origins)
+		secs := every.Seconds()
+		fmt.Printf("%s  %-6s %8s %8s %8s %6s %6s %7s\n",
+			time.Now().Format("15:04:05"), "origin", "ev/s", "start/s", "done/s", "fail", "migr", "lagged")
+		var tot topRow
+		for _, o := range origins {
+			r := rows[o]
+			fmt.Printf("          %-6d %8.0f %8.0f %8.0f %6d %6d %7d\n",
+				o, float64(r.events)/secs, float64(r.started)/secs,
+				float64(r.completed)/secs, r.failed, r.migrated, r.lagged)
+			tot.events += r.events
+			tot.started += r.started
+			tot.completed += r.completed
+			tot.failed += r.failed
+			tot.migrated += r.migrated
+			tot.lagged += r.lagged
+			tot.dropped += r.dropped
+		}
+		if len(origins) != 1 {
+			fmt.Printf("          %-6s %8.0f %8.0f %8.0f %6d %6d %7d\n",
+				"total", float64(tot.events)/secs, float64(tot.started)/secs,
+				float64(tot.completed)/secs, tot.failed, tot.migrated, tot.lagged)
+		}
+		if tot.dropped > 0 {
+			fmt.Printf("          (stream lagging: %d events coalesced away this interval)\n", tot.dropped)
+		}
+		rows = make(map[int]*topRow)
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				render()
+				log.Fatal("cluster stream closed (daemon lost, or this watcher was evicted for lagging)")
+			}
+			r := rows[ev.Origin]
+			if r == nil {
+				r = &topRow{}
+				rows[ev.Origin] = r
+			}
+			r.count(ev)
+		case <-ticker.C:
+			render()
+		case <-end:
+			render()
+			return
+		}
+	}
+}
+
 func main() {
 	addr := flag.String("addr", "", "daemon control address")
 	flag.Usage = usage
@@ -218,6 +324,13 @@ func main() {
 			}
 			time.Sleep(*every)
 		}
+
+	case "top":
+		fs := flag.NewFlagSet("top", flag.ExitOnError)
+		every := fs.Duration("every", time.Second, "redraw interval")
+		dur := fs.Duration("for", 10*time.Second, "total duration (0 = until interrupted)")
+		fs.Parse(rest) //nolint:errcheck
+		topCluster(c, *every, *dur)
 
 	default:
 		usage()

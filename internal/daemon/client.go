@@ -37,6 +37,9 @@ type clientWatch struct {
 	gen    uint64
 	ch     chan sodee.JobEvent
 	closed bool
+	// all marks a WatchAll stream: terminal events pass through without
+	// ending it (the stream spans every job in the cluster).
+	all bool
 	// The daemon numbers a stream's frames, but one-way frames are
 	// handled concurrently by the transport; pending holds early arrivals
 	// until their predecessors land so events deliver in stream order.
@@ -242,6 +245,43 @@ func (c *Client) Watch(job uint64) (<-chan sodee.JobEvent, func(), error) {
 	return w.ch, cancel, nil
 }
 
+// WatchAll subscribes to the cluster-wide event stream: every job event
+// from every node, merged by the daemon's hub. The channel never closes
+// on a job's terminal event — it closes when cancel is called, when the
+// connection dies, or when the daemon evicts this client for not keeping
+// up (the backpressure contract: non-terminal events may be coalesced
+// behind EvLagged markers; a consumer too slow to keep even job outcomes
+// is cut off rather than allowed to stall the cluster's buses).
+func (c *Client) WatchAll() (<-chan sodee.JobEvent, func(), error) {
+	c.mu.Lock()
+	c.watchGen++
+	w := &clientWatch{
+		gen:     c.watchGen,
+		ch:      make(chan sodee.JobEvent, 512),
+		pending: make(map[uint64]sodee.JobEvent),
+		all:     true,
+	}
+	c.watches[w.gen] = w
+	c.mu.Unlock()
+
+	req := wire.NewWriter(12)
+	req.Byte(opWatchAll)
+	req.Uvarint(w.gen)
+	if _, err := c.call(req.Bytes()); err != nil {
+		c.endWatch(w.gen)
+		return nil, nil, err
+	}
+	cancel := func() {
+		if c.endWatch(w.gen) {
+			uw := wire.NewWriter(12)
+			uw.Byte(opUnwatch)
+			uw.Uvarint(w.gen)
+			c.call(uw.Bytes()) //nolint:errcheck
+		}
+	}
+	return w.ch, cancel, nil
+}
+
 // endWatch closes and forgets one watch; reports whether it was live.
 func (c *Client) endWatch(gen uint64) bool {
 	c.mu.Lock()
@@ -315,7 +355,7 @@ func (c *Client) handleControl(from int, payload []byte) ([]byte, error) {
 						}
 					}
 				}
-				if nextEv.Terminal() {
+				if nextEv.Terminal() && !w.all {
 					w.closed = true
 					close(w.ch)
 					delete(c.watches, gen)

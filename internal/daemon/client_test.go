@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -249,5 +250,87 @@ func TestControlProtocolVersionSkew(t *testing.T) {
 	if _, err := tr.Call(peer, netsim.KindControl, oldJoin.Bytes()); err == nil ||
 		!strings.Contains(err.Error(), "protocol mismatch") {
 		t.Errorf("versionless join: err = %v, want protocol mismatch", err)
+	}
+}
+
+// TestWatcherChurnReleasesGoroutines: a thousand watch streams opened by
+// clients that vanish without unwatching must not accumulate daemon-side
+// pump goroutines or ring buffers. Each abruptly closed connection fires
+// the transport's peer-down hook, which cancels that peer's streams; this
+// pins the goroutine count back to (near) the pre-churn baseline. Before
+// the hook existed, every dead stream parked a goroutine on a send to a
+// dead ring until the watched job terminated — and a WatchAll stream has
+// no terminal at all, so those leaked until daemon shutdown.
+func TestWatcherChurnReleasesGoroutines(t *testing.T) {
+	d := bootOne(t, 1)
+	ctl, err := Dial(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	// Touch WatchAll once so the daemon's event hub (a fixed goroutine
+	// cost, alive until Stop) exists before the baseline is taken.
+	_, cancelAll, err := ctl.WatchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelAll()
+	time.Sleep(200 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	// Phase one: a thousand WatchAll streams — live until cancelled, so
+	// any missed cleanup is a permanent leak — abandoned by abruptly
+	// closed connections. (The daemon is idle here on purpose: a spinning
+	// interpreter job would fight the control plane for the CPU and tell
+	// us nothing extra about stream cleanup.)
+	const conns, perConn = 20, 50 // 1000 streams total
+	for i := 0; i < conns; i++ {
+		c, err := Dial(d.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < perConn; j++ {
+			if _, _, err := c.WatchAll(); err != nil {
+				t.Fatalf("conn %d stream %d: %v", i, j, err)
+			}
+		}
+		// Abrupt: no cancels, no unwatch frames. The daemon must notice
+		// the dead connection and release all 50 streams itself.
+		c.Close()
+	}
+
+	// Phase two: per-job streams on a job that is still running when the
+	// connection dies, so the streams are mid-fanout, not replay-and-done.
+	job, err := ctl.Submit("main", 9, 40_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 10; j++ {
+		if _, _, err := c.Watch(job); err != nil {
+			t.Fatalf("live watch %d: %v", j, err)
+		}
+	}
+	c.Close()
+	if _, errMsg, err := ctl.WaitContext(context.Background(), job); err != nil || errMsg != "" {
+		t.Fatalf("wait: %v %q", err, errMsg)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+10 {
+			t.Logf("goroutines: baseline %d, settled at %d after the watcher churn", baseline, n)
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines never settled: baseline %d, still %d\n%s", baseline, n, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/policy"
 	"repro/internal/preprocess"
+	"repro/internal/shard"
 	"repro/internal/sodee"
 	"repro/internal/value"
 	"repro/internal/wire"
@@ -42,7 +43,11 @@ import (
 //
 // v2: chained submission (opSubmitChain) and chain-position fields on
 // streamed job events (segment-planted / segment-forwarded).
-const ProtocolVersion = 2
+//
+// v3: cluster-wide watch (opWatchAll) fed by daemon-to-daemon event taps
+// (opTap / opTapEvent), and an Origin field on every streamed JobEvent so
+// consumers key streams by (Origin, Job) across the whole cluster.
+const ProtocolVersion = 3
 
 // Control operations (first byte of a KindControl payload).
 const (
@@ -59,6 +64,9 @@ const (
 	opEvent       byte = 11 // daemon → client, one-way: {gen, seq, JobEvent}
 	opEventEnd    byte = 12 // daemon → client, one-way: {gen} stream over
 	opSubmitChain byte = 13 // {method, args...} → job id, chain-planned placement
+	opWatchAll    byte = 14 // {gen} → ack; every cluster event streams as opEvent frames
+	opTap         byte = 15 // daemon ↔ daemon: {on} start/stop forwarding my bus firehose to you
+	opTapEvent    byte = 16 // daemon → daemon, one-way: {seq, JobEvent} tap traffic
 )
 
 // Config configures one daemon.
@@ -148,11 +156,15 @@ type Daemon struct {
 
 	mu    sync.Mutex
 	addrs map[int]string // member id → listen address
-	// jobs holds running jobs plus the last maxRetainedJobs completed
-	// ones (doneJobs is their completion order), so results stay
-	// queryable without the map growing forever on a long-lived daemon.
-	jobs     map[uint64]*sodee.Job
+	// doneJobs is the completion order of retained finished jobs; the
+	// jobs themselves live in the sharded table below.
 	doneJobs []uint64
+
+	// jobs holds running jobs plus the last maxRetainedJobs completed
+	// ones, so results stay queryable without the table growing forever
+	// on a long-lived daemon. Sharded: thousands of concurrent
+	// submit/wait clients touch disjoint jobs without queueing on d.mu.
+	jobs *shard.Map[*sodee.Job]
 
 	// watches tracks live event subscriptions so opUnwatch can cancel
 	// them and Stop can end them. Streams are keyed by the client-chosen
@@ -160,6 +172,18 @@ type Daemon struct {
 	// stream's frames can never be mistaken for a successor's.
 	watchMu sync.Mutex
 	watches map[watchKey]*watchEntry
+
+	// Cluster-wide watch plumbing. The hub fans the merged event stream
+	// (local bus firehose + one tap per peer daemon) out to every
+	// opWatchAll client; it spins up lazily on the first WatchAll and
+	// lives until Stop. tapsOut are the streams *we* serve to peers whose
+	// hubs tapped us; tapsIn reorder each peer's one-way opTapEvent
+	// frames back into publish order before they enter the hub.
+	hubMu   sync.Mutex
+	hub     *sodee.EventFan
+	hubStop func()
+	tapsIn  map[int]*tapReorder
+	tapsOut map[int]func()
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -174,6 +198,15 @@ type watchKey struct {
 type watchEntry struct {
 	job    uint64
 	cancel func()
+}
+
+// tapReorder re-imposes one tap's publish order: opTapEvent frames are
+// one-way and handled concurrently at the receiver, so events carry a
+// per-tap sequence number and buffer here until their turn.
+type tapReorder struct {
+	mu      sync.Mutex
+	next    uint64
+	pending map[uint64]sodee.JobEvent
 }
 
 // New boots a daemon: listen, build the node, start the heartbeat (and,
@@ -240,11 +273,17 @@ func New(cfg Config) (*Daemon, error) {
 		cluster: c,
 		node:    n,
 		addrs:   make(map[int]string),
-		jobs:    make(map[uint64]*sodee.Job),
+		jobs:    shard.NewMap[*sodee.Job](),
 		watches: make(map[watchKey]*watchEntry),
+		tapsIn:  make(map[int]*tapReorder),
+		tapsOut: make(map[int]func()),
 		stopCh:  make(chan struct{}),
 	}
 	tr.Handle(netsim.KindControl, d.handleControl)
+	// A peer's connection dying must promptly release everything streaming
+	// toward it — watch streams, WatchAll streams, and tap feeds — or every
+	// client churn leaks a parked goroutine plus its ring buffers.
+	tr.SetPeerDownHook(d.peerDown)
 	if cfg.Logf != nil {
 		n.Members.OnChange(func(ev membership.Event) {
 			cfg.Logf("sodd[%d]: member %d is %v", cfg.ID, ev.Node, ev.State)
@@ -331,6 +370,27 @@ func (d *Daemon) Stop() {
 		for _, e := range entries {
 			e.cancel()
 		}
+		// Tear the WatchAll hub down: close client streams, stop the local
+		// firehose, and end every tap feed we were serving to peers.
+		d.hubMu.Lock()
+		hub, hubStop := d.hub, d.hubStop
+		d.hub, d.hubStop = nil, nil
+		taps := make([]func(), 0, len(d.tapsOut))
+		for _, cancel := range d.tapsOut {
+			taps = append(taps, cancel)
+		}
+		d.tapsOut = make(map[int]func())
+		d.tapsIn = make(map[int]*tapReorder)
+		d.hubMu.Unlock()
+		if hubStop != nil {
+			hubStop()
+		}
+		if hub != nil {
+			hub.Close()
+		}
+		for _, cancel := range taps {
+			cancel()
+		}
 		d.tr.Close() //nolint:errcheck
 	})
 }
@@ -354,6 +414,15 @@ func (d *Daemon) addMember(id int, addr string) (isNew bool) {
 	d.node.Members.Join(id, time.Now())
 	if !known {
 		d.logf("sodd[%d]: member %d joined at %s", d.cfg.ID, id, addr)
+	}
+	// A live hub taps every member it has no feed from — covering both
+	// newcomers and rejoining peers whose old tap died with their
+	// connection.
+	d.hubMu.Lock()
+	needTap := d.hub != nil && d.tapsIn[id] == nil
+	d.hubMu.Unlock()
+	if needTap {
+		d.requestTap(id)
 	}
 	return !known
 }
@@ -487,18 +556,20 @@ func (d *Daemon) submit(method string, chained bool, args ...int64) (*sodee.Job,
 	if err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
-	d.jobs[job.ID] = job
-	d.mu.Unlock()
+	d.jobs.Set(job.ID, job)
 	go func() {
 		job.Wait() //nolint:errcheck // retention bookkeeping only
 		d.mu.Lock()
 		d.doneJobs = append(d.doneJobs, job.ID)
+		var evict []uint64
 		for len(d.doneJobs) > maxRetainedJobs {
-			delete(d.jobs, d.doneJobs[0])
+			evict = append(evict, d.doneJobs[0])
 			d.doneJobs = d.doneJobs[1:]
 		}
 		d.mu.Unlock()
+		for _, id := range evict {
+			d.jobs.Delete(id)
+		}
 	}()
 	d.logf("sodd[%d]: job %d started (%s)", d.cfg.ID, job.ID, method)
 	return job, nil
@@ -534,6 +605,12 @@ func (d *Daemon) handleControl(from int, payload []byte) ([]byte, error) {
 		return d.handleWatch(from, r)
 	case opUnwatch:
 		return d.handleUnwatch(from, r)
+	case opWatchAll:
+		return d.handleWatchAll(from, r)
+	case opTap:
+		return d.handleTap(from, r)
+	case opTapEvent:
+		return nil, d.handleTapEvent(from, payload[1:])
 	default:
 		return nil, fmt.Errorf("daemon: unknown control op %d", payload[0])
 	}
@@ -705,10 +782,8 @@ func (d *Daemon) handleWait(r *wire.Reader) ([]byte, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
-	job := d.jobs[jobID]
-	d.mu.Unlock()
-	if job == nil {
+	job, ok := d.jobs.Get(jobID)
+	if !ok {
 		return nil, fmt.Errorf("daemon: no job %d", jobID)
 	}
 	w := wire.NewWriter(32)
@@ -804,8 +879,210 @@ func (d *Daemon) handleWatch(from int, r *wire.Reader) ([]byte, error) {
 	}
 	d.watches[key] = entry
 	d.watchMu.Unlock()
-	go d.streamEvents(key, entry, ch)
+	go d.streamEvents(key, entry, ch, true)
 	return nil, nil
+}
+
+// handleWatchAll subscribes the requesting client to the cluster-wide
+// event hub: every job event from every node, streamed over the same
+// opEvent/opEventEnd frames as a per-job watch. The stream never ends on
+// a terminal event — it ends on opUnwatch, daemon shutdown, or eviction
+// (the hub's backpressure contract: a client too slow to keep even job
+// outcomes is cut off, observed as opEventEnd without a prior unwatch).
+func (d *Daemon) handleWatchAll(from int, r *wire.Reader) ([]byte, error) {
+	gen := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case <-d.stopCh:
+		return nil, fmt.Errorf("daemon: shutting down")
+	default:
+	}
+	hub := d.ensureHub()
+	if hub == nil {
+		return nil, fmt.Errorf("daemon: shutting down")
+	}
+	ch, cancel := hub.Subscribe()
+	key := watchKey{peer: from, gen: gen}
+	entry := &watchEntry{cancel: cancel}
+	d.watchMu.Lock()
+	if old := d.watches[key]; old != nil {
+		old.cancel()
+	}
+	d.watches[key] = entry
+	d.watchMu.Unlock()
+	go d.streamEvents(key, entry, ch, false)
+	return nil, nil
+}
+
+// ensureHub lazily spins up the cluster-wide event hub: one EventFan fed
+// by the local bus firehose plus a tap on every peer daemon. Once up it
+// lives until Stop; peers joining later are tapped as they join.
+func (d *Daemon) ensureHub() *sodee.EventFan {
+	d.hubMu.Lock()
+	if d.hub != nil {
+		hub := d.hub
+		d.hubMu.Unlock()
+		return hub
+	}
+	select {
+	case <-d.stopCh:
+		d.hubMu.Unlock()
+		return nil
+	default:
+	}
+	hub := sodee.NewEventFan()
+	ch, cancel := d.node.Mgr.Events().SubscribeAll()
+	d.hub, d.hubStop = hub, cancel
+	d.hubMu.Unlock()
+	go func() {
+		for ev := range ch {
+			hub.Publish(ev)
+		}
+	}()
+	d.mu.Lock()
+	peers := make([]int, 0, len(d.addrs))
+	for id := range d.addrs {
+		peers = append(peers, id)
+	}
+	d.mu.Unlock()
+	for _, id := range peers {
+		d.requestTap(id)
+	}
+	return hub
+}
+
+// requestTap asks peer to forward its bus firehose here (best effort —
+// an unreachable peer's events are simply absent until it rejoins and is
+// re-tapped). The reorder state resets: a fresh tap numbers from zero.
+func (d *Daemon) requestTap(peer int) {
+	d.hubMu.Lock()
+	if d.hub == nil {
+		d.hubMu.Unlock()
+		return
+	}
+	d.tapsIn[peer] = &tapReorder{pending: make(map[uint64]sodee.JobEvent)}
+	d.hubMu.Unlock()
+	w := wire.NewWriter(4)
+	w.Byte(opTap)
+	w.Byte(1)
+	d.tr.Send(peer, netsim.KindControl, w.Bytes()) //nolint:errcheck // telemetry, never load-bearing
+}
+
+// handleTap starts (on=1) or stops (on=0) forwarding this daemon's bus
+// firehose to the requesting peer as opTapEvent frames.
+func (d *Daemon) handleTap(from int, r *wire.Reader) ([]byte, error) {
+	on := r.Byte()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	d.hubMu.Lock()
+	if old := d.tapsOut[from]; old != nil {
+		old()
+		delete(d.tapsOut, from)
+	}
+	if on == 0 {
+		d.hubMu.Unlock()
+		return nil, nil
+	}
+	select {
+	case <-d.stopCh:
+		d.hubMu.Unlock()
+		return nil, fmt.Errorf("daemon: shutting down")
+	default:
+	}
+	ch, cancel := d.node.Mgr.Events().SubscribeAll()
+	d.tapsOut[from] = cancel
+	d.hubMu.Unlock()
+	go func() {
+		defer cancel()
+		var seq uint64
+		for {
+			select {
+			case ev, ok := <-ch:
+				if !ok {
+					return
+				}
+				w := wire.NewWriter(96)
+				w.Byte(opTapEvent)
+				w.Uvarint(seq)
+				seq++
+				w.Raw(sodee.EncodeJobEvent(ev))
+				if err := d.tr.Send(from, netsim.KindControl, w.Bytes()); err != nil {
+					return
+				}
+			case <-d.stopCh:
+				return
+			}
+		}
+	}()
+	return nil, nil
+}
+
+// handleTapEvent receives one frame of a peer's tap stream, re-imposes
+// the tap's publish order, and feeds the hub. Frames from a tap we no
+// longer expect (peer re-tapped, hub gone) are dropped.
+func (d *Daemon) handleTapEvent(from int, payload []byte) error {
+	r := wire.NewReader(payload)
+	seq := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	ev, err := sodee.DecodeJobEvent(payload[r.Pos():])
+	if err != nil {
+		return err
+	}
+	d.hubMu.Lock()
+	hub, ro := d.hub, d.tapsIn[from]
+	d.hubMu.Unlock()
+	if hub == nil || ro == nil {
+		return nil
+	}
+	ro.mu.Lock()
+	ro.pending[seq] = ev
+	var ready []sodee.JobEvent
+	for {
+		next, ok := ro.pending[ro.next]
+		if !ok {
+			break
+		}
+		delete(ro.pending, ro.next)
+		ro.next++
+		ready = append(ready, next)
+	}
+	ro.mu.Unlock()
+	for _, e := range ready {
+		hub.Publish(e)
+	}
+	return nil
+}
+
+// peerDown reacts to a connection dying: every stream pointed at the
+// peer is cancelled so its goroutine and ring buffers release promptly
+// (a dead sodctl must not park a stream until shutdown), and tap state
+// for the peer is dropped — a rejoining peer is re-tapped from scratch.
+func (d *Daemon) peerDown(peer int) {
+	d.watchMu.Lock()
+	var entries []*watchEntry
+	for key, e := range d.watches {
+		if key.peer == peer {
+			entries = append(entries, e)
+			delete(d.watches, key)
+		}
+	}
+	d.watchMu.Unlock()
+	for _, e := range entries {
+		e.cancel()
+	}
+	d.hubMu.Lock()
+	tapOut := d.tapsOut[peer]
+	delete(d.tapsOut, peer)
+	delete(d.tapsIn, peer)
+	d.hubMu.Unlock()
+	if tapOut != nil {
+		tapOut()
+	}
 }
 
 func (d *Daemon) handleUnwatch(from int, r *wire.Reader) ([]byte, error) {
@@ -826,11 +1103,13 @@ func (d *Daemon) handleUnwatch(from int, r *wire.Reader) ([]byte, error) {
 
 // streamEvents forwards one subscription's events to its client until the
 // stream ends (terminal event or cancellation), the client stops
-// accepting frames, or the daemon shuts down. If the stream ends without
-// a terminal event having been sent, an opEventEnd marker tells the
-// client to close its channel rather than wait for a completion that will
-// never come.
-func (d *Daemon) streamEvents(key watchKey, entry *watchEntry, ch <-chan sodee.JobEvent) {
+// accepting frames, or the daemon shuts down. With endOnTerminal false
+// (WatchAll) the stream outlives any one job's terminal event and only
+// ends on cancellation or eviction. If the stream ends without a
+// terminal event having been sent, an opEventEnd marker tells the client
+// to close its channel rather than wait for a completion that will never
+// come.
+func (d *Daemon) streamEvents(key watchKey, entry *watchEntry, ch <-chan sodee.JobEvent, endOnTerminal bool) {
 	sentTerminal := false
 	defer func() {
 		entry.cancel()
@@ -865,7 +1144,7 @@ func (d *Daemon) streamEvents(key watchKey, entry *watchEntry, ch <-chan sodee.J
 			if err := d.tr.Send(key.peer, netsim.KindControl, w.Bytes()); err != nil {
 				return
 			}
-			if ev.Terminal() {
+			if ev.Terminal() && endOnTerminal {
 				sentTerminal = true
 				return
 			}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/loadgen"
+	"repro/internal/workloads"
+	"repro/sod"
+)
+
+// The swarm benchmark: how much concurrent Submit/Watch/Wait traffic the
+// control plane sustains, and whether the curve holds through a node
+// crash. Two fabrics run the same loadgen harness — the in-process
+// cluster at full swarm scale (a thousand concurrent clients, with a
+// mid-load crash and rejoin), and a real 3-daemon TCP cluster at a scale
+// that respects socket limits. The report serializes to BENCH_swarm.json
+// so CI can track the trajectory and fail on regression.
+
+// SwarmConfig sizes the run.
+type SwarmConfig struct {
+	// Workers is the in-process fabric's concurrent client count
+	// (default 1000; Short: 200).
+	Workers int
+	// JobsPerWorker is each client's sequential submission count
+	// (default 3; Short: 2).
+	JobsPerWorker int
+	// Iters sizes each job (default 8000 — small on purpose: the swarm
+	// measures the control plane, not the interpreter).
+	Iters int64
+	// Nodes is the in-process cluster size (default 3). The highest node
+	// id is the crash target; the others take submissions.
+	Nodes int
+	// Seed pins the deterministic argument derivation (default 1).
+	Seed int64
+	// Short shrinks everything for CI smoke runs.
+	Short bool
+	// SkipTCP drops the TCP-daemon row (the -race stress test uses the
+	// in-process fabric only).
+	SkipTCP bool
+}
+
+func (c *SwarmConfig) defaults() {
+	if c.Workers <= 0 {
+		if c.Short {
+			c.Workers = 200
+		} else {
+			c.Workers = 1000
+		}
+	}
+	if c.JobsPerWorker <= 0 {
+		if c.Short {
+			c.JobsPerWorker = 2
+		} else {
+			c.JobsPerWorker = 3
+		}
+	}
+	if c.Iters <= 0 {
+		c.Iters = 8_000
+	}
+	if c.Nodes < 3 {
+		c.Nodes = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// SwarmRow is one fabric's measurements.
+type SwarmRow struct {
+	Fabric  string          `json:"fabric"` // "inprocess" | "tcp"
+	Nodes   int             `json:"nodes"`
+	Crashed int             `json:"crashed_node,omitempty"`
+	Load    *loadgen.Result `json:"load"`
+}
+
+// SwarmReport is the benchmark artifact (BENCH_swarm.json).
+type SwarmReport struct {
+	Bench         string     `json:"bench"`
+	Short         bool       `json:"short"`
+	Workers       int        `json:"workers"`
+	JobsPerWorker int        `json:"jobs_per_worker"`
+	Iters         int64      `json:"iters"`
+	Rows          []SwarmRow `json:"rows"`
+}
+
+// Swarm runs the benchmark.
+func Swarm(cfg SwarmConfig) (*SwarmReport, error) {
+	cfg.defaults()
+	rep := &SwarmReport{
+		Bench:         "swarm",
+		Short:         cfg.Short,
+		Workers:       cfg.Workers,
+		JobsPerWorker: cfg.JobsPerWorker,
+		Iters:         cfg.Iters,
+	}
+	inproc, err := swarmInProcess(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("swarm inprocess: %w", err)
+	}
+	rep.Rows = append(rep.Rows, inproc)
+	if !cfg.SkipTCP {
+		tcp, err := swarmTCP(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("swarm tcp: %w", err)
+		}
+		rep.Rows = append(rep.Rows, tcp)
+	}
+	return rep, nil
+}
+
+// swarmInProcess is the full-scale run: Nodes nodes on the simulated
+// gigabit fabric, submissions spread over every node except the crash
+// target, which is killed mid-load and rejoined half a second later.
+func swarmInProcess(cfg SwarmConfig) (SwarmRow, error) {
+	prog, err := daemon.BuildWorkload("cruncher")
+	if err != nil {
+		return SwarmRow{}, err
+	}
+	nodes := make([]sod.Node, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = sod.Node{ID: i + 1}
+	}
+	cluster, err := sod.NewCluster(prog, sod.Gigabit, nodes...)
+	if err != nil {
+		return SwarmRow{}, err
+	}
+	for i := range nodes {
+		workloads.BindCommon(cluster.On(i + 1).VM())
+	}
+	bal := cluster.AutoBalance(sod.ThresholdPolicy(0, 0),
+		sod.BalanceOptions{Interval: 2 * time.Millisecond, Steal: true})
+	defer bal.Stop()
+
+	crashNode := cfg.Nodes
+	clients := make([]sod.Client, 0, cfg.Nodes-1)
+	for id := 1; id < cfg.Nodes; id++ {
+		cl, cerr := cluster.ClientOn(id)
+		if cerr != nil {
+			return SwarmRow{}, cerr
+		}
+		clients = append(clients, cl)
+	}
+	totalJobs := cfg.Workers * cfg.JobsPerWorker
+	res, err := loadgen.Run(loadgen.Config{
+		Workers:       cfg.Workers,
+		JobsPerWorker: cfg.JobsPerWorker,
+		Iters:         cfg.Iters,
+		Seed:          cfg.Seed,
+		Watch:         true,
+		Crash:         func() { cluster.Network().SetNodeDown(crashNode, true) },
+		CrashAfter:    totalJobs * 2 / 5,
+		Rejoin:        func() { cluster.Network().SetNodeDown(crashNode, false) },
+		RejoinAfter:   500 * time.Millisecond,
+	}, clients, clients[0])
+	if err != nil {
+		return SwarmRow{}, err
+	}
+	return SwarmRow{Fabric: "inprocess", Nodes: cfg.Nodes, Crashed: crashNode, Load: res}, nil
+}
+
+// swarmTCP runs the same harness against three real daemons over TCP
+// loopback. Worker goroutines share a pool of dialed control
+// connections (sockets are the scarce resource, not clients), and no
+// crash is injected — a stopped daemon never rejoins, so the
+// exactly-once accounting would have nothing to converge to.
+func swarmTCP(cfg SwarmConfig) (SwarmRow, error) {
+	workers := cfg.Workers
+	if workers > 128 {
+		workers = 128
+	}
+	mk := func(id int) (*daemon.Daemon, error) {
+		return daemon.New(daemon.Config{
+			ID: id, Policy: "threshold", Steal: true,
+			Interval: 2 * time.Millisecond,
+		})
+	}
+	d1, err := mk(1)
+	if err != nil {
+		return SwarmRow{}, err
+	}
+	defer d1.Stop()
+	d2, err := mk(2)
+	if err != nil {
+		return SwarmRow{}, err
+	}
+	defer d2.Stop()
+	d3, err := mk(3)
+	if err != nil {
+		return SwarmRow{}, err
+	}
+	defer d3.Stop()
+	if err := d2.Join(d1.Addr()); err != nil {
+		return SwarmRow{}, err
+	}
+	if err := d3.Join(d1.Addr()); err != nil {
+		return SwarmRow{}, err
+	}
+	addrs := []string{d1.Addr(), d2.Addr(), d3.Addr()}
+	const pool = 12
+	clients := make([]sod.Client, 0, pool)
+	for i := 0; i < pool; i++ {
+		cl, cerr := sod.Dial(addrs[i%len(addrs)])
+		if cerr != nil {
+			return SwarmRow{}, cerr
+		}
+		defer cl.Close() //nolint:errcheck
+		clients = append(clients, cl)
+	}
+	res, err := loadgen.Run(loadgen.Config{
+		Workers:       workers,
+		JobsPerWorker: cfg.JobsPerWorker,
+		Iters:         cfg.Iters,
+		Seed:          cfg.Seed + 1,
+		Watch:         true,
+	}, clients, clients[0])
+	if err != nil {
+		return SwarmRow{}, err
+	}
+	return SwarmRow{Fabric: "tcp", Nodes: 3, Load: res}, nil
+}
+
+// RenderSwarm formats the report as the human-readable table sodbench
+// prints.
+func RenderSwarm(rep *SwarmReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nSwarm: %d clients x %d jobs (iters %d)\n",
+		rep.Workers, rep.JobsPerWorker, rep.Iters)
+	fmt.Fprintf(&b, "%-10s %6s %9s %11s %9s %9s %9s %8s %7s\n",
+		"fabric", "nodes", "jobs/s", "events/s", "p50 ms", "p99 ms", "max ms", "lagged", "dirty")
+	for _, row := range rep.Rows {
+		l := row.Load
+		dirty := l.WrongResults + l.DupTerminals + l.MissingTerminals + l.Failed
+		fmt.Fprintf(&b, "%-10s %6d %9.0f %11.0f %9.1f %9.1f %9.1f %8d %7d\n",
+			row.Fabric, row.Nodes, l.JobsPerSec, l.EventsPerSec,
+			l.Latency.P50, l.Latency.P99, l.Latency.Max, l.LaggedMarkers, dirty)
+		if row.Crashed != 0 {
+			fmt.Fprintf(&b, "  node %d crashed at %.2fs, rejoined at %.2fs; curve:\n",
+				row.Crashed, l.CrashAtSec, l.RejoinAtSec)
+			for _, p := range l.Curve {
+				mark := ""
+				if p.Crash {
+					mark = "  <- crash"
+				}
+				if p.Rejoin {
+					mark += "  <- rejoin"
+				}
+				fmt.Fprintf(&b, "    %6.2fs %8.0f jobs/s %10.0f events/s%s\n",
+					p.TSec, p.JobsPerSec, p.EventsPerSec, mark)
+			}
+		}
+	}
+	return b.String()
+}
+
+// WriteSwarmJSON writes the report to path (the BENCH_swarm.json
+// artifact).
+func WriteSwarmJSON(rep *SwarmReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// CheckSwarmRegression compares the in-process row's sustained jobs/sec
+// against a committed baseline report and errors when it dropped by more
+// than maxDrop (a fraction: 0.3 = 30%). A missing baseline passes — the
+// first run creates it.
+func CheckSwarmRegression(rep *SwarmReport, baselinePath string, maxDrop float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var base SwarmReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	cur := swarmInprocRate(rep)
+	want := swarmInprocRate(&base)
+	if cur == 0 || want == 0 {
+		return nil
+	}
+	if cur < want*(1-maxDrop) {
+		return fmt.Errorf("swarm regression: in-process jobs/sec %.0f is more than %.0f%% below baseline %.0f (%s)",
+			cur, maxDrop*100, want, baselinePath)
+	}
+	return nil
+}
+
+func swarmInprocRate(rep *SwarmReport) float64 {
+	for _, row := range rep.Rows {
+		if row.Fabric == "inprocess" && row.Load != nil {
+			return row.Load.JobsPerSec
+		}
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestSwarmStressExactlyOnce is the swarm benchmark as a correctness
+// gate: a thousand concurrent clients on the 3-node in-process fabric,
+// a node killed mid-load and rejoined, and every invariant the harness
+// tracks held to zero — right results, exactly one terminal event per
+// watched job, no stream delivering past its terminal. Run under -race
+// this is the acceptance check for the whole fan-out path: sharded job
+// tables, ring-buffered subscriptions, coalescing, and crash recovery.
+func TestSwarmStressExactlyOnce(t *testing.T) {
+	cfg := SwarmConfig{SkipTCP: true, Iters: 2_000, JobsPerWorker: 2}
+	if testing.Short() {
+		cfg.Workers = 150
+	}
+	rep, err := Swarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].Fabric != "inprocess" {
+		t.Fatalf("rows = %+v, want one inprocess row", rep.Rows)
+	}
+	l := rep.Rows[0].Load
+	t.Logf("swarm: %d workers, %.0f jobs/s, %.0f events/s, p99 %.1fms, lagged %d (coalesced %d), crash %.2fs rejoin %.2fs",
+		rep.Workers, l.JobsPerSec, l.EventsPerSec, l.Latency.P99,
+		l.LaggedMarkers, l.CoalescedEvents, l.CrashAtSec, l.RejoinAtSec)
+
+	if l.Failed != 0 {
+		t.Errorf("%d jobs failed (submit/wait errors)", l.Failed)
+	}
+	if l.WrongResults != 0 {
+		t.Errorf("%d jobs returned wrong results", l.WrongResults)
+	}
+	if l.DupTerminals != 0 {
+		t.Errorf("%d jobs delivered a terminal event more than once (or past it)", l.DupTerminals)
+	}
+	if l.MissingTerminals != 0 {
+		t.Errorf("%d watched jobs never delivered a terminal event", l.MissingTerminals)
+	}
+	if l.CrashAtSec == 0 {
+		t.Error("crash never fired: the run ended before reaching the trigger count")
+	}
+	if l.WatchEvents == 0 || l.AllEvents == 0 {
+		t.Errorf("observers saw nothing: watch=%d all=%d", l.WatchEvents, l.AllEvents)
+	}
+
+	// The load curve holds through the crash: some bucket at or after the
+	// crash point still completes jobs (the swarm keeps running on the
+	// surviving nodes while the detector reroutes around the corpse).
+	if l.CrashAtSec > 0 {
+		held := false
+		for _, p := range l.Curve {
+			if p.TSec > l.CrashAtSec && p.JobsPerSec > 0 {
+				held = true
+				break
+			}
+		}
+		if !held {
+			t.Errorf("no completions after the crash at %.2fs; curve = %+v", l.CrashAtSec, l.Curve)
+		}
+	}
+}

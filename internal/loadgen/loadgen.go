@@ -1,0 +1,446 @@
+// Package loadgen is the swarm-scale load generator: it drives thousands
+// of concurrent Submit/Watch/Wait clients against a SOD cluster through
+// the public sod.Client interface — so the same harness loads the
+// in-process fabric and real TCP daemons — and measures what the control
+// plane sustains: jobs/sec, watch-events/sec, and tail latency, bucketed
+// over time so a mid-run fault shows up as a dent in the curve rather
+// than a vanished average.
+//
+// The harness doubles as a stress-correctness test. Every job's argument
+// seed is deterministic, every result is checked against the workload's
+// Go mirror, and two independent observers enforce the event contract:
+// each job's own Watch stream must deliver exactly one terminal event
+// (always last), and a cluster-wide WatchAll consumer must see at most
+// one terminal per (origin, job) — under load, under coalescing, and
+// through a node crash.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/workloads"
+	"repro/sod"
+)
+
+// Config scripts one load run.
+type Config struct {
+	// Workers is how many concurrent clients submit (each runs its jobs
+	// sequentially: submit → watch → wait → verify, like a real caller).
+	Workers int
+	// JobsPerWorker is each worker's sequential job count.
+	JobsPerWorker int
+	// Iters sizes each job (cruncher iterations). Small values measure
+	// control-plane overhead; large values measure compute spread.
+	Iters int64
+	// Seed derives every job's argument seed deterministically:
+	// Seed*1e6 + worker*JobsPerWorker + jobIndex + 1.
+	Seed int64
+	// Watch subscribes a per-job Watch to every submission and verifies
+	// the stream: terminal event exactly once, always last.
+	Watch bool
+	// BucketWidth is the curve's resolution (default 250ms).
+	BucketWidth time.Duration
+	// Timeout bounds one job's wait (default 90s); a job that misses it
+	// counts as lost and fails the run.
+	Timeout time.Duration
+
+	// Crash, when non-nil, fires once after CrashAfter jobs have
+	// completed cluster-wide — kill a node mid-load. Rejoin, when
+	// non-nil, fires RejoinAfter later (the cluster's crash convention:
+	// a rejoining node flushes the results it was holding, so every job
+	// still completes exactly once).
+	Crash       func()
+	CrashAfter  int
+	Rejoin      func()
+	RejoinAfter time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	if c.JobsPerWorker <= 0 {
+		c.JobsPerWorker = 4
+	}
+	if c.Iters <= 0 {
+		c.Iters = 10_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BucketWidth <= 0 {
+		c.BucketWidth = 250 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 90 * time.Second
+	}
+	if c.RejoinAfter <= 0 {
+		c.RejoinAfter = 500 * time.Millisecond
+	}
+}
+
+// BucketPoint is one slice of the load curve.
+type BucketPoint struct {
+	TSec         float64 `json:"t_sec"`          // bucket end, seconds from start
+	JobsPerSec   float64 `json:"jobs_per_sec"`   // completions in the bucket / width
+	EventsPerSec float64 `json:"events_per_sec"` // WatchAll events in the bucket / width
+	Crash        bool    `json:"crash,omitempty"`
+	Rejoin       bool    `json:"rejoin,omitempty"`
+}
+
+// Latency summarizes job submit→complete latency in milliseconds.
+type Latency struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// Result is one run's measurements plus its correctness verdicts.
+type Result struct {
+	Workers     int     `json:"workers"`
+	Jobs        int     `json:"jobs"`
+	DurationSec float64 `json:"duration_sec"`
+
+	JobsPerSec   float64       `json:"jobs_per_sec"`
+	EventsPerSec float64       `json:"events_per_sec"`
+	Latency      Latency       `json:"latency"`
+	Curve        []BucketPoint `json:"curve"`
+
+	// WatchEvents counts per-job Watch deliveries; AllEvents counts the
+	// cluster-wide WatchAll consumer's deliveries. LaggedMarkers and
+	// CoalescedEvents report backpressure activity across both.
+	WatchEvents     int64 `json:"watch_events"`
+	AllEvents       int64 `json:"all_events"`
+	LaggedMarkers   int64 `json:"lagged_markers"`
+	CoalescedEvents int64 `json:"coalesced_events"`
+
+	// Correctness: all four must be zero for a clean run.
+	WrongResults     int `json:"wrong_results"`
+	DupTerminals     int `json:"dup_terminals"`
+	MissingTerminals int `json:"missing_terminals"`
+	Failed           int `json:"failed"`
+
+	CrashAtSec  float64 `json:"crash_at_sec,omitempty"`
+	RejoinAtSec float64 `json:"rejoin_at_sec,omitempty"`
+}
+
+// termKey identifies one job cluster-wide.
+type termKey struct {
+	origin int
+	job    uint64
+}
+
+// Run executes one load run: Workers concurrent clients submitting
+// round-robin through clients, one cluster-wide WatchAll consumer fed by
+// watchAllFrom (nil to skip), and the optional crash schedule. The error
+// reports harness failures (a client that cannot submit at all);
+// correctness violations land in the Result's counters so callers can
+// both render and assert on them.
+func Run(cfg Config, clients []sod.Client, watchAllFrom sod.Client) (*Result, error) {
+	cfg.defaults()
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("loadgen: no clients")
+	}
+	totalJobs := cfg.Workers * cfg.JobsPerWorker
+
+	res := &Result{Workers: cfg.Workers, Jobs: totalJobs}
+	start := time.Now()
+
+	// The cluster-wide observer: counts every event, tallies terminals
+	// per (origin, job), and tracks coalescing markers. It drains as fast
+	// as it can — the harness measures the cluster, not a slow consumer.
+	var allEvents, allLagged, allCoalesced atomic.Int64
+	allTerms := make(map[termKey]int)
+	var allTermsMu sync.Mutex
+	eventTimes := &bucketCounter{width: cfg.BucketWidth, start: start}
+	var watchAllDone chan struct{}
+	var watchAllCancel context.CancelFunc
+	if watchAllFrom != nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		watchAllCancel = cancel
+		ch, err := watchAllFrom.WatchAll(ctx)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("loadgen: WatchAll: %w", err)
+		}
+		watchAllDone = make(chan struct{})
+		go func() {
+			defer close(watchAllDone)
+			for ev := range ch {
+				allEvents.Add(1)
+				eventTimes.add(time.Now())
+				switch {
+				case ev.Kind == sod.JobLagged:
+					allLagged.Add(1)
+					allCoalesced.Add(ev.Result)
+				case ev.Terminal():
+					allTermsMu.Lock()
+					allTerms[termKey{ev.Origin, ev.Job}]++
+					allTermsMu.Unlock()
+				}
+			}
+		}()
+	}
+
+	// The crash schedule, triggered by cluster-wide completion count.
+	var completed atomic.Int64
+	var crashAt, rejoinAt atomic.Int64 // ns from start; 0 = did not fire
+	crashArmed := cfg.Crash != nil && cfg.CrashAfter > 0
+	crashFire := make(chan struct{}, 1)
+	var crashWG sync.WaitGroup
+	if crashArmed {
+		crashWG.Add(1)
+		go func() {
+			defer crashWG.Done()
+			<-crashFire
+			crashAt.Store(int64(time.Since(start)) | 1)
+			cfg.Crash()
+			if cfg.Rejoin != nil {
+				time.Sleep(cfg.RejoinAfter)
+				rejoinAt.Store(int64(time.Since(start)) | 1)
+				cfg.Rejoin()
+			}
+		}()
+	}
+
+	// The swarm.
+	var (
+		wg           sync.WaitGroup
+		mu           sync.Mutex // guards latencies + counters below
+		latencies    []time.Duration
+		watchEvents  int64
+		watchLagged  int64
+		watchCoal    int64
+		wrong        int
+		dupTerm      int
+		missingTerm  int
+		failed       int
+		firstHarness error
+	)
+	jobTimes := &bucketCounter{width: cfg.BucketWidth, start: start}
+	harnessFail := func(err error) {
+		mu.Lock()
+		if firstHarness == nil {
+			firstHarness = err
+		}
+		failed++
+		mu.Unlock()
+	}
+
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := clients[w%len(clients)]
+			for j := 0; j < cfg.JobsPerWorker; j++ {
+				seed := cfg.Seed*1_000_000 + int64(w*cfg.JobsPerWorker+j) + 1
+				ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+				submitted := time.Now()
+				h, err := cl.Submit(ctx, "main", sod.Int(seed), sod.Int(cfg.Iters))
+				if err != nil {
+					cancel()
+					harnessFail(fmt.Errorf("worker %d submit: %w", w, err))
+					continue
+				}
+				var events <-chan sod.JobEvent
+				if cfg.Watch {
+					events, err = cl.Watch(ctx, h.ID())
+					if err != nil {
+						cancel()
+						harnessFail(fmt.Errorf("worker %d watch job %d: %w", w, h.ID(), err))
+						continue
+					}
+				}
+				v, err := h.Wait(ctx)
+				waited := time.Now()
+				if err != nil {
+					cancel()
+					harnessFail(fmt.Errorf("worker %d wait job %d: %w", w, h.ID(), err))
+					continue
+				}
+				want := workloads.CruncherExpected(seed, cfg.Iters)
+				lat := waited.Sub(submitted)
+				jobTimes.add(waited)
+				if n := completed.Add(1); crashArmed && n == int64(cfg.CrashAfter) {
+					crashFire <- struct{}{}
+				}
+				var terms, evs, lagged int
+				var coalesced int64
+				if cfg.Watch {
+					// Drain the stream to its close; the terminal must come
+					// exactly once, and nothing may follow it.
+					sawAfterTerm := false
+					for ev := range events {
+						evs++
+						if ev.Kind == sod.JobLagged {
+							lagged++
+							coalesced += ev.Result
+							continue
+						}
+						if terms > 0 {
+							sawAfterTerm = true
+						}
+						if ev.Terminal() {
+							terms++
+						}
+					}
+					if sawAfterTerm {
+						terms++ // count ordering violations as duplicates
+					}
+				}
+				cancel()
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if v.I != want {
+					wrong++
+				}
+				if cfg.Watch {
+					watchEvents += int64(evs)
+					watchLagged += int64(lagged)
+					watchCoal += coalesced
+					if terms > 1 {
+						dupTerm++
+					}
+					if terms == 0 {
+						missingTerm++
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if crashArmed {
+		// A run too short to reach CrashAfter leaves the scheduler parked.
+		select {
+		case crashFire <- struct{}{}:
+		default:
+		}
+		if crashAt.Load() == 0 {
+			close(crashFire)
+		}
+		crashWG.Wait()
+	}
+
+	// Give late event forwarding a moment, then detach the observer.
+	if watchAllCancel != nil {
+		time.Sleep(100 * time.Millisecond)
+		watchAllCancel()
+		<-watchAllDone
+	}
+
+	res.DurationSec = wall.Seconds()
+	res.JobsPerSec = float64(totalJobs-failed) / wall.Seconds()
+	res.WatchEvents = watchEvents
+	res.AllEvents = allEvents.Load()
+	res.EventsPerSec = float64(res.AllEvents) / wall.Seconds()
+	res.LaggedMarkers = watchLagged + allLagged.Load()
+	res.CoalescedEvents = watchCoal + allCoalesced.Load()
+	res.WrongResults = wrong
+	res.DupTerminals = dupTerm
+	res.MissingTerminals = missingTerm
+	res.Failed = failed
+	if t := crashAt.Load(); t != 0 {
+		res.CrashAtSec = time.Duration(t).Seconds()
+	}
+	if t := rejoinAt.Load(); t != 0 {
+		res.RejoinAtSec = time.Duration(t).Seconds()
+	}
+
+	// The WatchAll observer's verdicts: more than one terminal per
+	// (origin, job) is a duplicate wherever it is observed. (Missing
+	// terminals are only judged from per-job watches: WatchAll legally
+	// loses whole streams when its consumer is evicted, and sees nothing
+	// from jobs completing before it attached.)
+	allTermsMu.Lock()
+	for _, n := range allTerms {
+		if n > 1 {
+			res.DupTerminals++
+		}
+	}
+	allTermsMu.Unlock()
+
+	res.Latency = summarizeLatency(latencies)
+	res.Curve = mergeCurve(jobTimes, eventTimes, wall, cfg.BucketWidth, res.CrashAtSec, res.RejoinAtSec)
+	return res, firstHarness
+}
+
+// bucketCounter tallies timestamps into fixed-width buckets.
+type bucketCounter struct {
+	width time.Duration
+	start time.Time
+	mu    sync.Mutex
+	n     []int64
+}
+
+func (b *bucketCounter) add(at time.Time) {
+	i := int(at.Sub(b.start) / b.width)
+	if i < 0 {
+		i = 0
+	}
+	b.mu.Lock()
+	for len(b.n) <= i {
+		b.n = append(b.n, 0)
+	}
+	b.n[i]++
+	b.mu.Unlock()
+}
+
+func (b *bucketCounter) counts() []int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]int64, len(b.n))
+	copy(out, b.n)
+	return out
+}
+
+func mergeCurve(jobs, events *bucketCounter, wall time.Duration, width time.Duration, crashSec, rejoinSec float64) []BucketPoint {
+	jc, ec := jobs.counts(), events.counts()
+	n := len(jc)
+	if len(ec) > n {
+		n = len(ec)
+	}
+	if max := int(wall/width) + 1; n > max {
+		n = max
+	}
+	sec := width.Seconds()
+	out := make([]BucketPoint, 0, n)
+	for i := 0; i < n; i++ {
+		p := BucketPoint{TSec: float64(i+1) * sec}
+		if i < len(jc) {
+			p.JobsPerSec = float64(jc[i]) / sec
+		}
+		if i < len(ec) {
+			p.EventsPerSec = float64(ec[i]) / sec
+		}
+		lo, hi := float64(i)*sec, float64(i+1)*sec
+		p.Crash = crashSec > 0 && crashSec >= lo && crashSec < hi
+		p.Rejoin = rejoinSec > 0 && rejoinSec >= lo && rejoinSec < hi
+		out = append(out, p)
+	}
+	return out
+}
+
+func summarizeLatency(lats []time.Duration) Latency {
+	if len(lats) == 0 {
+		return Latency{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	return Latency{
+		P50: pick(0.50),
+		P90: pick(0.90),
+		P99: pick(0.99),
+		Max: float64(lats[len(lats)-1]) / float64(time.Millisecond),
+	}
+}

@@ -1,0 +1,155 @@
+// Package shard provides a lock-sharded hash map keyed by uint64 — the
+// table shape behind the runtime's hot job and route registries. A single
+// mutex around one big map serializes every Submit/complete/flush in the
+// process; splitting the key space over independently locked shards lets
+// thousands of concurrent clients touch disjoint jobs without queueing on
+// one lock, while keeping the simple map semantics the callers had.
+package shard
+
+import "sync"
+
+// numShards is the shard count (power of two, so the index is a mask).
+// 32 shards keep worst-case contention at 1/32nd of a single mutex while
+// costing ~32 empty maps per table — noise next to one job's state.
+const numShards = 32
+
+// Map is a sharded map[uint64]V safe for concurrent use. The zero value
+// is not usable; call NewMap.
+type Map[V any] struct {
+	shards [numShards]mapShard[V]
+}
+
+type mapShard[V any] struct {
+	mu sync.Mutex
+	m  map[uint64]V
+}
+
+// NewMap returns an empty sharded map.
+func NewMap[V any]() *Map[V] {
+	s := &Map[V]{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]V)
+	}
+	return s
+}
+
+// shardFor picks the shard for a key. Keys are typically sequential
+// tokens, so a multiplicative mix spreads runs of neighbors evenly even
+// if the shard count ever stops dividing the allocation stride.
+func (s *Map[V]) shardFor(k uint64) *mapShard[V] {
+	return &s.shards[(k*0x9E3779B97F4A7C15)>>(64-5)&(numShards-1)]
+}
+
+// Get returns the value for k.
+func (s *Map[V]) Get(k uint64) (V, bool) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Set stores v under k.
+func (s *Map[V]) Set(k uint64, v V) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// SetIfAbsent stores v under k only if the key is free; it reports
+// whether the store happened — an atomic test-and-set (the migration
+// in-flight guard needs exactly this).
+func (s *Map[V]) SetIfAbsent(k uint64, v V) bool {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	_, exists := sh.m[k]
+	if !exists {
+		sh.m[k] = v
+	}
+	sh.mu.Unlock()
+	return !exists
+}
+
+// Delete removes k.
+func (s *Map[V]) Delete(k uint64) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	delete(sh.m, k)
+	sh.mu.Unlock()
+}
+
+// TakeDelete removes k and returns what was stored there — the
+// consume-once shape route dispatch needs (two racing flushes for one
+// token must resolve to one winner).
+func (s *Map[V]) TakeDelete(k uint64) (V, bool) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	if ok {
+		delete(sh.m, k)
+	}
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Len counts all entries (locking shard by shard; the total is a
+// snapshot, not a linearizable count).
+func (s *Map[V]) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Range calls fn for every entry until it returns false. Each shard is
+// snapshotted under its own lock before fn runs, so fn may freely call
+// back into the map; entries added or removed concurrently may or may
+// not be seen.
+func (s *Map[V]) Range(fn func(k uint64, v V) bool) {
+	type kv struct {
+		k uint64
+		v V
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		snap := make([]kv, 0, len(sh.m))
+		for k, v := range sh.m {
+			snap = append(snap, kv{k, v})
+		}
+		sh.mu.Unlock()
+		for _, e := range snap {
+			if !fn(e.k, e.v) {
+				return
+			}
+		}
+	}
+}
+
+// Values snapshots every stored value (unordered).
+func (s *Map[V]) Values() []V {
+	out := make([]V, 0, 64)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, v := range sh.m {
+			out = append(out, v)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Clear drops every entry.
+func (s *Map[V]) Clear() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[uint64]V)
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMapBasicOps(t *testing.T) {
+	m := NewMap[string]()
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map reported a hit")
+	}
+	m.Set(1, "a")
+	m.Set(2, "b")
+	if v, ok := m.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q,%v", v, ok)
+	}
+	if n := m.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	if !m.SetIfAbsent(3, "c") {
+		t.Fatal("SetIfAbsent of a fresh key reported present")
+	}
+	if m.SetIfAbsent(3, "x") {
+		t.Fatal("SetIfAbsent of an existing key reported absent")
+	}
+	if v, ok := m.TakeDelete(3); !ok || v != "c" {
+		t.Fatalf("TakeDelete(3) = %q,%v", v, ok)
+	}
+	if _, ok := m.TakeDelete(3); ok {
+		t.Fatal("second TakeDelete of one key succeeded")
+	}
+	m.Delete(2)
+	if n := m.Len(); n != 1 {
+		t.Fatalf("Len after deletes = %d, want 1", n)
+	}
+	seen := 0
+	m.Range(func(k uint64, v string) bool {
+		seen++
+		return true
+	})
+	if seen != 1 {
+		t.Fatalf("Range visited %d entries, want 1", seen)
+	}
+	if vs := m.Values(); len(vs) != 1 || vs[0] != "a" {
+		t.Fatalf("Values = %v", vs)
+	}
+	m.Clear()
+	if n := m.Len(); n != 0 {
+		t.Fatalf("Len after Clear = %d", n)
+	}
+}
+
+// TestMapShardSpread: sequential ids — the common case, since job ids
+// are a counter — must not pile into one shard, or the sharding buys
+// nothing under swarm load.
+func TestMapShardSpread(t *testing.T) {
+	m := NewMap[int]()
+	const n = 1024
+	counts := make(map[*mapShard[int]]int)
+	for i := uint64(1); i <= n; i++ {
+		m.Set(i, int(i))
+		counts[m.shardFor(i)]++
+	}
+	if len(counts) != numShards {
+		t.Fatalf("sequential keys landed in %d of %d shards", len(counts), numShards)
+	}
+	for _, c := range counts {
+		if c > 4*n/numShards {
+			t.Errorf("one shard holds %d of %d keys; the hash is clumping", c, n)
+		}
+	}
+}
+
+func TestMapConcurrent(t *testing.T) {
+	m := NewMap[int]()
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(w * per)
+			for i := uint64(0); i < per; i++ {
+				m.Set(base+i, w)
+			}
+			for i := uint64(0); i < per; i++ {
+				if v, ok := m.Get(base + i); !ok || v != w {
+					t.Errorf("key %d = %d,%v, want %d", base+i, v, ok, w)
+					return
+				}
+			}
+			for i := uint64(0); i < per; i += 2 {
+				m.Delete(base + i)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := m.Len(); n != workers*per/2 {
+		t.Fatalf("Len after concurrent churn = %d, want %d", n, workers*per/2)
+	}
+}

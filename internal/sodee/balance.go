@@ -110,12 +110,7 @@ func (m *Manager) PeerSignals() []policy.Signals {
 // RunningJobs snapshots the jobs whose thread is currently local and
 // unfinished — the migratable population, in start order.
 func (m *Manager) RunningJobs() []*Job {
-	m.mu.Lock()
-	jobs := make([]*Job, 0, len(m.jobs))
-	for _, j := range m.jobs {
-		jobs = append(jobs, j)
-	}
-	m.mu.Unlock()
+	jobs := m.jobs.Values()
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
 	out := jobs[:0]
 	for _, j := range jobs {

@@ -132,18 +132,10 @@ func (m *Manager) plantChainLink(node int, seg *serial.CapturedState, expectValu
 // job's origin as usual; recovery routes are registered only when this
 // node is the origin (their lifetime is tied to the local job handle).
 func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateReason) (*MigrationMetrics, error) {
-	m.mu.Lock()
-	if m.migInFlight[job.ID] {
-		m.mu.Unlock()
+	if !m.migInFlight.SetIfAbsent(job.ID, struct{}{}) {
 		return nil, fmt.Errorf("sodee: job %d already has a migration in flight", job.ID)
 	}
-	m.migInFlight[job.ID] = true
-	m.mu.Unlock()
-	defer func() {
-		m.mu.Lock()
-		delete(m.migInFlight, job.ID)
-		m.mu.Unlock()
-	}()
+	defer m.migInFlight.Delete(job.ID)
 
 	if !job.migratable() {
 		return nil, fmt.Errorf("sodee: job has no migratable thread")
@@ -257,14 +249,12 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 	var localTokens []uint64
 	var recovTokens []uint64
 	abort := func(cause error) error {
-		m.mu.Lock()
 		for _, tok := range localTokens {
-			delete(m.routes, tok)
+			m.routes.Delete(tok)
 		}
 		for _, tok := range recovTokens {
-			delete(m.routes, tok)
+			m.routes.Delete(tok)
 		}
-		m.mu.Unlock()
 		_ = th.Resume()
 		return cause
 	}
@@ -284,12 +274,10 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 			seg: s - 1, segOf: s,
 			hops: int(hops) - 1, // the tail never left this node
 		}
-		m.mu.Lock()
-		m.routes[tailToken] = &route{
+		m.routes.Set(tailToken, &route{
 			kind: routeResume, job: job, th: th,
 			expectValue: expect, chain: meta,
-		}
-		m.mu.Unlock()
+		})
 		localTokens = append(localTokens, tailToken)
 		next = completion{node: n.ID, token: tailToken}
 		nextFB = completion{}
@@ -318,12 +306,12 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 				rmeta := meta
 				rmeta.visited = localVisited()
 				rtok := m.newToken()
-				m.mu.Lock()
-				m.routes[rtok] = &route{
+				m.routes.Set(rtok, &route{
 					kind: routeChainRecover, seg: segs[i],
 					expectValue: expect, next: next, fallback: nextFB,
 					chain: &rmeta,
-				}
+				})
+				m.mu.Lock()
 				m.chainRecov[job.ID] = append(m.chainRecov[job.ID], rtok)
 				m.mu.Unlock()
 				recovTokens = append(recovTokens, rtok)
@@ -350,13 +338,11 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 		lmeta := meta
 		lmeta.visited = localVisited()
 		tok = m.newToken()
-		m.mu.Lock()
-		m.routes[tok] = &route{
+		m.routes.Set(tok, &route{
 			kind: routePlanted, th: worker,
 			expectValue: expect, next: next, fallback: nextFB,
 			chain: &lmeta,
-		}
-		m.mu.Unlock()
+		})
 		localTokens = append(localTokens, tok)
 		m.publishEvent(origin, JobEvent{
 			Job: eventTo.token, Kind: EvSegmentPlanted,
@@ -429,9 +415,7 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 		if jobRemote && !localTail {
 			// The wrapper's stack has fully dissolved into the chain;
 			// nothing local completes it anymore.
-			m.mu.Lock()
-			delete(m.jobs, job.ID)
-			m.mu.Unlock()
+			m.jobs.Delete(job.ID)
 		}
 		go m.runWorker(worker, seg0Expect, next, nextFB)
 		return nil, fmt.Errorf("sodee: chain segment 0 to %d (recovered locally): %w", dest0, serr)
@@ -441,9 +425,7 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 		return nil, rerr
 	}
 	if jobRemote && !localTail {
-		m.mu.Lock()
-		delete(m.jobs, job.ID)
-		m.mu.Unlock()
+		m.jobs.Delete(job.ID)
 	}
 
 	var classBytes int64

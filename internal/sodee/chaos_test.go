@@ -349,6 +349,141 @@ func chaosScenarios() []chaosScenario {
 	}
 }
 
+// TestSwarmChaosWatchedCrash is the swarm-scale chaos scenario: a
+// thousand jobs in flight, every one with an active watcher on its
+// origin bus, when a node holding stolen work crashes and rejoins. The
+// invariants are the chaos harness's exactly-once contract (every
+// terminal marker fires a single time, every result is right) plus the
+// event-plane one: every surviving watch stream ends cleanly with
+// exactly one terminal event, delivered last, and never delivers
+// anything after it.
+func TestSwarmChaosWatchedCrash(t *testing.T) {
+	const jobsN = 1000
+	iters := int64(2_000)
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run("seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			prog := preprocess.MustPreprocess(buildChaosProgram(),
+				preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+			// Unthrottled nodes: the swarm stresses the control plane, not
+			// the interpreter. Submissions go to nodes 1 and 2; node 3
+			// steals its share and is the crash target.
+			c, err := sodee.NewCluster(prog, netsim.Gigabit,
+				sodee.NodeConfig{ID: 1, Preloaded: true},
+				sodee.NodeConfig{ID: 2, Preloaded: true},
+				sodee.NodeConfig{ID: 3, Preloaded: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			marker := newChaosMarker()
+			for _, n := range c.Nodes {
+				n.VM.BindNative("chaos_done", marker.native)
+			}
+			b := c.AutoBalance(policy.Threshold{}, sodee.BalanceOptions{
+				Interval: 500 * time.Microsecond,
+				Steal:    true,
+			})
+			defer b.Stop()
+
+			type watchVerdict struct {
+				terminals int
+				afterTerm int
+				result    int64
+				closed    bool
+			}
+			verdicts := make([]watchVerdict, jobsN)
+			var watchWG sync.WaitGroup
+
+			jobs := make([]*sodee.Job, jobsN)
+			seeds := make([]int64, jobsN)
+			for i := range jobs {
+				seeds[i] = seed*1_000_000 + int64(i) + 1
+				home := c.Nodes[1+i%2]
+				j, jerr := home.Mgr.StartJob("main", value.Int(seeds[i]), value.Int(iters))
+				if jerr != nil {
+					t.Fatal(jerr)
+				}
+				jobs[i] = j
+				ch, cancel := home.Mgr.Events().Subscribe(j.ID)
+				watchWG.Add(1)
+				go func(i int, ch <-chan sodee.JobEvent, cancel func()) {
+					defer watchWG.Done()
+					defer cancel()
+					v := &verdicts[i]
+					timeout := time.After(90 * time.Second)
+					for {
+						select {
+						case ev, ok := <-ch:
+							if !ok {
+								v.closed = true
+								return
+							}
+							if v.terminals > 0 {
+								v.afterTerm++
+							}
+							if ev.Terminal() {
+								v.terminals++
+								v.result = ev.Result
+							}
+						case <-timeout:
+							return // closed stays false: the stream hung
+						}
+					}
+				}(i, ch, cancel)
+			}
+
+			// The fault: node 3 crashes with stolen work resident, rejoins
+			// half a second later so its stranded jobs flush home.
+			time.Sleep(80 * time.Millisecond)
+			c.Net.SetNodeDown(3, true)
+			time.Sleep(500 * time.Millisecond)
+			c.Net.SetNodeDown(3, false)
+
+			deadline := time.After(90 * time.Second)
+			for i, j := range jobs {
+				ch := make(chan struct{})
+				go func() { j.Wait(); close(ch) }() //nolint:errcheck // re-read below
+				select {
+				case <-ch:
+				case <-deadline:
+					t.Fatalf("job %d (seed %d) lost: never completed", i, seeds[i])
+				}
+				res, jerr := j.Wait()
+				if jerr != nil {
+					t.Fatalf("job %d (seed %d): %v", i, seeds[i], jerr)
+				}
+				if want := workloads.CruncherExpected(seeds[i], iters); res.I != want {
+					t.Errorf("job %d (seed %d) = %d, want %d", i, seeds[i], res.I, want)
+				}
+			}
+			watchWG.Wait()
+
+			for i, s := range seeds {
+				if n := marker.count(s); n != 1 {
+					t.Errorf("job %d (seed %d) executed its final statement %d times, want exactly 1", i, s, n)
+				}
+				v := verdicts[i]
+				if !v.closed {
+					t.Errorf("job %d (seed %d): watch stream never ended", i, seeds[i])
+					continue
+				}
+				if v.terminals != 1 {
+					t.Errorf("job %d (seed %d): stream delivered %d terminal events, want exactly 1", i, seeds[i], v.terminals)
+				}
+				if v.afterTerm != 0 {
+					t.Errorf("job %d (seed %d): %d events delivered after the terminal", i, seeds[i], v.afterTerm)
+				}
+				if want := workloads.CruncherExpected(s, iters); v.terminals == 1 && v.result != want {
+					t.Errorf("job %d (seed %d): terminal carried %d, want %d", i, seeds[i], v.result, want)
+				}
+			}
+			st := b.Stats()
+			t.Logf("swarm chaos seed %d: migrations=%d (pushed %d, stolen %d, rebalanced %d, failed %d)",
+				seed, st.Migrations, st.Pushed, st.Stolen, st.Rebalanced, st.FailedMigrations)
+		})
+	}
+}
+
 // TestChaosScenarios runs the full scenario table across the seed matrix.
 func TestChaosScenarios(t *testing.T) {
 	for _, seed := range chaosSeeds(t) {

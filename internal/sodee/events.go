@@ -48,6 +48,13 @@ const (
 	// resumed on node To. A link whose planted node died recovers on the
 	// chain's origin; the event's To then names the origin.
 	EvSegmentForwarded
+	// EvLagged is a synthetic per-subscription marker, never stored in a
+	// job's history: the subscriber fell behind and Result events were
+	// coalesced away since its previous delivery. It makes event loss
+	// visible instead of silent — terminal events are never dropped while
+	// a subscription lives, so a consumer that counts completions stays
+	// exact even across lag.
+	EvLagged
 )
 
 func (k EventKind) String() string {
@@ -66,6 +73,8 @@ func (k EventKind) String() string {
 		return "segment-planted"
 	case EvSegmentForwarded:
 		return "segment-forwarded"
+	case EvLagged:
+		return "lagged"
 	}
 	return "unknown"
 }
@@ -105,6 +114,10 @@ func (r MigrateReason) String() string {
 type JobEvent struct {
 	// Job is the id Submit returned at the job's origin node.
 	Job uint64
+	// Origin is the node the job was submitted to — the bus its stream
+	// lives on. Job ids are only unique per origin, so cluster-wide
+	// consumers (WatchAll, sodctl top) key streams by (Origin, Job).
+	Origin int
 	// Seq orders events within one bus (assigned at publish).
 	Seq uint64
 	// Time is when the event happened, on the clock of the node where it
@@ -125,6 +138,7 @@ type JobEvent struct {
 	Seg   int
 	SegOf int
 	// Result (integer results only) and Err carry an EvCompleted outcome.
+	// For EvLagged, Result is the number of coalesced-away events.
 	Result int64
 	Err    string
 }
@@ -161,6 +175,8 @@ func (e JobEvent) String() string {
 			return fmt.Sprintf("job %d failed: %s", e.Job, e.Err)
 		}
 		return fmt.Sprintf("job %d completed: %d", e.Job, e.Result)
+	case EvLagged:
+		return fmt.Sprintf("watcher lagged: %d events coalesced", e.Result)
 	}
 	return fmt.Sprintf("job %d: %s", e.Job, e.Kind)
 }
@@ -170,6 +186,7 @@ func (e JobEvent) String() string {
 func EncodeJobEvent(e JobEvent) []byte {
 	w := wire.NewWriter(64)
 	w.Uvarint(e.Job)
+	w.Varint(int64(e.Origin))
 	w.Uvarint(e.Seq)
 	w.Fixed64(uint64(e.Time.UnixNano()))
 	w.Byte(byte(e.Kind))
@@ -191,6 +208,7 @@ func DecodeJobEvent(payload []byte) (JobEvent, error) {
 	r := wire.NewReader(payload)
 	e := JobEvent{
 		Job:    r.Uvarint(),
+		Origin: int(r.Varint()),
 		Seq:    r.Uvarint(),
 		Time:   time.Unix(0, int64(r.Fixed64())),
 		Kind:   EventKind(r.Byte()),
@@ -212,47 +230,233 @@ func DecodeJobEvent(payload []byte) (JobEvent, error) {
 // how many jobs' histories stay replayable before the oldest is evicted
 // (mirrors the daemon's completed-job retention).
 const (
-	maxEventsPerJob  = 64
-	maxTrackedJobs   = 512
-	subChannelBuffer = maxEventsPerJob * 2
+	maxEventsPerJob = 64
+	maxTrackedJobs  = 512
+	// jobRingCap bounds a per-job subscriber's pending ring. It must
+	// exceed maxEventsPerJob so a history replay always fits.
+	jobRingCap = 2 * maxEventsPerJob
+	// fanRingCap bounds a firehose (SubscribeAll / WatchAll) subscriber's
+	// pending ring. Overflow coalesces non-terminal events (announced with
+	// EvLagged markers); a subscriber so far behind that even job
+	// *outcomes* would be lost is evicted instead — its channel closes
+	// without a clean end, telling the consumer to resync.
+	fanRingCap = 512
+	// subOutBuffer is the delivery channel's buffer: small, because the
+	// pending ring is what actually absorbs bursts.
+	subOutBuffer = 32
 )
+
+// busSub is one subscription's delivery machinery: publishers append to a
+// bounded pending ring (never blocking, coalescing on overflow) and a
+// dedicated pump goroutine drains the ring into the consumer-facing
+// channel. The bus therefore never stalls on a slow consumer, and a
+// wedged consumer costs one parked goroutine plus one ring — reclaimed on
+// cancel, terminal, or eviction.
+type busSub struct {
+	out  chan JobEvent
+	wake chan struct{} // cap 1: "ring state changed"
+	quit chan struct{} // closed on cancel/eviction: pump exits now
+
+	// template stamps synthetic EvLagged markers with the subscription's
+	// identity (job + origin for per-job subs, origin only for firehoses).
+	template JobEvent
+	// endOnTerminal: a per-job stream ends at its job's terminal event; a
+	// firehose never ends on its own.
+	endOnTerminal bool
+	// evictable: firehose subs may be evicted when even terminal events
+	// would be lost; per-job subs instead always preserve the terminal.
+	evictable bool
+
+	mu      sync.Mutex
+	ring    []JobEvent
+	cap     int
+	lagged  uint64 // coalesced since the last emitted marker
+	dropped uint64 // lifetime coalesced count (stats)
+	done    bool   // no further enqueues; pump drains, then closes out
+	stopped bool   // quit has been closed
+}
+
+func newBusSub(capacity int, template JobEvent, endOnTerminal, evictable bool) *busSub {
+	s := &busSub{
+		out:           make(chan JobEvent, subOutBuffer),
+		wake:          make(chan struct{}, 1),
+		quit:          make(chan struct{}),
+		template:      template,
+		endOnTerminal: endOnTerminal,
+		evictable:     evictable,
+		cap:           capacity,
+	}
+	go s.pump()
+	return s
+}
+
+func (s *busSub) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// enqueue appends an event to the pending ring without ever blocking.
+// On overflow the oldest non-terminal event is coalesced away (counted,
+// announced later as an EvLagged marker). It reports whether the
+// subscription is still live; false means the caller should drop it
+// (closed, ended, or just evicted).
+func (s *busSub) enqueue(e JobEvent) bool {
+	s.mu.Lock()
+	if s.done || s.stopped {
+		s.mu.Unlock()
+		return false
+	}
+	if len(s.ring) >= s.cap {
+		drop := -1
+		for i := range s.ring {
+			if !s.ring[i].Terminal() {
+				drop = i
+				break
+			}
+		}
+		switch {
+		case drop >= 0:
+			s.ring = append(s.ring[:drop], s.ring[drop+1:]...)
+			s.lagged++
+			s.dropped++
+		case s.evictable:
+			// The ring holds nothing but job outcomes and the consumer
+			// still is not draining: dropping any of them would silently
+			// lose a completion. Evict — the closed channel is the signal.
+			s.stopped = true
+			close(s.quit)
+			s.mu.Unlock()
+			return false
+		case !e.Terminal():
+			// Per-job sub, ring full: shed the incoming event instead.
+			s.lagged++
+			s.dropped++
+			s.mu.Unlock()
+			s.signal()
+			return true
+		default:
+			s.ring = s.ring[1:]
+			s.lagged++
+			s.dropped++
+		}
+	}
+	s.ring = append(s.ring, e)
+	if e.Terminal() && s.endOnTerminal {
+		s.done = true
+	}
+	live := !s.done
+	s.mu.Unlock()
+	s.signal()
+	return live
+}
+
+// stop ends the subscription immediately (cancel / eviction); pending
+// events are discarded and the consumer channel closes. Idempotent.
+func (s *busSub) stop() {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.quit)
+	}
+	s.mu.Unlock()
+}
+
+// Dropped returns how many events this subscription coalesced away.
+func (s *busSub) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// pump is the subscription's delivery goroutine: drain the ring into the
+// consumer channel, emitting an EvLagged marker before the next real
+// event whenever coalescing happened since the last delivery.
+func (s *busSub) pump() {
+	defer close(s.out)
+	for {
+		var ev JobEvent
+		have := false
+		s.mu.Lock()
+		switch {
+		case s.lagged > 0 && len(s.ring) > 0:
+			ev = s.template
+			ev.Kind = EvLagged
+			ev.Result = int64(s.lagged)
+			ev.Time = time.Now()
+			s.lagged = 0
+			have = true
+		case len(s.ring) > 0:
+			ev = s.ring[0]
+			s.ring = s.ring[1:]
+			have = true
+		case s.done:
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		if !have {
+			select {
+			case <-s.wake:
+				continue
+			case <-s.quit:
+				return
+			}
+		}
+		select {
+		case s.out <- ev:
+		case <-s.quit:
+			return
+		}
+	}
+}
 
 // Bus is one node's job-event hub: publish appends to the per-job history
 // and fans out to live subscribers; subscribing replays the history first
 // so a watcher attached after submission still sees the whole stream.
+// Publishing never blocks on a consumer: each subscription buffers behind
+// a bounded ring drained by its own pump goroutine, and overflow
+// coalesces rather than stalls (see busSub).
 type Bus struct {
+	origin int
+
 	mu   sync.Mutex
 	seq  uint64
 	hist map[uint64][]JobEvent
 	// order is the first-seen order of jobs in hist, for eviction.
 	order []uint64
 	subs  map[uint64]map[*busSub]struct{}
+	// all holds the firehose subscriptions (SubscribeAll): every event
+	// published here, whatever its job.
+	all map[*busSub]struct{}
 }
 
-type busSub struct {
-	ch     chan JobEvent
-	closed bool
-}
-
-// NewBus returns an empty bus.
-func NewBus() *Bus {
+// NewBus returns an empty bus publishing for the given origin node; every
+// published event is stamped with it (job ids are only unique per
+// origin, so cluster-wide consumers key streams by Origin+Job).
+func NewBus(origin int) *Bus {
 	return &Bus{
-		hist: make(map[uint64][]JobEvent),
-		subs: make(map[uint64]map[*busSub]struct{}),
+		origin: origin,
+		hist:   make(map[uint64][]JobEvent),
+		subs:   make(map[uint64]map[*busSub]struct{}),
+		all:    make(map[*busSub]struct{}),
 	}
 }
 
 // Publish appends e to its job's history and delivers it to subscribers.
-// A terminal event closes every subscription on the job; events arriving
-// after the terminal one (a late-forwarded migration notice) are dropped.
+// A terminal event closes every per-job subscription on the job; events
+// arriving after the terminal one (a late-forwarded migration notice)
+// are dropped. Publish never blocks on a slow consumer.
 func (b *Bus) Publish(e JobEvent) {
 	if e.Time.IsZero() {
 		e.Time = time.Now()
 	}
+	e.Origin = b.origin
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	h, known := b.hist[e.Job]
 	if len(h) > 0 && h[len(h)-1].Terminal() {
+		b.mu.Unlock()
 		return
 	}
 	b.seq++
@@ -268,31 +472,20 @@ func (b *Bus) Publish(e JobEvent) {
 		b.hist[e.Job] = append(h, e)
 	}
 	for s := range b.subs[e.Job] {
-		select {
-		case s.ch <- e:
-		default:
-			// Slow subscriber: drop rather than stall the runtime — except
-			// a terminal event, which carries the job's outcome; evict the
-			// oldest queued event to make room for it.
-			if e.Terminal() {
-				select {
-				case <-s.ch:
-				default:
-				}
-				select {
-				case s.ch <- e:
-				default:
-				}
-			}
+		if !s.enqueue(e) && !e.Terminal() {
+			// Dead subscription discovered mid-publish: forget it.
+			delete(b.subs[e.Job], s)
 		}
 	}
 	if e.Terminal() {
-		for s := range b.subs[e.Job] {
-			s.closed = true
-			close(s.ch)
-		}
 		delete(b.subs, e.Job)
 	}
+	for s := range b.all {
+		if !s.enqueue(e) {
+			delete(b.all, s)
+		}
+	}
+	b.mu.Unlock()
 }
 
 // Known reports whether the bus has seen any event for the job (i.e., the
@@ -307,43 +500,125 @@ func (b *Bus) Known(job uint64) bool {
 // Subscribe returns a channel of the job's events: the retained history
 // replayed first, then live events. The channel is closed after the
 // terminal event, or when cancel is called. cancel is idempotent and safe
-// after close.
+// after close. A subscriber that stops draining never stalls the bus:
+// its non-terminal events are coalesced away (announced in-stream with an
+// EvLagged marker) while the terminal event is always preserved, so a
+// slow watcher still learns its job's outcome.
 func (b *Bus) Subscribe(job uint64) (<-chan JobEvent, func()) {
-	ch := make(chan JobEvent, subChannelBuffer)
+	s := newBusSub(jobRingCap, JobEvent{Job: job, Origin: b.origin}, true, false)
 	b.mu.Lock()
 	h := b.hist[job]
 	for _, e := range h {
-		ch <- e // cannot block: buffer > maxEventsPerJob
+		s.enqueue(e) // cannot overflow: ring cap > maxEventsPerJob
 	}
-	if len(h) > 0 && h[len(h)-1].Terminal() {
-		b.mu.Unlock()
-		close(ch)
-		return ch, func() {}
+	ended := len(h) > 0 && h[len(h)-1].Terminal()
+	if !ended {
+		set := b.subs[job]
+		if set == nil {
+			set = make(map[*busSub]struct{})
+			b.subs[job] = set
+		}
+		set[s] = struct{}{}
 	}
-	s := &busSub{ch: ch}
-	set := b.subs[job]
-	if set == nil {
-		set = make(map[*busSub]struct{})
-		b.subs[job] = set
-	}
-	set[s] = struct{}{}
 	b.mu.Unlock()
 	cancel := func() {
 		b.mu.Lock()
-		defer b.mu.Unlock()
-		if s.closed {
-			return
-		}
-		s.closed = true
-		close(s.ch)
 		if set := b.subs[job]; set != nil {
 			delete(set, s)
 			if len(set) == 0 {
 				delete(b.subs, job)
 			}
 		}
+		b.mu.Unlock()
+		s.stop()
 	}
-	return ch, cancel
+	return s.out, cancel
+}
+
+// SubscribeAll returns a firehose of every event published to this bus
+// from now on (no history replay), whatever its job — the feed behind
+// cluster-wide WatchAll. The stream never ends on its own; cancel closes
+// it. Backpressure contract: a slow consumer's non-terminal events are
+// coalesced (EvLagged markers announce the count), terminal events are
+// never silently dropped — a consumer too slow to keep even terminal
+// events is evicted, observed as the channel closing without cancel.
+func (b *Bus) SubscribeAll() (<-chan JobEvent, func()) {
+	s := newBusSub(fanRingCap, JobEvent{Origin: b.origin}, false, true)
+	b.mu.Lock()
+	b.all[s] = struct{}{}
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		delete(b.all, s)
+		b.mu.Unlock()
+		s.stop()
+	}
+	return s.out, cancel
+}
+
+// EventFan is a standalone many-to-many event fan-out with the same
+// backpressure contract as Bus firehoses (bounded rings, coalescing with
+// EvLagged markers, eviction before a terminal event would be lost) but
+// no history, sequence numbering, or origin stamping: events pass
+// through verbatim. The daemon's cluster-wide WatchAll hub uses one to
+// merge the local bus firehose and every peer tap into any number of
+// client streams.
+type EventFan struct {
+	mu   sync.Mutex
+	subs map[*busSub]struct{}
+}
+
+// NewEventFan returns an empty fan.
+func NewEventFan() *EventFan {
+	return &EventFan{subs: make(map[*busSub]struct{})}
+}
+
+// Publish fans e out to every subscriber without blocking.
+func (f *EventFan) Publish(e JobEvent) {
+	f.mu.Lock()
+	for s := range f.subs {
+		if !s.enqueue(e) {
+			delete(f.subs, s)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Subscribe adds a consumer; cancel detaches it (idempotent). The channel
+// also closes on eviction or fan Close.
+func (f *EventFan) Subscribe() (<-chan JobEvent, func()) {
+	s := newBusSub(fanRingCap, JobEvent{}, false, true)
+	f.mu.Lock()
+	f.subs[s] = struct{}{}
+	f.mu.Unlock()
+	cancel := func() {
+		f.mu.Lock()
+		delete(f.subs, s)
+		f.mu.Unlock()
+		s.stop()
+	}
+	return s.out, cancel
+}
+
+// Empty reports whether the fan currently has no subscribers.
+func (f *EventFan) Empty() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs) == 0
+}
+
+// Close ends every subscription.
+func (f *EventFan) Close() {
+	f.mu.Lock()
+	subs := make([]*busSub, 0, len(f.subs))
+	for s := range f.subs {
+		subs = append(subs, s)
+	}
+	f.subs = make(map[*busSub]struct{})
+	f.mu.Unlock()
+	for _, s := range subs {
+		s.stop()
+	}
 }
 
 // --- manager integration ---
@@ -364,6 +639,7 @@ func (m *Manager) publishEvent(origin int, e JobEvent) {
 		m.bus.Publish(e)
 		return
 	}
+	e.Origin = origin
 	m.node.EP.Send(origin, netsim.KindJobEvent, EncodeJobEvent(e)) //nolint:errcheck // best effort
 }
 
@@ -384,6 +660,7 @@ func (m *Manager) publishEventSync(origin int, e JobEvent) {
 		m.bus.Publish(e)
 		return
 	}
+	e.Origin = origin
 	_, _ = m.node.EP.Call(origin, netsim.KindJobEvent, EncodeJobEvent(e))
 }
 

@@ -26,7 +26,7 @@ func collectUntilClosed(t *testing.T, ch <-chan sodee.JobEvent, within time.Dura
 }
 
 func TestBusReplayLiveAndTerminal(t *testing.T) {
-	b := sodee.NewBus()
+	b := sodee.NewBus(1)
 	b.Publish(sodee.JobEvent{Job: 7, Kind: sodee.EvStarted, From: 1, To: 1})
 	b.Publish(sodee.JobEvent{Job: 7, Kind: sodee.EvMigrated, From: 1, To: 2, Hops: 1})
 	if !b.Known(7) || b.Known(8) {
@@ -63,7 +63,7 @@ func TestBusReplayLiveAndTerminal(t *testing.T) {
 }
 
 func TestBusCancelIsIdempotent(t *testing.T) {
-	b := sodee.NewBus()
+	b := sodee.NewBus(1)
 	b.Publish(sodee.JobEvent{Job: 1, Kind: sodee.EvStarted})
 	ch, cancel := b.Subscribe(1)
 	<-ch // replayed start
@@ -77,7 +77,7 @@ func TestBusCancelIsIdempotent(t *testing.T) {
 }
 
 func TestBusEvictsOldestJobs(t *testing.T) {
-	b := sodee.NewBus()
+	b := sodee.NewBus(1)
 	const extra = 10
 	for i := 0; i < 512+extra; i++ {
 		b.Publish(sodee.JobEvent{Job: uint64(i + 1), Kind: sodee.EvStarted})
@@ -92,9 +92,128 @@ func TestBusEvictsOldestJobs(t *testing.T) {
 	}
 }
 
+// TestBusSlowWatcherCoalesces pins the backpressure contract for per-job
+// subscriptions: a subscriber that never reads may lose intermediate
+// events (replaced by a single EvLagged marker carrying the drop count),
+// but the terminal event is always delivered, always last, exactly once.
+func TestBusSlowWatcherCoalesces(t *testing.T) {
+	b := sodee.NewBus(3)
+	b.Publish(sodee.JobEvent{Job: 1, Kind: sodee.EvStarted})
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+
+	// Publish far more non-terminal events than the subscriber ring holds,
+	// without reading a single one.
+	const burst = 4096
+	for i := 0; i < burst; i++ {
+		b.Publish(sodee.JobEvent{Job: 1, Kind: sodee.EvMigrated, From: 1, To: 2})
+	}
+	b.Publish(sodee.JobEvent{Job: 1, Kind: sodee.EvCompleted, Result: 77})
+
+	got := collectUntilClosed(t, ch, 30*time.Second)
+	if len(got) >= burst {
+		t.Fatalf("slow watcher saw %d events; coalescing never kicked in", len(got))
+	}
+	var lagged, terminals int
+	var droppedTotal int64
+	for i, ev := range got {
+		if ev.Origin != 3 {
+			t.Fatalf("event %d origin = %d, want bus origin 3", i, ev.Origin)
+		}
+		switch ev.Kind {
+		case sodee.EvLagged:
+			lagged++
+			droppedTotal += ev.Result
+		case sodee.EvCompleted:
+			terminals++
+		}
+	}
+	if lagged == 0 {
+		t.Error("no EvLagged marker despite overflow")
+	}
+	if droppedTotal == 0 {
+		t.Error("EvLagged markers carry no drop count")
+	}
+	if terminals != 1 {
+		t.Fatalf("terminal delivered %d times, want exactly once", terminals)
+	}
+	if last := got[len(got)-1]; last.Kind != sodee.EvCompleted || last.Result != 77 {
+		t.Fatalf("stream must end with the terminal, ended with %+v", last)
+	}
+}
+
+// TestBusFirehoseEviction pins the other half of the contract: a
+// firehose may coalesce non-terminal events forever, but once its ring
+// holds nothing except job *outcomes* and the consumer still is not
+// draining, it is evicted (channel closed) rather than silently losing a
+// completion or stalling the bus.
+func TestBusFirehoseEviction(t *testing.T) {
+	b := sodee.NewBus(1)
+	ch, cancel := b.SubscribeAll()
+	defer cancel()
+
+	// Never read. Flood with terminal events: each is undroppable, so the
+	// ring fills with outcomes and the subscriber must be evicted.
+	for i := 0; i < 10_000; i++ {
+		b.Publish(sodee.JobEvent{Job: uint64(i + 1), Kind: sodee.EvCompleted, Result: int64(i)})
+	}
+
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return // evicted: channel closed
+			}
+		case <-deadline:
+			t.Fatal("unread firehose was never evicted")
+		}
+	}
+}
+
+// TestBusFirehoseKeepsUpSeesEverything is the positive complement: a
+// firehose that drains promptly sees every published event, tagged with
+// the bus origin, and cancel ends the stream.
+func TestBusFirehoseKeepsUpSeesEverything(t *testing.T) {
+	b := sodee.NewBus(2)
+	ch, cancel := b.SubscribeAll()
+
+	const n = 200
+	done := make(chan []sodee.JobEvent)
+	go func() {
+		var out []sodee.JobEvent
+		for ev := range ch {
+			out = append(out, ev)
+			if len(out) == n {
+				break
+			}
+		}
+		done <- out
+	}()
+	for i := 0; i < n; i++ {
+		b.Publish(sodee.JobEvent{Job: uint64(i + 1), Kind: sodee.EvStarted})
+	}
+	select {
+	case got := <-done:
+		for i, ev := range got {
+			if ev.Job != uint64(i+1) || ev.Origin != 2 || ev.Kind != sodee.EvStarted {
+				t.Fatalf("event %d = %+v", i, ev)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("firehose never delivered all events")
+	}
+	cancel()
+	for {
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}
+
 func TestJobEventCodecRoundTrip(t *testing.T) {
 	in := sodee.JobEvent{
-		Job: 9, Seq: 4, Time: time.Unix(0, 1_234_567_890),
+		Job: 9, Origin: 5, Seq: 4, Time: time.Unix(0, 1_234_567_890),
 		Kind: sodee.EvMigrated, From: 3, To: -7,
 		Reason: sodee.ReasonStolen, Hops: 2,
 		Result: -99, Err: "boom",

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bytecode"
 	"repro/internal/netsim"
 	"repro/internal/policy"
 	"repro/internal/serial"
+	"repro/internal/shard"
 	"repro/internal/value"
 	"repro/internal/vm"
 	"repro/internal/wire"
@@ -252,17 +254,24 @@ type completion struct {
 type Manager struct {
 	node *Node
 
-	mu          sync.Mutex
-	routes      map[uint64]*route
-	jobs        map[uint64]*Job
-	nextToken   uint64
-	classSource int // node to fetch cold classes from
-	classBytes  int64
+	// The hot tables are lock-sharded (see internal/shard): every Submit,
+	// flush delivery and remote adoption touches them, and a swarm of
+	// concurrent clients must not serialize on one mutex. m.mu below
+	// guards only the cold bookkeeping.
+	routes *shard.Map[*route]
+	jobs   *shard.Map[*Job]
+	// nextToken allocates job ids and route tokens lock-free.
+	nextToken atomic.Uint64
 
 	// migInFlight guards each job against concurrent migrations: the
 	// balancer's push decision and a peer's steal grant can race on the
-	// same job, and only one may capture it.
-	migInFlight map[uint64]bool
+	// same job, and only one may capture it (SetIfAbsent is the
+	// test-and-set).
+	migInFlight *shard.Map[struct{}]
+
+	mu          sync.Mutex
+	classSource int // node to fetch cold classes from
+	classBytes  int64
 
 	// chainRecov tracks the chain recovery routes registered per local
 	// job (job id → route tokens), so they can be purged when the job
@@ -297,14 +306,14 @@ type Manager struct {
 func newManager(n *Node) *Manager {
 	m := &Manager{
 		node:        n,
-		routes:      make(map[uint64]*route),
-		jobs:        make(map[uint64]*Job),
-		migInFlight: make(map[uint64]bool),
+		routes:      shard.NewMap[*route](),
+		jobs:        shard.NewMap[*Job](),
+		migInFlight: shard.NewMap[struct{}](),
 		chainRecov:  make(map[uint64][]uint64),
 		peerLoads:   make(map[int]policy.Signals),
 		wireLat:     make(map[int]time.Duration),
 		classSource: -1,
-		bus:         NewBus(),
+		bus:         NewBus(n.ID),
 	}
 	n.EP.Handle(netsim.KindMigrate, m.handleMigrate)
 	n.EP.Handle(netsim.KindFlush, m.handleFlush)
@@ -320,11 +329,11 @@ func newManager(n *Node) *Manager {
 }
 
 func (m *Manager) reset() {
+	m.routes.Clear()
+	m.jobs.Clear()
+	m.migInFlight.Clear()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.routes = make(map[uint64]*route)
-	m.jobs = make(map[uint64]*Job)
-	m.migInFlight = make(map[uint64]bool)
 	m.chainRecov = make(map[uint64][]uint64)
 	m.peerLoads = make(map[int]policy.Signals)
 	m.wireLat = make(map[int]time.Duration)
@@ -334,6 +343,7 @@ func (m *Manager) reset() {
 	m.stealStats = StealStats{}
 	// The bus is deliberately not replaced: it caps its own retention,
 	// and swapping it would race with subscribers held across a Reset.
+	// nextToken is not rewound either: stale tokens must never resolve.
 }
 
 // LastMigration returns the most recent migration metrics.
@@ -405,10 +415,7 @@ func (m *Manager) codecFor(dest int) serial.Codec {
 }
 
 func (m *Manager) newToken() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.nextToken++
-	return m.nextToken
+	return m.nextToken.Add(1)
 }
 
 // --- jobs ---
@@ -438,10 +445,8 @@ func (m *Manager) startJob(qualifiedMethod string, chained bool, args ...value.V
 	}
 	th.UserData = &threadCtx{homeNode: -1}
 	job := &Job{ID: m.newToken(), mgr: m, th: th, done: make(chan struct{}), chained: chained}
-	m.mu.Lock()
-	m.jobs[job.ID] = job
-	m.routes[job.ID] = &route{kind: routeJob, job: job}
-	m.mu.Unlock()
+	m.jobs.Set(job.ID, job)
+	m.routes.Set(job.ID, &route{kind: routeJob, job: job})
 	m.bus.Publish(JobEvent{Job: job.ID, Kind: EvStarted, From: m.node.ID, To: m.node.ID})
 	go m.runAndWatch(th, job)
 	return job, nil
@@ -450,9 +455,7 @@ func (m *Manager) startJob(qualifiedMethod string, chained bool, args ...value.V
 // Job returns the handle of a job started on this node (migrated-in
 // wrappers are excluded: their identity belongs to their origin).
 func (m *Manager) Job(id uint64) (*Job, bool) {
-	m.mu.Lock()
-	j, ok := m.jobs[id]
-	m.mu.Unlock()
+	j, ok := m.jobs.Get(id)
 	if !ok || j.Remote() {
 		return nil, false
 	}
@@ -495,9 +498,7 @@ func (m *Manager) runRemoteJob(th *vm.Thread, job *Job) {
 		return
 	}
 	job.complete(th.Result, th.Err)
-	m.mu.Lock()
-	delete(m.jobs, job.ID)
-	m.mu.Unlock()
+	m.jobs.Delete(job.ID)
 	m.routeResult(th, job.expectValue, job.resultTo, job.resultFallback)
 }
 
@@ -539,12 +540,17 @@ func (m *Manager) adoptRemote(th *vm.Thread, cs *serial.CapturedState, resultTo,
 // to migrate it again (i.e., restoration has finished — suspending a
 // thread mid-restoration would capture a half-built stack). A job that
 // already completed is skipped: its runner may have retired it already.
+// The post-Set recheck closes the race where completion (and the
+// runner's delete) lands between the Done probe and the Set — the entry
+// must not outlive the job.
 func (m *Manager) registerRemote(job *Job) {
-	m.mu.Lock()
-	if !job.Done() {
-		m.jobs[job.ID] = job
+	if job.Done() {
+		return
 	}
-	m.mu.Unlock()
+	m.jobs.Set(job.ID, job)
+	if job.Done() {
+		m.jobs.Delete(job.ID)
+	}
 }
 
 // Result flushes survive transient partitions: a completed segment whose
@@ -676,11 +682,8 @@ func (m *Manager) routeResult(th *vm.Thread, expectValue bool, dst, fallback com
 
 // deliverLocal hands a same-node result to the route its token names.
 func (m *Manager) deliverLocal(token uint64, res value.Value, err error) {
-	m.mu.Lock()
-	rt := m.routes[token]
-	delete(m.routes, token)
-	m.mu.Unlock()
-	if rt == nil {
+	rt, ok := m.routes.TakeDelete(token)
+	if !ok {
 		return
 	}
 	m.dispatchRoute(m.node.ID, rt, res, err)
@@ -786,11 +789,12 @@ func (m *Manager) adoptChainLink(th *vm.Thread, meta *chainLinkMeta, next, fallb
 // dead weight.
 func (m *Manager) purgeChainRecovery(jobID uint64) {
 	m.mu.Lock()
-	for _, tok := range m.chainRecov[jobID] {
-		delete(m.routes, tok)
-	}
+	toks := m.chainRecov[jobID]
 	delete(m.chainRecov, jobID)
 	m.mu.Unlock()
+	for _, tok := range toks {
+		m.routes.Delete(tok)
+	}
 }
 
 // forwardError propagates a failure along a completion chain, rerouting
@@ -840,9 +844,8 @@ type SODOptions struct {
 // migrationInFlight reports whether a capture/transfer is currently
 // running for job id.
 func (m *Manager) migrationInFlight(id uint64) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.migInFlight[id]
+	_, ok := m.migInFlight.Get(id)
+	return ok
 }
 
 // MigrateSOD exports the top segment of the job's thread per opts. The
@@ -878,18 +881,10 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	// One migration per job at a time: a push decision and a steal grant
 	// may race on the same job, and both suspending the thread would wedge
 	// it.
-	m.mu.Lock()
-	if m.migInFlight[job.ID] {
-		m.mu.Unlock()
+	if !m.migInFlight.SetIfAbsent(job.ID, struct{}{}) {
 		return nil, fmt.Errorf("sodee: job %d already has a migration in flight", job.ID)
 	}
-	m.migInFlight[job.ID] = true
-	m.mu.Unlock()
-	defer func() {
-		m.mu.Lock()
-		delete(m.migInFlight, job.ID)
-		m.mu.Unlock()
-	}()
+	defer m.migInFlight.Delete(job.ID)
 
 	// migratable, not just th != nil: a parked residual waiting for a
 	// forwarded value is owned by its resume route — capturing it would
@@ -1010,9 +1005,7 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 			_ = th.Resume()
 			return nil, err
 		}
-		m.mu.Lock()
-		m.routes[token] = &route{kind: routeResume, job: job, th: th, expectValue: segBottom.ReturnsValue}
-		m.mu.Unlock()
+		m.routes.Set(token, &route{kind: routeResume, job: job, th: th, expectValue: segBottom.ReturnsValue})
 		job.mu.Lock()
 		job.waiting = true // the parked residual is spoken for by its route
 		job.mu.Unlock()
@@ -1109,9 +1102,7 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	dropWrapper := job.remote && job.th == nil
 	job.mu.Unlock()
 	if dropWrapper {
-		m.mu.Lock()
-		delete(m.jobs, job.ID)
-		m.mu.Unlock()
+		m.jobs.Delete(job.ID)
 	}
 
 	var classBytes int64
@@ -1156,9 +1147,7 @@ func (m *Manager) recoverLocal(job *Job, th *vm.Thread, partial bool,
 	switch {
 	case partial:
 		// Partial export: th is parked on the residual frames.
-		m.mu.Lock()
-		delete(m.routes, resultTo.token)
-		m.mu.Unlock()
+		m.routes.Delete(resultTo.token)
 		job.mu.Lock()
 		job.waiting = false
 		job.mu.Unlock()
@@ -1261,9 +1250,7 @@ func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 			}
 		}
 		token := m.newToken()
-		m.mu.Lock()
-		m.routes[token] = rt
-		m.mu.Unlock()
+		m.routes.Set(token, rt)
 		w := wire.NewWriter(16)
 		w.Uvarint(token)
 		return w.Bytes(), nil
@@ -1280,14 +1267,12 @@ func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 			return nil, rerr
 		}
 		token := m.newToken()
-		m.mu.Lock()
-		m.routes[token] = &route{
+		m.routes.Set(token, &route{
 			kind: routePlanted, th: resTh,
 			expectValue: msg.expectValue,
 			next:        msg.resultTo,
 			fallback:    msg.fallback,
-		}
-		m.mu.Unlock()
+		})
 		// The segment's value is consumed locally; the fallback travels
 		// with the planted residual's own onward route instead.
 		dst = completion{node: n.ID, token: token}
@@ -1365,11 +1350,8 @@ func (m *Manager) deliverFlush(from int, fm *serial.FlushMessage) {
 		}
 		return
 	}
-	m.mu.Lock()
-	rt := m.routes[token]
-	delete(m.routes, token)
-	m.mu.Unlock()
-	if rt == nil {
+	rt, ok := m.routes.TakeDelete(token)
+	if !ok {
 		return
 	}
 	if rt.kind == routeJob {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/daemon"
@@ -53,6 +54,19 @@ type Client interface {
 	// the terminal event, when ctx ends, or when the connection to the
 	// cluster is lost.
 	Watch(ctx context.Context, jobID uint64) (<-chan JobEvent, error)
+	// WatchAll streams every job event from every node in the cluster
+	// through one subscription — the feed behind dashboards and sodctl
+	// top. Streams are keyed by (Origin, Job): job ids are only unique
+	// per origin node. No history replays; the stream starts now. The
+	// channel never closes on any one job's terminal event — it closes
+	// when ctx ends, when the connection is lost, or when the cluster
+	// evicts this consumer for not draining (the backpressure contract:
+	// a slow consumer's non-terminal events are coalesced away behind
+	// JobLagged markers carrying the drop count; terminal events are
+	// never silently dropped, so a consumer that counts completions
+	// stays exact — one too slow to keep even job outcomes is evicted,
+	// observed as the channel closing while ctx is still live).
+	WatchAll(ctx context.Context) (<-chan JobEvent, error)
 	// Close releases the client's resources. The cluster keeps running.
 	Close() error
 }
@@ -86,6 +100,10 @@ const (
 	JobMigrationFailed  = sodee.EvMigrationFailed
 	JobSegmentPlanted   = sodee.EvSegmentPlanted
 	JobSegmentForwarded = sodee.EvSegmentForwarded
+	// JobLagged is synthetic, per-subscription: the consumer fell behind
+	// and Result non-terminal events were coalesced away since the
+	// previous delivery. Terminal events are never coalesced.
+	JobLagged = sodee.EvLagged
 )
 
 // MigrateReason says which side of the elasticity engine moved a job.
@@ -226,6 +244,55 @@ func (cc *clusterClient) Watch(ctx context.Context, jobID uint64) (<-chan JobEve
 	return watchWithContext(ctx, inner, cancel), nil
 }
 
+// WatchAll on the in-process surface merges every node's bus firehose
+// into one stream — the same merged feed a daemon's hub serves, without
+// the wire. Per-node forwarders block on a slow consumer, which pushes
+// the backpressure into each bus's per-subscription ring where the
+// coalescing/eviction contract lives.
+func (cc *clusterClient) WatchAll(ctx context.Context) (<-chan JobEvent, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type feed struct {
+		ch     <-chan JobEvent
+		cancel func()
+	}
+	feeds := make([]feed, 0, len(cc.c.inner.Nodes))
+	for _, n := range cc.c.inner.Nodes {
+		ch, cancel := n.Mgr.Events().SubscribeAll()
+		feeds = append(feeds, feed{ch, cancel})
+	}
+	out := make(chan JobEvent, 64)
+	var wg sync.WaitGroup
+	for _, f := range feeds {
+		wg.Add(1)
+		go func(f feed) {
+			defer wg.Done()
+			defer f.cancel()
+			for {
+				select {
+				case ev, ok := <-f.ch:
+					if !ok {
+						return // evicted
+					}
+					select {
+					case out <- ev:
+					case <-ctx.Done():
+						return
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(f)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out, nil
+}
+
 func (cc *clusterClient) Close() error { return nil }
 
 // localJob adapts a runtime job to JobHandle.
@@ -351,6 +418,17 @@ func (dc *daemonClient) Watch(ctx context.Context, jobID uint64) (<-chan JobEven
 	return watchWithContext(ctx, inner, cancel), nil
 }
 
+func (dc *daemonClient) WatchAll(ctx context.Context) (<-chan JobEvent, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	inner, cancel, err := dc.c.WatchAll()
+	if err != nil {
+		return nil, err
+	}
+	return streamWithContext(ctx, inner, cancel), nil
+}
+
 func (dc *daemonClient) Close() error {
 	dc.c.Close()
 	return nil
@@ -382,8 +460,19 @@ func (h *remoteJob) Done() bool {
 
 // watchWithContext bridges a raw event channel to one whose lifetime is
 // bounded by ctx: events forward until the stream ends or ctx does, and
-// the subscription is released either way.
+// the subscription is released either way. A terminal event ends the
+// stream — the per-job shape.
 func watchWithContext(ctx context.Context, inner <-chan JobEvent, cancel func()) <-chan JobEvent {
+	return bridge(ctx, inner, cancel, true)
+}
+
+// streamWithContext is watchWithContext for endless streams (WatchAll):
+// terminal events pass through without closing the channel.
+func streamWithContext(ctx context.Context, inner <-chan JobEvent, cancel func()) <-chan JobEvent {
+	return bridge(ctx, inner, cancel, false)
+}
+
+func bridge(ctx context.Context, inner <-chan JobEvent, cancel func(), endOnTerminal bool) <-chan JobEvent {
 	out := make(chan JobEvent, 32)
 	go func() {
 		defer close(out)
@@ -399,7 +488,7 @@ func watchWithContext(ctx context.Context, inner <-chan JobEvent, cancel func())
 				case <-ctx.Done():
 					return
 				}
-				if ev.Terminal() {
+				if ev.Terminal() && endOnTerminal {
 					return
 				}
 			case <-ctx.Done():

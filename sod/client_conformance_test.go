@@ -569,3 +569,158 @@ func TestConformanceConcurrentWatchesOfOneJob(t *testing.T) {
 		}
 	})
 }
+
+// TestConformanceWatchAll: one cluster-wide stream, opened before the
+// burst, sees every submitted job's whole story on both surfaces —
+// exactly one terminal per job, with the right result, stamped with the
+// origin node — and closes when its context does. Events route to the
+// origin node's bus exactly once, so job id alone keys the accounting.
+func TestConformanceWatchAll(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+		wctx, wcancel := context.WithCancel(ctx)
+		defer wcancel()
+		all, err := f.client.WatchAll(wctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const njobs = 4
+		seeds := make(map[uint64]int64, njobs)
+		for i := 0; i < njobs; i++ {
+			s := int64(70 + i)
+			h, err := f.client.Submit(ctx, "main", sod.Int(s), sod.Int(20_000))
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			seeds[h.ID()] = s
+		}
+
+		terminals := make(map[uint64]int, njobs)
+		results := make(map[uint64]int64, njobs)
+		deadline := time.After(confTimeout)
+		for done := 0; done < njobs; {
+			select {
+			case ev, ok := <-all:
+				if !ok {
+					t.Fatalf("cluster stream closed early; terminals so far: %v", terminals)
+				}
+				if ev.Origin < 1 || ev.Origin > 3 {
+					t.Errorf("event without a cluster origin: %+v", ev)
+				}
+				if _, ours := seeds[ev.Job]; !ours || ev.Kind != sod.JobCompleted {
+					continue
+				}
+				terminals[ev.Job]++
+				if terminals[ev.Job] == 1 {
+					done++
+				}
+				results[ev.Job] = ev.Result
+			case <-deadline:
+				t.Fatalf("cluster stream delivered %d/%d terminals before timing out", len(terminals), njobs)
+			}
+		}
+		for id, s := range seeds {
+			if n := terminals[id]; n != 1 {
+				t.Errorf("job %d: %d terminal events, want exactly 1", id, n)
+			}
+			if want := workloads.CruncherExpected(s, 20_000); results[id] != want {
+				t.Errorf("job %d: terminal result %d, want %d", id, results[id], want)
+			}
+		}
+
+		// Cancelling the watch context ends the stream.
+		wcancel()
+		closeDeadline := time.After(10 * time.Second)
+		for {
+			select {
+			case _, ok := <-all:
+				if !ok {
+					return
+				}
+			case <-closeDeadline:
+				t.Fatal("cluster stream never closed after context cancellation")
+			}
+		}
+	})
+}
+
+// TestConformanceSlowWatcherBackpressure: a WatchAll consumer that stops
+// reading must never stall the cluster. Both surfaces shed load instead
+// of blocking — the in-process bus coalesces its ring and stamps
+// JobLagged markers; the daemon path coalesces server-side and drops at
+// the client's delivery buffer — so the burst completes at full speed
+// while the stream is stalled, and the backlog the consumer finally
+// drains is provably incomplete.
+func TestConformanceSlowWatcherBackpressure(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+		wctx, wcancel := context.WithCancel(ctx)
+		defer wcancel()
+		all, err := f.client.WatchAll(wctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stalled on purpose: nothing reads `all` until the burst is done.
+
+		// >= 1600 events total, far beyond every buffer in the path.
+		// Batched because the daemon retains only the most recent finished
+		// jobs — a Wait that trails 800 submissions would find the early
+		// ones already aged out of the retention ring.
+		const njobs, batch = 800, 200
+		for lo := 0; lo < njobs; lo += batch {
+			handles := make([]sod.JobHandle, batch)
+			for i := range handles {
+				h, err := f.client.Submit(ctx, "main", sod.Int(int64(lo+i)), sod.Int(300))
+				if err != nil {
+					t.Fatalf("submit %d: %v", lo+i, err)
+				}
+				handles[i] = h
+			}
+			// Liveness: every job completes promptly even though the
+			// watcher has not read a single event.
+			for i, h := range handles {
+				res, err := h.Wait(ctx)
+				if err != nil {
+					t.Fatalf("wait %d with stalled watcher: %v", lo+i, err)
+				}
+				if want := workloads.CruncherExpected(int64(lo+i), 300); res.I != want {
+					t.Errorf("job %d: result %d, want %d", lo+i, res.I, want)
+				}
+			}
+		}
+
+		// Now drain the stalled stream: whatever survived the shedding.
+		received, lagged, closed := 0, 0, false
+		var droppedByMarkers int64
+	drain:
+		for {
+			select {
+			case ev, ok := <-all:
+				if !ok {
+					closed = true
+					break drain
+				}
+				received++
+				if ev.Kind == sod.JobLagged {
+					lagged++
+					droppedByMarkers += ev.Result
+				}
+			case <-time.After(2 * time.Second):
+				break drain // live stream gone quiet: backlog fully drained
+			}
+		}
+		t.Logf("stalled watcher: received %d of >=%d events (%d lagged markers accounting for %d drops, closed=%v)",
+			received, 2*njobs, lagged, droppedByMarkers, closed)
+		if received == 0 && !closed {
+			t.Error("stalled watcher drained nothing and was not evicted; the stream just vanished")
+		}
+		// The shedding must be observable: markers, an eviction, or a
+		// backlog strictly smaller than the events the burst published.
+		if lagged == 0 && !closed && received >= 2*njobs {
+			t.Errorf("stalled watcher received all %d events; no backpressure was ever applied", received)
+		}
+	})
+}
