@@ -10,7 +10,7 @@ GO ?= go
 # distinct set of job identities for every scenario).
 CHAOS_SEEDS ?= 1,7,42
 
-.PHONY: check vet build build-examples test race bench-smoke elastic cluster-smoke chaos
+.PHONY: check vet build build-examples test race bench-smoke elastic cluster-smoke obs-smoke chaos
 
 check: vet build build-examples race bench-smoke
 
@@ -42,9 +42,29 @@ elastic:
 	$(GO) run ./cmd/sodbench -table elastic
 
 # Boot the 3-node TCP cluster integration tests standalone: membership
-# discovery, AutoBalance over real sockets, heartbeat crash detection.
+# discovery, AutoBalance over real sockets, heartbeat crash detection,
+# and the observability plane (opMetrics/opTrace, the -obs endpoint).
 cluster-smoke:
 	$(GO) test -race -count=1 -v ./internal/daemon
+
+# Live-endpoint smoke: boot the real sodd binary with -obs, run one job
+# through it with the real sodctl binary, then curl /metrics off the
+# running process and fail on empty or malformed output (every
+# non-comment line must be exactly "name value"). This is the check CI
+# runs against the shipped binaries, not the test harness.
+obs-smoke:
+	@set -e; \
+	$(GO) build -o ./sodd.smoke ./cmd/sodd; \
+	$(GO) build -o ./sodctl.smoke ./cmd/sodctl; \
+	./sodd.smoke -id 1 -listen 127.0.0.1:7391 -obs 127.0.0.1:7392 -quiet & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -f sodd.smoke sodctl.smoke' EXIT; \
+	for i in $$(seq 1 50); do curl -sf -o /dev/null http://127.0.0.1:7392/metrics && break; sleep 0.2; done; \
+	./sodctl.smoke -addr 127.0.0.1:7391 run -method main -args 7,50000 >/dev/null; \
+	out=$$(curl -sf http://127.0.0.1:7392/metrics); \
+	test -n "$$out" || { echo "obs-smoke: /metrics returned nothing"; exit 1; }; \
+	echo "$$out" | grep -q '^sod_events_published_total' || { echo "obs-smoke: no sod_ samples in /metrics"; echo "$$out"; exit 1; }; \
+	echo "$$out" | awk '!/^#/ && NF != 2 { print "obs-smoke: malformed line: " $$0; bad = 1 } END { exit bad }'; \
+	echo "obs-smoke: ok ($$(echo "$$out" | grep -c -v '^#') samples)"
 
 # The chaos harness under -race across the fixed seed matrix: scripted
 # crashes, rejoins and slowdowns while the balancer pushes, steals and

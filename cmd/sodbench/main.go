@@ -43,6 +43,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "swarm: write the report to -out and print it as JSON")
 	outPath := flag.String("out", "BENCH_swarm.json", "swarm: report path for -json")
 	baseline := flag.String("baseline", "", "swarm: committed baseline report; exit non-zero when jobs/sec drops >30% below it")
+	metricsOut := flag.String("metrics-out", "", "swarm: write each run's metrics-registry snapshot (per fabric) to this JSON file")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -186,6 +187,29 @@ func main() {
 			fmt.Println(string(data))
 		} else {
 			fmt.Print(experiments.RenderSwarm(rep))
+		}
+		if *metricsOut != "" {
+			// One snapshot per run, keyed the way the table labels rows —
+			// the instrumentation view of the same load the report curves.
+			snaps := make(map[string]any, len(rep.Rows))
+			for _, row := range rep.Rows {
+				if row.Load == nil || row.Load.Metrics == nil {
+					continue
+				}
+				key := row.Fabric
+				if row.Crashed != 0 {
+					key += "+crash"
+				}
+				snaps[key] = row.Load.Metrics
+			}
+			data, err := json.MarshalIndent(snaps, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*metricsOut, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sodbench: write %s: %v\n", *metricsOut, err)
+				os.Exit(1)
+			}
 		}
 		if *baseline != "" {
 			if err := experiments.CheckSwarmRegression(rep, *baseline, 0.30); err != nil {

@@ -9,6 +9,8 @@
 //	sodctl -addr 127.0.0.1:7101 watch -job 3
 //	sodctl -addr 127.0.0.1:7101 watch -every 1s -for 10s
 //	sodctl -addr 127.0.0.1:7101 top -every 1s -for 10s
+//	sodctl -addr 127.0.0.1:7101 metrics
+//	sodctl -addr 127.0.0.1:7101 trace -job 3
 //
 // "watch -job N" streams job N's lifecycle live — where it started,
 // every migration with its direction and reason (pushed / stolen /
@@ -22,6 +24,12 @@
 // jobs completing and failing, migrations, and lagged markers when this
 // very stream falls behind and the daemon coalesces on it. -for 0 runs
 // until interrupted.
+//
+// "metrics" dumps the dialed node's metrics registry in Prometheus text
+// form (the same payload its -obs endpoint serves); "trace -job N"
+// renders job N's migration timeline — capture/transfer/restore per
+// hop, chain plants and forwards — as recorded at the job's origin
+// node, which is the daemon to dial.
 package main
 
 import (
@@ -35,11 +43,12 @@ import (
 	"time"
 
 	"repro/internal/daemon"
+	"repro/internal/obs"
 	"repro/internal/sodee"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sodctl -addr HOST:PORT <members|submit|run|wait|stats|load|watch|top> [options]")
+	fmt.Fprintln(os.Stderr, "usage: sodctl -addr HOST:PORT <members|submit|run|wait|stats|load|watch|top|metrics|trace> [options]")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -331,6 +340,27 @@ func main() {
 		dur := fs.Duration("for", 10*time.Second, "total duration (0 = until interrupted)")
 		fs.Parse(rest) //nolint:errcheck
 		topCluster(c, *every, *dur)
+
+	case "metrics":
+		snap, err := c.Metrics()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(snap.RenderPrometheus())
+
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		job := fs.Uint64("job", 0, "job id (dial the daemon the job was submitted to)")
+		fs.Parse(rest) //nolint:errcheck
+		if *job == 0 {
+			log.Fatal("trace: -job is required")
+		}
+		spans, err := c.Trace(*job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job %d: %d spans\n", *job, len(spans))
+		fmt.Print(obs.RenderTrace(spans))
 
 	default:
 		usage()

@@ -37,6 +37,7 @@ func main() {
 	hopBudget := flag.Int("hop-budget", 0, "lifetime migration cap per job (0 = default, negative = unlimited)")
 	cooldown := flag.Duration("cooldown", 0, "quarantine before a job may revisit a node it left (0 = default)")
 	interval := flag.Duration("interval", 10*time.Millisecond, "balance/heartbeat interval")
+	obsAddr := flag.String("obs", "", "observability HTTP listen address: Prometheus text at /metrics, pprof under /debug/pprof/ (empty = off)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	flag.Parse()
 
@@ -57,6 +58,14 @@ func main() {
 	}
 	fmt.Printf("sodd: node %d listening on %s (workload %s, policy %s, control protocol v%d)\n",
 		d.ID(), d.Addr(), *workload, *pol, daemon.ProtocolVersion)
+	if *obsAddr != "" {
+		bound, err := d.StartObs(*obsAddr)
+		if err != nil {
+			d.Stop()
+			log.Fatal(err)
+		}
+		fmt.Printf("sodd: obs endpoint on http://%s/metrics (pprof under /debug/pprof/)\n", bound)
+	}
 
 	for _, seed := range strings.Split(*join, ",") {
 		seed = strings.TrimSpace(seed)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/membership"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sodee"
 	"repro/internal/wire"
@@ -434,6 +435,34 @@ func (c *Client) Stats() (sodee.BalanceStats, sodee.StealStats, error) {
 		st.MigrationsTo[dest] = int(r.Uvarint())
 	}
 	return st, ss, r.Err()
+}
+
+// Metrics snapshots the daemon's metrics registry (counters, gauges,
+// histograms). Snapshots from several daemons merge into a cluster view
+// with Snapshot.Merge.
+func (c *Client) Metrics() (*obs.Snapshot, error) {
+	w := wire.NewWriter(1)
+	w.Byte(opMetrics)
+	reply, err := c.call(w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return obs.DecodeSnapshot(reply)
+}
+
+// Trace fetches a job's span timeline — capture/transfer/restore phases
+// per migration hop, chain plants and forwards — causally ordered at the
+// job's origin node. Ask the daemon that started the job: spans ride
+// home to the origin, other nodes answer "no trace".
+func (c *Client) Trace(job uint64) ([]obs.Span, error) {
+	w := wire.NewWriter(12)
+	w.Byte(opTrace)
+	w.Uvarint(job)
+	reply, err := c.call(w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return obs.DecodeSpans(reply)
 }
 
 // LoadInfo is a daemon's view of cluster load.

@@ -19,6 +19,7 @@ package daemon
 
 import (
 	"fmt"
+	"net/http"
 	"strings"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/membership"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/preprocess"
 	"repro/internal/shard"
@@ -47,7 +49,10 @@ import (
 // v3: cluster-wide watch (opWatchAll) fed by daemon-to-daemon event taps
 // (opTap / opTapEvent), and an Origin field on every streamed JobEvent so
 // consumers key streams by (Origin, Job) across the whole cluster.
-const ProtocolVersion = 3
+//
+// v4: observability plane — opMetrics (node metrics-registry snapshot)
+// and opTrace (a job's causally-ordered migration span timeline).
+const ProtocolVersion = 4
 
 // Control operations (first byte of a KindControl payload).
 const (
@@ -67,6 +72,8 @@ const (
 	opWatchAll    byte = 14 // {gen} → ack; every cluster event streams as opEvent frames
 	opTap         byte = 15 // daemon ↔ daemon: {on} start/stop forwarding my bus firehose to you
 	opTapEvent    byte = 16 // daemon → daemon, one-way: {seq, JobEvent} tap traffic
+	opMetrics     byte = 17 // → metrics-registry snapshot (obs.EncodeSnapshot)
+	opTrace       byte = 18 // {job} → span timeline (obs.EncodeSpans); error if no trace
 )
 
 // Config configures one daemon.
@@ -184,6 +191,10 @@ type Daemon struct {
 	hubStop func()
 	tapsIn  map[int]*tapReorder
 	tapsOut map[int]func()
+
+	// obsSrv is the opt-in observability HTTP listener (StartObs);
+	// guarded by d.mu, closed by Stop.
+	obsSrv *http.Server
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -354,6 +365,13 @@ func (d *Daemon) StealStats() sodee.StealStats {
 func (d *Daemon) Stop() {
 	d.stopOnce.Do(func() {
 		close(d.stopCh)
+		d.mu.Lock()
+		obsSrv := d.obsSrv
+		d.obsSrv = nil
+		d.mu.Unlock()
+		if obsSrv != nil {
+			obsSrv.Close() //nolint:errcheck // teardown; the Serve goroutine exits via wg
+		}
 		if d.bal != nil {
 			d.bal.Stop()
 		}
@@ -611,6 +629,10 @@ func (d *Daemon) handleControl(from int, payload []byte) ([]byte, error) {
 		return d.handleTap(from, r)
 	case opTapEvent:
 		return nil, d.handleTapEvent(from, payload[1:])
+	case opMetrics:
+		return d.handleMetrics()
+	case opTrace:
+		return d.handleTrace(r)
 	default:
 		return nil, fmt.Errorf("daemon: unknown control op %d", payload[0])
 	}
@@ -847,6 +869,29 @@ func (d *Daemon) handleStats() ([]byte, error) {
 		w.Uvarint(uint64(cnt))
 	}
 	return w.Bytes(), nil
+}
+
+// handleMetrics snapshots the node's metrics registry for opMetrics. The
+// reply is the obs wire encoding; clients merge snapshots across daemons
+// for a cluster view.
+func (d *Daemon) handleMetrics() ([]byte, error) {
+	return obs.EncodeSnapshot(d.node.Obs.Snapshot()), nil
+}
+
+// handleTrace returns a job's span timeline for opTrace. Spans accumulate
+// at the job's *origin* node (remote hops forward theirs home), so the
+// client asks the daemon that started the job; an unknown job — or one
+// whose trace has been evicted — is an error, not an empty reply.
+func (d *Daemon) handleTrace(r *wire.Reader) ([]byte, error) {
+	jobID := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	spans := d.node.Trace.Get(jobID)
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("daemon: no trace for job %d (wrong origin node, or evicted)", jobID)
+	}
+	return obs.EncodeSpans(spans), nil
 }
 
 // handleWatch subscribes the requesting client to a job's event stream.

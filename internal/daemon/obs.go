@@ -1,0 +1,48 @@
+package daemon
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartObs opens the opt-in observability HTTP listener (sodd -obs):
+// GET /metrics serves the node's registry in Prometheus text exposition
+// format, and the standard net/http/pprof handlers hang under
+// /debug/pprof/ for live profiling. Returns the bound address (addr may
+// use port 0). The listener lives until Stop.
+func (d *Daemon) StartObs(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, d.node.Obs.Snapshot().RenderPrometheus()) //nolint:errcheck // client hangup
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("daemon %d obs listener: %w", d.cfg.ID, err)
+	}
+	srv := &http.Server{Handler: mux}
+	d.mu.Lock()
+	if d.obsSrv != nil {
+		d.mu.Unlock()
+		ln.Close() //nolint:errcheck
+		return "", fmt.Errorf("daemon %d: obs listener already running", d.cfg.ID)
+	}
+	d.obsSrv = srv
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Stop
+	}()
+	d.logf("sodd[%d]: obs endpoint on http://%s/metrics", d.cfg.ID, ln.Addr())
+	return ln.Addr().String(), nil
+}

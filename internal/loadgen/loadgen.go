@@ -128,6 +128,13 @@ type Result struct {
 
 	CrashAtSec  float64 `json:"crash_at_sec,omitempty"`
 	RejoinAtSec float64 `json:"rejoin_at_sec,omitempty"`
+
+	// Metrics is the submission node's metrics-registry snapshot taken
+	// after the run drained (migration phase histograms, bus counters,
+	// steal activity) — the instrumentation view of the same run the
+	// counters above measure externally. Nil if the client predates the
+	// observability plane or the snapshot failed; never load-bearing.
+	Metrics *sod.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // termKey identifies one job cluster-wide.
@@ -369,6 +376,13 @@ func Run(cfg Config, clients []sod.Client, watchAllFrom sod.Client) (*Result, er
 
 	res.Latency = summarizeLatency(latencies)
 	res.Curve = mergeCurve(jobTimes, eventTimes, wall, cfg.BucketWidth, res.CrashAtSec, res.RejoinAtSec)
+	{
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if snap, err := clients[0].Metrics(ctx); err == nil {
+			res.Metrics = snap
+		}
+		cancel()
+	}
 	return res, firstHarness
 }
 

@@ -47,6 +47,7 @@ const (
 	KindStealRequest                     // work stealing: idle thief asks a loaded victim for a job
 	KindStealGrant                       // work stealing: victim announces the job it is shipping
 	KindJobEvent                         // job lifecycle event forwarded to the job's origin node
+	KindTraceSpan                        // obs: batch of trace spans forwarded to the job's origin node
 )
 
 // Handler serves a request and returns the reply payload. Handlers run on

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sod_test_total")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.IncKeyed(uint64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	// Idempotent registration: same name, same instrument.
+	if r.Counter("sod_test_total") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sod_lat_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005) // bucket 0
+	h.Observe(0.005)  // bucket 1
+	h.Observe(0.05)   // bucket 2
+	h.Observe(5)      // +Inf
+	h.Observe(0.001)  // boundary: le=0.001 → bucket 0
+	s := r.Snapshot()
+	hs := s.Histograms["sod_lat_seconds"]
+	want := []int64{2, 1, 1, 1}
+	if len(hs.Counts) != len(want) {
+		t.Fatalf("counts len = %d, want %d", len(hs.Counts), len(want))
+	}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+	if hs.Count != 5 {
+		t.Fatalf("count = %d, want 5", hs.Count)
+	}
+	if hs.Sum < 5.056 || hs.Sum > 5.058 {
+		t.Fatalf("sum = %g, want ~5.0565", hs.Sum)
+	}
+}
+
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sod_migrations_total").Add(7)
+	r.Counter(Label("sod_migration_bytes_total", "dest", "3")).Add(4096)
+	r.Gauge("sod_jobs_running").Set(2)
+	h := r.Histogram("sod_migration_latency_seconds", DurationBuckets)
+	h.ObserveDuration(int64(3 * time.Millisecond))
+	s := r.Snapshot()
+
+	got, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(s)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("round trip mismatch:\n%s\n%s", a, b)
+	}
+}
+
+func TestRenderPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sod_migrations_total").Add(3)
+	r.Counter(Label("sod_migration_bytes_total", "dest", "2")).Add(100)
+	r.Gauge("sod_jobs_running").Set(1)
+	r.Histogram("sod_lat_seconds", []float64{0.01, 0.1}).Observe(0.05)
+	text := r.Snapshot().RenderPrometheus()
+
+	for _, want := range []string{
+		"# TYPE sod_migrations_total counter",
+		"sod_migrations_total 3",
+		`sod_migration_bytes_total{dest="2"} 100`,
+		"# TYPE sod_jobs_running gauge",
+		"# TYPE sod_lat_seconds histogram",
+		`sod_lat_seconds_bucket{le="0.01"} 0`,
+		`sod_lat_seconds_bucket{le="0.1"} 1`,
+		`sod_lat_seconds_bucket{le="+Inf"} 1`,
+		"sod_lat_seconds_sum 0.05",
+		"sod_lat_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := &Snapshot{Counters: map[string]int64{"x_total": 1}}
+	b := &Snapshot{
+		Counters: map[string]int64{"x_total": 2, "y_total": 5},
+		Histograms: map[string]HistSnapshot{
+			"h_seconds": {Bounds: []float64{1}, Counts: []int64{1, 0}, Sum: 0.5, Count: 1},
+		},
+	}
+	a.Merge(b)
+	a.Merge(b)
+	if a.Counters["x_total"] != 5 || a.Counters["y_total"] != 10 {
+		t.Fatalf("merged counters = %v", a.Counters)
+	}
+	h := a.Histograms["h_seconds"]
+	if h.Count != 2 || h.Counts[0] != 2 || h.Sum != 1.0 {
+		t.Fatalf("merged hist = %+v", h)
+	}
+}
+
+func TestTraceStoreUpsertAndEvict(t *testing.T) {
+	ts := NewTraceStore()
+	base := time.Unix(0, 1_000_000)
+	ts.Add(Span{ID: RootSpanID, Job: 9, Node: 1, Name: "job", Start: base})
+	ts.Add(Span{ID: 5, Parent: RootSpanID, Job: 9, Node: 1, Name: "migrate", Start: base.Add(time.Millisecond)})
+	// Upsert: root re-emitted closed.
+	ts.Add(Span{ID: RootSpanID, Job: 9, Node: 1, Name: "job", Start: base, Dur: 3 * time.Millisecond})
+	spans := ts.Get(9)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	if spans[0].ID != RootSpanID || spans[0].Dur != 3*time.Millisecond {
+		t.Fatalf("root not upserted: %+v", spans[0])
+	}
+	if ts.Get(404) != nil {
+		t.Fatal("unknown job should return nil")
+	}
+
+	// FIFO eviction past maxTraceJobs.
+	for j := uint64(100); j < 100+maxTraceJobs; j++ {
+		ts.Add(Span{ID: RootSpanID, Job: j, Name: "job", Start: base})
+	}
+	if ts.Len() != maxTraceJobs {
+		t.Fatalf("store len = %d, want %d", ts.Len(), maxTraceJobs)
+	}
+	if ts.Get(9) != nil {
+		t.Fatal("oldest trace should have been evicted")
+	}
+}
+
+func TestSpanWireRoundTrip(t *testing.T) {
+	in := []Span{
+		{ID: 1, Job: 4, Node: 1, Name: "job", Start: time.Unix(0, 123456789)},
+		{ID: 8589934593, Parent: 1, Job: 4, Node: 2, Dest: 3, Name: "migrate",
+			Start: time.Unix(0, 123456999), Dur: 250 * time.Microsecond,
+			Bytes: 2048, Detail: "pushed"},
+	}
+	out, err := DecodeSpans(EncodeSpans(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d spans, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !out[i].Start.Equal(in[i].Start) {
+			t.Fatalf("span %d start mismatch", i)
+		}
+		out[i].Start = in[i].Start
+		if out[i] != in[i] {
+			t.Fatalf("span %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRenderTrace(t *testing.T) {
+	base := time.Unix(0, 0)
+	spans := []Span{
+		{ID: 1, Job: 7, Node: 1, Name: "job", Start: base, Dur: 10 * time.Millisecond},
+		{ID: 2, Parent: 1, Job: 7, Node: 1, Dest: 2, Name: "migrate", Start: base.Add(time.Millisecond), Dur: 4 * time.Millisecond, Bytes: 512, Detail: "pushed"},
+		{ID: 3, Parent: 2, Job: 7, Node: 1, Name: "capture", Start: base.Add(time.Millisecond), Dur: time.Millisecond},
+	}
+	text := RenderTrace(spans)
+	for _, want := range []string{"job", "migrate", "node 1 -> 2", "512 B", "(pushed)", "capture"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("trace render missing %q:\n%s", want, text)
+		}
+	}
+	if RenderTrace(nil) != "" {
+		t.Fatal("empty trace should render empty")
+	}
+}

@@ -6,7 +6,10 @@
 // one lock, while keeping the simple map semantics the callers had.
 package shard
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // numShards is the shard count (power of two, so the index is a mask).
 // 32 shards keep worst-case contention at 1/32nd of a single mutex while
@@ -151,5 +154,44 @@ func (s *Map[V]) Clear() {
 		sh.mu.Lock()
 		sh.m = make(map[uint64]V)
 		sh.mu.Unlock()
+	}
+}
+
+// Striped is a sharded int64 counter: increments land on one of 32
+// cache-line-padded cells picked by the caller's key (job token,
+// destination id — whatever naturally spreads the writers), so hot-path
+// Add calls from many goroutines never contend on one cache line. Reads
+// sum all cells and are approximate under concurrent writes, which is
+// exactly what a metrics counter needs. The zero value is ready to use.
+type Striped struct {
+	cells [numShards]stripedCell
+}
+
+// stripedCell pads each counter to its own cache line (64B line; the
+// int64 plus 56 bytes of padding fills it).
+type stripedCell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Add adds delta to the cell selected by key (same multiplicative mix as
+// Map, so sequential tokens spread evenly).
+func (s *Striped) Add(key uint64, delta int64) {
+	s.cells[(key*0x9E3779B97F4A7C15)>>(64-5)&(numShards-1)].n.Add(delta)
+}
+
+// Sum returns the total across all cells (a snapshot, not linearizable).
+func (s *Striped) Sum() int64 {
+	var t int64
+	for i := range s.cells {
+		t += s.cells[i].n.Load()
+	}
+	return t
+}
+
+// Reset zeroes every cell.
+func (s *Striped) Reset() {
+	for i := range s.cells {
+		s.cells[i].n.Store(0)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/serial"
 	"repro/internal/wire"
@@ -286,6 +287,7 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 			From: n.ID, To: n.ID,
 			Reason: reason, Seg: s - 1, SegOf: s, Hops: int(hops),
 		})
+		m.observePlant(origin, eventTo.token, n.ID, s-1, s, 0)
 	}
 
 	for i := nCapture - 1; i >= 1; i-- {
@@ -295,8 +297,10 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 			job: eventTo.token, origin: origin,
 			seg: i, segOf: s, hops: int(hops),
 		}
+		plantStart := time.Now()
 		tok, perr := m.plantChainLink(dest, segs[i], expect, next, nextFB, meta)
 		if perr == nil {
+			m.observePlant(origin, eventTo.token, dest, i, s, time.Since(plantStart))
 			arrive := completion{node: dest, token: tok}
 			arriveFB := completion{}
 			if withRecovery {
@@ -349,6 +353,7 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 			From: n.ID, To: n.ID,
 			Reason: reason, Seg: i, SegOf: s, Hops: int(hops),
 		})
+		m.observePlant(origin, eventTo.token, n.ID, i, s, time.Since(plantStart))
 		next, nextFB = completion{node: n.ID, token: tok}, completion{}
 	}
 
@@ -403,6 +408,7 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 		if isUnreachable(serr) {
 			n.Members.ObserveFailure(dest0, time.Now())
 		}
+		m.met.migFailures.Inc()
 		m.publishEvent(origin, JobEvent{
 			Job: eventTo.token, Kind: EvMigrationFailed,
 			From: n.ID, To: dest0,
@@ -444,5 +450,37 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 	mm.Freeze = mm.Latency
 	m.record(mm)
 	m.observeWireLatency(dest0, mm.Transfer)
+	m.observeMigration(&mm, reason, dest0, int64(len(payload)))
+	// Top-segment span quartet, same shape as MigrateSOD's: capture here
+	// covers the whole stack (every link), transfer/restore the executing
+	// segment's trip.
+	migSpan := m.spanID()
+	m.emitSpans(origin,
+		obs.Span{ID: migSpan, Parent: obs.RootSpanID, Job: eventTo.token,
+			Node: n.ID, Dest: dest0, Name: "migrate", Start: t0,
+			Dur: mm.Latency, Bytes: int64(len(payload)),
+			Detail: fmt.Sprintf("%s, chain segment 1/%d", reason, s)},
+		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
+			Node: n.ID, Dest: dest0, Name: "capture", Start: t0, Dur: mm.Capture},
+		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
+			Node: n.ID, Dest: dest0, Name: "transfer", Start: sendStart,
+			Dur: mm.Transfer, Bytes: int64(len(payload))},
+		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
+			Node: n.ID, Dest: dest0, Name: "restore",
+			Start: sendStart.Add(mm.Transfer), Dur: mm.Restore},
+	)
 	return &mm, nil
+}
+
+// observePlant records one chain link's plant — counter plus a span in
+// the origin's trace covering the plant round trip (zero for the local
+// tail, which never crosses the wire).
+func (m *Manager) observePlant(origin int, job uint64, dest, seg, segOf int, rtt time.Duration) {
+	m.met.chainPlanted.IncKeyed(job)
+	m.emitSpans(origin, obs.Span{
+		ID: m.spanID(), Parent: obs.RootSpanID, Job: job,
+		Node: m.node.ID, Dest: dest, Name: "plant",
+		Start: time.Now().Add(-rtt), Dur: rtt,
+		Detail: fmt.Sprintf("segment %d/%d", seg+1, segOf),
+	})
 }

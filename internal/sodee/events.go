@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -176,7 +177,12 @@ func (e JobEvent) String() string {
 		}
 		return fmt.Sprintf("job %d completed: %d", e.Job, e.Result)
 	case EvLagged:
-		return fmt.Sprintf("watcher lagged: %d events coalesced", e.Result)
+		// A per-job subscription's marker names its job; a firehose
+		// (WatchAll) marker has no single job to blame.
+		if e.Job != 0 {
+			return fmt.Sprintf("job %d watcher lagged: %d events dropped (coalesced)", e.Job, e.Result)
+		}
+		return fmt.Sprintf("watcher lagged: %d events dropped (coalesced)", e.Result)
 	}
 	return fmt.Sprintf("job %d: %s", e.Job, e.Kind)
 }
@@ -267,6 +273,11 @@ type busSub struct {
 	// would be lost; per-job subs instead always preserve the terminal.
 	evictable bool
 
+	// obsCoalesced/obsEvicted, when set (by the owning Bus before the
+	// subscription is published to), feed the node's metrics registry.
+	obsCoalesced *obs.Counter
+	obsEvicted   *obs.Counter
+
 	mu      sync.Mutex
 	ring    []JobEvent
 	cap     int
@@ -321,18 +332,27 @@ func (s *busSub) enqueue(e JobEvent) bool {
 			s.ring = append(s.ring[:drop], s.ring[drop+1:]...)
 			s.lagged++
 			s.dropped++
+			if s.obsCoalesced != nil {
+				s.obsCoalesced.Inc()
+			}
 		case s.evictable:
 			// The ring holds nothing but job outcomes and the consumer
 			// still is not draining: dropping any of them would silently
 			// lose a completion. Evict — the closed channel is the signal.
 			s.stopped = true
 			close(s.quit)
+			if s.obsEvicted != nil {
+				s.obsEvicted.Inc()
+			}
 			s.mu.Unlock()
 			return false
 		case !e.Terminal():
 			// Per-job sub, ring full: shed the incoming event instead.
 			s.lagged++
 			s.dropped++
+			if s.obsCoalesced != nil {
+				s.obsCoalesced.Inc()
+			}
 			s.mu.Unlock()
 			s.signal()
 			return true
@@ -340,6 +360,9 @@ func (s *busSub) enqueue(e JobEvent) bool {
 			s.ring = s.ring[1:]
 			s.lagged++
 			s.dropped++
+			if s.obsCoalesced != nil {
+				s.obsCoalesced.Inc()
+			}
 		}
 	}
 	s.ring = append(s.ring, e)
@@ -421,6 +444,12 @@ func (s *busSub) pump() {
 type Bus struct {
 	origin int
 
+	// Optional registry hooks (SetObs): published events, events
+	// coalesced away by slow subscribers, firehose subscribers evicted.
+	obsPublished *obs.Counter
+	obsCoalesced *obs.Counter
+	obsEvicted   *obs.Counter
+
 	mu   sync.Mutex
 	seq  uint64
 	hist map[uint64][]JobEvent
@@ -444,6 +473,16 @@ func NewBus(origin int) *Bus {
 	}
 }
 
+// SetObs points the bus at its node's registry counters (published /
+// coalesced / evicted). Call before the bus is shared across goroutines
+// — the manager does it at construction; a bus without counters works
+// uncounted.
+func (b *Bus) SetObs(published, coalesced, evicted *obs.Counter) {
+	b.obsPublished = published
+	b.obsCoalesced = coalesced
+	b.obsEvicted = evicted
+}
+
 // Publish appends e to its job's history and delivers it to subscribers.
 // A terminal event closes every per-job subscription on the job; events
 // arriving after the terminal one (a late-forwarded migration notice)
@@ -451,6 +490,9 @@ func NewBus(origin int) *Bus {
 func (b *Bus) Publish(e JobEvent) {
 	if e.Time.IsZero() {
 		e.Time = time.Now()
+	}
+	if b.obsPublished != nil {
+		b.obsPublished.IncKeyed(e.Job)
 	}
 	e.Origin = b.origin
 	b.mu.Lock()
@@ -506,6 +548,7 @@ func (b *Bus) Known(job uint64) bool {
 // slow watcher still learns its job's outcome.
 func (b *Bus) Subscribe(job uint64) (<-chan JobEvent, func()) {
 	s := newBusSub(jobRingCap, JobEvent{Job: job, Origin: b.origin}, true, false)
+	s.obsCoalesced, s.obsEvicted = b.obsCoalesced, b.obsEvicted
 	b.mu.Lock()
 	h := b.hist[job]
 	for _, e := range h {
@@ -544,6 +587,7 @@ func (b *Bus) Subscribe(job uint64) (<-chan JobEvent, func()) {
 // events is evicted, observed as the channel closing without cancel.
 func (b *Bus) SubscribeAll() (<-chan JobEvent, func()) {
 	s := newBusSub(fanRingCap, JobEvent{Origin: b.origin}, false, true)
+	s.obsCoalesced, s.obsEvicted = b.obsCoalesced, b.obsEvicted
 	b.mu.Lock()
 	b.all[s] = struct{}{}
 	b.mu.Unlock()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/membership"
 	"repro/internal/netsim"
 	"repro/internal/objman"
+	"repro/internal/obs"
 	"repro/internal/osimage"
 	"repro/internal/serial"
 	"repro/internal/toolif"
@@ -177,6 +178,12 @@ type Node struct {
 	// these verdicts into the failure-aware scheduler.
 	Members *membership.Tracker
 
+	// Obs is the node's metrics registry; Trace collects span timelines
+	// for jobs whose origin is this node. Both are always on — the hot
+	// paths pay striped atomic adds only.
+	Obs   *obs.Registry
+	Trace *obs.TraceStore
+
 	// Cores and Speed echo the capacity configuration for load signals:
 	// Cores is the modeled CPU width (0 = unlimited), Speed the relative
 	// per-core execution speed (1.0 = full speed; throttled nodes less).
@@ -320,7 +327,12 @@ func (c *Cluster) AddNodeOn(cfg NodeConfig, tr netsim.Transport) (*Node, error) 
 		location: cfg.ID,
 		Cluster:  c,
 		Members:  membership.New(cfg.ID, cfg.Membership),
+		Obs:      obs.NewRegistry(),
+		Trace:    obs.NewTraceStore(),
 	}
+	n.Members.OnChange(func(ev membership.Event) {
+		n.Obs.Counter(obs.Label("sod_member_transitions_total", "state", ev.State.String())).Inc()
+	})
 	if cfg.System != SysJDK && cfg.System != SysDevice {
 		n.Agent = toolif.Attach(v)
 	}

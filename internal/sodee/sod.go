@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bytecode"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/serial"
 	"repro/internal/shard"
@@ -100,6 +102,11 @@ type Job struct {
 	// captured for migration until its value arrives (the route holds a
 	// pointer into it).
 	waiting bool
+
+	// started stamps the origin-side submission time; the job's root trace
+	// span runs from here to completion. Zero for remote wrappers, whose
+	// trace belongs to their origin.
+	started time.Time
 }
 
 // Thread returns the job's current local thread (nil once fully migrated).
@@ -191,6 +198,14 @@ func (j *Job) complete(res value.Value, err error) {
 	// hosting node; the origin's handle publishes the terminal event when
 	// the flushed result lands there.
 	if !j.remote && j.mgr != nil {
+		if !j.started.IsZero() {
+			// Close the trace's root span (upserting the open one emitted
+			// at submission).
+			j.mgr.node.Trace.Add(obs.Span{
+				ID: obs.RootSpanID, Job: j.ID, Node: j.mgr.node.ID,
+				Name: "job", Start: j.started, Dur: time.Since(j.started),
+			})
+		}
 		ev := JobEvent{
 			Job: j.ID, Kind: EvCompleted,
 			From: j.mgr.node.ID, To: j.mgr.node.ID,
@@ -299,8 +314,90 @@ type Manager struct {
 	// node; peers acting on a migrated-in job forward their events here.
 	bus *Bus
 
-	// Metrics of migrations this node initiated.
-	Migrations []MigrationMetrics
+	// met holds the pre-registered hot-path instruments (see mgrMetrics);
+	// name lookups happen once, at construction.
+	met *mgrMetrics
+
+	// Metrics of migrations this node initiated: a bounded ring (guarded
+	// by mu) so a long-lived node retains the most recent migRingCap
+	// records instead of appending forever. migNext is the next write
+	// slot once the ring is full; migTotal counts lifetime recordings.
+	migRing  []MigrationMetrics
+	migNext  int
+	migTotal uint64
+}
+
+// migRingCap bounds the retained per-migration metrics records. 256 is
+// plenty for any diagnostic window; older records are summarized by the
+// registry's counters and histograms anyway.
+const migRingCap = 256
+
+// mgrMetrics is the manager's pre-registered instrument panel. Counters
+// and histograms live in the node's Registry under the sod_* names the
+// README catalogs; the hot paths hold these pointers so an increment is
+// one striped atomic add, never a map lookup.
+type mgrMetrics struct {
+	migrations  [5]*obs.Counter // sod_migrations_total{reason=...}, indexed by MigrateReason
+	migFailures *obs.Counter
+	captureSec  *obs.Histogram
+	transferSec *obs.Histogram
+	restoreSec  *obs.Histogram
+	latencySec  *obs.Histogram
+	stateBytes  *obs.Histogram
+
+	chainPlanted   *obs.Counter
+	chainForwarded *obs.Counter
+	flushRetries   *obs.Counter
+
+	stealRTTSec     *obs.Histogram
+	stealReqSent    *obs.Counter
+	stealWon        *obs.Counter
+	stealReqServed  *obs.Counter
+	stealGranted    *obs.Counter
+	stealDenied     *obs.Counter
+	stealFailedXfer *obs.Counter
+}
+
+func newMgrMetrics(r *obs.Registry) *mgrMetrics {
+	mm := &mgrMetrics{
+		migFailures: r.Counter("sod_migration_failures_total"),
+		captureSec:  r.Histogram("sod_migration_capture_seconds", obs.DurationBuckets),
+		transferSec: r.Histogram("sod_migration_transfer_seconds", obs.DurationBuckets),
+		restoreSec:  r.Histogram("sod_migration_restore_seconds", obs.DurationBuckets),
+		latencySec:  r.Histogram("sod_migration_latency_seconds", obs.DurationBuckets),
+		stateBytes:  r.Histogram("sod_migration_state_bytes", obs.ByteBuckets),
+
+		chainPlanted:   r.Counter("sod_chain_links_planted_total"),
+		chainForwarded: r.Counter("sod_chain_links_forwarded_total"),
+		flushRetries:   r.Counter("sod_flush_retries_total"),
+
+		stealRTTSec:     r.Histogram("sod_steal_round_trip_seconds", obs.DurationBuckets),
+		stealReqSent:    r.Counter("sod_steal_requests_sent_total"),
+		stealWon:        r.Counter("sod_steal_won_total"),
+		stealReqServed:  r.Counter("sod_steal_requests_served_total"),
+		stealGranted:    r.Counter("sod_steal_granted_total"),
+		stealDenied:     r.Counter("sod_steal_denied_total"),
+		stealFailedXfer: r.Counter("sod_steal_failed_transfers_total"),
+	}
+	for i := range mm.migrations {
+		mm.migrations[i] = r.Counter(obs.Label("sod_migrations_total", "reason", MigrateReason(i).String()))
+	}
+	return mm
+}
+
+// observeMigration feeds one successful migration into the registry:
+// per-reason count, phase histograms, and the per-destination byte
+// counter (the future `-table wire` baseline).
+func (m *Manager) observeMigration(mm *MigrationMetrics, reason MigrateReason, dest int, payloadBytes int64) {
+	mt := m.met
+	mt.migrations[int(reason)%len(mt.migrations)].IncKeyed(uint64(dest))
+	mt.captureSec.ObserveDuration(int64(mm.Capture))
+	mt.transferSec.ObserveDuration(int64(mm.Transfer))
+	mt.restoreSec.ObserveDuration(int64(mm.Restore))
+	mt.latencySec.ObserveDuration(int64(mm.Latency))
+	mt.stateBytes.Observe(float64(mm.StateBytes))
+	m.node.Obs.Counter(obs.Label("sod_migration_bytes_total", "dest", strconv.Itoa(dest))).
+		AddKeyed(uint64(dest), payloadBytes)
 }
 
 func newManager(n *Node) *Manager {
@@ -314,7 +411,13 @@ func newManager(n *Node) *Manager {
 		wireLat:     make(map[int]time.Duration),
 		classSource: -1,
 		bus:         NewBus(n.ID),
+		met:         newMgrMetrics(n.Obs),
 	}
+	m.bus.SetObs(
+		n.Obs.Counter("sod_events_published_total"),
+		n.Obs.Counter("sod_events_coalesced_total"),
+		n.Obs.Counter("sod_event_subs_evicted_total"),
+	)
 	n.EP.Handle(netsim.KindMigrate, m.handleMigrate)
 	n.EP.Handle(netsim.KindFlush, m.handleFlush)
 	n.EP.Handle(netsim.KindClassRequest, m.handleClassRequest)
@@ -325,7 +428,38 @@ func newManager(n *Node) *Manager {
 	n.EP.Handle(netsim.KindStealRequest, m.handleStealRequest)
 	n.EP.Handle(netsim.KindStealGrant, m.handleStealGrant)
 	n.EP.Handle(netsim.KindJobEvent, m.handleJobEvent)
+	n.EP.Handle(netsim.KindTraceSpan, m.handleTraceSpan)
 	return m
+}
+
+// spanID derives a trace-unique span id from this node's token stream:
+// node id in the high 32 bits, a fresh token in the low bits — spans
+// emitted concurrently by different source nodes for the same job can
+// never collide, and never collide with RootSpanID (token 0 is unused).
+func (m *Manager) spanID() uint64 {
+	return uint64(uint32(m.node.ID))<<32 | (m.newToken() & 0xFFFFFFFF)
+}
+
+// emitSpans delivers spans to the trace store at the job's origin:
+// locally when this node is the origin, otherwise forwarded over
+// KindTraceSpan. Best effort, like the event stream — a span is
+// telemetry, never load-bearing state.
+func (m *Manager) emitSpans(origin int, spans ...obs.Span) {
+	if origin == m.node.ID {
+		m.node.Trace.Add(spans...)
+		return
+	}
+	m.node.EP.Send(origin, netsim.KindTraceSpan, obs.EncodeSpans(spans)) //nolint:errcheck // best effort
+}
+
+// handleTraceSpan receives forwarded spans for jobs that originated here.
+func (m *Manager) handleTraceSpan(from int, payload []byte) ([]byte, error) {
+	spans, err := obs.DecodeSpans(payload)
+	if err != nil {
+		return nil, err
+	}
+	m.node.Trace.Add(spans...)
+	return nil, nil
 }
 
 func (m *Manager) reset() {
@@ -337,7 +471,7 @@ func (m *Manager) reset() {
 	m.chainRecov = make(map[uint64][]uint64)
 	m.peerLoads = make(map[int]policy.Signals)
 	m.wireLat = make(map[int]time.Duration)
-	m.Migrations = nil
+	m.migRing, m.migNext, m.migTotal = nil, 0, 0
 	m.classSource = -1
 	m.classBytes = 0
 	m.stealStats = StealStats{}
@@ -350,15 +484,51 @@ func (m *Manager) reset() {
 func (m *Manager) LastMigration() MigrationMetrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.Migrations) == 0 {
+	if m.migTotal == 0 {
 		return MigrationMetrics{}
 	}
-	return m.Migrations[len(m.Migrations)-1]
+	last := m.migNext - 1
+	if last < 0 {
+		last = len(m.migRing) - 1
+	}
+	return m.migRing[last]
+}
+
+// RecentMigrations returns the retained migration records, oldest first
+// (at most migRingCap; lifetime totals live in MigrationCount and the
+// metrics registry).
+func (m *Manager) RecentMigrations() []MigrationMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MigrationMetrics, 0, len(m.migRing))
+	if m.migTotal > uint64(len(m.migRing)) {
+		// Ring has wrapped: oldest record sits at the write cursor.
+		out = append(out, m.migRing[m.migNext:]...)
+		out = append(out, m.migRing[:m.migNext]...)
+	} else {
+		out = append(out, m.migRing...)
+	}
+	return out
+}
+
+// MigrationCount returns how many migrations this node has ever
+// initiated (not capped by the ring).
+func (m *Manager) MigrationCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.migTotal
 }
 
 func (m *Manager) record(mm MigrationMetrics) {
 	m.mu.Lock()
-	m.Migrations = append(m.Migrations, mm)
+	if len(m.migRing) < migRingCap {
+		m.migRing = append(m.migRing, mm)
+		m.migNext = len(m.migRing) % migRingCap
+	} else {
+		m.migRing[m.migNext] = mm
+		m.migNext = (m.migNext + 1) % migRingCap
+	}
+	m.migTotal++
 	m.mu.Unlock()
 }
 
@@ -444,9 +614,15 @@ func (m *Manager) startJob(qualifiedMethod string, chained bool, args ...value.V
 		return nil, err
 	}
 	th.UserData = &threadCtx{homeNode: -1}
-	job := &Job{ID: m.newToken(), mgr: m, th: th, done: make(chan struct{}), chained: chained}
+	job := &Job{ID: m.newToken(), mgr: m, th: th, done: make(chan struct{}), chained: chained, started: time.Now()}
 	m.jobs.Set(job.ID, job)
 	m.routes.Set(job.ID, &route{kind: routeJob, job: job})
+	// Open the trace's root span; complete() upserts it with the final
+	// duration. Every migration/plant/forward span parents under it.
+	m.node.Trace.Add(obs.Span{
+		ID: obs.RootSpanID, Job: job.ID, Node: m.node.ID,
+		Name: "job", Start: job.started,
+	})
 	m.bus.Publish(JobEvent{Job: job.ID, Kind: EvStarted, From: m.node.ID, To: m.node.ID})
 	go m.runAndWatch(th, job)
 	return job, nil
@@ -582,6 +758,7 @@ func (m *Manager) sendFlushRetrying(node int, payload []byte, rpc bool, attempts
 		if err == nil || !isUnreachable(err) {
 			return err
 		}
+		m.met.flushRetries.Inc()
 		time.Sleep(flushRetryDelay)
 	}
 	return err
@@ -717,6 +894,7 @@ func (m *Manager) dispatchRoute(from int, rt *route, res value.Value, err error)
 				From: from, To: m.node.ID,
 				Seg: rt.chain.seg, SegOf: rt.chain.segOf,
 			})
+			m.observeForward(from, rt.chain)
 		}
 		_ = rt.th.Resume()
 
@@ -739,6 +917,7 @@ func (m *Manager) dispatchRoute(from int, rt *route, res value.Value, err error)
 				From: from, To: m.node.ID,
 				Seg: rt.chain.seg, SegOf: rt.chain.segOf,
 			})
+			m.observeForward(from, rt.chain)
 			job := m.adoptChainLink(rt.th, rt.chain, rt.next, rt.fallback, bottomReturns)
 			m.registerRemote(job)
 			go m.runRemoteJob(rt.th, job)
@@ -764,11 +943,24 @@ func (m *Manager) dispatchRoute(from int, rt *route, res value.Value, err error)
 			From: from, To: m.node.ID,
 			Seg: rt.chain.seg, SegOf: rt.chain.segOf,
 		})
+		m.observeForward(from, rt.chain)
 		bottomReturns := th.Frames[0].Method.ReturnsValue
 		job := m.adoptChainLink(th, rt.chain, rt.next, rt.fallback, bottomReturns)
 		m.registerRemote(job)
 		go m.runRemoteJob(th, job)
 	}
+}
+
+// observeForward records a chain link's activation — the moment a
+// forwarded value reached its planted frames: counter plus a point span
+// in the origin's trace.
+func (m *Manager) observeForward(from int, meta *chainLinkMeta) {
+	m.met.chainForwarded.IncKeyed(meta.job)
+	m.emitSpans(meta.origin, obs.Span{
+		ID: m.spanID(), Parent: obs.RootSpanID, Job: meta.job,
+		Node: m.node.ID, Name: "forward", Start: time.Now(),
+		Detail: fmt.Sprintf("segment %d/%d from node %d", meta.seg+1, meta.segOf, from),
+	})
 }
 
 // adoptChainLink wraps an activated chain link in a remote-flagged Job
@@ -1080,6 +1272,7 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		// existed). The captured state is still in hand, so fall back to
 		// local execution rather than stranding the job: the migration
 		// fails, the job does not — this node stays its live owner.
+		m.met.migFailures.Inc()
 		m.publishEvent(eventTo.node, JobEvent{
 			Job: eventTo.token, Kind: EvMigrationFailed,
 			From: n.ID, To: opts.Dest,
@@ -1121,6 +1314,26 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	mm.Freeze = mm.Latency
 	m.record(mm)
 	m.observeWireLatency(opts.Dest, mm.Transfer)
+	m.observeMigration(&mm, opts.Reason, opts.Dest, int64(len(payload)))
+	// The hop's span quartet goes to the origin's trace: the migrate span
+	// with its capture/transfer/restore children. The source clock times
+	// all four — the remote restore duration came back in the migrate
+	// reply, with its start approximated as transfer-end (same clock, no
+	// cross-machine skew in the timeline).
+	migSpan := m.spanID()
+	m.emitSpans(eventTo.node,
+		obs.Span{ID: migSpan, Parent: obs.RootSpanID, Job: eventTo.token,
+			Node: n.ID, Dest: opts.Dest, Name: "migrate", Start: t0,
+			Dur: mm.Latency, Bytes: int64(len(payload)), Detail: opts.Reason.String()},
+		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
+			Node: n.ID, Dest: opts.Dest, Name: "capture", Start: t0, Dur: mm.Capture},
+		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
+			Node: n.ID, Dest: opts.Dest, Name: "transfer", Start: sendStart,
+			Dur: mm.Transfer, Bytes: int64(len(payload))},
+		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
+			Node: n.ID, Dest: opts.Dest, Name: "restore",
+			Start: sendStart.Add(mm.Transfer), Dur: mm.Restore},
+	)
 	return &mm, nil
 }
 

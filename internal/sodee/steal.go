@@ -77,9 +77,16 @@ func (m *Manager) RequestSteal(victim int, thiefRunnable int) (bool, error) {
 	m.mu.Lock()
 	m.stealStats.RequestsSent++
 	m.mu.Unlock()
+	m.met.stealReqSent.IncKeyed(uint64(victim))
 	w := wire.NewWriter(8)
 	w.Varint(int64(thiefRunnable))
+	rttStart := time.Now()
 	reply, err := m.node.EP.Call(victim, netsim.KindStealRequest, w.Bytes())
+	// The round trip covers the victim's whole decision — including, on a
+	// win, the capture and transfer of the stolen job (the protocol's
+	// reply is the shipped verdict), which is exactly the latency a thief
+	// waits before it has work.
+	m.met.stealRTTSec.ObserveDuration(int64(time.Since(rttStart)))
 	if err != nil {
 		return false, err
 	}
@@ -92,6 +99,7 @@ func (m *Manager) RequestSteal(victim int, thiefRunnable int) (bool, error) {
 		m.mu.Lock()
 		m.stealStats.Won++
 		m.mu.Unlock()
+		m.met.stealWon.IncKeyed(uint64(victim))
 	}
 	return won, nil
 }
@@ -117,10 +125,12 @@ func (m *Manager) handleStealRequest(from int, payload []byte) ([]byte, error) {
 	cfg := m.steal
 	m.stealStats.RequestsServed++
 	m.mu.Unlock()
+	m.met.stealReqServed.IncKeyed(uint64(from))
 	deny := func() ([]byte, error) {
 		m.mu.Lock()
 		m.stealStats.Denied++
 		m.mu.Unlock()
+		m.met.stealDenied.IncKeyed(uint64(from))
 		return stealDeny(), nil
 	}
 	if cfg == nil {
@@ -154,6 +164,7 @@ func (m *Manager) handleStealRequest(from int, payload []byte) ([]byte, error) {
 	m.mu.Lock()
 	m.stealStats.Granted++
 	m.mu.Unlock()
+	m.met.stealGranted.IncKeyed(uint64(from))
 
 	// Announce the grant: one round trip that both tells the thief a job
 	// is coming and proves the requester is still alive before the
@@ -164,6 +175,7 @@ func (m *Manager) handleStealRequest(from int, payload []byte) ([]byte, error) {
 		m.mu.Lock()
 		m.stealStats.FailedTransfers++
 		m.mu.Unlock()
+		m.met.stealFailedXfer.IncKeyed(uint64(from))
 		return stealDeny(), nil
 	}
 
@@ -177,6 +189,7 @@ func (m *Manager) handleStealRequest(from int, payload []byte) ([]byte, error) {
 		m.mu.Lock()
 		m.stealStats.FailedTransfers++
 		m.mu.Unlock()
+		m.met.stealFailedXfer.IncKeyed(uint64(from))
 		return stealDeny(), nil
 	}
 	w := wire.NewWriter(16)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/daemon"
 	"repro/internal/membership"
+	"repro/internal/obs"
 	"repro/internal/sodee"
 	"repro/internal/value"
 )
@@ -67,9 +68,35 @@ type Client interface {
 	// stays exact — one too slow to keep even job outcomes is evicted,
 	// observed as the channel closing while ctx is still live).
 	WatchAll(ctx context.Context) (<-chan JobEvent, error)
+	// Metrics snapshots the connected node's metrics registry: counters,
+	// gauges and histograms covering migrations (per reason and phase),
+	// chain planting/forwarding, steals, result flushing, the event bus
+	// and membership transitions. Per-node; merge snapshots across nodes
+	// with MetricsSnapshot.Merge for a cluster view.
+	Metrics(ctx context.Context) (*MetricsSnapshot, error)
+	// Trace returns a job's span timeline: one root span for the job's
+	// lifetime plus a capture/transfer/restore triple under each
+	// migration hop and a plant/forward span per chain segment, causally
+	// ordered at the job's origin node (spans from remote hops ride home
+	// over the data plane). Ask through the node that started the job;
+	// traces for the last 256 jobs are retained.
+	Trace(ctx context.Context, jobID uint64) ([]TraceSpan, error)
 	// Close releases the client's resources. The cluster keeps running.
 	Close() error
 }
+
+// MetricsSnapshot is a point-in-time copy of one node's metrics
+// registry (see internal/obs): RenderPrometheus gives the text
+// exposition, Merge folds several nodes into a cluster view.
+type MetricsSnapshot = obs.Snapshot
+
+// TraceSpan is one entry of a job's migration timeline; RenderSpans
+// formats a whole trace the way sodctl trace does.
+type TraceSpan = obs.Span
+
+// RenderSpans formats a job trace as an indented, causally-ordered
+// timeline (the sodctl trace rendering).
+func RenderSpans(spans []TraceSpan) string { return obs.RenderTrace(spans) }
 
 // JobHandle is one submitted job. It replaces the Wait/WaitTimeout pair:
 // cancellation and deadlines come from the context, and an abandoned
@@ -293,6 +320,24 @@ func (cc *clusterClient) WatchAll(ctx context.Context) (<-chan JobEvent, error) 
 	return out, nil
 }
 
+func (cc *clusterClient) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return cc.n.Obs.Snapshot(), nil
+}
+
+func (cc *clusterClient) Trace(ctx context.Context, jobID uint64) ([]TraceSpan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spans := cc.n.Trace.Get(jobID)
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("sod: no trace for job %d (wrong origin node, or evicted)", jobID)
+	}
+	return spans, nil
+}
+
 func (cc *clusterClient) Close() error { return nil }
 
 // localJob adapts a runtime job to JobHandle.
@@ -427,6 +472,14 @@ func (dc *daemonClient) WatchAll(ctx context.Context) (<-chan JobEvent, error) {
 		return nil, err
 	}
 	return streamWithContext(ctx, inner, cancel), nil
+}
+
+func (dc *daemonClient) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	return callCtx(ctx, dc.c.Metrics)
+}
+
+func (dc *daemonClient) Trace(ctx context.Context, jobID uint64) ([]TraceSpan, error) {
+	return callCtx(ctx, func() ([]TraceSpan, error) { return dc.c.Trace(jobID) })
 }
 
 func (dc *daemonClient) Close() error {

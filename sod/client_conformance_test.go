@@ -3,6 +3,7 @@ package sod_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -721,6 +722,182 @@ func TestConformanceSlowWatcherBackpressure(t *testing.T) {
 		// backlog strictly smaller than the events the burst published.
 		if lagged == 0 && !closed && received >= 2*njobs {
 			t.Errorf("stalled watcher received all %d events; no backpressure was ever applied", received)
+		}
+	})
+}
+
+// TestConformanceMetricsAgreeWithStats pins the two observability
+// surfaces to each other: the metrics registry (Client.Metrics) and the
+// counter API (Client.Stats) must tell the same story about the submit
+// node's migrations and steals — on both implementations. Pushes can
+// only originate at node 1 (the one node with home-grown jobs), so the
+// balancer's Pushed count and node 1's pushed-migration counter must
+// converge to equality once the burst drains.
+func TestConformanceMetricsAgreeWithStats(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+
+		const njobs = 5
+		handles := make([]sod.JobHandle, njobs)
+		for i := range handles {
+			h, err := f.client.Submit(ctx, "main", sod.Int(int64(70+i)), sod.Int(confIters))
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			handles[i] = h
+		}
+		for i, h := range handles {
+			if _, err := h.Wait(ctx); err != nil {
+				t.Fatalf("wait %d: %v", i, err)
+			}
+		}
+
+		migrationsBy := func(snap *sod.MetricsSnapshot, reason string) int64 {
+			return snap.Counters[`sod_migrations_total{reason="`+reason+`"}`]
+		}
+		stealKeys := []string{
+			"sod_steal_requests_sent_total", "sod_steal_won_total",
+			"sod_steal_requests_served_total", "sod_steal_granted_total",
+			"sod_steal_denied_total", "sod_steal_failed_transfers_total",
+		}
+
+		// The registry counters are updated outside the stats locks, so
+		// poll briefly for agreement instead of demanding instant
+		// consistency.
+		deadline := time.Now().Add(10 * time.Second)
+		var lastErr string
+		for {
+			st, err := f.client.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, err := f.client.Metrics(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lastErr = ""
+			if got, want := migrationsBy(snap, "pushed"), int64(st.Balance.Pushed); got != want {
+				lastErr = fmt.Sprintf("pushed: metrics %d vs stats %d", got, want)
+			}
+			steal := []int64{
+				int64(st.Steal.RequestsSent), int64(st.Steal.Won),
+				int64(st.Steal.RequestsServed), int64(st.Steal.Granted),
+				int64(st.Steal.Denied), int64(st.Steal.FailedTransfers),
+			}
+			for i, key := range stealKeys {
+				if got := snap.Counters[key]; got != steal[i] {
+					lastErr = fmt.Sprintf("%s: metrics %d vs stats %d", key, got, steal[i])
+				}
+			}
+			// Internal consistency: every successful migration observes
+			// exactly one latency sample.
+			var totalMigs int64
+			for _, reason := range []string{"manual", "pushed", "stolen", "rebalanced", "chained"} {
+				totalMigs += migrationsBy(snap, reason)
+			}
+			if lat := snap.Histograms["sod_migration_latency_seconds"]; lat.Count != totalMigs {
+				lastErr = fmt.Sprintf("latency histogram count %d vs migrations total %d", lat.Count, totalMigs)
+			}
+			if lastErr == "" {
+				if totalMigs == 0 {
+					t.Fatal("no migrations recorded in the metrics registry; the burst never spilled")
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("metrics and stats never agreed: %s", lastErr)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// TestConformanceTrace pins the trace surface: after a job that
+// migrated, Trace must return exactly one root span plus a causally
+// consistent timeline (every Parent resolves, migrate spans carry their
+// capture/transfer/restore phases) — on both implementations — and an
+// unknown job must be an error, not an empty timeline.
+func TestConformanceTrace(t *testing.T) {
+	withClients(t, func(t *testing.T, f confFixture) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+
+		const njobs = 4
+		handles := make([]sod.JobHandle, njobs)
+		for i := range handles {
+			h, err := f.client.Submit(ctx, "main", sod.Int(int64(90+i)), sod.Int(confIters))
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			handles[i] = h
+		}
+		for i, h := range handles {
+			if _, err := h.Wait(ctx); err != nil {
+				t.Fatalf("wait %d: %v", i, err)
+			}
+		}
+
+		// Remote spans ride home asynchronously; poll until some job's
+		// timeline contains a complete migration hop.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var sawHop bool
+			for _, h := range handles {
+				spans, err := f.client.Trace(ctx, h.ID())
+				if err != nil {
+					t.Fatalf("trace job %d: %v", h.ID(), err)
+				}
+				byID := make(map[uint64]sod.TraceSpan, len(spans))
+				roots := 0
+				for _, s := range spans {
+					byID[s.ID] = s
+					if s.Parent == 0 {
+						roots++
+						if s.Name != "job" {
+							t.Fatalf("job %d root span named %q, want \"job\"", h.ID(), s.Name)
+						}
+					}
+				}
+				if roots != 1 {
+					t.Fatalf("job %d has %d root spans, want exactly 1: %+v", h.ID(), roots, spans)
+				}
+				phases := make(map[uint64]map[string]bool) // migrate span → child phases
+				for _, s := range spans {
+					if s.Parent == 0 {
+						continue
+					}
+					parent, ok := byID[s.Parent]
+					if !ok {
+						t.Fatalf("job %d span %q (id %d) has unresolved parent %d", h.ID(), s.Name, s.ID, s.Parent)
+					}
+					if parent.Name == "migrate" {
+						if phases[s.Parent] == nil {
+							phases[s.Parent] = make(map[string]bool)
+						}
+						phases[s.Parent][s.Name] = true
+					}
+				}
+				for id, ph := range phases {
+					for _, want := range []string{"capture", "transfer", "restore"} {
+						if !ph[want] {
+							t.Fatalf("job %d migrate span %d missing %s phase (has %v)", h.ID(), id, want, ph)
+						}
+					}
+					sawHop = true
+				}
+			}
+			if sawHop {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("no job's trace ever showed a complete migration hop")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+
+		if _, err := f.client.Trace(ctx, 999_999); err == nil {
+			t.Fatal("Trace(unknown job) succeeded; want an error")
 		}
 	})
 }
