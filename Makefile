@@ -10,9 +10,9 @@ GO ?= go
 # distinct set of job identities for every scenario).
 CHAOS_SEEDS ?= 1,7,42
 
-.PHONY: check vet build build-examples test race bench-smoke elastic cluster-smoke obs-smoke chaos
+.PHONY: check vet build build-examples test race bench-smoke elastic cluster-smoke obs-smoke chaos wire-gate
 
-check: vet build build-examples race bench-smoke
+check: vet build build-examples race bench-smoke wire-gate
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,14 @@ bench-smoke:
 # The full elastic comparison at default size.
 elastic:
 	$(GO) run ./cmd/sodbench -table elastic
+
+# The migration wire-format benchmark at CI smoke scale, gated against
+# the committed baseline: fails when warm-hop bytes-per-migration (or
+# capture→resume latency, beyond sleep-granularity noise) regresses more
+# than 30% against BENCH_wire.json. The fresh report lands in
+# BENCH_wire_ci.json so CI can upload the trajectory per-commit.
+wire-gate:
+	$(GO) run ./cmd/sodbench -table wire -short -json -wire-out BENCH_wire_ci.json -baseline BENCH_wire.json
 
 # Boot the 3-node TCP cluster integration tests standalone: membership
 # discovery, AutoBalance over real sockets, heartbeat crash detection,

@@ -11,10 +11,13 @@
 //	sodbench -table steal        # work stealing: push-only vs push+steal makespan
 //	sodbench -table workflow     # forward chains vs return-home on WAN links
 //	sodbench -table swarm        # control-plane load: 1k clients, crash mid-load
+//	sodbench -table wire         # migration wire format: full-state vs delta+streaming
 //
 // The swarm table also writes BENCH_swarm.json (see -json/-out) and can
 // gate CI: -baseline FILE exits non-zero when sustained jobs/sec drops
-// more than 30% below the committed baseline.
+// more than 30% below the committed baseline. The wire table does the
+// same with BENCH_wire.json (-wire-out), gating on warm-hop bytes and
+// capture→resume latency.
 package main
 
 import (
@@ -44,6 +47,9 @@ func main() {
 	outPath := flag.String("out", "BENCH_swarm.json", "swarm: report path for -json")
 	baseline := flag.String("baseline", "", "swarm: committed baseline report; exit non-zero when jobs/sec drops >30% below it")
 	metricsOut := flag.String("metrics-out", "", "swarm: write each run's metrics-registry snapshot (per fabric) to this JSON file")
+	wireTrips := flag.Int("wire-trips", 0, "wire: migrations per (fabric, mode) run (0 = default 12, -short 6)")
+	wireIters := flag.Int64("wire-iters", 0, "wire: crunch iterations per job (0 = default)")
+	wireOut := flag.String("wire-out", "BENCH_wire.json", "wire: report path for -json")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -167,6 +173,34 @@ func main() {
 	// The swarm benchmark is opt-in ("-table swarm"), not part of "all":
 	// it holds a thousand clients open and is a load test, not a paper
 	// table.
+	// The wire benchmark is opt-in like swarm: it is a regression gate for
+	// the migration fast path, not a paper table.
+	if *table == "wire" {
+		rep, err := experiments.Wire(experiments.WireConfig{
+			Trips: *wireTrips, Iters: *wireIters, Short: *short,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sodbench: table wire: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := experiments.WriteWireJSON(rep, *wireOut); err != nil {
+				fmt.Fprintf(os.Stderr, "sodbench: write %s: %v\n", *wireOut, err)
+				os.Exit(1)
+			}
+			data, _ := json.MarshalIndent(rep, "", "  ")
+			fmt.Println(string(data))
+		} else {
+			fmt.Print(experiments.RenderWire(rep))
+		}
+		if *baseline != "" {
+			if err := experiments.CheckWireRegression(rep, *baseline, 0.30); err != nil {
+				fmt.Fprintf(os.Stderr, "sodbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *table == "swarm" {
 		rep, err := experiments.Swarm(experiments.SwarmConfig{
 			Workers:       *swarmWorkers,

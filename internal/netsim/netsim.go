@@ -48,6 +48,7 @@ const (
 	KindStealGrant                       // work stealing: victim announces the job it is shipping
 	KindJobEvent                         // job lifecycle event forwarded to the job's origin node
 	KindTraceSpan                        // obs: batch of trace spans forwarded to the job's origin node
+	KindMigrateData                      // migration manager: streamed object/static payload for an announced migration
 )
 
 // Handler serves a request and returns the reply payload. Handlers run on

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -84,6 +85,21 @@ func (t *TCPTransport) SetDialWindow(backoff, max time.Duration) {
 	}
 }
 
+// MaxFrameBytes bounds a single framed message on the TCP transport, in
+// both directions: writers refuse to send larger frames and the read loop
+// refuses to allocate for a length prefix above it (a corrupt or hostile
+// prefix would otherwise make the receiver allocate gigabytes before the
+// first payload byte arrives, or — worse — a frame whose length field
+// overflowed uint32 would desynchronize the stream and hang every pending
+// call). 64 MiB comfortably covers whole-stack migrations with bundled
+// classes while still catching garbage prefixes.
+const MaxFrameBytes = 64 << 20
+
+// ErrFrameTooLarge: a message exceeded MaxFrameBytes. Deliberately NOT
+// wrapped in ErrUnreachable — the peer is fine, the payload is the
+// problem, and the crash classifiers must not treat it as a dead node.
+var ErrFrameTooLarge = fmt.Errorf("tcp: frame exceeds %d-byte limit", MaxFrameBytes)
+
 // tcpConn wraps one established connection; mu serializes frame writes.
 type tcpConn struct {
 	mu   sync.Mutex
@@ -91,6 +107,9 @@ type tcpConn struct {
 }
 
 func (c *tcpConn) writeFrame(kind MsgKind, flags byte, corr uint64, payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("refusing %d-byte frame: %w", len(payload), ErrFrameTooLarge)
+	}
 	hdr := make([]byte, 14)
 	hdr[0] = byte(kind)
 	hdr[1] = flags
@@ -98,10 +117,12 @@ func (c *tcpConn) writeFrame(kind MsgKind, flags byte, corr uint64, payload []by
 	binary.LittleEndian.PutUint32(hdr[10:], uint32(len(payload)))
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := c.conn.Write(hdr); err != nil {
-		return err
-	}
-	_, err := c.conn.Write(payload)
+	// One vectored write: header and payload leave as a unit, so a
+	// concurrent writer can never interleave between them (the old
+	// two-Write sequence relied on the mutex alone; a partial first write
+	// followed by a competing frame would desynchronize the stream).
+	buf := net.Buffers{hdr, payload}
+	_, err := buf.WriteTo(c.conn)
 	return err
 }
 
@@ -309,6 +330,14 @@ func (t *TCPTransport) readLoop(peerID int, c *tcpConn) {
 		flags := hdr[1]
 		corr := binary.LittleEndian.Uint64(hdr[2:])
 		n := binary.LittleEndian.Uint32(hdr[10:])
+		if n > MaxFrameBytes {
+			// An over-limit length prefix means the stream is corrupt or
+			// the peer is misbehaving; there is no way to resynchronize a
+			// byte stream past an untrusted length, so the connection is
+			// dropped (dropConn fails the pending calls) rather than
+			// allocating for it or hanging.
+			return
+		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(c.conn, payload); err != nil {
 			return
@@ -348,7 +377,11 @@ func (t *TCPTransport) readLoop(peerID int, c *tcpConn) {
 				c.writeFrame(kind, flagReply|flagErr, corr, []byte(herr.Error())) //nolint:errcheck
 				return
 			}
-			c.writeFrame(kind, flagReply, corr, reply) //nolint:errcheck
+			if err := c.writeFrame(kind, flagReply, corr, reply); errors.Is(err, ErrFrameTooLarge) {
+				// An oversized *reply* must still answer the caller, or its
+				// Call would hang until timeout; downgrade to an error reply.
+				c.writeFrame(kind, flagReply|flagErr, corr, []byte(err.Error())) //nolint:errcheck
+			}
 		}(kind, corr, payload)
 	}
 }
@@ -387,6 +420,10 @@ func (t *TCPTransport) Call(to int, kind MsgKind, payload []byte) ([]byte, error
 		t.mu.Lock()
 		delete(t.waiting, corr)
 		t.mu.Unlock()
+		if errors.Is(err, ErrFrameTooLarge) {
+			// The connection is healthy; only this payload is refused.
+			return nil, fmt.Errorf("tcp: node %d call to %d: %w", t.id, to, err)
+		}
 		return nil, fmt.Errorf("tcp: node %d send to %d: %v: %w", t.id, to, err, ErrUnreachable)
 	}
 	var rep tcpReply
@@ -423,6 +460,9 @@ func (t *TCPTransport) Send(to int, kind MsgKind, payload []byte) error {
 		return err
 	}
 	if err := c.writeFrame(kind, 0, 0, payload); err != nil {
+		if errors.Is(err, ErrFrameTooLarge) {
+			return fmt.Errorf("tcp: node %d send to %d: %w", t.id, to, err)
+		}
 		return fmt.Errorf("tcp: node %d send to %d: %v: %w", t.id, to, err, ErrUnreachable)
 	}
 	return nil

@@ -2,6 +2,7 @@ package serial
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bytecode"
 	"repro/internal/value"
@@ -29,19 +30,23 @@ func EncodeClass(prog *bytecode.Program, cid int32) []byte {
 	w.Varint(int64(c.Super))
 	encFields(w, c.Fields)
 	encFields(w, c.Statics)
-	w.Uvarint(uint64(len(c.Methods)))
-	for name, mid := range c.Methods {
+	// Deterministic method order: the bundle's bytes must be identical
+	// across encodings so the delta protocol's content hashes can match a
+	// repeat shipment of the same class (map iteration order is not).
+	names := make([]string, 0, len(c.Methods))
+	for name := range c.Methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.Uvarint(uint64(len(names)))
+	for _, name := range names {
 		w.String(name)
-		w.Varint(int64(mid))
+		w.Varint(int64(c.Methods[name]))
 	}
-	// Method bodies.
-	var mids []int32
-	for _, mid := range c.Methods {
-		mids = append(mids, mid)
-	}
-	w.Uvarint(uint64(len(mids)))
-	for _, mid := range mids {
-		encMethod(w, prog.Methods[mid])
+	// Method bodies, in the same order.
+	w.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		encMethod(w, prog.Methods[c.Methods[name]])
 	}
 	return w.Bytes()
 }

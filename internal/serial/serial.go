@@ -252,6 +252,152 @@ func javaSerCheck(r *wire.Reader, desc string) error {
 
 // --- CapturedState ---
 
+// encFrame writes one frame in the codec's per-frame layout; the unit is
+// self-delimiting, so the same bytes work inline in a CapturedState or as
+// a standalone delta unit (EncodeFrame).
+func encFrame(w *wire.Writer, f *CapturedFrame, prog *bytecode.Program, c Codec) {
+	if c == JavaSer {
+		m := prog.Methods[f.MethodID]
+		w.String(prog.QualifiedName(m))
+		w.Fixed32(uint32(f.PC))
+		w.Uvarint(uint64(len(f.Locals)))
+		for slot, lv := range f.Locals {
+			w.String(fmt.Sprintf("slot%d", slot)) // variable descriptor
+			encValue(w, lv, c)
+		}
+	} else {
+		w.Varint(int64(f.MethodID))
+		w.Varint(int64(f.PC))
+		encValues(w, f.Locals, c)
+	}
+	w.Varint(int64(f.ResumePC))
+	w.Bool(f.Pinned)
+}
+
+func decFrame(r *wire.Reader, prog *bytecode.Program, c Codec) (CapturedFrame, error) {
+	var f CapturedFrame
+	if c == JavaSer {
+		name := r.String()
+		mid := prog.MethodByName(name)
+		if mid < 0 {
+			return f, fmt.Errorf("serial: unknown method %q", name)
+		}
+		f.MethodID = mid
+		f.PC = int32(r.Fixed32())
+		n := r.Uvarint()
+		if r.Err() != nil || n > uint64(r.Remaining()) {
+			return f, fmt.Errorf("serial: corrupt locals count")
+		}
+		f.Locals = make([]value.Value, n)
+		for j := range f.Locals {
+			_ = r.String() // descriptor, ignored on decode
+			f.Locals[j] = decValue(r, c)
+		}
+	} else {
+		f.MethodID = int32(r.Varint())
+		f.PC = int32(r.Varint())
+		f.Locals = decValues(r, c)
+	}
+	f.ResumePC = int32(r.Varint())
+	f.Pinned = r.Bool()
+	return f, r.Err()
+}
+
+// EncodeFrame serializes one frame as a standalone unit — the content the
+// delta path hashes and caches per link. The bytes are identical to the
+// frame's inline representation inside EncodeCapturedState.
+func EncodeFrame(f *CapturedFrame, prog *bytecode.Program, c Codec) []byte {
+	w := wire.NewWriter(64)
+	encFrame(w, f, prog, c)
+	return w.Bytes()
+}
+
+// DecodeFrame parses a standalone frame unit produced by EncodeFrame.
+func DecodeFrame(buf []byte, prog *bytecode.Program, c Codec) (CapturedFrame, error) {
+	r := wire.NewReader(buf)
+	f, err := decFrame(r, prog, c)
+	if err != nil {
+		return f, err
+	}
+	return f, r.Err()
+}
+
+// encClassStatics writes one class's statics block (same inline/standalone
+// duality as encFrame).
+func encClassStatics(w *wire.Writer, s *ClassStatics, prog *bytecode.Program, c Codec) {
+	if c == JavaSer {
+		cl := prog.Classes[s.ClassID]
+		w.String(cl.Name)
+		w.Uvarint(uint64(len(s.Values)))
+		for i, sv := range s.Values {
+			name := "?"
+			if i < len(cl.Statics) {
+				name = cl.Statics[i].Name
+			}
+			w.String(name)
+			encValue(w, sv, c)
+		}
+	} else {
+		w.Varint(int64(s.ClassID))
+		encValues(w, s.Values, c)
+	}
+}
+
+func decClassStatics(r *wire.Reader, prog *bytecode.Program, c Codec) (ClassStatics, error) {
+	var s ClassStatics
+	if c == JavaSer {
+		name := r.String()
+		cid := prog.ClassByName(name)
+		if cid < 0 {
+			return s, fmt.Errorf("serial: unknown class %q", name)
+		}
+		s.ClassID = cid
+		n := r.Uvarint()
+		if r.Err() != nil || n > uint64(r.Remaining()) {
+			return s, fmt.Errorf("serial: corrupt statics")
+		}
+		s.Values = make([]value.Value, n)
+		for j := range s.Values {
+			_ = r.String() // field descriptor
+			s.Values[j] = decValue(r, c)
+		}
+	} else {
+		s.ClassID = int32(r.Varint())
+		s.Values = decValues(r, c)
+	}
+	return s, r.Err()
+}
+
+// EncodeClassStatics serializes one class's statics as a standalone unit.
+func EncodeClassStatics(s *ClassStatics, prog *bytecode.Program, c Codec) []byte {
+	w := wire.NewWriter(32)
+	encClassStatics(w, s, prog, c)
+	return w.Bytes()
+}
+
+// DecodeClassStatics parses a standalone statics unit.
+func DecodeClassStatics(buf []byte, prog *bytecode.Program, c Codec) (ClassStatics, error) {
+	r := wire.NewReader(buf)
+	return decClassStatics(r, prog, c)
+}
+
+// Hash64 is the content hash the delta protocol keys its link caches by:
+// 64-bit FNV-1a over the encoded unit bytes. Not cryptographic — peers in
+// one cluster are mutually trusted; a collision costs a wrong restore, so
+// 64 bits over the handful of live units per link is comfortable.
+func Hash64(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
 // EncodeCapturedState serializes cs. The JavaSer form additionally writes
 // method names and per-slot descriptors, as the paper's device fallback
 // does.
@@ -264,42 +410,12 @@ func EncodeCapturedState(cs *CapturedState, prog *bytecode.Program, c Codec) []b
 	w.Varint(int64(cs.HomeNode))
 	w.Varint(int64(cs.ThreadID))
 	w.Uvarint(uint64(len(cs.Frames)))
-	for _, f := range cs.Frames {
-		if c == JavaSer {
-			m := prog.Methods[f.MethodID]
-			w.String(prog.QualifiedName(m))
-			w.Fixed32(uint32(f.PC))
-			w.Uvarint(uint64(len(f.Locals)))
-			for slot, lv := range f.Locals {
-				w.String(fmt.Sprintf("slot%d", slot)) // variable descriptor
-				encValue(w, lv, c)
-			}
-		} else {
-			w.Varint(int64(f.MethodID))
-			w.Varint(int64(f.PC))
-			encValues(w, f.Locals, c)
-		}
-		w.Varint(int64(f.ResumePC))
-		w.Bool(f.Pinned)
+	for i := range cs.Frames {
+		encFrame(w, &cs.Frames[i], prog, c)
 	}
 	w.Uvarint(uint64(len(cs.Statics)))
-	for _, s := range cs.Statics {
-		if c == JavaSer {
-			cl := prog.Classes[s.ClassID]
-			w.String(cl.Name)
-			w.Uvarint(uint64(len(s.Values)))
-			for i, sv := range s.Values {
-				name := "?"
-				if i < len(cl.Statics) {
-					name = cl.Statics[i].Name
-				}
-				w.String(name)
-				encValue(w, sv, c)
-			}
-		} else {
-			w.Varint(int64(s.ClassID))
-			encValues(w, s.Values, c)
-		}
+	for i := range cs.Statics {
+		encClassStatics(w, &cs.Statics[i], prog, c)
 	}
 	w.Uvarint(uint64(len(cs.AllocHints)))
 	for _, h := range cs.AllocHints {
@@ -337,31 +453,10 @@ func DecodeCapturedState(buf []byte, prog *bytecode.Program, c Codec) (*Captured
 		return nil, fmt.Errorf("serial: corrupt frame count")
 	}
 	for i := uint64(0); i < nf; i++ {
-		var f CapturedFrame
-		if c == JavaSer {
-			name := r.String()
-			mid := prog.MethodByName(name)
-			if mid < 0 {
-				return nil, fmt.Errorf("serial: unknown method %q", name)
-			}
-			f.MethodID = mid
-			f.PC = int32(r.Fixed32())
-			n := r.Uvarint()
-			if r.Err() != nil || n > uint64(r.Remaining()) {
-				return nil, fmt.Errorf("serial: corrupt locals count")
-			}
-			f.Locals = make([]value.Value, n)
-			for j := range f.Locals {
-				_ = r.String() // descriptor, ignored on decode
-				f.Locals[j] = decValue(r, c)
-			}
-		} else {
-			f.MethodID = int32(r.Varint())
-			f.PC = int32(r.Varint())
-			f.Locals = decValues(r, c)
+		f, err := decFrame(r, prog, c)
+		if err != nil {
+			return nil, err
 		}
-		f.ResumePC = int32(r.Varint())
-		f.Pinned = r.Bool()
 		cs.Frames = append(cs.Frames, f)
 	}
 	ns := r.Uvarint()
@@ -369,26 +464,9 @@ func DecodeCapturedState(buf []byte, prog *bytecode.Program, c Codec) (*Captured
 		return nil, fmt.Errorf("serial: corrupt statics count")
 	}
 	for i := uint64(0); i < ns; i++ {
-		var s ClassStatics
-		if c == JavaSer {
-			name := r.String()
-			cid := prog.ClassByName(name)
-			if cid < 0 {
-				return nil, fmt.Errorf("serial: unknown class %q", name)
-			}
-			s.ClassID = cid
-			n := r.Uvarint()
-			if r.Err() != nil || n > uint64(r.Remaining()) {
-				return nil, fmt.Errorf("serial: corrupt statics")
-			}
-			s.Values = make([]value.Value, n)
-			for j := range s.Values {
-				_ = r.String() // field descriptor
-				s.Values[j] = decValue(r, c)
-			}
-		} else {
-			s.ClassID = int32(r.Varint())
-			s.Values = decValues(r, c)
+		s, err := decClassStatics(r, prog, c)
+		if err != nil {
+			return nil, err
 		}
 		cs.Statics = append(cs.Statics, s)
 	}

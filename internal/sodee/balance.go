@@ -45,7 +45,7 @@ func (m *Manager) LocalSignals() policy.Signals {
 			rate = float64(instr-m.lastInstr) / dt
 		}
 	}
-	m.lastInstr, m.lastSample = instr, now
+	m.lastInstr, m.lastSample, m.lastRate = instr, now, rate
 	m.mu.Unlock()
 	return policy.Signals{
 		Node:     m.node.ID,
@@ -57,20 +57,63 @@ func (m *Manager) LocalSignals() policy.Signals {
 	}
 }
 
+// piggybackWindow is how recently a peer must have received piggybacked
+// signals for PublishLoad to skip its dedicated report. Well under the
+// membership tracker's SuspectAfter: suppression must never starve a
+// peer's failure detector of heartbeats (the piggybacked report it just
+// got was one).
+const piggybackWindow = 25 * time.Millisecond
+
 // PublishLoad gossips this node's signals to every peer the membership
 // tracker knows — dead ones included, so a rejoined node is noticed. It
 // returns the sampled signals and the per-peer send errors (an
-// unreachable peer is crash evidence for the failure detector).
+// unreachable peer is crash evidence for the failure detector). Peers
+// that just received these signals piggybacked on a migration are
+// skipped for this round — the report would be redundant traffic.
 func (m *Manager) PublishLoad() (policy.Signals, map[int]error) {
 	s := m.LocalSignals()
-	payload := EncodeSignals(s)
+	payload := encodeSignalsCaps(s, m.WireCaps())
 	errs := make(map[int]error)
 	for _, id := range m.node.Members.Known() {
+		if m.recentlyPiggybacked(id, piggybackWindow) {
+			m.met.gossipSuppressed.Inc()
+			continue
+		}
 		if err := m.node.EP.Send(id, netsim.KindLoadReport, payload); err != nil {
 			errs[id] = err
 		}
 	}
 	return s, errs
+}
+
+// piggybackSignals builds the load report that rides a migration data
+// message: a fresh runnable count with the last-sampled step rate. It
+// reads — never advances — the gossip loop's sampling cursor, so the
+// periodic rate windows stay intact however many migrations fire between
+// ticks.
+func (m *Manager) piggybackSignals() []byte {
+	m.mu.Lock()
+	rate := m.lastRate
+	m.mu.Unlock()
+	return encodeSignalsCaps(policy.Signals{
+		Node:     m.node.ID,
+		Runnable: m.node.VM.NumThreads(),
+		Cores:    m.node.Cores,
+		Speed:    m.node.Speed,
+		StepRate: rate,
+		Faults:   m.node.ObjMan.FetchesByOwner(),
+	}, m.WireCaps())
+}
+
+// absorbSignals records a peer's load report however it arrived —
+// dedicated gossip or piggybacked on a migration — and counts it as a
+// heartbeat.
+func (m *Manager) absorbSignals(s policy.Signals, caps byte) {
+	m.mu.Lock()
+	m.peerLoads[s.Node] = s
+	m.mu.Unlock()
+	m.setPeerCaps(s.Node, caps)
+	m.node.Members.Observe(s.Node, time.Now())
 }
 
 // GossipTick runs one heartbeat round: publish the local load, feed the
@@ -122,15 +165,14 @@ func (m *Manager) RunningJobs() []*Job {
 }
 
 func (m *Manager) handleLoadReport(from int, payload []byte) ([]byte, error) {
-	s, err := DecodeSignals(payload)
+	// Every load report doubles as a heartbeat: the sender is alive. The
+	// trailing capability byte (absent from older senders) negotiates the
+	// migration wire format per link.
+	s, caps, err := decodeSignalsCaps(payload)
 	if err != nil {
 		return nil, err
 	}
-	m.mu.Lock()
-	m.peerLoads[s.Node] = s
-	m.mu.Unlock()
-	// Every load report doubles as a heartbeat: the sender is alive.
-	m.node.Members.Observe(s.Node, time.Now())
+	m.absorbSignals(s, caps)
 	return nil, nil
 }
 
@@ -150,9 +192,17 @@ func EncodeSignals(s policy.Signals) []byte {
 	return w.Bytes()
 }
 
-// DecodeSignals parses a wire-format load report.
-func DecodeSignals(payload []byte) (policy.Signals, error) {
-	r := wire.NewReader(payload)
+// encodeSignalsCaps appends this node's wire-capability byte to a load
+// report. Receivers that predate the capability field parse the fixed
+// fields and never look at the tail; senders that predate it emit no
+// tail and are taken as capability-zero. Either way the link falls back
+// to the full-state migration format.
+func encodeSignalsCaps(s policy.Signals, caps byte) []byte {
+	return append(EncodeSignals(s), caps)
+}
+
+// readSignals parses the fixed load-report fields from r.
+func readSignals(r *wire.Reader) policy.Signals {
 	s := policy.Signals{
 		Node:     int(r.Varint()),
 		Runnable: int(r.Varint()),
@@ -167,7 +217,26 @@ func DecodeSignals(payload []byte) (policy.Signals, error) {
 			s.Faults[node] = r.Varint()
 		}
 	}
+	return s
+}
+
+// DecodeSignals parses a wire-format load report.
+func DecodeSignals(payload []byte) (policy.Signals, error) {
+	r := wire.NewReader(payload)
+	s := readSignals(r)
 	return s, r.Err()
+}
+
+// decodeSignalsCaps parses a load report plus its optional trailing
+// capability byte.
+func decodeSignalsCaps(payload []byte) (policy.Signals, byte, error) {
+	r := wire.NewReader(payload)
+	s := readSignals(r)
+	var caps byte
+	if r.Err() == nil && r.Remaining() > 0 {
+		caps = r.Byte()
+	}
+	return s, caps, r.Err()
 }
 
 // --- the balancer ---

@@ -2,12 +2,38 @@ package sodee
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/serial"
 	"repro/internal/toolif"
 	"repro/internal/value"
 	"repro/internal/vm"
 )
+
+// appendStatics emits the statics of classes in ascending class-id order.
+// Determinism matters: two captures of unchanged state must encode to the
+// same bytes, or the delta path's content hashes never repeat and every
+// migration pays for a full resend (map-iteration order used to randomize
+// the statics sequence between captures).
+func appendStatics(cs *serial.CapturedState, statics [][]value.Value, classes map[int32]bool) {
+	ids := make([]int32, 0, len(classes))
+	for cid := range classes {
+		ids = append(ids, cid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, cid := range ids {
+		if int(cid) >= len(statics) {
+			continue
+		}
+		vals := statics[cid]
+		if len(vals) == 0 {
+			continue
+		}
+		cs.Statics = append(cs.Statics, serial.ClassStatics{
+			ClassID: cid, Values: append([]value.Value(nil), vals...),
+		})
+	}
+}
 
 // CaptureSegment captures the topmost nFrames of a parked thread through
 // the tool interface — the Fig 3 code path, paying the per-call JVMTI
@@ -69,15 +95,7 @@ func CaptureSegment(a *toolif.Agent, t *vm.Thread, skip, nFrames int, homeNode i
 		}
 	}
 
-	for cid := range classes {
-		vals := a.VM.Statics[cid]
-		if len(vals) == 0 {
-			continue
-		}
-		cs.Statics = append(cs.Statics, serial.ClassStatics{
-			ClassID: cid, Values: append([]value.Value(nil), vals...),
-		})
-	}
+	appendStatics(cs, a.VM.Statics, classes)
 	return cs, nil
 }
 
@@ -120,15 +138,7 @@ func CaptureDirect(v *vm.VM, t *vm.Thread, nFrames int, homeNode int, allStatics
 			}
 		}
 	}
-	for cid := range classes {
-		vals := v.Statics[cid]
-		if len(vals) == 0 {
-			continue
-		}
-		cs.Statics = append(cs.Statics, serial.ClassStatics{
-			ClassID: cid, Values: append([]value.Value(nil), vals...),
-		})
-	}
+	appendStatics(cs, v.Statics, classes)
 	return cs, nil
 }
 

@@ -6,7 +6,6 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/serial"
@@ -109,7 +108,7 @@ func (m *Manager) plantChainLink(node int, seg *serial.CapturedState, expectValu
 		chainSeg:    meta.seg,
 		chainOf:     meta.segOf,
 	}
-	reply, err := m.node.EP.Call(node, netsim.KindMigrate, msg.encode(m.node.Prog, m.codecFor(node)))
+	reply, _, _, err := m.sendMigrate(node, &msg)
 	if err != nil {
 		return 0, err
 	}
@@ -393,14 +392,13 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 		chainJob:    eventTo.token,
 		chainOrigin: eventTo.node,
 	}
-	payload := msg.encode(n.Prog, m.codecFor(dest0))
 	m.publishEvent(origin, JobEvent{
 		Job: eventTo.token, Kind: EvMigrated,
 		From: n.ID, To: dest0,
 		Reason: reason, Hops: int(hops), Seg: 0, SegOf: s,
 	})
 	sendStart := time.Now()
-	reply, serr := n.EP.Call(dest0, netsim.KindMigrate, payload)
+	reply, wireBytes, classBytes, serr := m.sendMigrate(dest0, &msg)
 	if serr != nil {
 		// The executing segment's destination is unreachable; run it here
 		// instead. Its value still flows into the planted chain — only
@@ -434,23 +432,19 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 		m.jobs.Delete(job.ID)
 	}
 
-	var classBytes int64
-	for _, cb := range msg.classes {
-		classBytes += int64(len(cb))
-	}
 	mm := MigrationMetrics{
 		System:     n.System,
 		Capture:    captureDone.Sub(t0),
 		Transfer:   arrival.Sub(sendStart),
 		Restore:    restoreDur,
-		StateBytes: int64(len(payload)) - classBytes,
+		StateBytes: wireBytes - classBytes,
 		ClassBytes: classBytes,
 	}
 	mm.Latency = mm.Capture + mm.Transfer + mm.Restore
 	mm.Freeze = mm.Latency
 	m.record(mm)
 	m.observeWireLatency(dest0, mm.Transfer)
-	m.observeMigration(&mm, reason, dest0, int64(len(payload)))
+	m.observeMigration(&mm, reason, dest0, wireBytes)
 	// Top-segment span quartet, same shape as MigrateSOD's: capture here
 	// covers the whole stack (every link), transfer/restore the executing
 	// segment's trip.
@@ -458,13 +452,13 @@ func (m *Manager) MigrateChain(job *Job, planFn ChainPlanFunc, reason MigrateRea
 	m.emitSpans(origin,
 		obs.Span{ID: migSpan, Parent: obs.RootSpanID, Job: eventTo.token,
 			Node: n.ID, Dest: dest0, Name: "migrate", Start: t0,
-			Dur: mm.Latency, Bytes: int64(len(payload)),
+			Dur: mm.Latency, Bytes: wireBytes,
 			Detail: fmt.Sprintf("%s, chain segment 1/%d", reason, s)},
 		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
 			Node: n.ID, Dest: dest0, Name: "capture", Start: t0, Dur: mm.Capture},
 		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
 			Node: n.ID, Dest: dest0, Name: "transfer", Start: sendStart,
-			Dur: mm.Transfer, Bytes: int64(len(payload))},
+			Dur: mm.Transfer, Bytes: wireBytes},
 		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
 			Node: n.ID, Dest: dest0, Name: "restore",
 			Start: sendStart.Add(mm.Transfer), Dur: mm.Restore},

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/bytecode"
+	"repro/internal/membership"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/policy"
@@ -299,10 +300,36 @@ type Manager struct {
 	stealStats StealStats
 
 	// Gossiped load state: the last report received from each peer, and
-	// the sampling cursor for this node's own step rate.
+	// the sampling cursor for this node's own step rate. lastRate keeps
+	// the most recent sampled rate so piggybacked reports can reuse it
+	// without advancing the cursor (see piggybackSignals).
 	peerLoads  map[int]policy.Signals
 	lastInstr  uint64
 	lastSample time.Time
+	lastRate   float64
+
+	// Delta/streaming wire state (deltacache.go): per-peer link caches of
+	// migration units, the capability bytes peers advertised via gossip,
+	// this node's own advertised capabilities, and the per-peer timestamp
+	// of the last piggybacked load report.
+	deltaMu   sync.Mutex
+	links     map[int]*linkCache
+	peerCaps  map[int]byte
+	selfCaps  byte
+	lastPiggy map[int]time.Time
+
+	// In-flight streamed-migration data payloads (stream.go): rendezvous
+	// between KindMigrateData messages and the control messages that
+	// announce them.
+	streamMu sync.Mutex
+	streams  map[streamKey]*streamEntry
+
+	// Test hooks for the streamed path: testPreStream runs just before the
+	// data message is sent; testStreamDelay > 0 sends the data message
+	// asynchronously after that delay, widening the restore-waits-for-data
+	// window that is nearly zero on a healthy fabric.
+	testPreStream   func(dest int)
+	testStreamDelay time.Duration
 
 	// wireLat holds an EWMA of the measured per-migration wire latency to
 	// each destination — the cost-model calibration source: once a real
@@ -356,6 +383,13 @@ type mgrMetrics struct {
 	stealGranted    *obs.Counter
 	stealDenied     *obs.Counter
 	stealFailedXfer *obs.Counter
+
+	deltaHits        *obs.Counter // units sent as cache references
+	deltaSaved       *obs.Counter // wire bytes avoided by those references
+	deltaMisses      *obs.Counter // full resends after a reference failed
+	streamedMig      *obs.Counter // migrations whose statics streamed
+	gossipPiggyback  *obs.Counter // load reports that rode a migration
+	gossipSuppressed *obs.Counter // dedicated reports skipped as redundant
 }
 
 func newMgrMetrics(r *obs.Registry) *mgrMetrics {
@@ -378,6 +412,13 @@ func newMgrMetrics(r *obs.Registry) *mgrMetrics {
 		stealGranted:    r.Counter("sod_steal_granted_total"),
 		stealDenied:     r.Counter("sod_steal_denied_total"),
 		stealFailedXfer: r.Counter("sod_steal_failed_transfers_total"),
+
+		deltaHits:        r.Counter("sod_delta_hits_total"),
+		deltaSaved:       r.Counter("sod_delta_bytes_saved"),
+		deltaMisses:      r.Counter("sod_delta_misses_total"),
+		streamedMig:      r.Counter("sod_streamed_migrations_total"),
+		gossipPiggyback:  r.Counter("sod_gossip_piggybacked_total"),
+		gossipSuppressed: r.Counter("sod_gossip_suppressed_total"),
 	}
 	for i := range mm.migrations {
 		mm.migrations[i] = r.Counter(obs.Label("sod_migrations_total", "reason", MigrateReason(i).String()))
@@ -409,16 +450,31 @@ func newManager(n *Node) *Manager {
 		chainRecov:  make(map[uint64][]uint64),
 		peerLoads:   make(map[int]policy.Signals),
 		wireLat:     make(map[int]time.Duration),
+		links:       make(map[int]*linkCache),
+		peerCaps:    make(map[int]byte),
+		selfCaps:    capAll,
+		lastPiggy:   make(map[int]time.Time),
+		streams:     make(map[streamKey]*streamEntry),
 		classSource: -1,
 		bus:         NewBus(n.ID),
 		met:         newMgrMetrics(n.Obs),
 	}
+	// A peer that died or rejoined lost its half of every link cache:
+	// referencing units against it would at best miss and at worst (death,
+	// restart, re-listen on the same id) resolve against a stale cache.
+	// Evict on both transitions; the cache rebuilds on the next migration.
+	n.Members.OnChange(func(ev membership.Event) {
+		if ev.State == membership.Dead || ev.State == membership.Alive {
+			m.dropLink(ev.Node)
+		}
+	})
 	m.bus.SetObs(
 		n.Obs.Counter("sod_events_published_total"),
 		n.Obs.Counter("sod_events_coalesced_total"),
 		n.Obs.Counter("sod_event_subs_evicted_total"),
 	)
 	n.EP.Handle(netsim.KindMigrate, m.handleMigrate)
+	n.EP.Handle(netsim.KindMigrateData, m.handleMigrateData)
 	n.EP.Handle(netsim.KindFlush, m.handleFlush)
 	n.EP.Handle(netsim.KindClassRequest, m.handleClassRequest)
 	n.EP.Handle(netsim.KindProcMigrate, m.handleProcMigrate)
@@ -471,6 +527,15 @@ func (m *Manager) reset() {
 	m.chainRecov = make(map[uint64][]uint64)
 	m.peerLoads = make(map[int]policy.Signals)
 	m.wireLat = make(map[int]time.Duration)
+	m.lastRate = 0
+	m.deltaMu.Lock()
+	m.links = make(map[int]*linkCache)
+	m.peerCaps = make(map[int]byte)
+	m.lastPiggy = make(map[int]time.Time)
+	m.deltaMu.Unlock()
+	m.streamMu.Lock()
+	m.streams = make(map[streamKey]*streamEntry)
+	m.streamMu.Unlock()
 	m.migRing, m.migNext, m.migTotal = nil, 0, 0
 	m.classSource = -1
 	m.classBytes = 0
@@ -1253,7 +1318,6 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		chainJob:    eventTo.token,
 		chainOrigin: eventTo.node,
 	}
-	payload := msg.encode(n.Prog, m.codecFor(opts.Dest))
 	// Announce the hop *before* the transfer: a fast destination can run
 	// the segment to completion (and flush the result to the origin)
 	// before this goroutine is scheduled again, and a migration notice
@@ -1266,7 +1330,7 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		Reason: opts.Reason, Hops: int(seg.Hops),
 	})
 	sendStart := time.Now()
-	reply, err := n.EP.Call(opts.Dest, netsim.KindMigrate, payload)
+	reply, wireBytes, classBytes, err := m.sendMigrate(opts.Dest, &msg)
 	if err != nil {
 		// The destination is unreachable (crashed mid-migration, or never
 		// existed). The captured state is still in hand, so fall back to
@@ -1298,23 +1362,19 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 		m.jobs.Delete(job.ID)
 	}
 
-	var classBytes int64
-	for _, cb := range msg.classes {
-		classBytes += int64(len(cb))
-	}
 	mm := MigrationMetrics{
 		System:     n.System,
 		Capture:    captureDone.Sub(t0),
 		Transfer:   arrival.Sub(sendStart),
 		Restore:    restoreDur,
-		StateBytes: int64(len(payload)) - classBytes,
+		StateBytes: wireBytes - classBytes,
 		ClassBytes: classBytes,
 	}
 	mm.Latency = mm.Capture + mm.Transfer + mm.Restore
 	mm.Freeze = mm.Latency
 	m.record(mm)
 	m.observeWireLatency(opts.Dest, mm.Transfer)
-	m.observeMigration(&mm, opts.Reason, opts.Dest, int64(len(payload)))
+	m.observeMigration(&mm, opts.Reason, opts.Dest, wireBytes)
 	// The hop's span quartet goes to the origin's trace: the migrate span
 	// with its capture/transfer/restore children. The source clock times
 	// all four — the remote restore duration came back in the migrate
@@ -1324,12 +1384,12 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	m.emitSpans(eventTo.node,
 		obs.Span{ID: migSpan, Parent: obs.RootSpanID, Job: eventTo.token,
 			Node: n.ID, Dest: opts.Dest, Name: "migrate", Start: t0,
-			Dur: mm.Latency, Bytes: int64(len(payload)), Detail: opts.Reason.String()},
+			Dur: mm.Latency, Bytes: wireBytes, Detail: opts.Reason.String()},
 		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
 			Node: n.ID, Dest: opts.Dest, Name: "capture", Start: t0, Dur: mm.Capture},
 		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
 			Node: n.ID, Dest: opts.Dest, Name: "transfer", Start: sendStart,
-			Dur: mm.Transfer, Bytes: int64(len(payload))},
+			Dur: mm.Transfer, Bytes: wireBytes},
 		obs.Span{ID: m.spanID(), Parent: migSpan, Job: eventTo.token,
 			Node: n.ID, Dest: opts.Dest, Name: "restore",
 			Start: sendStart.Add(mm.Transfer), Dur: mm.Restore},
@@ -1411,14 +1471,125 @@ func (m *Manager) bundleClasses(states ...*serial.CapturedState) [][]byte {
 	return bundles
 }
 
+// sendMigrate is the single exit point for migration control messages:
+// MigrateSOD, chain plants, chain top-segment ships and steal-granted
+// transfers all encode and transmit here, so delta capture, statics
+// streaming and gossip piggybacking apply uniformly. It negotiates the
+// link's capabilities, encodes (delta when the peer's cache can be
+// referenced, full otherwise), optionally streams the statics ahead of
+// the control message, and handles the delta-miss resync: a receiver
+// whose cache lost a referenced unit fails the call with a marker error,
+// and the migration is resent once, fully self-contained.
+//
+// Returns the peer's reply, the total bytes put on the wire (control +
+// data messages) and the on-wire size of the classes section.
+func (m *Manager) sendMigrate(dest int, msg *migrateMsg) (reply []byte, wireBytes, classBytes int64, err error) {
+	n := m.node
+	codec := m.codecFor(dest)
+	caps := byte(0)
+	if codec == serial.Fast {
+		// The JavaSer codec models the paper's device interop path; its
+		// consumers predate the delta protocol.
+		caps = m.peerWireCaps(dest)
+	}
+	// Gossip piggybacking: a data message is going out anyway, so a load
+	// report rides along for free.
+	msg.signals = m.piggybackSignals()
+
+	var sess *deltaSession
+	if caps&capDelta != 0 {
+		sess = m.beginDelta(dest)
+		msg.delta = true
+	}
+	// Streaming applies when there are statics to overlap and the restore
+	// is unconditional: plants and residual-carrying messages park threads
+	// for later activation, where overlapping buys nothing but complexity.
+	var data []byte
+	if caps&capStream != 0 && !msg.plant && msg.residual == nil && len(msg.seg.Statics) > 0 {
+		msg.streamed = true
+		msg.streamID = m.newToken()
+		data = encodeStreamStatics(m, msg.streamID, msg.seg.Statics, codec, sess)
+	}
+	encoded := func(s *deltaSession) []byte {
+		if !msg.streamed {
+			return msg.encode(n.Prog, codec, s)
+		}
+		// The statics travel on the data message; strip them from the
+		// control copy of the segment (restored after encoding — the
+		// caller's recovery path needs the complete state).
+		orig := msg.seg
+		stripped := *orig
+		stripped.Statics = nil
+		msg.seg = &stripped
+		p := msg.encode(n.Prog, codec, s)
+		msg.seg = orig
+		return p
+	}
+	payload := encoded(sess)
+	if data != nil {
+		if m.testPreStream != nil {
+			m.testPreStream(dest)
+		}
+		if d := m.testStreamDelay; d > 0 {
+			go func() {
+				time.Sleep(d)
+				n.EP.Send(dest, netsim.KindMigrateData, data) //nolint:errcheck // Call below surfaces the failure
+			}()
+		} else if serr := n.EP.Send(dest, netsim.KindMigrateData, data); serr != nil {
+			// An undeliverable data message fails the whole migration the
+			// same way an undeliverable control message would; the caller
+			// recovers the job locally.
+			return nil, 0, 0, serr
+		}
+	}
+	reply, err = n.EP.Call(dest, netsim.KindMigrate, payload)
+	if isDeltaMiss(err) {
+		// The peer could not resolve a reference: its cache diverged from
+		// this node's view (restart, bound-triggered eviction). Drop the
+		// link cache and resend this migration fully self-contained; the
+		// caches resync from it.
+		m.met.deltaMisses.Inc()
+		m.dropLink(dest)
+		msg.delta, msg.streamed, msg.streamID = false, false, 0
+		sess, data = nil, nil
+		payload = encoded(nil)
+		reply, err = n.EP.Call(dest, netsim.KindMigrate, payload)
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	m.commitDelta(sess)
+	if sess != nil {
+		if sess.hits > 0 {
+			m.met.deltaHits.Add(sess.hits)
+		}
+		if sess.saved > 0 {
+			m.met.deltaSaved.Add(sess.saved)
+		}
+	}
+	if msg.streamed {
+		m.met.streamedMig.Inc()
+	}
+	m.notePiggyback(dest)
+	m.met.gossipPiggyback.Inc()
+	return reply, int64(len(payload) + len(data)), int64(msg.classWire), nil
+}
+
 // --- destination side ---
 
 func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 	arrival := time.Now()
 	n := m.node
-	msg, err := decodeMigrateMsg(payload, n.Prog, n.Codec)
+	msg, err := m.decodeMigrateMsg(from, payload)
 	if err != nil {
 		return nil, err
+	}
+	// Absorb the piggybacked load report (and its heartbeat) exactly as a
+	// dedicated KindLoadReport would be.
+	if len(msg.signals) > 0 {
+		if s, caps, serr := decodeSignalsCaps(msg.signals); serr == nil {
+			m.absorbSignals(s, caps)
+		}
 	}
 
 	// Load the classes that rode along, and point the class-load hook at
@@ -1498,7 +1669,12 @@ func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 	// hop budget.
 	restoreStart := time.Now()
 	var restoreDur time.Duration
-	if msg.direct || n.Agent == nil {
+	if msg.streamed {
+		restoreDur, err = m.restoreStreamed(from, msg, dst, dstFallback)
+		if err != nil {
+			return nil, err
+		}
+	} else if msg.direct || n.Agent == nil {
 		th, rerr := RestoreDirect(n, msg.seg)
 		if rerr != nil {
 			return nil, rerr
@@ -1647,9 +1823,30 @@ type migrateMsg struct {
 	// chained marks a chain-owned job (Client.SubmitChain) so planner
 	// ownership survives whole-stack migrations to a new host.
 	chained bool
+	// delta marks the captured states (and class bundles) as
+	// delta-encoded against the (src,dst) link cache; streamed announces
+	// that the statics travel on a separate KindMigrateData message
+	// identified by streamID. Both are only set when the peer advertised
+	// the matching capability (see deltacache.go); otherwise the message
+	// is the self-contained full-state form.
+	delta    bool
+	streamed bool
+	streamID uint64
+	// signals is an optional piggybacked load report (gossip riding the
+	// migration; empty = none).
+	signals []byte
+	// classWire is set by encode: the on-wire size of the classes section,
+	// which differs from the raw bundle sizes when delta references
+	// replace them.
+	classWire int
 }
 
-func (mm *migrateMsg) encode(prog *bytecode.Program, codec serial.Codec) []byte {
+// encode serializes the control message. When sess is non-nil the
+// captured states and class bundles are delta-encoded: units unchanged
+// since the last transfer on this link ship as 9-byte cache references.
+// A streamed message encodes its segment with the statics stripped (the
+// caller ships them via KindMigrateData).
+func (mm *migrateMsg) encode(prog *bytecode.Program, codec serial.Codec, sess *deltaSession) []byte {
 	mm.codec = codec
 	w := wire.NewWriter(512)
 	w.Byte(byte(codec))
@@ -1666,21 +1863,43 @@ func (mm *migrateMsg) encode(prog *bytecode.Program, codec serial.Codec) []byte 
 	w.Varint(int64(mm.chainSeg))
 	w.Varint(int64(mm.chainOf))
 	w.Bool(mm.chained)
-	w.Blob(serial.EncodeCapturedState(mm.seg, prog, codec))
+	w.Bool(mm.delta)
+	w.Bool(mm.streamed)
+	w.Uvarint(mm.streamID)
+	w.Blob(mm.signals)
+	encState := func(cs *serial.CapturedState) {
+		if mm.delta {
+			sub := wire.NewWriter(256)
+			encodeDeltaState(sub, cs, sess.m, sess, codec)
+			w.Blob(sub.Bytes())
+			return
+		}
+		w.Blob(serial.EncodeCapturedState(cs, prog, codec))
+	}
+	encState(mm.seg)
 	if mm.residual != nil {
 		w.Bool(true)
-		w.Blob(serial.EncodeCapturedState(mm.residual, prog, codec))
+		encState(mm.residual)
 	} else {
 		w.Bool(false)
 	}
+	classStart := w.Len()
 	w.Uvarint(uint64(len(mm.classes)))
 	for _, cb := range mm.classes {
-		w.Blob(cb)
+		if mm.delta {
+			sess.writeUnit(w, cb)
+		} else {
+			w.Blob(cb)
+		}
 	}
+	mm.classWire = w.Len() - classStart
 	return w.Bytes()
 }
 
-func decodeMigrateMsg(payload []byte, prog *bytecode.Program, _ serial.Codec) (*migrateMsg, error) {
+// decodeMigrateMsg parses a control message from peer `from`; delta
+// references resolve against this manager's link cache for that peer.
+func (m *Manager) decodeMigrateMsg(from int, payload []byte) (*migrateMsg, error) {
+	prog := m.node.Prog
 	r := wire.NewReader(payload)
 	mm := &migrateMsg{}
 	mm.codec = serial.Codec(r.Byte())
@@ -1698,11 +1917,21 @@ func decodeMigrateMsg(payload []byte, prog *bytecode.Program, _ serial.Codec) (*
 	mm.chainSeg = int(r.Varint())
 	mm.chainOf = int(r.Varint())
 	mm.chained = r.Bool()
+	mm.delta = r.Bool()
+	mm.streamed = r.Bool()
+	mm.streamID = r.Uvarint()
+	mm.signals = r.Blob()
+	decState := func(buf []byte) (*serial.CapturedState, error) {
+		if mm.delta {
+			return m.decodeDeltaState(buf, from, codec)
+		}
+		return serial.DecodeCapturedState(buf, prog, codec)
+	}
 	segBuf := r.BlobView()
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	seg, err := serial.DecodeCapturedState(segBuf, prog, codec)
+	seg, err := decState(segBuf)
 	if err != nil {
 		return nil, err
 	}
@@ -1712,13 +1941,21 @@ func decodeMigrateMsg(payload []byte, prog *bytecode.Program, _ serial.Codec) (*
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
-		mm.residual, err = serial.DecodeCapturedState(resBuf, prog, codec)
+		mm.residual, err = decState(resBuf)
 		if err != nil {
 			return nil, err
 		}
 	}
 	for i, nc := 0, int(r.Uvarint()); i < nc && r.Err() == nil; i++ {
-		mm.classes = append(mm.classes, r.Blob())
+		if mm.delta {
+			cb, uerr := m.readDeltaUnit(r, from)
+			if uerr != nil {
+				return nil, uerr
+			}
+			mm.classes = append(mm.classes, cb)
+		} else {
+			mm.classes = append(mm.classes, r.Blob())
+		}
 	}
 	return mm, r.Err()
 }

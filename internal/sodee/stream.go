@@ -1,0 +1,208 @@
+package sodee
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/serial"
+	"repro/internal/wire"
+)
+
+// Streamed migrations split one migration into two wire messages: the
+// control message (KindMigrate: frames, routing, classes) and a data
+// message (KindMigrateData: the statics payload) sent just before it.
+// The destination restores the stack while the statics are still in
+// flight — capture→resume latency overlaps the bulk of the payload
+// transfer — and only releases the restored thread once the statics have
+// been applied. The restored job is held non-migratable (waiting) for
+// that window: a steal or re-balance mid-stream would ship a stack whose
+// statics never arrived.
+
+// streamTimeout bounds how long a destination waits for a data message
+// announced by a control message. The sender transmits data before
+// control, so on a healthy fabric the wait is near zero; the timeout only
+// fires when the sender died in between, and the sender-side Call error
+// handling has long recovered the job locally by then.
+const streamTimeout = 5 * time.Second
+
+// streamStaleAfter bounds how long an unclaimed data message is stashed.
+// Data normally arrives just before its control message; an entry this
+// old belongs to a migration whose control message never came (sender
+// died between the two sends).
+const streamStaleAfter = 30 * time.Second
+
+type streamKey struct {
+	from int
+	id   uint64
+}
+
+type streamEntry struct {
+	ch chan []byte
+	at time.Time
+}
+
+// getStream returns (creating if needed) the rendezvous entry for one
+// announced stream, sweeping stale entries while it holds the lock.
+func (m *Manager) getStream(from int, id uint64) *streamEntry {
+	m.streamMu.Lock()
+	defer m.streamMu.Unlock()
+	now := time.Now()
+	for k, e := range m.streams {
+		if now.Sub(e.at) > streamStaleAfter {
+			delete(m.streams, k)
+		}
+	}
+	k := streamKey{from: from, id: id}
+	e := m.streams[k]
+	if e == nil {
+		e = &streamEntry{ch: make(chan []byte, 1), at: now}
+		m.streams[k] = e
+	}
+	return e
+}
+
+func (m *Manager) dropStream(from int, id uint64) {
+	m.streamMu.Lock()
+	delete(m.streams, streamKey{from: from, id: id})
+	m.streamMu.Unlock()
+}
+
+// handleMigrateData receives the data half of a streamed migration and
+// parks it for the control half. Data and control race freely — the TCP
+// transport dispatches handlers concurrently — so this is a pure
+// rendezvous: whichever side arrives first waits for the other.
+func (m *Manager) handleMigrateData(from int, payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	id := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// The transport may reuse payload buffers after the handler returns;
+	// the stash outlives this call, so copy.
+	body := make([]byte, r.Remaining())
+	copy(body, payload[r.Pos():])
+	e := m.getStream(from, id)
+	select {
+	case e.ch <- body:
+	default:
+		return nil, fmt.Errorf("sodee: duplicate stream data %d from %d", id, from)
+	}
+	return nil, nil
+}
+
+// awaitStream blocks until the data message for (from, id) arrives.
+func (m *Manager) awaitStream(from int, id uint64) ([]byte, error) {
+	e := m.getStream(from, id)
+	defer m.dropStream(from, id)
+	select {
+	case body := <-e.ch:
+		return body, nil
+	case <-time.After(streamTimeout):
+		return nil, fmt.Errorf("sodee: stream %d from %d timed out", id, from)
+	}
+}
+
+// encodeStreamStatics builds the data payload: the stream id followed by
+// the statics bundles, delta-encoded against the link cache when a
+// session is active.
+func encodeStreamStatics(m *Manager, streamID uint64, statics []serial.ClassStatics,
+	codec serial.Codec, sess *deltaSession) []byte {
+
+	w := wire.NewWriter(256)
+	w.Uvarint(streamID)
+	w.Bool(sess != nil)
+	w.Uvarint(uint64(len(statics)))
+	for i := range statics {
+		unit := serial.EncodeClassStatics(&statics[i], m.node.Prog, codec)
+		if sess != nil {
+			sess.writeUnit(w, unit)
+		} else {
+			w.Blob(unit)
+		}
+	}
+	return w.Bytes()
+}
+
+// decodeStreamStatics parses a data payload body (stream id already
+// consumed by handleMigrateData).
+func (m *Manager) decodeStreamStatics(body []byte, from int, codec serial.Codec) ([]serial.ClassStatics, error) {
+	r := wire.NewReader(body)
+	delta := r.Bool()
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	statics := make([]serial.ClassStatics, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var unit []byte
+		if delta {
+			u, err := m.readDeltaUnit(r, from)
+			if err != nil {
+				return nil, err
+			}
+			unit = u
+		} else {
+			unit = r.BlobView()
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+		}
+		s, err := serial.DecodeClassStatics(unit, m.node.Prog, codec)
+		if err != nil {
+			return nil, err
+		}
+		statics = append(statics, s)
+	}
+	return statics, nil
+}
+
+// restoreStreamed is the destination's restore path for a streamed
+// migration: rebuild the stack immediately (the control message carries
+// the frames), adopt the job but keep it waiting — invisible to the
+// balancer and to steal requests — until the statics stream has been
+// applied, then release it to run. Any failure discards the restored
+// thread and returns an error to the sender, whose Call error handling
+// falls back to running the job locally from the state it still holds.
+func (m *Manager) restoreStreamed(from int, msg *migrateMsg, dst, dstFallback completion) (time.Duration, error) {
+	n := m.node
+	restoreStart := time.Now()
+	th, err := RestoreDirect(n, msg.seg)
+	if err != nil {
+		return 0, err
+	}
+	job := m.adoptRemote(th, msg.seg, dst, dstFallback, msg.expectValue)
+	job.chained, job.evJob, job.evOrigin = msg.chained, msg.chainJob, msg.chainOrigin
+	job.mu.Lock()
+	job.waiting = true // statics in flight: not capturable yet
+	job.mu.Unlock()
+	// Register before waiting: the job is visible (observable, countable)
+	// for the whole stream window, but the waiting flag keeps it out of
+	// every steal/re-balance candidate set.
+	m.registerRemote(job)
+
+	discard := func() {
+		m.jobs.Delete(job.ID)
+		// The restored thread never ran; emptying its frames makes Run
+		// return immediately, which unregisters it from the VM.
+		th.Frames = th.Frames[:0]
+		th.Run()
+	}
+
+	body, err := m.awaitStream(from, msg.streamID)
+	if err != nil {
+		discard()
+		return 0, err
+	}
+	statics, err := m.decodeStreamStatics(body, from, msg.codec)
+	if err != nil {
+		discard()
+		return 0, err
+	}
+	applyStatics(n.VM, &serial.CapturedState{Statics: statics})
+	restoreDur := time.Since(restoreStart)
+	job.mu.Lock()
+	job.waiting = false
+	job.mu.Unlock()
+	go m.runRemoteJob(th, job)
+	return restoreDur, nil
+}
