@@ -79,7 +79,10 @@ obs-smoke:
 # re-balances — every job must complete exactly once — plus the workflow
 # chain scenario, which kills a mid-chain node between plant and forward
 # and requires exactly-once completion with the result flushed at the
-# origin. Output is mirrored to chaos.log (CI uploads it on failure).
+# origin, and the origin-permanent-death scenario, which kills a watched
+# burst's origin for good and requires the successor to deliver every
+# result and terminal exactly once. Output is mirrored to chaos.log (CI
+# uploads it on failure).
 chaos:
-	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run 'TestChaosScenarios|TestChainChaosMidChainCrash|TestSwarmChaosWatchedCrash' -v ./internal/sodee > chaos.log 2>&1; \
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run 'TestChaosScenarios|TestChainChaosMidChainCrash|TestSwarmChaosWatchedCrash|TestChaosOriginPermanentDeath' -v ./internal/sodee > chaos.log 2>&1; \
 	status=$$?; cat chaos.log; exit $$status

@@ -806,6 +806,13 @@ func (d *Daemon) handleWait(r *wire.Reader) ([]byte, error) {
 	}
 	job, ok := d.jobs.Get(jobID)
 	if !ok {
+		// Not submitted through this daemon — but this node may hold the
+		// job's re-homing shadow (it is the successor of the job's origin).
+		// A client whose origin died re-issues its Wait here, and the
+		// shadow completes with the redirected result.
+		job, ok = d.node.Mgr.Job(jobID)
+	}
+	if !ok {
 		return nil, fmt.Errorf("daemon: no job %d", jobID)
 	}
 	w := wire.NewWriter(32)

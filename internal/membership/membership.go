@@ -1,15 +1,37 @@
-// Package membership implements heartbeat-based failure detection for the
+// Package membership implements SWIM-style failure detection for the
 // cluster runtime. Every node runs one Tracker over the peers it knows;
 // liveness evidence is piggybacked on the load gossip the balancer already
 // exchanges (a received KindLoadReport is a heartbeat), supplemented by
-// direct send failures. A peer that stays silent past SuspectAfter becomes
-// Suspect, past DeadAfter becomes Dead; any fresh evidence of life flips
-// it back to Alive — rejoin heals. State transitions are published to
-// subscribers (the balancer feeds them into the failure-aware
-// policy.Scheduler), so liveness flows into scheduling decisions without
-// anyone calling SetNodeDown: the simulated network keeps that switch as a
-// fault-injection hook which this detector must *observe*, never be told
-// about.
+// direct send failures and indirect probe rounds. A peer that stays silent
+// past SuspectAfter becomes Suspect, past DeadAfter becomes Dead; any
+// fresh evidence of life flips it back to Alive — rejoin heals. State
+// transitions are published to subscribers (the balancer feeds them into
+// the failure-aware policy.Scheduler), so liveness flows into scheduling
+// decisions without anyone calling SetNodeDown: the simulated network
+// keeps that switch as a fault-injection hook which this detector must
+// *observe*, never be told about.
+//
+// Three SWIM mechanisms refine the plain heartbeat detector:
+//
+//   - Incarnation numbers. Every (peer, verdict) pair carries an
+//     incarnation; a restart or rejoin bumps it, so a zombie accusation
+//     about a previous lifetime can never regress a node that has since
+//     come back. Verdicts merge over a monotone lattice: a higher
+//     incarnation always wins, and at equal incarnations the harsher
+//     verdict wins (Dead > Suspect > Alive).
+//
+//   - Indirect probes. Once a caller engages the probe machinery
+//     (NextProbe / ProbeAck / ProbeMiss), a peer is never declared dead by
+//     silence alone: the silence timeout only escalates to Dead after a
+//     completed indirect-probe round (ping-req through k relays) has also
+//     failed, or direct send failures supplied independent crash
+//     evidence. Legacy callers that never probe keep the plain timeout
+//     behavior.
+//
+//   - Bounded-fanout dissemination. Verdict changes are queued as Updates
+//     and piggybacked on a constant number of outgoing gossip messages per
+//     period (Updates/Absorb), so membership traffic stays O(n) per
+//     protocol period instead of the all-pairs O(n²).
 //
 // The tracker is deliberately transport-agnostic and free of goroutines:
 // callers advance it with Sweep from whatever loop already paces their
@@ -29,8 +51,8 @@ type State int
 const (
 	// Alive: fresh evidence of life.
 	Alive State = iota
-	// Suspect: silent past SuspectAfter, or one send to it failed. Not
-	// routed to, but not yet given up on.
+	// Suspect: silent past SuspectAfter, a failed send, or a failed
+	// indirect-probe round. Not routed to, but not yet given up on.
 	Suspect
 	// Dead: silent past DeadAfter, or several consecutive sends failed.
 	Dead
@@ -87,14 +109,40 @@ type Event struct {
 type Member struct {
 	Node      int
 	State     State
+	Inc       uint64 // incarnation the verdict applies to
 	LastHeard time.Time
 	Failures  int // consecutive send failures
 }
 
+// Update is one disseminated verdict: node's state at a given incarnation.
+// Updates merge monotonically — higher incarnation wins; at equal
+// incarnations the harsher state wins — so any gossip order converges all
+// observers to the same view.
+type Update struct {
+	Node  int
+	State State
+	Inc   uint64
+}
+
+// updateRetransmit is how many gossip rounds a queued update rides before
+// it is dropped from the piggyback queue. Constant per update, so each
+// verdict change costs O(1) extra messages however large the cluster.
+const updateRetransmit = 4
+
 type peerRec struct {
 	state     State
+	inc       uint64
 	lastHeard time.Time
-	failures  int
+	failures  int // consecutive send failures
+	// probeMissed records a completed-and-failed indirect probe round for
+	// this incarnation: the gate silence needs to pass before it may
+	// escalate to Dead once the probe machinery is in use.
+	probeMissed bool
+}
+
+type queuedUpdate struct {
+	u    Update
+	left int
 }
 
 // Tracker is one node's view of its peers' liveness.
@@ -107,16 +155,30 @@ type Tracker struct {
 	subs      map[int]func(Event)
 	nextSub   int
 	lastSweep time.Time
+
+	// selfInc is this node's own incarnation; bumped to refute stale
+	// accusations about itself absorbed from gossip.
+	selfInc uint64
+	// probesUsed flips once the caller engages the probe machinery; from
+	// then on silence alone never declares Dead (see Sweep).
+	probesUsed bool
+	// probeCursor rotates NextProbe deterministically over the sorted
+	// known set.
+	probeCursor int
+	// updates is the pending dissemination queue, one slot per node (a
+	// newer verdict about a node replaces the queued one).
+	updates map[int]*queuedUpdate
 }
 
 // New builds a tracker for node self.
 func New(self int, opts Options) *Tracker {
 	opts.defaults()
 	return &Tracker{
-		self:  self,
-		opts:  opts,
-		peers: make(map[int]*peerRec),
-		subs:  make(map[int]func(Event)),
+		self:    self,
+		opts:    opts,
+		peers:   make(map[int]*peerRec),
+		subs:    make(map[int]func(Event)),
+		updates: make(map[int]*queuedUpdate),
 	}
 }
 
@@ -156,14 +218,39 @@ func (t *Tracker) notify(evs []Event) {
 	}
 }
 
+// enqueueLocked queues a verdict for piggybacked dissemination; call with
+// t.mu held.
+func (t *Tracker) enqueueLocked(u Update) {
+	t.updates[u.Node] = &queuedUpdate{u: u, left: updateRetransmit}
+}
+
 // Join registers a peer as Alive with a fresh grace period. Joining an
-// already-known peer refreshes its evidence (a rejoin heals).
+// already-known peer is a new lifetime: the record is fully reset and its
+// incarnation bumped past the predecessor's, so stale Suspect/Dead
+// verdicts about the old lifetime still circulating in gossip can never
+// regress the rejoined node (a rejoin heals, incarnation-aware).
 func (t *Tracker) Join(node int, now time.Time) {
 	if node == t.self {
 		return
 	}
 	t.mu.Lock()
-	evs := t.observeLocked(node, now)
+	var evs []Event
+	p, ok := t.peers[node]
+	if !ok {
+		t.peers[node] = &peerRec{state: Alive, lastHeard: now}
+	} else {
+		p.inc++
+		if p.state != Alive {
+			evs = []Event{{Node: node, State: Alive}}
+		}
+		p.state = Alive
+		p.failures = 0
+		p.probeMissed = false
+		if p.lastHeard.Before(now) {
+			p.lastHeard = now
+		}
+		t.enqueueLocked(Update{Node: node, State: Alive, Inc: p.inc})
+	}
 	t.mu.Unlock()
 	t.notify(evs)
 }
@@ -172,12 +259,15 @@ func (t *Tracker) Join(node int, now time.Time) {
 func (t *Tracker) Forget(node int) {
 	t.mu.Lock()
 	delete(t.peers, node)
+	delete(t.updates, node)
 	t.mu.Unlock()
 }
 
 // Observe records evidence that node is alive (a heartbeat or load report
 // arrived, an RPC answered). Unknown peers are auto-registered: gossip
-// can outrun the join protocol.
+// can outrun the join protocol. Direct evidence of life on a non-Alive
+// peer bumps its incarnation — a heard-from node outranks any circulating
+// accusation about its previous incarnation.
 func (t *Tracker) Observe(node int, now time.Time) {
 	if node == t.self {
 		return
@@ -196,11 +286,14 @@ func (t *Tracker) observeLocked(node int, now time.Time) []Event {
 		return nil
 	}
 	p.failures = 0
+	p.probeMissed = false
 	if p.lastHeard.Before(now) {
 		p.lastHeard = now
 	}
 	if p.state != Alive {
 		p.state = Alive
+		p.inc++
+		t.enqueueLocked(Update{Node: node, State: Alive, Inc: p.inc})
 		return []Event{{Node: node, State: Alive}}
 	}
 	return nil
@@ -225,9 +318,11 @@ func (t *Tracker) ObserveFailure(node int, now time.Time) {
 	switch {
 	case p.failures >= t.opts.FailuresToDead && p.state != Dead:
 		p.state = Dead
+		t.enqueueLocked(Update{Node: node, State: Dead, Inc: p.inc})
 		evs = []Event{{Node: node, State: Dead}}
 	case p.failures < t.opts.FailuresToDead && p.state == Alive:
 		p.state = Suspect
+		t.enqueueLocked(Update{Node: node, State: Suspect, Inc: p.inc})
 		evs = []Event{{Node: node, State: Suspect}}
 	}
 	t.mu.Unlock()
@@ -239,7 +334,12 @@ func (t *Tracker) ObserveFailure(node int, now time.Time) {
 // stalled (the gap since the previous sweep exceeds SuspectAfter — the
 // node was partitioned, suspended, or starved of CPU), the staleness is
 // the sweeper's fault, not the peers': every peer's evidence clock is
-// refreshed instead and no one is accused this round.
+// refreshed — and pre-stall probe verdicts cleared, they are as stale as
+// the evidence — and no one is accused this round.
+//
+// Once the probe machinery is in use, silence alone never kills: the
+// DeadAfter timeout only escalates a peer whose indirect-probe round
+// completed and failed, or that has direct send failures on record.
 func (t *Tracker) Sweep(now time.Time) {
 	t.mu.Lock()
 	gap := now.Sub(t.lastSweep)
@@ -251,6 +351,7 @@ func (t *Tracker) Sweep(now time.Time) {
 			if p.lastHeard.Before(now) {
 				p.lastHeard = now
 			}
+			p.probeMissed = false
 		}
 		t.mu.Unlock()
 		return
@@ -259,16 +360,234 @@ func (t *Tracker) Sweep(now time.Time) {
 		silent := now.Sub(p.lastHeard)
 		switch {
 		case silent > t.opts.DeadAfter && p.state != Dead:
+			if t.probesUsed && !p.probeMissed && p.failures == 0 {
+				// No completed indirect-probe round and no crash evidence:
+				// hold at Suspect until the probes weigh in.
+				if p.state == Alive {
+					p.state = Suspect
+					t.enqueueLocked(Update{Node: node, State: Suspect, Inc: p.inc})
+					evs = append(evs, Event{Node: node, State: Suspect})
+				}
+				continue
+			}
 			p.state = Dead
+			t.enqueueLocked(Update{Node: node, State: Dead, Inc: p.inc})
 			evs = append(evs, Event{Node: node, State: Dead})
 		case silent > t.opts.SuspectAfter && p.state == Alive:
 			p.state = Suspect
+			t.enqueueLocked(Update{Node: node, State: Suspect, Inc: p.inc})
 			evs = append(evs, Event{Node: node, State: Suspect})
 		}
 	}
 	t.mu.Unlock()
 	t.notify(evs)
 }
+
+// --- SWIM probe machinery ---
+
+// NextProbe picks the next probe target by deterministic rotation over
+// the sorted known set, plus up to k alive relays (excluding the target)
+// for the indirect ping-req round. ok is false when no peers are known.
+// Calling NextProbe engages the probe machinery: from then on, Sweep
+// requires a completed indirect-probe round (or direct send failures)
+// before declaring a silent peer Dead.
+func (t *Tracker) NextProbe(k int) (target int, relays []int, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.probesUsed = true
+	ids := make([]int, 0, len(t.peers))
+	for id := range t.peers {
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return 0, nil, false
+	}
+	sort.Ints(ids)
+	t.probeCursor %= len(ids)
+	target = ids[t.probeCursor]
+	t.probeCursor++
+	for _, id := range ids {
+		if len(relays) >= k {
+			break
+		}
+		if id != target && t.peers[id].state == Alive {
+			relays = append(relays, id)
+		}
+	}
+	return target, relays, true
+}
+
+// ProbeAck records a successful probe of node (direct or relayed): the
+// peer is alive at incarnation inc. Engages the probe machinery.
+func (t *Tracker) ProbeAck(node int, inc uint64, now time.Time) {
+	if node == t.self {
+		return
+	}
+	t.mu.Lock()
+	t.probesUsed = true
+	p, ok := t.peers[node]
+	if !ok {
+		p = &peerRec{state: Alive, lastHeard: now}
+		t.peers[node] = p
+	}
+	if inc > p.inc {
+		p.inc = inc
+	}
+	evs := t.observeLocked(node, now)
+	t.mu.Unlock()
+	t.notify(evs)
+}
+
+// ProbeMiss records a completed-and-failed indirect probe round for node:
+// neither a direct probe nor any relay could reach it. The peer becomes
+// Suspect immediately and is eligible for the Dead timeout. Engages the
+// probe machinery.
+func (t *Tracker) ProbeMiss(node int, now time.Time) {
+	if node == t.self {
+		return
+	}
+	t.mu.Lock()
+	t.probesUsed = true
+	p, ok := t.peers[node]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	p.probeMissed = true
+	var evs []Event
+	if p.state == Alive {
+		p.state = Suspect
+		t.enqueueLocked(Update{Node: node, State: Suspect, Inc: p.inc})
+		evs = []Event{{Node: node, State: Suspect}}
+	}
+	t.mu.Unlock()
+	t.notify(evs)
+}
+
+// --- dissemination ---
+
+// Updates drains up to max pending verdicts for piggybacking on outgoing
+// gossip. Each queued verdict rides a bounded number of rounds
+// (updateRetransmit) before it is dropped, so dissemination traffic per
+// verdict change is O(1) whatever the cluster size. Deterministic order
+// (ascending node id).
+func (t *Tracker) Updates(max int) []Update {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if max <= 0 || len(t.updates) == 0 {
+		return nil
+	}
+	nodes := make([]int, 0, len(t.updates))
+	for id := range t.updates {
+		nodes = append(nodes, id)
+	}
+	sort.Ints(nodes)
+	out := make([]Update, 0, len(nodes))
+	for _, id := range nodes {
+		if len(out) >= max {
+			break
+		}
+		q := t.updates[id]
+		out = append(out, q.u)
+		if q.left--; q.left <= 0 {
+			delete(t.updates, id)
+		}
+	}
+	return out
+}
+
+// PendingUpdates reports how many verdicts await dissemination.
+func (t *Tracker) PendingUpdates() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.updates)
+}
+
+// Absorb merges one gossiped verdict into the local view. The merge is
+// monotone: a higher incarnation always wins; at equal incarnations the
+// harsher state wins (Dead > Suspect > Alive), so observers converge
+// whatever the gossip order. An accusation about the tracker's own node
+// is refuted by bumping the self incarnation and queueing an Alive
+// verdict that outranks it.
+func (t *Tracker) Absorb(u Update, now time.Time) {
+	t.mu.Lock()
+	if u.Node == t.self {
+		if u.State == Alive {
+			if u.Inc > t.selfInc {
+				t.selfInc = u.Inc
+			}
+		} else if u.Inc >= t.selfInc {
+			t.selfInc = u.Inc + 1
+			t.enqueueLocked(Update{Node: t.self, State: Alive, Inc: t.selfInc})
+		}
+		t.mu.Unlock()
+		return
+	}
+	var evs []Event
+	p, ok := t.peers[u.Node]
+	if !ok {
+		p = &peerRec{state: u.State, inc: u.Inc, lastHeard: now}
+		t.peers[u.Node] = p
+		if u.State != Alive {
+			t.enqueueLocked(u)
+			evs = []Event{{Node: u.Node, State: u.State}}
+		}
+		t.mu.Unlock()
+		t.notify(evs)
+		return
+	}
+	switch {
+	case u.Inc > p.inc:
+		p.inc = u.Inc
+		if u.State == Alive {
+			p.failures = 0
+			p.probeMissed = false
+			if p.lastHeard.Before(now) {
+				p.lastHeard = now
+			}
+		}
+		if p.state != u.State {
+			p.state = u.State
+			evs = []Event{{Node: u.Node, State: u.State}}
+		}
+		t.enqueueLocked(Update{Node: u.Node, State: p.state, Inc: p.inc})
+	case u.Inc == p.inc:
+		if u.State > p.state {
+			p.state = u.State
+			t.enqueueLocked(u)
+			evs = []Event{{Node: u.Node, State: u.State}}
+		} else if u.State == Alive && p.state == Alive {
+			// Corroborating evidence: some observer heard from the peer
+			// this period. Indirect heartbeats are what let the bounded
+			// fanout keep every pairwise clock fresh.
+			p.failures = 0
+			if p.lastHeard.Before(now) {
+				p.lastHeard = now
+			}
+		}
+	default:
+		// Stale incarnation: drop. Our fresher verdict is already queued
+		// (or was already disseminated).
+	}
+	t.mu.Unlock()
+	t.notify(evs)
+}
+
+// Incarnation returns the current incarnation the tracker holds for node
+// (its own self-incarnation when node is the tracker's id).
+func (t *Tracker) Incarnation(node int) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if node == t.self {
+		return t.selfInc
+	}
+	if p, ok := t.peers[node]; ok {
+		return p.inc
+	}
+	return 0
+}
+
+// --- views ---
 
 // State returns the peer's current verdict (Dead for unknown peers:
 // never route to a node you have no evidence about).
@@ -317,7 +636,7 @@ func (t *Tracker) Snapshot() []Member {
 	t.mu.Lock()
 	out := make([]Member, 0, len(t.peers))
 	for id, p := range t.peers {
-		out = append(out, Member{Node: id, State: p.state, LastHeard: p.lastHeard, Failures: p.failures})
+		out = append(out, Member{Node: id, State: p.state, Inc: p.inc, LastHeard: p.lastHeard, Failures: p.failures})
 	}
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })

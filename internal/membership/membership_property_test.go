@@ -1,0 +1,197 @@
+package membership
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file pins the SWIM state machine with a randomized property test:
+// under arbitrary interleavings of probe acks, failed indirect-probe
+// rounds, rejoins, sweeps and gossip exchange,
+//
+//  1. an observer's incarnation for any node never regresses,
+//  2. no observer ever declares a node dead unless a completed
+//     indirect-probe round failed somewhere in the cluster (no
+//     ObserveFailure is issued, so probes are the only path to death),
+//  3. once gossip quiesces, every observer converges to the same verdict
+//     for every node.
+//
+// Seeds come from MEMBERSHIP_SEEDS (comma-separated, default "1,7,42")
+// so CI can sweep them; each seed is fully deterministic.
+
+func propertySeeds(t *testing.T) []int64 {
+	raw := os.Getenv("MEMBERSHIP_SEEDS")
+	if raw == "" {
+		raw = "1,7,42"
+	}
+	var seeds []int64
+	for _, f := range strings.Split(raw, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("MEMBERSHIP_SEEDS: %v", err)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+func TestSWIMPropertyRandomized(t *testing.T) {
+	for _, seed := range propertySeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSWIMProperty(t, seed)
+		})
+	}
+}
+
+func runSWIMProperty(t *testing.T, seed int64) {
+	const (
+		nodes = 5
+		iters = 600
+	)
+	rng := rand.New(rand.NewSource(seed))
+	now := time.Unix(1000, 0)
+
+	trackers := make(map[int]*Tracker, nodes)
+	for id := 1; id <= nodes; id++ {
+		trackers[id] = New(id, testOpts)
+	}
+	for id, tr := range trackers {
+		for peer := 1; peer <= nodes; peer++ {
+			if peer != id {
+				tr.Join(peer, now)
+			}
+		}
+		// Engage the probe machinery everywhere: from here on, silence
+		// alone must never kill.
+		tr.NextProbe(3)
+	}
+
+	// highInc is the per-(observer, node) incarnation high-water mark;
+	// missed records nodes with a failed indirect-probe round anywhere.
+	highInc := make(map[[2]int]uint64)
+	missed := make(map[int]bool)
+
+	checkInvariants := func(step string) {
+		for id, tr := range trackers {
+			for _, m := range tr.Snapshot() {
+				key := [2]int{id, m.Node}
+				if m.Inc < highInc[key] {
+					t.Fatalf("seed %d %s: observer %d regressed incarnation of %d: %d -> %d",
+						seed, step, id, m.Node, highInc[key], m.Inc)
+				}
+				highInc[key] = m.Inc
+				if m.State == Dead && !missed[m.Node] {
+					t.Fatalf("seed %d %s: observer %d declared %d dead without a completed indirect-probe round",
+						seed, step, id, m.Node)
+				}
+			}
+		}
+	}
+
+	pick := func() (*Tracker, int) {
+		actor := trackers[1+rng.Intn(nodes)]
+		subject := 1 + rng.Intn(nodes)
+		for subject == actor.Self() {
+			subject = 1 + rng.Intn(nodes)
+		}
+		return actor, subject
+	}
+
+	for i := 0; i < iters; i++ {
+		now = now.Add(time.Duration(1+rng.Intn(20)) * time.Millisecond)
+		switch rng.Intn(6) {
+		case 0: // successful probe (direct or relayed ack)
+			a, s := pick()
+			a.ProbeAck(s, a.Incarnation(s), now)
+		case 1: // completed indirect-probe round failed
+			a, s := pick()
+			a.ProbeMiss(s, now)
+			missed[s] = true
+		case 2: // the subject restarted and rejoined
+			a, s := pick()
+			a.Join(s, now)
+		case 3: // gossip exchange: piggybacked updates, bounded batch
+			a, _ := pick()
+			b := trackers[1+rng.Intn(nodes)]
+			for _, u := range a.Updates(8) {
+				b.Absorb(u, now)
+			}
+		case 4: // suspicion clock advances at one observer
+			a, _ := pick()
+			a.Sweep(now)
+		case 5: // heartbeat heard directly
+			a, s := pick()
+			a.Observe(s, now)
+		}
+		checkInvariants(fmt.Sprintf("iter %d", i))
+	}
+
+	// Quiesce: full anti-entropy exchange (queued updates plus snapshot
+	// push) until no observer's table changes. The merge lattice is
+	// monotone, so this must reach a fixpoint where all views agree.
+	view := func() map[[2]int]Update {
+		out := make(map[[2]int]Update)
+		for id, tr := range trackers {
+			for _, m := range tr.Snapshot() {
+				out[[2]int{id, m.Node}] = Update{Node: m.Node, State: m.State, Inc: m.Inc}
+			}
+		}
+		return out
+	}
+	same := func(a, b map[[2]int]Update) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	converged := false
+	for round := 0; round < 200; round++ {
+		before := view()
+		for _, a := range trackers {
+			ups := a.Updates(1024)
+			for _, b := range trackers {
+				if b == a {
+					continue
+				}
+				for _, u := range ups {
+					b.Absorb(u, now)
+				}
+				for _, m := range a.Snapshot() {
+					b.Absorb(Update{Node: m.Node, State: m.State, Inc: m.Inc}, now)
+				}
+			}
+		}
+		checkInvariants(fmt.Sprintf("quiesce round %d", round))
+		if same(before, view()) {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		t.Fatalf("seed %d: anti-entropy did not reach a fixpoint in 200 rounds", seed)
+	}
+
+	for node := 1; node <= nodes; node++ {
+		verdicts := make(map[State][]int)
+		for id, tr := range trackers {
+			if id == node {
+				continue
+			}
+			verdicts[tr.State(node)] = append(verdicts[tr.State(node)], id)
+		}
+		if len(verdicts) != 1 {
+			t.Fatalf("seed %d: observers disagree about %d: %v", seed, node, verdicts)
+		}
+	}
+}

@@ -245,3 +245,190 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// --- SWIM: incarnations, probes, dissemination ---
+
+func TestIndirectProbeGatesDeath(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	tr.Join(2, ck.now)
+	// Engage the probe machinery: silence alone may suspect, never kill.
+	if _, _, ok := tr.NextProbe(3); !ok {
+		t.Fatal("NextProbe found no target")
+	}
+	for i := 0; i < 10; i++ {
+		tr.Sweep(ck.advance(50 * time.Millisecond))
+	}
+	if got := tr.State(2); got != Suspect {
+		t.Fatalf("silent peer without probe round = %v, want suspect", got)
+	}
+	// A completed-and-failed indirect round unlocks the timeout.
+	tr.ProbeMiss(2, ck.now)
+	tr.Sweep(ck.advance(50 * time.Millisecond))
+	if got := tr.State(2); got != Dead {
+		t.Fatalf("after probe miss + timeout = %v, want dead", got)
+	}
+}
+
+func TestProbeAckRevives(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	tr.Join(2, ck.now)
+	tr.NextProbe(3)
+	tr.ProbeMiss(2, ck.now)
+	if got := tr.State(2); got != Suspect {
+		t.Fatalf("after probe miss = %v, want suspect", got)
+	}
+	tr.ProbeAck(2, 7, ck.advance(10*time.Millisecond))
+	if got := tr.State(2); got != Alive {
+		t.Fatalf("after probe ack = %v, want alive", got)
+	}
+	if inc := tr.Incarnation(2); inc < 7 {
+		t.Fatalf("incarnation after ack = %d, want >= 7", inc)
+	}
+}
+
+func TestNextProbeRotatesDeterministically(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	for _, n := range []int{4, 2, 3} {
+		tr.Join(n, ck.now)
+	}
+	var got []int
+	for i := 0; i < 6; i++ {
+		target, relays, ok := tr.NextProbe(2)
+		if !ok {
+			t.Fatal("no probe target")
+		}
+		for _, r := range relays {
+			if r == target {
+				t.Fatalf("target %d listed as its own relay", target)
+			}
+		}
+		got = append(got, target)
+	}
+	want := []int{2, 3, 4, 2, 3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("probe rotation = %v, want %v", got, want)
+	}
+}
+
+func TestAbsorbMergesMonotonically(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	tr.Join(2, ck.now)
+
+	// Equal incarnation: the harsher verdict wins.
+	tr.Absorb(Update{Node: 2, State: Suspect, Inc: 0}, ck.now)
+	if got := tr.State(2); got != Suspect {
+		t.Fatalf("equal-inc suspect ignored: %v", got)
+	}
+	// Equal incarnation: a milder verdict does not regress.
+	tr.Absorb(Update{Node: 2, State: Alive, Inc: 0}, ck.now)
+	if got := tr.State(2); got != Suspect {
+		t.Fatalf("equal-inc alive overrode suspect: %v", got)
+	}
+	// Higher incarnation always wins.
+	tr.Absorb(Update{Node: 2, State: Alive, Inc: 1}, ck.now)
+	if got := tr.State(2); got != Alive {
+		t.Fatalf("higher-inc alive lost: %v", got)
+	}
+	// Stale incarnation is dropped.
+	tr.Absorb(Update{Node: 2, State: Dead, Inc: 0}, ck.now)
+	if got := tr.State(2); got != Alive {
+		t.Fatalf("stale dead applied: %v", got)
+	}
+	if inc := tr.Incarnation(2); inc != 1 {
+		t.Fatalf("incarnation = %d, want 1", inc)
+	}
+}
+
+func TestSelfAccusationIsRefuted(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	tr.Join(2, ck.now)
+	tr.Absorb(Update{Node: 1, State: Suspect, Inc: 0}, ck.now)
+	if inc := tr.Incarnation(1); inc != 1 {
+		t.Fatalf("self incarnation after accusation = %d, want 1", inc)
+	}
+	ups := tr.Updates(8)
+	var refuted bool
+	for _, u := range ups {
+		if u.Node == 1 && u.State == Alive && u.Inc == 1 {
+			refuted = true
+		}
+	}
+	if !refuted {
+		t.Fatalf("no refutation queued; updates = %+v", ups)
+	}
+	// The refutation outranks the accusation at every other observer.
+	other := New(3, testOpts)
+	other.Join(1, ck.now)
+	other.Absorb(Update{Node: 1, State: Suspect, Inc: 0}, ck.now)
+	other.Absorb(Update{Node: 1, State: Alive, Inc: 1}, ck.now)
+	if got := other.State(1); got != Alive {
+		t.Fatalf("refutation lost at observer: %v", got)
+	}
+}
+
+func TestUpdatesRetransmitBudget(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	tr.Join(2, ck.now)
+	tr.ObserveFailure(2, ck.now) // queues one Suspect verdict
+	for i := 0; i < updateRetransmit; i++ {
+		if got := tr.Updates(8); len(got) != 1 {
+			t.Fatalf("round %d: updates = %+v, want 1", i, got)
+		}
+	}
+	if got := tr.Updates(8); len(got) != 0 {
+		t.Fatalf("update outlived its budget: %+v", got)
+	}
+}
+
+// TestRejoinWithinSuspectWindowIsIncarnationAware is the regression test
+// for the stalled-sweeper forgiveness fix: a restarted node that rejoins
+// within the suspect window must not inherit its dead predecessor's
+// suspect state — stale verdicts about the previous incarnation, still
+// circulating in gossip, must bounce off the bumped incarnation.
+func TestRejoinWithinSuspectWindowIsIncarnationAware(t *testing.T) {
+	ck := newClock()
+	tr := New(1, testOpts)
+	tr.Join(2, ck.now)
+
+	// Node 2 goes silent and is suspected at incarnation 0.
+	for i := 0; i < 3; i++ {
+		tr.Sweep(ck.advance(50 * time.Millisecond))
+	}
+	if got := tr.State(2); got != Suspect {
+		t.Fatalf("state = %v, want suspect", got)
+	}
+	staleInc := tr.Incarnation(2)
+
+	// The sweeper stalls; on resume the node restarts and rejoins within
+	// the suspect window.
+	tr.Sweep(ck.advance(2 * time.Second))
+	tr.Join(2, ck.advance(10*time.Millisecond))
+	if got := tr.State(2); got != Alive {
+		t.Fatalf("state after rejoin = %v, want alive", got)
+	}
+	if inc := tr.Incarnation(2); inc <= staleInc {
+		t.Fatalf("rejoin did not bump incarnation: %d <= %d", inc, staleInc)
+	}
+
+	// The predecessor's suspect/dead verdicts arrive late from gossip:
+	// they are about the old incarnation and must not regress the rejoin.
+	tr.Absorb(Update{Node: 2, State: Suspect, Inc: staleInc}, ck.now)
+	tr.Absorb(Update{Node: 2, State: Dead, Inc: staleInc}, ck.now)
+	if got := tr.State(2); got != Alive {
+		t.Fatalf("rejoined node inherited predecessor verdict: %v", got)
+	}
+
+	// Fresh silence still escalates normally afterwards.
+	for i := 0; i < 8; i++ {
+		tr.Sweep(ck.advance(50 * time.Millisecond))
+	}
+	if got := tr.State(2); got != Dead {
+		t.Fatalf("state = %v, want dead", got)
+	}
+}

@@ -49,6 +49,9 @@ const (
 	KindJobEvent                         // job lifecycle event forwarded to the job's origin node
 	KindTraceSpan                        // obs: batch of trace spans forwarded to the job's origin node
 	KindMigrateData                      // migration manager: streamed object/static payload for an announced migration
+	KindPing                             // membership: direct liveness probe (reply carries the target's incarnation)
+	KindPingReq                          // membership: indirect probe — ask a relay to ping an unreachable peer
+	KindRehome                           // origin re-homing: replicate/discard a job's origin state at its successor
 )
 
 // Handler serves a request and returns the reply payload. Handlers run on
@@ -299,6 +302,13 @@ func (e *Endpoint) Call(to int, kind MsgKind, payload []byte) ([]byte, error) {
 	if herr != nil {
 		return nil, fmt.Errorf("netsim: remote %d: %w", to, herr)
 	}
+	// A round trip that started before a SetNodeDown completes with its
+	// reply intact: netsim "down" models a partition as much as a crash,
+	// and a partitioned-but-running node keeps the effects of handlers
+	// that already ran (it may rejoin with them). Losing replies here
+	// would instead model a crash that forgets nothing and un-acks
+	// everything — the worst of both — and non-idempotent protocols
+	// (steal's job transfer) would double-execute on rejoin.
 	return reply, nil
 }
 

@@ -102,8 +102,9 @@ var ErrFrameTooLarge = fmt.Errorf("tcp: frame exceeds %d-byte limit", MaxFrameBy
 
 // tcpConn wraps one established connection; mu serializes frame writes.
 type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	conn   net.Conn
+	dialed bool // established by this node's Connect (vs accepted inbound)
 }
 
 func (c *tcpConn) writeFrame(kind MsgKind, flags byte, corr uint64, payload []byte) error {
@@ -217,21 +218,41 @@ func (t *TCPTransport) Connect(addr string) (int, error) {
 		return 0, fmt.Errorf("tcp: node %d handshake with %s: %v: %w", t.id, addr, err, ErrUnreachable)
 	}
 	peerID := int(binary.LittleEndian.Uint64(hello))
-	c := &tcpConn{conn: conn}
+	c := &tcpConn{conn: conn, dialed: true}
 	t.addPeer(peerID, c)
 	go t.readLoop(peerID, c)
 	return peerID, nil
 }
 
-// addPeer registers c as the connection for peerID, superseding any
-// previous one (simultaneous dials in both directions leave the newest).
+// addPeer registers c as the connection for peerID. Duplicates happen —
+// two daemons discovering each other concurrently dial in both
+// directions — and each side must pick the SAME winner, or each keeps
+// its own dial, closes the other's, and the pair ends up with no
+// connection at all (the transport never redials on its own). The
+// canonical connection for a pair is the one dialed by the lower node
+// id; a duplicate in the same direction is a redial and replaces its
+// predecessor. A replaced or refused conn is closed here: its readLoop
+// fails the calls in flight on it (they retry or take their fallback),
+// and dropConn sees it unmapped so no "peer down" is announced for a
+// pair that stays connected. No connection ever lives outside the map:
+// Close only walks the map, and a live-but-untracked socket would keep
+// serving requests — a "crashed" node that still answers its peers'
+// liveness probes through an orphan can never be declared dead.
 func (t *TCPTransport) addPeer(peerID int, c *tcpConn) {
+	canonical := (c.dialed && t.id < peerID) || (!c.dialed && peerID < t.id)
 	t.mu.Lock()
-	t.peers[peerID] = c
+	old := t.peers[peerID]
+	keep := old == nil || canonical || old.dialed == c.dialed
+	if keep {
+		t.peers[peerID] = c
+	}
 	closed := t.closed.Load()
 	t.mu.Unlock()
-	if closed {
-		c.conn.Close() //nolint:errcheck
+	if keep && old != nil {
+		old.conn.Close() //nolint:errcheck // replaced by the canonical (or fresher) conn
+	}
+	if !keep || closed {
+		c.conn.Close() //nolint:errcheck // lost the tie-break, or transport already down
 	}
 }
 
@@ -240,7 +261,8 @@ func (t *TCPTransport) addPeer(peerID int, c *tcpConn) {
 // with an unreachable error instead of blocking forever.
 func (t *TCPTransport) dropConn(peerID int, c *tcpConn) {
 	t.mu.Lock()
-	if t.peers[peerID] == c {
+	mapped := t.peers[peerID] == c
+	if mapped {
 		delete(t.peers, peerID)
 	}
 	var stranded []*tcpPending
@@ -250,7 +272,13 @@ func (t *TCPTransport) dropConn(peerID int, c *tcpConn) {
 			delete(t.waiting, corr)
 		}
 	}
-	hook := t.peerDown
+	// The hook fires only for the peer's live connection: a conn that
+	// lost a simultaneous-dial race dies without ever carrying traffic,
+	// and announcing that as "peer down" would cancel healthy streams.
+	var hook func(int)
+	if mapped {
+		hook = t.peerDown
+	}
 	t.mu.Unlock()
 	c.conn.Close() //nolint:errcheck
 	for _, p := range stranded {
@@ -372,6 +400,15 @@ func (t *TCPTransport) readLoop(peerID int, c *tcpConn) {
 			}
 			if corr == 0 {
 				return // one-way message
+			}
+			if t.closed.Load() {
+				// The transport died while the handler ran. A crash must be
+				// atomic on the wire: every send the handler attempted after
+				// the close already failed, so acknowledging the request now
+				// would advertise work the node can no longer finish (e.g. a
+				// flush ack whose follow-on discharge was refused). Stay
+				// silent and let the caller's crash handling take over.
+				return
 			}
 			if herr != nil {
 				c.writeFrame(kind, flagReply|flagErr, corr, []byte(herr.Error())) //nolint:errcheck

@@ -64,17 +64,56 @@ func (m *Manager) LocalSignals() policy.Signals {
 // got was one).
 const piggybackWindow = 25 * time.Millisecond
 
-// PublishLoad gossips this node's signals to every peer the membership
-// tracker knows — dead ones included, so a rejoined node is noticed. It
+// gossipFanout bounds PublishLoad's per-round report count once the known
+// set outgrows gossipFanoutFloor: each round, the node reports to the next
+// gossipFanout peers of a rotating window over the known set (dead ones
+// included, so a rejoined node is noticed within one rotation). Below the
+// floor every peer is reported to, exactly as the all-pairs detector did —
+// small clusters keep their one-period detection latency. Per protocol
+// period the whole cluster sends n·gossipFanout messages: O(n), not the
+// all-pairs O(n²); state changes still reach everyone fast because queued
+// membership updates piggyback on every report (see membership.Updates).
+const (
+	gossipFanout      = 4
+	gossipFanoutFloor = 8
+	// maxPiggybackUpdates caps the membership-update blob per report.
+	maxPiggybackUpdates = 16
+)
+
+// gossipTargets picks this round's report recipients: the full known set
+// below the fanout floor, otherwise the next gossipFanout ids of the
+// rotating window.
+func (m *Manager) gossipTargets() []int {
+	known := m.node.Members.Known()
+	if len(known) <= gossipFanoutFloor {
+		return known
+	}
+	m.mu.Lock()
+	start := m.gossipCursor % len(known)
+	m.gossipCursor = (start + gossipFanout) % len(known)
+	m.mu.Unlock()
+	out := make([]int, 0, gossipFanout)
+	for i := 0; i < gossipFanout; i++ {
+		out = append(out, known[(start+i)%len(known)])
+	}
+	return out
+}
+
+// PublishLoad gossips this node's signals to this round's fanout window
+// (see gossipTargets), with any queued membership updates piggybacked. It
 // returns the sampled signals and the per-peer send errors (an
 // unreachable peer is crash evidence for the failure detector). Peers
 // that just received these signals piggybacked on a migration are
 // skipped for this round — the report would be redundant traffic.
 func (m *Manager) PublishLoad() (policy.Signals, map[int]error) {
 	s := m.LocalSignals()
-	payload := encodeSignalsCaps(s, m.WireCaps())
+	ups := m.node.Members.Updates(maxPiggybackUpdates)
+	if n := len(ups); n > 0 {
+		m.met.updatesGossiped.Add(int64(n))
+	}
+	payload := encodeSignalsCapsUpdates(s, m.WireCaps(), ups)
 	errs := make(map[int]error)
-	for _, id := range m.node.Members.Known() {
+	for _, id := range m.gossipTargets() {
 		if m.recentlyPiggybacked(id, piggybackWindow) {
 			m.met.gossipSuppressed.Inc()
 			continue
@@ -95,25 +134,30 @@ func (m *Manager) piggybackSignals() []byte {
 	m.mu.Lock()
 	rate := m.lastRate
 	m.mu.Unlock()
-	return encodeSignalsCaps(policy.Signals{
+	return encodeSignalsCapsUpdates(policy.Signals{
 		Node:     m.node.ID,
 		Runnable: m.node.VM.NumThreads(),
 		Cores:    m.node.Cores,
 		Speed:    m.node.Speed,
 		StepRate: rate,
 		Faults:   m.node.ObjMan.FetchesByOwner(),
-	}, m.WireCaps())
+	}, m.WireCaps(), m.node.Members.Updates(maxPiggybackUpdates))
 }
 
 // absorbSignals records a peer's load report however it arrived —
-// dedicated gossip or piggybacked on a migration — and counts it as a
-// heartbeat.
-func (m *Manager) absorbSignals(s policy.Signals, caps byte) {
+// dedicated gossip or piggybacked on a migration — counts it as a
+// heartbeat, and merges any piggybacked membership updates into the local
+// view (the bounded fanout's dissemination path).
+func (m *Manager) absorbSignals(s policy.Signals, caps byte, ups []membership.Update) {
 	m.mu.Lock()
 	m.peerLoads[s.Node] = s
 	m.mu.Unlock()
 	m.setPeerCaps(s.Node, caps)
-	m.node.Members.Observe(s.Node, time.Now())
+	now := time.Now()
+	m.node.Members.Observe(s.Node, now)
+	for _, u := range ups {
+		m.node.Members.Absorb(u, now)
+	}
 }
 
 // GossipTick runs one heartbeat round: publish the local load, feed the
@@ -133,7 +177,18 @@ func (m *Manager) GossipTick() (policy.Signals, bool) {
 	for id := range errs {
 		m.node.Members.ObserveFailure(id, now)
 	}
-	m.node.Members.Sweep(now)
+	// SWIM: confirm every direct send failure through an indirect-probe
+	// round (ping-req via up to k alive relays) before the detector's
+	// silence timeout may escalate the peer to Dead — one slow or
+	// asymmetric link must not kill a node the rest of the cluster can
+	// still reach. Rounds run off the heartbeat loop: over TCP a call
+	// into a dead peer can stall for a dial timeout, and a blocked
+	// heartbeat loop looks exactly like a stalled sweeper — the detector
+	// would forgive everyone forever.
+	for id := range errs {
+		m.startIndirectProbe(id)
+	}
+	m.node.Members.Sweep(time.Now())
 	return sig, true
 }
 
@@ -167,12 +222,13 @@ func (m *Manager) RunningJobs() []*Job {
 func (m *Manager) handleLoadReport(from int, payload []byte) ([]byte, error) {
 	// Every load report doubles as a heartbeat: the sender is alive. The
 	// trailing capability byte (absent from older senders) negotiates the
-	// migration wire format per link.
-	s, caps, err := decodeSignalsCaps(payload)
+	// migration wire format per link; the membership-update blob behind it
+	// carries the piggybacked SWIM dissemination.
+	s, caps, ups, err := decodeSignalsCaps(payload)
 	if err != nil {
 		return nil, err
 	}
-	m.absorbSignals(s, caps)
+	m.absorbSignals(s, caps, ups)
 	return nil, nil
 }
 
@@ -192,13 +248,25 @@ func EncodeSignals(s policy.Signals) []byte {
 	return w.Bytes()
 }
 
-// encodeSignalsCaps appends this node's wire-capability byte to a load
-// report. Receivers that predate the capability field parse the fixed
-// fields and never look at the tail; senders that predate it emit no
-// tail and are taken as capability-zero. Either way the link falls back
-// to the full-state migration format.
-func encodeSignalsCaps(s policy.Signals, caps byte) []byte {
-	return append(EncodeSignals(s), caps)
+// encodeSignalsCapsUpdates appends this node's wire-capability byte and
+// any queued membership updates to a load report. Receivers that predate
+// the capability field parse the fixed fields and never look at the tail;
+// senders that predate it emit no tail and are taken as capability-zero
+// with no updates. Either way the link falls back to the full-state
+// migration format.
+func encodeSignalsCapsUpdates(s policy.Signals, caps byte, ups []membership.Update) []byte {
+	buf := append(EncodeSignals(s), caps)
+	if len(ups) == 0 {
+		return buf
+	}
+	w := wire.NewWriter(8 + 8*len(ups))
+	w.Uvarint(uint64(len(ups)))
+	for _, u := range ups {
+		w.Varint(int64(u.Node))
+		w.Byte(byte(u.State))
+		w.Uvarint(u.Inc)
+	}
+	return append(buf, w.Bytes()...)
 }
 
 // readSignals parses the fixed load-report fields from r.
@@ -228,15 +296,26 @@ func DecodeSignals(payload []byte) (policy.Signals, error) {
 }
 
 // decodeSignalsCaps parses a load report plus its optional trailing
-// capability byte.
-func decodeSignalsCaps(payload []byte) (policy.Signals, byte, error) {
+// capability byte and membership-update blob.
+func decodeSignalsCaps(payload []byte) (policy.Signals, byte, []membership.Update, error) {
 	r := wire.NewReader(payload)
 	s := readSignals(r)
 	var caps byte
 	if r.Err() == nil && r.Remaining() > 0 {
 		caps = r.Byte()
 	}
-	return s, caps, r.Err()
+	var ups []membership.Update
+	if r.Err() == nil && r.Remaining() > 0 {
+		n := int(r.Uvarint())
+		for i := 0; i < n && r.Err() == nil; i++ {
+			ups = append(ups, membership.Update{
+				Node:  int(r.Varint()),
+				State: membership.State(r.Byte()),
+				Inc:   r.Uvarint(),
+			})
+		}
+	}
+	return s, caps, ups, r.Err()
 }
 
 // --- the balancer ---

@@ -484,6 +484,239 @@ func TestSwarmChaosWatchedCrash(t *testing.T) {
 	}
 }
 
+// TestChaosOriginPermanentDeath is the origin re-homing chaos scenario:
+// every job in a 120-job burst originates at node 1, is watched from its
+// successor (node 2), migrates off the origin, and then the origin dies
+// permanently — no rejoin, ever. The executing nodes' result flushes give
+// up on the origin and redirect to the successor's shadows, which must
+// deliver every result exactly once: each watch stream ends with exactly
+// one terminal event, nothing after it, and at most one EvLagged marker
+// standing in for the events that died with the origin.
+func TestChaosOriginPermanentDeath(t *testing.T) {
+	const jobsN = 120
+	iters := int64(150_000)
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run("seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			prog := preprocess.MustPreprocess(buildChaosProgram(),
+				preprocess.Options{Mode: preprocess.ModeFaulting, Restore: true})
+			// Every node runs a single-slot CPU gate: 120 threads share it
+			// round-robin, so no job can finish much before the rest of
+			// the burst — the whole burst is still in flight when the
+			// evacuation drains the origin and the axe falls. (A faster
+			// survivor would finish early jobs — and flush them to the
+			// still-living origin — while later ones were still
+			// evacuating.)
+			c, err := sodee.NewCluster(prog, netsim.Gigabit,
+				sodee.NodeConfig{ID: 1, Preloaded: true, Cores: 1},
+				sodee.NodeConfig{ID: 2, Preloaded: true, Cores: 1},
+				sodee.NodeConfig{ID: 3, Preloaded: true, Cores: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			marker := newChaosMarker()
+			for _, n := range c.Nodes {
+				n.VM.BindNative("chaos_done", marker.native)
+			}
+			jobs := make([]*sodee.Job, jobsN)
+			seeds := make([]int64, jobsN)
+			for i := range jobs {
+				seeds[i] = seed*1_000_000 + int64(i) + 1
+				j, jerr := c.Nodes[1].Mgr.StartJob("main", value.Int(seeds[i]), value.Int(iters))
+				if jerr != nil {
+					t.Fatal(jerr)
+				}
+				jobs[i] = j
+			}
+
+			// Origin replication is asynchronous (one link round-trip
+			// behind StartJob); wait for every shadow before watching.
+			succ := c.Nodes[2]
+			waitUntil := time.Now().Add(30 * time.Second)
+			for _, j := range jobs {
+				for !succ.Mgr.Events().Known(j.ID) {
+					if time.Now().After(waitUntil) {
+						t.Fatalf("job %d never replicated to its successor", j.ID)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+
+			// Watchers attach at the successor, parked on the shadows,
+			// before the origin dies.
+			type watchVerdict struct {
+				terminals int
+				afterTerm int
+				lagged    int
+				flushed   int
+				result    int64
+				closed    bool
+			}
+			verdicts := make([]watchVerdict, jobsN)
+			var watchWG sync.WaitGroup
+			for i, j := range jobs {
+				ch, cancel := succ.Mgr.Events().Subscribe(j.ID)
+				watchWG.Add(1)
+				go func(i int, ch <-chan sodee.JobEvent, cancel func()) {
+					defer watchWG.Done()
+					defer cancel()
+					v := &verdicts[i]
+					timeout := time.After(90 * time.Second)
+					for {
+						select {
+						case ev, ok := <-ch:
+							if !ok {
+								v.closed = true
+								return
+							}
+							if v.terminals > 0 {
+								v.afterTerm++
+							}
+							switch {
+							case ev.Terminal():
+								v.terminals++
+								v.result = ev.Result
+							case ev.Kind == sodee.EvLagged:
+								v.lagged++
+							case ev.Kind == sodee.EvResultFlushed:
+								v.flushed++
+							}
+						case <-timeout:
+							return // closed stays false: the stream hung
+						}
+					}
+				}(i, ch, cancel)
+			}
+
+			// Evacuate the origin: every job migrates off node 1, whole
+			// stack, each on its own goroutine — MigrateSOD suspends the
+			// thread at its next safepoint, and parked threads release
+			// their core slot, so the suspends overlap instead of queuing
+			// behind each other's quanta. A job that completes at the
+			// origin before its migration lands is fine: its discharge
+			// wakes the shadow, and the settled gate below waits for it.
+			var migrated atomic.Int64
+			var evacWG sync.WaitGroup
+			for i, j := range jobs {
+				evacWG.Add(1)
+				go func(j *sodee.Job, dest int) {
+					defer evacWG.Done()
+					for !j.Done() {
+						if time.Now().After(waitUntil) {
+							t.Errorf("job %d never evacuated", j.ID)
+							return
+						}
+						_, merr := c.Nodes[1].Mgr.MigrateSOD(j, sodee.SODOptions{
+							NFrames: sodee.WholeStack, Dest: dest,
+						})
+						if merr == nil {
+							migrated.Add(1)
+							return
+						}
+						time.Sleep(2 * time.Millisecond)
+					}
+				}(j, 2+i%2)
+			}
+			evacWG.Wait()
+
+			// Let the evacuation drain the origin, then kill it for good.
+			// "Drained" means no job is resident anymore AND no discharge
+			// is pending: a job that completed while the origin lived must
+			// have woken its shadow before the axe falls, or the shadow
+			// sleeps forever — the flush already succeeded, so no redirect
+			// will ever come for it.
+			for {
+				if time.Now().After(waitUntil) {
+					t.Fatalf("origin never drained: %d jobs still resident",
+						len(c.Nodes[1].Mgr.RunningJobs()))
+				}
+				settled := len(c.Nodes[1].Mgr.RunningJobs()) == 0
+				for _, j := range jobs {
+					if !settled {
+						break
+					}
+					if j.Done() {
+						if sj, ok := succ.Mgr.Job(j.ID); !ok || !sj.Done() {
+							settled = false
+						}
+					}
+				}
+				if settled {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			c.Net.SetNodeDown(1, true) // permanent: no rejoin event follows
+
+			// Every result lands at the successor's shadow exactly once.
+			deadline := time.After(90 * time.Second)
+			for i, j := range jobs {
+				sj, ok := succ.Mgr.Job(j.ID)
+				if !ok {
+					t.Fatalf("job %d (seed %d): successor lost the shadow handle", i, seeds[i])
+				}
+				ch := make(chan struct{})
+				go func() { sj.Wait(); close(ch) }() //nolint:errcheck // re-read below
+				select {
+				case <-ch:
+				case <-deadline:
+					delivered := 0
+					for _, jj := range jobs {
+						if sjj, ok2 := succ.Mgr.Job(jj.ID); ok2 && sjj.Done() {
+							delivered++
+						}
+					}
+					t.Fatalf("job %d (seed %d) lost: successor never delivered (marker=%d originDone=%v delivered=%d/%d)",
+						i, seeds[i], marker.count(seeds[i]), j.Done(), delivered, jobsN)
+				}
+				res, jerr := sj.Wait()
+				if jerr != nil {
+					t.Fatalf("job %d (seed %d): %v", i, seeds[i], jerr)
+				}
+				if want := workloads.CruncherExpected(seeds[i], iters); res.I != want {
+					t.Errorf("job %d (seed %d) = %d, want %d", i, seeds[i], res.I, want)
+				}
+			}
+			watchWG.Wait()
+
+			rehomed := 0
+			for i, s := range seeds {
+				if n := marker.count(s); n != 1 {
+					t.Errorf("job %d (seed %d) executed its final statement %d times, want exactly 1", i, s, n)
+				}
+				v := verdicts[i]
+				if !v.closed {
+					t.Errorf("job %d (seed %d): watch stream never ended", i, seeds[i])
+					continue
+				}
+				if v.terminals != 1 {
+					t.Errorf("job %d (seed %d): stream delivered %d terminal events, want exactly 1", i, seeds[i], v.terminals)
+				}
+				if v.afterTerm != 0 {
+					t.Errorf("job %d (seed %d): %d events delivered after the terminal", i, seeds[i], v.afterTerm)
+				}
+				if v.lagged > 1 {
+					t.Errorf("job %d (seed %d): %d EvLagged markers, want at most 1", i, seeds[i], v.lagged)
+				}
+				if want := workloads.CruncherExpected(s, iters); v.terminals == 1 && v.result != want {
+					t.Errorf("job %d (seed %d): terminal carried %d, want %d", i, seeds[i], v.result, want)
+				}
+				if v.flushed > 0 {
+					rehomed++
+				}
+			}
+			// The scenario must actually exercise the re-homed delivery
+			// path (redirected flush into the shadow route), not just
+			// discharges from pre-death completions.
+			if rehomed < jobsN/10 {
+				t.Errorf("only %d/%d jobs took the re-homed flush path", rehomed, jobsN)
+			}
+			t.Logf("origin permanent death seed %d: %d/%d re-homed deliveries, %d migrations",
+				seed, rehomed, jobsN, migrated.Load())
+		})
+	}
+}
+
 // TestChaosScenarios runs the full scenario table across the seed matrix.
 func TestChaosScenarios(t *testing.T) {
 	for _, seed := range chaosSeeds(t) {

@@ -238,6 +238,14 @@ func DecodeJobEvent(payload []byte) (JobEvent, error) {
 const (
 	maxEventsPerJob = 64
 	maxTrackedJobs  = 512
+	// maxPinnedJobs is the hard ceiling on retained histories. Retention
+	// pressure above maxTrackedJobs discards *ended* streams only — a job
+	// still running must stay Known, or a submit-heavy burst (more than
+	// maxTrackedJobs jobs in flight at one node) would evict live jobs
+	// before their watchers attach. Live streams are pinned until the
+	// total crosses this ceiling, where memory safety wins and the oldest
+	// go regardless.
+	maxPinnedJobs = 8 * maxTrackedJobs
 	// jobRingCap bounds a per-job subscriber's pending ring. It must
 	// exceed maxEventsPerJob so a history replay always fits.
 	jobRingCap = 2 * maxEventsPerJob
@@ -386,6 +394,17 @@ func (s *busSub) stop() {
 	s.mu.Unlock()
 }
 
+// noteLag records n events this subscription is known to have missed, so
+// the pump emits one EvLagged marker before its next delivery. Used when a
+// re-homed stream is promoted: the origin's earlier events are lost with
+// the origin, and the marker makes that visible instead of silent.
+func (s *busSub) noteLag(n uint64) {
+	s.mu.Lock()
+	s.lagged += n
+	s.dropped += n
+	s.mu.Unlock()
+}
+
 // Dropped returns how many events this subscription coalesced away.
 func (s *busSub) Dropped() uint64 {
 	s.mu.Lock()
@@ -459,6 +478,13 @@ type Bus struct {
 	// all holds the firehose subscriptions (SubscribeAll): every event
 	// published here, whatever its job.
 	all map[*busSub]struct{}
+	// shadows holds jobs replicated to this node for origin re-homing:
+	// Known before any event exists, with subscribers parked until the
+	// stream is promoted by its first real event (the redirected result
+	// arriving) or discharged by the origin's normal completion. Shadow
+	// state never touches hist or the firehose, so a job that completes at
+	// its origin leaves no duplicate trace here.
+	shadows map[uint64]map[*busSub]struct{}
 }
 
 // NewBus returns an empty bus publishing for the given origin node; every
@@ -466,10 +492,11 @@ type Bus struct {
 // origin, so cluster-wide consumers key streams by Origin+Job).
 func NewBus(origin int) *Bus {
 	return &Bus{
-		origin: origin,
-		hist:   make(map[uint64][]JobEvent),
-		subs:   make(map[uint64]map[*busSub]struct{}),
-		all:    make(map[*busSub]struct{}),
+		origin:  origin,
+		hist:    make(map[uint64][]JobEvent),
+		subs:    make(map[uint64]map[*busSub]struct{}),
+		all:     make(map[*busSub]struct{}),
+		shadows: make(map[uint64]map[*busSub]struct{}),
 	}
 }
 
@@ -505,13 +532,28 @@ func (b *Bus) Publish(e JobEvent) {
 	e.Seq = b.seq
 	if !known {
 		b.order = append(b.order, e.Job)
-		for len(b.order) > maxTrackedJobs {
-			delete(b.hist, b.order[0])
-			b.order = b.order[1:]
+		if len(b.order) > maxTrackedJobs {
+			b.evictLocked()
 		}
 	}
 	if len(h) < maxEventsPerJob || e.Terminal() {
 		b.hist[e.Job] = append(h, e)
+	}
+	// First real event for a re-homed job: promote its shadow. Parked
+	// subscribers join the live set with one EvLagged marker — the
+	// origin's earlier events died with the origin — and then receive
+	// this event and everything after it, terminal included.
+	if sh, ok := b.shadows[e.Job]; ok {
+		delete(b.shadows, e.Job)
+		set := b.subs[e.Job]
+		if set == nil {
+			set = make(map[*busSub]struct{})
+			b.subs[e.Job] = set
+		}
+		for s := range sh {
+			s.noteLag(1)
+			set[s] = struct{}{}
+		}
 	}
 	for s := range b.subs[e.Job] {
 		if !s.enqueue(e) && !e.Terminal() {
@@ -530,13 +572,88 @@ func (b *Bus) Publish(e JobEvent) {
 	b.mu.Unlock()
 }
 
+// evictLocked sheds retained histories down to maxTrackedJobs, oldest
+// first, skipping streams that have not ended — a live job must stay
+// replayable (and Known) however many younger jobs pile in behind it.
+// Only past maxPinnedJobs are live streams evicted too. Callers hold b.mu.
+func (b *Bus) evictLocked() {
+	need := len(b.order) - maxTrackedJobs
+	kept := b.order[:0]
+	for i, id := range b.order {
+		h := b.hist[id]
+		ended := len(h) > 0 && h[len(h)-1].Terminal()
+		if need > 0 && (ended || len(b.order)-i > maxPinnedJobs) {
+			delete(b.hist, id)
+			need--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	b.order = kept
+}
+
 // Known reports whether the bus has seen any event for the job (i.e., the
-// job was submitted at this node and its history is still retained).
+// job was submitted at this node and its history is still retained) or
+// holds its re-homing shadow (the job was submitted elsewhere and this
+// node is its designated successor).
 func (b *Bus) Known(job uint64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	_, ok := b.hist[job]
+	if _, ok := b.hist[job]; ok {
+		return true
+	}
+	_, ok := b.shadows[job]
 	return ok
+}
+
+// RegisterShadow marks job as re-homed here: Known starts answering true
+// and subscribers park on the shadow until the stream is promoted (first
+// real event published — the redirected result arriving) or discharged
+// (the origin completed the job normally). Idempotent.
+func (b *Bus) RegisterShadow(job uint64) {
+	b.mu.Lock()
+	if _, ok := b.shadows[job]; !ok {
+		b.shadows[job] = make(map[*busSub]struct{})
+	}
+	b.mu.Unlock()
+}
+
+// DischargeShadow retires job's shadow after the origin completed it
+// normally: parked subscribers receive one EvLagged marker (the stream
+// they never saw lived at the origin) followed by the terminal event, and
+// their channels close. The terminal is retained as the job's entire
+// local history, so a watcher attaching after the discharge replays it
+// and ends instead of parking on a stream nothing will ever promote —
+// and Known keeps answering true, like any other completed job here.
+// Nothing reaches the firehose (SubscribeAll replays no history), so
+// WatchAll consumers never see a duplicate terminal: the job's real
+// stream lived at the origin's bus.
+func (b *Bus) DischargeShadow(job uint64, terminal JobEvent) {
+	if terminal.Time.IsZero() {
+		terminal.Time = time.Now()
+	}
+	terminal.Origin = b.origin
+	b.mu.Lock()
+	sh, ok := b.shadows[job]
+	delete(b.shadows, job)
+	if !ok {
+		b.mu.Unlock()
+		return
+	}
+	b.seq++
+	terminal.Seq = b.seq
+	if _, known := b.hist[job]; !known {
+		b.order = append(b.order, job)
+		if len(b.order) > maxTrackedJobs {
+			b.evictLocked()
+		}
+	}
+	b.hist[job] = append(b.hist[job], terminal)
+	b.mu.Unlock()
+	for s := range sh {
+		s.noteLag(1)
+		s.enqueue(terminal)
+	}
 }
 
 // Subscribe returns a channel of the job's events: the retained history
@@ -555,7 +672,14 @@ func (b *Bus) Subscribe(job uint64) (<-chan JobEvent, func()) {
 		s.enqueue(e) // cannot overflow: ring cap > maxEventsPerJob
 	}
 	ended := len(h) > 0 && h[len(h)-1].Terminal()
-	if !ended {
+	switch {
+	case ended:
+	case len(h) == 0 && b.shadows[job] != nil:
+		// Re-homed job with no local stream yet: park on the shadow. The
+		// subscriber resumes (with one EvLagged marker) when the stream is
+		// promoted or discharged.
+		b.shadows[job][s] = struct{}{}
+	default:
 		set := b.subs[job]
 		if set == nil {
 			set = make(map[*busSub]struct{})
@@ -571,6 +695,9 @@ func (b *Bus) Subscribe(job uint64) (<-chan JobEvent, func()) {
 			if len(set) == 0 {
 				delete(b.subs, job)
 			}
+		}
+		if sh := b.shadows[job]; sh != nil {
+			delete(sh, s)
 		}
 		b.mu.Unlock()
 		s.stop()

@@ -76,19 +76,95 @@ func TestBusCancelIsIdempotent(t *testing.T) {
 	b.Publish(sodee.JobEvent{Job: 1, Kind: sodee.EvCompleted})
 }
 
-func TestBusEvictsOldestJobs(t *testing.T) {
+func TestBusEvictsOldestEndedJobs(t *testing.T) {
 	b := sodee.NewBus(1)
 	const extra = 10
 	for i := 0; i < 512+extra; i++ {
-		b.Publish(sodee.JobEvent{Job: uint64(i + 1), Kind: sodee.EvStarted})
+		id := uint64(i + 1)
+		b.Publish(sodee.JobEvent{Job: id, Kind: sodee.EvStarted})
+		b.Publish(sodee.JobEvent{Job: id, Kind: sodee.EvCompleted})
 	}
 	for i := 0; i < extra; i++ {
 		if b.Known(uint64(i + 1)) {
-			t.Fatalf("job %d should have been evicted", i+1)
+			t.Fatalf("ended job %d should have been evicted", i+1)
 		}
 	}
 	if !b.Known(512 + extra) {
 		t.Error("newest job evicted")
+	}
+}
+
+// TestBusPinsLiveJobs pins the retention contract a submit burst relies
+// on: pressure above the tracked-job cap evicts ended streams only, so a
+// job still running stays Known — its watcher may not have attached yet —
+// however many younger jobs pile in behind it.
+func TestBusPinsLiveJobs(t *testing.T) {
+	b := sodee.NewBus(1)
+	b.Publish(sodee.JobEvent{Job: 1, Kind: sodee.EvStarted}) // live: no terminal
+	for i := 0; i < 2*512; i++ {
+		id := uint64(1000 + i)
+		b.Publish(sodee.JobEvent{Job: id, Kind: sodee.EvStarted})
+		b.Publish(sodee.JobEvent{Job: id, Kind: sodee.EvCompleted})
+	}
+	if !b.Known(1) {
+		t.Fatal("live job evicted by ended-stream pressure")
+	}
+	// Only past the hard pinning ceiling do live streams go too.
+	b2 := sodee.NewBus(1)
+	const ceiling = 8 * 512
+	for i := 0; i < ceiling+100; i++ {
+		b2.Publish(sodee.JobEvent{Job: uint64(i + 1), Kind: sodee.EvStarted})
+	}
+	if b2.Known(1) {
+		t.Error("oldest live job should fall to the pinning ceiling")
+	}
+	if !b2.Known(ceiling + 100) {
+		t.Error("newest live job evicted")
+	}
+}
+
+// TestBusShadowDischargeAndLateSubscriber pins the shadow lifecycle for
+// the quiet-discharge path: a subscriber parked on the shadow before the
+// origin completes sees one EvLagged marker plus the terminal; one that
+// attaches after the discharge replays the retained terminal and closes —
+// it must not park forever on a stream nothing will ever promote — and
+// Known keeps answering true afterwards.
+func TestBusShadowDischargeAndLateSubscriber(t *testing.T) {
+	b := sodee.NewBus(2)
+	b.RegisterShadow(9)
+	if !b.Known(9) {
+		t.Fatal("shadow not Known before any event")
+	}
+	early, cancelEarly := b.Subscribe(9)
+	defer cancelEarly()
+
+	term := sodee.JobEvent{Job: 9, Kind: sodee.EvCompleted, Result: 7}
+	b.DischargeShadow(9, term)
+
+	got := collectUntilClosed(t, early, 5*time.Second)
+	if len(got) != 2 || got[0].Kind != sodee.EvLagged || got[1].Kind != sodee.EvCompleted {
+		t.Fatalf("parked subscriber saw %+v, want EvLagged then EvCompleted", got)
+	}
+	if got[1].Result != 7 || got[1].Origin != 2 {
+		t.Errorf("terminal = %+v, want result 7 re-stamped to origin 2", got[1])
+	}
+
+	if !b.Known(9) {
+		t.Error("discharged shadow no longer Known")
+	}
+	late, cancelLate := b.Subscribe(9)
+	defer cancelLate()
+	replay := collectUntilClosed(t, late, 5*time.Second)
+	if len(replay) != 1 || replay[0].Kind != sodee.EvCompleted || replay[0].Result != 7 {
+		t.Fatalf("late subscriber replay = %+v, want just the terminal", replay)
+	}
+
+	// A second discharge is a no-op: the history keeps exactly one terminal.
+	b.DischargeShadow(9, term)
+	again, cancelAgain := b.Subscribe(9)
+	defer cancelAgain()
+	if replay := collectUntilClosed(t, again, 5*time.Second); len(replay) != 1 {
+		t.Fatalf("after duplicate discharge, replay = %+v, want one terminal", replay)
 	}
 }
 

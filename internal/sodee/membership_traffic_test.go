@@ -1,0 +1,82 @@
+package sodee_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sodee"
+	"repro/internal/workloads"
+)
+
+// TestMembershipTrafficScalesLinearly is the acceptance check for the
+// bounded-fanout dissemination: one heartbeat round on a 64-node fabric
+// must cost O(n) messages, not the all-pairs detector's O(n²). Each node
+// reports to a rotating gossipFanout-wide window, so a full protocol
+// period is n·fanout sends cluster-wide; the all-pairs baseline would be
+// n·(n-1). State still reaches everyone because membership updates
+// piggyback on every report — the rotation test below shows the windows
+// cover the whole cluster within a few rounds.
+func TestMembershipTrafficScalesLinearly(t *testing.T) {
+	const n = 64
+	cfgs := make([]sodee.NodeConfig, n)
+	for i := range cfgs {
+		cfgs[i] = sodee.NodeConfig{ID: i + 1, Preloaded: true}
+	}
+	c, err := sodee.NewCluster(workloads.Cruncher(), netsim.Gigabit, cfgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := c.Net.Stats.Messages.Load()
+	for _, node := range c.Nodes {
+		node.Mgr.GossipTick()
+	}
+	sent := c.Net.Stats.Messages.Load() - before
+
+	allPairs := uint64(n * (n - 1)) // 4032: every node reporting to every peer
+	if sent == 0 {
+		t.Fatal("gossip round sent no messages")
+	}
+	// The exact per-round cost is n·gossipFanout = 256; leave headroom for
+	// indirect-probe traffic without ever letting it near quadratic.
+	if budget := uint64(8 * n); sent > budget {
+		t.Errorf("one gossip round sent %d messages, budget %d (all-pairs would be %d)", sent, budget, allPairs)
+	}
+	if sent*8 > allPairs {
+		t.Errorf("round cost %d is not well under the all-pairs baseline %d", sent, allPairs)
+	}
+	t.Logf("64-node gossip round: %d messages (all-pairs baseline %d)", sent, allPairs)
+
+	// The rotating window must cover every peer within a full rotation:
+	// ceil((n-1)/fanout) rounds, here 16. Give it one extra and require
+	// node 1 to have reported to every other node at least once.
+	recipients := make(map[int]bool)
+	for round := 0; round < 17; round++ {
+		_, errs := c.Nodes[1].Mgr.PublishLoad()
+		if len(errs) > 0 {
+			t.Fatalf("round %d: unexpected send errors %v", round, errs)
+		}
+	}
+	// Count what actually arrived: every peer must have heard from node 1.
+	for id, node := range c.Nodes {
+		if id == 1 {
+			continue
+		}
+		for _, s := range node.Mgr.PeerSignals() {
+			if s.Node == 1 {
+				recipients[id] = true
+			}
+		}
+	}
+	var missed []int
+	for id := range c.Nodes {
+		if id != 1 && !recipients[id] {
+			missed = append(missed, id)
+		}
+	}
+	sort.Ints(missed)
+	if len(missed) > 0 {
+		t.Errorf("after a full rotation, nodes %v never heard from node 1", missed)
+	}
+}

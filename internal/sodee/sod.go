@@ -108,6 +108,14 @@ type Job struct {
 	// span runs from here to completion. Zero for remote wrappers, whose
 	// trace belongs to their origin.
 	started time.Time
+
+	// shadowOf marks a re-homing shadow (rehome.go): the origin node whose
+	// job this handle stands in for at its successor (0 = not a shadow).
+	// quiet suppresses the terminal event publication in complete() — set
+	// when the shadow is retired by the origin's normal completion, whose
+	// stream already terminated at the origin's bus.
+	shadowOf int
+	quiet    bool
 }
 
 // Thread returns the job's current local thread (nil once fully migrated).
@@ -207,15 +215,29 @@ func (j *Job) complete(res value.Value, err error) {
 				Name: "job", Start: j.started, Dur: time.Since(j.started),
 			})
 		}
-		ev := JobEvent{
-			Job: j.ID, Kind: EvCompleted,
-			From: j.mgr.node.ID, To: j.mgr.node.ID,
-			Result: res.I,
+		if !j.quiet {
+			ev := JobEvent{
+				Job: j.ID, Kind: EvCompleted,
+				From: j.mgr.node.ID, To: j.mgr.node.ID,
+				Result: res.I,
+			}
+			if err != nil {
+				ev.Err = err.Error()
+			}
+			j.mgr.bus.Publish(ev)
 		}
-		if err != nil {
-			ev.Err = err.Error()
+		if j.shadowOf != 0 {
+			j.mgr.retireShadow(j.ID, !j.quiet)
+		} else if fb := j.resultFallback; fb != (completion{}) {
+			// The origin completed a replicated job normally: retire its
+			// shadow at the successor so the dormant copy never resurfaces.
+			// Synchronous on purpose: the result usually arrives here by
+			// acknowledged flush, and the discharge must be on the wire
+			// before that ack — an origin that crashes between the two then
+			// also fails the ack, and the executing node re-routes the
+			// result to the successor itself.
+			j.mgr.sendDischarge(j.ID, fb, res, err)
 		}
-		j.mgr.bus.Publish(ev)
 	}
 }
 
@@ -302,11 +324,21 @@ type Manager struct {
 	// Gossiped load state: the last report received from each peer, and
 	// the sampling cursor for this node's own step rate. lastRate keeps
 	// the most recent sampled rate so piggybacked reports can reuse it
-	// without advancing the cursor (see piggybackSignals).
-	peerLoads  map[int]policy.Signals
-	lastInstr  uint64
-	lastSample time.Time
-	lastRate   float64
+	// without advancing the cursor (see piggybackSignals). gossipCursor
+	// rotates PublishLoad's bounded fanout window over the known set.
+	peerLoads    map[int]policy.Signals
+	lastInstr    uint64
+	lastSample   time.Time
+	lastRate     float64
+	gossipCursor int
+
+	// Origin re-homing (rehome.go): the shadows this node holds as
+	// designated successor, keyed by job id.
+	rehomeMu   sync.Mutex
+	shadowJobs map[uint64]*originShadow
+	// probeBusy marks peers with an indirect-probe round in flight, so
+	// each heartbeat accusation launches at most one concurrent round.
+	probeBusy map[int]bool
 
 	// Delta/streaming wire state (deltacache.go): per-peer link caches of
 	// migration units, the capability bytes peers advertised via gossip,
@@ -390,6 +422,16 @@ type mgrMetrics struct {
 	streamedMig      *obs.Counter // migrations whose statics streamed
 	gossipPiggyback  *obs.Counter // load reports that rode a migration
 	gossipSuppressed *obs.Counter // dedicated reports skipped as redundant
+
+	probeAcks       *obs.Counter // indirect-probe rounds answered by a relay
+	probeMisses     *obs.Counter // completed rounds with no relay reaching the target
+	pingReqServed   *obs.Counter // ping-req relays this node performed for peers
+	updatesGossiped *obs.Counter // membership verdicts piggybacked on outgoing gossip
+
+	rehomeReplicated *obs.Counter // origin shadows installed at a successor
+	rehomeAdopted    *obs.Counter // shadows adopted after the origin died
+	rehomeDiscarded  *obs.Counter // shadows retired by the origin's normal completion
+	rehomeCompleted  *obs.Counter // re-homed results delivered at the successor
 }
 
 func newMgrMetrics(r *obs.Registry) *mgrMetrics {
@@ -419,6 +461,16 @@ func newMgrMetrics(r *obs.Registry) *mgrMetrics {
 		streamedMig:      r.Counter("sod_streamed_migrations_total"),
 		gossipPiggyback:  r.Counter("sod_gossip_piggybacked_total"),
 		gossipSuppressed: r.Counter("sod_gossip_suppressed_total"),
+
+		probeAcks:       r.Counter(obs.Label("sod_membership_probes_total", "result", "ack")),
+		probeMisses:     r.Counter(obs.Label("sod_membership_probes_total", "result", "miss")),
+		pingReqServed:   r.Counter("sod_membership_pingreq_total"),
+		updatesGossiped: r.Counter("sod_membership_updates_total"),
+
+		rehomeReplicated: r.Counter("sod_rehome_replicated_total"),
+		rehomeAdopted:    r.Counter("sod_rehome_adopted_total"),
+		rehomeDiscarded:  r.Counter("sod_rehome_discarded_total"),
+		rehomeCompleted:  r.Counter("sod_rehome_completed_total"),
 	}
 	for i := range mm.migrations {
 		mm.migrations[i] = r.Counter(obs.Label("sod_migrations_total", "reason", MigrateReason(i).String()))
@@ -455,10 +507,18 @@ func newManager(n *Node) *Manager {
 		selfCaps:    capAll,
 		lastPiggy:   make(map[int]time.Time),
 		streams:     make(map[streamKey]*streamEntry),
+		shadowJobs:  make(map[uint64]*originShadow),
+		probeBusy:   make(map[int]bool),
 		classSource: -1,
 		bus:         NewBus(n.ID),
 		met:         newMgrMetrics(n.Obs),
 	}
+	// Job ids double as flush-route tokens and must be cluster-unique —
+	// origin re-homing registers a job's id as a route at its successor,
+	// so two nodes minting the same id would collide there. Seed the token
+	// stream with the node id in the high 32 bits (mirroring spanID's
+	// scheme, whose low-bits mask keeps span uniqueness intact).
+	m.nextToken.Store(uint64(uint32(n.ID)) << 32)
 	// A peer that died or rejoined lost its half of every link cache:
 	// referencing units against it would at best miss and at worst (death,
 	// restart, re-listen on the same id) resolve against a stale cache.
@@ -466,6 +526,9 @@ func newManager(n *Node) *Manager {
 	n.Members.OnChange(func(ev membership.Event) {
 		if ev.State == membership.Dead || ev.State == membership.Alive {
 			m.dropLink(ev.Node)
+		}
+		if ev.State == membership.Dead {
+			m.adoptOrigin(ev.Node)
 		}
 	})
 	m.bus.SetObs(
@@ -485,6 +548,9 @@ func newManager(n *Node) *Manager {
 	n.EP.Handle(netsim.KindStealGrant, m.handleStealGrant)
 	n.EP.Handle(netsim.KindJobEvent, m.handleJobEvent)
 	n.EP.Handle(netsim.KindTraceSpan, m.handleTraceSpan)
+	n.EP.Handle(netsim.KindPing, m.handlePing)
+	n.EP.Handle(netsim.KindPingReq, m.handlePingReq)
+	n.EP.Handle(netsim.KindRehome, m.handleRehome)
 	return m
 }
 
@@ -689,6 +755,11 @@ func (m *Manager) startJob(qualifiedMethod string, chained bool, args ...value.V
 		Name: "job", Start: job.started,
 	})
 	m.bus.Publish(JobEvent{Job: job.ID, Kind: EvStarted, From: m.node.ID, To: m.node.ID})
+	// Replicate the origin to its successor: should this node die
+	// permanently, the successor adopts the waiter and the result flush
+	// redirects there (rehome.go). Off the submit path — see
+	// replicateOrigin for why it must not serialize a burst.
+	go m.replicateOrigin(job)
 	go m.runAndWatch(th, job)
 	return job, nil
 }
@@ -903,14 +974,26 @@ func (m *Manager) routeResult(th *vm.Thread, expectValue bool, dst, fallback com
 		attempts = chainFlushAttempts
 	}
 	payload := encodeFlushMsg(dst.token, fm, m.node.Prog, m.node.Codec)
-	err := m.sendFlushRetrying(dst.node, payload, false, attempts)
+	// With a fallback route the flush must be *acknowledged*: a one-way
+	// send accepted by the wire just before the consumer crashes looks
+	// delivered to this node, so the redirect below would never fire and
+	// the value would die with the consumer. An RPC only counts as
+	// delivered once the consumer's handler ran; an unconfirmed delivery
+	// fails unreachable and takes the fallback path. (A retried frame that
+	// did land is dropped by the consumed flush route — never re-applied.)
+	err := m.sendFlushRetrying(dst.node, payload, hasFallback, attempts)
 	if err == nil || !isUnreachable(err) {
 		return
 	}
 	if hasFallback {
-		// The planted continuation is unreachable; reroute the value to
-		// the chain's recovery route, which rebuilds the link's frames
-		// there and carries on — the chain degrades, it does not wedge.
+		// The consumer is unreachable; reroute the value to the fallback —
+		// a chain's recovery route, or a re-homed job's successor shadow —
+		// which completes the job there instead of losing it. The fallback
+		// can be this very node (a job executing at its own successor).
+		if fallback.node == m.node.ID {
+			m.deliverLocal(fallback.token, th.Result, th.Err)
+			return
+		}
 		payload = encodeFlushMsg(fallback.token, fm, m.node.Prog, m.node.Codec)
 		if ferr := m.sendFlushRetrying(fallback.node, payload, false, flushRetryAttempts); ferr != nil {
 			_ = ferr // recovery route unreachable too: nowhere left to go
@@ -1070,6 +1153,10 @@ func (m *Manager) forwardError(next, fallback completion, err error) {
 	serr := m.sendFlushRetrying(next.node,
 		encodeFlushMsg(next.token, efm, m.node.Prog, m.node.Codec), false, attempts)
 	if serr != nil && isUnreachable(serr) && hasFallback {
+		if fallback.node == m.node.ID {
+			m.deliverLocal(fallback.token, value.Value{}, err)
+			return
+		}
 		_ = m.sendFlushRetrying(fallback.node,
 			encodeFlushMsg(fallback.token, efm, m.node.Prog, m.node.Codec), false, flushRetryAttempts)
 	}
@@ -1293,10 +1380,14 @@ func (m *Manager) MigrateSOD(job *Job, opts SODOptions) (*MigrationMetrics, erro
 	// Ship the segment (classes of its methods ride along, rest on demand).
 	// A re-balanced chain link keeps its recovery fallback: wherever the
 	// link ends up, an unreachable next link still reroutes to the chain's
-	// origin.
+	// origin. A home-grown job's re-homing fallback travels the same way:
+	// wherever the stack lands, an unreachable (dead) origin redirects the
+	// result to the job's successor. Partial exports carry none — their
+	// value returns to the residual parked on this node, not to a consumer
+	// that could outlive it.
 	var fallback completion
 	job.mu.Lock()
-	if resultTo == finalTo && job.remote {
+	if resultTo == finalTo {
 		fallback = job.resultFallback
 	}
 	jobChained := job.chained
@@ -1587,8 +1678,8 @@ func (m *Manager) handleMigrate(from int, payload []byte) ([]byte, error) {
 	// Absorb the piggybacked load report (and its heartbeat) exactly as a
 	// dedicated KindLoadReport would be.
 	if len(msg.signals) > 0 {
-		if s, caps, serr := decodeSignalsCaps(msg.signals); serr == nil {
-			m.absorbSignals(s, caps)
+		if s, caps, ups, serr := decodeSignalsCaps(msg.signals); serr == nil {
+			m.absorbSignals(s, caps, ups)
 		}
 	}
 
@@ -1723,16 +1814,16 @@ func (m *Manager) handleFlush(from int, payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	fm.ThreadID = int32(token)
-	m.deliverFlush(from, fm)
+	m.deliverFlush(from, token, fm)
 	return nil, nil
 }
 
 // deliverFlush applies a flush message (sent by node from) to the route
-// its token names. Token 0 is an apply-only update flush (dirty data
-// coming home) with no control transfer attached.
-func (m *Manager) deliverFlush(from int, fm *serial.FlushMessage) {
-	token := uint64(fm.ThreadID)
+// its token names. The token travels alongside the message — never through
+// FlushMessage.ThreadID, whose int32 would truncate the node-id prefix of
+// a cluster-unique token. Token 0 is an apply-only update flush (dirty
+// data coming home) with no control transfer attached.
+func (m *Manager) deliverFlush(from int, token uint64, fm *serial.FlushMessage) {
 	if token == 0 {
 		if _, err := m.node.ObjMan.ApplyFlush(fm); err != nil {
 			_ = err

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/daemon"
+	"repro/internal/sodee"
 	"repro/internal/workloads"
 	"repro/sod"
 )
@@ -899,5 +901,265 @@ func TestConformanceTrace(t *testing.T) {
 		if _, err := f.client.Trace(ctx, 999_999); err == nil {
 			t.Fatal("Trace(unknown job) succeeded; want an error")
 		}
+	})
+}
+
+// TestConformanceRehomedWatch pins the origin re-homing contract on both
+// client surfaces: a Wait and a Watch attached through the origin's
+// successor BEFORE the origin dies permanently must still complete — the
+// executing nodes' result flushes redirect to the successor's shadow —
+// with the terminal event's Origin re-stamped to the successor, exactly
+// one terminal per stream, and at most one EvLagged marker standing in
+// for the stream that died with the origin. The successor is discovered
+// per job (the next peer the origin saw alive at submit time), not
+// assumed: a momentary suspicion can route one job's shadow to the other
+// survivor. The in-process fixture cuts the origin's network for good;
+// the daemon fixture stops the origin daemon process — a crash, no
+// goodbye.
+func TestConformanceRehomedWatch(t *testing.T) {
+	// Long enough that the whole burst is still executing when the origin
+	// is killed: the kill then catches every result flush still ahead,
+	// and each exercises the redirect-to-successor path rather than
+	// racing a discharge from a healthy origin.
+	const rehomedIters = 2_000_000
+	seeds := []int64{21, 22, 23}
+
+	type port struct {
+		client sod.Client
+		mgr    *sodee.Manager
+	}
+
+	// run drives the surface-independent scenario: discover each job's
+	// successor, attach Wait and Watch through it, evacuate the origin
+	// (parallel whole-stack migrations), wait for it to settle, kill it,
+	// then require every wait and every stream to deliver the re-stamped
+	// terminal exactly once. "Settled" means no job is resident at the
+	// origin AND no discharge is outstanding: a job that completed while
+	// the origin lived must have woken its shadow before the axe falls —
+	// its flush already succeeded, so no redirect will ever come for it.
+	run := func(t *testing.T, ids []uint64, origin *sodee.Manager, survivors map[int]port, kill func()) {
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+
+		// Origin replication is one async link round-trip behind Submit;
+		// each job's shadow surfaces as Known at exactly one survivor.
+		succOf := make([]int, len(ids))
+		deadline := time.Now().Add(20 * time.Second)
+		for i, id := range ids {
+			for succOf[i] == 0 {
+				for node, p := range survivors {
+					if p.mgr.Events().Known(id) {
+						succOf[i] = node
+						break
+					}
+				}
+				if succOf[i] == 0 {
+					if time.Now().After(deadline) {
+						t.Fatalf("job %d never replicated to a successor", id)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}
+
+		streams := make([]<-chan sod.JobEvent, len(ids))
+		waitRes := make([]sod.Value, len(ids))
+		waitErr := make([]error, len(ids))
+		var waits sync.WaitGroup
+		for i, id := range ids {
+			succ := survivors[succOf[i]].client
+			ch, err := succ.Watch(ctx, id)
+			if err != nil {
+				t.Fatalf("watch %d at successor %d: %v", id, succOf[i], err)
+			}
+			streams[i] = ch
+			h, err := succ.Job(id)
+			if err != nil {
+				t.Fatalf("job %d lookup at successor %d: %v", id, succOf[i], err)
+			}
+			waits.Add(1)
+			go func(i int, h sod.JobHandle) {
+				defer waits.Done()
+				waitRes[i], waitErr[i] = h.Wait(ctx)
+			}(i, h)
+		}
+
+		var evac sync.WaitGroup
+		for i, id := range ids {
+			evac.Add(1)
+			go func(id uint64, dest int) {
+				defer evac.Done()
+				job, ok := origin.Job(id)
+				if !ok {
+					t.Errorf("origin lost job %d", id)
+					return
+				}
+				for !job.Done() {
+					if _, err := origin.MigrateSOD(job, sodee.SODOptions{
+						NFrames: sodee.WholeStack, Dest: dest,
+					}); err == nil {
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}(id, 2+i%2)
+		}
+		evac.Wait()
+		settleBy := time.Now().Add(20 * time.Second)
+		for {
+			if time.Now().After(settleBy) {
+				t.Fatalf("origin never settled: %d jobs still resident", len(origin.RunningJobs()))
+			}
+			settled := len(origin.RunningJobs()) == 0
+			for i, id := range ids {
+				if !settled {
+					break
+				}
+				if oj, ok := origin.Job(id); ok && oj.Done() {
+					if sj, ok := survivors[succOf[i]].mgr.Job(id); !ok || !sj.Done() {
+						settled = false
+					}
+				}
+			}
+			if settled {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		kill()
+
+		waits.Wait()
+		for i := range ids {
+			if waitErr[i] != nil {
+				t.Fatalf("wait %d (seed %d): %v", ids[i], seeds[i], waitErr[i])
+			}
+			if want := workloads.CruncherExpected(seeds[i], rehomedIters); waitRes[i].I != want {
+				t.Errorf("wait %d (seed %d) = %d, want %d", ids[i], seeds[i], waitRes[i].I, want)
+			}
+		}
+		rehomed := 0
+		for i, ch := range streams {
+			terminals, lagged, flushed := 0, 0, 0
+			var term sod.JobEvent
+			for ev := range ch {
+				switch {
+				case ev.Terminal():
+					terminals++
+					term = ev
+				case ev.Kind == sod.JobLagged:
+					lagged++
+				case ev.Kind == sod.JobResultFlushed:
+					flushed++
+				}
+			}
+			if ctx.Err() != nil {
+				t.Fatalf("stream %d never ended", ids[i])
+			}
+			if terminals != 1 {
+				t.Errorf("stream %d delivered %d terminals, want exactly 1", ids[i], terminals)
+				continue
+			}
+			if term.Origin != succOf[i] {
+				t.Errorf("stream %d terminal Origin = %d, want re-stamped to successor %d", ids[i], term.Origin, succOf[i])
+			}
+			if want := workloads.CruncherExpected(seeds[i], rehomedIters); term.Result != want {
+				t.Errorf("stream %d terminal carried %d, want %d", ids[i], term.Result, want)
+			}
+			if lagged > 1 {
+				t.Errorf("stream %d saw %d EvLagged markers, want at most 1", ids[i], lagged)
+			}
+			if flushed > 0 {
+				rehomed++
+			}
+		}
+		t.Logf("re-homed deliveries: %d/%d (rest discharged before the kill)", rehomed, len(ids))
+	}
+
+	submit := func(t *testing.T, cl sod.Client, ctx context.Context) []uint64 {
+		ids := make([]uint64, len(seeds))
+		for i, s := range seeds {
+			h, err := cl.Submit(ctx, "main", sod.Int(s), sod.Int(rehomedIters))
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			ids[i] = h.ID()
+		}
+		return ids
+	}
+
+	t.Run("inprocess", func(t *testing.T) {
+		prog, err := daemon.BuildWorkload("cruncher")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Single-slot gates everywhere: the burst round-robins, so no job
+		// can finish long before the rest — the kill catches work in
+		// flight (same shape as the chaos scenario).
+		cluster, err := sod.NewCluster(prog, sod.Gigabit,
+			sod.Node{ID: 1, Cores: 1}, sod.Node{ID: 2, Cores: 1}, sod.Node{ID: 3, Cores: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range []int{1, 2, 3} {
+			workloads.BindCommon(cluster.On(id).VM())
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+		cl1, err := cluster.ClientOn(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		survivors := make(map[int]port)
+		for _, id := range []int{2, 3} {
+			cl, err := cluster.ClientOn(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			survivors[id] = port{client: cl, mgr: cluster.On(id).Runtime()}
+		}
+		ids := submit(t, cl1, ctx)
+		run(t, ids, cluster.On(1).Runtime(), survivors,
+			func() { cluster.Network().SetNodeDown(1, true) })
+	})
+
+	t.Run("daemon", func(t *testing.T) {
+		mk := func(id int) *daemon.Daemon {
+			d, err := daemon.New(daemon.Config{
+				ID: id, Cores: 1,
+				Policy: "none", Interval: 2 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("boot daemon %d: %v", id, err)
+			}
+			t.Cleanup(d.Stop)
+			return d
+		}
+		d1, d2, d3 := mk(1), mk(2), mk(3)
+		if err := d2.Join(d1.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := d3.Join(d1.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		cl1, err := sod.Dial(d1.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl1.Close() }) //nolint:errcheck
+		waitConverged(t, cl1)
+		survivors := make(map[int]port)
+		for _, d := range []*daemon.Daemon{d2, d3} {
+			cl, err := sod.Dial(d.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { cl.Close() }) //nolint:errcheck
+			survivors[d.ID()] = port{client: cl, mgr: d.Node().Mgr}
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), confTimeout)
+		defer cancel()
+		ids := submit(t, cl1, ctx)
+		run(t, ids, d1.Node().Mgr, survivors, d1.Stop)
 	})
 }
